@@ -1,0 +1,91 @@
+// Command hyperverify proves a multi-task hyperreconfiguration schedule
+// functionally sound: it re-runs the application on a
+// hypercontext-gated SHyRA (only switches inside the schedule's
+// hypercontexts may be written) and checks the register trajectory is
+// identical to the unrestricted run.
+//
+// Usage:
+//
+//	mtopt -app counterdd -gran delta -solver all -out sched.json
+//	hyperverify -app counterdd -sched sched.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/shyra"
+	"repro/internal/traceio"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "counter", "application whose trace the schedule was solved for")
+		schedPath = flag.String("sched", "", "schedule JSON produced by mtopt -out (required)")
+	)
+	flag.Parse()
+
+	if err := run(*app, *schedPath); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperverify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, schedPath string) error {
+	if schedPath == "" {
+		return fmt.Errorf("-sched is required")
+	}
+	f, err := os.Open(schedPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tasks, sched, err := traceio.ReadScheduleJSON(f)
+	if err != nil {
+		return err
+	}
+
+	tr, err := core.AppTrace(app)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application: %s (%d reconfiguration steps)\n", tr.Program, tr.Len())
+	fmt.Printf("schedule: %d tasks from %s\n", len(tasks), schedPath)
+
+	rep, err := shyra.ReplayMT(tr, sched)
+	if err != nil {
+		return fmt.Errorf("schedule is NOT functionally sound: %w", err)
+	}
+	disabled := tr.Len() * shyra.ConfigBits
+	fmt.Printf("replay: OK — register trajectory identical to the unrestricted run\n")
+	fmt.Printf("uploaded %d configuration bits total (disabled machine: %d, %.1f%%)\n",
+		rep.TotalUploaded, disabled, 100*float64(rep.TotalUploaded)/float64(disabled))
+
+	// If the schedule's task shapes match SHyRA's decomposition, price
+	// it under the paper's cost model too.
+	paperTasks := shyra.Tasks()
+	match := len(tasks) == len(paperTasks)
+	for j := 0; match && j < len(tasks); j++ {
+		match = tasks[j].Local == paperTasks[j].Local
+	}
+	if match {
+		for _, g := range []shyra.Granularity{shyra.GranularityBit, shyra.GranularityUnit, shyra.GranularityDelta} {
+			ins, err := tr.MTInstance(g)
+			if err != nil {
+				return err
+			}
+			opt := model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+			cost, err := ins.Cost(sched, opt)
+			if err != nil {
+				fmt.Printf("cost model (%s granularity): schedule infeasible (%v)\n", g, err)
+				continue
+			}
+			fmt.Printf("cost model (%s granularity): %d (%.1f%% of disabled)\n",
+				g, cost, 100*float64(cost)/float64(ins.DisabledCost()))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+	"repro/internal/shyra"
+	"repro/internal/traceio"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// writeSchedule solves the app at the granularity and writes the
+// schedule file, returning its path.
+func writeSchedule(t *testing.T, app string, g shyra.Granularity) string {
+	t.Helper()
+	tr, err := core.AppTrace(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+	sol, err := mtswitch.SolveAligned(ins, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sched.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := traceio.WriteScheduleJSON(f, ins, sol.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifySoundSchedule(t *testing.T) {
+	path := writeSchedule(t, "counterdd", shyra.GranularityDelta)
+	out, err := capture(t, func() error { return run("counterdd", path) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "replay: OK") {
+		t.Fatalf("expected successful replay:\n%s", out)
+	}
+	if !strings.Contains(out, "cost model (delta granularity):") {
+		t.Fatalf("expected cost-model pricing:\n%s", out)
+	}
+}
+
+func TestVerifyWrongAppFails(t *testing.T) {
+	// A schedule solved for counterdd cannot drive the lfsr trace
+	// (different step counts).
+	path := writeSchedule(t, "counterdd", shyra.GranularityBit)
+	if _, err := capture(t, func() error { return run("lfsr", path) }); err == nil {
+		t.Fatal("accepted schedule for a different trace")
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("counter", "") }); err == nil {
+		t.Fatal("accepted missing -sched")
+	}
+	if _, err := capture(t, func() error { return run("counter", "/nonexistent.json") }); err == nil {
+		t.Fatal("accepted missing file")
+	}
+	path := writeSchedule(t, "counter", shyra.GranularityBit)
+	if _, err := capture(t, func() error { return run("nope", path) }); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+}

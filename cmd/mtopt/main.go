@@ -1,0 +1,161 @@
+// Command mtopt solves the multi-task (m=4) partial-hyperreconfiguration
+// scheduling problem for an application trace or a requirements CSV.
+//
+// Usage:
+//
+//	mtopt -app counter -solver ga            # the paper's approach
+//	mtopt -app counter -solver aligned       # aligned-DP baseline
+//	mtopt -app counter -solver beam          # beam-limited exact DP
+//	mtopt -app counter -solver all -fig      # everything + Figure 2/3 charts
+//	mtopt -reqs trace.csv -upload sequential # task-sequential uploads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+	"repro/internal/report"
+	"repro/internal/shyra"
+	"repro/internal/traceio"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "counter", "application to analyze (ignored with -reqs)")
+		reqsPath = flag.String("reqs", "", "requirements CSV to analyze instead of an app trace")
+		solver   = flag.String("solver", "ga", "solver: ga, aligned, beam, all")
+		upload   = flag.String("upload", "parallel", "upload mode for hyper+reconf: parallel or sequential")
+		gran     = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
+		fig      = flag.Bool("fig", false, "print Figure 2/3 style charts for the best schedule")
+		pop      = flag.Int("pop", 80, "GA population size")
+		gens     = flag.Int("gens", 300, "GA generations")
+		seed     = flag.Int64("seed", 1, "GA random seed")
+		beamN    = flag.Int("beam", 3000, "beam width for -solver beam")
+		outPath  = flag.String("out", "", "write the best schedule as JSON to this file (verify with hyperverify)")
+	)
+	flag.Parse()
+
+	if err := run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "mtopt:", err)
+		os.Exit(1)
+	}
+}
+
+func load(app, reqsPath, gran string) (*model.MTSwitchInstance, error) {
+	if reqsPath != "" {
+		f, err := os.Open(reqsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return traceio.ReadRequirementsCSV(f)
+	}
+	g, err := shyra.ParseGranularity(gran)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.AppTrace(app)
+	if err != nil {
+		return nil, err
+	}
+	return tr.MTInstance(g)
+}
+
+func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN int, outPath string) error {
+	ins, err := load(app, reqsPath, gran)
+	if err != nil {
+		return err
+	}
+	var opt model.CostOptions
+	switch upload {
+	case "parallel":
+		opt = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+	case "sequential":
+		opt = model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
+	default:
+		return fmt.Errorf("unknown upload mode %q", upload)
+	}
+
+	fmt.Printf("instance: m=%d tasks, n=%d steps, %d switches total, %v uploads\n",
+		ins.NumTasks(), ins.Steps(), ins.TotalLocalSwitches(), opt.HyperUpload)
+	fmt.Printf("disabled baseline: %d\n", ins.DisabledCost())
+	fmt.Printf("lower bound:       %d\n", mtswitch.LowerBound(ins, opt))
+
+	best := (*mtswitch.Solution)(nil)
+	record := func(name string, sol *mtswitch.Solution) {
+		hypers := core.HyperCount(sol.Schedule)
+		note := ""
+		if sol.Truncated {
+			note = " (upper bound)"
+		}
+		fmt.Printf("%-8s cost=%d (%.1f%% of disabled), partial hyper steps=%d%s\n",
+			name, sol.Cost, 100*float64(sol.Cost)/float64(ins.DisabledCost()), hypers, note)
+		if best == nil || sol.Cost < best.Cost {
+			best = sol
+		}
+	}
+
+	runGA := solver == "ga" || solver == "all"
+	runAligned := solver == "aligned" || solver == "all"
+	runBeam := solver == "beam" || solver == "all"
+	if !runGA && !runAligned && !runBeam {
+		return fmt.Errorf("unknown solver %q", solver)
+	}
+	if runAligned {
+		sol, err := mtswitch.SolveAligned(ins, opt)
+		if err != nil {
+			return err
+		}
+		record("aligned", sol)
+	}
+	if runBeam {
+		sol, err := mtswitch.SolveExact(ins, opt, mtswitch.Config{MaxStates: beamN, MaxCandidates: 4})
+		if err != nil {
+			return err
+		}
+		record("beam", sol)
+	}
+	if runGA {
+		res, err := ga.Optimize(ins, opt, ga.Config{Pop: pop, Generations: gens, Seed: seed})
+		if err != nil {
+			return err
+		}
+		record("ga", res.Solution)
+	}
+
+	if outPath != "" && best != nil {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := traceio.WriteScheduleJSON(f, ins, best.Schedule); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("best schedule written to %s\n", outPath)
+	}
+
+	if fig && best != nil {
+		names := make([]string, ins.NumTasks())
+		for j, t := range ins.Tasks {
+			names[j] = t.Name
+		}
+		fmt.Println("\nFigure 3 — partial hyperreconfiguration operations (# = hyper, . = no-hyper):")
+		fmt.Print(report.HyperMap(names, best.Schedule))
+		fmt.Println("\nFigure 2 — per-task activity (used = requirement size, avail = hypercontext size, base-36 digits):")
+		cm, err := report.ContextMap(ins, best.Schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Print(cm)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestFigure1(t *testing.T) {
+	out, err := capture(t, func() error { return run("", 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"LUT1", "MUX", "48", "register file"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigures2And3(t *testing.T) {
+	out, err := capture(t, func() error { return run("", 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "single task case") || !strings.Contains(out, "MUX avail") {
+		t.Fatalf("figure 2 incomplete:\n%s", out)
+	}
+	out, err = capture(t, func() error { return run("", 3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "partial hyperreconfiguration steps") {
+		t.Fatalf("figure 3 incomplete:\n%s", out)
+	}
+}
+
+func TestFigureSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	svgOut = dir
+	defer func() { svgOut = "" }()
+	if _, err := capture(t, func() error { return run("", 3) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/fig3.svg")
+	if err != nil {
+		t.Fatalf("fig3.svg not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("fig3.svg is not an SVG document")
+	}
+	if _, err := capture(t, func() error { return run("", 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir + "/fig2.svg"); err != nil {
+		t.Fatalf("fig2.svg not written: %v", err)
+	}
+}
+
+func TestCostsExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run("costs", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"hyperreconfiguration disabled  3840  100.0%",
+		"single task optimal",
+		"multi task GA",
+		"paper reference",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("costs table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrivGlobalExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run("privglobal", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 windows starting at steps [0 6]") {
+		t.Fatalf("private-global windowing unexpected:\n%s", out)
+	}
+}
+
+func TestGranExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run("gran", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bit", "unit", "delta"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("granularity table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMTDAGExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run("mtdag", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "task-parallel") || !strings.Contains(out, "joint DP") {
+		t.Fatalf("mtdag table incomplete:\n%s", out)
+	}
+}
+
+func TestAsyncExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run("async", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bottleneck task") || !strings.Contains(out, "MUX") {
+		t.Fatalf("async table incomplete:\n%s", out)
+	}
+}
+
+func TestUnknownSelectors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("nope", 0) }); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+	if _, err := capture(t, func() error { return run("", 9) }); err == nil {
+		t.Fatal("accepted unknown figure")
+	}
+	if _, err := capture(t, func() error { return run("", 0) }); err != nil {
+		t.Fatal("empty selector should be a no-op")
+	}
+}

@@ -1,0 +1,112 @@
+// Command phcopt solves single-task hyperreconfiguration scheduling
+// (the partition-into-hypercontexts problem) for an application trace
+// or a requirements CSV, flattened to the m=1 view.
+//
+// Usage:
+//
+//	phcopt -app counter                     # exact DP on the counter trace
+//	phcopt -app counter -solver greedy      # greedy heuristic
+//	phcopt -app counter -solver interval -k 8
+//	phcopt -app counter -solver changeover  # changeover-cost variant
+//	phcopt -reqs trace.csv -solver dp       # analyze an exported CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/phc"
+	"repro/internal/report"
+	"repro/internal/shyra"
+	"repro/internal/traceio"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "counter", "application to analyze (ignored with -reqs)")
+		reqsPath = flag.String("reqs", "", "requirements CSV to analyze instead of an app trace")
+		solver   = flag.String("solver", "dp", "solver: dp, greedy, interval, changeover, every, none")
+		k        = flag.Int("k", 8, "interval length for -solver interval")
+		w        = flag.Int64("w", 0, "override hyperreconfiguration cost W (default |X|)")
+		gran     = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
+	)
+	flag.Parse()
+
+	if err := run(*app, *reqsPath, *solver, *k, *w, *gran); err != nil {
+		fmt.Fprintln(os.Stderr, "phcopt:", err)
+		os.Exit(1)
+	}
+}
+
+func loadSingle(app, reqsPath, gran string) (*model.SwitchInstance, error) {
+	var mt *model.MTSwitchInstance
+	if reqsPath != "" {
+		f, err := os.Open(reqsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		mt, err = traceio.ReadRequirementsCSV(f)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		g, err := shyra.ParseGranularity(gran)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := core.AppTrace(app)
+		if err != nil {
+			return nil, err
+		}
+		mt, err = tr.MTInstance(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mt.SingleTaskView()
+}
+
+func run(app, reqsPath, solver string, k int, w int64, gran string) error {
+	ins, err := loadSingle(app, reqsPath, gran)
+	if err != nil {
+		return err
+	}
+	if w > 0 {
+		ins.W = model.Cost(w)
+	}
+	fmt.Printf("instance: n=%d steps, |X|=%d switches, W=%d\n", ins.Len(), ins.Universe, ins.W)
+	fmt.Printf("disabled baseline: %d\n", ins.DisabledCost())
+	fmt.Printf("lower bound:       %d\n", ins.LowerBound())
+
+	var sol *phc.Solution
+	switch solver {
+	case "dp":
+		sol, err = phc.SolveSwitch(ins)
+	case "greedy":
+		sol, err = phc.Greedy(ins)
+	case "interval":
+		sol, err = phc.FixedInterval(ins, k)
+	case "changeover":
+		sol, err = phc.SolveChangeover(ins)
+	case "every":
+		fmt.Printf("every-step baseline: %d\n", ins.EveryStepCost())
+		return nil
+	case "none":
+		return nil
+	default:
+		return fmt.Errorf("unknown solver %q", solver)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("solver %s: cost=%d (%.1f%% of disabled), hyperreconfigurations=%d\n",
+		solver, sol.Cost, 100*float64(sol.Cost)/float64(ins.DisabledCost()), len(sol.Seg.Starts))
+	fmt.Println("hyperreconfiguration steps:")
+	fmt.Println("  " + report.SegmentsLine(ins.Len(), sol.Seg.Starts))
+	return nil
+}

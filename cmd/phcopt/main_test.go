@@ -1,0 +1,112 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestRunSolvers(t *testing.T) {
+	for _, solver := range []string{"dp", "greedy", "interval", "changeover"} {
+		out, err := capture(t, func() error { return run("counter", "", solver, 8, 0, "bit") })
+		if err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+		if !strings.Contains(out, "solver "+solver) {
+			t.Fatalf("%s: missing result line:\n%s", solver, out)
+		}
+		if !strings.Contains(out, "hyperreconfiguration steps:") {
+			t.Fatalf("%s: missing segments chart:\n%s", solver, out)
+		}
+	}
+}
+
+func TestRunBaselineModes(t *testing.T) {
+	out, err := capture(t, func() error { return run("counter", "", "every", 0, 0, "bit") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "every-step baseline") {
+		t.Fatalf("missing baseline:\n%s", out)
+	}
+	out, err = capture(t, func() error { return run("counter", "", "none", 0, 0, "bit") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "disabled baseline: 3840") {
+		t.Fatalf("missing instance summary:\n%s", out)
+	}
+}
+
+func TestRunWOverride(t *testing.T) {
+	a, err := capture(t, func() error { return run("counter", "", "dp", 0, 0, "bit") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := capture(t, func() error { return run("counter", "", "dp", 0, 5, "bit") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a, "W=48") || !strings.Contains(b, "W=5") {
+		t.Fatalf("W override not reflected:\na=%s\nb=%s", a, b)
+	}
+	// With a tiny W the optimal schedule hyperreconfigures more.
+	if strings.Contains(b, "hyperreconfigurations=1\n") {
+		t.Fatalf("W=5 should produce a multi-segment schedule:\n%s", b)
+	}
+}
+
+func TestRunFromCSV(t *testing.T) {
+	// Export requirements via the shyra path format by hand.
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "reqs.csv")
+	content := "A:2:2,B:1:1\n10,1\n01,0\n11,1\n"
+	if err := os.WriteFile(csvPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run("", csvPath, "dp", 0, 0, "bit") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n=3 steps, |X|=3 switches") {
+		t.Fatalf("CSV instance not loaded:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("counter", "", "nope", 0, 0, "bit") }); err == nil {
+		t.Fatal("accepted unknown solver")
+	}
+	if _, err := capture(t, func() error { return run("nope", "", "dp", 0, 0, "bit") }); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+	if _, err := capture(t, func() error { return run("counter", "", "dp", 0, 0, "nope") }); err == nil {
+		t.Fatal("accepted unknown granularity")
+	}
+	if _, err := capture(t, func() error { return run("", "/nonexistent.csv", "dp", 0, 0, "bit") }); err == nil {
+		t.Fatal("accepted missing CSV")
+	}
+	if _, err := capture(t, func() error { return run("counter", "", "interval", 0, 0, "bit") }); err == nil {
+		t.Fatal("accepted interval k=0")
+	}
+}

@@ -1,0 +1,102 @@
+// Command shyra runs a bundled application on the SHyRA simulator and
+// reports (or exports) its reconfiguration trace.
+//
+// Usage:
+//
+//	shyra -app counter                 # run, print a summary
+//	shyra -app counter -steps          # also list every traced step
+//	shyra -app lfsr -trace out.json    # export the full trace as JSON
+//	shyra -app adder -reqs out.csv     # export m=4 requirements as CSV
+//	shyra -list                        # list bundled applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/shyra"
+	"repro/internal/traceio"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "counter", "application to run (see -list)")
+		list      = flag.Bool("list", false, "list bundled applications and exit")
+		steps     = flag.Bool("steps", false, "print every traced step")
+		tracePath = flag.String("trace", "", "write the full trace as JSON to this file")
+		reqsPath  = flag.String("reqs", "", "write the m=4 requirement sequences as CSV to this file")
+		gran      = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
+	)
+	flag.Parse()
+
+	if err := run(*app, *list, *steps, *tracePath, *reqsPath, *gran); err != nil {
+		fmt.Fprintln(os.Stderr, "shyra:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, list, steps bool, tracePath, reqsPath, gran string) error {
+	if list {
+		for _, name := range core.AppNames() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	g, err := shyra.ParseGranularity(gran)
+	if err != nil {
+		return err
+	}
+
+	tr, err := core.AppTrace(app)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program: %s\n", tr.Program)
+	fmt.Printf("reconfiguration steps: %d\n", tr.Len())
+
+	if steps {
+		for i, st := range tr.Steps {
+			use := ""
+			if st.Use.LUT[0] {
+				use += "LUT1 "
+			}
+			if st.Use.LUT[1] {
+				use += "LUT2 "
+			}
+			fmt.Printf("%4d  pc=%-3d %-8s use=[%s]\n", i, st.PC, st.Name, use)
+		}
+	}
+
+	ins, err := tr.MTInstance(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("switch universe: %d (%s granularity)\n", ins.TotalLocalSwitches(), g)
+	fmt.Printf("hyperreconfiguration-disabled cost: %d\n", ins.DisabledCost())
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := traceio.WriteTraceJSON(f, tr); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", tracePath)
+	}
+	if reqsPath != "" {
+		f, err := os.Create(reqsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := traceio.WriteRequirementsCSV(f, ins); err != nil {
+			return err
+		}
+		fmt.Printf("requirements written to %s\n", reqsPath)
+	}
+	return nil
+}

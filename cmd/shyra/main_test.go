@@ -1,0 +1,97 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run("", true, false, "", "", "bit") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"counter", "counterdd", "adder", "lfsr", "popcount", "toggle"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list output missing %q", name)
+		}
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	out, err := capture(t, func() error { return run("counter", false, false, "", "", "bit") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reconfiguration steps: 80") {
+		t.Fatalf("missing step count:\n%s", out)
+	}
+	if !strings.Contains(out, "hyperreconfiguration-disabled cost: 3840") {
+		t.Fatalf("missing disabled cost:\n%s", out)
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	out, err := capture(t, func() error { return run("toggle", false, true, "", "", "bit") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "use=[LUT1 ]") {
+		t.Fatalf("missing step listing:\n%s", out)
+	}
+}
+
+func TestRunExports(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	reqsPath := filepath.Join(dir, "reqs.csv")
+	_, err := capture(t, func() error { return run("lfsr", false, false, tracePath, reqsPath, "delta") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{tracePath, reqsPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("export missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("export %s empty", p)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("nope", false, false, "", "", "bit") }); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+	if _, err := capture(t, func() error { return run("counter", false, false, "", "", "nope") }); err == nil {
+		t.Fatal("accepted unknown granularity")
+	}
+	if _, err := capture(t, func() error { return run("counter", false, false, "/nonexistent/dir/x.json", "", "bit") }); err == nil {
+		t.Fatal("accepted unwritable trace path")
+	}
+	if _, err := capture(t, func() error { return run("counter", false, false, "", "/nonexistent/dir/x.csv", "bit") }); err == nil {
+		t.Fatal("accepted unwritable reqs path")
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a Go reproduction of "Models and Reconfiguration
+// Problems for Multi Task Hyperreconfigurable Architectures" (Sebastian
+// Lange and Martin Middendorf, IPPS 2004).
+//
+// The library lives under internal/: cost models (internal/model), the
+// single-task solvers (internal/phc), the multi-task solvers
+// (internal/mtswitch), the genetic algorithm (internal/ga), the SHyRA
+// simulator (internal/shyra), applications (internal/apps), the
+// barrier-synchronized runtime (internal/machine) and the high-level
+// facade (internal/core).  Executables live under cmd/, runnable
+// examples under examples/, and bench_test.go in this directory
+// regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured numbers.
+package repro

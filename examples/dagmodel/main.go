@@ -1,0 +1,142 @@
+// Dagmodel demonstrates the DAG cost model for coarse-grained machines:
+// hypercontexts are ordered by computational power in a DAG, every
+// hyperreconfiguration costs the same w, and stronger hypercontexts
+// make each ordinary reconfiguration more expensive.  The example
+// machine offers four routability levels; the computation alternates
+// between cheap local routing and occasional global routing.
+//
+//	go run ./examples/dagmodel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/mtdag"
+	"repro/internal/phc"
+)
+
+func main() {
+	// Context catalog: 0 = local route, 1 = row route, 2 = column
+	// route, 3 = global route.
+	const contexts = 4
+	sat := func(members ...int) bitset.Set { return bitset.FromMembers(contexts, members...) }
+	hs := []model.Hypercontext{
+		{Name: "local", PerStep: 1, Sat: sat(0)},
+		{Name: "row", PerStep: 3, Sat: sat(0, 1)},
+		{Name: "col", PerStep: 3, Sat: sat(0, 2)},
+		{Name: "global", PerStep: 8, Sat: sat(0, 1, 2, 3)},
+	}
+	// Precedence DAG: local ≺ row ≺ global, local ≺ col ≺ global.
+	g := dag.New(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The computation: mostly local routing, bursts of row/column
+	// routing, one global transpose in the middle.
+	seq := []int{0, 0, 0, 1, 1, 0, 0, 2, 2, 0, 3, 0, 0, 1, 0, 0, 2, 0, 0, 0}
+
+	gen, err := model.NewGeneralInstance(contexts, hs, seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ins, err := dag.NewInstance(gen, g, 5) // w = 5 per hyperreconfiguration
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DAG model: %d hypercontexts, w=%d, %d-step computation\n\n", len(hs), ins.W, len(seq))
+
+	ms, err := ins.MinimalSatisfiers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minimal satisfiers c(H) per context requirement:")
+	names := []string{"local", "row", "col", "global"}
+	for c, sats := range ms {
+		fmt.Printf("  %-6s →", names[c])
+		for _, h := range sats {
+			fmt.Printf(" %s", hs[h].Name)
+		}
+		fmt.Println()
+	}
+
+	// Staying in the top hypercontext the whole time.
+	stayTop := make([]int, len(seq))
+	for i := range stayTop {
+		stayTop[i] = 3
+	}
+	topCost, err := gen.Cost(model.GeneralSchedule{HctxIdx: stayTop})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstay in %q throughout: cost %d\n", hs[3].Name, topCost)
+
+	heur, err := phc.MinimalSatisfierHeuristic(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimal-satisfier heuristic: cost %d\n", heur.Cost)
+
+	opt, err := phc.SolveDAG(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal schedule (DP): cost %d\n\n", opt.Cost)
+
+	fmt.Println("optimal hypercontext per step:")
+	prev := -1
+	for i, k := range opt.Schedule.HctxIdx {
+		mark := " "
+		if k != prev {
+			mark = "*" // hyperreconfiguration
+		}
+		fmt.Printf("  step %2d: context %-6s hypercontext %-6s %s\n", i, names[seq[i]], hs[k].Name, mark)
+		prev = k
+	}
+
+	// Multi-task DAG model: run two such computations as parallel tasks
+	// on a fully synchronized machine with task-parallel uploads.
+	fmt.Println("\n--- multi-task DAG model (two tasks, task-parallel uploads) ---")
+	mkTask := func(name string, v model.Cost, taskSeq []int) mtdag.Task {
+		taskGen, err := model.NewGeneralInstance(contexts, append([]model.Hypercontext(nil), hs...), taskSeq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		taskGraph := dag.New(4)
+		for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+			if err := taskGraph.AddEdge(e[0], e[1]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		inst, err := dag.NewInstance(taskGen, taskGraph, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return mtdag.Task{Name: name, V: v, Inst: inst}
+	}
+	shifted := make([]int, len(seq))
+	copy(shifted, seq[5:])
+	copy(shifted[len(seq)-5:], seq[:5]) // task B runs the same phases, shifted
+	mt, err := mtdag.New([]mtdag.Task{mkTask("A", 3, seq), mkTask("B", 5, shifted)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt2 := model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+	_, joint, err := mtdag.Solve(mt, opt2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, per, err := mtdag.SolvePerTask(mt, opt2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("joint DP over hypercontext vectors: %d\n", joint)
+	fmt.Printf("independent per-task scheduling:    %d (upper bound)\n", per)
+}

@@ -1,0 +1,62 @@
+// Quickstart: model a single-task hyperreconfigurable machine under the
+// Switch cost model and find its optimal hyperreconfiguration schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/phc"
+	"repro/internal/report"
+)
+
+func main() {
+	// A machine with 6 reconfigurable switches.  The computation has
+	// three phases: routing-heavy (switches 0-3), compute-light
+	// (switch 4), then mixed (switches 3-5).
+	const switches = 6
+	req := func(members ...int) bitset.Set { return bitset.FromMembers(switches, members...) }
+	seq := []bitset.Set{
+		req(0, 1, 2, 3), req(0, 1, 2), req(1, 2, 3), req(0, 3),
+		req(4), req(4), req(4), req(4), req(4),
+		req(3, 4, 5), req(3, 5), req(4, 5),
+	}
+
+	// Hyperreconfiguring costs W = 4; an ordinary reconfiguration under
+	// hypercontext h costs |h| (one unit per available switch).
+	ins, err := model.NewSwitchInstance(switches, 4, seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sequence of %d context requirements over %d switches, W=%d\n\n", ins.Len(), ins.Universe, ins.W)
+	fmt.Printf("hyperreconfiguration disabled: every step uploads all %d switches → cost %d\n",
+		ins.Universe, ins.DisabledCost())
+	fmt.Printf("hyperreconfigure every step:   cost %d\n\n", ins.EveryStepCost())
+
+	// The polynomial dynamic program finds the optimal partition into
+	// hypercontexts.
+	sol, err := phc.SolveSwitch(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal schedule: cost %d with %d hyperreconfigurations\n", sol.Cost, len(sol.Seg.Starts))
+	fmt.Println("hyperreconfiguration steps:  " + report.SegmentsLine(ins.Len(), sol.Seg.Starts))
+	for k, h := range sol.Hypercontexts {
+		seg := sol.Seg.Segments(ins.Len())[k]
+		fmt.Printf("  segment %d: steps %d-%d, hypercontext %v (%d switches)\n",
+			k, seg[0], seg[1]-1, h, h.Count())
+	}
+
+	// Compare with the greedy heuristic.
+	greedy, err := phc.Greedy(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngreedy heuristic: cost %d (%.0f%% above optimal)\n",
+		greedy.Cost, 100*float64(greedy.Cost-sol.Cost)/float64(sol.Cost))
+}

@@ -1,0 +1,119 @@
+// Integration tests asserting the paper's headline claims end to end.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+	"repro/internal/shyra"
+)
+
+// TestPaperHeadlineOrdering is the reproduction's central claim: on the
+// paper's workload, partial multi-task hyperreconfiguration beats the
+// optimal single-task schedule, which beats disabling
+// hyperreconfiguration — under every requirement granularity.
+func TestPaperHeadlineOrdering(t *testing.T) {
+	for _, g := range []shyra.Granularity{shyra.GranularityBit, shyra.GranularityUnit, shyra.GranularityDelta} {
+		tr, err := core.CounterTrace(0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.AnalyzeTrace(tr, core.Options{
+			Granularity: g,
+			GA:          ga.Config{Pop: 60, Generations: 120, Seed: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := a.Best()
+		if best.Cost >= a.SingleOpt.Cost {
+			t.Errorf("%v: multi-task %d not below single-task %d", g, best.Cost, a.SingleOpt.Cost)
+		}
+		// Under unit granularity the single-task optimum may exceed the
+		// disabled baseline (W is pure overhead); multi-task never does
+		// on this workload.
+		if best.Cost >= a.Disabled {
+			t.Errorf("%v: multi-task %d not below disabled %d", g, best.Cost, a.Disabled)
+		}
+		if best.Cost < a.Bound {
+			t.Errorf("%v: multi-task %d below lower bound %d", g, best.Cost, a.Bound)
+		}
+	}
+}
+
+// TestPaperDisabledBaseline pins the disabled-baseline formula n·48
+// (the paper's 5280 for n=110; 3840 for our n=80 trace).
+func TestPaperDisabledBaseline(t *testing.T) {
+	tr, err := core.CounterTrace(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstance(shyra.GranularityBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ins.DisabledCost(); got != model.Cost(tr.Len()*shyra.ConfigBits) {
+		t.Fatalf("disabled = %d, want n·48 = %d", got, tr.Len()*shyra.ConfigBits)
+	}
+	if tr.Len() != 80 {
+		t.Fatalf("trace length = %d, want 80", tr.Len())
+	}
+}
+
+// TestEndToEndScheduleSoundness solves, serializes mentally aside — and
+// replays the best multi-task schedule on the hypercontext-gated
+// machine: the computation must be unchanged while uploading fewer
+// bits than the disabled machine.
+func TestEndToEndScheduleSoundness(t *testing.T) {
+	a, err := core.RunPaperExperiment(core.Options{
+		Granularity: shyra.GranularityDelta,
+		GA:          ga.Config{Pop: 40, Generations: 60, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.VerifyReplay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalUploaded >= a.Trace.Len()*shyra.ConfigBits {
+		t.Fatalf("gated machine uploaded %d bits, disabled machine uploads %d",
+			rep.TotalUploaded, a.Trace.Len()*shyra.ConfigBits)
+	}
+}
+
+// TestSolversAgreeOnPaperWorkload cross-checks all multi-task solvers
+// on the paper instance (they all reach 1304 at bit granularity).
+func TestSolversAgreeOnPaperWorkload(t *testing.T) {
+	tr, err := core.CounterTrace(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstance(shyra.GranularityBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := mtswitch.SolveAligned(ins, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beam, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{MaxStates: 2000, MaxCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaRes, err := ga.Optimize(ins, parallel, ga.Config{Pop: 60, Generations: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := ga.Anneal(ins, parallel, ga.AnnealConfig{Iterations: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Cost != 1304 || beam.Cost != 1304 || gaRes.Solution.Cost != 1304 || sa.Solution.Cost != 1304 {
+		t.Fatalf("solver disagreement: aligned=%d beam=%d ga=%d sa=%d, want 1304",
+			al.Cost, beam.Cost, gaRes.Solution.Cost, sa.Solution.Cost)
+	}
+}

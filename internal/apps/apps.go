@@ -1,0 +1,365 @@
+// Package apps contains time-partitioned SHyRA applications.  Because
+// SHyRA offers only two 3-input LUTs, every computation must be split
+// across many cycles, each preceded by a reconfiguration — the designs
+// are "time partitioned" in the paper's words, which is what makes them
+// profit from (partial) hyperreconfiguration.
+//
+// The flagship application is the paper's 4-bit counter with variable
+// upper bound; the package adds an add-until-overflow accumulator, a
+// 4-bit LFSR, a popcount routine and a toggle microbenchmark so the
+// cost-model analysis can be exercised on traces with different unit
+// usage patterns.
+//
+// Register conventions (shared across apps where sensible):
+//
+//	r0..r3  primary 4-bit value, LSB first
+//	r4..r7  secondary 4-bit value (bound / addend / input)
+//	r8, r9  temporaries (carry, comparison flags)
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/shyra"
+)
+
+// Boolean helpers used as LUT functions.
+func fnNOT(a, _, _ bool) bool  { return !a }
+func fnID(a, _, _ bool) bool   { return a }
+func fnXOR(a, b, _ bool) bool  { return a != b }
+func fnXNOR(a, b, _ bool) bool { return a == b }
+func fnAND(a, b, _ bool) bool  { return a && b }
+func fnXOR3(a, b, c bool) bool { return (a != b) != c }
+func fnMAJ(a, b, c bool) bool  { return (a && b) || (a && c) || (b && c) }
+func fnAND3(a, b, c bool) bool { return a && b && c }
+
+// nibble converts a 4-bit value into register images, LSB first.
+func nibble(v uint8) [4]bool {
+	return [4]bool{v&1 != 0, v&2 != 0, v&4 != 0, v&8 != 0}
+}
+
+// NibbleOf reads a 4-bit value back out of four booleans, LSB first.
+func NibbleOf(b0, b1, b2, b3 bool) uint8 {
+	var v uint8
+	if b0 {
+		v |= 1
+	}
+	if b1 {
+		v |= 2
+	}
+	if b2 {
+		v |= 4
+	}
+	if b3 {
+		v |= 8
+	}
+	return v
+}
+
+// Counter builds the paper's test application: a 4-bit counter with a
+// variable upper bound.  The counter value lives in r0..r3 and is
+// incremented until it equals the bound stored in r4..r7; the design is
+// time partitioned into eight steps per iteration (four increment steps
+// followed by a four-step ripple comparison with a conditional
+// loop-back).
+//
+// initial and bound are 4-bit values (0..15).  The comparison runs
+// after each increment, so the program performs ((bound - initial - 1)
+// mod 16) + 1 increments; the paper's run uses initial 0 and bound 10
+// (ten iterations).
+func Counter(initial, bound uint8) (*shyra.Program, error) {
+	if initial > 15 || bound > 15 {
+		return nil, fmt.Errorf("apps: counter values must be 4-bit (got %d, %d)", initial, bound)
+	}
+	iv, bv := nibble(initial), nibble(bound)
+	p := &shyra.Program{Name: fmt.Sprintf("counter(%d→%d)", initial, bound)}
+	p.InitRegs = [shyra.NumRegs]bool{iv[0], iv[1], iv[2], iv[3], bv[0], bv[1], bv[2], bv[3]}
+
+	p.Steps = []shyra.Step{
+		// Increment: ripple carry through r8/r9, two signals per cycle.
+		{Name: "inc0",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "b0' = NOT b0", Fn: fnNOT, In: []int{0}, Dest: 0},
+				{Name: "c1 = b0", Fn: fnID, In: []int{0}, Dest: 8},
+			}},
+		{Name: "inc1",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "b1' = b1 XOR c1", Fn: fnXOR, In: []int{1, 8}, Dest: 1},
+				{Name: "c2 = b1 AND c1", Fn: fnAND, In: []int{1, 8}, Dest: 9},
+			}},
+		{Name: "inc2",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "b2' = b2 XOR c2", Fn: fnXOR, In: []int{2, 9}, Dest: 2},
+				{Name: "c3 = b2 AND c2", Fn: fnAND, In: []int{2, 9}, Dest: 8},
+			}},
+		{Name: "inc3",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "b3' = b3 XOR c3", Fn: fnXOR, In: []int{3, 8}, Dest: 3},
+				nil,
+			}},
+		// Ripple comparison with the bound.
+		{Name: "cmp0",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "e0 = b0 XNOR a0", Fn: fnXNOR, In: []int{0, 4}, Dest: 8},
+				{Name: "e1 = b1 XNOR a1", Fn: fnXNOR, In: []int{1, 5}, Dest: 9},
+			}},
+		{Name: "cmp1",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "e01 = e0 AND e1", Fn: fnAND, In: []int{8, 9}, Dest: 8},
+				{Name: "e2 = b2 XNOR a2", Fn: fnXNOR, In: []int{2, 6}, Dest: 9},
+			}},
+		{Name: "cmp2",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "e012 = e01 AND e2", Fn: fnAND, In: []int{8, 9}, Dest: 8},
+				{Name: "e3 = b3 XNOR a3", Fn: fnXNOR, In: []int{3, 7}, Dest: 9},
+			}},
+		{Name: "cmp3",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "eq = e012 AND e3", Fn: fnAND, In: []int{8, 9}, Dest: 8},
+				nil,
+			},
+			Branch: &shyra.Branch{Reg: 8, IfSet: false, Target: 0},
+			Halt:   true},
+	}
+	return p, nil
+}
+
+// CounterDD is the data-dependent variant of the counter: the carry
+// chain stops at the first bit that flips 0→1 (incrementing flips low
+// bits until then), and the comparison scans from the most significant
+// bit, bailing out at the first mismatch.  Iteration lengths therefore
+// vary with the counter value ("the actual demand of a computation
+// during runtime might depend on the data", Section 2), the comparison
+// phase uses only LUT1 (empty LUT2 requirements), and the trace exhibits
+// the temporal requirement diversity that partial hyperreconfiguration
+// exploits.
+func CounterDD(initial, bound uint8) (*shyra.Program, error) {
+	if initial > 15 || bound > 15 {
+		return nil, fmt.Errorf("apps: counter values must be 4-bit (got %d, %d)", initial, bound)
+	}
+	if initial == bound {
+		return nil, fmt.Errorf("apps: data-dependent counter needs initial ≠ bound (the early-out comparison would halt immediately after a wrap)")
+	}
+	iv, bv := nibble(initial), nibble(bound)
+	p := &shyra.Program{Name: fmt.Sprintf("counterdd(%d→%d)", initial, bound)}
+	p.InitRegs = [shyra.NumRegs]bool{iv[0], iv[1], iv[2], iv[3], bv[0], bv[1], bv[2], bv[3]}
+
+	const cmpStart = 4
+	// Increment steps 0..3: flip bit k; stop the ripple when the old
+	// bit was 0 (the flip produced the final 0→1 transition).
+	for k := 0; k < 4; k++ {
+		st := shyra.Step{
+			Name: fmt.Sprintf("inc%d", k),
+			LUT: [2]*shyra.LUTSpec{
+				{Name: fmt.Sprintf("b%d' = NOT b%d", k, k), Fn: fnNOT, In: []int{k}, Dest: k},
+				{Name: fmt.Sprintf("old = b%d", k), Fn: fnID, In: []int{k}, Dest: 8},
+			},
+		}
+		if k < 3 {
+			st.Branch = &shyra.Branch{Reg: 8, IfSet: false, Target: cmpStart}
+		}
+		p.Steps = append(p.Steps, st)
+	}
+	// Comparison steps 4..7, most significant bit first; a mismatch
+	// jumps straight back to the increment.
+	for k := 0; k < 4; k++ {
+		bit := 3 - k
+		st := shyra.Step{
+			Name: fmt.Sprintf("cmp%d", bit),
+			LUT: [2]*shyra.LUTSpec{
+				{Name: fmt.Sprintf("e = b%d XNOR a%d", bit, bit), Fn: fnXNOR, In: []int{bit, 4 + bit}, Dest: 8},
+				nil,
+			},
+			Branch: &shyra.Branch{Reg: 8, IfSet: false, Target: 0},
+		}
+		if k == 3 {
+			st.Halt = true
+		}
+		p.Steps = append(p.Steps, st)
+	}
+	return p, nil
+}
+
+// AddUntilOverflow repeatedly adds the 4-bit addend in r4..r7 to the
+// accumulator in r0..r3 until the ripple adder produces a carry out —
+// a full-adder workload that keeps both LUTs busy with 3-input
+// functions (XOR3 and majority).  addend must be non-zero or the loop
+// would never overflow.
+func AddUntilOverflow(acc, addend uint8) (*shyra.Program, error) {
+	if acc > 15 || addend > 15 {
+		return nil, fmt.Errorf("apps: adder values must be 4-bit (got %d, %d)", acc, addend)
+	}
+	if addend == 0 {
+		return nil, fmt.Errorf("apps: addend must be non-zero (the loop would never terminate)")
+	}
+	av, dv := nibble(acc), nibble(addend)
+	p := &shyra.Program{Name: fmt.Sprintf("add-until-overflow(%d+=%d)", acc, addend)}
+	p.InitRegs = [shyra.NumRegs]bool{av[0], av[1], av[2], av[3], dv[0], dv[1], dv[2], dv[3]}
+
+	p.Steps = []shyra.Step{
+		{Name: "add0",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "s0 = a0 XOR b0", Fn: fnXOR, In: []int{0, 4}, Dest: 0},
+				{Name: "c1 = a0 AND b0", Fn: fnAND, In: []int{0, 4}, Dest: 8},
+			}},
+		{Name: "add1",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "s1 = a1 XOR b1 XOR c1", Fn: fnXOR3, In: []int{1, 5, 8}, Dest: 1},
+				{Name: "c2 = MAJ(a1,b1,c1)", Fn: fnMAJ, In: []int{1, 5, 8}, Dest: 9},
+			}},
+		{Name: "add2",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "s2 = a2 XOR b2 XOR c2", Fn: fnXOR3, In: []int{2, 6, 9}, Dest: 2},
+				{Name: "c3 = MAJ(a2,b2,c2)", Fn: fnMAJ, In: []int{2, 6, 9}, Dest: 8},
+			}},
+		{Name: "add3",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "s3 = a3 XOR b3 XOR c3", Fn: fnXOR3, In: []int{3, 7, 8}, Dest: 3},
+				{Name: "cout = MAJ(a3,b3,c3)", Fn: fnMAJ, In: []int{3, 7, 8}, Dest: 9},
+			},
+			Branch: &shyra.Branch{Reg: 9, IfSet: false, Target: 0},
+			Halt:   true},
+	}
+	return p, nil
+}
+
+// LFSR builds a 4-bit Fibonacci LFSR with taps at bits 3 and 2
+// (polynomial x⁴+x³+1, period 15 over non-zero states).  The state
+// lives in r0..r3; each shift takes three move cycles plus a two-cycle
+// comparison against the halt pattern.  seed must be non-zero and the
+// halt pattern must be reachable (any non-zero 4-bit value is).
+func LFSR(seed, haltPattern uint8) (*shyra.Program, error) {
+	if seed == 0 || seed > 15 {
+		return nil, fmt.Errorf("apps: LFSR seed must be 1..15, got %d", seed)
+	}
+	if haltPattern == 0 || haltPattern > 15 {
+		return nil, fmt.Errorf("apps: LFSR halt pattern must be 1..15, got %d", haltPattern)
+	}
+	sv := nibble(seed)
+	hv := nibble(haltPattern)
+	p := &shyra.Program{Name: fmt.Sprintf("lfsr(seed=%d,halt=%d)", seed, haltPattern)}
+	p.InitRegs = [shyra.NumRegs]bool{sv[0], sv[1], sv[2], sv[3]}
+
+	// Halt comparison: eq = AND over (r_i XNOR h_i).  The pattern is a
+	// compile-time constant, so the XNORs fold into the two match
+	// functions below.
+	p.Steps = []shyra.Step{
+		// Shift with feedback fb = r3 XOR r2.
+		{Name: "fb",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "fb = r3 XOR r2", Fn: fnXOR, In: []int{3, 2}, Dest: 8},
+				{Name: "r3' = r2", Fn: fnID, In: []int{2}, Dest: 3},
+			}},
+		{Name: "mv1",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "r2' = r1", Fn: fnID, In: []int{1}, Dest: 2},
+				{Name: "r1' = r0", Fn: fnID, In: []int{0}, Dest: 1},
+			}},
+		{Name: "mv2",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "r0' = fb", Fn: fnID, In: []int{8}, Dest: 0},
+				nil,
+			}},
+		// Compare state with the halt pattern.
+		{Name: "eq0",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "m01 = match(r0) AND match(r1)", Fn: func(a, b, _ bool) bool {
+					return (a == hv[0]) && (b == hv[1])
+				}, In: []int{0, 1}, Dest: 8},
+				{Name: "m23 = match(r2) AND match(r3)", Fn: func(a, b, _ bool) bool {
+					return (a == hv[2]) && (b == hv[3])
+				}, In: []int{2, 3}, Dest: 9},
+			}},
+		{Name: "eq1",
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "eq = m01 AND m23", Fn: fnAND, In: []int{8, 9}, Dest: 8},
+				nil,
+			},
+			Branch: &shyra.Branch{Reg: 8, IfSet: false, Target: 0},
+			Halt:   true},
+	}
+	return p, nil
+}
+
+// Popcount counts the set bits of the 4-bit input in r4..r7 into the
+// accumulator r0..r3 using one conditional increment per input bit.
+// The test steps use no LUTs at all (pure control flow), producing
+// empty context requirements — a stress case for the cost models.
+func Popcount(input uint8) (*shyra.Program, error) {
+	if input > 15 {
+		return nil, fmt.Errorf("apps: popcount input must be 4-bit, got %d", input)
+	}
+	iv := nibble(input)
+	p := &shyra.Program{Name: fmt.Sprintf("popcount(%04b)", input)}
+	p.InitRegs = [shyra.NumRegs]bool{4: iv[0], 5: iv[1], 6: iv[2], 7: iv[3]}
+
+	// Per input bit: a test step that skips the 4-step increment when
+	// the bit is clear.  Step indices are computed as we build.
+	for bit := 0; bit < 4; bit++ {
+		testIdx := len(p.Steps)
+		skipTo := testIdx + 5 // past test + 4 increment steps
+		p.Steps = append(p.Steps, shyra.Step{
+			Name:   fmt.Sprintf("test%d", bit),
+			Branch: &shyra.Branch{Reg: 4 + bit, IfSet: false, Target: skipTo},
+		})
+		p.Steps = append(p.Steps,
+			shyra.Step{Name: fmt.Sprintf("inc0@%d", bit),
+				LUT: [2]*shyra.LUTSpec{
+					{Name: "b0' = NOT b0", Fn: fnNOT, In: []int{0}, Dest: 0},
+					{Name: "c1 = b0", Fn: fnID, In: []int{0}, Dest: 8},
+				}},
+			shyra.Step{Name: fmt.Sprintf("inc1@%d", bit),
+				LUT: [2]*shyra.LUTSpec{
+					{Name: "b1' = b1 XOR c1", Fn: fnXOR, In: []int{1, 8}, Dest: 1},
+					{Name: "c2 = b1 AND c1", Fn: fnAND, In: []int{1, 8}, Dest: 9},
+				}},
+			shyra.Step{Name: fmt.Sprintf("inc2@%d", bit),
+				LUT: [2]*shyra.LUTSpec{
+					{Name: "b2' = b2 XOR c2", Fn: fnXOR, In: []int{2, 9}, Dest: 2},
+					{Name: "c3 = b2 AND c2", Fn: fnAND, In: []int{2, 9}, Dest: 8},
+				}},
+			shyra.Step{Name: fmt.Sprintf("inc3@%d", bit),
+				LUT: [2]*shyra.LUTSpec{
+					{Name: "b3' = b3 XOR c3", Fn: fnXOR, In: []int{3, 8}, Dest: 3},
+					nil,
+				}},
+		)
+	}
+	// Terminal no-op step so the last skip target exists.
+	p.Steps = append(p.Steps, shyra.Step{Name: "done", Halt: true})
+	return p, nil
+}
+
+// Toggle flips r0 a fixed number of times with a fully unrolled
+// straight-line program — the smallest deterministic trace generator,
+// used by tests and microbenchmarks.
+func Toggle(n int) (*shyra.Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("apps: toggle count must be positive, got %d", n)
+	}
+	p := &shyra.Program{Name: fmt.Sprintf("toggle(%d)", n)}
+	for i := 0; i < n; i++ {
+		p.Steps = append(p.Steps, shyra.Step{
+			Name: fmt.Sprintf("t%d", i),
+			LUT: [2]*shyra.LUTSpec{
+				{Name: "r0' = NOT r0", Fn: fnNOT, In: []int{0}, Dest: 0},
+				nil,
+			},
+		})
+	}
+	p.Steps[len(p.Steps)-1].Halt = true
+	return p, nil
+}
+
+// Catalog lists the available applications by name with default
+// parameters, for the CLI tools and benchmarks.
+func Catalog() map[string]func() (*shyra.Program, error) {
+	return map[string]func() (*shyra.Program, error){
+		"counter":   func() (*shyra.Program, error) { return Counter(0, 10) },
+		"counterdd": func() (*shyra.Program, error) { return CounterDD(0, 10) },
+		"adder":     func() (*shyra.Program, error) { return AddUntilOverflow(0, 3) },
+		"lfsr":      func() (*shyra.Program, error) { return LFSR(1, 9) },
+		"popcount":  func() (*shyra.Program, error) { return Popcount(0b1011) },
+		"toggle":    func() (*shyra.Program, error) { return Toggle(16) },
+	}
+}

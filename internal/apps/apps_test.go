@@ -1,0 +1,340 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/shyra"
+)
+
+func regsNibble(regs [shyra.NumRegs]bool, base int) uint8 {
+	return NibbleOf(regs[base], regs[base+1], regs[base+2], regs[base+3])
+}
+
+func TestCounterCountsToBound(t *testing.T) {
+	for _, tc := range []struct {
+		initial, bound uint8
+		iterations     int
+	}{
+		{0, 10, 10}, // the paper's run
+		{0, 1, 1},
+		{3, 7, 4},
+		{14, 2, 4}, // wrap-around
+		{5, 5, 16}, // full wrap
+	} {
+		p, err := Counter(tc.initial, tc.bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := shyra.Run(p, 0)
+		if err != nil {
+			t.Fatalf("counter(%d,%d): %v", tc.initial, tc.bound, err)
+		}
+		final := tr.Steps[len(tr.Steps)-1].RegsAfter
+		if got := regsNibble(final, 0); got != tc.bound {
+			t.Fatalf("counter(%d,%d) final value = %d", tc.initial, tc.bound, got)
+		}
+		if want := tc.iterations * 8; tr.Len() != want {
+			t.Fatalf("counter(%d,%d) trace length = %d, want %d", tc.initial, tc.bound, tr.Len(), want)
+		}
+	}
+}
+
+func TestCounterPaperTraceLength(t *testing.T) {
+	// The paper's trace has n = 110 reconfigurations for 0→10 under its
+	// (unpublished) time partitioning; ours uses 8 steps per iteration,
+	// so n = 80.  Record the relationship here so the number is load
+	// bearing in exactly one place.
+	p, err := Counter(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 80 {
+		t.Fatalf("paper-workload trace length = %d, want 80", tr.Len())
+	}
+}
+
+func TestCounterValidation(t *testing.T) {
+	if _, err := Counter(16, 0); err == nil {
+		t.Fatal("accepted 5-bit initial")
+	}
+	if _, err := Counter(0, 16); err == nil {
+		t.Fatal("accepted 5-bit bound")
+	}
+}
+
+func TestCounterIntermediateValues(t *testing.T) {
+	p, err := Counter(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After each inc3 step (indices 3, 11, 19) the counter holds 1,2,3.
+	for k, want := range []uint8{1, 2, 3} {
+		idx := k*8 + 3
+		if got := regsNibble(tr.Steps[idx].RegsAfter, 0); got != want {
+			t.Fatalf("after increment %d counter = %d, want %d", k+1, got, want)
+		}
+	}
+}
+
+func TestCounterDDCountsToBound(t *testing.T) {
+	for _, tc := range []struct{ initial, bound uint8 }{
+		{0, 10}, {0, 1}, {3, 7}, {14, 2}, {9, 8},
+	} {
+		p, err := CounterDD(tc.initial, tc.bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := shyra.Run(p, 0)
+		if err != nil {
+			t.Fatalf("counterdd(%d,%d): %v", tc.initial, tc.bound, err)
+		}
+		final := tr.Steps[len(tr.Steps)-1].RegsAfter
+		if got := regsNibble(final, 0); got != tc.bound {
+			t.Fatalf("counterdd(%d,%d) final value = %d", tc.initial, tc.bound, got)
+		}
+	}
+}
+
+func TestCounterDDShorterThanStraightLine(t *testing.T) {
+	// Early-out carry and comparison must not be slower than the
+	// straight-line design on the paper's workload.
+	dd, err := CounterDD(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := Counter(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trDD, err := shyra.Run(dd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trSL, err := shyra.Run(sl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trDD.Len() >= trSL.Len() {
+		t.Fatalf("data-dependent trace (%d) not shorter than straight-line (%d)", trDD.Len(), trSL.Len())
+	}
+}
+
+func TestCounterDDRequirementDiversity(t *testing.T) {
+	// The comparison phase uses only LUT1, so LUT2 must have empty
+	// requirements on some steps — the temporal diversity partial
+	// hyperreconfiguration exploits.
+	p, err := CounterDD(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := tr.TaskRequirements(shyra.GranularityBit)
+	empty, nonEmpty := 0, 0
+	for _, r := range reqs[1] { // LUT2
+		if r.IsEmpty() {
+			empty++
+		} else {
+			nonEmpty++
+		}
+	}
+	if empty == 0 || nonEmpty == 0 {
+		t.Fatalf("LUT2 requirements lack diversity: %d empty, %d non-empty", empty, nonEmpty)
+	}
+}
+
+func TestCounterDDValidation(t *testing.T) {
+	if _, err := CounterDD(16, 0); err == nil {
+		t.Fatal("accepted 5-bit initial")
+	}
+	if _, err := CounterDD(0, 16); err == nil {
+		t.Fatal("accepted 5-bit bound")
+	}
+	if _, err := CounterDD(5, 5); err == nil {
+		t.Fatal("accepted initial == bound")
+	}
+}
+
+func TestAddUntilOverflow(t *testing.T) {
+	p, err := AddUntilOverflow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0,3,6,9,12,15, then 15+3=18 overflows → 6 iterations of 4 steps.
+	if tr.Len() != 6*4 {
+		t.Fatalf("trace length = %d, want 24", tr.Len())
+	}
+	final := tr.Steps[len(tr.Steps)-1].RegsAfter
+	if got := regsNibble(final, 0); got != 2 { // 18 mod 16
+		t.Fatalf("final accumulator = %d, want 2", got)
+	}
+	if !final[9] {
+		t.Fatal("carry-out flag not set")
+	}
+}
+
+func TestAddUntilOverflowValidation(t *testing.T) {
+	if _, err := AddUntilOverflow(16, 1); err == nil {
+		t.Fatal("accepted 5-bit accumulator")
+	}
+	if _, err := AddUntilOverflow(0, 0); err == nil {
+		t.Fatal("accepted zero addend")
+	}
+}
+
+func TestLFSRReachesHaltPattern(t *testing.T) {
+	// Sequence from seed 1 with taps (3,2): 1 → 2 → 4 → 9 → ...
+	p, err := LFSR(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 shifts × 5 steps per iteration.
+	if tr.Len() != 3*5 {
+		t.Fatalf("trace length = %d, want 15", tr.Len())
+	}
+	final := tr.Steps[len(tr.Steps)-1].RegsAfter
+	if got := regsNibble(final, 0); got != 9 {
+		t.Fatalf("final state = %d, want 9", got)
+	}
+}
+
+func TestLFSRFullPeriod(t *testing.T) {
+	// The LFSR must return to its seed after 15 shifts (maximal period
+	// for x⁴+x³+1 over non-zero states).  Halting on the seed pattern
+	// exercises exactly one full period.
+	p, err := LFSR(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 15*5 {
+		t.Fatalf("trace length = %d, want 75 (full period)", tr.Len())
+	}
+}
+
+func TestLFSRValidation(t *testing.T) {
+	if _, err := LFSR(0, 1); err == nil {
+		t.Fatal("accepted zero seed")
+	}
+	if _, err := LFSR(1, 0); err == nil {
+		t.Fatal("accepted zero halt pattern")
+	}
+	if _, err := LFSR(16, 1); err == nil {
+		t.Fatal("accepted 5-bit seed")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	for input := uint8(0); input < 16; input++ {
+		p, err := Popcount(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := shyra.Run(p, 0)
+		if err != nil {
+			t.Fatalf("popcount(%d): %v", input, err)
+		}
+		want := uint8(0)
+		for b := uint8(0); b < 4; b++ {
+			if input&(1<<b) != 0 {
+				want++
+			}
+		}
+		final := tr.Steps[len(tr.Steps)-1].RegsAfter
+		if got := regsNibble(final, 0); got != want {
+			t.Fatalf("popcount(%04b) = %d, want %d", input, got, want)
+		}
+	}
+}
+
+func TestPopcountEmptyRequirements(t *testing.T) {
+	p, err := Popcount(0b0101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := tr.TaskRequirements(shyra.GranularityBit)
+	// The first step is a pure test (no LUTs): all tasks' requirements
+	// must be empty there.
+	for j := range reqs {
+		if !reqs[j][0].IsEmpty() {
+			t.Fatalf("task %d requirement at test step not empty", j)
+		}
+	}
+}
+
+func TestToggle(t *testing.T) {
+	p, err := Toggle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("trace length = %d", tr.Len())
+	}
+	if got := tr.Steps[4].RegsAfter[0]; !got {
+		t.Fatal("odd toggle count should leave r0 set")
+	}
+	if _, err := Toggle(0); err == nil {
+		t.Fatal("accepted zero count")
+	}
+}
+
+func TestCatalogAllRunnable(t *testing.T) {
+	for name, build := range Catalog() {
+		p, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := shyra.Run(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Len() == 0 {
+			t.Fatalf("%s produced an empty trace", name)
+		}
+		// Every trace must convert into valid model instances.
+		if _, err := tr.MTInstance(shyra.GranularityBit); err != nil {
+			t.Fatalf("%s MTInstance: %v", name, err)
+		}
+		if _, err := tr.SingleInstance(shyra.GranularityUnit); err != nil {
+			t.Fatalf("%s SingleInstance: %v", name, err)
+		}
+	}
+}
+
+func TestNibbleRoundTrip(t *testing.T) {
+	for v := uint8(0); v < 16; v++ {
+		b := nibble(v)
+		if NibbleOf(b[0], b[1], b[2], b[3]) != v {
+			t.Fatalf("nibble round trip failed for %d", v)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(130)
+	if !s.IsEmpty() {
+		t.Fatal("new set not empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Universe() != 130 {
+		t.Fatalf("Universe = %d, want 130", s.Universe())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(100)
+	for _, i := range []int{0, 1, 63, 64, 65, 99} {
+		if s.Contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("set missing %d after Add", i)
+		}
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("set contains 64 after Remove")
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	// Removing an absent element is a no-op.
+	s.Remove(64)
+	if got := s.Count(); got != 5 {
+		t.Fatalf("Count after double Remove = %d, want 5", got)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-universe element")
+		}
+	}()
+	s := New(5)
+	s.Add(5)
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for universe mismatch")
+		}
+	}()
+	New(5).Union(New(6))
+}
+
+func TestFullAndFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		f := Full(n)
+		if got := f.Count(); got != n {
+			t.Fatalf("Full(%d).Count = %d", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if !f.Contains(i) {
+				t.Fatalf("Full(%d) missing %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromMembers(10, 0, 1, 2, 5)
+	b := FromMembers(10, 2, 3, 5, 9)
+
+	if got := a.Union(b).Members(); !equalInts(got, []int{0, 1, 2, 3, 5, 9}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Members(); !equalInts(got, []int{2, 5}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Difference(b).Members(); !equalInts(got, []int{0, 1}) {
+		t.Fatalf("Difference = %v", got)
+	}
+	if got := a.SymmetricDifference(b).Members(); !equalInts(got, []int{0, 1, 3, 9}) {
+		t.Fatalf("SymmetricDifference = %v", got)
+	}
+	if got := a.SymmetricDifferenceCount(b); got != 4 {
+		t.Fatalf("SymmetricDifferenceCount = %d, want 4", got)
+	}
+	if got := a.UnionCount(b); got != 6 {
+		t.Fatalf("UnionCount = %d, want 6", got)
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := FromMembers(10, 1, 2)
+	b := FromMembers(10, 1, 2, 3)
+	if !a.IsSubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.IsSubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.IsSubsetOf(a) {
+		t.Fatal("a should be subset of itself")
+	}
+	if a.Equal(b) {
+		t.Fatal("a should not equal b")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone should equal original")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromMembers(10, 1)
+	c := a.Clone()
+	c.Add(2)
+	if a.Contains(2) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromMembers(10, 0, 1)
+	a.UnionWith(FromMembers(10, 2))
+	if !equalInts(a.Members(), []int{0, 1, 2}) {
+		t.Fatalf("UnionWith = %v", a.Members())
+	}
+	a.IntersectWith(FromMembers(10, 1, 2, 3))
+	if !equalInts(a.Members(), []int{1, 2}) {
+		t.Fatalf("IntersectWith = %v", a.Members())
+	}
+	a.DifferenceWith(FromMembers(10, 2))
+	if !equalInts(a.Members(), []int{1}) {
+		t.Fatalf("DifferenceWith = %v", a.Members())
+	}
+	a.Clear()
+	if !a.IsEmpty() {
+		t.Fatal("Clear did not empty set")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	s := FromMembers(8, 0, 2, 3)
+	if got := s.String(); got != "10110000" {
+		t.Fatalf("String = %q, want 10110000", got)
+	}
+	p, err := Parse("10110000")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !p.Equal(s) {
+		t.Fatal("Parse(String(s)) != s")
+	}
+	if _, err := Parse("10x"); err == nil {
+		t.Fatal("Parse accepted invalid character")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a := FromMembers(70, 0, 69)
+	b := FromMembers(70, 0, 68)
+	if a.Key() == b.Key() {
+		t.Fatal("distinct sets share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("equal sets have distinct keys")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := FromMembers(130, 5, 64, 129, 0)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if !equalInts(got, []int{0, 5, 64, 129}) {
+		t.Fatalf("ForEach order = %v", got)
+	}
+	if !equalInts(s.Members(), got) {
+		t.Fatalf("Members = %v, want %v", s.Members(), got)
+	}
+}
+
+// randomSet builds a reproducible random set for property tests.
+func randomSet(r *rand.Rand, n int) Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickUnionCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |a ∪ b| + |a ∩ b| == |a| + |b|
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		return a.UnionCount(b)+a.Intersect(b).Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSymmetricDifference(t *testing.T) {
+	// a Δ b == (a ∪ b) \ (a ∩ b), and counts agree with the fast path.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		sd := a.SymmetricDifference(b)
+		want := a.Union(b).Difference(a.Intersect(b))
+		return sd.Equal(want) && sd.Count() == a.SymmetricDifferenceCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetOfUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		u := a.Union(b)
+		return a.IsSubsetOf(u) && b.IsSubsetOf(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200)
+		a := randomSet(r, n)
+		p, err := Parse(a.String())
+		return err == nil && p.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyAgreesWithEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Ints(append([]int(nil), a...))
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,25 @@
+package bitset
+
+import "testing"
+
+// FuzzParse checks Parse never panics and that accepted inputs
+// round-trip exactly through String.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("10110000")
+	f.Add("1111111111111111111111111111111111111111111111111111111111111111111")
+	f.Add("10x1")
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := Parse(s)
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		if got := set.String(); got != s {
+			t.Fatalf("round trip changed %q to %q", s, got)
+		}
+		if set.Universe() != len(s) {
+			t.Fatalf("universe %d for input length %d", set.Universe(), len(s))
+		}
+	})
+}

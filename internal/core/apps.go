@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/shyra"
+)
+
+// counterProgram is a thin indirection so the facade exposes the
+// paper's workload without callers importing internal/apps directly.
+func counterProgram(initial, bound uint8) (*shyra.Program, error) {
+	return apps.Counter(initial, bound)
+}
+
+// AppNames lists the bundled applications in deterministic order.
+func AppNames() []string {
+	cat := apps.Catalog()
+	names := make([]string, 0, len(cat))
+	for name := range cat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AppTrace builds and runs one of the bundled applications by name.
+func AppTrace(name string) (*shyra.Trace, error) {
+	build, ok := apps.Catalog()[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown application %q (have %v)", name, AppNames())
+	}
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return shyra.Run(p, 0)
+}

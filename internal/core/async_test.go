@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/shyra"
+)
+
+func TestAnalyzeAsyncCounter(t *testing.T) {
+	tr, err := CounterTrace(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstance(shyra.GranularityBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := AnalyzeAsync(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(async.TaskTimes) != 4 {
+		t.Fatalf("task times = %v", async.TaskTimes)
+	}
+	// The window is the slowest task's time.
+	var worst model.Cost
+	for _, c := range async.TaskTimes {
+		if c > worst {
+			worst = c
+		}
+	}
+	if async.Window != worst {
+		t.Fatalf("window %d != max task time %d", async.Window, worst)
+	}
+	// The MUX task (24 switches, always busy) is the bottleneck here.
+	if ins.Tasks[async.Bottleneck].Name != "MUX" {
+		t.Fatalf("bottleneck = %q, want MUX", ins.Tasks[async.Bottleneck].Name)
+	}
+	// Asynchronous overlap can only help against a fully synchronized
+	// execution with task-sequential reconfiguration uploads (where the
+	// per-step cost is the sum): max_j cost_j ≤ Σ_j cost_j.
+	var seqTotal model.Cost
+	for _, sol := range async.TaskSolutions {
+		seqTotal += sol.Cost
+	}
+	if async.Window > seqTotal {
+		t.Fatalf("async window %d above the sum of per-task times %d", async.Window, seqTotal)
+	}
+}
+
+// TestAsyncAgreesWithRuntime executes the per-task optimal schedules on
+// the non-synchronized machine runtime and checks the measured window
+// time equals AnalyzeAsync's prediction.
+func TestAsyncAgreesWithRuntime(t *testing.T) {
+	tr, err := CounterTrace(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstance(shyra.GranularityBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := AnalyzeAsync(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	programs := make([]machine.TaskProgram, ins.NumTasks())
+	for j, sol := range async.TaskSolutions {
+		p := machine.TaskProgram{Name: ins.Tasks[j].Name}
+		hs := sol.Hypercontexts
+		segIdx := 0
+		segs := sol.Seg.Segments(ins.Steps())
+		for i := 0; i < ins.Steps(); i++ {
+			if segIdx+1 < len(segs) && i >= segs[segIdx+1][0] {
+				segIdx++
+			}
+			op := machine.Op{Req: ins.Reqs[j][i]}
+			if i == segs[segIdx][0] {
+				h := hs[segIdx]
+				op.Hyper = &h
+			}
+			p.Ops = append(p.Ops, op)
+		}
+		programs[j] = p
+	}
+
+	m, err := machine.New(ins.Tasks, model.NonSynchronized,
+		model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}, ins.W, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != async.Window {
+		t.Fatalf("runtime window %d != analysis window %d", rep.Total, async.Window)
+	}
+	if rep.Bottleneck != async.Bottleneck {
+		t.Fatalf("runtime bottleneck %d != analysis bottleneck %d", rep.Bottleneck, async.Bottleneck)
+	}
+}
+
+func TestAnalyzeAsyncNil(t *testing.T) {
+	if _, err := AnalyzeAsync(nil); err == nil {
+		t.Fatal("accepted nil instance")
+	}
+}

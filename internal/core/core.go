@@ -1,0 +1,214 @@
+// Package core is the high-level facade of the library: it wires the
+// SHyRA simulator, the trace-to-instance extraction, and the single- and
+// multi-task solvers into the experiment pipeline of Lange &
+// Middendorf's multi-task hyperreconfiguration paper.
+//
+// The central entry point is AnalyzeTrace, which reproduces the paper's
+// Section 6 analysis for any SHyRA program trace:
+//
+//  1. extract per-task context requirements (T1=LUT1, T2=LUT2,
+//     T3=DeMUX, T4=MUX) under the MT-Switch cost model,
+//  2. price the hyperreconfiguration-disabled baseline (n·48),
+//  3. solve the single-task case (m=1, all components one task)
+//     optimally with the polynomial DP,
+//  4. solve the multi-task case (m=4) with the genetic algorithm the
+//     paper used, plus the aligned DP and beam-limited exact DP for
+//     comparison,
+//  5. report absolute costs and percentages of the disabled baseline
+//     (the paper reports 71.2% for m=1 and 53.3% for m=4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ga"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+	"repro/internal/phc"
+	"repro/internal/shyra"
+)
+
+// Options tune an analysis run.  The zero value reproduces the paper's
+// setting: fully synchronized machine, task-parallel uploads, bit-level
+// requirement granularity, deterministic GA.
+type Options struct {
+	// Granularity of requirement extraction (default bit-level).
+	Granularity shyra.Granularity
+	// CostOptions for the multi-task analysis (default task-parallel /
+	// task-parallel, the paper's mode).
+	Cost model.CostOptions
+	// GA configures the genetic algorithm (zero value = package
+	// defaults with seed 1).
+	GA ga.Config
+	// Beam configures the beam-limited exact DP used as a third
+	// multi-task solver (zero value = a modest beam that finishes
+	// quickly on paper-sized traces).
+	Beam mtswitch.Config
+	// SkipBeam disables the beam solver (it is the slowest component).
+	SkipBeam bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Beam.MaxStates == 0 {
+		o.Beam.MaxStates = 3000
+	}
+	if o.Beam.MaxCandidates == 0 {
+		o.Beam.MaxCandidates = 4
+	}
+	return o
+}
+
+// Analysis is the complete result of reproducing the paper's experiment
+// on one trace.
+type Analysis struct {
+	// Trace is the analyzed reconfiguration trace.
+	Trace *shyra.Trace
+	// MT is the m=4 instance, Single the flattened m=1 instance.
+	MT     *model.MTSwitchInstance
+	Single *model.SwitchInstance
+
+	// Disabled is the hyperreconfiguration-off baseline n·|X|
+	// (the paper's 5280 for its 110-step trace).
+	Disabled model.Cost
+	// SingleOpt is the optimal single-task schedule (paper: 3761,
+	// 71.2% of Disabled, using 30 hyperreconfigurations).
+	SingleOpt *phc.Solution
+	// MultiGA is the genetic-algorithm multi-task schedule (paper:
+	// 2813, 53.3%, using 50 partial hyperreconfigurations).
+	MultiGA *ga.Result
+	// MultiAligned is the optimal schedule with aligned partial
+	// hyperreconfigurations (all tasks together).
+	MultiAligned *mtswitch.Solution
+	// MultiBeam is the beam-limited exact DP result (nil if skipped).
+	MultiBeam *mtswitch.Solution
+	// Bound is an admissible lower bound for the multi-task problem.
+	Bound model.Cost
+
+	// Cost options the multi-task numbers were computed under.
+	Cost model.CostOptions
+}
+
+// Best returns the cheapest multi-task solution found.
+func (a *Analysis) Best() *mtswitch.Solution {
+	best := a.MultiGA.Solution
+	if a.MultiAligned != nil && a.MultiAligned.Cost < best.Cost {
+		best = a.MultiAligned
+	}
+	if a.MultiBeam != nil && a.MultiBeam.Cost < best.Cost {
+		best = a.MultiBeam
+	}
+	return best
+}
+
+// Percent expresses a cost as a percentage of the disabled baseline,
+// the unit the paper reports its headline numbers in.
+func (a *Analysis) Percent(c model.Cost) float64 {
+	if a.Disabled == 0 {
+		return 0
+	}
+	return 100 * float64(c) / float64(a.Disabled)
+}
+
+// HyperCount returns the number of (partial) hyperreconfiguration
+// operations in a multi-task schedule, counting a step once if any task
+// hyperreconfigures there (the unit of the paper's "50 partial
+// hyperreconfiguration steps").
+func HyperCount(s *model.MTSchedule) int {
+	if s == nil || len(s.Hyper) == 0 {
+		return 0
+	}
+	n := len(s.Hyper[0])
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := range s.Hyper {
+			if s.Hyper[j][i] {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// VerifyReplay re-executes the analyzed trace on a hypercontext-gated
+// machine under the best multi-task schedule, proving the schedule is
+// functionally sound: the computation's register trajectory is
+// identical to the hyperreconfiguration-disabled run while only
+// hypercontext-sized configurations are uploaded.
+func (a *Analysis) VerifyReplay() (*shyra.ReplayReport, error) {
+	return shyra.ReplayMT(a.Trace, a.Best().Schedule)
+}
+
+// AnalyzeTrace runs the full Section 6 analysis on a trace.
+func AnalyzeTrace(tr *shyra.Trace, opts Options) (*Analysis, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("core: nil trace")
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	opts = opts.withDefaults()
+
+	mt, err := tr.MTInstance(opts.Granularity)
+	if err != nil {
+		return nil, fmt.Errorf("core: building m=4 instance: %w", err)
+	}
+	single, err := mt.SingleTaskView()
+	if err != nil {
+		return nil, fmt.Errorf("core: building m=1 instance: %w", err)
+	}
+
+	singleOpt, err := phc.SolveSwitch(single)
+	if err != nil {
+		return nil, fmt.Errorf("core: single-task DP: %w", err)
+	}
+	gaRes, err := ga.Optimize(mt, opts.Cost, opts.GA)
+	if err != nil {
+		return nil, fmt.Errorf("core: genetic algorithm: %w", err)
+	}
+	aligned, err := mtswitch.SolveAligned(mt, opts.Cost)
+	if err != nil {
+		return nil, fmt.Errorf("core: aligned DP: %w", err)
+	}
+	var beam *mtswitch.Solution
+	if !opts.SkipBeam {
+		beam, err = mtswitch.SolveExact(mt, opts.Cost, opts.Beam)
+		if err != nil {
+			return nil, fmt.Errorf("core: beam DP: %w", err)
+		}
+	}
+
+	return &Analysis{
+		Trace:        tr,
+		MT:           mt,
+		Single:       single,
+		Disabled:     mt.DisabledCost(),
+		SingleOpt:    singleOpt,
+		MultiGA:      gaRes,
+		MultiAligned: aligned,
+		MultiBeam:    beam,
+		Bound:        mtswitch.LowerBound(mt, opts.Cost),
+		Cost:         opts.Cost,
+	}, nil
+}
+
+// RunPaperExperiment executes the paper's exact workload — the 4-bit
+// counter from 0 to bound 10 on SHyRA in fully synchronized mode with
+// task-parallel partial hyperreconfigurations — and analyzes the trace.
+func RunPaperExperiment(opts Options) (*Analysis, error) {
+	tr, err := CounterTrace(0, 10)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeTrace(tr, opts)
+}
+
+// CounterTrace runs the 4-bit counter application and returns its
+// reconfiguration trace.
+func CounterTrace(initial, bound uint8) (*shyra.Trace, error) {
+	p, err := counterProgram(initial, bound)
+	if err != nil {
+		return nil, err
+	}
+	return shyra.Run(p, 0)
+}

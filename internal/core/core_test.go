@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ga"
+	"repro/internal/shyra"
+)
+
+func TestRunPaperExperimentShape(t *testing.T) {
+	a, err := RunPaperExperiment(Options{GA: ga.Config{Pop: 60, Generations: 150, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trace steps: %d", a.Trace.Len())
+	t.Logf("disabled:    %d (100%%)", a.Disabled)
+	t.Logf("single opt:  %d (%.1f%%), %d hyperreconfigurations", a.SingleOpt.Cost, a.Percent(a.SingleOpt.Cost), len(a.SingleOpt.Seg.Starts))
+	t.Logf("multi GA:    %d (%.1f%%), %d partial hyper steps", a.MultiGA.Solution.Cost, a.Percent(a.MultiGA.Solution.Cost), HyperCount(a.MultiGA.Solution.Schedule))
+	t.Logf("multi align: %d (%.1f%%)", a.MultiAligned.Cost, a.Percent(a.MultiAligned.Cost))
+	if a.MultiBeam != nil {
+		t.Logf("multi beam:  %d (%.1f%%)", a.MultiBeam.Cost, a.Percent(a.MultiBeam.Cost))
+	}
+	t.Logf("lower bound: %d (%.1f%%)", a.Bound, a.Percent(a.Bound))
+
+	// The paper's headline ordering: multi-task < single-task < disabled.
+	if a.SingleOpt.Cost >= a.Disabled {
+		t.Fatalf("single-task optimum %d not below disabled %d", a.SingleOpt.Cost, a.Disabled)
+	}
+	best := a.Best()
+	if best.Cost >= a.SingleOpt.Cost {
+		t.Fatalf("multi-task best %d not below single-task optimum %d", best.Cost, a.SingleOpt.Cost)
+	}
+	if best.Cost < a.Bound {
+		t.Fatalf("multi-task best %d below lower bound %d", best.Cost, a.Bound)
+	}
+}
+
+func TestVerifyReplayAllGranularitiesAllApps(t *testing.T) {
+	// End-to-end: for every bundled application and every requirement
+	// granularity, the best multi-task schedule must replay on the
+	// hypercontext-gated machine with an unchanged register trajectory.
+	for _, name := range AppNames() {
+		tr, err := AppTrace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range []shyra.Granularity{shyra.GranularityBit, shyra.GranularityUnit, shyra.GranularityDelta} {
+			a, err := AnalyzeTrace(tr, Options{
+				Granularity: g,
+				GA:          ga.Config{Pop: 20, Generations: 15, Seed: 1},
+				SkipBeam:    true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, g, err)
+			}
+			rep, err := a.VerifyReplay()
+			if err != nil {
+				t.Fatalf("%s/%v: replay failed: %v", name, g, err)
+			}
+			if rep.Steps != tr.Len() {
+				t.Fatalf("%s/%v: replay covered %d steps, want %d", name, g, rep.Steps, tr.Len())
+			}
+			// The gated machine must upload no more than the disabled
+			// machine would (48 bits per step).
+			if rep.TotalUploaded > tr.Len()*shyra.ConfigBits {
+				t.Fatalf("%s/%v: uploaded %d bits, disabled run uploads %d", name, g, rep.TotalUploaded, tr.Len()*shyra.ConfigBits)
+			}
+		}
+	}
+}
+
+func TestAnalyzeTraceValidation(t *testing.T) {
+	if _, err := AnalyzeTrace(nil, Options{}); err == nil {
+		t.Fatal("accepted nil trace")
+	}
+	if _, err := AnalyzeTrace(&shyra.Trace{}, Options{}); err == nil {
+		t.Fatal("accepted empty trace")
+	}
+}
+
+func TestAppTrace(t *testing.T) {
+	names := AppNames()
+	if len(names) < 5 {
+		t.Fatalf("expected ≥5 bundled apps, got %v", names)
+	}
+	for _, name := range names {
+		tr, err := AppTrace(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Len() == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+	}
+	if _, err := AppTrace("nope"); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+}
+
+func TestHyperCount(t *testing.T) {
+	if HyperCount(nil) != 0 {
+		t.Fatal("nil schedule should count 0")
+	}
+	a, err := RunPaperExperiment(Options{SkipBeam: true, GA: ga.Config{Pop: 20, Generations: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := HyperCount(a.MultiGA.Solution.Schedule)
+	if hc < 1 || hc > a.Trace.Len() {
+		t.Fatalf("hyper count %d out of range", hc)
+	}
+}

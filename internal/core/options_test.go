@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ga"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+	"repro/internal/shyra"
+)
+
+func TestOptionsWithDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Beam.MaxStates != 3000 || o.Beam.MaxCandidates != 4 {
+		t.Fatalf("beam defaults = %+v", o.Beam)
+	}
+	// Explicit values survive.
+	o = Options{Beam: mtswitch.Config{MaxStates: 7, MaxCandidates: 2}}.withDefaults()
+	if o.Beam.MaxStates != 7 || o.Beam.MaxCandidates != 2 {
+		t.Fatalf("explicit beam config overridden: %+v", o.Beam)
+	}
+}
+
+func TestAnalysisPercent(t *testing.T) {
+	a := &Analysis{Disabled: 200}
+	if got := a.Percent(100); got != 50 {
+		t.Fatalf("Percent = %v", got)
+	}
+	zero := &Analysis{}
+	if got := zero.Percent(100); got != 0 {
+		t.Fatalf("zero-baseline Percent = %v", got)
+	}
+}
+
+func TestAnalysisBestPicksCheapest(t *testing.T) {
+	a, err := RunPaperExperiment(Options{GA: ga.Config{Pop: 15, Generations: 5, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := a.Best()
+	for _, sol := range []*mtswitch.Solution{a.MultiGA.Solution, a.MultiAligned, a.MultiBeam} {
+		if sol != nil && sol.Cost < best.Cost {
+			t.Fatalf("Best missed a cheaper solution (%d < %d)", sol.Cost, best.Cost)
+		}
+	}
+}
+
+func TestAnalysisSkipBeam(t *testing.T) {
+	tr, err := CounterTrace(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeTrace(tr, Options{SkipBeam: true, GA: ga.Config{Pop: 10, Generations: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MultiBeam != nil {
+		t.Fatal("SkipBeam did not skip the beam solver")
+	}
+	if a.Best() == nil {
+		t.Fatal("Best must still work without the beam solver")
+	}
+}
+
+func TestAnalyzeTraceSequentialUploads(t *testing.T) {
+	tr, err := CounterTrace(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
+	a, err := AnalyzeTrace(tr, Options{Cost: seq, SkipBeam: true, GA: ga.Config{Pop: 10, Generations: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under fully sequential uploads the multi-task best equals the
+	// single-task optimum when v_j = l_j and W = Σ l_j... not exactly:
+	// per-task hyper costs are v_j instead of the single W = 48, so the
+	// multi-task cost can only be ≤ the single-task optimum.
+	if a.Best().Cost > a.SingleOpt.Cost {
+		t.Fatalf("sequential multi-task %d above single-task %d", a.Best().Cost, a.SingleOpt.Cost)
+	}
+}
+
+func TestCounterTraceInvalidArgs(t *testing.T) {
+	if _, err := CounterTrace(99, 0); err == nil {
+		t.Fatal("accepted 5-bit initial value")
+	}
+}
+
+func TestAnalyzeUnitGranularity(t *testing.T) {
+	tr, err := CounterTrace(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeTrace(tr, Options{Granularity: shyra.GranularityUnit, SkipBeam: true, GA: ga.Config{Pop: 10, Generations: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit granularity fills whole units, so every requirement size is
+	// a multiple of 4 (the DeMUX selections are 4 bits each).
+	for j := range a.MT.Tasks {
+		for i := 0; i < a.MT.Steps(); i++ {
+			if c := a.MT.Reqs[j][i].Count(); c != 0 && c != a.MT.Tasks[j].Local {
+				t.Fatalf("unit granularity produced partial requirement (%d of %d)", c, a.MT.Tasks[j].Local)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package dag provides the directed-acyclic-graph substrate of the
+// paper's DAG cost model: hypercontexts of a coarse-grained machine are
+// partially ordered by computational power, the order given as a DAG
+// whose edges (h1, h2) imply h1(C) ⊂ h2(C) and cost(h1) ≤ cost(h2).
+//
+// The package offers a small general DAG type (adjacency lists,
+// topological sort, transitive reachability) plus the model-specific
+// machinery: validation of the DAG-model side conditions and computation
+// of the minimal-satisfier sets c(H) — for each context requirement c,
+// the set of hypercontexts minimal with respect to the precedence
+// relation that satisfy c.
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Graph is a DAG over nodes 0..N-1 with adjacency lists.
+type Graph struct {
+	n   int
+	out [][]int
+	in  [][]int
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("dag: negative node count")
+	}
+	return &Graph{n: n, out: make([][]int, n), in: make([][]int, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// AddEdge inserts the directed edge u→v.  Duplicate edges are ignored.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("dag: self-loop at %d", u)
+	}
+	for _, w := range g.out[u] {
+		if w == v {
+			return nil
+		}
+	}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	return nil
+}
+
+// Out returns u's successors (do not modify).
+func (g *Graph) Out(u int) []int { return g.out[u] }
+
+// In returns u's predecessors (do not modify).
+func (g *Graph) In(u int) []int { return g.in[u] }
+
+// TopoSort returns a topological order of the nodes, or an error if the
+// graph contains a cycle (and is therefore not a DAG).
+func (g *Graph) TopoSort() ([]int, error) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.out[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, fmt.Errorf("dag: graph contains a cycle")
+	}
+	return order, nil
+}
+
+// Reachability returns, for each node u, the set of nodes reachable from
+// u (including u itself).  O(V·E/64) via word-parallel set unions in
+// reverse topological order.
+func (g *Graph) Reachability() ([]bitset.Set, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	reach := make([]bitset.Set, g.n)
+	for i := g.n - 1; i >= 0; i-- {
+		u := order[i]
+		r := bitset.New(g.n)
+		r.Add(u)
+		for _, v := range g.out[u] {
+			r.UnionWith(reach[v])
+		}
+		reach[u] = r
+	}
+	return reach, nil
+}
+
+// Instance is a DAG-model problem instance: an explicit hypercontext
+// catalog (shared with the General model) whose nodes are ordered by a
+// precedence DAG.  The DAG model requires
+//
+//   - for each edge (h1,h2): h1(C) ⊂ h2(C) (strict) and cost(h1) ≤ cost(h2),
+//   - init(h) = w, a constant, for every h,
+//   - a top hypercontext with h(C) = C (so every computation is feasible).
+type Instance struct {
+	General *model.GeneralInstance
+	Graph   *Graph
+	// W is the uniform hyperreconfiguration cost init(h) = w.
+	W model.Cost
+}
+
+// NewInstance validates all DAG-model side conditions and builds an
+// instance.  The hypercontexts' Init fields are overwritten with W so
+// the General-model machinery prices schedules consistently.
+func NewInstance(gen *model.GeneralInstance, g *Graph, w model.Cost) (*Instance, error) {
+	if gen == nil || g == nil {
+		return nil, fmt.Errorf("dag: nil instance components")
+	}
+	if g.Len() != len(gen.Hypercontexts) {
+		return nil, fmt.Errorf("dag: graph has %d nodes but catalog has %d hypercontexts", g.Len(), len(gen.Hypercontexts))
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("dag: hyperreconfiguration cost w must be positive")
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+	for u := 0; u < g.Len(); u++ {
+		hu := gen.Hypercontexts[u]
+		for _, v := range g.out[u] {
+			hv := gen.Hypercontexts[v]
+			if !hu.Sat.IsSubsetOf(hv.Sat) || hu.Sat.Equal(hv.Sat) {
+				return nil, fmt.Errorf("dag: edge (%s,%s) violates h1(C) ⊂ h2(C)", hu.Name, hv.Name)
+			}
+			if hu.PerStep > hv.PerStep {
+				return nil, fmt.Errorf("dag: edge (%s,%s) violates cost monotonicity (%d > %d)", hu.Name, hv.Name, hu.PerStep, hv.PerStep)
+			}
+		}
+	}
+	full := bitset.Full(gen.NumContexts)
+	hasTop := false
+	for _, h := range gen.Hypercontexts {
+		if h.Sat.Equal(full) {
+			hasTop = true
+			break
+		}
+	}
+	if !hasTop {
+		return nil, fmt.Errorf("dag: no top hypercontext with h(C) = C")
+	}
+	for k := range gen.Hypercontexts {
+		gen.Hypercontexts[k].Init = w
+	}
+	return &Instance{General: gen, Graph: g, W: w}, nil
+}
+
+// MinimalSatisfiers returns c(H) for every context requirement c: the
+// hypercontexts that satisfy c and are minimal with respect to the
+// precedence relation (no predecessor, direct or transitive, also
+// satisfies c).
+func (ins *Instance) MinimalSatisfiers() ([][]int, error) {
+	reach, err := ins.Graph.Reachability()
+	if err != nil {
+		return nil, err
+	}
+	nCtx := ins.General.NumContexts
+	nH := ins.Graph.Len()
+	out := make([][]int, nCtx)
+	for c := 0; c < nCtx; c++ {
+		var sat []int
+		for h := 0; h < nH; h++ {
+			if ins.General.Hypercontexts[h].Sat.Contains(c) {
+				sat = append(sat, h)
+			}
+		}
+		// h is minimal iff no other satisfier h' has h reachable from
+		// h' (h' strictly precedes h in the DAG order).
+		for _, h := range sat {
+			minimal := true
+			for _, h2 := range sat {
+				if h2 != h && reach[h2].Contains(h) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				out[c] = append(out[c], h)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Chain builds the common special case of a totally ordered hypercontext
+// hierarchy: levels[k] describes level k, with level k's context set a
+// strict subset of level k+1's.  Returns the instance over the given
+// requirement sequence.
+func Chain(numContexts int, levels []model.Hypercontext, seq []int, w model.Cost) (*Instance, error) {
+	gen, err := model.NewGeneralInstance(numContexts, levels, seq)
+	if err != nil {
+		return nil, err
+	}
+	g := New(len(levels))
+	for k := 0; k+1 < len(levels); k++ {
+		if err := g.AddEdge(k, k+1); err != nil {
+			return nil, err
+		}
+	}
+	return NewInstance(gen, g, w)
+}

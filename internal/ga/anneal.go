@@ -1,0 +1,142 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+)
+
+// AnnealConfig are the simulated-annealing hyperparameters.  The zero
+// value selects the defaults noted per field.  Simulated annealing is
+// not used by the paper — it serves as an ablation against the genetic
+// algorithm on the same search space (joint hyperreconfiguration
+// masks).
+type AnnealConfig struct {
+	// Iterations of the annealing loop (default 20000).
+	Iterations int
+	// InitialTemp is the starting temperature in cost units (default:
+	// 1/10 of the seed schedule's cost, adaptive).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor applied every iteration
+	// (default chosen so the temperature decays to ~1e-3 of the start
+	// over the run).
+	Cooling float64
+	// Seed drives the deterministic random source (default 1).
+	Seed int64
+}
+
+func (c AnnealConfig) withDefaults(seedCost model.Cost) AnnealConfig {
+	if c.Iterations <= 0 {
+		c.Iterations = 20000
+	}
+	if c.InitialTemp <= 0 {
+		c.InitialTemp = float64(seedCost) / 10
+		if c.InitialTemp < 1 {
+			c.InitialTemp = 1
+		}
+	}
+	if c.Cooling <= 0 || c.Cooling >= 1 {
+		// Decay to 1e-3 of the initial temperature over the run.
+		c.Cooling = math.Exp(math.Log(1e-3) / float64(c.Iterations))
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Anneal optimizes hyperreconfiguration masks by simulated annealing:
+// the state is a joint mask, a move flips one (task, step>0) bit, and
+// worsening moves are accepted with the Metropolis probability
+// exp(-Δ/T) under a geometric cooling schedule.  The search is seeded
+// with the aligned-DP schedule so the result is never worse than that
+// baseline, and the best state ever visited is returned (repriced and
+// validated through the model).
+func Anneal(ins *model.MTSwitchInstance, opt model.CostOptions, cfg AnnealConfig) (*Result, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("ga: nil instance")
+	}
+	m, n := ins.NumTasks(), ins.Steps()
+	if n == 0 {
+		sched, err := ins.CanonicalSchedule(make([][]bool, m))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Solution: &mtswitch.Solution{Schedule: sched, Cost: ins.W}}, nil
+	}
+
+	ev := newEvaluator(ins, opt)
+
+	// Seed with the aligned-DP schedule.
+	cur := make(genome, m*n)
+	if al, err := mtswitch.SolveAligned(ins, opt); err == nil {
+		for j := 0; j < m; j++ {
+			for i := 0; i < n; i++ {
+				cur[j*n+i] = al.Schedule.Hyper[j][i]
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		cur[j*n] = true
+	}
+	curCost := ev.cost(cur)
+	cfg = cfg.withDefaults(curCost)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	best := cur.clone()
+	bestCost := curCost
+	temp := cfg.InitialTemp
+	history := make([]model.Cost, 0, cfg.Iterations/100+1)
+
+	for it := 0; it < cfg.Iterations; it++ {
+		// Flip one random non-initial bit.  With n == 1 every bit is an
+		// initial bit and no move exists.
+		if n > 1 {
+			j := r.Intn(m)
+			i := 1 + r.Intn(n-1)
+			k := j*n + i
+			cur[k] = !cur[k]
+			newCost := ev.cost(cur)
+			delta := float64(newCost - curCost)
+			if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
+				curCost = newCost
+				if curCost < bestCost {
+					bestCost = curCost
+					copy(best, cur)
+				}
+			} else {
+				cur[k] = !cur[k] // reject: undo
+			}
+		}
+		temp *= cfg.Cooling
+		if it%100 == 0 {
+			history = append(history, bestCost)
+		}
+	}
+
+	mask := make([][]bool, m)
+	for j := 0; j < m; j++ {
+		mask[j] = make([]bool, n)
+		for i := 0; i < n; i++ {
+			mask[j][i] = best[j*n+i]
+		}
+	}
+	sched, err := ins.CanonicalSchedule(mask)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := ins.Cost(sched, opt)
+	if err != nil {
+		return nil, err
+	}
+	if cost != bestCost {
+		return nil, fmt.Errorf("ga: annealing evaluator cost %d disagrees with model cost %d", bestCost, cost)
+	}
+	return &Result{
+		Solution: &mtswitch.Solution{Schedule: sched, Cost: cost, Truncated: true},
+		History:  history,
+	}, nil
+}

@@ -1,0 +1,141 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+)
+
+func TestAnnealDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	ins := randomMT(r, 3, 5, 8)
+	cfg := AnnealConfig{Iterations: 2000, Seed: 7}
+	a, err := Anneal(ins, parallel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(ins, parallel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Solution.Cost != b.Solution.Cost {
+		t.Fatalf("same seed produced different costs: %d vs %d", a.Solution.Cost, b.Solution.Cost)
+	}
+}
+
+func TestAnnealNeverWorseThanAligned(t *testing.T) {
+	// The aligned schedule seeds the search and the best-ever state is
+	// returned, so annealing can never end above the aligned cost.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 3, 5, 8)
+		al, err1 := mtswitch.SolveAligned(ins, parallel)
+		res, err2 := Anneal(ins, parallel, AnnealConfig{Iterations: 500, Seed: seed})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return res.Solution.Cost <= al.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealNeverBelowOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 2, 4, 5)
+		ex, err1 := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
+		res, err2 := Anneal(ins, parallel, AnnealConfig{Iterations: 2000, Seed: seed})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return res.Solution.Cost >= ex.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealMatchesExactOften(t *testing.T) {
+	matched, total := 0, 0
+	r := rand.New(rand.NewSource(77))
+	for k := 0; k < 12; k++ {
+		ins := randomMT(r, 2, 4, 6)
+		ex, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Anneal(ins, parallel, AnnealConfig{Iterations: 5000, Seed: int64(k + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if res.Solution.Cost == ex.Cost {
+			matched++
+		}
+	}
+	if matched*2 < total {
+		t.Fatalf("annealing matched the exact optimum only %d/%d times", matched, total)
+	}
+	t.Logf("annealing matched exact optimum on %d/%d instances", matched, total)
+}
+
+func TestAnnealScheduleValid(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	ins := randomMT(r, 3, 6, 12)
+	res, err := Anneal(ins, parallel, AnnealConfig{Iterations: 1500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Validate(res.Solution.Schedule); err != nil {
+		t.Fatalf("annealed schedule invalid: %v", err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatal("best-so-far history increased")
+		}
+	}
+}
+
+func TestAnnealSingleStep(t *testing.T) {
+	// n == 1 has no legal move (the initial hyperreconfiguration is
+	// mandatory); annealing must still return the only schedule.
+	tasks := []model.Task{{Name: "A", Local: 2, V: 1}}
+	ins, err := model.NewMTSwitchInstance(tasks, [][]bitset.Set{{bitset.FromMembers(2, 0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anneal(ins, parallel, AnnealConfig{Iterations: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Cost != 1+1 { // v + |{0}|
+		t.Fatalf("cost = %d, want 2", res.Solution.Cost)
+	}
+}
+
+func TestAnnealNilAndEmpty(t *testing.T) {
+	if _, err := Anneal(nil, parallel, AnnealConfig{}); err == nil {
+		t.Fatal("accepted nil instance")
+	}
+	tasks := []model.Task{{Name: "A", Local: 1, V: 1}}
+	ins, err := model.NewMTSwitchInstance(tasks, [][]bitset.Set{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anneal(ins, parallel, AnnealConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Cost != 0 {
+		t.Fatalf("empty cost = %d", res.Solution.Cost)
+	}
+}

@@ -1,0 +1,431 @@
+// Package ga implements the genetic algorithm the paper used to compute
+// multi-task (hyper)reconfiguration schedules for the SHyRA experiment
+// ("(Hyper)reconfiguration costs with partial hyperreconfigurations for
+// the multiple task case were computed using a genetic algorithm").
+//
+// A genome is the joint hyperreconfiguration mask: one bit per (task,
+// step) saying whether the task performs a partial hyperreconfiguration
+// immediately before the step (step 0 is always set — tasks must
+// establish an initial hypercontext).  Hypercontexts are implied:
+// canonical segment unions are optimal for any fixed mask, so the
+// search space is exactly the mask space.
+//
+// The GA is deterministic for a fixed Config.Seed: tournament
+// selection, uniform crossover, per-bit mutation, elitism, and seeding
+// with informed individuals (the aligned-DP mask, the
+// hyperreconfigure-only-at-step-0 mask, and the every-step mask) so the
+// search starts no worse than the best classical baseline.
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+)
+
+// Config are the GA hyperparameters.  The zero value selects the
+// defaults noted on each field.
+type Config struct {
+	// Pop is the population size (default 80).
+	Pop int
+	// Generations to evolve (default 300).
+	Generations int
+	// MutRate is the per-bit mutation probability (default 2/(m·n),
+	// encoded as 0 → adaptive).
+	MutRate float64
+	// CrossRate is the probability a child is produced by crossover
+	// rather than cloning (default 0.9).
+	CrossRate float64
+	// TournamentK is the tournament size (default 3).
+	TournamentK int
+	// Elites survive unchanged each generation (default 2).
+	Elites int
+	// Seed drives the deterministic random source (default 1).
+	Seed int64
+	// SeedWithHeuristics injects the aligned-DP, initial-only and
+	// every-step masks into the initial population (default true;
+	// disable with NoHeuristicSeeds).
+	NoHeuristicSeeds bool
+	// Workers is the number of goroutines evaluating fitness in
+	// parallel (default GOMAXPROCS).  Children are generated with the
+	// sequential random source before evaluation fans out, so results
+	// are identical for every worker count.
+	Workers int
+	// Crossover selects the recombination operator (default
+	// CrossUniform).
+	Crossover CrossoverKind
+}
+
+// CrossoverKind selects the GA's recombination operator.
+type CrossoverKind int
+
+const (
+	// CrossUniform draws every (task, step) gene independently from one
+	// of the two parents — the classic disruptive operator.
+	CrossUniform CrossoverKind = iota
+	// CrossTwoPoint exchanges one contiguous gene range, preserving
+	// runs of hyperreconfiguration decisions.
+	CrossTwoPoint
+	// CrossTaskRow inherits each task's entire row from one parent —
+	// schedules recombine along the problem's natural task structure.
+	CrossTaskRow
+)
+
+// String implements fmt.Stringer.
+func (c CrossoverKind) String() string {
+	switch c {
+	case CrossUniform:
+		return "uniform"
+	case CrossTwoPoint:
+		return "two-point"
+	case CrossTaskRow:
+		return "task-row"
+	default:
+		return fmt.Sprintf("CrossoverKind(%d)", int(c))
+	}
+}
+
+func (c Config) withDefaults(m, n int) Config {
+	if c.Pop <= 0 {
+		c.Pop = 80
+	}
+	if c.Generations <= 0 {
+		c.Generations = 300
+	}
+	if c.MutRate <= 0 {
+		c.MutRate = 2.0 / float64(m*n+1)
+	}
+	if c.CrossRate <= 0 {
+		c.CrossRate = 0.9
+	}
+	if c.TournamentK <= 0 {
+		c.TournamentK = 3
+	}
+	if c.Elites <= 0 {
+		c.Elites = 2
+	}
+	if c.Elites > c.Pop {
+		c.Elites = c.Pop
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// genome is a flat m·n hyperreconfiguration mask.
+type genome []bool
+
+func (g genome) clone() genome { return append(genome(nil), g...) }
+
+// evaluator computes fitness (= schedule cost, lower is better) for
+// genomes without materializing a model.MTSchedule: per task it walks
+// the mask's segments once, computing canonical union sizes, then
+// combines per-step terms under the upload modes.
+type evaluator struct {
+	ins   *model.MTSwitchInstance
+	opt   model.CostOptions
+	m, n  int
+	sizes [][]int // scratch: per task per step hypercontext size
+}
+
+func newEvaluator(ins *model.MTSwitchInstance, opt model.CostOptions) *evaluator {
+	m, n := ins.NumTasks(), ins.Steps()
+	sizes := make([][]int, m)
+	for j := range sizes {
+		sizes[j] = make([]int, n)
+	}
+	return &evaluator{ins: ins, opt: opt, m: m, n: n, sizes: sizes}
+}
+
+func (ev *evaluator) cost(g genome) model.Cost {
+	m, n := ev.m, ev.n
+	for j := 0; j < m; j++ {
+		row := g[j*n : (j+1)*n]
+		u := bitset.New(ev.ins.Tasks[j].Local)
+		for start := 0; start < n; {
+			end := start + 1
+			for end < n && !row[end] {
+				end++
+			}
+			u.Clear()
+			for i := start; i < end; i++ {
+				u.UnionWith(ev.ins.Reqs[j][i])
+			}
+			c := u.Count()
+			for i := start; i < end; i++ {
+				ev.sizes[j][i] = c
+			}
+			start = end
+		}
+	}
+	total := ev.ins.W
+	for i := 0; i < n; i++ {
+		var hyper model.Cost
+		for j := 0; j < m; j++ {
+			if i == 0 || g[j*n+i] {
+				hyper = ev.opt.HyperUpload.Combine(hyper, ev.ins.Tasks[j].V)
+			}
+		}
+		var reconf model.Cost
+		if ev.opt.ReconfUpload == model.TaskParallel {
+			reconf = model.Cost(ev.ins.PublicGlobal)
+		}
+		for j := 0; j < m; j++ {
+			reconf = ev.opt.ReconfUpload.Combine(reconf, model.Cost(ev.sizes[j][i]))
+		}
+		if ev.opt.ReconfUpload == model.TaskSequential {
+			reconf += model.Cost(ev.ins.PublicGlobal)
+		}
+		total += hyper + reconf
+	}
+	return total
+}
+
+// crossover recombines two parents under the selected operator.
+func crossover(r *rand.Rand, kind CrossoverKind, m, n int, a, b genome) genome {
+	child := make(genome, m*n)
+	switch kind {
+	case CrossTwoPoint:
+		lo := r.Intn(m * n)
+		hi := lo + r.Intn(m*n-lo) + 1 // (lo, hi]
+		copy(child, a)
+		copy(child[lo:hi], b[lo:hi])
+	case CrossTaskRow:
+		for j := 0; j < m; j++ {
+			src := a
+			if r.Intn(2) == 1 {
+				src = b
+			}
+			copy(child[j*n:(j+1)*n], src[j*n:(j+1)*n])
+		}
+	default: // CrossUniform
+		for k := range child {
+			if r.Intn(2) == 0 {
+				child[k] = a[k]
+			} else {
+				child[k] = b[k]
+			}
+		}
+	}
+	return child
+}
+
+// evalPool evaluates genomes concurrently.  Each worker owns an
+// evaluator (the evaluator carries scratch buffers, so sharing one
+// across goroutines would race).
+type evalPool struct {
+	evs []*evaluator
+}
+
+func newEvalPool(ins *model.MTSwitchInstance, opt model.CostOptions, workers int) *evalPool {
+	p := &evalPool{evs: make([]*evaluator, workers)}
+	for i := range p.evs {
+		p.evs[i] = newEvaluator(ins, opt)
+	}
+	return p
+}
+
+// evalRange computes out[i] = cost(genomes[i]) for i in [from, len).
+func (p *evalPool) evalRange(genomes []genome, out []model.Cost, from int) {
+	n := len(genomes) - from
+	if n <= 0 {
+		return
+	}
+	workers := len(p.evs)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := from; i < len(genomes); i++ {
+			out[i] = p.evs[0].cost(genomes[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := from + w*chunk
+		hi := lo + chunk
+		if hi > len(genomes) {
+			hi = len(genomes)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(ev *evaluator, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = ev.cost(genomes[i])
+			}
+		}(p.evs[w], lo, hi)
+	}
+	wg.Wait()
+}
+
+// Result is the GA outcome: the best schedule found, its cost, and the
+// best-of-generation history (for convergence plots).
+type Result struct {
+	Solution *mtswitch.Solution
+	History  []model.Cost
+}
+
+// Optimize evolves hyperreconfiguration masks for the fully
+// synchronized MT-Switch instance and returns the best schedule found.
+// The result is repriced through the model (validating feasibility), so
+// Result.Solution.Cost is trustworthy even if the fast evaluator were
+// wrong — the two are also cross-checked.
+func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*Result, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("ga: nil instance")
+	}
+	m, n := ins.NumTasks(), ins.Steps()
+	if n == 0 {
+		sched, err := ins.CanonicalSchedule(make([][]bool, m))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Solution: &mtswitch.Solution{Schedule: sched, Cost: ins.W}}, nil
+	}
+	cfg = cfg.withDefaults(m, n)
+	r := rand.New(rand.NewSource(cfg.Seed))
+	pool := newEvalPool(ins, opt, cfg.Workers)
+
+	forceStep0 := func(g genome) {
+		for j := 0; j < m; j++ {
+			g[j*n] = true
+		}
+	}
+
+	pop := make([]genome, 0, cfg.Pop)
+	if !cfg.NoHeuristicSeeds {
+		// Initial-only mask.
+		initial := make(genome, m*n)
+		forceStep0(initial)
+		pop = append(pop, initial)
+		// Every-step mask.
+		every := make(genome, m*n)
+		for i := range every {
+			every[i] = true
+		}
+		pop = append(pop, every)
+		// Aligned-DP mask.
+		if al, err := mtswitch.SolveAligned(ins, opt); err == nil {
+			g := make(genome, m*n)
+			for j := 0; j < m; j++ {
+				for i := 0; i < n; i++ {
+					g[j*n+i] = al.Schedule.Hyper[j][i]
+				}
+			}
+			pop = append(pop, g)
+		}
+	}
+	for len(pop) < cfg.Pop {
+		g := make(genome, m*n)
+		density := r.Float64() * 0.4 // varied sparsity
+		for i := range g {
+			g[i] = r.Float64() < density
+		}
+		forceStep0(g)
+		pop = append(pop, g)
+	}
+
+	fit := make([]model.Cost, cfg.Pop)
+	pool.evalRange(pop, fit, 0)
+
+	bestG := pop[0].clone()
+	bestC := fit[0]
+	for i := 1; i < cfg.Pop; i++ {
+		if fit[i] < bestC {
+			bestC, bestG = fit[i], pop[i].clone()
+		}
+	}
+
+	history := make([]model.Cost, 0, cfg.Generations)
+	tournament := func() genome {
+		best := r.Intn(cfg.Pop)
+		for k := 1; k < cfg.TournamentK; k++ {
+			c := r.Intn(cfg.Pop)
+			if fit[c] < fit[best] {
+				best = c
+			}
+		}
+		return pop[best]
+	}
+
+	next := make([]genome, cfg.Pop)
+	nextFit := make([]model.Cost, cfg.Pop)
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Elitism: copy the current best individuals.
+		order := make([]int, cfg.Pop)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return fit[order[a]] < fit[order[b]] })
+		for e := 0; e < cfg.Elites; e++ {
+			next[e] = pop[order[e]].clone()
+			nextFit[e] = fit[order[e]]
+		}
+		// Generate all children with the sequential random source, then
+		// evaluate them in parallel.
+		for i := cfg.Elites; i < cfg.Pop; i++ {
+			var child genome
+			if r.Float64() < cfg.CrossRate {
+				child = crossover(r, cfg.Crossover, m, n, tournament(), tournament())
+			} else {
+				child = tournament().clone()
+			}
+			for k := range child {
+				if r.Float64() < cfg.MutRate {
+					child[k] = !child[k]
+				}
+			}
+			forceStep0(child)
+			next[i] = child
+		}
+		pool.evalRange(next, nextFit, cfg.Elites)
+		pop, next = next, pop
+		fit, nextFit = nextFit, fit
+		for i := 0; i < cfg.Pop; i++ {
+			if fit[i] < bestC {
+				bestC, bestG = fit[i], pop[i].clone()
+			}
+		}
+		history = append(history, bestC)
+	}
+
+	// Materialize, validate and reprice the best genome through the
+	// model; the fast evaluator and the model must agree exactly.
+	mask := make([][]bool, m)
+	for j := 0; j < m; j++ {
+		mask[j] = make([]bool, n)
+		for i := 0; i < n; i++ {
+			mask[j][i] = bestG[j*n+i]
+		}
+	}
+	sched, err := ins.CanonicalSchedule(mask)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := ins.Cost(sched, opt)
+	if err != nil {
+		return nil, err
+	}
+	if cost != bestC {
+		return nil, fmt.Errorf("ga: evaluator cost %d disagrees with model cost %d", bestC, cost)
+	}
+	return &Result{
+		Solution: &mtswitch.Solution{Schedule: sched, Cost: cost, Truncated: true},
+		History:  history,
+	}, nil
+}

@@ -1,0 +1,283 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+)
+
+var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+
+func randomMT(r *rand.Rand, maxM, maxL, maxN int) *model.MTSwitchInstance {
+	m := 1 + r.Intn(maxM)
+	n := 1 + r.Intn(maxN)
+	tasks := make([]model.Task, m)
+	rows := make([][]bitset.Set, m)
+	for j := 0; j < m; j++ {
+		l := 1 + r.Intn(maxL)
+		tasks[j] = model.Task{Name: string(rune('A' + j)), Local: l, V: model.Cost(1 + r.Intn(4))}
+		rows[j] = make([]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			s := bitset.New(l)
+			for b := 0; b < l; b++ {
+				if r.Intn(3) == 0 {
+					s.Add(b)
+				}
+			}
+			rows[j][i] = s
+		}
+	}
+	ins, err := model.NewMTSwitchInstance(tasks, rows)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ins := randomMT(r, 3, 5, 8)
+	cfg := Config{Pop: 20, Generations: 30, Seed: 7}
+	a, err := Optimize(ins, parallel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(ins, parallel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Solution.Cost != b.Solution.Cost {
+		t.Fatalf("same seed produced different costs: %d vs %d", a.Solution.Cost, b.Solution.Cost)
+	}
+	if len(a.History) != 30 {
+		t.Fatalf("history length = %d, want 30", len(a.History))
+	}
+}
+
+func TestOptimizeFindsOptimumOnSmallInstances(t *testing.T) {
+	// On tiny instances the GA (with heuristic seeds) should match the
+	// exact optimum.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 2, 4, 5)
+		ex, err1 := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
+		res, err2 := Optimize(ins, parallel, Config{Pop: 40, Generations: 60, Seed: seed})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return res.Solution.Cost >= ex.Cost // never below the optimum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeMatchesExactFrequently(t *testing.T) {
+	matched, total := 0, 0
+	r := rand.New(rand.NewSource(99))
+	for k := 0; k < 15; k++ {
+		ins := randomMT(r, 2, 4, 6)
+		ex, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(ins, parallel, Config{Pop: 60, Generations: 80, Seed: int64(k + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if res.Solution.Cost == ex.Cost {
+			matched++
+		}
+	}
+	if matched*2 < total {
+		t.Fatalf("GA matched the exact optimum only %d/%d times", matched, total)
+	}
+	t.Logf("GA matched exact optimum on %d/%d instances", matched, total)
+}
+
+func TestOptimizeNeverWorseThanSeeds(t *testing.T) {
+	// With heuristic seeding the GA result can never be worse than the
+	// aligned DP (that mask is in the initial population and elitism
+	// preserves the best individual).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 3, 5, 8)
+		al, err1 := mtswitch.SolveAligned(ins, parallel)
+		res, err2 := Optimize(ins, parallel, Config{Pop: 20, Generations: 10, Seed: seed})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return res.Solution.Cost <= al.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeDeterministicAcrossWorkerCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	ins := randomMT(r, 3, 5, 10)
+	var costs []model.Cost
+	for _, workers := range []int{1, 2, 8} {
+		res, err := Optimize(ins, parallel, Config{Pop: 30, Generations: 40, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, res.Solution.Cost)
+	}
+	if costs[0] != costs[1] || costs[1] != costs[2] {
+		t.Fatalf("worker count changed the result: %v", costs)
+	}
+}
+
+func TestOptimizeHistoryMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ins := randomMT(r, 3, 5, 10)
+	res, err := Optimize(ins, parallel, Config{Pop: 30, Generations: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatalf("best-so-far history increased at generation %d", i)
+		}
+	}
+}
+
+func TestOptimizeScheduleValid(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	ins := randomMT(r, 3, 6, 12)
+	res, err := Optimize(ins, parallel, Config{Pop: 25, Generations: 25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Validate(res.Solution.Schedule); err != nil {
+		t.Fatalf("GA schedule invalid: %v", err)
+	}
+	lb := mtswitch.LowerBound(ins, parallel)
+	if res.Solution.Cost < lb {
+		t.Fatalf("GA cost %d below lower bound %d", res.Solution.Cost, lb)
+	}
+}
+
+func TestOptimizeSequentialUploads(t *testing.T) {
+	seq := model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
+	r := rand.New(rand.NewSource(13))
+	ins := randomMT(r, 2, 4, 6)
+	ex, err := mtswitch.SolveExact(ins, seq, mtswitch.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(ins, seq, Config{Pop: 40, Generations: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Cost < ex.Cost {
+		t.Fatalf("GA cost %d below exact optimum %d", res.Solution.Cost, ex.Cost)
+	}
+}
+
+func TestOptimizeNilAndEmpty(t *testing.T) {
+	if _, err := Optimize(nil, parallel, Config{}); err == nil {
+		t.Fatal("accepted nil instance")
+	}
+	tasks := []model.Task{{Name: "A", Local: 1, V: 1}}
+	ins, err := model.NewMTSwitchInstance(tasks, [][]bitset.Set{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(ins, parallel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Cost != 0 {
+		t.Fatalf("empty instance cost = %d", res.Solution.Cost)
+	}
+}
+
+func TestCrossoverOperators(t *testing.T) {
+	// Every operator produces genomes mixing only parent genes, is
+	// deterministic under a fixed source, and the GA stays sound with
+	// each.
+	r := rand.New(rand.NewSource(9))
+	m, n := 3, 7
+	a := make(genome, m*n)
+	b := make(genome, m*n)
+	for k := range a {
+		a[k] = true // parent a all-true, parent b all-false
+	}
+	for _, kind := range []CrossoverKind{CrossUniform, CrossTwoPoint, CrossTaskRow} {
+		child := crossover(r, kind, m, n, a, b)
+		if len(child) != m*n {
+			t.Fatalf("%v: child length %d", kind, len(child))
+		}
+		// Two-point must take a single contiguous false range from b.
+		if kind == CrossTwoPoint {
+			transitions := 0
+			for k := 1; k < len(child); k++ {
+				if child[k] != child[k-1] {
+					transitions++
+				}
+			}
+			if transitions > 2 {
+				t.Fatalf("two-point produced %d transitions", transitions)
+			}
+		}
+		// Task-row must keep each row homogeneous.
+		if kind == CrossTaskRow {
+			for j := 0; j < m; j++ {
+				row := child[j*n : (j+1)*n]
+				for k := 1; k < n; k++ {
+					if row[k] != row[0] {
+						t.Fatalf("task-row mixed genes within a row")
+					}
+				}
+			}
+		}
+	}
+	if CrossUniform.String() != "uniform" || CrossTwoPoint.String() != "two-point" ||
+		CrossTaskRow.String() != "task-row" || CrossoverKind(9).String() == "" {
+		t.Fatal("crossover names wrong")
+	}
+}
+
+func TestOptimizeAllCrossovers(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	ins := randomMT(r, 3, 5, 8)
+	ex, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []CrossoverKind{CrossUniform, CrossTwoPoint, CrossTaskRow} {
+		res, err := Optimize(ins, parallel, Config{Pop: 30, Generations: 40, Seed: 2, Crossover: kind})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Solution.Cost < ex.Cost {
+			t.Fatalf("%v: GA cost %d below optimum %d", kind, res.Solution.Cost, ex.Cost)
+		}
+		if err := ins.Validate(res.Solution.Schedule); err != nil {
+			t.Fatalf("%v: invalid schedule: %v", kind, err)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults(2, 10)
+	if c.Pop != 80 || c.Generations != 300 || c.TournamentK != 3 || c.Elites != 2 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	if c.MutRate <= 0 || c.CrossRate != 0.9 || c.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	// Elites capped at Pop.
+	c = Config{Pop: 1, Elites: 5}.withDefaults(2, 10)
+	if c.Elites != 1 {
+		t.Fatalf("elites not capped: %+v", c)
+	}
+}

@@ -1,0 +1,395 @@
+// Package machine executes multi-task (hyper)reconfiguration programs
+// the way a partially hyperreconfigurable machine would run them: one
+// goroutine per task, barrier synchronization between the tasks as
+// demanded by the synchronization mode, per-operation validity checking
+// (a context can only be installed inside the current hypercontext) and
+// cost accounting that matches the cost models of internal/model
+// bit-for-bit.
+//
+// The runtime implements all four synchronization modes through a
+// lane-based timeline: every task owns a local clock, a
+// barrier-synchronized phase first equalizes all clocks to their
+// maximum and then advances them together by the phase's combined cost
+// (max of the participants' costs for task-parallel uploads, sum for
+// task-sequential), while an unsynchronized phase advances only the
+// participating task's own clock.  The machine's total time is the
+// final maximum over the lanes (plus the global-init cost W).
+//
+// The two modes the paper gives closed formulas for fall out as special
+// cases, and the tests cross-validate them exactly:
+//
+//   - model.FullySynchronized reproduces the Section 4.2 formula
+//     (= model.MTSwitchInstance.Cost), because all lanes stay equal and
+//     each round adds hyper-combine + reconf-combine;
+//   - model.NonSynchronized reproduces the Section 4.1 General Multi
+//     Task model (window = W + slowest task), because no phase ever
+//     synchronizes.
+//
+// The mixed modes (model.HypercontextSynchronized and
+// model.ContextSynchronized) barrier exactly one of the two phases.
+// Since Σ_i max_j x ≥ max_j Σ_i x componentwise, a barriered phase can
+// only lengthen the timeline: NonSynchronized ≤ mixed ≤
+// FullySynchronized for any fixed schedule (property-tested).
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Op is one round of a task's program: an optional local (partial)
+// hyperreconfiguration followed by one ordinary reconfiguration.
+type Op struct {
+	// Hyper, when non-nil, installs a new local hypercontext before
+	// the reconfiguration (a no-hyperreconfiguration otherwise).
+	Hyper *bitset.Set
+	// Req is the context requirement of the round's reconfiguration;
+	// it must be satisfied by the hypercontext in effect.
+	Req bitset.Set
+}
+
+// TaskProgram is one task's operation stream.
+type TaskProgram struct {
+	Name string
+	Ops  []Op
+}
+
+// RoundCost records one synchronized round's pricing.
+type RoundCost struct {
+	Hyper  model.Cost
+	Reconf model.Cost
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Total is the machine's total (hyper)reconfiguration time.
+	Total model.Cost
+	// Rounds holds per-round costs (fully synchronized runs only).
+	Rounds []RoundCost
+	// TaskTimes holds per-task totals (non-synchronized runs only).
+	TaskTimes []model.Cost
+	// Bottleneck is the index of the slowest task (non-synchronized
+	// runs only).
+	Bottleneck int
+}
+
+// barrier is a reusable (cyclic) barrier for n parties.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n parties have arrived, then releases them
+// together.  It may be reused for any number of generations.
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Machine executes task programs under a synchronization mode.
+type Machine struct {
+	tasks []model.Task
+	sync  model.SyncMode
+	opt   model.CostOptions
+	// W is the global-hyperreconfiguration cost paid once at the start
+	// of the window (0 when there are no global resources).
+	W model.Cost
+	// PublicGlobal is |h^pub| for the synchronized reconfiguration term.
+	PublicGlobal int
+}
+
+// New builds a machine.  PublicGlobal requires a context-synchronized
+// mode (the paper: public global resources exist only then).
+func New(tasks []model.Task, syncMode model.SyncMode, opt model.CostOptions, w model.Cost, publicGlobal int) (*Machine, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("machine: need at least one task")
+	}
+	for _, t := range tasks {
+		if t.V <= 0 {
+			return nil, fmt.Errorf("machine: task %q needs positive v_j", t.Name)
+		}
+		if t.Local < 0 {
+			return nil, fmt.Errorf("machine: task %q has negative switch count", t.Name)
+		}
+	}
+	if publicGlobal < 0 || w < 0 {
+		return nil, fmt.Errorf("machine: negative costs")
+	}
+	if publicGlobal > 0 && !syncMode.AllowsPublicGlobal() {
+		return nil, fmt.Errorf("machine: public global resources require a context-synchronized mode, not %v", syncMode)
+	}
+	return &Machine{tasks: tasks, sync: syncMode, opt: opt, W: w, PublicGlobal: publicGlobal}, nil
+}
+
+// Run executes the programs concurrently (one goroutine per task) and
+// returns the cost report.  Programs must supply one per task, in task
+// order.  Modes with a barriered phase require equal program lengths;
+// every mode requires an initial hyperreconfiguration in each task's
+// first op (when it has any ops — fully free-running tasks must have at
+// least one, per the paper's n_j ≥ 1 requirement).
+func (m *Machine) Run(programs []TaskProgram) (*Report, error) {
+	if len(programs) != len(m.tasks) {
+		return nil, fmt.Errorf("machine: %d programs for %d tasks", len(programs), len(m.tasks))
+	}
+	barriered := m.sync.HyperSynchronized() || m.sync.ContextSynchronizedMode()
+	// A window in which no task does anything is degenerate but legal:
+	// it costs exactly the global hyperreconfiguration.
+	allEmpty := true
+	for _, p := range programs {
+		if len(p.Ops) > 0 {
+			allEmpty = false
+			break
+		}
+	}
+	if allEmpty {
+		return &Report{Total: m.W, TaskTimes: make([]model.Cost, len(programs))}, nil
+	}
+	rounds := 0
+	for j, p := range programs {
+		if len(p.Ops) == 0 {
+			return nil, fmt.Errorf("machine: task %q must perform at least one local hyperreconfiguration after the global one", p.Name)
+		}
+		if p.Ops[0].Hyper == nil {
+			return nil, fmt.Errorf("machine: task %q must hyperreconfigure in its first round", p.Name)
+		}
+		if barriered && j > 0 && len(p.Ops) != rounds {
+			return nil, fmt.Errorf("machine: %v run needs equal program lengths (%q has %d, %q has %d)",
+				m.sync, p.Name, len(p.Ops), programs[0].Name, rounds)
+		}
+		if len(p.Ops) > rounds {
+			rounds = len(p.Ops)
+		}
+		for oi, op := range p.Ops {
+			if op.Hyper != nil && op.Hyper.Universe() != m.tasks[j].Local {
+				return nil, fmt.Errorf("machine: task %q op %d hypercontext over universe %d, want %d", p.Name, oi, op.Hyper.Universe(), m.tasks[j].Local)
+			}
+			if op.Req.Universe() != m.tasks[j].Local {
+				return nil, fmt.Errorf("machine: task %q op %d requirement over universe %d, want %d", p.Name, oi, op.Req.Universe(), m.tasks[j].Local)
+			}
+		}
+	}
+	return m.runLanes(programs, rounds)
+}
+
+// laneSync coordinates one barriered phase: every task publishes its
+// lane time, the slowest lane is found, the phase cost is combined
+// across participants, and all lanes leave at maxLane + combined cost.
+type laneSync struct {
+	mu       sync.Mutex
+	bar      *barrier
+	maxLane  model.Cost
+	combined model.Cost
+	count    int
+	parties  int
+	upload   model.UploadMode
+}
+
+func newLaneSync(parties int, upload model.UploadMode) *laneSync {
+	return &laneSync{bar: newBarrier(parties), parties: parties, upload: upload}
+}
+
+// step publishes (lane, cost) and returns the common exit time.
+// cost < 0 means the task does not participate in the phase (a
+// no-hyperreconfiguration statement); it still waits at the barrier.
+func (s *laneSync) step(lane, cost model.Cost) model.Cost {
+	s.mu.Lock()
+	if s.count == 0 {
+		s.maxLane = lane
+		s.combined = 0
+	} else if lane > s.maxLane {
+		s.maxLane = lane
+	}
+	if cost >= 0 {
+		s.combined = s.upload.Combine(s.combined, cost)
+	}
+	s.count++
+	if s.count == s.parties {
+		s.count = 0
+	}
+	s.mu.Unlock()
+	s.bar.await()
+	s.mu.Lock()
+	exit := s.maxLane + s.combined
+	s.mu.Unlock()
+	s.bar.await() // hold the phase state until everyone has read it
+	return exit
+}
+
+func (m *Machine) runLanes(programs []TaskProgram, rounds int) (*Report, error) {
+	nTasks := len(m.tasks)
+	hyperSynced := m.sync.HyperSynchronized()
+	reconfSynced := m.sync.ContextSynchronizedMode()
+
+	var (
+		hyperSync  = newLaneSync(nTasks, m.opt.HyperUpload)
+		reconfSync = newLaneSync(nTasks, m.opt.ReconfUpload)
+		lanes      = make([]model.Cost, nTasks)
+		taskErrs   = make([]error, nTasks)
+		wg         sync.WaitGroup
+	)
+
+	for j := range programs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			hctx := bitset.New(m.tasks[j].Local)
+			var lane model.Cost
+			failed := false
+			for r := 0; r < rounds; r++ {
+				var op Op
+				active := r < len(programs[j].Ops)
+				if active {
+					op = programs[j].Ops[r]
+				}
+				// Phase 1: partial hyperreconfigurations.  A cost of -1
+				// marks a non-participant (the paper's
+				// no-hyperreconfiguration statement): it waits at the
+				// barrier but contributes nothing to the combine.
+				hyperCost := model.Cost(-1)
+				if active && !failed && op.Hyper != nil {
+					hctx = *op.Hyper
+					hyperCost = m.tasks[j].V
+				}
+				if hyperSynced {
+					lane = hyperSync.step(lane, hyperCost)
+				} else if hyperCost >= 0 {
+					lane += hyperCost
+				}
+				// Phase 2: reconfigurations.  Task 0 folds the public
+				// global term into its published cost — synchronized
+				// reconfigurations always (re)configure the public
+				// global resources alongside the tasks.
+				reconfCost := model.Cost(-1)
+				if active && !failed {
+					if !op.Req.IsSubsetOf(hctx) {
+						taskErrs[j] = fmt.Errorf("machine: task %q round %d requirement not satisfied by hypercontext", programs[j].Name, r)
+						failed = true
+					} else {
+						reconfCost = model.Cost(hctx.Count())
+					}
+				}
+				if reconfSynced {
+					if j == 0 && m.PublicGlobal > 0 {
+						pub := model.Cost(m.PublicGlobal)
+						switch {
+						case reconfCost < 0:
+							reconfCost = pub
+						case m.opt.ReconfUpload == model.TaskParallel:
+							reconfCost = maxCost(reconfCost, pub)
+						default:
+							reconfCost += pub
+						}
+					}
+					lane = reconfSync.step(lane, reconfCost)
+				} else if reconfCost >= 0 {
+					lane += reconfCost
+				}
+			}
+			lanes[j] = lane
+		}(j)
+	}
+	wg.Wait()
+
+	for _, err := range taskErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total, bottleneck := model.Cost(0), 0
+	for j, t := range lanes {
+		if t > total {
+			total, bottleneck = t, j
+		}
+	}
+	rep := &Report{Total: m.W + total, TaskTimes: lanes, Bottleneck: bottleneck}
+	if m.sync == model.FullySynchronized {
+		rep.Rounds = perRoundCosts(m, programs, rounds)
+	}
+	return rep, nil
+}
+
+// maxCost returns the larger cost.
+func maxCost(a, b model.Cost) model.Cost {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// perRoundCosts recomputes the per-round cost decomposition of a fully
+// synchronized run for reporting (the lanes only carry totals).
+func perRoundCosts(m *Machine, programs []TaskProgram, rounds int) []RoundCost {
+	out := make([]RoundCost, rounds)
+	hctxSize := make([]model.Cost, len(programs))
+	for r := 0; r < rounds; r++ {
+		var hyper model.Cost
+		for j, p := range programs {
+			if r < len(p.Ops) && p.Ops[r].Hyper != nil {
+				hyper = m.opt.HyperUpload.Combine(hyper, m.tasks[j].V)
+				hctxSize[j] = model.Cost(p.Ops[r].Hyper.Count())
+			}
+		}
+		reconf := model.Cost(0)
+		if m.opt.ReconfUpload == model.TaskParallel {
+			reconf = model.Cost(m.PublicGlobal)
+		}
+		for j := range programs {
+			reconf = m.opt.ReconfUpload.Combine(reconf, hctxSize[j])
+		}
+		if m.opt.ReconfUpload == model.TaskSequential {
+			reconf += model.Cost(m.PublicGlobal)
+		}
+		out[r] = RoundCost{Hyper: hyper, Reconf: reconf}
+	}
+	return out
+}
+
+// FromSchedule converts a solved model.MTSchedule into executable task
+// programs: a hyperreconfiguration op wherever the schedule flags one,
+// with the instance's requirements as the reconfiguration contexts.
+func FromSchedule(ins *model.MTSwitchInstance, s *model.MTSchedule) ([]TaskProgram, error) {
+	if ins == nil || s == nil {
+		return nil, fmt.Errorf("machine: nil instance or schedule")
+	}
+	if err := ins.Validate(s); err != nil {
+		return nil, err
+	}
+	programs := make([]TaskProgram, ins.NumTasks())
+	for j := 0; j < ins.NumTasks(); j++ {
+		p := TaskProgram{Name: ins.Tasks[j].Name}
+		for i := 0; i < ins.Steps(); i++ {
+			op := Op{Req: ins.Reqs[j][i]}
+			if s.Hyper[j][i] {
+				h := s.Hctx[j][i]
+				op.Hyper = &h
+			}
+			p.Ops = append(p.Ops, op)
+		}
+		programs[j] = p
+	}
+	return programs, nil
+}

@@ -1,0 +1,430 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+var sequential = model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
+
+func set(universe int, members ...int) bitset.Set {
+	return bitset.FromMembers(universe, members...)
+}
+
+func setPtr(universe int, members ...int) *bitset.Set {
+	s := set(universe, members...)
+	return &s
+}
+
+func twoTasks() []model.Task {
+	return []model.Task{
+		{Name: "A", Local: 3, V: 2},
+		{Name: "B", Local: 2, V: 5},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, model.FullySynchronized, parallel, 0, 0); err == nil {
+		t.Fatal("accepted zero tasks")
+	}
+	bad := []model.Task{{Name: "A", Local: 1, V: 0}}
+	if _, err := New(bad, model.FullySynchronized, parallel, 0, 0); err == nil {
+		t.Fatal("accepted v=0")
+	}
+	ok := twoTasks()
+	if _, err := New(ok, model.HypercontextSynchronized, parallel, 0, 0); err != nil {
+		t.Fatalf("hypercontext-synchronized mode should be supported: %v", err)
+	}
+	if _, err := New(ok, model.NonSynchronized, parallel, 0, 1); err == nil {
+		t.Fatal("accepted public global resources on a non-context-synchronized machine")
+	}
+	if _, err := New(ok, model.FullySynchronized, parallel, -1, 0); err == nil {
+		t.Fatal("accepted negative W")
+	}
+}
+
+func TestFullySynchronizedCost(t *testing.T) {
+	m, err := New(twoTasks(), model.FullySynchronized, parallel, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := []TaskProgram{
+		{Name: "A", Ops: []Op{
+			{Hyper: setPtr(3, 0, 1), Req: set(3, 0)},
+			{Req: set(3, 1)},
+			{Hyper: setPtr(3, 2), Req: set(3, 2)},
+		}},
+		{Name: "B", Ops: []Op{
+			{Hyper: setPtr(2, 0), Req: set(2, 0)},
+			{Req: set(2, 0)},
+			{Req: set(2)},
+		}},
+	}
+	rep, err := m.Run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0: hyper max(2,5)=5, reconf max(2,1)=2.
+	// Round 1: hyper 0, reconf max(2,1)=2.
+	// Round 2: hyper max(2)=2, reconf max(1,1)=1.
+	if rep.Total != 5+2+2+2+1 {
+		t.Fatalf("total = %d, want 12", rep.Total)
+	}
+	if len(rep.Rounds) != 3 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+}
+
+func TestFullySynchronizedRejects(t *testing.T) {
+	m, err := New(twoTasks(), model.FullySynchronized, parallel, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unequal lengths.
+	_, err = m.Run([]TaskProgram{
+		{Name: "A", Ops: []Op{{Hyper: setPtr(3), Req: set(3)}}},
+		{Name: "B", Ops: []Op{{Hyper: setPtr(2), Req: set(2)}, {Req: set(2)}}},
+	})
+	if err == nil {
+		t.Fatal("accepted unequal program lengths")
+	}
+	// Missing initial hyperreconfiguration.
+	_, err = m.Run([]TaskProgram{
+		{Name: "A", Ops: []Op{{Req: set(3)}}},
+		{Name: "B", Ops: []Op{{Hyper: setPtr(2), Req: set(2)}}},
+	})
+	if err == nil {
+		t.Fatal("accepted missing initial hyperreconfiguration")
+	}
+	// Requirement outside hypercontext.
+	_, err = m.Run([]TaskProgram{
+		{Name: "A", Ops: []Op{{Hyper: setPtr(3, 0), Req: set(3, 1)}}},
+		{Name: "B", Ops: []Op{{Hyper: setPtr(2), Req: set(2)}}},
+	})
+	if err == nil {
+		t.Fatal("accepted unsatisfied requirement")
+	}
+	// Wrong universe.
+	_, err = m.Run([]TaskProgram{
+		{Name: "A", Ops: []Op{{Hyper: setPtr(2, 0), Req: set(3, 0)}}},
+		{Name: "B", Ops: []Op{{Hyper: setPtr(2), Req: set(2)}}},
+	})
+	if err == nil {
+		t.Fatal("accepted wrong hypercontext universe")
+	}
+	// Wrong program count.
+	if _, err := m.Run(nil); err == nil {
+		t.Fatal("accepted missing programs")
+	}
+}
+
+func TestNonSynchronizedBottleneck(t *testing.T) {
+	m, err := New(twoTasks(), model.NonSynchronized, parallel, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := []TaskProgram{
+		// A: v=2; hyper(2 switches) + 3 reconfs à 2 = 2+6 = 8.
+		{Name: "A", Ops: []Op{
+			{Hyper: setPtr(3, 0, 1), Req: set(3, 0)},
+			{Req: set(3, 1)},
+			{Req: set(3, 0)},
+		}},
+		// B: v=5; hyper(1 switch) + 1 reconf à 1 = 6.
+		{Name: "B", Ops: []Op{
+			{Hyper: setPtr(2, 0), Req: set(2, 0)},
+		}},
+	}
+	rep, err := m.Run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 10+8 {
+		t.Fatalf("total = %d, want 18", rep.Total)
+	}
+	if rep.Bottleneck != 0 {
+		t.Fatalf("bottleneck = %d, want 0", rep.Bottleneck)
+	}
+	if rep.TaskTimes[0] != 8 || rep.TaskTimes[1] != 6 {
+		t.Fatalf("task times = %v", rep.TaskTimes)
+	}
+}
+
+func TestNonSynchronizedRequiresInitialHyper(t *testing.T) {
+	m, err := New(twoTasks(), model.NonSynchronized, parallel, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run([]TaskProgram{
+		{Name: "A", Ops: []Op{{Req: set(3)}}},
+		{Name: "B", Ops: []Op{{Hyper: setPtr(2), Req: set(2)}}},
+	})
+	if err == nil {
+		t.Fatal("accepted missing initial hyperreconfiguration")
+	}
+	_, err = m.Run([]TaskProgram{
+		{Name: "A", Ops: nil},
+		{Name: "B", Ops: []Op{{Hyper: setPtr(2), Req: set(2)}}},
+	})
+	if err == nil {
+		t.Fatal("accepted empty program")
+	}
+}
+
+func TestPublicGlobalTerm(t *testing.T) {
+	m, err := New(twoTasks(), model.FullySynchronized, parallel, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := []TaskProgram{
+		{Name: "A", Ops: []Op{{Hyper: setPtr(3, 0), Req: set(3, 0)}}},
+		{Name: "B", Ops: []Op{{Hyper: setPtr(2, 0), Req: set(2, 0)}}},
+	}
+	rep, err := m.Run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W=3 + hyper max(2,5)=5 + reconf max(pub=4, 1, 1)=4.
+	if rep.Total != 3+5+4 {
+		t.Fatalf("total = %d, want 12", rep.Total)
+	}
+
+	seq, err := New(twoTasks(), model.FullySynchronized, sequential, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = seq.Run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W=3 + hyper 2+5 + reconf 1+1+4.
+	if rep.Total != 3+7+6 {
+		t.Fatalf("sequential total = %d, want 16", rep.Total)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	m, err := New(twoTasks(), model.FullySynchronized, parallel, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run([]TaskProgram{{Name: "A"}, {Name: "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 7 {
+		t.Fatalf("empty run total = %d, want W=7", rep.Total)
+	}
+}
+
+// randomInstanceAndSchedule builds a random instance plus a canonical
+// schedule for the agreement property test.
+func randomInstanceAndSchedule(r *rand.Rand) (*model.MTSwitchInstance, *model.MTSchedule) {
+	m := 1 + r.Intn(4)
+	n := 1 + r.Intn(8)
+	tasks := make([]model.Task, m)
+	rows := make([][]bitset.Set, m)
+	hyper := make([][]bool, m)
+	for j := 0; j < m; j++ {
+		l := 1 + r.Intn(5)
+		tasks[j] = model.Task{Name: string(rune('A' + j)), Local: l, V: model.Cost(1 + r.Intn(5))}
+		rows[j] = make([]bitset.Set, n)
+		hyper[j] = make([]bool, n)
+		hyper[j][0] = true
+		for i := 0; i < n; i++ {
+			s := bitset.New(l)
+			for b := 0; b < l; b++ {
+				if r.Intn(3) == 0 {
+					s.Add(b)
+				}
+			}
+			rows[j][i] = s
+			if i > 0 {
+				hyper[j][i] = r.Intn(3) == 0
+			}
+		}
+	}
+	ins, err := model.NewMTSwitchInstance(tasks, rows)
+	if err != nil {
+		panic(err)
+	}
+	sched, err := ins.CanonicalSchedule(hyper)
+	if err != nil {
+		panic(err)
+	}
+	return ins, sched
+}
+
+// Property: the concurrent runtime and the closed-form cost model agree
+// exactly on fully synchronized schedules, for both upload modes.
+func TestQuickRuntimeAgreesWithCostModel(t *testing.T) {
+	for _, opt := range []model.CostOptions{parallel, sequential,
+		{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskSequential},
+		{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskParallel}} {
+		opt := opt
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			ins, sched := randomInstanceAndSchedule(r)
+			want, err := ins.Cost(sched, opt)
+			if err != nil {
+				return false
+			}
+			programs, err := FromSchedule(ins, sched)
+			if err != nil {
+				return false
+			}
+			m, err := New(ins.Tasks, model.FullySynchronized, opt, ins.W, ins.PublicGlobal)
+			if err != nil {
+				return false
+			}
+			rep, err := m.Run(programs)
+			if err != nil {
+				return false
+			}
+			return rep.Total == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("upload modes %v/%v: %v", opt.HyperUpload, opt.ReconfUpload, err)
+		}
+	}
+}
+
+func TestMixedModeCosts(t *testing.T) {
+	// Two tasks, two rounds.  Task A: hyper(2 switches)+2 reconfs à 2;
+	// task B: hyper(1 switch)+1 no-hyper, reconfs à 1.
+	programs := []TaskProgram{
+		{Name: "A", Ops: []Op{
+			{Hyper: setPtr(3, 0, 1), Req: set(3, 0)},
+			{Req: set(3, 1)},
+		}},
+		{Name: "B", Ops: []Op{
+			{Hyper: setPtr(2, 0), Req: set(2, 0)},
+			{Req: set(2, 0)},
+		}},
+	}
+	// HypercontextSynchronized, parallel: hyper phases barriered,
+	// reconf free-running.
+	// Round 0: lanes equalize at 0, hyper max(2,5)=5 → lanes 5; reconf
+	// free: A 5+2=7, B 5+1=6.
+	// Round 1: hyper barrier: max lane 7, no participants → lanes 7;
+	// reconf free: A 9, B 8.  Total max = 9.
+	m, err := New(twoTasks(), model.HypercontextSynchronized, parallel, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 9 {
+		t.Fatalf("hypercontext-synchronized total = %d, want 9", rep.Total)
+	}
+	// ContextSynchronized, parallel: hyper free, reconf barriered.
+	// Round 0: A lane 2, B lane 5 (hyper); reconf barrier: max(2,5)=5 +
+	// max(2,1)=2 → lanes 7.
+	// Round 1: no hyper; reconf barrier: 7 + max(2,1)=2 → lanes 9.
+	m, err = New(twoTasks(), model.ContextSynchronized, parallel, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = m.Run(programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 9 {
+		t.Fatalf("context-synchronized total = %d, want 9", rep.Total)
+	}
+}
+
+// Property: more synchronization never shortens the timeline for the
+// same programs: NonSynchronized ≤ each mixed mode ≤ FullySynchronized.
+func TestQuickModeOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins, sched := randomInstanceAndSchedule(r)
+		programs, err := FromSchedule(ins, sched)
+		if err != nil {
+			return false
+		}
+		totals := make(map[model.SyncMode]model.Cost)
+		for _, mode := range []model.SyncMode{
+			model.NonSynchronized, model.HypercontextSynchronized,
+			model.ContextSynchronized, model.FullySynchronized,
+		} {
+			m, err := New(ins.Tasks, mode, parallel, ins.W, 0)
+			if err != nil {
+				return false
+			}
+			rep, err := m.Run(programs)
+			if err != nil {
+				return false
+			}
+			totals[mode] = rep.Total
+		}
+		non, full := totals[model.NonSynchronized], totals[model.FullySynchronized]
+		return non <= totals[model.HypercontextSynchronized] &&
+			non <= totals[model.ContextSynchronized] &&
+			totals[model.HypercontextSynchronized] <= full &&
+			totals[model.ContextSynchronized] <= full
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the non-synchronized runtime agrees with the closed-form
+// General Multi Task model (model.AsyncRun) on any schedule.
+func TestQuickNonSyncAgreesWithAsyncModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins, sched := randomInstanceAndSchedule(r)
+		programs, err := FromSchedule(ins, sched)
+		if err != nil {
+			return false
+		}
+		// Build the AsyncRun directly from the programs.
+		run := &model.AsyncRun{GlobalInit: ins.W}
+		for j, p := range programs {
+			tr := model.AsyncTaskRun{Name: p.Name}
+			var cur *model.AsyncPhase
+			for _, op := range p.Ops {
+				if op.Hyper != nil {
+					tr.Phases = append(tr.Phases, model.AsyncPhase{
+						LocalInit:  ins.Tasks[j].V,
+						ReconfCost: model.Cost(op.Hyper.Count()),
+					})
+					cur = &tr.Phases[len(tr.Phases)-1]
+				}
+				cur.Steps++
+			}
+			run.Tasks = append(run.Tasks, tr)
+		}
+		want, err := run.TotalTime()
+		if err != nil {
+			return false
+		}
+		m, err := New(ins.Tasks, model.NonSynchronized, parallel, ins.W, 0)
+		if err != nil {
+			return false
+		}
+		rep, err := m.Run(programs)
+		if err != nil {
+			return false
+		}
+		return rep.Total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromScheduleValidation(t *testing.T) {
+	if _, err := FromSchedule(nil, nil); err == nil {
+		t.Fatal("accepted nils")
+	}
+}

@@ -1,0 +1,39 @@
+// Package model defines the formal objects of Lange & Middendorf's
+// hyperreconfigurable-architecture framework and its multi-task
+// extension (IPPS 2004):
+//
+//   - context requirements and hypercontexts,
+//   - the three single-task cost models (General, DAG, Switch),
+//   - the multi-task resource classes (private global, public global,
+//     local), hyperreconfiguration kinds (global, local/partial),
+//     machine partiality classes and synchronization modes,
+//   - the multi-task cost models (General MT, MT-DAG, MT-Switch) in both
+//     the asynchronous and the fully synchronized form, each with task
+//     parallel or task sequential uploads,
+//   - the changeover-cost model variant.
+//
+// The package is purely descriptive: it represents problem instances and
+// candidate (hyper)reconfiguration schedules and prices them, but does
+// not optimize.  Solvers live in internal/phc (single task),
+// internal/mtswitch (multi task, exact) and internal/ga (multi task,
+// genetic).  Machine semantics (barrier-synchronized execution of task
+// programs) live in internal/machine, and the SHyRA example architecture
+// in internal/shyra.
+//
+// # Vocabulary
+//
+// A computation is a sequence of context requirements c_1 ... c_n.  Each
+// requirement names the reconfigurable features the computation needs at
+// that reconfiguration step.  A hypercontext h determines which
+// requirements are satisfiable; installing h costs init(h) and every
+// ordinary reconfiguration performed under h costs cost(h).  In the
+// Switch model both requirements and hypercontexts are subsets of a
+// switch universe X, a requirement c is satisfied by h iff c ⊆ h, and
+// cost(h) = |h|.
+//
+// In the multi-task setting m tasks T_1..T_m run in parallel.  Each task
+// has its own sequence of requirements over its local switches; partial
+// (local) hyperreconfigurations adapt a single task's hypercontext
+// without disturbing the others, while global hyperreconfigurations are
+// barrier-synchronized across all tasks.
+package model

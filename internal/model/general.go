@@ -1,0 +1,223 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Hypercontext is one hypercontext of the General (or DAG) cost model
+// with an explicitly enumerated hypercontext set H.  Sat is its context
+// set h(C): the subset of the context-requirement catalog it satisfies.
+type Hypercontext struct {
+	// Name identifies the hypercontext in reports.
+	Name string
+	// Init is init(h), the cost of hyperreconfiguring into h.
+	Init Cost
+	// PerStep is cost(h), the cost of one ordinary reconfiguration
+	// performed while h is active.
+	PerStep Cost
+	// Sat is h(C) over the catalog universe {0..NumContexts-1}.
+	Sat bitset.Set
+}
+
+// GeneralInstance is a single-task instance of the General cost model
+// with an explicit hypercontext set.  The catalog of possible context
+// requirements is abstract: requirements are identified by integers
+// 0..NumContexts-1 and a hypercontext h satisfies requirement c iff
+// c ∈ h(C).
+//
+// With H explicit the optimization problem is polynomial (see
+// internal/phc).  The paper's NP-completeness result concerns the
+// general model with implicitly described (exponentially many)
+// hypercontexts, which internal/phc attacks with branch-and-bound and
+// heuristics on the Switch representation.
+type GeneralInstance struct {
+	NumContexts   int
+	Hypercontexts []Hypercontext
+	// Seq is the computation's requirement sequence, each an index into
+	// the catalog.
+	Seq []int
+}
+
+// NewGeneralInstance validates and builds an instance.  Every
+// requirement in the sequence must be satisfiable by at least one
+// hypercontext, otherwise no schedule exists.
+func NewGeneralInstance(numContexts int, hs []Hypercontext, seq []int) (*GeneralInstance, error) {
+	if numContexts < 0 {
+		return nil, fmt.Errorf("model: negative context catalog size")
+	}
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("model: instance needs at least one hypercontext")
+	}
+	for k, h := range hs {
+		if h.Init < 0 || h.PerStep < 0 {
+			return nil, fmt.Errorf("model: hypercontext %q has negative costs", h.Name)
+		}
+		if h.Sat.Universe() != numContexts {
+			return nil, fmt.Errorf("model: hypercontext %d context set over universe %d, want %d", k, h.Sat.Universe(), numContexts)
+		}
+	}
+	for i, c := range seq {
+		if c < 0 || c >= numContexts {
+			return nil, fmt.Errorf("model: sequence step %d references unknown context %d", i, c)
+		}
+		ok := false
+		for _, h := range hs {
+			if h.Sat.Contains(c) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("model: context %d (step %d) is satisfied by no hypercontext", c, i)
+		}
+	}
+	return &GeneralInstance{NumContexts: numContexts, Hypercontexts: hs, Seq: seq}, nil
+}
+
+// Len returns the number of reconfiguration steps.
+func (ins *GeneralInstance) Len() int { return len(ins.Seq) }
+
+// GeneralSchedule assigns a hypercontext (index into
+// GeneralInstance.Hypercontexts) to every step.  A hyperreconfiguration
+// happens before step 0 and before every step whose assignment differs
+// from the previous one.
+type GeneralSchedule struct {
+	HctxIdx []int
+}
+
+// Cost validates the schedule and computes
+// Σ_segments ( init(h) + cost(h)·len ).
+func (ins *GeneralInstance) Cost(s GeneralSchedule) (Cost, error) {
+	if len(s.HctxIdx) != ins.Len() {
+		return 0, fmt.Errorf("model: schedule covers %d steps, want %d", len(s.HctxIdx), ins.Len())
+	}
+	var total Cost
+	for i, k := range s.HctxIdx {
+		if k < 0 || k >= len(ins.Hypercontexts) {
+			return 0, fmt.Errorf("model: step %d assigned unknown hypercontext %d", i, k)
+		}
+		h := ins.Hypercontexts[k]
+		if !h.Sat.Contains(ins.Seq[i]) {
+			return 0, fmt.Errorf("model: hypercontext %q does not satisfy context %d at step %d", h.Name, ins.Seq[i], i)
+		}
+		if i == 0 || s.HctxIdx[i-1] != k {
+			total += h.Init
+		}
+		total += h.PerStep
+	}
+	return total, nil
+}
+
+// Hyperreconfigurations returns the steps at which the schedule
+// hyperreconfigures (step 0 plus every change point).
+func (s GeneralSchedule) Hyperreconfigurations() []int {
+	var out []int
+	for i, k := range s.HctxIdx {
+		if i == 0 || s.HctxIdx[i-1] != k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AsyncPhase is one "local hyperreconfiguration followed by a run of
+// ordinary reconfigurations" episode of a task in the asynchronous
+// (non-synchronized) multi-task General model: the pair
+// (h^loc_{j,i}, h^priv_{j,i}) S_{j,i} of Section 4.1.
+type AsyncPhase struct {
+	// LocalInit is init(h_j, f_j^loc), the cost of the phase's local
+	// hyperreconfiguration.
+	LocalInit Cost
+	// ReconfCost is cost(h^loc, h^priv), the per-step reconfiguration
+	// cost within this phase.
+	ReconfCost Cost
+	// Steps is |S_{j,i}|, the number of ordinary reconfigurations.
+	Steps int
+}
+
+// AsyncTaskRun is the sequence of phases one task executes between two
+// global hyperreconfigurations.  The paper requires n_j ≥ 1: after a
+// global hyperreconfiguration every task must perform a local
+// hyperreconfiguration before it can reconfigure.
+type AsyncTaskRun struct {
+	Name   string
+	Phases []AsyncPhase
+}
+
+// Time returns the task's total (hyper)reconfiguration time
+// Σ_i ( init_i + cost_i·|S_i| ).
+func (t AsyncTaskRun) Time() Cost {
+	var total Cost
+	for _, p := range t.Phases {
+		total += p.LocalInit + p.ReconfCost*Cost(p.Steps)
+	}
+	return total
+}
+
+// AsyncRun is one window between global hyperreconfiguration h and the
+// next one h' on a non-synchronized machine where partial operations
+// run task parallel.  Its total time is the General Multi Task model's
+//
+//	init(h) + max_j Σ_i ( init(h_j, f_j^loc) + cost(h^loc,h^priv)·|S_{j,i}| ).
+type AsyncRun struct {
+	// GlobalInit is init(h) of the window-opening global
+	// hyperreconfiguration.
+	GlobalInit Cost
+	Tasks      []AsyncTaskRun
+}
+
+// Validate checks the n_j ≥ 1 requirement and non-negative costs.
+func (r *AsyncRun) Validate() error {
+	if len(r.Tasks) == 0 {
+		return fmt.Errorf("model: async run needs at least one task")
+	}
+	if r.GlobalInit < 0 {
+		return fmt.Errorf("model: negative global init cost")
+	}
+	for _, t := range r.Tasks {
+		if len(t.Phases) == 0 {
+			return fmt.Errorf("model: task %q must perform at least one local hyperreconfiguration after a global one", t.Name)
+		}
+		for i, p := range t.Phases {
+			if p.LocalInit < 0 || p.ReconfCost < 0 || p.Steps < 0 {
+				return fmt.Errorf("model: task %q phase %d has negative components", t.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalTime computes the window's maximal total
+// (hyper)reconfiguration time.  Because the machine is
+// non-synchronized, reconfiguration time of one task overlaps with
+// computation of the others and the window is bounded by its slowest
+// task.
+func (r *AsyncRun) TotalTime() (Cost, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	var worst Cost
+	for _, t := range r.Tasks {
+		if tt := t.Time(); tt > worst {
+			worst = tt
+		}
+	}
+	return r.GlobalInit + worst, nil
+}
+
+// BottleneckTask returns the index of the task that determines the
+// window time (ties resolved to the lowest index).
+func (r *AsyncRun) BottleneckTask() (int, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	best, bestTime := 0, Cost(-1)
+	for j, t := range r.Tasks {
+		if tt := t.Time(); tt > bestTime {
+			best, bestTime = j, tt
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,202 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// threeHypercontexts builds a catalog over 3 contexts:
+//
+//	small:  satisfies {0},      init 2, per-step 1
+//	medium: satisfies {0,1},    init 4, per-step 2
+//	full:   satisfies {0,1,2},  init 8, per-step 5
+func threeHypercontexts() []Hypercontext {
+	return []Hypercontext{
+		{Name: "small", Init: 2, PerStep: 1, Sat: bitset.FromMembers(3, 0)},
+		{Name: "medium", Init: 4, PerStep: 2, Sat: bitset.FromMembers(3, 0, 1)},
+		{Name: "full", Init: 8, PerStep: 5, Sat: bitset.FromMembers(3, 0, 1, 2)},
+	}
+}
+
+func TestNewGeneralInstanceValidation(t *testing.T) {
+	hs := threeHypercontexts()
+	if _, err := NewGeneralInstance(3, nil, nil); err == nil {
+		t.Fatal("accepted empty hypercontext set")
+	}
+	if _, err := NewGeneralInstance(3, hs, []int{3}); err == nil {
+		t.Fatal("accepted out-of-catalog context")
+	}
+	bad := []Hypercontext{{Name: "neg", Init: -1, PerStep: 0, Sat: bitset.Full(3)}}
+	if _, err := NewGeneralInstance(3, bad, nil); err == nil {
+		t.Fatal("accepted negative init")
+	}
+	// A context with no satisfier.
+	only := []Hypercontext{{Name: "s", Init: 1, PerStep: 1, Sat: bitset.FromMembers(2, 0)}}
+	if _, err := NewGeneralInstance(2, only, []int{1}); err == nil {
+		t.Fatal("accepted unsatisfiable context")
+	}
+}
+
+func TestGeneralCost(t *testing.T) {
+	ins, err := NewGeneralInstance(3, threeHypercontexts(), []int{0, 0, 1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stay in full the whole time: 8 + 5*5 = 33.
+	c, err := ins.Cost(GeneralSchedule{HctxIdx: []int{2, 2, 2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 33 {
+		t.Fatalf("full-only cost = %d, want 33", c)
+	}
+	// small,small,medium,full,small: inits 2+4+8+2, per-steps 1+1+2+5+1.
+	c, err = ins.Cost(GeneralSchedule{HctxIdx: []int{0, 0, 1, 2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 16+10 {
+		t.Fatalf("adaptive cost = %d, want 26", c)
+	}
+}
+
+func TestGeneralCostRejects(t *testing.T) {
+	ins, err := NewGeneralInstance(3, threeHypercontexts(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Cost(GeneralSchedule{HctxIdx: []int{0}}); err == nil {
+		t.Fatal("accepted hypercontext that misses the context")
+	}
+	if _, err := ins.Cost(GeneralSchedule{HctxIdx: []int{9}}); err == nil {
+		t.Fatal("accepted unknown hypercontext index")
+	}
+	if _, err := ins.Cost(GeneralSchedule{HctxIdx: nil}); err == nil {
+		t.Fatal("accepted wrong-length schedule")
+	}
+}
+
+func TestHyperreconfigurations(t *testing.T) {
+	s := GeneralSchedule{HctxIdx: []int{1, 1, 0, 0, 2, 2}}
+	got := s.Hyperreconfigurations()
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Hyperreconfigurations = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Hyperreconfigurations = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAsyncRunTotalTime(t *testing.T) {
+	run := &AsyncRun{
+		GlobalInit: 10,
+		Tasks: []AsyncTaskRun{
+			{Name: "fast", Phases: []AsyncPhase{{LocalInit: 1, ReconfCost: 2, Steps: 3}}},                                           // 7
+			{Name: "slow", Phases: []AsyncPhase{{LocalInit: 5, ReconfCost: 4, Steps: 10}, {LocalInit: 1, ReconfCost: 1, Steps: 1}}}, // 47
+		},
+	}
+	total, err := run.TotalTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10+47 {
+		t.Fatalf("TotalTime = %d, want 57", total)
+	}
+	j, err := run.BottleneckTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Fatalf("BottleneckTask = %d, want 1", j)
+	}
+}
+
+func TestAsyncRunValidation(t *testing.T) {
+	if _, err := (&AsyncRun{}).TotalTime(); err == nil {
+		t.Fatal("accepted run without tasks")
+	}
+	run := &AsyncRun{Tasks: []AsyncTaskRun{{Name: "empty"}}}
+	if _, err := run.TotalTime(); err == nil {
+		t.Fatal("accepted task without mandatory local hyperreconfiguration")
+	}
+	run = &AsyncRun{Tasks: []AsyncTaskRun{{Name: "neg", Phases: []AsyncPhase{{LocalInit: -1}}}}}
+	if _, err := run.TotalTime(); err == nil {
+		t.Fatal("accepted negative phase cost")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	cases := []struct {
+		val  interface{ String() string }
+		want string
+	}{
+		{PrivateGlobal, "private-global"},
+		{PublicGlobal, "public-global"},
+		{Local, "local"},
+		{NonSynchronized, "non-synchronized"},
+		{HypercontextSynchronized, "hypercontext-synchronized"},
+		{ContextSynchronized, "context-synchronized"},
+		{FullySynchronized, "fully-synchronized"},
+		{TaskParallel, "task-parallel"},
+		{TaskSequential, "task-sequential"},
+		{PartiallyReconfigurable, "partially-reconfigurable"},
+		{PartiallyHyperreconfigurable, "partially-hyperreconfigurable"},
+		{RestrictedPartiallyHyperreconfigurable, "restricted-partially-hyperreconfigurable"},
+	}
+	for _, c := range cases {
+		if got := c.val.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if ResourceClass(99).String() == "" || SyncMode(99).String() == "" ||
+		UploadMode(99).String() == "" || MachineClass(99).String() == "" {
+		t.Error("unknown enum values should still render")
+	}
+}
+
+func TestSyncModePredicates(t *testing.T) {
+	if !FullySynchronized.HyperSynchronized() || !FullySynchronized.ContextSynchronizedMode() {
+		t.Error("FullySynchronized predicates wrong")
+	}
+	if NonSynchronized.HyperSynchronized() || NonSynchronized.ContextSynchronizedMode() {
+		t.Error("NonSynchronized predicates wrong")
+	}
+	if !HypercontextSynchronized.HyperSynchronized() || HypercontextSynchronized.ContextSynchronizedMode() {
+		t.Error("HypercontextSynchronized predicates wrong")
+	}
+	if ContextSynchronized.HyperSynchronized() || !ContextSynchronized.ContextSynchronizedMode() {
+		t.Error("ContextSynchronized predicates wrong")
+	}
+	// Public global resources only exist under context synchronization.
+	if NonSynchronized.AllowsPublicGlobal() || HypercontextSynchronized.AllowsPublicGlobal() {
+		t.Error("public global resources must require context synchronization")
+	}
+	if !ContextSynchronized.AllowsPublicGlobal() || !FullySynchronized.AllowsPublicGlobal() {
+		t.Error("context/fully synchronized machines allow public global resources")
+	}
+}
+
+func TestMachineClassPredicates(t *testing.T) {
+	if !PartiallyHyperreconfigurable.AllowsPartialHyper() || !PartiallyHyperreconfigurable.AllowsPartialReconf() {
+		t.Error("PartiallyHyperreconfigurable predicates wrong")
+	}
+	if !RestrictedPartiallyHyperreconfigurable.AllowsPartialHyper() || RestrictedPartiallyHyperreconfigurable.AllowsPartialReconf() {
+		t.Error("RestrictedPartiallyHyperreconfigurable predicates wrong")
+	}
+	if PartiallyReconfigurable.AllowsPartialHyper() || !PartiallyReconfigurable.AllowsPartialReconf() {
+		t.Error("PartiallyReconfigurable predicates wrong")
+	}
+}
+
+func TestUploadModeCombine(t *testing.T) {
+	if TaskParallel.Combine(3, 5) != 5 || TaskParallel.Combine(5, 3) != 5 {
+		t.Error("TaskParallel.Combine should take the max")
+	}
+	if TaskSequential.Combine(3, 5) != 8 {
+		t.Error("TaskSequential.Combine should sum")
+	}
+}

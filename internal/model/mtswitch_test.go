@@ -1,0 +1,383 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// twoTaskInstance builds a small fixed instance:
+//
+//	task A: 2 local switches, v=2, reqs {0},{1},{0,1}
+//	task B: 3 local switches, v=3, reqs {2},{},{0}
+func twoTaskInstance(t *testing.T) *MTSwitchInstance {
+	t.Helper()
+	tasks := []Task{{Name: "A", Local: 2, V: 2}, {Name: "B", Local: 3, V: 3}}
+	rs := [][]bitset.Set{
+		reqs(2, []int{0}, []int{1}, []int{0, 1}),
+		reqs(3, []int{2}, nil, []int{0}),
+	}
+	ins, err := NewMTSwitchInstance(tasks, rs)
+	if err != nil {
+		t.Fatalf("NewMTSwitchInstance: %v", err)
+	}
+	return ins
+}
+
+func TestNewMTSwitchInstanceValidation(t *testing.T) {
+	if _, err := NewMTSwitchInstance(nil, nil); err == nil {
+		t.Fatal("accepted zero tasks")
+	}
+	tasks := []Task{{Name: "A", Local: 2, V: 1}}
+	if _, err := NewMTSwitchInstance(tasks, nil); err == nil {
+		t.Fatal("accepted missing requirement rows")
+	}
+	if _, err := NewMTSwitchInstance([]Task{{Name: "A", Local: 2, V: 0}},
+		[][]bitset.Set{reqs(2, []int{0})}); err == nil {
+		t.Fatal("accepted v_j = 0")
+	}
+	// Unequal lengths.
+	two := []Task{{Name: "A", Local: 1, V: 1}, {Name: "B", Local: 1, V: 1}}
+	if _, err := NewMTSwitchInstance(two, [][]bitset.Set{
+		reqs(1, []int{0}), reqs(1, []int{0}, []int{0}),
+	}); err == nil {
+		t.Fatal("accepted unequal sequence lengths")
+	}
+	// Wrong universe.
+	if _, err := NewMTSwitchInstance(two, [][]bitset.Set{
+		reqs(1, []int{0}), reqs(2, []int{1}),
+	}); err == nil {
+		t.Fatal("accepted requirement over wrong universe")
+	}
+}
+
+func TestCanonicalScheduleSegments(t *testing.T) {
+	ins := twoTaskInstance(t)
+	// Task A hyperreconfigures at 0 and 2; task B only at 0.
+	hyper := [][]bool{{true, false, true}, {true, false, false}}
+	s, err := ins.CanonicalSchedule(hyper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Validate(s); err != nil {
+		t.Fatalf("canonical schedule invalid: %v", err)
+	}
+	// Task A: segment [0,2) union {0,1}; segment [2,3) union {0,1}.
+	if s.Hctx[0][0].String() != "11" || s.Hctx[0][1].String() != "11" || s.Hctx[0][2].String() != "11" {
+		t.Fatalf("task A hypercontexts: %v %v %v", s.Hctx[0][0], s.Hctx[0][1], s.Hctx[0][2])
+	}
+	// Task B: one segment, union {0,2}.
+	if s.Hctx[1][0].String() != "101" {
+		t.Fatalf("task B hypercontext: %v", s.Hctx[1][0])
+	}
+}
+
+func TestCanonicalScheduleForcesInitialHyper(t *testing.T) {
+	ins := twoTaskInstance(t)
+	hyper := [][]bool{{false, false, false}, {false, false, false}}
+	s, err := ins.CanonicalSchedule(hyper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Hyper[0][0] || !s.Hyper[1][0] {
+		t.Fatal("initial hyperreconfiguration not forced")
+	}
+}
+
+func TestMTCostTaskParallel(t *testing.T) {
+	ins := twoTaskInstance(t)
+	hyper := [][]bool{{true, false, true}, {true, false, false}}
+	s, err := ins.CanonicalSchedule(hyper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CostOptions{HyperUpload: TaskParallel, ReconfUpload: TaskParallel}
+	got, err := ins.Cost(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0: hyper max(2,3)=3; reconf max(|{0,1}|=2, |{0,2}|=2)=2.
+	// Step 1: hyper 0; reconf max(2,2)=2.
+	// Step 2: hyper max(2)=2; reconf max(2,2)=2.
+	want := Cost(3 + 2 + 0 + 2 + 2 + 2)
+	if got != want {
+		t.Fatalf("cost = %d, want %d", got, want)
+	}
+}
+
+func TestMTCostTaskSequential(t *testing.T) {
+	ins := twoTaskInstance(t)
+	hyper := [][]bool{{true, false, true}, {true, false, false}}
+	s, err := ins.CanonicalSchedule(hyper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CostOptions{HyperUpload: TaskSequential, ReconfUpload: TaskSequential}
+	got, err := ins.Cost(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0: hyper 2+3=5; reconf 2+2=4.
+	// Step 1: hyper 0; reconf 4.
+	// Step 2: hyper 2; reconf 4.
+	want := Cost(5 + 4 + 0 + 4 + 2 + 4)
+	if got != want {
+		t.Fatalf("cost = %d, want %d", got, want)
+	}
+}
+
+func TestMTCostPublicGlobal(t *testing.T) {
+	ins := twoTaskInstance(t)
+	ins.PublicGlobal = 5
+	ins.W = 7
+	hyper := [][]bool{{true, false, false}, {true, false, false}}
+	s, err := ins.CanonicalSchedule(hyper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ins.Cost(s, CostOptions{HyperUpload: TaskParallel, ReconfUpload: TaskParallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W + step0 (3 + max(5, 2, 2)) + step1 (0+5) + step2 (0+5).
+	if want := Cost(7 + 3 + 5 + 5 + 5); par != want {
+		t.Fatalf("parallel cost = %d, want %d", par, want)
+	}
+	seq, err := ins.Cost(s, CostOptions{HyperUpload: TaskSequential, ReconfUpload: TaskSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W + step0 (5 + (2+2+5)) + step1 (0+9) + step2 (0+9).
+	if want := Cost(7 + 5 + 9 + 9 + 9); seq != want {
+		t.Fatalf("sequential cost = %d, want %d", seq, want)
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	ins := twoTaskInstance(t)
+	good, err := ins.CanonicalSchedule([][]bool{{true, false, false}, {true, false, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing initial hyperreconfiguration.
+	bad := &MTSchedule{Hyper: [][]bool{{false, false, false}, {true, false, false}}, Hctx: good.Hctx}
+	if err := ins.Validate(bad); err == nil {
+		t.Fatal("accepted missing initial hyperreconfiguration")
+	}
+
+	// Hypercontext change without hyperreconfiguration.
+	hctx := [][]bitset.Set{
+		{bitset.Full(2), bitset.FromMembers(2, 1), bitset.Full(2)},
+		good.Hctx[1],
+	}
+	bad = &MTSchedule{Hyper: [][]bool{{true, false, false}, {true, false, false}}, Hctx: hctx}
+	if err := ins.Validate(bad); err == nil {
+		t.Fatal("accepted hypercontext drift without hyperreconfiguration")
+	}
+
+	// Requirement not satisfied.
+	hctx = [][]bitset.Set{
+		{bitset.FromMembers(2, 0), bitset.FromMembers(2, 0), bitset.FromMembers(2, 0)},
+		good.Hctx[1],
+	}
+	bad = &MTSchedule{Hyper: [][]bool{{true, false, false}, {true, false, false}}, Hctx: hctx}
+	if err := ins.Validate(bad); err == nil {
+		t.Fatal("accepted unsatisfied requirement")
+	}
+}
+
+func TestStepCosts(t *testing.T) {
+	ins := twoTaskInstance(t)
+	s, err := ins.CanonicalSchedule([][]bool{{true, false, true}, {true, false, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CostOptions{HyperUpload: TaskParallel, ReconfUpload: TaskParallel}
+	hc, rc, err := ins.StepCosts(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Cost
+	for i := range hc {
+		sum += hc[i] + rc[i]
+	}
+	total, err := ins.Cost(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum+ins.W != total {
+		t.Fatalf("step costs sum %d + W %d != total %d", sum, ins.W, total)
+	}
+}
+
+func TestDisabledCost(t *testing.T) {
+	ins := twoTaskInstance(t)
+	if got := ins.DisabledCost(); got != Cost(3*(2+3)) {
+		t.Fatalf("DisabledCost = %d, want 15", got)
+	}
+	ins.PublicGlobal = 2
+	if got := ins.DisabledCost(); got != Cost(3*(2+3+2)) {
+		t.Fatalf("DisabledCost with public = %d, want 21", got)
+	}
+}
+
+func TestSingleTaskView(t *testing.T) {
+	ins := twoTaskInstance(t)
+	flat, err := ins.SingleTaskView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Universe != 5 {
+		t.Fatalf("flat universe = %d, want 5", flat.Universe)
+	}
+	if flat.W != 5 {
+		t.Fatalf("flat W = %d, want 5", flat.W)
+	}
+	if flat.Len() != 3 {
+		t.Fatalf("flat length = %d, want 3", flat.Len())
+	}
+	// Step 0: A={0} → {0}; B={2} → offset 2 → {4}.
+	if flat.Reqs[0].String() != "10001" {
+		t.Fatalf("flat req 0 = %v", flat.Reqs[0])
+	}
+	// Step 2: A={0,1}; B={0} → {2}.
+	if flat.Reqs[2].String() != "11100" {
+		t.Fatalf("flat req 2 = %v", flat.Reqs[2])
+	}
+	offs, total := ins.TaskOffsets()
+	if total != 5 || offs[0] != 0 || offs[1] != 2 {
+		t.Fatalf("TaskOffsets = %v, %d", offs, total)
+	}
+	// Disabled costs agree between views.
+	if flat.DisabledCost() != ins.DisabledCost() {
+		t.Fatalf("disabled cost mismatch: %d vs %d", flat.DisabledCost(), ins.DisabledCost())
+	}
+}
+
+func randomMTInstance(r *rand.Rand) *MTSwitchInstance {
+	m := 1 + r.Intn(3)
+	n := 1 + r.Intn(8)
+	tasks := make([]Task, m)
+	rs := make([][]bitset.Set, m)
+	for j := 0; j < m; j++ {
+		l := 1 + r.Intn(5)
+		tasks[j] = Task{Name: string(rune('A' + j)), Local: l, V: Cost(1 + r.Intn(4))}
+		rs[j] = make([]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			s := bitset.New(l)
+			for b := 0; b < l; b++ {
+				if r.Intn(3) == 0 {
+					s.Add(b)
+				}
+			}
+			rs[j][i] = s
+		}
+	}
+	ins, err := NewMTSwitchInstance(tasks, rs)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+func randomHyperMask(r *rand.Rand, m, n int) [][]bool {
+	h := make([][]bool, m)
+	for j := 0; j < m; j++ {
+		h[j] = make([]bool, n)
+		h[j][0] = true
+		for i := 1; i < n; i++ {
+			h[j][i] = r.Intn(3) == 0
+		}
+	}
+	return h
+}
+
+// Property: task-parallel cost never exceeds task-sequential cost for
+// the same schedule (max ≤ sum for non-negative terms).
+func TestQuickParallelLEQSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMTInstance(r)
+		s, err := ins.CanonicalSchedule(randomHyperMask(r, ins.NumTasks(), ins.Steps()))
+		if err != nil {
+			return false
+		}
+		par, err1 := ins.Cost(s, CostOptions{TaskParallel, TaskParallel})
+		seq, err2 := ins.Cost(s, CostOptions{TaskSequential, TaskSequential})
+		return err1 == nil && err2 == nil && par <= seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonical schedules are always valid and task-sequential
+// cost never exceeds the disabled baseline plus total hyper costs
+// (since canonical hypercontexts are subsets of each task's universe).
+func TestQuickCanonicalValidAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMTInstance(r)
+		mask := randomHyperMask(r, ins.NumTasks(), ins.Steps())
+		s, err := ins.CanonicalSchedule(mask)
+		if err != nil {
+			return false
+		}
+		if err := ins.Validate(s); err != nil {
+			return false
+		}
+		seq, err := ins.Cost(s, CostOptions{TaskSequential, TaskSequential})
+		if err != nil {
+			return false
+		}
+		var hyperTotal Cost
+		for j := range mask {
+			for i := range mask[j] {
+				if s.Hyper[j][i] {
+					hyperTotal += ins.Tasks[j].V
+				}
+			}
+		}
+		return seq <= ins.DisabledCost()+hyperTotal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the flattened single-task view preserves per-step union
+// sizes: for any segmentation of the flat instance the canonical
+// hypercontext size equals the sum of per-task unions over the same
+// interval.
+func TestQuickSingleTaskViewPreservesUnions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMTInstance(r)
+		flat, err := ins.SingleTaskView()
+		if err != nil {
+			return false
+		}
+		n := ins.Steps()
+		a := r.Intn(n)
+		b := a + r.Intn(n-a) + 1 // (a, b]
+		flatU := bitset.New(flat.Universe)
+		for i := a; i < b; i++ {
+			flatU.UnionWith(flat.Reqs[i])
+		}
+		sum := 0
+		for j := range ins.Tasks {
+			u := bitset.New(ins.Tasks[j].Local)
+			for i := a; i < b; i++ {
+				u.UnionWith(ins.Reqs[j][i])
+			}
+			sum += u.Count()
+		}
+		return flatU.Count() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

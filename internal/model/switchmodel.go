@@ -1,0 +1,223 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// SwitchInstance is a single-task instance of the Switch cost model:
+// a universe X of reconfigurable units ("switches"), a fixed
+// hyperreconfiguration cost W = init(h), and a sequence of context
+// requirements, each a subset of X.  The total reconfiguration time of a
+// computation that performs r hyperreconfigurations h_1..h_r, the i-th
+// followed by |S_i| ordinary reconfigurations, is
+//
+//	r·W + Σ_i |h_i|·|S_i|.
+//
+// Because a hypercontext must satisfy every requirement reconfigured
+// under it (c ⊆ h), and cost grows with |h|, an optimal hypercontext for
+// a fixed segment of the sequence is exactly the union of the segment's
+// requirements; this canonical form is what Segmentation-based
+// schedules use.
+type SwitchInstance struct {
+	// Universe is |X|, the number of switches.
+	Universe int
+	// W is the cost of one hyperreconfiguration step, init(h) = W > 0
+	// for every h.  The paper's "typical special case" is W = |X|.
+	W Cost
+	// Reqs is the requirement sequence c_1 ... c_n; every set must
+	// range over Universe.
+	Reqs []bitset.Set
+}
+
+// NewSwitchInstance validates and builds an instance.  It returns an
+// error if W is not positive or any requirement ranges over a different
+// universe.
+func NewSwitchInstance(universe int, w Cost, reqs []bitset.Set) (*SwitchInstance, error) {
+	if universe < 0 {
+		return nil, fmt.Errorf("model: negative universe %d", universe)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("model: hyperreconfiguration cost W must be positive, got %d", w)
+	}
+	for i, r := range reqs {
+		if r.Universe() != universe {
+			return nil, fmt.Errorf("model: requirement %d ranges over universe %d, want %d", i, r.Universe(), universe)
+		}
+	}
+	return &SwitchInstance{Universe: universe, W: w, Reqs: reqs}, nil
+}
+
+// Len returns n, the number of reconfiguration steps.
+func (ins *SwitchInstance) Len() int { return len(ins.Reqs) }
+
+// Segmentation describes when hyperreconfigurations happen: Starts lists
+// the indices (0-based, strictly increasing) of the steps immediately
+// preceded by a hyperreconfiguration.  A valid segmentation of a
+// non-empty sequence must start with 0 — the machine has to establish a
+// hypercontext before the first reconfiguration.
+type Segmentation struct {
+	Starts []int
+}
+
+// Validate checks the segmentation against a sequence of length n.
+func (s Segmentation) Validate(n int) error {
+	if n == 0 {
+		if len(s.Starts) != 0 {
+			return fmt.Errorf("model: segmentation of empty sequence must be empty")
+		}
+		return nil
+	}
+	if len(s.Starts) == 0 || s.Starts[0] != 0 {
+		return fmt.Errorf("model: segmentation must begin at step 0")
+	}
+	for i := 1; i < len(s.Starts); i++ {
+		if s.Starts[i] <= s.Starts[i-1] {
+			return fmt.Errorf("model: segmentation starts not strictly increasing at %d", i)
+		}
+	}
+	if last := s.Starts[len(s.Starts)-1]; last >= n {
+		return fmt.Errorf("model: segmentation start %d beyond sequence length %d", last, n)
+	}
+	return nil
+}
+
+// Segments returns the [start, end) half-open intervals induced on a
+// sequence of length n.
+func (s Segmentation) Segments(n int) [][2]int {
+	out := make([][2]int, 0, len(s.Starts))
+	for i, st := range s.Starts {
+		end := n
+		if i+1 < len(s.Starts) {
+			end = s.Starts[i+1]
+		}
+		out = append(out, [2]int{st, end})
+	}
+	return out
+}
+
+// CanonicalHypercontexts returns, for each segment, the cheapest
+// hypercontext that satisfies every requirement inside it: the union of
+// the segment's requirements.
+func (ins *SwitchInstance) CanonicalHypercontexts(seg Segmentation) ([]bitset.Set, error) {
+	if err := seg.Validate(ins.Len()); err != nil {
+		return nil, err
+	}
+	segs := seg.Segments(ins.Len())
+	out := make([]bitset.Set, len(segs))
+	for k, se := range segs {
+		u := bitset.New(ins.Universe)
+		for i := se[0]; i < se[1]; i++ {
+			u.UnionWith(ins.Reqs[i])
+		}
+		out[k] = u
+	}
+	return out, nil
+}
+
+// Cost prices a segmentation using canonical hypercontexts:
+// r·W + Σ_k |U_k|·len_k.
+func (ins *SwitchInstance) Cost(seg Segmentation) (Cost, error) {
+	hs, err := ins.CanonicalHypercontexts(seg)
+	if err != nil {
+		return 0, err
+	}
+	return ins.CostWithHypercontexts(seg, hs)
+}
+
+// CostWithHypercontexts prices a segmentation with explicitly chosen
+// hypercontexts, validating that each hypercontext satisfies every
+// requirement of its segment.  Larger-than-canonical hypercontexts are
+// legal (they are simply more expensive under the plain model, though
+// they can pay off under changeover costs).
+func (ins *SwitchInstance) CostWithHypercontexts(seg Segmentation, hs []bitset.Set) (Cost, error) {
+	if err := seg.Validate(ins.Len()); err != nil {
+		return 0, err
+	}
+	segs := seg.Segments(ins.Len())
+	if len(hs) != len(segs) {
+		return 0, fmt.Errorf("model: %d hypercontexts for %d segments", len(hs), len(segs))
+	}
+	var total Cost
+	for k, se := range segs {
+		h := hs[k]
+		if h.Universe() != ins.Universe {
+			return 0, fmt.Errorf("model: hypercontext %d ranges over universe %d, want %d", k, h.Universe(), ins.Universe)
+		}
+		for i := se[0]; i < se[1]; i++ {
+			if !ins.Reqs[i].IsSubsetOf(h) {
+				return 0, fmt.Errorf("model: requirement %d not satisfied by hypercontext of segment %d", i, k)
+			}
+		}
+		total += ins.W + Cost(h.Count())*Cost(se[1]-se[0])
+	}
+	return total, nil
+}
+
+// ChangeoverCost prices a segmentation under the changeover-cost model
+// variant: a hyperreconfiguration into h from predecessor h' costs
+// W + |h Δ h'| (only the difference information is uploaded).  The
+// machine starts with an empty hypercontext, so the first
+// hyperreconfiguration pays W + |h_1|.  Ordinary reconfigurations cost
+// |h| per step as before.
+func (ins *SwitchInstance) ChangeoverCost(seg Segmentation, hs []bitset.Set) (Cost, error) {
+	if err := seg.Validate(ins.Len()); err != nil {
+		return 0, err
+	}
+	segs := seg.Segments(ins.Len())
+	if len(hs) != len(segs) {
+		return 0, fmt.Errorf("model: %d hypercontexts for %d segments", len(hs), len(segs))
+	}
+	prev := bitset.New(ins.Universe)
+	var total Cost
+	for k, se := range segs {
+		h := hs[k]
+		if h.Universe() != ins.Universe {
+			return 0, fmt.Errorf("model: hypercontext %d ranges over universe %d, want %d", k, h.Universe(), ins.Universe)
+		}
+		for i := se[0]; i < se[1]; i++ {
+			if !ins.Reqs[i].IsSubsetOf(h) {
+				return 0, fmt.Errorf("model: requirement %d not satisfied by hypercontext of segment %d", i, k)
+			}
+		}
+		total += ins.W + Cost(prev.SymmetricDifferenceCount(h))
+		total += Cost(h.Count()) * Cost(se[1]-se[0])
+		prev = h
+	}
+	return total, nil
+}
+
+// DisabledCost is the baseline where hyperreconfiguration is switched
+// off: the machine permanently offers its full reconfiguration
+// potential, so every step uploads all |X| bits and no
+// hyperreconfiguration cost is paid.  For SHyRA's counter trace this is
+// the paper's 5280 = 110·48.
+func (ins *SwitchInstance) DisabledCost() Cost {
+	return Cost(ins.Len()) * Cost(ins.Universe)
+}
+
+// EveryStepCost is the opposite baseline: hyperreconfigure before every
+// single step to the exact requirement, paying W each time:
+// Σ_i (W + |c_i|).
+func (ins *SwitchInstance) EveryStepCost() Cost {
+	var total Cost
+	for _, r := range ins.Reqs {
+		total += ins.W + Cost(r.Count())
+	}
+	return total
+}
+
+// LowerBound returns a simple instance lower bound on any schedule's
+// cost: one hyperreconfiguration is unavoidable and every step must pay
+// at least |c_i| reconfiguration bits.
+func (ins *SwitchInstance) LowerBound() Cost {
+	if ins.Len() == 0 {
+		return 0
+	}
+	total := ins.W
+	for _, r := range ins.Reqs {
+		total += Cost(r.Count())
+	}
+	return total
+}

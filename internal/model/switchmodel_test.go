@@ -1,0 +1,246 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func reqs(universe int, members ...[]int) []bitset.Set {
+	out := make([]bitset.Set, len(members))
+	for i, m := range members {
+		out[i] = bitset.FromMembers(universe, m...)
+	}
+	return out
+}
+
+func mustSwitch(t *testing.T, universe int, w Cost, rs []bitset.Set) *SwitchInstance {
+	t.Helper()
+	ins, err := NewSwitchInstance(universe, w, rs)
+	if err != nil {
+		t.Fatalf("NewSwitchInstance: %v", err)
+	}
+	return ins
+}
+
+func TestNewSwitchInstanceValidation(t *testing.T) {
+	if _, err := NewSwitchInstance(4, 0, nil); err == nil {
+		t.Fatal("accepted W=0")
+	}
+	if _, err := NewSwitchInstance(-1, 1, nil); err == nil {
+		t.Fatal("accepted negative universe")
+	}
+	bad := []bitset.Set{bitset.New(5)}
+	if _, err := NewSwitchInstance(4, 1, bad); err == nil {
+		t.Fatal("accepted requirement over wrong universe")
+	}
+}
+
+func TestSegmentationValidate(t *testing.T) {
+	cases := []struct {
+		starts []int
+		n      int
+		ok     bool
+	}{
+		{[]int{0}, 3, true},
+		{[]int{0, 2}, 3, true},
+		{[]int{0, 1, 2}, 3, true},
+		{nil, 0, true},
+		{[]int{}, 3, false},  // must begin at 0
+		{[]int{1}, 3, false}, // must begin at 0
+		{[]int{0, 0}, 3, false},
+		{[]int{0, 2, 1}, 3, false},
+		{[]int{0, 3}, 3, false}, // beyond end
+		{[]int{0}, 0, false},
+	}
+	for _, c := range cases {
+		err := Segmentation{Starts: c.starts}.Validate(c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v, n=%d) err=%v, want ok=%v", c.starts, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	seg := Segmentation{Starts: []int{0, 2, 5}}
+	got := seg.Segments(7)
+	want := [][2]int{{0, 2}, {2, 5}, {5, 7}}
+	if len(got) != len(want) {
+		t.Fatalf("Segments = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Segments[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCanonicalHypercontextsAndCost(t *testing.T) {
+	// Universe {0..3}; requirements {0},{1},{2,3},{2}.
+	ins := mustSwitch(t, 4, 3, reqs(4, []int{0}, []int{1}, []int{2, 3}, []int{2}))
+
+	// One segment: union {0,1,2,3}, cost = 3 + 4*4 = 19.
+	c, err := ins.Cost(Segmentation{Starts: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 19 {
+		t.Fatalf("single-segment cost = %d, want 19", c)
+	}
+
+	// Two segments [0,2),[2,4): unions {0,1},{2,3}; cost = 2*3 + 2*2 + 2*2 = 14.
+	c, err = ins.Cost(Segmentation{Starts: []int{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 14 {
+		t.Fatalf("two-segment cost = %d, want 14", c)
+	}
+
+	hs, err := ins.CanonicalHypercontexts(Segmentation{Starts: []int{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[0].String() != "1100" || hs[1].String() != "0011" {
+		t.Fatalf("canonical hypercontexts = %v %v", hs[0], hs[1])
+	}
+}
+
+func TestCostWithHypercontextsRejectsUnsatisfied(t *testing.T) {
+	ins := mustSwitch(t, 4, 1, reqs(4, []int{0}, []int{1}))
+	seg := Segmentation{Starts: []int{0}}
+	hs := []bitset.Set{bitset.FromMembers(4, 0)} // misses requirement {1}
+	if _, err := ins.CostWithHypercontexts(seg, hs); err == nil {
+		t.Fatal("accepted hypercontext that misses a requirement")
+	}
+}
+
+func TestCostWithOversizedHypercontext(t *testing.T) {
+	ins := mustSwitch(t, 4, 1, reqs(4, []int{0}, []int{1}))
+	seg := Segmentation{Starts: []int{0}}
+	full := []bitset.Set{bitset.Full(4)}
+	c, err := ins.CostWithHypercontexts(seg, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1+4*2 {
+		t.Fatalf("cost = %d, want 9", c)
+	}
+}
+
+func TestChangeoverCost(t *testing.T) {
+	ins := mustSwitch(t, 4, 2, reqs(4, []int{0, 1}, []int{1, 2}))
+	seg := Segmentation{Starts: []int{0, 1}}
+	hs := []bitset.Set{bitset.FromMembers(4, 0, 1), bitset.FromMembers(4, 1, 2)}
+	// Hyper 1: W + |∅ Δ {0,1}| = 2+2; step cost 2.
+	// Hyper 2: W + |{0,1} Δ {1,2}| = 2+2; step cost 2.
+	c, err := ins.ChangeoverCost(seg, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 12 {
+		t.Fatalf("changeover cost = %d, want 12", c)
+	}
+}
+
+func TestBaselinesAndLowerBound(t *testing.T) {
+	ins := mustSwitch(t, 4, 3, reqs(4, []int{0}, []int{1, 2}, nil))
+	if got := ins.DisabledCost(); got != 12 {
+		t.Fatalf("DisabledCost = %d, want 12", got)
+	}
+	if got := ins.EveryStepCost(); got != 3+1+3+2+3+0 {
+		t.Fatalf("EveryStepCost = %d, want 12", got)
+	}
+	if got := ins.LowerBound(); got != 3+1+2+0 {
+		t.Fatalf("LowerBound = %d, want 6", got)
+	}
+	empty := mustSwitch(t, 4, 3, nil)
+	if got := empty.LowerBound(); got != 0 {
+		t.Fatalf("empty LowerBound = %d, want 0", got)
+	}
+}
+
+func randomSwitchInstance(r *rand.Rand) *SwitchInstance {
+	universe := 1 + r.Intn(8)
+	n := 1 + r.Intn(10)
+	rs := make([]bitset.Set, n)
+	for i := range rs {
+		s := bitset.New(universe)
+		for b := 0; b < universe; b++ {
+			if r.Intn(3) == 0 {
+				s.Add(b)
+			}
+		}
+		rs[i] = s
+	}
+	ins, err := NewSwitchInstance(universe, Cost(1+r.Intn(5)), rs)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+func randomSegmentation(r *rand.Rand, n int) Segmentation {
+	starts := []int{0}
+	for i := 1; i < n; i++ {
+		if r.Intn(2) == 0 {
+			starts = append(starts, i)
+		}
+	}
+	return Segmentation{Starts: starts}
+}
+
+// Property: canonical cost is never above the cost of the same
+// segmentation with the full hypercontext everywhere, and never below
+// the instance lower bound.
+func TestQuickCanonicalIsCheapestPerSegmentation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomSwitchInstance(r)
+		seg := randomSegmentation(r, ins.Len())
+		canon, err := ins.Cost(seg)
+		if err != nil {
+			return false
+		}
+		full := make([]bitset.Set, len(seg.Starts))
+		for i := range full {
+			full[i] = bitset.Full(ins.Universe)
+		}
+		fullCost, err := ins.CostWithHypercontexts(seg, full)
+		if err != nil {
+			return false
+		}
+		return canon <= fullCost && canon >= ins.LowerBound()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two adjacent segments never decreases cost by more
+// than one W (the saved hyperreconfiguration): cost(merged) ≥
+// cost(split) - W is NOT generally true, but cost(split) ≤ cost(merged)
+// + W always holds because splitting a segment keeps unions no larger.
+func TestQuickSplitBoundedByMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomSwitchInstance(r)
+		if ins.Len() < 2 {
+			return true
+		}
+		merged := Segmentation{Starts: []int{0}}
+		cut := 1 + r.Intn(ins.Len()-1)
+		split := Segmentation{Starts: []int{0, cut}}
+		cm, err1 := ins.Cost(merged)
+		cs, err2 := ins.Cost(split)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return cs <= cm+ins.W
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package model
+
+import "fmt"
+
+// Cost measures (hyper)reconfiguration time.  In the Switch model a cost
+// unit corresponds to one reconfiguration bit that must be uploaded, so
+// all costs in this library are exact integers, never floats.
+type Cost int64
+
+// ResourceClass classifies the reconfigurable resources of a multi-task
+// hyperreconfigurable machine (Section 3 of the paper).
+type ResourceClass int
+
+const (
+	// PrivateGlobal resources are shared between tasks: the total
+	// amount and its assignment to tasks is defined by the global
+	// hypercontext (e.g. I/O units split among tasks).  Ownership can
+	// change at every global hyperreconfiguration.
+	PrivateGlobal ResourceClass = iota
+	// PublicGlobal resources are used by all tasks at the same time and
+	// quality (e.g. the switch type available on the whole chip).  They
+	// exist only on context- or fully-synchronized machines, because
+	// reconfiguring them influences every task at once.
+	PublicGlobal
+	// Local resources are fixed to one task at initialization; their
+	// available amount/quality is set by that task's local
+	// hyperreconfigurations independently of all other tasks.
+	Local
+)
+
+// String implements fmt.Stringer.
+func (r ResourceClass) String() string {
+	switch r {
+	case PrivateGlobal:
+		return "private-global"
+	case PublicGlobal:
+		return "public-global"
+	case Local:
+		return "local"
+	default:
+		return fmt.Sprintf("ResourceClass(%d)", int(r))
+	}
+}
+
+// SyncMode is the synchronization discipline between tasks for partial
+// hyperreconfigurations and reconfigurations.  Global
+// hyperreconfigurations are always barrier-synchronized regardless of
+// mode.
+type SyncMode int
+
+const (
+	// NonSynchronized: neither partial hyperreconfigurations nor
+	// reconfigurations synchronize the tasks.
+	NonSynchronized SyncMode = iota
+	// HypercontextSynchronized: partial hyperreconfigurations are
+	// barrier-synchronized across all tasks (idle tasks issue
+	// no-hyperreconfiguration statements).
+	HypercontextSynchronized
+	// ContextSynchronized: ordinary reconfigurations are
+	// barrier-synchronized across all tasks.
+	ContextSynchronized
+	// FullySynchronized: both hypercontext- and context-synchronized.
+	// This is the mode of the paper's Theorem 1 and of the SHyRA
+	// experiment.
+	FullySynchronized
+)
+
+// String implements fmt.Stringer.
+func (s SyncMode) String() string {
+	switch s {
+	case NonSynchronized:
+		return "non-synchronized"
+	case HypercontextSynchronized:
+		return "hypercontext-synchronized"
+	case ContextSynchronized:
+		return "context-synchronized"
+	case FullySynchronized:
+		return "fully-synchronized"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(s))
+	}
+}
+
+// HyperSynchronized reports whether partial hyperreconfigurations are
+// barrier-synchronized in this mode.
+func (s SyncMode) HyperSynchronized() bool {
+	return s == HypercontextSynchronized || s == FullySynchronized
+}
+
+// ContextSynchronizedMode reports whether ordinary reconfigurations are
+// barrier-synchronized in this mode.
+func (s SyncMode) ContextSynchronizedMode() bool {
+	return s == ContextSynchronized || s == FullySynchronized
+}
+
+// AllowsPublicGlobal reports whether public global resources may exist
+// under this mode.  The paper notes they require context- or full
+// synchronization, because reconfiguring them influences all tasks.
+func (s SyncMode) AllowsPublicGlobal() bool { return s.ContextSynchronizedMode() }
+
+// UploadMode states whether the reconfiguration bits of different tasks
+// are uploaded onto the machine in parallel or one task after another.
+// It determines whether the per-step cost of a synchronized operation is
+// the maximum or the sum over the participating tasks.
+type UploadMode int
+
+const (
+	// TaskParallel: bits for all tasks (and the public global
+	// resources) upload concurrently; the step lasts as long as its
+	// slowest participant.
+	TaskParallel UploadMode = iota
+	// TaskSequential: bits upload one task after another; the step
+	// lasts the sum of the participants' times.
+	TaskSequential
+)
+
+// String implements fmt.Stringer.
+func (u UploadMode) String() string {
+	switch u {
+	case TaskParallel:
+		return "task-parallel"
+	case TaskSequential:
+		return "task-sequential"
+	default:
+		return fmt.Sprintf("UploadMode(%d)", int(u))
+	}
+}
+
+// Combine folds a per-task cost into a step cost under the upload mode:
+// running maximum for TaskParallel, running sum for TaskSequential.
+func (u UploadMode) Combine(acc, c Cost) Cost {
+	if u == TaskParallel {
+		if c > acc {
+			return c
+		}
+		return acc
+	}
+	return acc + c
+}
+
+// MachineClass is the degree of partiality a multi-task
+// hyperreconfigurable machine supports (Section 3).
+type MachineClass int
+
+const (
+	// PartiallyReconfigurable: a subset of tasks can reconfigure
+	// without interrupting the others, but hyperreconfigurations are
+	// always for all tasks at a time.
+	PartiallyReconfigurable MachineClass = iota
+	// PartiallyHyperreconfigurable: a subset of tasks can perform both
+	// local hyperreconfigurations and reconfigurations without
+	// interrupting the others.
+	PartiallyHyperreconfigurable
+	// RestrictedPartiallyHyperreconfigurable: a subset of tasks can
+	// perform local hyperreconfigurations without interrupting the
+	// others, but reconfigurations are for all tasks at a time.
+	RestrictedPartiallyHyperreconfigurable
+)
+
+// String implements fmt.Stringer.
+func (m MachineClass) String() string {
+	switch m {
+	case PartiallyReconfigurable:
+		return "partially-reconfigurable"
+	case PartiallyHyperreconfigurable:
+		return "partially-hyperreconfigurable"
+	case RestrictedPartiallyHyperreconfigurable:
+		return "restricted-partially-hyperreconfigurable"
+	default:
+		return fmt.Sprintf("MachineClass(%d)", int(m))
+	}
+}
+
+// AllowsPartialHyper reports whether the class permits local
+// hyperreconfigurations by a strict subset of the tasks.
+func (m MachineClass) AllowsPartialHyper() bool {
+	return m == PartiallyHyperreconfigurable || m == RestrictedPartiallyHyperreconfigurable
+}
+
+// AllowsPartialReconf reports whether the class permits ordinary
+// reconfigurations by a strict subset of the tasks.
+func (m MachineClass) AllowsPartialReconf() bool {
+	return m == PartiallyReconfigurable || m == PartiallyHyperreconfigurable
+}

@@ -1,0 +1,295 @@
+// Package mtdag implements the paper's Multi Task DAG (MT-DAG) cost
+// model: every task owns a catalog of local hypercontexts partially
+// ordered by a precedence DAG (coarse-grained machines with a handful
+// of quality levels), local hyperreconfigurations cost v_j, and an
+// ordinary reconfiguration of task j costs the per-step cost of its
+// current hypercontext, with costs monotone along the DAG edges.
+//
+// For the fully synchronized machine the total time between global
+// hyperreconfigurations is
+//
+//	w + Σ_i ( combine_j I_{j,i}·v_j + combine_j cost_j(h_{j,i}) )
+//
+// with combine = max for task-parallel uploads and Σ for
+// task-sequential ones — the direct DAG analogue of the MT-Switch
+// formulas.  Because every task's hypercontext catalog is explicit, the
+// joint scheduling problem is solvable exactly by dynamic programming
+// over per-task hypercontext vectors: the state space is Π_j |H_j|,
+// polynomial for a fixed number of tasks (the coarse-grained regime the
+// DAG model targets keeps |H_j| small).
+package mtdag
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/phc"
+)
+
+// Task is one task of an MT-DAG machine: its DAG-model instance (local
+// hypercontext catalog + precedence DAG + its own requirement sequence)
+// and its local hyperreconfiguration cost v_j.
+type Task struct {
+	Name string
+	// V is v_j > 0, the cost of one local hyperreconfiguration.
+	V model.Cost
+	// Inst carries the task's hypercontext catalog, precedence DAG and
+	// context-requirement sequence (Inst.General.Seq).
+	Inst *dag.Instance
+}
+
+// Instance is a fully synchronized MT-DAG problem: all task sequences
+// have equal length n.
+type Instance struct {
+	Tasks []Task
+	n     int
+}
+
+// New validates and builds an instance.
+func New(tasks []Task) (*Instance, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("mtdag: instance needs at least one task")
+	}
+	n := -1
+	for _, t := range tasks {
+		if t.V <= 0 {
+			return nil, fmt.Errorf("mtdag: task %q needs positive v_j", t.Name)
+		}
+		if t.Inst == nil || t.Inst.General == nil {
+			return nil, fmt.Errorf("mtdag: task %q has no DAG instance", t.Name)
+		}
+		if n < 0 {
+			n = t.Inst.General.Len()
+		} else if t.Inst.General.Len() != n {
+			return nil, fmt.Errorf("mtdag: task %q has %d steps, want %d (fully synchronized)", t.Name, t.Inst.General.Len(), n)
+		}
+	}
+	return &Instance{Tasks: tasks, n: n}, nil
+}
+
+// Steps returns n.
+func (ins *Instance) Steps() int { return ins.n }
+
+// Schedule assigns each task a hypercontext index per step; task j
+// hyperreconfigures at step 0 and wherever the index changes.
+type Schedule struct {
+	HctxIdx [][]int // [task][step]
+}
+
+// Cost prices a schedule under the given upload modes, validating
+// feasibility (every step's context requirement must be satisfied).
+func (ins *Instance) Cost(s *Schedule, opt model.CostOptions) (model.Cost, error) {
+	if len(s.HctxIdx) != len(ins.Tasks) {
+		return 0, fmt.Errorf("mtdag: schedule has %d task rows, want %d", len(s.HctxIdx), len(ins.Tasks))
+	}
+	for j, t := range ins.Tasks {
+		if len(s.HctxIdx[j]) != ins.n {
+			return 0, fmt.Errorf("mtdag: task %q schedule has %d steps, want %d", t.Name, len(s.HctxIdx[j]), ins.n)
+		}
+	}
+	var total model.Cost
+	for i := 0; i < ins.n; i++ {
+		var hyper, reconf model.Cost
+		for j, t := range ins.Tasks {
+			k := s.HctxIdx[j][i]
+			gen := t.Inst.General
+			if k < 0 || k >= len(gen.Hypercontexts) {
+				return 0, fmt.Errorf("mtdag: task %q step %d uses unknown hypercontext %d", t.Name, i, k)
+			}
+			h := gen.Hypercontexts[k]
+			if !h.Sat.Contains(gen.Seq[i]) {
+				return 0, fmt.Errorf("mtdag: task %q hypercontext %q does not satisfy context %d at step %d", t.Name, h.Name, gen.Seq[i], i)
+			}
+			if i == 0 || s.HctxIdx[j][i-1] != k {
+				hyper = opt.HyperUpload.Combine(hyper, t.V)
+			}
+			reconf = opt.ReconfUpload.Combine(reconf, h.PerStep)
+		}
+		total += hyper + reconf
+	}
+	return total, nil
+}
+
+const infCost = model.Cost(math.MaxInt64 / 4)
+
+// Solve computes an optimal schedule by forward DP over joint
+// hypercontext vectors.  State count is Π_j |H_j| (capped at
+// MaxStates); per step every state expands to the product of each
+// task's {stay | switch} options.  Exact — the future cost depends only
+// on the current vector, so keeping the cheapest cost per vector is
+// lossless.
+func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) {
+	if ins == nil {
+		return nil, 0, fmt.Errorf("mtdag: nil instance")
+	}
+	m := len(ins.Tasks)
+	if ins.n == 0 {
+		return &Schedule{HctxIdx: make([][]int, m)}, 0, nil
+	}
+	// Joint states are encoded as mixed-radix integers over the catalog
+	// sizes.
+	radix := make([]int, m)
+	states := 1
+	for j, t := range ins.Tasks {
+		radix[j] = len(t.Inst.General.Hypercontexts)
+		if states > maxStates/radix[j] {
+			return nil, 0, fmt.Errorf("mtdag: joint state space exceeds %d", maxStates)
+		}
+		states *= radix[j]
+	}
+	decode := func(code int, out []int) {
+		for j := 0; j < m; j++ {
+			out[j] = code % radix[j]
+			code /= radix[j]
+		}
+	}
+
+	d := make([]model.Cost, states)
+	prev := make([][]int, ins.n) // prev[i][code] = predecessor code
+	cur := make([]model.Cost, states)
+	vec := make([]int, m)
+
+	// satisfies[j][k][i] is precomputed per task lazily via closure.
+	sat := func(j, k, i int) bool {
+		gen := ins.Tasks[j].Inst.General
+		return gen.Hypercontexts[k].Sat.Contains(gen.Seq[i])
+	}
+
+	for code := range d {
+		d[code] = infCost
+	}
+	// Step 0: every feasible vector, all tasks hyperreconfigure.
+	for code := 0; code < states; code++ {
+		decode(code, vec)
+		ok := true
+		var hyper, reconf model.Cost
+		for j := 0; j < m; j++ {
+			if !sat(j, vec[j], 0) {
+				ok = false
+				break
+			}
+			hyper = opt.HyperUpload.Combine(hyper, ins.Tasks[j].V)
+			reconf = opt.ReconfUpload.Combine(reconf, ins.Tasks[j].Inst.General.Hypercontexts[vec[j]].PerStep)
+		}
+		if ok {
+			d[code] = hyper + reconf
+		}
+	}
+	prev[0] = nil
+
+	prevVec := make([]int, m)
+	for i := 1; i < ins.n; i++ {
+		for code := range cur {
+			cur[code] = infCost
+		}
+		prev[i] = make([]int, states)
+		for code := range prev[i] {
+			prev[i][code] = -1
+		}
+		for from := 0; from < states; from++ {
+			if d[from] >= infCost {
+				continue
+			}
+			decode(from, prevVec)
+			// Expand the per-task option product recursively.
+			var expand func(j int, hyper, reconf model.Cost, code, mult int)
+			expand = func(j int, hyper, reconf model.Cost, code, mult int) {
+				if j == m {
+					c := d[from] + hyper + reconf
+					if c < cur[code] {
+						cur[code] = c
+						prev[i][code] = from
+					}
+					return
+				}
+				for k := 0; k < radix[j]; k++ {
+					if !sat(j, k, i) {
+						continue
+					}
+					h := hyper
+					if k != prevVec[j] {
+						h = opt.HyperUpload.Combine(h, ins.Tasks[j].V)
+					}
+					r := opt.ReconfUpload.Combine(reconf, ins.Tasks[j].Inst.General.Hypercontexts[k].PerStep)
+					expand(j+1, h, r, code+k*mult, mult*radix[j])
+				}
+			}
+			expand(0, 0, 0, 0, 1)
+		}
+		d, cur = cur, d
+	}
+
+	best, bestCode := infCost, -1
+	for code := 0; code < states; code++ {
+		if d[code] < best {
+			best, bestCode = d[code], code
+		}
+	}
+	if bestCode < 0 {
+		return nil, 0, fmt.Errorf("mtdag: no feasible schedule")
+	}
+
+	out := &Schedule{HctxIdx: make([][]int, m)}
+	for j := range out.HctxIdx {
+		out.HctxIdx[j] = make([]int, ins.n)
+	}
+	code := bestCode
+	for i := ins.n - 1; i >= 0; i-- {
+		decode(code, vec)
+		for j := 0; j < m; j++ {
+			out.HctxIdx[j][i] = vec[j]
+		}
+		if i > 0 {
+			code = prev[i][code]
+		}
+	}
+	check, err := ins.Cost(out, opt)
+	if err != nil {
+		return nil, 0, fmt.Errorf("mtdag: internal reconstruction error: %w", err)
+	}
+	if check != best {
+		return nil, 0, fmt.Errorf("mtdag: DP cost %d disagrees with model cost %d", best, check)
+	}
+	return out, best, nil
+}
+
+// maxStates bounds the joint state space (coarse-grained catalogs are
+// small; the cap is a guard against misuse, not a tuning knob).
+const maxStates = 2_000_000
+
+// SolvePerTask schedules every task independently with the single-task
+// General DP — optimal for task-sequential uploads (the cost separates)
+// and an upper bound for task-parallel ones.
+func SolvePerTask(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) {
+	if ins == nil {
+		return nil, 0, fmt.Errorf("mtdag: nil instance")
+	}
+	out := &Schedule{HctxIdx: make([][]int, len(ins.Tasks))}
+	for j, t := range ins.Tasks {
+		// The single-task DP prices init(h) per entry; MT-DAG charges a
+		// flat v_j per local hyperreconfiguration, so solve a copy of
+		// the catalog with init = v_j.
+		gen := t.Inst.General
+		hs := make([]model.Hypercontext, len(gen.Hypercontexts))
+		copy(hs, gen.Hypercontexts)
+		for k := range hs {
+			hs[k].Init = t.V
+		}
+		sub, err := model.NewGeneralInstance(gen.NumContexts, hs, gen.Seq)
+		if err != nil {
+			return nil, 0, err
+		}
+		sol, err := phc.SolveGeneral(sub)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mtdag: task %q: %w", t.Name, err)
+		}
+		out.HctxIdx[j] = sol.Schedule.HctxIdx
+	}
+	cost, err := ins.Cost(out, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, cost, nil
+}

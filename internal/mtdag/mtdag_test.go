@@ -1,0 +1,227 @@
+package mtdag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+	"repro/internal/model"
+)
+
+var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+var sequential = model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
+
+// chainTask builds a task over a 3-level routability chain with the
+// given requirement sequence (contexts 0=local, 1=row, 2=global).
+func chainTask(t *testing.T, name string, v model.Cost, seq []int) Task {
+	t.Helper()
+	levels := []model.Hypercontext{
+		{Name: "local", PerStep: 1, Sat: bitset.FromMembers(3, 0)},
+		{Name: "row", PerStep: 3, Sat: bitset.FromMembers(3, 0, 1)},
+		{Name: "global", PerStep: 7, Sat: bitset.Full(3)},
+	}
+	ins, err := dag.Chain(3, levels, seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Task{Name: name, V: v, Inst: ins}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("accepted zero tasks")
+	}
+	a := chainTask(t, "A", 2, []int{0, 1})
+	bad := a
+	bad.V = 0
+	if _, err := New([]Task{bad}); err == nil {
+		t.Fatal("accepted v=0")
+	}
+	b := chainTask(t, "B", 2, []int{0})
+	if _, err := New([]Task{a, b}); err == nil {
+		t.Fatal("accepted unequal sequence lengths")
+	}
+	if _, err := New([]Task{{Name: "X", V: 1}}); err == nil {
+		t.Fatal("accepted task without DAG instance")
+	}
+}
+
+func TestSolveKnownOptimum(t *testing.T) {
+	// Task A needs global routing once; task B stays local.
+	a := chainTask(t, "A", 2, []int{0, 2, 0, 0})
+	b := chainTask(t, "B", 2, []int{0, 0, 0, 0})
+	ins, err := New([]Task{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, cost, err := Solve(ins, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step costs (parallel): B stays in "local" (1/step, never the max
+	// except when A is local too).  A: local,global,local,local with
+	// hypers at 0,1,2.
+	// i0: hyper max(2,2)=2 + reconf max(1,1)=1
+	// i1: hyper 2 (A) + reconf max(7,1)=7
+	// i2: hyper 2 (A) + reconf 1
+	// i3: reconf 1
+	if cost != 2+1+2+7+2+1+1 {
+		t.Fatalf("cost = %d, want 16", cost)
+	}
+	// A must not linger in "global" after step 1.
+	if sched.HctxIdx[0][2] == 2 || sched.HctxIdx[0][3] == 2 {
+		t.Fatalf("task A schedule lingers in global: %v", sched.HctxIdx[0])
+	}
+}
+
+func TestCostRejects(t *testing.T) {
+	a := chainTask(t, "A", 2, []int{2})
+	ins, err := New([]Task{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Cost(&Schedule{HctxIdx: [][]int{{0}}}, parallel); err == nil {
+		t.Fatal("accepted hypercontext that misses the context")
+	}
+	if _, err := ins.Cost(&Schedule{HctxIdx: [][]int{{9}}}, parallel); err == nil {
+		t.Fatal("accepted unknown hypercontext index")
+	}
+	if _, err := ins.Cost(&Schedule{}, parallel); err == nil {
+		t.Fatal("accepted wrong-shape schedule")
+	}
+}
+
+// bruteForce enumerates every joint schedule (for tiny instances).
+func bruteForce(t *testing.T, ins *Instance, opt model.CostOptions) model.Cost {
+	t.Helper()
+	m := len(ins.Tasks)
+	n := ins.Steps()
+	radix := make([]int, m)
+	perStep := 1
+	for j, task := range ins.Tasks {
+		radix[j] = len(task.Inst.General.Hypercontexts)
+		perStep *= radix[j]
+	}
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= perStep
+		if total > 5_000_000 {
+			t.Fatal("brute force too large")
+		}
+	}
+	best := model.Cost(1 << 60)
+	sched := &Schedule{HctxIdx: make([][]int, m)}
+	for j := range sched.HctxIdx {
+		sched.HctxIdx[j] = make([]int, n)
+	}
+	for code := 0; code < total; code++ {
+		v := code
+		for i := 0; i < n; i++ {
+			stepCode := v % perStep
+			v /= perStep
+			for j := 0; j < m; j++ {
+				sched.HctxIdx[j][i] = stepCode % radix[j]
+				stepCode /= radix[j]
+			}
+		}
+		c, err := ins.Cost(sched, opt)
+		if err != nil {
+			continue
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func randomInstance(t *testing.T, r *rand.Rand) *Instance {
+	t.Helper()
+	m := 1 + r.Intn(2)
+	n := 1 + r.Intn(4)
+	tasks := make([]Task, m)
+	for j := 0; j < m; j++ {
+		seq := make([]int, n)
+		for i := range seq {
+			seq[i] = r.Intn(3)
+		}
+		tasks[j] = chainTask(t, string(rune('A'+j)), model.Cost(1+r.Intn(4)), seq)
+	}
+	ins, err := New(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestQuickSolveMatchesBruteForce(t *testing.T) {
+	for _, opt := range []model.CostOptions{parallel, sequential} {
+		opt := opt
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			ins := randomInstance(t, r)
+			_, cost, err := Solve(ins, opt)
+			if err != nil {
+				return false
+			}
+			return cost == bruteForce(t, ins, opt)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Fatalf("%v/%v: %v", opt.HyperUpload, opt.ReconfUpload, err)
+		}
+	}
+}
+
+func TestSolvePerTaskBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for k := 0; k < 10; k++ {
+		ins := randomInstance(t, r)
+		_, exact, err := Solve(ins, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, upper, err := SolvePerTask(ins, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upper < exact {
+			t.Fatalf("per-task %d below joint optimum %d", upper, exact)
+		}
+		// Under fully sequential uploads the cost separates, so the
+		// per-task solution is optimal.
+		_, exactSeq, err := Solve(ins, sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, perSeq, err := SolvePerTask(ins, sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perSeq != exactSeq {
+			t.Fatalf("sequential per-task %d != joint %d", perSeq, exactSeq)
+		}
+	}
+}
+
+func TestSolveEmptyAndNil(t *testing.T) {
+	if _, _, err := Solve(nil, parallel); err == nil {
+		t.Fatal("accepted nil")
+	}
+	a := chainTask(t, "A", 1, nil)
+	ins, err := New([]Task{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cost, err := Solve(ins, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("empty cost = %d", cost)
+	}
+	if _, _, err := SolvePerTask(nil, parallel); err == nil {
+		t.Fatal("accepted nil")
+	}
+}

@@ -1,0 +1,201 @@
+package mtswitch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Solution is a solved multi-task schedule with its cost under the cost
+// options it was produced for.
+type Solution struct {
+	Schedule *model.MTSchedule
+	Cost     model.Cost
+	// Truncated reports that the producing solver had to limit its
+	// search (beam cap or candidate cap hit), so Cost is an upper bound
+	// rather than a proven optimum.
+	Truncated bool
+}
+
+const infCost = model.Cost(math.MaxInt64 / 4)
+
+// SolveAligned finds the optimal schedule among those where every task
+// hyperreconfigures at the same steps (a "global partial
+// hyperreconfiguration" pattern).  With aligned breakpoints the problem
+// collapses to the single-task segmentation DP:
+//
+//	D[e] = min_s D[s] + hyper(s) + reconf(s,e)·(e-s)
+//
+// where hyper(s) combines all tasks' v_j under the hyper upload mode
+// and reconf(s,e) combines the per-task canonical union sizes (plus the
+// public-global term) under the reconf upload mode.  O(n²·m) time.
+//
+// Aligned schedules are a strict subset of all schedules, so the result
+// is an upper bound for SolveExact; the gap between the two is exactly
+// the benefit of partial hyperreconfiguration (the paper's multi-task
+// contribution).
+func SolveAligned(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("mtswitch: nil instance")
+	}
+	m, n := ins.NumTasks(), ins.Steps()
+	if n == 0 {
+		sched, err := ins.CanonicalSchedule(make([][]bool, m))
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Schedule: sched, Cost: ins.W}, nil
+	}
+
+	// Combined hyperreconfiguration cost when all m tasks participate.
+	var allHyper model.Cost
+	for _, t := range ins.Tasks {
+		allHyper = opt.HyperUpload.Combine(allHyper, t.V)
+	}
+
+	d := make([]model.Cost, n+1)
+	parent := make([]int, n+1)
+	for e := 1; e <= n; e++ {
+		d[e] = infCost
+	}
+
+	unions := make([]bitset.Set, m)
+	for e := 1; e <= n; e++ {
+		for j := range unions {
+			unions[j] = bitset.New(ins.Tasks[j].Local)
+		}
+		for s := e - 1; s >= 0; s-- {
+			var reconf model.Cost
+			if opt.ReconfUpload == model.TaskParallel {
+				reconf = model.Cost(ins.PublicGlobal)
+			}
+			for j := 0; j < m; j++ {
+				unions[j].UnionWith(ins.Reqs[j][s])
+				reconf = opt.ReconfUpload.Combine(reconf, model.Cost(unions[j].Count()))
+			}
+			if opt.ReconfUpload == model.TaskSequential {
+				reconf += model.Cost(ins.PublicGlobal)
+			}
+			c := d[s] + allHyper + reconf*model.Cost(e-s)
+			if c < d[e] {
+				d[e] = c
+				parent[e] = s
+			}
+		}
+	}
+
+	var starts []int
+	for e := n; e > 0; e = parent[e] {
+		starts = append(starts, parent[e])
+	}
+	for i, j := 0, len(starts)-1; i < j; i, j = i+1, j-1 {
+		starts[i], starts[j] = starts[j], starts[i]
+	}
+
+	mask := make([][]bool, m)
+	for j := 0; j < m; j++ {
+		mask[j] = make([]bool, n)
+		for _, s := range starts {
+			mask[j][s] = true
+		}
+	}
+	sched, err := ins.CanonicalSchedule(mask)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := ins.Cost(sched, opt)
+	if err != nil {
+		return nil, err
+	}
+	if cost != d[n]+ins.W {
+		return nil, fmt.Errorf("mtswitch: aligned DP cost %d disagrees with model cost %d", d[n]+ins.W, cost)
+	}
+	return &Solution{Schedule: sched, Cost: cost}, nil
+}
+
+// LowerBound is an admissible bound on any schedule's cost under the
+// given options: every step must pay at least the combined sizes of the
+// tasks' own requirements (a hypercontext can never be smaller than the
+// requirement it satisfies) plus the public-global term, and the
+// mandatory initial hyperreconfigurations of step 0 must be paid.
+func LowerBound(ins *model.MTSwitchInstance, opt model.CostOptions) model.Cost {
+	if ins == nil || ins.Steps() == 0 {
+		return 0
+	}
+	m, n := ins.NumTasks(), ins.Steps()
+	total := ins.W
+	var initHyper model.Cost
+	for j := 0; j < m; j++ {
+		initHyper = opt.HyperUpload.Combine(initHyper, ins.Tasks[j].V)
+	}
+	total += initHyper
+	for i := 0; i < n; i++ {
+		var reconf model.Cost
+		if opt.ReconfUpload == model.TaskParallel {
+			reconf = model.Cost(ins.PublicGlobal)
+		}
+		for j := 0; j < m; j++ {
+			reconf = opt.ReconfUpload.Combine(reconf, model.Cost(ins.Reqs[j][i].Count()))
+		}
+		if opt.ReconfUpload == model.TaskSequential {
+			reconf += model.Cost(ins.PublicGlobal)
+		}
+		total += reconf
+	}
+	return total
+}
+
+// BruteForce exhausts every joint hyperreconfiguration mask (step 0
+// forced) with canonical hypercontexts — the reference optimum for
+// tests.  The search space (2^(n-1))^m is capped at ~4 million.
+func BruteForce(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("mtswitch: nil instance")
+	}
+	m, n := ins.NumTasks(), ins.Steps()
+	if n == 0 {
+		return SolveAligned(ins, opt)
+	}
+	bits := (n - 1) * m
+	if bits > 22 {
+		return nil, fmt.Errorf("mtswitch: brute force needs (n-1)·m ≤ 22, got %d", bits)
+	}
+	best := infCost
+	var bestMask [][]bool
+	mask := make([][]bool, m)
+	for j := range mask {
+		mask[j] = make([]bool, n)
+		mask[j][0] = true
+	}
+	for code := 0; code < 1<<uint(bits); code++ {
+		v := code
+		for j := 0; j < m; j++ {
+			for i := 1; i < n; i++ {
+				mask[j][i] = v&1 == 1
+				v >>= 1
+			}
+		}
+		sched, err := ins.CanonicalSchedule(mask)
+		if err != nil {
+			return nil, err
+		}
+		c, err := ins.Cost(sched, opt)
+		if err != nil {
+			return nil, err
+		}
+		if c < best {
+			best = c
+			bestMask = make([][]bool, m)
+			for j := range mask {
+				bestMask[j] = append([]bool(nil), mask[j]...)
+			}
+		}
+	}
+	sched, err := ins.CanonicalSchedule(bestMask)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Schedule: sched, Cost: best}, nil
+}

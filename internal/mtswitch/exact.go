@@ -1,0 +1,266 @@
+package mtswitch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/phc"
+)
+
+// Config tunes SolveExact.
+type Config struct {
+	// MaxStates caps the per-step state frontier.  While the frontier
+	// stays within the cap the search is exhaustive over canonical
+	// schedules and the result is optimal; once truncation kicks in the
+	// solver degrades to a beam search and the result is an upper
+	// bound (Solution.Truncated reports which happened).  0 selects
+	// DefaultMaxStates.
+	MaxStates int
+	// MaxCandidates caps, per task and step, how many canonical
+	// hypercontext candidates (interval unions of increasing horizon)
+	// an install may choose from.  0 means unlimited (required for
+	// exactness); small values (3-6) make beam runs on long traces
+	// cheap.  The shortest horizons plus the full-suffix union are
+	// kept, since those bracket the useful range.
+	MaxCandidates int
+	// Workers bounds the goroutines used by solvers with
+	// embarrassingly parallel structure (currently the private-global
+	// window sweep).  0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultMaxStates keeps the solver exact on the small instances used
+// for validation while bounding memory on adversarial inputs.
+const DefaultMaxStates = 100000
+
+// state is one node of the frontier: each task's currently installed
+// hypercontext, the accumulated cost, and back-pointers for schedule
+// reconstruction.
+type state struct {
+	sets  []bitset.Set
+	cost  model.Cost
+	prev  *state
+	hyper []bool // which tasks hyperreconfigured entering this step
+}
+
+// key canonicalizes the joint hypercontext vector.
+func (s *state) key() string {
+	var b strings.Builder
+	for _, set := range s.sets {
+		b.WriteString(set.Key())
+		b.WriteByte(0xff)
+	}
+	return b.String()
+}
+
+// SolveExact solves the fully synchronized MT-Switch problem (the
+// setting of the paper's Theorem 1, which states solvability by dynamic
+// programming but omits the algorithm) by a forward DP over joint
+// hypercontext states.
+//
+// Correctness of the search space: some optimal schedule uses canonical
+// hypercontexts — for fixed hyperreconfiguration steps, replacing each
+// hypercontext by the union of its segment's requirements keeps the
+// schedule feasible and never increases any |h_{j,i}|, hence never the
+// cost (max and Σ are both monotone).  Every canonical hypercontext
+// installed by task j at step i equals U_j(i,e) for some horizon e ≥ i,
+// so install branches range over the distinct interval unions starting
+// at i.  At each step a frontier state expands, per task, to {keep the
+// current hypercontext (valid when the incoming requirement fits)} ∪
+// {install a candidate}; joint successors are deduplicated by their
+// hypercontext vector keeping the cheapest, which preserves optimality
+// because the future cost of a state depends only on the vector.
+//
+// Like the paper's own bound O(m·n⁴·l^{2m}), the state space is
+// exponential in the number of tasks; the paper itself fell back to a
+// genetic algorithm for its m=4 experiment.  SolveExact is exact within
+// Config.MaxStates and degrades to a beam search beyond it.
+//
+// When both uploads are task-sequential the cost decomposes per task
+// and the problem is solved exactly in O(m·n²) by independent
+// single-task DPs; SolveExact takes that fast path automatically.
+func SolveExact(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("mtswitch: nil instance")
+	}
+	m, n := ins.NumTasks(), ins.Steps()
+	if n == 0 {
+		return SolveAligned(ins, opt)
+	}
+	if opt.HyperUpload == model.TaskSequential && opt.ReconfUpload == model.TaskSequential {
+		return solveSequentialDecomposed(ins, opt)
+	}
+
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	// cand[j][i]: distinct values of U_j(i,e), e ≥ i, by growing horizon.
+	cand := make([][][]bitset.Set, m)
+	for j := 0; j < m; j++ {
+		cand[j] = make([][]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			acc := bitset.New(ins.Tasks[j].Local)
+			var list []bitset.Set
+			last := -1
+			for e := i; e < n; e++ {
+				acc.UnionWith(ins.Reqs[j][e])
+				if c := acc.Count(); c != last {
+					list = append(list, acc.Clone())
+					last = c
+				}
+			}
+			if cfg.MaxCandidates > 0 && len(list) > cfg.MaxCandidates {
+				// Keep the shortest horizons plus the full-suffix union.
+				trimmed := append([]bitset.Set(nil), list[:cfg.MaxCandidates-1]...)
+				trimmed = append(trimmed, list[len(list)-1])
+				list = trimmed
+			}
+			cand[j][i] = list
+		}
+	}
+
+	root := &state{sets: make([]bitset.Set, m), cost: ins.W}
+	for j := 0; j < m; j++ {
+		root.sets[j] = bitset.New(ins.Tasks[j].Local)
+	}
+	frontier := []*state{root}
+	truncated := false
+
+	for i := 0; i < n; i++ {
+		next := make(map[string]*state, len(frontier)*4)
+		cur := &state{sets: make([]bitset.Set, m), hyper: make([]bool, m)}
+
+		var expand func(st *state, j int)
+		expand = func(st *state, j int) {
+			if j == m {
+				var hyperC model.Cost
+				for t := 0; t < m; t++ {
+					if cur.hyper[t] {
+						hyperC = opt.HyperUpload.Combine(hyperC, ins.Tasks[t].V)
+					}
+				}
+				var reconf model.Cost
+				if opt.ReconfUpload == model.TaskParallel {
+					reconf = model.Cost(ins.PublicGlobal)
+				}
+				for t := 0; t < m; t++ {
+					reconf = opt.ReconfUpload.Combine(reconf, model.Cost(cur.sets[t].Count()))
+				}
+				if opt.ReconfUpload == model.TaskSequential {
+					reconf += model.Cost(ins.PublicGlobal)
+				}
+				total := st.cost + hyperC + reconf
+				k := cur.key()
+				if old, ok := next[k]; !ok || total < old.cost {
+					next[k] = &state{
+						sets:  append([]bitset.Set(nil), cur.sets...),
+						cost:  total,
+						prev:  st,
+						hyper: append([]bool(nil), cur.hyper...),
+					}
+				}
+				return
+			}
+			keepOK := i > 0 && ins.Reqs[j][i].IsSubsetOf(st.sets[j])
+			if keepOK {
+				cur.sets[j] = st.sets[j]
+				cur.hyper[j] = false
+				expand(st, j+1)
+			}
+			for _, c := range cand[j][i] {
+				// Installing a set identical to the kept one costs a
+				// hyperreconfiguration for nothing.
+				if keepOK && c.Equal(st.sets[j]) {
+					continue
+				}
+				cur.sets[j] = c
+				cur.hyper[j] = true
+				expand(st, j+1)
+			}
+		}
+
+		for _, st := range frontier {
+			expand(st, 0)
+		}
+
+		frontier = frontier[:0]
+		for _, st := range next {
+			frontier = append(frontier, st)
+		}
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a].cost < frontier[b].cost })
+		if len(frontier) > maxStates {
+			frontier = frontier[:maxStates]
+			truncated = true
+		}
+		if len(frontier) == 0 {
+			return nil, fmt.Errorf("mtswitch: state frontier emptied at step %d", i)
+		}
+	}
+
+	best := frontier[0] // frontier is cost-sorted
+
+	// Reconstruct hyperreconfiguration masks, canonicalize, reprice.
+	// Canonical repricing can only improve on the DP value (the DP may
+	// hold over-long-horizon candidates for the final segments).
+	mask := make([][]bool, m)
+	for j := range mask {
+		mask[j] = make([]bool, n)
+	}
+	for st, i := best, n-1; i >= 0; st, i = st.prev, i-1 {
+		for j := 0; j < m; j++ {
+			mask[j][i] = st.hyper[j]
+		}
+	}
+	sched, err := ins.CanonicalSchedule(mask)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := ins.Cost(sched, opt)
+	if err != nil {
+		return nil, err
+	}
+	if cost > best.cost {
+		return nil, fmt.Errorf("mtswitch: canonical repricing %d above DP bound %d", cost, best.cost)
+	}
+	return &Solution{Schedule: sched, Cost: cost, Truncated: truncated || cfg.MaxCandidates > 0}, nil
+}
+
+// solveSequentialDecomposed handles the fully task-sequential cost,
+// which separates across tasks:
+//
+//	Σ_i ( Σ_j I_{j,i} v_j + Σ_j |h_{j,i}| + |h^pub| )
+//	  = Σ_j single-task-cost_j(W = v_j) + n·|h^pub| + W.
+//
+// Each per-task subproblem is the polynomial single-task Switch DP.
+func solveSequentialDecomposed(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
+	m, n := ins.NumTasks(), ins.Steps()
+	mask := make([][]bool, m)
+	for j := 0; j < m; j++ {
+		single, err := model.NewSwitchInstance(ins.Tasks[j].Local, ins.Tasks[j].V, ins.Reqs[j])
+		if err != nil {
+			return nil, fmt.Errorf("mtswitch: task %q: %w", ins.Tasks[j].Name, err)
+		}
+		sol, err := phc.SolveSwitch(single)
+		if err != nil {
+			return nil, fmt.Errorf("mtswitch: task %q: %w", ins.Tasks[j].Name, err)
+		}
+		mask[j] = make([]bool, n)
+		for _, s := range sol.Seg.Starts {
+			mask[j][s] = true
+		}
+	}
+	sched, err := ins.CanonicalSchedule(mask)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := ins.Cost(sched, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Schedule: sched, Cost: cost}, nil
+}

@@ -1,0 +1,294 @@
+package mtswitch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+func reqs(universe int, members ...[]int) []bitset.Set {
+	out := make([]bitset.Set, len(members))
+	for i, m := range members {
+		out[i] = bitset.FromMembers(universe, m...)
+	}
+	return out
+}
+
+var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+var sequential = model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
+
+func mustMT(t *testing.T, tasks []model.Task, rows [][]bitset.Set) *model.MTSwitchInstance {
+	t.Helper()
+	ins, err := model.NewMTSwitchInstance(tasks, rows)
+	if err != nil {
+		t.Fatalf("NewMTSwitchInstance: %v", err)
+	}
+	return ins
+}
+
+// phased builds the canonical demonstration instance: two tasks whose
+// requirement phases are deliberately misaligned, so partial
+// hyperreconfiguration beats aligned scheduling.
+func phased(t *testing.T) *model.MTSwitchInstance {
+	tasks := []model.Task{
+		{Name: "A", Local: 4, V: 4},
+		{Name: "B", Local: 4, V: 4},
+	}
+	rows := [][]bitset.Set{
+		// A changes phase at step 3.
+		reqs(4, []int{0}, []int{0}, []int{0}, []int{1, 2}, []int{1, 2}, []int{1, 2}),
+		// B changes phase at step 2 and 4.
+		reqs(4, []int{3}, []int{3}, []int{0, 1}, []int{0, 1}, []int{2}, []int{2}),
+	}
+	return mustMT(t, tasks, rows)
+}
+
+func randomMT(r *rand.Rand, maxM, maxL, maxN int) *model.MTSwitchInstance {
+	m := 1 + r.Intn(maxM)
+	n := 1 + r.Intn(maxN)
+	tasks := make([]model.Task, m)
+	rows := make([][]bitset.Set, m)
+	for j := 0; j < m; j++ {
+		l := 1 + r.Intn(maxL)
+		tasks[j] = model.Task{Name: string(rune('A' + j)), Local: l, V: model.Cost(1 + r.Intn(4))}
+		rows[j] = make([]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			s := bitset.New(l)
+			for b := 0; b < l; b++ {
+				if r.Intn(3) == 0 {
+					s.Add(b)
+				}
+			}
+			rows[j][i] = s
+		}
+	}
+	ins, err := model.NewMTSwitchInstance(tasks, rows)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+func TestSolveAlignedValidSchedule(t *testing.T) {
+	ins := phased(t)
+	sol, err := SolveAligned(ins, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Validate(sol.Schedule); err != nil {
+		t.Fatalf("aligned schedule invalid: %v", err)
+	}
+	// All tasks hyperreconfigure together in aligned schedules.
+	for i := 0; i < ins.Steps(); i++ {
+		for j := 1; j < ins.NumTasks(); j++ {
+			if sol.Schedule.Hyper[j][i] != sol.Schedule.Hyper[0][i] {
+				t.Fatalf("aligned schedule diverges at step %d", i)
+			}
+		}
+	}
+}
+
+func TestSolveExactBeatsOrMatchesAligned(t *testing.T) {
+	ins := phased(t)
+	al, err := SolveAligned(ins, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := SolveExact(ins, parallel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Truncated {
+		t.Fatal("exact solver truncated on a tiny instance")
+	}
+	if ex.Cost > al.Cost {
+		t.Fatalf("exact %d worse than aligned %d", ex.Cost, al.Cost)
+	}
+	if err := ins.Validate(ex.Schedule); err != nil {
+		t.Fatalf("exact schedule invalid: %v", err)
+	}
+}
+
+func TestSolveExactMatchesBruteForceFixed(t *testing.T) {
+	ins := phased(t)
+	// (n-1)*m = 10 ≤ 22: brute force feasible.
+	bf, err := BruteForce(ins, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := SolveExact(ins, parallel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Cost != bf.Cost {
+		t.Fatalf("exact %d != brute force %d", ex.Cost, bf.Cost)
+	}
+}
+
+func TestQuickSolveExactMatchesBruteForceParallel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 3, 4, 5) // (n-1)*m ≤ 12
+		bf, err1 := BruteForce(ins, parallel)
+		ex, err2 := SolveExact(ins, parallel, Config{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ex.Cost == bf.Cost && !ex.Truncated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSolveExactMatchesBruteForceSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 3, 4, 5)
+		bf, err1 := BruteForce(ins, sequential)
+		ex, err2 := SolveExact(ins, sequential, Config{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ex.Cost == bf.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixedUploadModes(t *testing.T) {
+	mixed := model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskParallel}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 2, 4, 5)
+		bf, err1 := BruteForce(ins, mixed)
+		ex, err2 := SolveExact(ins, mixed, Config{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ex.Cost == bf.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrderingInvariants(t *testing.T) {
+	// LowerBound ≤ exact ≤ aligned ≤ disabled + initial hyper cost.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 3, 5, 6)
+		ex, err1 := SolveExact(ins, parallel, Config{})
+		al, err2 := SolveAligned(ins, parallel)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		lb := LowerBound(ins, parallel)
+		return lb <= ex.Cost && ex.Cost <= al.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialBeatsAlignedOnMisalignedPhases(t *testing.T) {
+	// The defining advantage of partially hyperreconfigurable machines:
+	// misaligned phase changes force aligned schedules to either pay
+	// extra hyperreconfigurations or hold oversized hypercontexts.
+	ins := phased(t)
+	al, err := SolveAligned(ins, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := SolveExact(ins, parallel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Cost >= al.Cost {
+		t.Skipf("phased instance did not separate aligned (%d) from exact (%d)", al.Cost, ex.Cost)
+	}
+}
+
+func TestSolveExactEmptyRequirements(t *testing.T) {
+	// Steps with empty requirements still demand an initial
+	// hyperreconfiguration but allow empty hypercontexts.
+	tasks := []model.Task{{Name: "A", Local: 2, V: 1}}
+	ins := mustMT(t, tasks, [][]bitset.Set{reqs(2, nil, nil)})
+	sol, err := SolveExact(ins, parallel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0: hyper 1 + reconf 0; step 1: keep + reconf 0.
+	if sol.Cost != 1 {
+		t.Fatalf("cost = %d, want 1", sol.Cost)
+	}
+}
+
+func TestLowerBoundZeroSteps(t *testing.T) {
+	if LowerBound(nil, parallel) != 0 {
+		t.Fatal("nil instance lower bound should be 0")
+	}
+}
+
+func TestBruteForceCap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ins := randomMT(r, 1, 2, 1)
+	_ = ins
+	big := func() *model.MTSwitchInstance {
+		tasks := []model.Task{{Name: "A", Local: 1, V: 1}, {Name: "B", Local: 1, V: 1}}
+		n := 13
+		rows := make([][]bitset.Set, 2)
+		for j := range rows {
+			rows[j] = make([]bitset.Set, n)
+			for i := range rows[j] {
+				rows[j][i] = bitset.New(1)
+			}
+		}
+		ins, err := model.NewMTSwitchInstance(tasks, rows)
+		if err != nil {
+			panic(err)
+		}
+		return ins
+	}()
+	if _, err := BruteForce(big, parallel); err == nil {
+		t.Fatal("accepted oversized brute force")
+	}
+}
+
+func TestSolveExactBeamStillValid(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ins := randomMT(r, 3, 6, 8)
+	sol, err := SolveExact(ins, parallel, Config{MaxStates: 2, MaxCandidates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Truncated {
+		t.Fatal("beam run should report truncation")
+	}
+	if err := ins.Validate(sol.Schedule); err != nil {
+		t.Fatalf("beam schedule invalid: %v", err)
+	}
+	ex, err := SolveExact(ins, parallel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost < ex.Cost {
+		t.Fatalf("beam %d below exact optimum %d", sol.Cost, ex.Cost)
+	}
+}
+
+func TestNilInstances(t *testing.T) {
+	if _, err := SolveAligned(nil, parallel); err == nil {
+		t.Fatal("SolveAligned accepted nil")
+	}
+	if _, err := SolveExact(nil, parallel, Config{}); err == nil {
+		t.Fatal("SolveExact accepted nil")
+	}
+	if _, err := BruteForce(nil, parallel); err == nil {
+		t.Fatal("BruteForce accepted nil")
+	}
+}

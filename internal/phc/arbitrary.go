@@ -1,0 +1,158 @@
+package phc
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// CostFunc prices an arbitrary hypercontext (a switch subset).  It must
+// be monotone — A ⊆ B implies f(A) ≤ f(B) — which makes the canonical
+// union hypercontext optimal for any fixed segment and keeps the
+// branch-and-bound lower bounds admissible.  cost(h) = |h| recovers the
+// plain Switch model; super-additive functions model machines whose
+// reconfiguration port saturates.
+type CostFunc func(h bitset.Set) model.Cost
+
+// SolveArbitraryCost finds an optimal schedule for the Switch-model
+// instance under an arbitrary monotone per-step cost function — the
+// NP-complete general-model variant in which the hypercontext set is
+// the implicit 2^X.  Exact branch-and-bound over segmentations:
+//
+//   - nodes are segment starts; a branch extends the current segment to
+//     every possible end;
+//   - bound: accumulated cost + Σ_{remaining steps} f(c_i) + W (every
+//     remaining step pays at least its own requirement by monotonicity,
+//     and at least one hyperreconfiguration is still owed).
+//
+// The Greedy solution seeds the incumbent.  Worst case exponential;
+// instances are capped at n ≤ 64.
+func SolveArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("phc: nil cost function")
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+	if n > 64 {
+		return nil, fmt.Errorf("phc: branch-and-bound capped at n=64, got %d", n)
+	}
+
+	// Admissible suffix lower bounds: slb[i] = Σ_{t ≥ i} f(c_t).
+	slb := make([]model.Cost, n+1)
+	for i := n - 1; i >= 0; i-- {
+		slb[i] = slb[i+1] + f(ins.Reqs[i])
+	}
+
+	// Seed the incumbent with the greedy segmentation priced under f.
+	best := infCost
+	var bestStarts []int
+	if g, err := Greedy(ins); err == nil {
+		if c, err := costUnderF(ins, g.Seg, f); err == nil {
+			best = c
+			bestStarts = append([]int(nil), g.Seg.Starts...)
+		}
+	}
+
+	starts := make([]int, 0, n)
+	var dfs func(pos int, acc model.Cost)
+	dfs = func(pos int, acc model.Cost) {
+		if pos == n {
+			if acc < best {
+				best = acc
+				bestStarts = append(bestStarts[:0], starts...)
+			}
+			return
+		}
+		if acc+ins.W+slb[pos] >= best {
+			return
+		}
+		starts = append(starts, pos)
+		u := bitset.New(ins.Universe)
+		for end := pos + 1; end <= n; end++ {
+			u.UnionWith(ins.Reqs[end-1])
+			segCost := ins.W + f(u)*model.Cost(end-pos)
+			// Recurse only if even the optimistic completion of this
+			// branch (suffix lower bound) beats the incumbent.  Later
+			// ends stay worth trying: segCost grows with end but
+			// slb[end] shrinks.
+			if acc+segCost+slb[end] < best {
+				dfs(end, acc+segCost)
+			}
+		}
+		starts = starts[:len(starts)-1]
+	}
+	dfs(0, 0)
+
+	if bestStarts == nil {
+		return nil, fmt.Errorf("phc: branch-and-bound found no schedule")
+	}
+	seg := model.Segmentation{Starts: bestStarts}
+	hs, err := ins.CanonicalHypercontexts(seg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: best}, nil
+}
+
+// costUnderF prices a segmentation with canonical hypercontexts under
+// an arbitrary per-step cost function: Σ_k ( W + f(U_k)·len_k ).
+func costUnderF(ins *model.SwitchInstance, seg model.Segmentation, f CostFunc) (model.Cost, error) {
+	hs, err := ins.CanonicalHypercontexts(seg)
+	if err != nil {
+		return 0, err
+	}
+	segs := seg.Segments(ins.Len())
+	var total model.Cost
+	for k, se := range segs {
+		total += ins.W + f(hs[k])*model.Cost(se[1]-se[0])
+	}
+	return total, nil
+}
+
+// BruteForceArbitraryCost exhausts all segmentations under f; reference
+// optimum for tests (n ≤ 16).
+func BruteForceArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("phc: nil cost function")
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("phc: brute force capped at n=16, got %d", n)
+	}
+	best := infCost
+	var bestSeg model.Segmentation
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		starts := []int{0}
+		for i := 1; i < n; i++ {
+			if mask&(1<<(i-1)) != 0 {
+				starts = append(starts, i)
+			}
+		}
+		seg := model.Segmentation{Starts: starts}
+		c, err := costUnderF(ins, seg, f)
+		if err != nil {
+			return nil, err
+		}
+		if c < best {
+			best = c
+			bestSeg = model.Segmentation{Starts: append([]int(nil), starts...)}
+		}
+	}
+	hs, err := ins.CanonicalHypercontexts(bestSeg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Seg: bestSeg, Hypercontexts: hs, Cost: best}, nil
+}

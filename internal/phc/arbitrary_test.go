@@ -1,0 +1,107 @@
+package phc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// quadratic is a monotone super-additive cost: |h|².  Models a machine
+// whose reconfiguration port saturates with hypercontext size.
+func quadratic(h bitset.Set) model.Cost {
+	c := model.Cost(h.Count())
+	return c * c
+}
+
+// cardinality recovers the plain Switch model.
+func cardinality(h bitset.Set) model.Cost { return model.Cost(h.Count()) }
+
+func TestSolveArbitraryCostReducesToSwitch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomInstance(r, 5, 10)
+		bb, err1 := SolveArbitraryCost(ins, cardinality)
+		dp, err2 := SolveSwitch(ins)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return bb.Cost == dp.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSolveArbitraryMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomInstance(r, 5, 8)
+		bb, err1 := SolveArbitraryCost(ins, quadratic)
+		bf, err2 := BruteForceArbitraryCost(ins, quadratic)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return bb.Cost == bf.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveArbitraryQuadraticSplitsMore(t *testing.T) {
+	// Quadratic costs punish large hypercontexts, so the optimal
+	// quadratic schedule never uses fewer segments than forced and its
+	// plain-model twin never costs more than its quadratic pricing.
+	ins := mustSwitch(t, 4, 1, reqs(4,
+		[]int{0}, []int{1}, []int{2}, []int{3},
+	))
+	sol, err := SolveArbitraryCost(ins, quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splitting everywhere: 4·(1 + 1²) = 8.  Any merge of k steps costs
+	// ≥ 1 + k²·k/k = 1+k², strictly worse.
+	if sol.Cost != 8 {
+		t.Fatalf("cost = %d, want 8", sol.Cost)
+	}
+	if len(sol.Seg.Starts) != 4 {
+		t.Fatalf("segmentation = %v", sol.Seg.Starts)
+	}
+}
+
+func TestSolveArbitraryValidation(t *testing.T) {
+	ins := mustSwitch(t, 2, 1, reqs(2, []int{0}))
+	if _, err := SolveArbitraryCost(nil, cardinality); err == nil {
+		t.Fatal("accepted nil instance")
+	}
+	if _, err := SolveArbitraryCost(ins, nil); err == nil {
+		t.Fatal("accepted nil cost function")
+	}
+	long := make([]bitset.Set, 65)
+	for i := range long {
+		long[i] = bitset.New(1)
+	}
+	if _, err := SolveArbitraryCost(mustSwitch(t, 1, 1, long), cardinality); err == nil {
+		t.Fatal("accepted n > 64")
+	}
+}
+
+func TestSolveArbitraryEmpty(t *testing.T) {
+	sol, err := SolveArbitraryCost(mustSwitch(t, 2, 1, nil), cardinality)
+	if err != nil || sol.Cost != 0 {
+		t.Fatalf("empty: %v %+v", err, sol)
+	}
+}
+
+func TestBruteForceArbitraryCaps(t *testing.T) {
+	long := make([]bitset.Set, 17)
+	for i := range long {
+		long[i] = bitset.New(1)
+	}
+	if _, err := BruteForceArbitraryCost(mustSwitch(t, 1, 1, long), cardinality); err == nil {
+		t.Fatal("accepted n > 16")
+	}
+}

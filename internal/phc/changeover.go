@@ -1,0 +1,215 @@
+package phc
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// SolveChangeover schedules a Switch-model instance under the
+// changeover-cost variant, where a hyperreconfiguration into h from
+// predecessor h' costs W + |h Δ h'| (only difference information is
+// uploaded; the machine starts empty).
+//
+// The solver restricts hypercontexts to the canonical candidate class —
+// unions U(a,b) of consecutive requirement runs — and finds the optimal
+// schedule within that class by dynamic programming over segments:
+//
+//	D[a][b] = |U(a,b)|·(b-a+1) + W +
+//	          min( |∅ Δ U(0,b)|                       if a = 0,
+//	               min_{a'} D[a'][a-1] + |U(a',a-1) Δ U(a,b)| )
+//
+// O(n³) transitions.  Within the candidate class the result is exact;
+// in full generality a schedule may profit from keeping extra switches
+// alive across a segment boundary to shrink the symmetric difference,
+// so the global optimum can be (rarely, and never by more than the
+// saved difference bits) below this value — ExactChangeoverSmall
+// verifies the gap on small instances.
+func SolveChangeover(ins *model.SwitchInstance) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+
+	// Precompute interval unions U[a][b] for 0 ≤ a ≤ b < n.
+	u := make([][]bitset.Set, n)
+	for a := 0; a < n; a++ {
+		u[a] = make([]bitset.Set, n)
+		acc := bitset.New(ins.Universe)
+		for b := a; b < n; b++ {
+			acc.UnionWith(ins.Reqs[b])
+			u[a][b] = acc.Clone()
+		}
+	}
+
+	empty := bitset.New(ins.Universe)
+	d := make([][]model.Cost, n)
+	prev := make([][]int, n) // previous segment's start, -1 for first segment
+	for a := range d {
+		d[a] = make([]model.Cost, n)
+		prev[a] = make([]int, n)
+		for b := range d[a] {
+			d[a][b] = infCost
+			prev[a][b] = -1
+		}
+	}
+
+	for b := 0; b < n; b++ {
+		for a := 0; a <= b; a++ {
+			run := model.Cost(u[a][b].Count()) * model.Cost(b-a+1)
+			if a == 0 {
+				d[a][b] = run + ins.W + model.Cost(empty.SymmetricDifferenceCount(u[a][b]))
+				continue
+			}
+			for ap := 0; ap < a; ap++ {
+				if d[ap][a-1] >= infCost {
+					continue
+				}
+				c := d[ap][a-1] + ins.W + model.Cost(u[ap][a-1].SymmetricDifferenceCount(u[a][b])) + run
+				if c < d[a][b] {
+					d[a][b] = c
+					prev[a][b] = ap
+				}
+			}
+		}
+	}
+
+	best, bestA := infCost, -1
+	for a := 0; a < n; a++ {
+		if d[a][n-1] < best {
+			best, bestA = d[a][n-1], a
+		}
+	}
+	if bestA < 0 {
+		return nil, fmt.Errorf("phc: changeover DP found no schedule")
+	}
+
+	// Reconstruct starts walking the prev chain backwards.
+	var starts []int
+	a, b := bestA, n-1
+	for a >= 0 {
+		starts = append(starts, a)
+		pa := prev[a][b]
+		b = a - 1
+		a = pa
+	}
+	for i, j := 0, len(starts)-1; i < j; i, j = i+1, j-1 {
+		starts[i], starts[j] = starts[j], starts[i]
+	}
+
+	seg := model.Segmentation{Starts: starts}
+	hs, err := ins.CanonicalHypercontexts(seg)
+	if err != nil {
+		return nil, err
+	}
+	check, err := ins.ChangeoverCost(seg, hs)
+	if err != nil {
+		return nil, err
+	}
+	if check != best {
+		return nil, fmt.Errorf("phc: changeover DP cost %d disagrees with model cost %d", best, check)
+	}
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: best}, nil
+}
+
+// ExactChangeoverSmall finds the true optimum of the changeover variant
+// by exhausting every segmentation and, per segmentation, every choice
+// of hypercontexts ⊇ segment union via an inner DP over superset
+// assignments.  Exponential in both n and the universe size; inputs are
+// capped (n ≤ 10, universe ≤ 12).  Used to validate SolveChangeover.
+func ExactChangeoverSmall(ins *model.SwitchInstance) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+	if n > 10 || ins.Universe > 12 {
+		return nil, fmt.Errorf("phc: exact changeover capped at n=10, universe=12 (got n=%d, |X|=%d)", n, ins.Universe)
+	}
+
+	full := (1 << uint(ins.Universe)) - 1
+	maskOf := func(s bitset.Set) int {
+		m := 0
+		s.ForEach(func(b int) { m |= 1 << uint(b) })
+		return m
+	}
+	popcount := func(m int) int {
+		c := 0
+		for ; m != 0; m &= m - 1 {
+			c++
+		}
+		return c
+	}
+
+	best := infCost
+	var bestSeg model.Segmentation
+	var bestHs []bitset.Set
+
+	for segMask := 0; segMask < 1<<(n-1); segMask++ {
+		starts := []int{0}
+		for i := 1; i < n; i++ {
+			if segMask&(1<<(i-1)) != 0 {
+				starts = append(starts, i)
+			}
+		}
+		seg := model.Segmentation{Starts: starts}
+		segs := seg.Segments(n)
+		unions := make([]int, len(segs))
+		lens := make([]int, len(segs))
+		for k, se := range segs {
+			m := 0
+			for i := se[0]; i < se[1]; i++ {
+				m |= maskOf(ins.Reqs[i])
+			}
+			unions[k] = m
+			lens[k] = se[1] - se[0]
+		}
+		// Inner DP over hypercontext choices: state = previous segment's
+		// chosen hypercontext mask.
+		type state map[int]model.Cost // mask -> min cost so far
+		cur := state{0: 0}            // machine starts empty
+		for k := range segs {
+			next := state{}
+			for prevMask, c := range cur {
+				// Enumerate supersets h of unions[k].
+				rest := full &^ unions[k]
+				for sub := rest; ; sub = (sub - 1) & rest {
+					h := unions[k] | sub
+					hc := c + ins.W + model.Cost(popcount(prevMask^h)) + model.Cost(popcount(h))*model.Cost(lens[k])
+					if old, ok := next[h]; !ok || hc < old {
+						next[h] = hc
+					}
+					if sub == 0 {
+						break
+					}
+				}
+			}
+			cur = next
+		}
+		for _, c := range cur {
+			if c < best {
+				best = c
+				bestSeg = model.Segmentation{Starts: append([]int(nil), starts...)}
+			}
+		}
+	}
+
+	if best >= infCost {
+		return nil, fmt.Errorf("phc: exact changeover found no schedule")
+	}
+	// For the returned solution, report canonical hypercontexts of the
+	// best segmentation; Cost carries the true optimum (which may use
+	// non-canonical hypercontexts).
+	hs, err := ins.CanonicalHypercontexts(bestSeg)
+	if err != nil {
+		return nil, err
+	}
+	bestHs = hs
+	return &Solution{Seg: bestSeg, Hypercontexts: bestHs, Cost: best}, nil
+}

@@ -1,0 +1,29 @@
+// Package phc solves single-task hyperreconfiguration scheduling — the
+// "partition into hypercontexts" (PHC) family of problems: given a
+// sequence of context requirements, decide when to hyperreconfigure and
+// which hypercontexts to install so the total (hyper)reconfiguration
+// time is minimal.
+//
+// Solvers:
+//
+//   - SolveSwitch: exact O(n²) dynamic program for the Switch cost
+//     model (cost(h) = |h|, init(h) = W).  Polynomial because the
+//     optimal hypercontext of a fixed segment is the union of the
+//     segment's requirements.
+//   - SolveGeneral: exact O(n·|H|) dynamic program for the General cost
+//     model with an explicitly enumerated hypercontext catalog.
+//   - SolveDAG: the DAG cost model — SolveGeneral specialized to a
+//     validated DAG instance (uniform init w, monotone costs).
+//   - SolveChangeover: dynamic program for the changeover-cost variant
+//     (init = W + |h Δ h'|) over canonical union candidates; exact on
+//     the candidate class, a strong heuristic in general (keeping
+//     switches alive across segments can occasionally beat every union
+//     candidate).  BranchBoundChangeover gives the exact answer on
+//     small instances for validation.
+//   - SolveArbitraryCost: exact branch-and-bound for the NP-complete
+//     variant where cost(h) is an arbitrary monotone set function — the
+//     general model with implicit hypercontext set 2^X.
+//   - Greedy, FixedInterval: fast heuristics / baselines.
+//   - BruteForceSwitch: exhaustive reference optimum (2^(n-1)
+//     segmentations) used by the property tests.
+package phc

@@ -1,0 +1,151 @@
+package phc
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// SolveSwitchFast is the pointer-technique variant of SolveSwitch the
+// paper alludes to ("the runtime can be further improved with pointer
+// techniques").  The plain DP scans, for every segment end e, all
+// starts s < e while growing the union U(s,e).  Two observations cut
+// that work:
+//
+//  1. As s decreases the union can change at most |X| times, and once
+//     it saturates at the full requirement support of the prefix it
+//     never changes again: every start below the saturation point sees
+//     the same per-step size σ*.  For those starts
+//
+//     min_s ( D[s] + W + σ*·(e-s) )  =  W + σ*·e + min_s ( D[s] − σ*·s ),
+//
+//     and min_s (D[s] − σ*·s) over a prefix is maintained incrementally
+//     in O(1) per step because σ* = |support| is a constant of the
+//     instance.
+//
+//  2. The saturation point for end e is the smallest s such that every
+//     support switch occurs in c_s..c_e — maintained with last-occurrence
+//     pointers (hence the name): satPoint(e) = min over support switches
+//     x of lastOcc_x(e), updated in O(|c_e|) as e advances.
+//
+// The explicit scan then only covers s from e-1 down to the saturation
+// point, which is short whenever requirements revisit their support
+// quickly (typical for looping computations).  Worst case the scan
+// degenerates to the plain O(n²) DP; the result is always identical
+// (property-tested against SolveSwitch).
+func SolveSwitchFast(ins *model.SwitchInstance) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+
+	// Support = union of all requirements; σ* = |support|.
+	support := bitset.New(ins.Universe)
+	for _, r := range ins.Reqs {
+		support.UnionWith(r)
+	}
+	sigma := model.Cost(support.Count())
+	supportMembers := support.Members()
+
+	// lastOcc[x] = largest step index ≤ current e containing switch x
+	// (-1 if none yet).  satPoint(e) = min over support switches of
+	// lastOcc (or -1 while some support switch has not occurred yet —
+	// then no start saturates).
+	lastOcc := make([]int, ins.Universe)
+	for i := range lastOcc {
+		lastOcc[i] = -1
+	}
+
+	d := make([]model.Cost, n+1)
+	parent := make([]int, n+1)
+	// prefMin[s] = min over s' ≤ s of d[s'] − σ*·s', with argmin.
+	prefMin := make([]model.Cost, n+1)
+	prefArg := make([]int, n+1)
+	prefMin[0] = d[0] // d[0] − σ*·0
+	prefArg[0] = 0
+
+	u := bitset.New(ins.Universe)
+	for e := 1; e <= n; e++ {
+		// Advance the last-occurrence pointers with step e-1.
+		ins.Reqs[e-1].ForEach(func(x int) { lastOcc[x] = e - 1 })
+		sat := n // no saturated region by default
+		if sigma > 0 {
+			sat = n
+			ok := true
+			for _, x := range supportMembers {
+				if lastOcc[x] < 0 {
+					ok = false
+					break
+				}
+				if lastOcc[x] < sat {
+					sat = lastOcc[x]
+				}
+			}
+			if !ok {
+				sat = -1 // not all support switches seen yet
+			}
+		} else {
+			sat = 0 // empty support: every start is "saturated" at σ*=0
+		}
+
+		best := infCost
+		bestS := 0
+		// Saturated region: s ≤ sat, all with per-step size σ*.
+		if sat >= 0 && sat <= e-1 {
+			if c := prefMin[sat] + ins.W + sigma*model.Cost(e); c < best {
+				best = c
+				bestS = prefArg[sat]
+			}
+		}
+		// Explicit scan above the saturation point.
+		u.Clear()
+		low := sat + 1
+		if sat < 0 {
+			low = 0
+		}
+		for s := e - 1; s >= low; s-- {
+			u.UnionWith(ins.Reqs[s])
+			c := d[s] + ins.W + model.Cost(u.Count())*model.Cost(e-s)
+			if c < best {
+				best = c
+				bestS = s
+			}
+		}
+		d[e] = best
+		parent[e] = bestS
+		// Extend the prefix minima with index e.
+		cand := d[e] - sigma*model.Cost(e)
+		if cand < prefMin[e-1] {
+			prefMin[e] = cand
+			prefArg[e] = e
+		} else {
+			prefMin[e] = prefMin[e-1]
+			prefArg[e] = prefArg[e-1]
+		}
+	}
+
+	var starts []int
+	for e := n; e > 0; e = parent[e] {
+		starts = append(starts, parent[e])
+	}
+	for i, j := 0, len(starts)-1; i < j; i, j = i+1, j-1 {
+		starts[i], starts[j] = starts[j], starts[i]
+	}
+	seg := model.Segmentation{Starts: starts}
+	hs, err := ins.CanonicalHypercontexts(seg)
+	if err != nil {
+		return nil, err
+	}
+	check, err := ins.CostWithHypercontexts(seg, hs)
+	if err != nil {
+		return nil, err
+	}
+	if check != d[n] {
+		return nil, fmt.Errorf("phc: fast DP cost %d disagrees with model cost %d", d[n], check)
+	}
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: d[n]}, nil
+}

@@ -1,0 +1,215 @@
+package phc
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+)
+
+// GeneralSolution is a solved schedule for the explicit-H General (or
+// DAG) model: a hypercontext index per step and the total cost.
+type GeneralSolution struct {
+	Schedule model.GeneralSchedule
+	Cost     model.Cost
+}
+
+// SolveGeneral computes an optimal schedule for the General cost model
+// with an explicit hypercontext catalog via dynamic programming:
+//
+//	D[i][k] = cost(h_k) + min( D[i-1][k],                 // stay
+//	                           min_k' D[i-1][k'] + init(h_k) )  // hyperreconfigure
+//
+// restricted to hypercontexts that satisfy c_i.  The inner minimum over
+// k' is shared across k, so each step costs O(|H|) and the whole run
+// O(n·|H|).  This shows the problem is polynomial whenever H is part of
+// the input; the paper's NP-completeness concerns implicit exponential
+// H (see SolveArbitraryCost).
+func SolveGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	n, hN := ins.Len(), len(ins.Hypercontexts)
+	if n == 0 {
+		return &GeneralSolution{Schedule: model.GeneralSchedule{HctxIdx: nil}, Cost: 0}, nil
+	}
+
+	d := make([][]model.Cost, n)
+	from := make([][]int, n) // predecessor hypercontext, -1 = stayed
+	for i := range d {
+		d[i] = make([]model.Cost, hN)
+		from[i] = make([]int, hN)
+	}
+
+	for k, h := range ins.Hypercontexts {
+		if h.Sat.Contains(ins.Seq[0]) {
+			d[0][k] = h.Init + h.PerStep
+		} else {
+			d[0][k] = infCost
+		}
+		from[0][k] = -2 // start marker
+	}
+
+	for i := 1; i < n; i++ {
+		// Best predecessor over all hypercontexts (for the
+		// hyperreconfigure branch).
+		bestPrev, bestPrevIdx := infCost, -1
+		for k := 0; k < hN; k++ {
+			if d[i-1][k] < bestPrev {
+				bestPrev, bestPrevIdx = d[i-1][k], k
+			}
+		}
+		for k, h := range ins.Hypercontexts {
+			if !h.Sat.Contains(ins.Seq[i]) {
+				d[i][k] = infCost
+				continue
+			}
+			stay := d[i-1][k]
+			jump := infCost
+			if bestPrevIdx >= 0 {
+				jump = bestPrev + h.Init
+			}
+			if stay <= jump {
+				d[i][k] = stay + h.PerStep
+				from[i][k] = -1
+			} else {
+				d[i][k] = jump + h.PerStep
+				from[i][k] = bestPrevIdx
+			}
+		}
+	}
+
+	best, bestK := infCost, -1
+	for k := 0; k < hN; k++ {
+		if d[n-1][k] < best {
+			best, bestK = d[n-1][k], k
+		}
+	}
+	if bestK < 0 {
+		return nil, fmt.Errorf("phc: no feasible schedule (some context unsatisfiable)")
+	}
+
+	idx := make([]int, n)
+	k := bestK
+	for i := n - 1; i >= 0; i-- {
+		idx[i] = k
+		switch from[i][k] {
+		case -1:
+			// stayed in k
+		case -2:
+			// start
+		default:
+			k = from[i][k]
+		}
+	}
+
+	sched := model.GeneralSchedule{HctxIdx: idx}
+	check, err := ins.Cost(sched)
+	if err != nil {
+		return nil, fmt.Errorf("phc: internal reconstruction error: %w", err)
+	}
+	if check != best {
+		return nil, fmt.Errorf("phc: DP cost %d disagrees with model cost %d", best, check)
+	}
+	return &GeneralSolution{Schedule: sched, Cost: best}, nil
+}
+
+// BruteForceGeneral enumerates all |H|^n schedules; reference optimum
+// for tests.  The state space is capped at ~2 million assignments.
+func BruteForceGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	n, hN := ins.Len(), len(ins.Hypercontexts)
+	if n == 0 {
+		return &GeneralSolution{Cost: 0}, nil
+	}
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= hN
+		if total > 2_000_000 {
+			return nil, fmt.Errorf("phc: brute force state space too large (|H|=%d, n=%d)", hN, n)
+		}
+	}
+	idx := make([]int, n)
+	best := infCost
+	var bestIdx []int
+	for iter := 0; iter < total; iter++ {
+		v := iter
+		for i := 0; i < n; i++ {
+			idx[i] = v % hN
+			v /= hN
+		}
+		c, err := ins.Cost(model.GeneralSchedule{HctxIdx: idx})
+		if err != nil {
+			continue // infeasible assignment
+		}
+		if c < best {
+			best = c
+			bestIdx = append([]int(nil), idx...)
+		}
+	}
+	if bestIdx == nil {
+		return nil, fmt.Errorf("phc: no feasible schedule")
+	}
+	return &GeneralSolution{Schedule: model.GeneralSchedule{HctxIdx: bestIdx}, Cost: best}, nil
+}
+
+// SolveDAG solves the DAG cost model: the instance's side conditions
+// (uniform init w, cost monotone along edges, top hypercontext) were
+// validated at construction, so an optimal schedule is the General DP
+// on the underlying catalog.  The DAG structure itself guides heuristic
+// hypercontext selection elsewhere (minimal satisfiers); for exact
+// optimization it only guarantees feasibility.
+func SolveDAG(ins *dag.Instance) (*GeneralSolution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	return SolveGeneral(ins.General)
+}
+
+// MinimalSatisfierHeuristic schedules each step greedily into one of
+// the DAG model's minimal satisfiers c(H): it stays in the current
+// hypercontext while possible and otherwise jumps to the cheapest
+// minimal satisfier of the incoming context.  Linear time after the
+// minimal-satisfier precomputation; an ablation baseline for SolveDAG.
+func MinimalSatisfierHeuristic(ins *dag.Instance) (*GeneralSolution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	ms, err := ins.MinimalSatisfiers()
+	if err != nil {
+		return nil, err
+	}
+	gen := ins.General
+	n := gen.Len()
+	if n == 0 {
+		return &GeneralSolution{Cost: 0}, nil
+	}
+	idx := make([]int, n)
+	cur := -1
+	for i := 0; i < n; i++ {
+		c := gen.Seq[i]
+		if cur >= 0 && gen.Hypercontexts[cur].Sat.Contains(c) {
+			idx[i] = cur
+			continue
+		}
+		best, bestK := infCost, -1
+		for _, k := range ms[c] {
+			if gen.Hypercontexts[k].PerStep < best {
+				best, bestK = gen.Hypercontexts[k].PerStep, k
+			}
+		}
+		if bestK < 0 {
+			return nil, fmt.Errorf("phc: context %d has no minimal satisfier", c)
+		}
+		cur = bestK
+		idx[i] = cur
+	}
+	sched := model.GeneralSchedule{HctxIdx: idx}
+	cost, err := gen.Cost(sched)
+	if err != nil {
+		return nil, err
+	}
+	return &GeneralSolution{Schedule: sched, Cost: cost}, nil
+}

@@ -1,0 +1,187 @@
+package phc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+	"repro/internal/model"
+)
+
+func catalog3() []model.Hypercontext {
+	return []model.Hypercontext{
+		{Name: "small", Init: 2, PerStep: 1, Sat: bitset.FromMembers(3, 0)},
+		{Name: "medium", Init: 4, PerStep: 2, Sat: bitset.FromMembers(3, 0, 1)},
+		{Name: "full", Init: 8, PerStep: 5, Sat: bitset.Full(3)},
+	}
+}
+
+func TestSolveGeneralKnownOptimum(t *testing.T) {
+	ins, err := model.NewGeneralInstance(3, catalog3(), []int{0, 0, 0, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveGeneral(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Options: medium throughout: 4 + 2*6 = 16.
+	// small,small,small,medium,small,small: 2+4+2 inits + 1+1+1+2+1+1 = 15.
+	// small until step 3, medium at 3, stay medium: 2+4 + 1*3+2*3 = 15.
+	if sol.Cost != 15 {
+		t.Fatalf("cost = %d, want 15", sol.Cost)
+	}
+}
+
+func TestSolveGeneralSingleHypercontext(t *testing.T) {
+	hs := []model.Hypercontext{{Name: "only", Init: 3, PerStep: 2, Sat: bitset.Full(1)}}
+	ins, err := model.NewGeneralInstance(1, hs, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveGeneral(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 3+3*2 {
+		t.Fatalf("cost = %d, want 9", sol.Cost)
+	}
+}
+
+func TestSolveGeneralEmpty(t *testing.T) {
+	hs := []model.Hypercontext{{Name: "h", Init: 1, PerStep: 1, Sat: bitset.Full(1)}}
+	ins, err := model.NewGeneralInstance(1, hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveGeneral(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 0 {
+		t.Fatalf("empty cost = %d", sol.Cost)
+	}
+}
+
+func randomGeneral(r *rand.Rand) *model.GeneralInstance {
+	nCtx := 1 + r.Intn(4)
+	hN := 1 + r.Intn(4)
+	hs := make([]model.Hypercontext, hN)
+	for k := range hs {
+		sat := bitset.New(nCtx)
+		for c := 0; c < nCtx; c++ {
+			if r.Intn(2) == 0 {
+				sat.Add(c)
+			}
+		}
+		hs[k] = model.Hypercontext{
+			Name:    string(rune('a' + k)),
+			Init:    model.Cost(r.Intn(6)),
+			PerStep: model.Cost(r.Intn(5)),
+			Sat:     sat,
+		}
+	}
+	// Last hypercontext satisfies everything so all sequences feasible.
+	hs[hN-1].Sat = bitset.Full(nCtx)
+	n := 1 + r.Intn(6)
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = r.Intn(nCtx)
+	}
+	ins, err := model.NewGeneralInstance(nCtx, hs, seq)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+func TestQuickSolveGeneralMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomGeneral(r)
+		dp, err1 := SolveGeneral(ins)
+		bf, err2 := BruteForceGeneral(ins)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return dp.Cost == bf.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func diamondInstance(t *testing.T, seq []int) *dag.Instance {
+	t.Helper()
+	hs := []model.Hypercontext{
+		{Name: "bottom", PerStep: 1, Sat: bitset.FromMembers(3, 0)},
+		{Name: "left", PerStep: 2, Sat: bitset.FromMembers(3, 0, 1)},
+		{Name: "right", PerStep: 2, Sat: bitset.FromMembers(3, 0, 2)},
+		{Name: "top", PerStep: 4, Sat: bitset.Full(3)},
+	}
+	gen, err := model.NewGeneralInstance(3, hs, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dag.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	ins, err := dag.NewInstance(gen, g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestSolveDAG(t *testing.T) {
+	ins := diamondInstance(t, []int{0, 1, 0, 2, 0})
+	sol, err := SolveDAG(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All hypercontexts have init 5 after DAG validation.
+	// Staying in top: 5 + 4*5 = 25.
+	// left,left,left,right,right: 5+5 inits + 2*5 = 20.
+	// Optimum ≤ 20; check against brute force.
+	bf, err := BruteForceGeneral(ins.General)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != bf.Cost {
+		t.Fatalf("DAG DP cost %d != brute force %d", sol.Cost, bf.Cost)
+	}
+}
+
+func TestMinimalSatisfierHeuristic(t *testing.T) {
+	ins := diamondInstance(t, []int{0, 1, 0, 2, 0})
+	h, err := MinimalSatisfierHeuristic(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SolveDAG(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cost < opt.Cost {
+		t.Fatalf("heuristic %d beats optimum %d", h.Cost, opt.Cost)
+	}
+	// The heuristic must produce a feasible schedule (Cost validated it).
+	if len(h.Schedule.HctxIdx) != 5 {
+		t.Fatalf("schedule length = %d", len(h.Schedule.HctxIdx))
+	}
+}
+
+func TestMinimalSatisfierHeuristicEmpty(t *testing.T) {
+	ins := diamondInstance(t, nil)
+	h, err := MinimalSatisfierHeuristic(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cost != 0 {
+		t.Fatalf("empty heuristic cost = %d", h.Cost)
+	}
+}

@@ -1,0 +1,196 @@
+package phc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Solution is a solved single-task schedule: the segmentation (steps
+// preceded by a hyperreconfiguration), the hypercontext installed for
+// each segment, and the total cost under the model that produced it.
+type Solution struct {
+	Seg           model.Segmentation
+	Hypercontexts []bitset.Set
+	Cost          model.Cost
+}
+
+// infCost is a sentinel larger than any real schedule cost.
+const infCost = model.Cost(math.MaxInt64 / 4)
+
+// SolveSwitch computes an optimal schedule for the single-task Switch
+// model by dynamic programming over segment ends:
+//
+//	D[e] = min over s < e of  D[s] + W + |U(s,e)| · (e-s)
+//
+// where U(s,e) is the union of requirements c_{s+1}..c_e (0-based:
+// reqs[s..e)).  Union sizes are maintained incrementally while s scans
+// downward, so the total time is O(n² · |X|/64) with O(n) extra memory.
+// The returned hypercontexts are canonical (segment unions).
+func SolveSwitch(ins *model.SwitchInstance) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+
+	d := make([]model.Cost, n+1)
+	parent := make([]int, n+1)
+	for e := 1; e <= n; e++ {
+		d[e] = infCost
+	}
+	u := bitset.New(ins.Universe)
+	for e := 1; e <= n; e++ {
+		u.Clear()
+		// s descends from e-1 to 0; U(s,e) grows monotonically.
+		for s := e - 1; s >= 0; s-- {
+			u.UnionWith(ins.Reqs[s])
+			c := d[s] + ins.W + model.Cost(u.Count())*model.Cost(e-s)
+			if c < d[e] {
+				d[e] = c
+				parent[e] = s
+			}
+		}
+	}
+
+	// Reconstruct segment starts from parent pointers.
+	var starts []int
+	for e := n; e > 0; e = parent[e] {
+		starts = append(starts, parent[e])
+	}
+	// Reverse into ascending order.
+	for i, j := 0, len(starts)-1; i < j; i, j = i+1, j-1 {
+		starts[i], starts[j] = starts[j], starts[i]
+	}
+
+	seg := model.Segmentation{Starts: starts}
+	hs, err := ins.CanonicalHypercontexts(seg)
+	if err != nil {
+		return nil, fmt.Errorf("phc: internal reconstruction error: %w", err)
+	}
+	// Cross-check the DP value against the model's own pricing.
+	check, err := ins.CostWithHypercontexts(seg, hs)
+	if err != nil {
+		return nil, fmt.Errorf("phc: internal pricing error: %w", err)
+	}
+	if check != d[n] {
+		return nil, fmt.Errorf("phc: DP cost %d disagrees with model cost %d", d[n], check)
+	}
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: d[n]}, nil
+}
+
+// BruteForceSwitch enumerates every segmentation (2^(n-1) of them) and
+// returns the optimum with canonical hypercontexts.  Reference
+// implementation for tests; n is capped at 20.
+func BruteForceSwitch(ins *model.SwitchInstance) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+	if n > 20 {
+		return nil, fmt.Errorf("phc: brute force capped at n=20, got %d", n)
+	}
+	best := infCost
+	var bestSeg model.Segmentation
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		starts := []int{0}
+		for i := 1; i < n; i++ {
+			if mask&(1<<(i-1)) != 0 {
+				starts = append(starts, i)
+			}
+		}
+		seg := model.Segmentation{Starts: starts}
+		c, err := ins.Cost(seg)
+		if err != nil {
+			return nil, err
+		}
+		if c < best {
+			best = c
+			bestSeg = model.Segmentation{Starts: append([]int(nil), starts...)}
+		}
+	}
+	hs, err := ins.CanonicalHypercontexts(bestSeg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Seg: bestSeg, Hypercontexts: hs, Cost: best}, nil
+}
+
+// Greedy is a fast online heuristic for the Switch model: it extends
+// the current segment step by step and cuts whenever finishing the
+// current segment and opening a fresh one for the incoming step is
+// locally cheaper than absorbing the step:
+//
+//	cut before step i  iff  |U(s,i-1)|·(i-s) + W + |c_i|  <  |U(s,i)|·(i-s+1).
+//
+// O(n · |X|/64), no lookahead; used as an ablation baseline against the
+// exact DP.
+func Greedy(ins *model.SwitchInstance) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+	starts := []int{0}
+	u := ins.Reqs[0].Clone()
+	segStart := 0
+	for i := 1; i < n; i++ {
+		merged := model.Cost(u.UnionCount(ins.Reqs[i])) * model.Cost(i-segStart+1)
+		split := model.Cost(u.Count())*model.Cost(i-segStart) + ins.W + model.Cost(ins.Reqs[i].Count())
+		if split < merged {
+			starts = append(starts, i)
+			segStart = i
+			u = ins.Reqs[i].Clone()
+		} else {
+			u.UnionWith(ins.Reqs[i])
+		}
+	}
+	seg := model.Segmentation{Starts: starts}
+	hs, err := ins.CanonicalHypercontexts(seg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := ins.CostWithHypercontexts(seg, hs)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: c}, nil
+}
+
+// FixedInterval hyperreconfigures every k steps regardless of the
+// requirements — the naive periodic baseline.  k must be positive.
+func FixedInterval(ins *model.SwitchInstance, k int) (*Solution, error) {
+	if ins == nil {
+		return nil, fmt.Errorf("phc: nil instance")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("phc: interval must be positive, got %d", k)
+	}
+	n := ins.Len()
+	if n == 0 {
+		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
+	}
+	var starts []int
+	for i := 0; i < n; i += k {
+		starts = append(starts, i)
+	}
+	seg := model.Segmentation{Starts: starts}
+	hs, err := ins.CanonicalHypercontexts(seg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := ins.CostWithHypercontexts(seg, hs)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: c}, nil
+}

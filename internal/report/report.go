@@ -1,0 +1,182 @@
+// Package report renders the experiment artifacts of the paper's
+// Section 6 as plain text (and CSV for plotting): the cost-comparison
+// table, Figure 2 (per-task context/hypercontext activity over time
+// with hyperreconfiguration time steps) and Figure 3 (which tasks
+// perform a partial hyperreconfiguration at each step).
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for c, h := range headers {
+		widths[c] = len(h)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if c < len(widths) && len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders rows as comma-separated values (cells must not contain
+// commas; the renderer is for simple numeric tables).
+func CSV(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(headers, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HyperMap renders a Figure-3-style chart: one row per task, one column
+// per step, '#' where the task performs a partial hyperreconfiguration
+// and '.' where it issues a no-hyperreconfiguration operation.
+func HyperMap(names []string, sched *model.MTSchedule) string {
+	if sched == nil || len(sched.Hyper) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	n := len(sched.Hyper[0])
+	fmt.Fprintf(&b, "%-*s  ", width, "step")
+	for i := 0; i < n; i++ {
+		if i%10 == 0 {
+			b.WriteByte('0' + byte((i/10)%10))
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+	for j := range sched.Hyper {
+		name := ""
+		if j < len(names) {
+			name = names[j]
+		}
+		fmt.Fprintf(&b, "%-*s  ", width, name)
+		for i := 0; i < n; i++ {
+			if sched.Hyper[j][i] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ContextMap renders a Figure-2-style chart: for each task, per-step
+// hypercontext and requirement sizes (base-36 digits so sizes up to 35
+// fit in one column) plus the hyperreconfiguration marks.  A column
+// reads: requirement size (how much of the hypercontext is in use) over
+// hypercontext size (how much is available).
+func ContextMap(ins *model.MTSwitchInstance, sched *model.MTSchedule) (string, error) {
+	if ins == nil || sched == nil {
+		return "", fmt.Errorf("report: nil instance or schedule")
+	}
+	if err := ins.Validate(sched); err != nil {
+		return "", err
+	}
+	digit := func(v int) byte {
+		switch {
+		case v < 10:
+			return '0' + byte(v)
+		case v < 36:
+			return 'a' + byte(v-10)
+		default:
+			return '+'
+		}
+	}
+	width := 0
+	for _, t := range ins.Tasks {
+		if len(t.Name) > width {
+			width = len(t.Name)
+		}
+	}
+	width += len(" avail") // suffix labels below
+	var b strings.Builder
+	n := ins.Steps()
+	for j, t := range ins.Tasks {
+		fmt.Fprintf(&b, "%-*s  ", width, t.Name+" hyper")
+		for i := 0; i < n; i++ {
+			if sched.Hyper[j][i] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-*s  ", width, t.Name+" used")
+		for i := 0; i < n; i++ {
+			b.WriteByte(digit(ins.Reqs[j][i].Count()))
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-*s  ", width, t.Name+" avail")
+		for i := 0; i < n; i++ {
+			b.WriteByte(digit(sched.Hctx[j][i].Count()))
+		}
+		b.WriteString("\n\n")
+	}
+	return b.String(), nil
+}
+
+// SegmentsLine renders a single-task segmentation as hyper marks, the
+// m=1 top half of Figure 2.
+func SegmentsLine(n int, starts []int) string {
+	marks := make([]byte, n)
+	for i := range marks {
+		marks[i] = '.'
+	}
+	for _, s := range starts {
+		if s >= 0 && s < n {
+			marks[s] = '#'
+		}
+	}
+	return string(marks)
+}
+
+// CostRow formats one line of the headline cost table.
+func CostRow(label string, cost model.Cost, disabled model.Cost, hypers int) []string {
+	pct := "-"
+	if disabled > 0 {
+		pct = fmt.Sprintf("%.1f%%", 100*float64(cost)/float64(disabled))
+	}
+	return []string{label, fmt.Sprintf("%d", cost), pct, fmt.Sprintf("%d", hypers)}
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "cost"}, [][]string{
+		{"disabled", "5280"},
+		{"multi", "2813"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "cost") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// All rows aligned to the same width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) > w+2 {
+			t.Fatalf("row wider than separator: %q", l)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "a,b\n1,2\n3,4\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func buildSchedule(t *testing.T) (*model.MTSwitchInstance, *model.MTSchedule) {
+	t.Helper()
+	tasks := []model.Task{{Name: "A", Local: 2, V: 1}, {Name: "LONGNAME", Local: 3, V: 2}}
+	reqs := [][]bitset.Set{
+		{bitset.FromMembers(2, 0), bitset.FromMembers(2, 1), bitset.FromMembers(2, 0)},
+		{bitset.FromMembers(3, 2), bitset.New(3), bitset.FromMembers(3, 0, 1)},
+	}
+	ins, err := model.NewMTSwitchInstance(tasks, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := ins.CanonicalSchedule([][]bool{{true, true, false}, {true, false, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, sched
+}
+
+func TestHyperMap(t *testing.T) {
+	_, sched := buildSchedule(t)
+	out := HyperMap([]string{"A", "LONGNAME"}, sched)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("hyper map has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "##.") {
+		t.Fatalf("task A row = %q, want ##.", lines[1])
+	}
+	if !strings.Contains(lines[2], "#.#") {
+		t.Fatalf("task B row = %q, want #.#", lines[2])
+	}
+	if HyperMap(nil, nil) != "" {
+		t.Fatal("nil schedule should render empty")
+	}
+}
+
+func TestContextMap(t *testing.T) {
+	ins, sched := buildSchedule(t)
+	out, err := ContextMap(ins, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task A: hyper at 0 and 1; hctx sizes: step0 {0}=1, step1 {1}=1,
+	// step2 (kept) {1}∪req{0}? No — segment [1,3) union = {1}∪{0} = 2.
+	if !strings.Contains(out, "A hyper") || !strings.Contains(out, "A used") || !strings.Contains(out, "A avail") {
+		t.Fatalf("missing sections:\n%s", out)
+	}
+	if !strings.Contains(out, "##.") {
+		t.Fatalf("missing hyper marks:\n%s", out)
+	}
+	// Requirement sizes for LONGNAME: 1, 0, 2.
+	if !strings.Contains(out, "102") {
+		t.Fatalf("missing requirement sizes:\n%s", out)
+	}
+	if _, err := ContextMap(nil, nil); err == nil {
+		t.Fatal("accepted nils")
+	}
+	// Invalid schedule rejected.
+	bad := &model.MTSchedule{Hyper: sched.Hyper[:1], Hctx: sched.Hctx[:1]}
+	if _, err := ContextMap(ins, bad); err == nil {
+		t.Fatal("accepted invalid schedule")
+	}
+}
+
+func TestSegmentsLine(t *testing.T) {
+	if got := SegmentsLine(5, []int{0, 3}); got != "#..#." {
+		t.Fatalf("SegmentsLine = %q", got)
+	}
+	if got := SegmentsLine(3, []int{5}); got != "..." {
+		t.Fatalf("out-of-range start should be ignored, got %q", got)
+	}
+}
+
+func TestCostRow(t *testing.T) {
+	row := CostRow("multi", 2813, 5280, 50)
+	if row[0] != "multi" || row[1] != "2813" || row[3] != "50" {
+		t.Fatalf("row = %v", row)
+	}
+	if row[2] != "53.3%" {
+		t.Fatalf("percentage = %q, want 53.3%%", row[2])
+	}
+	row = CostRow("x", 1, 0, 0)
+	if row[2] != "-" {
+		t.Fatalf("zero-baseline percentage = %q", row[2])
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// SVG rendering of the paper's figures.  The renderers build standalone
+// SVG documents with stdlib string formatting only; colors follow a
+// restrained two-hue scheme (blue for availability, orange for use,
+// black tick marks for hyperreconfigurations).
+
+const (
+	svgCell    = 10 // px per step
+	svgRowH    = 14 // px per lane
+	svgGutter  = 6
+	svgLabelW  = 70
+	svgPadding = 8
+)
+
+// svgHeader opens a document of the given pixel size.
+func svgHeader(w, h int) string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="monospace" font-size="10">`+"\n", w, h, w, h)
+}
+
+// fillFor maps a utilization fraction (0..1) to a color of the given
+// hue ramp.
+func fillFor(frac float64, hue string) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Lighten towards white for low utilization.
+	level := int(255 - frac*170)
+	switch hue {
+	case "blue":
+		return fmt.Sprintf("rgb(%d,%d,255)", level, level)
+	default: // orange
+		return fmt.Sprintf("rgb(255,%d,%d)", level, level/2+60)
+	}
+}
+
+// SVGHyperMap renders Figure 3 as SVG: one lane per task, one cell per
+// step, dark cells where the task performs a partial
+// hyperreconfiguration.
+func SVGHyperMap(names []string, sched *model.MTSchedule) (string, error) {
+	if sched == nil || len(sched.Hyper) == 0 {
+		return "", fmt.Errorf("report: nil or empty schedule")
+	}
+	m := len(sched.Hyper)
+	n := len(sched.Hyper[0])
+	width := svgLabelW + n*svgCell + 2*svgPadding
+	height := m*(svgRowH+svgGutter) + 2*svgPadding + svgRowH // + axis row
+	var b strings.Builder
+	b.WriteString(svgHeader(width, height))
+	for j := 0; j < m; j++ {
+		y := svgPadding + j*(svgRowH+svgGutter)
+		name := ""
+		if j < len(names) {
+			name = names[j]
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", svgPadding, y+svgRowH-3, xmlEscape(name))
+		for i := 0; i < n; i++ {
+			x := svgLabelW + svgPadding + i*svgCell
+			fill := "#eeeeee"
+			if sched.Hyper[j][i] {
+				fill = "#222222"
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="white" stroke-width="0.5"/>`+"\n",
+				x, y, svgCell, svgRowH, fill)
+		}
+	}
+	axisY := svgPadding + m*(svgRowH+svgGutter) + svgRowH - 3
+	for i := 0; i < n; i += 10 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%d</text>`+"\n", svgLabelW+svgPadding+i*svgCell, axisY, i)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// SVGContextMap renders Figure 2 as SVG: per task two lanes — the
+// hypercontext size (avail, blue) and the requirement size (used,
+// orange) — shaded by utilization of the task's switch budget, with
+// black tick marks at hyperreconfiguration steps.
+func SVGContextMap(ins *model.MTSwitchInstance, sched *model.MTSchedule) (string, error) {
+	if ins == nil || sched == nil {
+		return "", fmt.Errorf("report: nil instance or schedule")
+	}
+	if err := ins.Validate(sched); err != nil {
+		return "", err
+	}
+	m, n := ins.NumTasks(), ins.Steps()
+	laneBlock := 2*svgRowH + svgGutter
+	width := svgLabelW + n*svgCell + 2*svgPadding
+	height := m*(laneBlock+svgGutter) + 2*svgPadding
+	var b strings.Builder
+	b.WriteString(svgHeader(width, height))
+	for j := 0; j < m; j++ {
+		yAvail := svgPadding + j*(laneBlock+svgGutter)
+		yUsed := yAvail + svgRowH
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", svgPadding, yUsed, xmlEscape(ins.Tasks[j].Name))
+		budget := float64(ins.Tasks[j].Local)
+		if budget == 0 {
+			budget = 1
+		}
+		for i := 0; i < n; i++ {
+			x := svgLabelW + svgPadding + i*svgCell
+			avail := float64(sched.Hctx[j][i].Count()) / budget
+			used := float64(ins.Reqs[j][i].Count()) / budget
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="white" stroke-width="0.5"/>`+"\n",
+				x, yAvail, svgCell, svgRowH, fillFor(avail, "blue"))
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="white" stroke-width="0.5"/>`+"\n",
+				x, yUsed, svgCell, svgRowH, fillFor(used, "orange"))
+			if sched.Hyper[j][i] {
+				fmt.Fprintf(&b, `<rect x="%d" y="%d" width="2" height="%d" fill="black"/>`+"\n",
+					x, yAvail, 2*svgRowH)
+			}
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// xmlEscape escapes text content for embedding in SVG.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestSVGHyperMap(t *testing.T) {
+	_, sched := buildSchedule(t)
+	svg, err := SVGHyperMap([]string{"A", "B&B"}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Must be well-formed XML.
+	if err := xml.Unmarshal([]byte(svg), new(interface{})); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+	// Escaping of the ampersand in the task name.
+	if !strings.Contains(svg, "B&amp;B") {
+		t.Fatal("task name not escaped")
+	}
+	// Dark cells for hyper steps exist.
+	if !strings.Contains(svg, "#222222") {
+		t.Fatal("no hyperreconfiguration cells rendered")
+	}
+	if _, err := SVGHyperMap(nil, nil); err == nil {
+		t.Fatal("accepted nil schedule")
+	}
+}
+
+func TestSVGContextMap(t *testing.T) {
+	ins, sched := buildSchedule(t)
+	svg, err := SVGContextMap(ins, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xml.Unmarshal([]byte(svg), new(interface{})); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+	// Two lanes per task plus hyper ticks.
+	if strings.Count(svg, "<text") < 2 {
+		t.Fatal("missing task labels")
+	}
+	if !strings.Contains(svg, `fill="black"`) {
+		t.Fatal("missing hyperreconfiguration tick marks")
+	}
+	if _, err := SVGContextMap(nil, nil); err == nil {
+		t.Fatal("accepted nils")
+	}
+	bad := *sched
+	bad.Hyper = bad.Hyper[:1]
+	if _, err := SVGContextMap(ins, &bad); err == nil {
+		t.Fatal("accepted invalid schedule")
+	}
+}
+
+func TestFillForClamps(t *testing.T) {
+	if fillFor(-1, "blue") != fillFor(0, "blue") {
+		t.Fatal("negative fraction not clamped")
+	}
+	if fillFor(2, "orange") != fillFor(1, "orange") {
+		t.Fatal("fraction above 1 not clamped")
+	}
+	if fillFor(0.5, "blue") == fillFor(0.5, "orange") {
+		t.Fatal("hues indistinguishable")
+	}
+}

@@ -1,0 +1,197 @@
+package rmesh
+
+import "fmt"
+
+// Canonical partitions used by the bundled algorithms.
+var (
+	// partIsolated keeps all four ports separate.
+	partIsolated = MustPartition()
+	// partEW is the horizontal through-connection.
+	partEW = MustPartition([]Port{East, West})
+	// partNS is the vertical through-connection.
+	partNS = MustPartition([]Port{North, South})
+	// partAll fuses all four ports (a broadcast node).
+	partAll = MustPartition([]Port{North, East, South, West})
+)
+
+// uniformStep builds a step where every PE runs the same behaviour.
+func uniformStep(name string, h, w int, pe PEStep) Step {
+	st := Step{Name: name, PE: make([][]*PEStep, h)}
+	for r := 0; r < h; r++ {
+		st.PE[r] = make([]*PEStep, w)
+		for c := 0; c < w; c++ {
+			cp := pe
+			st.PE[r][c] = &cp
+		}
+	}
+	return st
+}
+
+// emptyStepGrid builds an all-inactive step.
+func emptyStepGrid(name string, h, w int) Step {
+	st := Step{Name: name, PE: make([][]*PEStep, h)}
+	for r := 0; r < h; r++ {
+		st.PE[r] = make([]*PEStep, w)
+	}
+	return st
+}
+
+// ShiftRight shifts a 1×w register row right by k positions, one
+// position per synchronized step: every PE isolates its ports, writes
+// its bit eastwards and reads from the west (each pair of facing ports
+// forms a private two-port bus).  The leftmost PE shifts in zero.
+func ShiftRight(w, k int, input []bool) (*Program, error) {
+	if w < 2 {
+		return nil, fmt.Errorf("rmesh: shift needs width ≥ 2, got %d", w)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rmesh: shift count must be positive, got %d", k)
+	}
+	if len(input) != w {
+		return nil, fmt.Errorf("rmesh: input has %d bits, want %d", len(input), w)
+	}
+	p := &Program{Name: fmt.Sprintf("shift-right(%d,%d)", w, k), H: 1, W: w}
+	p.InitRegs = [][]bool{append([]bool(nil), input...)}
+	for i := 0; i < k; i++ {
+		p.Steps = append(p.Steps, uniformStep(fmt.Sprintf("shift%d", i), 1, w, PEStep{
+			PartZero: partIsolated, PartOne: partIsolated,
+			Write: true, WritePort: East,
+			Read: true, ReadPort: West,
+		}))
+	}
+	return p, nil
+}
+
+// PrefixOR computes, in a single synchronized step, the exclusive
+// prefix OR of w bits on a 1×w mesh — the classic constant-time
+// reconfigurable-mesh primitive built on data-dependent bus splitting:
+//
+//   - a PE with bit 0 connects {W,E}, extending the bus;
+//   - a PE with bit 1 breaks the bus ({W} | {E}) and drives a 1 onto
+//     its east-side segment;
+//   - every PE reads its west port.
+//
+// A PE therefore reads 1 exactly when some PE strictly to its left
+// holds a 1 (the nearest 1-PE drives the segment it heads).  After the
+// step, register i holds OR(input[0..i-1]).
+func PrefixOR(input []bool) (*Program, error) {
+	w := len(input)
+	if w < 2 {
+		return nil, fmt.Errorf("rmesh: prefix-or needs width ≥ 2, got %d", w)
+	}
+	split := MustPartition([]Port{West}, []Port{East})
+	p := &Program{Name: fmt.Sprintf("prefix-or(%d)", w), H: 1, W: w}
+	p.InitRegs = [][]bool{append([]bool(nil), input...)}
+	p.Steps = []Step{uniformStep("prefix", 1, w, PEStep{
+		PartZero: partEW, PartOne: split,
+		Write: true, WritePort: East,
+		Read: true, ReadPort: West,
+	})}
+	return p, nil
+}
+
+// BroadcastOR computes the OR of all registers of an h×w mesh into
+// every PE in three synchronized steps: row buses fold each row's OR
+// into column 0, the column-0 bus folds those into the global OR, and
+// a final broadcast on fused row buses spreads it back out.  Every PE
+// is configured in every step — a dense workload for the cost analysis.
+func BroadcastOR(h, w int, input [][]bool) (*Program, error) {
+	if h < 1 || w < 2 {
+		return nil, fmt.Errorf("rmesh: broadcast needs at least 1×2, got %dx%d", h, w)
+	}
+	if len(input) != h {
+		return nil, fmt.Errorf("rmesh: input has %d rows, want %d", len(input), h)
+	}
+	p := &Program{Name: fmt.Sprintf("broadcast-or(%dx%d)", h, w), H: h, W: w}
+	p.InitRegs = make([][]bool, h)
+	for r := range p.InitRegs {
+		if len(input[r]) != w {
+			return nil, fmt.Errorf("rmesh: input row %d has %d columns, want %d", r, len(input[r]), w)
+		}
+		p.InitRegs[r] = append([]bool(nil), input[r]...)
+	}
+
+	// Step 1: row OR into column 0.
+	rowOr := uniformStep("row-or", h, w, PEStep{
+		PartZero: partEW, PartOne: partEW,
+		Write: true, WritePort: East,
+	})
+	for r := 0; r < h; r++ {
+		rowOr.PE[r][0].Read = true
+		rowOr.PE[r][0].ReadPort = East
+	}
+	p.Steps = append(p.Steps, rowOr)
+
+	// Step 2: column-0 OR via its column bus, latched by every PE of
+	// column 0; the other columns hold their configuration (inactive).
+	colOr := emptyStepGrid("col-or", h, w)
+	for r := 0; r < h; r++ {
+		colOr.PE[r][0] = &PEStep{
+			PartZero: partNS, PartOne: partNS,
+			Write: true, WritePort: North,
+			Read: true, ReadPort: North,
+		}
+	}
+	p.Steps = append(p.Steps, colOr)
+
+	// Step 3: every row broadcasts column 0's result on a fused bus.
+	spread := uniformStep("spread", h, w, PEStep{
+		PartZero: partAll, PartOne: partAll,
+		Read: true, ReadPort: West,
+	})
+	for r := 0; r < h; r++ {
+		spread.PE[r][0].Write = true
+		spread.PE[r][0].WritePort = East
+		spread.PE[r][0].Read = false
+	}
+	p.Steps = append(p.Steps, spread)
+	return p, nil
+}
+
+// RotateAndOr alternates k shift steps with k vertical-OR steps on a
+// 2×w mesh: row 0 rotates its pattern rightwards while row 1
+// accumulates the OR of everything that has passed over its columns.
+// The two phases use different partitions and ports, giving the
+// multi-task analysis the temporal structure partial
+// hyperreconfiguration exploits.
+func RotateAndOr(w, k int, input []bool) (*Program, error) {
+	if w < 2 {
+		return nil, fmt.Errorf("rmesh: rotate needs width ≥ 2, got %d", w)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rmesh: round count must be positive, got %d", k)
+	}
+	if len(input) != w {
+		return nil, fmt.Errorf("rmesh: input has %d bits, want %d", len(input), w)
+	}
+	p := &Program{Name: fmt.Sprintf("rotate-and-or(%d,%d)", w, k), H: 2, W: w}
+	p.InitRegs = [][]bool{append([]bool(nil), input...), make([]bool, w)}
+	for i := 0; i < k; i++ {
+		// Phase A: row 0 shifts right (row 1 idle).
+		shift := emptyStepGrid(fmt.Sprintf("shift%d", i), 2, w)
+		for c := 0; c < w; c++ {
+			shift.PE[0][c] = &PEStep{
+				PartZero: partIsolated, PartOne: partIsolated,
+				Write: true, WritePort: East,
+				Read: true, ReadPort: West,
+			}
+		}
+		p.Steps = append(p.Steps, shift)
+		// Phase B: vertical buses; row 1 keeps its accumulator by
+		// driving it back onto the same bus row 0 drives (bus OR).
+		or := emptyStepGrid(fmt.Sprintf("or%d", i), 2, w)
+		for c := 0; c < w; c++ {
+			or.PE[0][c] = &PEStep{
+				PartZero: partNS, PartOne: partNS,
+				Write: true, WritePort: South,
+			}
+			or.PE[1][c] = &PEStep{
+				PartZero: partNS, PartOne: partNS,
+				Write: true, WritePort: North,
+				Read: true, ReadPort: North,
+			}
+		}
+		p.Steps = append(p.Steps, or)
+	}
+	return p, nil
+}

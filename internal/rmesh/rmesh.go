@@ -1,0 +1,460 @@
+// Package rmesh implements a reconfigurable mesh — the architecture
+// the paper names as the canonical example of a fully synchronized
+// machine ("a reconfigurable mesh where a reconfiguration is done at
+// the start of each computational cycle").
+//
+// The machine is an H×W grid of processing elements (PEs).  Each PE
+// owns one 1-bit register and four ports (N, E, S, W); its local switch
+// configuration is a partition of the four ports into connected groups.
+// Facing ports of adjacent PEs are hard-wired, so the per-PE partitions
+// stitch global buses across the mesh.  One synchronized step:
+//
+//  1. every PE (re)configures its port partition — this is the ordinary
+//     reconfiguration, and the partition may depend on the PE's own
+//     register bit (the data-dependent switch settings classic
+//     reconfigurable-mesh algorithms rely on),
+//  2. writing PEs drive their register value onto the bus at a chosen
+//     port (multiple writers resolve by OR),
+//  3. reading PEs latch the value of the bus at a chosen port.
+//
+// Each PE's switch budget is PEBits = 4 configuration bits (a selector
+// over the 15 partitions of four ports).  For the multi-task analysis
+// the mesh rows are the tasks: row r owns the 4·W switches of its PEs,
+// giving the same fully synchronized MT-Switch setting as the paper's
+// SHyRA experiment on a second, very different architecture.
+package rmesh
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Port indexes a PE's four ports.
+type Port int
+
+const (
+	North Port = iota
+	East
+	South
+	West
+	numPorts
+)
+
+// String implements fmt.Stringer.
+func (p Port) String() string {
+	switch p {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	default:
+		return fmt.Sprintf("Port(%d)", int(p))
+	}
+}
+
+// Partition identifies one of the 15 set partitions of the four ports,
+// an index into Partitions().  PEBits bits encode it.
+type Partition uint8
+
+// PEBits is the switch budget of one PE (4 bits select among 15
+// partitions).
+const PEBits = 4
+
+// partitionTable holds the canonical partitions: partitionTable[p][port]
+// is the group label (0..3) of the port under partition p.  Generated
+// in restricted-growth-string order, so partition 0 is "all connected"
+// and the last is "all isolated".
+var partitionTable = buildPartitions()
+
+func buildPartitions() [][numPorts]uint8 {
+	var out [][numPorts]uint8
+	var rec func(pos int, labels [numPorts]uint8, maxLabel uint8)
+	rec = func(pos int, labels [numPorts]uint8, maxLabel uint8) {
+		if pos == int(numPorts) {
+			out = append(out, labels)
+			return
+		}
+		for l := uint8(0); l <= maxLabel+1 && l < uint8(numPorts); l++ {
+			labels[pos] = l
+			next := maxLabel
+			if l > maxLabel {
+				next = l
+			}
+			rec(pos+1, labels, next)
+		}
+	}
+	var labels [numPorts]uint8
+	labels[0] = 0
+	rec(1, labels, 0)
+	return out
+}
+
+// NumPartitions is the number of port partitions (the Bell number B4).
+func NumPartitions() int { return len(partitionTable) }
+
+// Groups returns the group label of each port under the partition.
+func (p Partition) Groups() ([numPorts]uint8, error) {
+	if int(p) >= len(partitionTable) {
+		return [numPorts]uint8{}, fmt.Errorf("rmesh: invalid partition %d (have %d)", p, len(partitionTable))
+	}
+	return partitionTable[p], nil
+}
+
+// PartitionOf finds the canonical partition connecting exactly the
+// given port groups; ports not mentioned stay isolated.  Example:
+// PartitionOf([]Port{West, East}) is the horizontal through-connection.
+func PartitionOf(groups ...[]Port) (Partition, error) {
+	label := [numPorts]int{-1, -1, -1, -1}
+	for gi, g := range groups {
+		for _, port := range g {
+			if port < 0 || port >= numPorts {
+				return 0, fmt.Errorf("rmesh: invalid port %d", port)
+			}
+			if label[port] != -1 {
+				return 0, fmt.Errorf("rmesh: port %v in two groups", port)
+			}
+			label[port] = gi
+		}
+	}
+	// Canonicalize to a restricted growth string.
+	var canon [numPorts]uint8
+	next := uint8(0)
+	seen := map[int]uint8{}
+	for port := 0; port < int(numPorts); port++ {
+		l := label[port]
+		if l == -1 {
+			canon[port] = next // isolated: fresh label
+			next++
+			continue
+		}
+		if c, ok := seen[l]; ok {
+			canon[port] = c
+		} else {
+			seen[l] = next
+			canon[port] = next
+			next++
+		}
+	}
+	for idx, row := range partitionTable {
+		if row == canon {
+			return Partition(idx), nil
+		}
+	}
+	return 0, fmt.Errorf("rmesh: partition %v not found (internal error)", canon)
+}
+
+// MustPartition is PartitionOf for static program construction.
+func MustPartition(groups ...[]Port) Partition {
+	p, err := PartitionOf(groups...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PEStep is one PE's behaviour in one synchronized step.  A nil PEStep
+// in a StepGrid means the PE keeps its previous partition and neither
+// writes nor reads (its switches are don't-cares for the step).
+type PEStep struct {
+	// PartZero/PartOne select the partition depending on the PE's
+	// current register bit (equal values = data-independent).
+	PartZero, PartOne Partition
+	// Write drives the PE's register onto the bus at WritePort.
+	Write     bool
+	WritePort Port
+	// Read latches the bus value at ReadPort into the register.
+	Read     bool
+	ReadPort Port
+}
+
+// Step is the mesh-wide instruction for one synchronized cycle.
+type Step struct {
+	Name string
+	// PE[r][c] is PE (r,c)'s behaviour; nil = inactive.
+	PE [][]*PEStep
+}
+
+// Program is a straight-line reconfigurable-mesh program.
+type Program struct {
+	Name string
+	H, W int
+	// InitRegs[r][c] is the initial register plane.
+	InitRegs [][]bool
+	Steps    []Step
+}
+
+// Validate checks shapes and partition indices.
+func (p *Program) Validate() error {
+	if p.H <= 0 || p.W <= 0 {
+		return fmt.Errorf("rmesh: mesh %dx%d is empty", p.H, p.W)
+	}
+	if len(p.InitRegs) != p.H {
+		return fmt.Errorf("rmesh: init registers have %d rows, want %d", len(p.InitRegs), p.H)
+	}
+	for r := range p.InitRegs {
+		if len(p.InitRegs[r]) != p.W {
+			return fmt.Errorf("rmesh: init register row %d has %d columns, want %d", r, len(p.InitRegs[r]), p.W)
+		}
+	}
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("rmesh: program %q has no steps", p.Name)
+	}
+	for si, st := range p.Steps {
+		if len(st.PE) != p.H {
+			return fmt.Errorf("rmesh: step %d (%s) has %d rows, want %d", si, st.Name, len(st.PE), p.H)
+		}
+		for r := range st.PE {
+			if len(st.PE[r]) != p.W {
+				return fmt.Errorf("rmesh: step %d (%s) row %d has %d columns, want %d", si, st.Name, r, len(st.PE[r]), p.W)
+			}
+			for c, pe := range st.PE[r] {
+				if pe == nil {
+					continue
+				}
+				if int(pe.PartZero) >= NumPartitions() || int(pe.PartOne) >= NumPartitions() {
+					return fmt.Errorf("rmesh: step %d (%s) PE(%d,%d) has invalid partition", si, st.Name, r, c)
+				}
+				if pe.Write && (pe.WritePort < 0 || pe.WritePort >= numPorts) {
+					return fmt.Errorf("rmesh: step %d (%s) PE(%d,%d) writes invalid port", si, st.Name, r, c)
+				}
+				if pe.Read && (pe.ReadPort < 0 || pe.ReadPort >= numPorts) {
+					return fmt.Errorf("rmesh: step %d (%s) PE(%d,%d) reads invalid port", si, st.Name, r, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TraceStep records one executed mesh cycle.
+type TraceStep struct {
+	Name string
+	// Chosen[r][c] is the partition in effect (data dependence already
+	// resolved); Active[r][c] says whether the PE was configured this
+	// step.
+	Chosen [][]Partition
+	Active [][]bool
+	// RegsAfter is the register plane after the cycle.
+	RegsAfter [][]bool
+}
+
+// Trace is the reconfiguration trace of a mesh program run.
+type Trace struct {
+	Program string
+	H, W    int
+	Steps   []TraceStep
+}
+
+// Len returns the number of traced steps.
+func (t *Trace) Len() int { return len(t.Steps) }
+
+// Run executes the program and returns its trace.
+func Run(p *Program) (*Trace, error) {
+	if p == nil {
+		return nil, fmt.Errorf("rmesh: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	regs := make([][]bool, p.H)
+	for r := range regs {
+		regs[r] = append([]bool(nil), p.InitRegs[r]...)
+	}
+	// Installed partitions persist across steps for inactive PEs.
+	installed := make([][]Partition, p.H)
+	for r := range installed {
+		installed[r] = make([]Partition, p.W)
+	}
+
+	tr := &Trace{Program: p.Name, H: p.H, W: p.W}
+	nodes := p.H * p.W * int(numPorts)
+	parent := make([]int, nodes)
+	node := func(r, c int, port Port) int {
+		return (r*p.W+c)*int(numPorts) + int(port)
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for _, st := range p.Steps {
+		// Resolve data-dependent partitions and install them.
+		chosen := make([][]Partition, p.H)
+		active := make([][]bool, p.H)
+		for r := 0; r < p.H; r++ {
+			chosen[r] = make([]Partition, p.W)
+			active[r] = make([]bool, p.W)
+			for c := 0; c < p.W; c++ {
+				if pe := st.PE[r][c]; pe != nil {
+					part := pe.PartZero
+					if regs[r][c] {
+						part = pe.PartOne
+					}
+					installed[r][c] = part
+					active[r][c] = true
+				}
+				chosen[r][c] = installed[r][c]
+			}
+		}
+
+		// Build buses: union ports within each PE's partition, then
+		// across the hard-wired links between adjacent PEs.
+		for i := range parent {
+			parent[i] = i
+		}
+		for r := 0; r < p.H; r++ {
+			for c := 0; c < p.W; c++ {
+				groups := partitionTable[chosen[r][c]]
+				for a := Port(0); a < numPorts; a++ {
+					for b := a + 1; b < numPorts; b++ {
+						if groups[a] == groups[b] {
+							union(node(r, c, a), node(r, c, b))
+						}
+					}
+				}
+				if c+1 < p.W {
+					union(node(r, c, East), node(r, c+1, West))
+				}
+				if r+1 < p.H {
+					union(node(r, c, South), node(r+1, c, North))
+				}
+			}
+		}
+
+		// Drive buses (OR over writers).
+		bus := make(map[int]bool)
+		for r := 0; r < p.H; r++ {
+			for c := 0; c < p.W; c++ {
+				pe := st.PE[r][c]
+				if pe == nil || !pe.Write {
+					continue
+				}
+				root := find(node(r, c, pe.WritePort))
+				bus[root] = bus[root] || regs[r][c]
+			}
+		}
+		// Latch readers (all reads see the pre-write register values,
+		// which the bus map already captured).
+		for r := 0; r < p.H; r++ {
+			for c := 0; c < p.W; c++ {
+				pe := st.PE[r][c]
+				if pe == nil || !pe.Read {
+					continue
+				}
+				regs[r][c] = bus[find(node(r, c, pe.ReadPort))]
+			}
+		}
+
+		snap := make([][]bool, p.H)
+		for r := range snap {
+			snap[r] = append([]bool(nil), regs[r]...)
+		}
+		tr.Steps = append(tr.Steps, TraceStep{Name: st.Name, Chosen: chosen, Active: active, RegsAfter: snap})
+	}
+	return tr, nil
+}
+
+// Regs returns the final register plane of the trace.
+func (t *Trace) Regs() [][]bool {
+	if t.Len() == 0 {
+		return nil
+	}
+	return t.Steps[t.Len()-1].RegsAfter
+}
+
+// MTInstance extracts the fully synchronized multi-task Switch-model
+// instance of the trace with one task per mesh row (task r owns the
+// 4·W switch bits of its PEs).  Requirements are bit-granular: an
+// active PE needs all four of its selector bits; inactive PEs
+// contribute nothing (their switches keep the installed state).
+func (t *Trace) MTInstance() (*model.MTSwitchInstance, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("rmesh: empty trace")
+	}
+	local := t.W * PEBits
+	tasks := make([]model.Task, t.H)
+	reqs := make([][]bitset.Set, t.H)
+	for r := 0; r < t.H; r++ {
+		tasks[r] = model.Task{Name: fmt.Sprintf("row%d", r), Local: local, V: model.Cost(local)}
+		reqs[r] = make([]bitset.Set, t.Len())
+		for i, st := range t.Steps {
+			s := bitset.New(local)
+			for c := 0; c < t.W; c++ {
+				if st.Active[r][c] {
+					for b := 0; b < PEBits; b++ {
+						s.Add(c*PEBits + b)
+					}
+				}
+			}
+			reqs[r][i] = s
+		}
+	}
+	return model.NewMTSwitchInstance(tasks, reqs)
+}
+
+// MTInstanceDelta extracts requirements at delta granularity: an active
+// PE needs only the selector bits whose value differs from the
+// previously installed partition (all four on first configuration).
+// Data-dependent partitions make these requirements vary run to run —
+// exactly the paper's point that actual demand can depend on the data.
+func (t *Trace) MTInstanceDelta() (*model.MTSwitchInstance, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("rmesh: empty trace")
+	}
+	local := t.W * PEBits
+	tasks := make([]model.Task, t.H)
+	reqs := make([][]bitset.Set, t.H)
+	type key struct{ r, c int }
+	prev := make(map[key]Partition)
+	configuredOnce := make(map[key]bool)
+	// Walk steps once, per row building the delta sets.
+	for r := 0; r < t.H; r++ {
+		tasks[r] = model.Task{Name: fmt.Sprintf("row%d", r), Local: local, V: model.Cost(local)}
+		reqs[r] = make([]bitset.Set, t.Len())
+		for i := range t.Steps {
+			reqs[r][i] = bitset.New(local)
+		}
+	}
+	for i, st := range t.Steps {
+		for r := 0; r < t.H; r++ {
+			for c := 0; c < t.W; c++ {
+				if !st.Active[r][c] {
+					continue
+				}
+				k := key{r, c}
+				cur := st.Chosen[r][c]
+				if !configuredOnce[k] {
+					for b := 0; b < PEBits; b++ {
+						reqs[r][i].Add(c*PEBits + b)
+					}
+				} else {
+					diff := uint8(prev[k]) ^ uint8(cur)
+					for b := 0; b < PEBits; b++ {
+						if diff&(1<<uint(b)) != 0 {
+							reqs[r][i].Add(c*PEBits + b)
+						}
+					}
+				}
+				prev[k] = cur
+				configuredOnce[k] = true
+			}
+		}
+	}
+	return model.NewMTSwitchInstance(tasks, reqs)
+}

@@ -1,0 +1,383 @@
+package rmesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ga"
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+)
+
+var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+
+func TestPartitionTable(t *testing.T) {
+	// Bell(4) = 15 canonical partitions, all distinct.
+	if NumPartitions() != 15 {
+		t.Fatalf("NumPartitions = %d, want 15", NumPartitions())
+	}
+	seen := map[[4]uint8]bool{}
+	for p := 0; p < NumPartitions(); p++ {
+		g, err := Partition(p).Groups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[g] {
+			t.Fatalf("duplicate partition %v", g)
+		}
+		seen[g] = true
+		// Restricted growth string property.
+		max := uint8(0)
+		for i, l := range g {
+			if i == 0 && l != 0 {
+				t.Fatalf("partition %d not canonical: %v", p, g)
+			}
+			if l > max+1 {
+				t.Fatalf("partition %d not canonical: %v", p, g)
+			}
+			if l > max {
+				max = l
+			}
+		}
+	}
+	if _, err := Partition(15).Groups(); err == nil {
+		t.Fatal("accepted out-of-range partition")
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	// All connected is partition 0, all isolated is the last.
+	all, err := PartitionOf([]Port{North, East, South, West})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != 0 {
+		t.Fatalf("all-connected = %d, want 0", all)
+	}
+	iso, err := PartitionOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(iso) != NumPartitions()-1 {
+		t.Fatalf("all-isolated = %d, want %d", iso, NumPartitions()-1)
+	}
+	// Mentioning a port twice is an error.
+	if _, err := PartitionOf([]Port{East}, []Port{East}); err == nil {
+		t.Fatal("accepted duplicate port")
+	}
+	if _, err := PartitionOf([]Port{Port(9)}); err == nil {
+		t.Fatal("accepted invalid port")
+	}
+	// Group naming is order independent.
+	a := MustPartition([]Port{West, East})
+	b := MustPartition([]Port{East, West})
+	if a != b {
+		t.Fatalf("order-dependent canonicalization: %d vs %d", a, b)
+	}
+}
+
+func TestPortString(t *testing.T) {
+	names := map[Port]string{North: "N", East: "E", South: "S", West: "W"}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("Port %d = %q, want %q", p, p.String(), want)
+		}
+	}
+	if Port(9).String() == "" {
+		t.Error("unknown port should render")
+	}
+}
+
+func TestShiftRight(t *testing.T) {
+	input := []bool{true, false, true, true, false, false}
+	p, err := ShiftRight(6, 2, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Regs()[0]
+	want := []bool{false, false, true, false, true, true}
+	for c := range want {
+		if got[c] != want[c] {
+			t.Fatalf("after 2 shifts: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPrefixORAllInputs(t *testing.T) {
+	const w = 6
+	for code := 0; code < 1<<w; code++ {
+		input := make([]bool, w)
+		for c := 0; c < w; c++ {
+			input[c] = code&(1<<c) != 0
+		}
+		p, err := PrefixOR(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Regs()[0]
+		acc := false
+		for c := 0; c < w; c++ {
+			if got[c] != acc {
+				t.Fatalf("input %06b: prefix-or[%d] = %v, want %v", code, c, got[c], acc)
+			}
+			acc = acc || input[c]
+		}
+	}
+}
+
+func TestBroadcastORAllReachOne(t *testing.T) {
+	input := [][]bool{
+		{false, false, false, false},
+		{false, false, true, false},
+		{false, false, false, false},
+	}
+	p, err := BroadcastOR(3, 4, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, row := range tr.Regs() {
+		for c, v := range row {
+			if !v {
+				t.Fatalf("PE(%d,%d) missed the broadcast", r, c)
+			}
+		}
+	}
+	// All-zero input broadcasts zero.
+	zero := [][]bool{{false, false}, {false, false}}
+	p, err = BroadcastOR(2, 2, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tr.Regs() {
+		for _, v := range row {
+			if v {
+				t.Fatal("all-zero broadcast produced a one")
+			}
+		}
+	}
+}
+
+func TestRotateAndOrAccumulates(t *testing.T) {
+	input := []bool{true, false, false, false}
+	p, err := RotateAndOr(4, 4, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 4 rounds the single 1 has visited columns 1,2,3 (and been
+	// shifted out); row 1 accumulated it wherever it passed.
+	row1 := tr.Regs()[1]
+	want := []bool{false, true, true, true}
+	for c := range want {
+		if row1[c] != want[c] {
+			t.Fatalf("accumulator = %v, want %v", row1, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(nil); err == nil {
+		t.Fatal("accepted nil program")
+	}
+	if _, err := ShiftRight(1, 1, []bool{true}); err == nil {
+		t.Fatal("accepted width 1")
+	}
+	if _, err := ShiftRight(4, 0, make([]bool, 4)); err == nil {
+		t.Fatal("accepted zero shifts")
+	}
+	if _, err := ShiftRight(4, 1, make([]bool, 3)); err == nil {
+		t.Fatal("accepted wrong input width")
+	}
+	if _, err := PrefixOR([]bool{true}); err == nil {
+		t.Fatal("accepted width 1")
+	}
+	if _, err := BroadcastOR(0, 2, nil); err == nil {
+		t.Fatal("accepted empty mesh")
+	}
+	if _, err := BroadcastOR(1, 2, [][]bool{{true}}); err == nil {
+		t.Fatal("accepted ragged input")
+	}
+	if _, err := RotateAndOr(4, 0, make([]bool, 4)); err == nil {
+		t.Fatal("accepted zero rounds")
+	}
+	// Invalid step shapes.
+	bad := &Program{Name: "bad", H: 1, W: 2, InitRegs: [][]bool{{false, false}}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted program without steps")
+	}
+	bad.Steps = []Step{{Name: "s", PE: [][]*PEStep{{nil}}}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted ragged step grid")
+	}
+	bad.Steps = []Step{{Name: "s", PE: [][]*PEStep{{&PEStep{PartZero: 99}, nil}}}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted invalid partition")
+	}
+}
+
+func TestMTInstanceShapes(t *testing.T) {
+	input := []bool{true, false, true, false}
+	p, err := RotateAndOr(4, 3, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NumTasks() != 2 || ins.Steps() != 6 {
+		t.Fatalf("instance shape %d×%d", ins.NumTasks(), ins.Steps())
+	}
+	if ins.Tasks[0].Local != 4*PEBits {
+		t.Fatalf("task universe = %d, want %d", ins.Tasks[0].Local, 4*PEBits)
+	}
+	// Shift steps leave row 1 inactive: empty requirements there.
+	if !ins.Reqs[1][0].IsEmpty() {
+		t.Fatal("row 1 should be idle during shift steps")
+	}
+	if ins.Reqs[0][0].Count() != 4*PEBits {
+		t.Fatal("row 0 should be fully required during shift steps")
+	}
+
+	delta, err := tr.MTInstanceDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delta requirements are never larger than bit-level ones.
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 6; i++ {
+			if !delta.Reqs[j][i].IsSubsetOf(ins.Reqs[j][i]) {
+				t.Fatalf("delta requirement (%d,%d) not a subset", j, i)
+			}
+		}
+	}
+}
+
+func TestMeshAnalysisPipeline(t *testing.T) {
+	// The mesh trace feeds the same multi-task machinery as SHyRA: the
+	// ordering multi ≤ disabled must hold and partial
+	// hyperreconfiguration must exploit the idle row during shifts.
+	input := []bool{true, false, false, true, false, true}
+	p, err := RotateAndOr(6, 5, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstanceDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := mtswitch.SolveAligned(ins, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ga.Optimize(ins, parallel, ga.Config{Pop: 40, Generations: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Cost > al.Cost {
+		t.Fatalf("GA %d worse than aligned %d", res.Solution.Cost, al.Cost)
+	}
+	if res.Solution.Cost >= ins.DisabledCost() {
+		t.Fatalf("multi-task %d not below disabled %d", res.Solution.Cost, ins.DisabledCost())
+	}
+	lb := mtswitch.LowerBound(ins, parallel)
+	if res.Solution.Cost < lb {
+		t.Fatalf("GA %d below bound %d", res.Solution.Cost, lb)
+	}
+}
+
+// Property: shifting k then inspecting equals the reference shift, for
+// random inputs and widths.
+func TestQuickShiftMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 2 + r.Intn(8)
+		k := 1 + r.Intn(6)
+		input := make([]bool, w)
+		for c := range input {
+			input[c] = r.Intn(2) == 1
+		}
+		p, err := ShiftRight(w, k, input)
+		if err != nil {
+			return false
+		}
+		tr, err := Run(p)
+		if err != nil {
+			return false
+		}
+		got := tr.Regs()[0]
+		for c := 0; c < w; c++ {
+			want := false
+			if c-k >= 0 {
+				want = input[c-k]
+			}
+			if got[c] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prefix-OR matches the reference for random inputs.
+func TestQuickPrefixOR(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := 2 + r.Intn(12)
+		input := make([]bool, w)
+		for c := range input {
+			input[c] = r.Intn(2) == 1
+		}
+		p, err := PrefixOR(input)
+		if err != nil {
+			return false
+		}
+		tr, err := Run(p)
+		if err != nil {
+			return false
+		}
+		got := tr.Regs()[0]
+		acc := false
+		for c := 0; c < w; c++ {
+			if got[c] != acc {
+				return false
+			}
+			acc = acc || input[c]
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package shyra
+
+import "fmt"
+
+// Usage says which LUTs participate in a cycle and how many of their
+// inputs are live.  Unused LUTs neither evaluate nor write, and their
+// configuration bits (plus the MUX/DeMUX selections that only serve
+// them) are don't-cares for the cycle.  Inputs beyond LiveInputs are
+// tied to zero by the sequencer, so only the first 2^LiveInputs
+// truth-table cells can be addressed — this is what makes the
+// bit-granularity context requirements (2^arity live cells) sound:
+// cells outside the live region can hold stale values without
+// affecting the computation.
+type Usage struct {
+	LUT [NumLUTs]bool
+	// LiveInputs[k] is the number of inputs LUT k reads (0..3);
+	// meaningful only when LUT[k] is true.
+	LiveInputs [NumLUTs]uint8
+}
+
+// Machine is a functional simulator of SHyRA: ten 1-bit registers and
+// the currently loaded configuration.  The zero value is a machine with
+// all registers cleared and an all-zero configuration.
+type Machine struct {
+	regs [NumRegs]bool
+	cfg  Config
+}
+
+// Reset clears all registers.
+func (m *Machine) Reset() { m.regs = [NumRegs]bool{} }
+
+// SetReg stores a value into a register.
+func (m *Machine) SetReg(r int, v bool) error {
+	if r < 0 || r >= NumRegs {
+		return fmt.Errorf("shyra: register %d out of range", r)
+	}
+	m.regs[r] = v
+	return nil
+}
+
+// Reg reads a register.
+func (m *Machine) Reg(r int) (bool, error) {
+	if r < 0 || r >= NumRegs {
+		return false, fmt.Errorf("shyra: register %d out of range", r)
+	}
+	return m.regs[r], nil
+}
+
+// Regs returns a snapshot of the register file.
+func (m *Machine) Regs() [NumRegs]bool { return m.regs }
+
+// LoadRegs installs a full register-file image.
+func (m *Machine) LoadRegs(v [NumRegs]bool) { m.regs = v }
+
+// Configure performs an ordinary reconfiguration step: it installs the
+// given configuration (in cost-model terms, uploads the reconfiguration
+// bits permitted by the current hypercontext).
+func (m *Machine) Configure(c Config) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	m.cfg = c
+	return nil
+}
+
+// Config returns the currently installed configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cycle executes one computational cycle under the current
+// configuration: used LUTs read their MUX-selected registers, evaluate,
+// and their outputs are written through the DeMUX.  Both reads happen
+// before any write (registers are edge-triggered).  Two used LUTs must
+// not target the same destination register.
+func (m *Machine) Cycle(use Usage) error {
+	if use.LUT[0] && use.LUT[1] && m.cfg.DemuxSel[0] == m.cfg.DemuxSel[1] {
+		return fmt.Errorf("shyra: both LUTs write register %d in the same cycle", m.cfg.DemuxSel[0])
+	}
+	var out [NumLUTs]bool
+	for k := 0; k < NumLUTs; k++ {
+		if !use.LUT[k] {
+			continue
+		}
+		live := int(use.LiveInputs[k])
+		if live > LUTInputs {
+			return fmt.Errorf("shyra: LUT%d declares %d live inputs (max %d)", k+1, live, LUTInputs)
+		}
+		idx := 0
+		for i := 0; i < live; i++ {
+			if m.regs[m.cfg.MuxSel[k*LUTInputs+i]] {
+				idx |= 1 << uint(i)
+			}
+		}
+		out[k] = m.cfg.LUT[k][idx]
+	}
+	for k := 0; k < NumLUTs; k++ {
+		if use.LUT[k] {
+			m.regs[m.cfg.DemuxSel[k]] = out[k]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package shyra
+
+import "fmt"
+
+// Discard as an LUTSpec destination would contradict the usage model —
+// unused LUTs simply set Spec to nil — so destinations are always real
+// registers.
+
+// LUTFunc is a boolean function of up to three inputs.  Inputs beyond
+// the spec's arity are passed as false and must be ignored.
+type LUTFunc func(a, b, c bool) bool
+
+// LUTSpec describes one LUT's role in a step: the function it computes,
+// the registers feeding its live inputs, and the destination register.
+type LUTSpec struct {
+	// Name documents the computed signal (e.g. "b1' = b1 XOR carry").
+	Name string
+	// Fn is the computed function.
+	Fn LUTFunc
+	// In lists the registers feeding the live inputs; len(In) ∈ [0,3].
+	In []int
+	// Dest is the register receiving the output.
+	Dest int
+}
+
+// arity returns the number of live inputs.
+func (s *LUTSpec) arity() int { return len(s.In) }
+
+// Branch describes conditional control flow evaluated after a step's
+// cycle completes.
+type Branch struct {
+	// Reg is the register tested.
+	Reg int
+	// IfSet is the value that triggers the jump.
+	IfSet bool
+	// Target is the instruction index jumped to when the test fires;
+	// otherwise control falls through to the next instruction.
+	Target int
+}
+
+// Step is one instruction of a SHyRA program: a reconfiguration (to the
+// step's compiled configuration) followed by one computational cycle,
+// then optional control flow.
+type Step struct {
+	// Name labels the step in traces (e.g. "inc0").
+	Name string
+	// LUT[k] describes LUT k's work this step; nil = unused.
+	LUT [NumLUTs]*LUTSpec
+	// Branch, if non-nil, is evaluated after the cycle.
+	Branch *Branch
+	// Halt stops the program after this step (checked after Branch; a
+	// taken branch wins).
+	Halt bool
+}
+
+// Program is a sequence of steps executed from index 0.
+type Program struct {
+	Name  string
+	Steps []Step
+	// InitRegs is the register file image installed before execution.
+	InitRegs [NumRegs]bool
+}
+
+// Validate checks structural well-formedness: register ranges, branch
+// targets, destination conflicts and LUT arities.
+func (p *Program) Validate() error {
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("shyra: program %q has no steps", p.Name)
+	}
+	for si := range p.Steps {
+		st := &p.Steps[si]
+		var dests []int
+		for k := 0; k < NumLUTs; k++ {
+			spec := st.LUT[k]
+			if spec == nil {
+				continue
+			}
+			if spec.Fn == nil {
+				return fmt.Errorf("shyra: step %d (%s) LUT%d has no function", si, st.Name, k+1)
+			}
+			if spec.arity() > LUTInputs {
+				return fmt.Errorf("shyra: step %d (%s) LUT%d has %d inputs (max %d)", si, st.Name, k+1, spec.arity(), LUTInputs)
+			}
+			for _, in := range spec.In {
+				if in < 0 || in >= NumRegs {
+					return fmt.Errorf("shyra: step %d (%s) LUT%d reads invalid register %d", si, st.Name, k+1, in)
+				}
+			}
+			if spec.Dest < 0 || spec.Dest >= NumRegs {
+				return fmt.Errorf("shyra: step %d (%s) LUT%d writes invalid register %d", si, st.Name, k+1, spec.Dest)
+			}
+			dests = append(dests, spec.Dest)
+		}
+		if len(dests) == 2 && dests[0] == dests[1] {
+			return fmt.Errorf("shyra: step %d (%s) both LUTs write register %d", si, st.Name, dests[0])
+		}
+		if st.Branch != nil {
+			if st.Branch.Reg < 0 || st.Branch.Reg >= NumRegs {
+				return fmt.Errorf("shyra: step %d (%s) branches on invalid register %d", si, st.Name, st.Branch.Reg)
+			}
+			if st.Branch.Target < 0 || st.Branch.Target >= len(p.Steps) {
+				return fmt.Errorf("shyra: step %d (%s) branches to invalid step %d", si, st.Name, st.Branch.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// compile turns a step into a full configuration, threading the
+// previous configuration so that don't-care fields keep their old
+// values (they are not part of the step's context requirement, and a
+// real machine would not upload them).
+func (st *Step) compile(prev Config) (Config, Usage, error) {
+	cfg := prev
+	var use Usage
+	for k := 0; k < NumLUTs; k++ {
+		spec := st.LUT[k]
+		if spec == nil {
+			continue
+		}
+		use.LUT[k] = true
+		use.LiveInputs[k] = uint8(spec.arity())
+		// Truth table: live inputs map to table index bits 0..arity-1;
+		// dead input bits are ignored by replicating the function value,
+		// so the table is well-defined for every electrical input.
+		for v := 0; v < LUTTableBits; v++ {
+			args := [LUTInputs]bool{}
+			for i := 0; i < spec.arity(); i++ {
+				args[i] = v&(1<<uint(i)) != 0
+			}
+			cfg.LUT[k][v] = spec.Fn(args[0], args[1], args[2])
+		}
+		for i := 0; i < spec.arity(); i++ {
+			cfg.MuxSel[k*LUTInputs+i] = uint8(spec.In[i])
+		}
+		cfg.DemuxSel[k] = uint8(spec.Dest)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, Usage{}, err
+	}
+	return cfg, use, nil
+}

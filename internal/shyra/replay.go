@@ -1,0 +1,152 @@
+package shyra
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// ReplayReport is the outcome of re-executing a trace under a
+// hypercontext-gated machine.
+type ReplayReport struct {
+	// Steps is the number of replayed reconfiguration steps.
+	Steps int
+	// UploadedBits[i] is Σ_j |hctx_j(i)| — the reconfiguration bits the
+	// cost model charges at step i (task-sequential accounting; the
+	// task-parallel step time is the per-task maximum).
+	UploadedBits []int
+	// ChangedBits[i] counts the configuration bits that actually
+	// changed value at step i (≤ UploadedBits[i]).
+	ChangedBits []int
+	// TotalUploaded sums UploadedBits.
+	TotalUploaded int
+}
+
+// ReplayMT re-executes a traced program under a multi-task
+// hyperreconfiguration schedule, enforcing hypercontexts in hardware
+// terms: at every step only the configuration bits inside the tasks'
+// current hypercontexts may be written; all other bits keep their
+// previous values.  The replay fails if a bit the computation depends
+// on (a live bit whose required value differs from what is installed)
+// lies outside the hypercontexts, or if the register trajectory
+// diverges from the original trace.
+//
+// A successful replay is the end-to-end proof that the schedule is
+// functionally sound: the machine computes exactly what the
+// hyperreconfiguration-disabled run computed while uploading only
+// hypercontext-sized configurations.  The schedule must come from the
+// same trace (same step count) with per-task universes matching the
+// SHyRA task decomposition.
+func ReplayMT(tr *Trace, sched *model.MTSchedule) (*ReplayReport, error) {
+	if tr == nil || sched == nil {
+		return nil, fmt.Errorf("shyra: nil trace or schedule")
+	}
+	units := Units()
+	if len(sched.Hyper) != len(units) || len(sched.Hctx) != len(units) {
+		return nil, fmt.Errorf("shyra: schedule has %d task rows, want %d", len(sched.Hyper), len(units))
+	}
+	n := tr.Len()
+	for j, u := range units {
+		if len(sched.Hctx[j]) != n {
+			return nil, fmt.Errorf("shyra: task %v schedule has %d steps, want %d", u, len(sched.Hctx[j]), n)
+		}
+		for i, h := range sched.Hctx[j] {
+			if h.Universe() != u.Bits() {
+				return nil, fmt.Errorf("shyra: task %v hypercontext %d over universe %d, want %d", u, i, h.Universe(), u.Bits())
+			}
+		}
+	}
+
+	var m Machine
+	m.LoadRegs(tr.InitRegs)
+	installed := bitset.New(ConfigBits)
+	rep := &ReplayReport{Steps: n, UploadedBits: make([]int, n), ChangedBits: make([]int, n)}
+
+	for i := 0; i < n; i++ {
+		st := &tr.Steps[i]
+		// Allowed bits: the union of the tasks' current hypercontexts,
+		// mapped into the global bit layout.
+		allowed := bitset.New(ConfigBits)
+		uploaded := 0
+		for j, u := range units {
+			start, _ := u.BitRange()
+			sched.Hctx[j][i].ForEach(func(b int) { allowed.Add(start + b) })
+			uploaded += sched.Hctx[j][i].Count()
+		}
+		desired := st.Cfg.Encode()
+
+		// Gate the upload: only allowed bits take their desired values.
+		next := installed.Clone()
+		next.DifferenceWith(allowed)
+		patch := desired.Intersect(allowed)
+		next.UnionWith(patch)
+		rep.ChangedBits[i] = installed.SymmetricDifferenceCount(next)
+		rep.UploadedBits[i] = uploaded
+		rep.TotalUploaded += uploaded
+
+		// Every live bit must now hold its desired value, or the
+		// hypercontexts were insufficient for the computation.
+		for _, u := range units {
+			start, _ := u.BitRange()
+			bad := -1
+			st.Live[u].ForEach(func(b int) {
+				g := start + b
+				if bad < 0 && next.Contains(g) != desired.Contains(g) {
+					bad = g
+				}
+			})
+			if bad >= 0 {
+				return nil, fmt.Errorf("shyra: step %d (%s): live bit %d of %v not reconfigurable under the schedule's hypercontext", i, st.Name, bad, u)
+			}
+		}
+
+		// Execute the cycle on the gated configuration.  Stale bits
+		// outside the live set may decode to out-of-range selections;
+		// they are never read, so the raw decode (without validation)
+		// is installed directly.
+		installed = next
+		m.cfg = rawDecode(installed)
+		if err := m.Cycle(st.Use); err != nil {
+			return nil, fmt.Errorf("shyra: step %d (%s): %w", i, st.Name, err)
+		}
+		if m.Regs() != st.RegsAfter {
+			return nil, fmt.Errorf("shyra: step %d (%s): register trajectory diverged from the trace", i, st.Name)
+		}
+	}
+	return rep, nil
+}
+
+// rawDecode unpacks configuration bits without range validation;
+// out-of-range selections can only occur in dead fields, which the
+// replay never reads.
+func rawDecode(s bitset.Set) Config {
+	var c Config
+	for k := 0; k < NumLUTs; k++ {
+		base := k * LUTTableBits
+		for v := 0; v < LUTTableBits; v++ {
+			c.LUT[k][v] = s.Contains(base + v)
+		}
+	}
+	demuxBase, _ := UnitDeMUX.BitRange()
+	for k := 0; k < NumLUTs; k++ {
+		var val uint8
+		for b := 0; b < SelBits; b++ {
+			if s.Contains(demuxBase + k*SelBits + b) {
+				val |= 1 << uint(b)
+			}
+		}
+		c.DemuxSel[k] = val
+	}
+	muxBase, _ := UnitMUX.BitRange()
+	for i := 0; i < NumLUTs*LUTInputs; i++ {
+		var val uint8
+		for b := 0; b < SelBits; b++ {
+			if s.Contains(muxBase + i*SelBits + b) {
+				val |= 1 << uint(b)
+			}
+		}
+		c.MuxSel[i] = val
+	}
+	return c
+}

@@ -1,0 +1,124 @@
+package shyra
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// runAndSchedule runs the two-step fixture and builds a canonical
+// schedule from a hyperreconfiguration mask at the given granularity.
+func runAndSchedule(t *testing.T, g Granularity, mask [][]bool) (*Trace, *model.MTSchedule, *model.MTSwitchInstance) {
+	t.Helper()
+	tr, err := Run(twoStepProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask == nil {
+		mask = make([][]bool, ins.NumTasks())
+		for j := range mask {
+			mask[j] = make([]bool, ins.Steps())
+			mask[j][0] = true
+		}
+	}
+	sched, err := ins.CanonicalSchedule(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, sched, ins
+}
+
+func TestReplayMTAllGranularities(t *testing.T) {
+	for _, g := range []Granularity{GranularityBit, GranularityUnit, GranularityDelta} {
+		tr, sched, _ := runAndSchedule(t, g, nil)
+		rep, err := ReplayMT(tr, sched)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if rep.Steps != tr.Len() {
+			t.Fatalf("%v: steps = %d", g, rep.Steps)
+		}
+		if rep.TotalUploaded <= 0 {
+			t.Fatalf("%v: no uploads recorded", g)
+		}
+		// Gated uploads never change more bits than the cost model pays.
+		for i := range rep.ChangedBits {
+			if rep.ChangedBits[i] > rep.UploadedBits[i] {
+				t.Fatalf("%v: step %d changed %d > uploaded %d", g, i, rep.ChangedBits[i], rep.UploadedBits[i])
+			}
+		}
+	}
+}
+
+func TestReplayMTDetectsInsufficientHypercontext(t *testing.T) {
+	tr, sched, _ := runAndSchedule(t, GranularityBit, nil)
+	// Sabotage: empty LUT1's hypercontext at every step.
+	for i := range sched.Hctx[0] {
+		sched.Hctx[0][i] = bitset.New(UnitLUT1.Bits())
+	}
+	if _, err := ReplayMT(tr, sched); err == nil {
+		t.Fatal("replay accepted a schedule that cannot configure LUT1")
+	}
+}
+
+func TestReplayMTDetectsShapeErrors(t *testing.T) {
+	tr, sched, _ := runAndSchedule(t, GranularityBit, nil)
+	if _, err := ReplayMT(nil, sched); err == nil {
+		t.Fatal("accepted nil trace")
+	}
+	if _, err := ReplayMT(tr, nil); err == nil {
+		t.Fatal("accepted nil schedule")
+	}
+	bad := &model.MTSchedule{Hyper: sched.Hyper[:2], Hctx: sched.Hctx[:2]}
+	if _, err := ReplayMT(tr, bad); err == nil {
+		t.Fatal("accepted wrong task count")
+	}
+	short := &model.MTSchedule{
+		Hyper: [][]bool{{true}, {true}, {true}, {true}},
+		Hctx: [][]bitset.Set{
+			{bitset.New(8)}, {bitset.New(8)}, {bitset.New(8)}, {bitset.New(24)},
+		},
+	}
+	if _, err := ReplayMT(tr, short); err == nil {
+		t.Fatal("accepted wrong step count")
+	}
+	wrongUniverse := &model.MTSchedule{
+		Hyper: sched.Hyper,
+		Hctx: [][]bitset.Set{
+			{bitset.New(9), bitset.New(9)}, sched.Hctx[1], sched.Hctx[2], sched.Hctx[3],
+		},
+	}
+	if _, err := ReplayMT(tr, wrongUniverse); err == nil {
+		t.Fatal("accepted wrong hypercontext universe")
+	}
+}
+
+func TestReplayMTFullHypercontexts(t *testing.T) {
+	// Full hypercontexts everywhere must always replay (it is the
+	// hyperreconfiguration-disabled machine).
+	tr, _, ins := runAndSchedule(t, GranularityBit, nil)
+	full := &model.MTSchedule{
+		Hyper: make([][]bool, ins.NumTasks()),
+		Hctx:  make([][]bitset.Set, ins.NumTasks()),
+	}
+	for j, u := range Units() {
+		full.Hyper[j] = make([]bool, tr.Len())
+		full.Hyper[j][0] = true
+		full.Hctx[j] = make([]bitset.Set, tr.Len())
+		for i := range full.Hctx[j] {
+			full.Hctx[j][i] = bitset.Full(u.Bits())
+		}
+	}
+	rep, err := ReplayMT(tr, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalUploaded != tr.Len()*ConfigBits {
+		t.Fatalf("full replay uploaded %d, want %d", rep.TotalUploaded, tr.Len()*ConfigBits)
+	}
+}

@@ -1,0 +1,242 @@
+// Package shyra implements SHyRA, the Simple HYperReconfigurable
+// Architecture of Lange & Middendorf (Figure 1): a minimalistic model
+// of a rapidly reconfiguring machine with
+//
+//   - two reconfigurable look-up tables (LUT1, LUT2), each with three
+//     inputs and one output,
+//   - a file of ten 1-bit registers,
+//   - a 10:6 multiplexer connecting registers to the six LUT inputs,
+//   - a 2:10 demultiplexer routing the two LUT outputs back to
+//     registers.
+//
+// One configuration comprises 48 reconfiguration bits ("switches"):
+//
+//	LUT1 truth table   8 bits   (task T1, l1 = 8)
+//	LUT2 truth table   8 bits   (task T2, l2 = 8)
+//	DeMUX selections   2×4 bits (task T3, l3 = 8)
+//	MUX selections     6×4 bits (task T4, l4 = 24)
+//
+// matching the task decomposition of the paper's multi-task experiment.
+// The tiny number of LUTs bottlenecks every application and forces
+// extensive use of reconfiguration — which is exactly what makes the
+// architecture a good vehicle for studying (partial)
+// hyperreconfiguration.
+//
+// Whether a LUT participates in a cycle is part of the instruction
+// semantics (a clock-enable), not of the 48 configuration bits; the
+// configuration bits of unused units are don't-cares and therefore
+// excluded from that step's context requirement.
+package shyra
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Architecture constants.
+const (
+	// NumRegs is the size of the register file.
+	NumRegs = 10
+	// NumLUTs is the number of look-up tables.
+	NumLUTs = 2
+	// LUTInputs is the fan-in of each LUT.
+	LUTInputs = 3
+	// LUTTableBits is the truth-table size of one LUT.
+	LUTTableBits = 1 << LUTInputs
+	// SelBits is the width of one MUX/DeMUX register selection.
+	SelBits = 4
+	// ConfigBits is the total reconfiguration bit budget.
+	ConfigBits = 2*LUTTableBits + NumLUTs*SelBits + NumLUTs*LUTInputs*SelBits // 48
+)
+
+// Unit identifies one of SHyRA's four reconfigurable components; each
+// forms one task of the paper's multi-task decomposition (m = 4).
+type Unit int
+
+const (
+	UnitLUT1 Unit = iota
+	UnitLUT2
+	UnitDeMUX
+	UnitMUX
+	numUnits
+)
+
+// String implements fmt.Stringer.
+func (u Unit) String() string {
+	switch u {
+	case UnitLUT1:
+		return "LUT1"
+	case UnitLUT2:
+		return "LUT2"
+	case UnitDeMUX:
+		return "DeMUX"
+	case UnitMUX:
+		return "MUX"
+	default:
+		return fmt.Sprintf("Unit(%d)", int(u))
+	}
+}
+
+// Units lists all units in the paper's task order T1..T4.
+func Units() []Unit { return []Unit{UnitLUT1, UnitLUT2, UnitDeMUX, UnitMUX} }
+
+// BitRange returns the unit's [start, end) slice of the 48-bit global
+// configuration bit layout:
+//
+//	bits  0.. 7  LUT1 truth table
+//	bits  8..15  LUT2 truth table
+//	bits 16..23  DeMUX selections (2 × 4)
+//	bits 24..47  MUX selections (6 × 4)
+func (u Unit) BitRange() (start, end int) {
+	switch u {
+	case UnitLUT1:
+		return 0, 8
+	case UnitLUT2:
+		return 8, 16
+	case UnitDeMUX:
+		return 16, 24
+	case UnitMUX:
+		return 24, 48
+	default:
+		panic(fmt.Sprintf("shyra: invalid unit %d", int(u)))
+	}
+}
+
+// Bits returns the unit's local switch count l_j.
+func (u Unit) Bits() int {
+	s, e := u.BitRange()
+	return e - s
+}
+
+// Tasks returns the paper's multi-task decomposition as model tasks
+// (T1 = LUT1 with l1 = 8, ..., T4 = MUX with l4 = 24) using the typical
+// special case v_j = l_j for the local hyperreconfiguration costs.
+func Tasks() []model.Task {
+	out := make([]model.Task, 0, numUnits)
+	for _, u := range Units() {
+		out = append(out, model.Task{Name: u.String(), Local: u.Bits(), V: model.Cost(u.Bits())})
+	}
+	return out
+}
+
+// Config is one full configuration of the architecture: the values of
+// all 48 reconfiguration bits.
+type Config struct {
+	// LUT[k] is LUT k's truth table: LUT[k][v] is the output for the
+	// 3-bit input value v (input 0 is the least significant bit).
+	LUT [NumLUTs][LUTTableBits]bool
+	// MuxSel[i] is the register (0..9) feeding LUT input i, where
+	// inputs 0..2 belong to LUT1 and 3..5 to LUT2.
+	MuxSel [NumLUTs * LUTInputs]uint8
+	// DemuxSel[k] is the register (0..9) LUT k's output is written to
+	// when the LUT is used in a cycle.
+	DemuxSel [NumLUTs]uint8
+}
+
+// Validate checks all selections address existing registers.
+func (c *Config) Validate() error {
+	for i, s := range c.MuxSel {
+		if s >= NumRegs {
+			return fmt.Errorf("shyra: MUX selection %d addresses register %d (have %d)", i, s, NumRegs)
+		}
+	}
+	for k, s := range c.DemuxSel {
+		if s >= NumRegs {
+			return fmt.Errorf("shyra: DeMUX selection %d addresses register %d (have %d)", k, s, NumRegs)
+		}
+	}
+	return nil
+}
+
+// Encode packs the configuration into a 48-element bit set following
+// the global bit layout.  Selection fields are encoded LSB-first.
+func (c *Config) Encode() bitset.Set {
+	s := bitset.New(ConfigBits)
+	for k := 0; k < NumLUTs; k++ {
+		base := k * LUTTableBits
+		for v := 0; v < LUTTableBits; v++ {
+			if c.LUT[k][v] {
+				s.Add(base + v)
+			}
+		}
+	}
+	demuxBase, _ := UnitDeMUX.BitRange()
+	for k := 0; k < NumLUTs; k++ {
+		for b := 0; b < SelBits; b++ {
+			if c.DemuxSel[k]&(1<<uint(b)) != 0 {
+				s.Add(demuxBase + k*SelBits + b)
+			}
+		}
+	}
+	muxBase, _ := UnitMUX.BitRange()
+	for i := 0; i < NumLUTs*LUTInputs; i++ {
+		for b := 0; b < SelBits; b++ {
+			if c.MuxSel[i]&(1<<uint(b)) != 0 {
+				s.Add(muxBase + i*SelBits + b)
+			}
+		}
+	}
+	return s
+}
+
+// DecodeConfig unpacks a 48-element bit set into a configuration.
+func DecodeConfig(s bitset.Set) (Config, error) {
+	var c Config
+	if s.Universe() != ConfigBits {
+		return c, fmt.Errorf("shyra: config bit set over universe %d, want %d", s.Universe(), ConfigBits)
+	}
+	for k := 0; k < NumLUTs; k++ {
+		base := k * LUTTableBits
+		for v := 0; v < LUTTableBits; v++ {
+			c.LUT[k][v] = s.Contains(base + v)
+		}
+	}
+	demuxBase, _ := UnitDeMUX.BitRange()
+	for k := 0; k < NumLUTs; k++ {
+		var val uint8
+		for b := 0; b < SelBits; b++ {
+			if s.Contains(demuxBase + k*SelBits + b) {
+				val |= 1 << uint(b)
+			}
+		}
+		c.DemuxSel[k] = val
+	}
+	muxBase, _ := UnitMUX.BitRange()
+	for i := 0; i < NumLUTs*LUTInputs; i++ {
+		var val uint8
+		for b := 0; b < SelBits; b++ {
+			if s.Contains(muxBase + i*SelBits + b) {
+				val |= 1 << uint(b)
+			}
+		}
+		c.MuxSel[i] = val
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// GlobalToLocal converts a global configuration-bit index into its
+// (unit, local index) pair.
+func GlobalToLocal(bit int) (Unit, int, error) {
+	for _, u := range Units() {
+		s, e := u.BitRange()
+		if bit >= s && bit < e {
+			return u, bit - s, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("shyra: configuration bit %d out of range [0,%d)", bit, ConfigBits)
+}
+
+// LocalToGlobal converts a unit's local switch index into the global
+// configuration-bit index.
+func LocalToGlobal(u Unit, local int) (int, error) {
+	s, e := u.BitRange()
+	if local < 0 || s+local >= e {
+		return 0, fmt.Errorf("shyra: %v has no local switch %d", u, local)
+	}
+	return s + local, nil
+}

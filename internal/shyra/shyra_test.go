@@ -1,0 +1,244 @@
+package shyra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func TestConstants(t *testing.T) {
+	if ConfigBits != 48 {
+		t.Fatalf("ConfigBits = %d, want 48 (paper's reconfiguration bit budget)", ConfigBits)
+	}
+	want := map[Unit]int{UnitLUT1: 8, UnitLUT2: 8, UnitDeMUX: 8, UnitMUX: 24}
+	total := 0
+	for _, u := range Units() {
+		if got := u.Bits(); got != want[u] {
+			t.Errorf("%v has %d bits, want %d", u, got, want[u])
+		}
+		total += u.Bits()
+	}
+	if total != ConfigBits {
+		t.Fatalf("unit bits sum to %d, want %d", total, ConfigBits)
+	}
+}
+
+func TestBitRangesPartition(t *testing.T) {
+	seen := make([]bool, ConfigBits)
+	for _, u := range Units() {
+		s, e := u.BitRange()
+		for b := s; b < e; b++ {
+			if seen[b] {
+				t.Fatalf("bit %d covered twice", b)
+			}
+			seen[b] = true
+		}
+	}
+	for b, ok := range seen {
+		if !ok {
+			t.Fatalf("bit %d uncovered", b)
+		}
+	}
+}
+
+func TestTasksMatchPaper(t *testing.T) {
+	tasks := Tasks()
+	if len(tasks) != 4 {
+		t.Fatalf("len(Tasks) = %d", len(tasks))
+	}
+	wantL := []int{8, 8, 8, 24}
+	wantN := []string{"LUT1", "LUT2", "DeMUX", "MUX"}
+	for j, task := range tasks {
+		if task.Local != wantL[j] || task.Name != wantN[j] {
+			t.Errorf("task %d = %+v, want %s/%d", j, task, wantN[j], wantL[j])
+		}
+		if int(task.V) != wantL[j] {
+			t.Errorf("task %d V = %d, want v_j = l_j = %d", j, task.V, wantL[j])
+		}
+	}
+}
+
+func TestGlobalLocalRoundTrip(t *testing.T) {
+	for b := 0; b < ConfigBits; b++ {
+		u, local, err := GlobalToLocal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := LocalToGlobal(u, local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != b {
+			t.Fatalf("round trip %d → (%v,%d) → %d", b, u, local, back)
+		}
+	}
+	if _, _, err := GlobalToLocal(48); err == nil {
+		t.Fatal("accepted bit 48")
+	}
+	if _, err := LocalToGlobal(UnitLUT1, 8); err == nil {
+		t.Fatal("accepted local 8 for LUT1")
+	}
+}
+
+func randomConfig(r *rand.Rand) Config {
+	var c Config
+	for k := 0; k < NumLUTs; k++ {
+		for v := 0; v < LUTTableBits; v++ {
+			c.LUT[k][v] = r.Intn(2) == 1
+		}
+		c.DemuxSel[k] = uint8(r.Intn(NumRegs))
+	}
+	for i := range c.MuxSel {
+		c.MuxSel[i] = uint8(r.Intn(NumRegs))
+	}
+	return c
+}
+
+func TestQuickConfigEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomConfig(r)
+		d, err := DecodeConfig(c.Encode())
+		return err == nil && d == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	c.MuxSel[0] = 10
+	if err := c.Validate(); err == nil {
+		t.Fatal("accepted MUX selection 10")
+	}
+	c.MuxSel[0] = 0
+	c.DemuxSel[1] = 12
+	if err := c.Validate(); err == nil {
+		t.Fatal("accepted DeMUX selection 12")
+	}
+}
+
+func TestDecodeConfigWrongUniverse(t *testing.T) {
+	if _, err := DecodeConfig(bitset.New(47)); err == nil {
+		t.Fatal("accepted 47-bit universe")
+	}
+}
+
+func TestMachineCycleLUTEval(t *testing.T) {
+	var m Machine
+	var c Config
+	// LUT1 computes AND of r0 and r1 into r2: table[v] = bit0&bit1.
+	for v := 0; v < LUTTableBits; v++ {
+		c.LUT[0][v] = v&1 != 0 && v&2 != 0
+	}
+	c.MuxSel[0], c.MuxSel[1], c.MuxSel[2] = 0, 1, 0
+	c.DemuxSel[0] = 2
+	if err := m.Configure(c); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, want bool }{
+		{false, false, false}, {true, false, false}, {false, true, false}, {true, true, true},
+	}
+	for _, tc := range cases {
+		m.SetReg(0, tc.a)
+		m.SetReg(1, tc.b)
+		if err := m.Cycle(Usage{LUT: [2]bool{true, false}, LiveInputs: [2]uint8{2, 0}}); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := m.Reg(2)
+		if got != tc.want {
+			t.Fatalf("AND(%v,%v) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestMachineReadsBeforeWrites(t *testing.T) {
+	// Both LUTs read the same register while one overwrites it: the
+	// values must be the pre-cycle ones.
+	var m Machine
+	var c Config
+	// LUT1: NOT r0 -> r0; LUT2: identity r0 -> r1.
+	for v := 0; v < LUTTableBits; v++ {
+		c.LUT[0][v] = v&1 == 0 // NOT input0
+		c.LUT[1][v] = v&1 != 0 // identity input0
+	}
+	c.MuxSel = [6]uint8{0, 0, 0, 0, 0, 0}
+	c.DemuxSel = [2]uint8{0, 1}
+	m.Configure(c)
+	m.SetReg(0, true)
+	if err := m.Cycle(Usage{LUT: [2]bool{true, true}, LiveInputs: [2]uint8{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := m.Reg(0)
+	r1, _ := m.Reg(1)
+	if r0 != false || r1 != true {
+		t.Fatalf("r0=%v r1=%v, want false/true (edge-triggered semantics)", r0, r1)
+	}
+}
+
+func TestMachineWriteConflict(t *testing.T) {
+	var m Machine
+	var c Config
+	c.DemuxSel = [2]uint8{3, 3}
+	m.Configure(c)
+	if err := m.Cycle(Usage{LUT: [2]bool{true, true}}); err == nil {
+		t.Fatal("accepted double write to register 3")
+	}
+	// One LUT unused: no conflict.
+	if err := m.Cycle(Usage{LUT: [2]bool{true, false}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineUnusedLUTDoesNotWrite(t *testing.T) {
+	var m Machine
+	var c Config
+	for v := 0; v < LUTTableBits; v++ {
+		c.LUT[0][v] = true // constant 1
+	}
+	c.DemuxSel[0] = 5
+	m.Configure(c)
+	if err := m.Cycle(Usage{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Reg(5); v {
+		t.Fatal("unused LUT wrote its output")
+	}
+}
+
+func TestMachineRegBounds(t *testing.T) {
+	var m Machine
+	if err := m.SetReg(10, true); err == nil {
+		t.Fatal("accepted register 10")
+	}
+	if _, err := m.Reg(-1); err == nil {
+		t.Fatal("accepted register -1")
+	}
+}
+
+func TestMachineReset(t *testing.T) {
+	var m Machine
+	m.SetReg(3, true)
+	m.Reset()
+	if v, _ := m.Reg(3); v {
+		t.Fatal("Reset did not clear registers")
+	}
+}
+
+func TestUnitString(t *testing.T) {
+	names := []string{"LUT1", "LUT2", "DeMUX", "MUX"}
+	for i, u := range Units() {
+		if u.String() != names[i] {
+			t.Errorf("unit %d String = %q", i, u.String())
+		}
+	}
+	if Unit(9).String() == "" {
+		t.Error("unknown unit should render")
+	}
+}

@@ -1,0 +1,283 @@
+package shyra
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Granularity selects how context requirements are extracted from a
+// trace.
+type Granularity int
+
+const (
+	// GranularityBit includes exactly the live configuration bits of a
+	// step: the reachable truth-table cells of each used LUT (2^arity
+	// cells), the MUX selections feeding live LUT inputs, and the DeMUX
+	// selections of used LUTs.  This is the finest, cheapest notion of
+	// "switches that must be reconfigurable at this step".
+	GranularityBit Granularity = iota
+	// GranularityUnit includes every configuration bit of each used
+	// unit — the coarse notion visible in the paper's Figure 2 (units
+	// in use / unused / not available).
+	GranularityUnit
+	// GranularityDelta includes exactly the configuration bits whose
+	// value must change relative to the previous step (all live bits
+	// for the first step).  Configuration state persists across steps,
+	// so a step that keeps its routing or LUT functions needs no
+	// reconfiguration of those switches — the reading that matches the
+	// paper's remark that only difference information has to be loaded
+	// onto the machine.
+	GranularityDelta
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	switch g {
+	case GranularityBit:
+		return "bit"
+	case GranularityUnit:
+		return "unit"
+	case GranularityDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// ParseGranularity parses the CLI spelling of a granularity.
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "bit":
+		return GranularityBit, nil
+	case "unit":
+		return GranularityUnit, nil
+	case "delta":
+		return GranularityDelta, nil
+	default:
+		return 0, fmt.Errorf("shyra: unknown granularity %q (want bit, unit or delta)", s)
+	}
+}
+
+// TraceStep records one executed reconfiguration + cycle.
+type TraceStep struct {
+	// PC is the program counter of the executed step.
+	PC int
+	// Name copies the step's label.
+	Name string
+	// Cfg is the full configuration in effect during the cycle.
+	Cfg Config
+	// Use says which LUTs participated.
+	Use Usage
+	// Live[u] are the live local configuration bits of unit u at bit
+	// granularity.
+	Live [numUnits]bitset.Set
+	// RegsAfter snapshots the register file after the cycle.
+	RegsAfter [NumRegs]bool
+}
+
+// Trace is the reconfiguration trace of one program run: the sequence
+// the cost-model analysis consumes ("during execution each
+// reconfiguration step was traced").
+type Trace struct {
+	Program string
+	// InitRegs is the register image the run started from; replaying
+	// the trace (see ReplayMT) starts here.
+	InitRegs [NumRegs]bool
+	Steps    []TraceStep
+}
+
+// Len returns n, the number of traced reconfiguration steps.
+func (t *Trace) Len() int { return len(t.Steps) }
+
+// liveBits computes the bit-granularity live sets of a step.
+func liveBits(st *Step) [numUnits]bitset.Set {
+	var live [numUnits]bitset.Set
+	for _, u := range Units() {
+		live[u] = bitset.New(u.Bits())
+	}
+	for k := 0; k < NumLUTs; k++ {
+		spec := st.LUT[k]
+		if spec == nil {
+			continue
+		}
+		lutUnit := UnitLUT1
+		if k == 1 {
+			lutUnit = UnitLUT2
+		}
+		// Reachable truth-table cells: dead input bits are zero.
+		for v := 0; v < 1<<uint(spec.arity()); v++ {
+			live[lutUnit].Add(v)
+		}
+		// MUX selections of live inputs.
+		for i := 0; i < spec.arity(); i++ {
+			sel := k*LUTInputs + i
+			for b := 0; b < SelBits; b++ {
+				live[UnitMUX].Add(sel*SelBits + b)
+			}
+		}
+		// DeMUX selection of the used LUT.
+		for b := 0; b < SelBits; b++ {
+			live[UnitDeMUX].Add(k*SelBits + b)
+		}
+	}
+	return live
+}
+
+// Run executes the program on a fresh machine and returns its
+// reconfiguration trace.  maxCycles bounds execution (loops are data
+// dependent); exceeding it is an error.
+func Run(p *Program, maxCycles int) (*Trace, error) {
+	if p == nil {
+		return nil, fmt.Errorf("shyra: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxCycles <= 0 {
+		maxCycles = 100000
+	}
+	var m Machine
+	m.LoadRegs(p.InitRegs)
+	tr := &Trace{Program: p.Name, InitRegs: p.InitRegs}
+	prev := Config{}
+	pc := 0
+	for cycles := 0; ; cycles++ {
+		if cycles >= maxCycles {
+			return nil, fmt.Errorf("shyra: program %q exceeded %d cycles", p.Name, maxCycles)
+		}
+		st := &p.Steps[pc]
+		cfg, use, err := st.compile(prev)
+		if err != nil {
+			return nil, fmt.Errorf("shyra: step %d (%s): %w", pc, st.Name, err)
+		}
+		if err := m.Configure(cfg); err != nil {
+			return nil, err
+		}
+		if err := m.Cycle(use); err != nil {
+			return nil, fmt.Errorf("shyra: step %d (%s): %w", pc, st.Name, err)
+		}
+		tr.Steps = append(tr.Steps, TraceStep{
+			PC:        pc,
+			Name:      st.Name,
+			Cfg:       cfg,
+			Use:       use,
+			Live:      liveBits(st),
+			RegsAfter: m.Regs(),
+		})
+		prev = cfg
+
+		next := pc + 1
+		if st.Branch != nil {
+			v, err := m.Reg(st.Branch.Reg)
+			if err != nil {
+				return nil, err
+			}
+			if v == st.Branch.IfSet {
+				next = st.Branch.Target
+				pc = next
+				continue
+			}
+		}
+		if st.Halt {
+			return tr, nil
+		}
+		if next >= len(p.Steps) {
+			return tr, nil
+		}
+		pc = next
+	}
+}
+
+// TaskRequirements extracts per-task context-requirement sequences from
+// the trace under the chosen granularity, in the paper's task order
+// (T1=LUT1, T2=LUT2, T3=DeMUX, T4=MUX), each over its local switch
+// universe.
+func (t *Trace) TaskRequirements(g Granularity) [][]bitset.Set {
+	units := Units()
+	out := make([][]bitset.Set, len(units))
+	var deltas []bitset.Set
+	if g == GranularityDelta {
+		deltas = t.configDeltas()
+	}
+	for j, u := range units {
+		out[j] = make([]bitset.Set, t.Len())
+		for i, st := range t.Steps {
+			switch g {
+			case GranularityUnit:
+				s := bitset.New(u.Bits())
+				if !st.Live[u].IsEmpty() {
+					s.Fill()
+				}
+				out[j][i] = s
+			case GranularityDelta:
+				s := bitset.New(u.Bits())
+				start, end := u.BitRange()
+				deltas[i].ForEach(func(b int) {
+					if b >= start && b < end {
+						s.Add(b - start)
+					}
+				})
+				out[j][i] = s
+			default: // GranularityBit
+				out[j][i] = st.Live[u].Clone()
+			}
+		}
+	}
+	return out
+}
+
+// configDeltas returns, per step, the live configuration bits whose
+// required value differs from what is installed on the machine under
+// the minimal-upload policy: the machine powers on all-zero, each step
+// uploads exactly its delta, and bits outside a step's live set keep
+// their installed (possibly stale) values.  The definition is therefore
+// inductive —
+//
+//	installed_0 = 0
+//	delta_i     = { b ∈ live_i : desired_i[b] ≠ installed_i[b] }
+//	installed_{i+1} = installed_i patched with desired_i on delta_i
+//
+// — which is exactly the set of switches a reconfiguration at step i
+// must write for the computation to proceed correctly.  (Computing
+// deltas between consecutive *desired* configurations instead would be
+// unsound: a bit that was dead at the step where its desired value last
+// changed still holds the stale value.  ReplayMT exposes the
+// difference.)
+func (t *Trace) configDeltas() []bitset.Set {
+	out := make([]bitset.Set, t.Len())
+	installed := bitset.New(ConfigBits)
+	for i, st := range t.Steps {
+		desired := st.Cfg.Encode()
+		live := bitset.New(ConfigBits)
+		for _, u := range Units() {
+			start, _ := u.BitRange()
+			st.Live[u].ForEach(func(b int) { live.Add(start + b) })
+		}
+		delta := installed.SymmetricDifference(desired)
+		delta.IntersectWith(live)
+		out[i] = delta
+		// Patch the installed image on the delta bits.
+		installed.DifferenceWith(delta)
+		installed.UnionWith(desired.Intersect(delta))
+	}
+	return out
+}
+
+// MTInstance builds the fully synchronized multi-task Switch-model
+// instance of the trace: the m=4 analysis of the paper's experiment.
+func (t *Trace) MTInstance(g Granularity) (*model.MTSwitchInstance, error) {
+	return model.NewMTSwitchInstance(Tasks(), t.TaskRequirements(g))
+}
+
+// SingleInstance builds the m=1 view where all four components form one
+// task over the full 48-switch universe, with the paper's typical
+// special case W = |X| = 48.
+func (t *Trace) SingleInstance(g Granularity) (*model.SwitchInstance, error) {
+	mt, err := t.MTInstance(g)
+	if err != nil {
+		return nil, err
+	}
+	return mt.SingleTaskView()
+}

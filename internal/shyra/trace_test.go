@@ -1,0 +1,212 @@
+package shyra
+
+import (
+	"testing"
+)
+
+// twoStepProgram: step 0 uses LUT1 only (1 input), step 1 uses both
+// LUTs (2 and 3 inputs).
+func twoStepProgram() *Program {
+	not := func(a, _, _ bool) bool { return !a }
+	and := func(a, b, _ bool) bool { return a && b }
+	maj := func(a, b, c bool) bool { return (a && b) || (a && c) || (b && c) }
+	return &Program{
+		Name: "two-step",
+		Steps: []Step{
+			{Name: "s0", LUT: [2]*LUTSpec{{Name: "not", Fn: not, In: []int{0}, Dest: 1}, nil}},
+			{Name: "s1", LUT: [2]*LUTSpec{
+				{Name: "and", Fn: and, In: []int{0, 1}, Dest: 2},
+				{Name: "maj", Fn: maj, In: []int{0, 1, 2}, Dest: 3},
+			}, Halt: true},
+		},
+	}
+}
+
+func TestRunTwoStep(t *testing.T) {
+	tr, err := Run(twoStepProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("trace length = %d, want 2", tr.Len())
+	}
+	// r0=false initially: s0 writes r1 = !r0 = true.
+	if !tr.Steps[0].RegsAfter[1] {
+		t.Fatal("step 0 result wrong")
+	}
+	// s1: r2 = r0 AND r1 = false; r3 = MAJ(false,true,false) = false.
+	if tr.Steps[1].RegsAfter[2] || tr.Steps[1].RegsAfter[3] {
+		t.Fatal("step 1 result wrong")
+	}
+}
+
+func TestLiveBitsGranularity(t *testing.T) {
+	tr, err := Run(twoStepProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := tr.TaskRequirements(GranularityBit)
+	// Step 0: LUT1 arity 1 → 2 table cells live; LUT2 unused; DeMUX 4
+	// bits (LUT1's selection); MUX 4 bits (1 live input).
+	if got := reqs[0][0].Count(); got != 2 {
+		t.Errorf("LUT1 live bits step 0 = %d, want 2", got)
+	}
+	if got := reqs[1][0].Count(); got != 0 {
+		t.Errorf("LUT2 live bits step 0 = %d, want 0", got)
+	}
+	if got := reqs[2][0].Count(); got != 4 {
+		t.Errorf("DeMUX live bits step 0 = %d, want 4", got)
+	}
+	if got := reqs[3][0].Count(); got != 4 {
+		t.Errorf("MUX live bits step 0 = %d, want 4", got)
+	}
+	// Step 1: LUT1 arity 2 → 4 cells; LUT2 arity 3 → 8 cells; DeMUX 8;
+	// MUX (2+3)·4 = 20.
+	if got := reqs[0][1].Count(); got != 4 {
+		t.Errorf("LUT1 live bits step 1 = %d, want 4", got)
+	}
+	if got := reqs[1][1].Count(); got != 8 {
+		t.Errorf("LUT2 live bits step 1 = %d, want 8", got)
+	}
+	if got := reqs[2][1].Count(); got != 8 {
+		t.Errorf("DeMUX live bits step 1 = %d, want 8", got)
+	}
+	if got := reqs[3][1].Count(); got != 20 {
+		t.Errorf("MUX live bits step 1 = %d, want 20", got)
+	}
+}
+
+func TestUnitGranularityFillsUnits(t *testing.T) {
+	tr, err := Run(twoStepProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := tr.TaskRequirements(GranularityUnit)
+	// Step 0: LUT1 fully required (8), LUT2 empty, DeMUX 8, MUX 24.
+	wants := []int{8, 0, 8, 24}
+	for j, w := range wants {
+		if got := reqs[j][0].Count(); got != w {
+			t.Errorf("task %d unit-level step 0 = %d, want %d", j, got, w)
+		}
+	}
+}
+
+func TestMTInstanceShape(t *testing.T) {
+	tr, err := Run(twoStepProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tr.MTInstance(GranularityBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NumTasks() != 4 || ins.Steps() != 2 {
+		t.Fatalf("instance shape %d×%d", ins.NumTasks(), ins.Steps())
+	}
+	if ins.TotalLocalSwitches() != ConfigBits {
+		t.Fatalf("total switches = %d", ins.TotalLocalSwitches())
+	}
+	single, err := tr.SingleInstance(GranularityBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Universe != ConfigBits || single.W != ConfigBits {
+		t.Fatalf("single view universe %d W %d", single.Universe, single.W)
+	}
+}
+
+func TestRunBranchAndHalt(t *testing.T) {
+	not := func(a, _, _ bool) bool { return !a }
+	// Step 0 toggles r0 and branches back to itself while r0 is set —
+	// executes twice (first run sets r0, second clears it).
+	p := &Program{
+		Name: "bounce",
+		Steps: []Step{
+			{Name: "t", LUT: [2]*LUTSpec{{Name: "not", Fn: not, In: []int{0}, Dest: 0}, nil},
+				Branch: &Branch{Reg: 0, IfSet: true, Target: 0}, Halt: true},
+		},
+	}
+	tr, err := Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("trace length = %d, want 2", tr.Len())
+	}
+}
+
+func TestRunMaxCycles(t *testing.T) {
+	id := func(a, _, _ bool) bool { return a }
+	p := &Program{
+		Name: "forever",
+		Steps: []Step{
+			{Name: "loop", LUT: [2]*LUTSpec{{Name: "id", Fn: id, In: []int{0}, Dest: 0}, nil},
+				Branch: &Branch{Reg: 0, IfSet: false, Target: 0}},
+		},
+	}
+	if _, err := Run(p, 10); err == nil {
+		t.Fatal("infinite loop not caught")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, 0); err == nil {
+		t.Fatal("accepted nil program")
+	}
+	if _, err := Run(&Program{Name: "empty"}, 0); err == nil {
+		t.Fatal("accepted empty program")
+	}
+	bad := twoStepProgram()
+	bad.Steps[0].LUT[0].Dest = 11
+	if _, err := Run(bad, 0); err == nil {
+		t.Fatal("accepted invalid destination")
+	}
+	bad = twoStepProgram()
+	bad.Steps[0].Branch = &Branch{Reg: 0, Target: 99}
+	if _, err := Run(bad, 0); err == nil {
+		t.Fatal("accepted invalid branch target")
+	}
+	bad = twoStepProgram()
+	bad.Steps[1].LUT[0].Dest = 3 // same as LUT2's
+	if _, err := Run(bad, 0); err == nil {
+		t.Fatal("accepted double write")
+	}
+	bad = twoStepProgram()
+	bad.Steps[0].LUT[0].In = []int{0, 1, 2, 3}
+	if _, err := Run(bad, 0); err == nil {
+		t.Fatal("accepted arity 4")
+	}
+	bad = twoStepProgram()
+	bad.Steps[0].LUT[0].Fn = nil
+	if _, err := Run(bad, 0); err == nil {
+		t.Fatal("accepted nil function")
+	}
+}
+
+func TestDontCarePersistence(t *testing.T) {
+	// Unused unit fields keep their previous values across steps, so
+	// don't-care bits never churn.
+	tr, err := Run(twoStepProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0 leaves LUT2's table at its zero value; step 1 programs it.
+	if tr.Steps[0].Cfg.LUT[1] != [LUTTableBits]bool{} {
+		t.Fatal("unused LUT2 table modified at step 0")
+	}
+	// Step 1 keeps LUT1's input selections from step 0 where unused:
+	// LUT1 arity grew from 1 to 2, so selection 2 (third input) must
+	// still hold its step-0 value.
+	if tr.Steps[1].Cfg.MuxSel[2] != tr.Steps[0].Cfg.MuxSel[2] {
+		t.Fatal("don't-care MUX selection churned")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if GranularityBit.String() != "bit" || GranularityUnit.String() != "unit" {
+		t.Fatal("granularity strings wrong")
+	}
+	if Granularity(9).String() == "" {
+		t.Fatal("unknown granularity should render")
+	}
+}

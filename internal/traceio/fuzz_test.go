@@ -1,0 +1,69 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRequirementsCSV checks the CSV reader never panics and that
+// every accepted instance survives a write/read round trip.
+func FuzzReadRequirementsCSV(f *testing.F) {
+	f.Add("A:2:2,B:1:1\n10,1\n01,0\n")
+	f.Add("A:1:1\n1\n")
+	f.Add("")
+	f.Add("A:x:1\n")
+	f.Add("A:1:1,B:2:3\n0,00\n1,11\n1,01\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		ins, err := ReadRequirementsCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteRequirementsCSV(&buf, ins); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadRequirementsCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if back.NumTasks() != ins.NumTasks() || back.Steps() != ins.Steps() {
+			t.Fatalf("round trip changed shape")
+		}
+		for j := range ins.Tasks {
+			if back.Tasks[j] != ins.Tasks[j] {
+				t.Fatalf("round trip changed task %d", j)
+			}
+			for i := 0; i < ins.Steps(); i++ {
+				if !back.Reqs[j][i].Equal(ins.Reqs[j][i]) {
+					t.Fatalf("round trip changed requirement (%d,%d)", j, i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadTraceJSON checks the JSON trace reader never panics and that
+// accepted traces survive a write/read round trip.
+func FuzzReadTraceJSON(f *testing.F) {
+	f.Add(`{"program":"x","init_regs":"0000000000","steps":[]}`)
+	f.Add(`{bad`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ReadTraceJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTraceJSON(&buf, tr); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadTraceJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if back.Program != tr.Program || back.Len() != tr.Len() || back.InitRegs != tr.InitRegs {
+			t.Fatalf("round trip changed trace identity")
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package traceio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// jsonSchedule serializes a multi-task schedule together with the task
+// shapes it applies to, so a reader can validate compatibility.
+type jsonSchedule struct {
+	Tasks []jsonScheduleTask `json:"tasks"`
+}
+
+type jsonScheduleTask struct {
+	Name  string   `json:"name"`
+	Local int      `json:"local"`
+	V     int64    `json:"v"`
+	Hyper string   `json:"hyper"` // '1' = hyperreconfiguration before the step
+	Hctx  []string `json:"hctx"`  // per step, LSB-first bit string
+}
+
+// WriteScheduleJSON serializes a schedule solved for the given
+// instance.
+func WriteScheduleJSON(w io.Writer, ins *model.MTSwitchInstance, s *model.MTSchedule) error {
+	if ins == nil || s == nil {
+		return fmt.Errorf("traceio: nil instance or schedule")
+	}
+	if err := ins.Validate(s); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	out := jsonSchedule{}
+	for j, task := range ins.Tasks {
+		hyper := make([]byte, ins.Steps())
+		hctx := make([]string, ins.Steps())
+		for i := 0; i < ins.Steps(); i++ {
+			hyper[i] = '0'
+			if s.Hyper[j][i] {
+				hyper[i] = '1'
+			}
+			hctx[i] = s.Hctx[j][i].String()
+		}
+		out.Tasks = append(out.Tasks, jsonScheduleTask{
+			Name:  task.Name,
+			Local: task.Local,
+			V:     int64(task.V),
+			Hyper: string(hyper),
+			Hctx:  hctx,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadScheduleJSON parses a schedule and the task shapes it was written
+// for.  The caller is responsible for matching it against an instance
+// (model.MTSwitchInstance.Validate does the semantic checking).
+func ReadScheduleJSON(r io.Reader) ([]model.Task, *model.MTSchedule, error) {
+	var in jsonSchedule
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, nil, fmt.Errorf("traceio: %w", err)
+	}
+	if len(in.Tasks) == 0 {
+		return nil, nil, fmt.Errorf("traceio: schedule has no tasks")
+	}
+	n := len(in.Tasks[0].Hyper)
+	tasks := make([]model.Task, len(in.Tasks))
+	s := &model.MTSchedule{
+		Hyper: make([][]bool, len(in.Tasks)),
+		Hctx:  make([][]bitset.Set, len(in.Tasks)),
+	}
+	for j, jt := range in.Tasks {
+		if len(jt.Hyper) != n || len(jt.Hctx) != n {
+			return nil, nil, fmt.Errorf("traceio: task %q has %d/%d steps, want %d", jt.Name, len(jt.Hyper), len(jt.Hctx), n)
+		}
+		tasks[j] = model.Task{Name: jt.Name, Local: jt.Local, V: model.Cost(jt.V)}
+		s.Hyper[j] = make([]bool, n)
+		s.Hctx[j] = make([]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			switch jt.Hyper[i] {
+			case '1':
+				s.Hyper[j][i] = true
+			case '0':
+			default:
+				return nil, nil, fmt.Errorf("traceio: task %q hyper mask has invalid character %q", jt.Name, jt.Hyper[i])
+			}
+			set, err := bitset.Parse(jt.Hctx[i])
+			if err != nil {
+				return nil, nil, fmt.Errorf("traceio: task %q hypercontext %d: %w", jt.Name, i, err)
+			}
+			if set.Universe() != jt.Local {
+				return nil, nil, fmt.Errorf("traceio: task %q hypercontext %d over %d bits, want %d", jt.Name, i, set.Universe(), jt.Local)
+			}
+			s.Hctx[j][i] = set
+		}
+	}
+	return tasks, s, nil
+}

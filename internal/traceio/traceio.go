@@ -1,0 +1,234 @@
+// Package traceio serializes reconfiguration traces and
+// context-requirement sequences so experiments can be stored, diffed
+// and re-analyzed without re-running the simulator.
+//
+// Two formats are supported:
+//
+//   - a JSON trace format carrying the full SHyRA execution record
+//     (configuration bits, unit usage, live bits, register snapshots),
+//   - a CSV requirement format carrying just the multi-task
+//     requirement sequences (one row per synchronized step, one column
+//     per task, cells are LSB-first bit strings), with the task
+//     declarations in the header.  This is the exchange format of the
+//     optimizer CLIs.
+package traceio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/shyra"
+)
+
+// WriteRequirementsCSV writes the instance's requirement sequences.
+// The header cell for task j is "name:local:v"; each data row holds one
+// step's per-task requirement bit strings.
+func WriteRequirementsCSV(w io.Writer, ins *model.MTSwitchInstance) error {
+	if ins == nil {
+		return fmt.Errorf("traceio: nil instance")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, ins.NumTasks())
+	for j, t := range ins.Tasks {
+		header[j] = fmt.Sprintf("%s:%d:%d", t.Name, t.Local, t.V)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, ins.NumTasks())
+	for i := 0; i < ins.Steps(); i++ {
+		for j := 0; j < ins.NumTasks(); j++ {
+			row[j] = ins.Reqs[j][i].String()
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRequirementsCSV parses what WriteRequirementsCSV produced.
+func ReadRequirementsCSV(r io.Reader) (*model.MTSwitchInstance, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("traceio: empty requirement file")
+	}
+	header := records[0]
+	tasks := make([]model.Task, len(header))
+	for j, cell := range header {
+		parts := strings.Split(cell, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("traceio: malformed header cell %q (want name:local:v)", cell)
+		}
+		local, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("traceio: header cell %q: %w", cell, err)
+		}
+		v, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: header cell %q: %w", cell, err)
+		}
+		tasks[j] = model.Task{Name: parts[0], Local: local, V: model.Cost(v)}
+	}
+	reqs := make([][]bitset.Set, len(tasks))
+	for j := range reqs {
+		reqs[j] = make([]bitset.Set, 0, len(records)-1)
+	}
+	for ri, row := range records[1:] {
+		if len(row) != len(tasks) {
+			return nil, fmt.Errorf("traceio: row %d has %d cells, want %d", ri+1, len(row), len(tasks))
+		}
+		for j, cell := range row {
+			s, err := bitset.Parse(cell)
+			if err != nil {
+				return nil, fmt.Errorf("traceio: row %d task %q: %w", ri+1, tasks[j].Name, err)
+			}
+			if s.Universe() != tasks[j].Local {
+				return nil, fmt.Errorf("traceio: row %d task %q bit string length %d, want %d", ri+1, tasks[j].Name, s.Universe(), tasks[j].Local)
+			}
+			reqs[j] = append(reqs[j], s)
+		}
+	}
+	return model.NewMTSwitchInstance(tasks, reqs)
+}
+
+// jsonTrace mirrors shyra.Trace with serialization-friendly fields.
+type jsonTrace struct {
+	Program  string     `json:"program"`
+	InitRegs string     `json:"init_regs"`
+	Steps    []jsonStep `json:"steps"`
+}
+
+type jsonStep struct {
+	PC        int      `json:"pc"`
+	Name      string   `json:"name"`
+	Config    string   `json:"config"` // 48-bit LSB-first bit string
+	UseLUT1   bool     `json:"use_lut1"`
+	UseLUT2   bool     `json:"use_lut2"`
+	LiveIn1   uint8    `json:"live_inputs_lut1"`
+	LiveIn2   uint8    `json:"live_inputs_lut2"`
+	Live      []string `json:"live"` // per unit, LSB-first bit strings
+	RegsAfter string   `json:"regs_after"`
+}
+
+// WriteTraceJSON serializes a SHyRA trace.
+func WriteTraceJSON(w io.Writer, tr *shyra.Trace) error {
+	if tr == nil {
+		return fmt.Errorf("traceio: nil trace")
+	}
+	out := jsonTrace{Program: tr.Program, InitRegs: regsString(tr.InitRegs)}
+	for _, st := range tr.Steps {
+		live := make([]string, 0, len(st.Live))
+		for _, u := range shyra.Units() {
+			live = append(live, st.Live[u].String())
+		}
+		out.Steps = append(out.Steps, jsonStep{
+			PC:        st.PC,
+			Name:      st.Name,
+			Config:    st.Cfg.Encode().String(),
+			UseLUT1:   st.Use.LUT[0],
+			UseLUT2:   st.Use.LUT[1],
+			LiveIn1:   st.Use.LiveInputs[0],
+			LiveIn2:   st.Use.LiveInputs[1],
+			Live:      live,
+			RegsAfter: regsString(st.RegsAfter),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// regsString renders a register image as a '0'/'1' string.
+func regsString(regs [shyra.NumRegs]bool) string {
+	out := make([]byte, shyra.NumRegs)
+	for r := 0; r < shyra.NumRegs; r++ {
+		out[r] = '0'
+		if regs[r] {
+			out[r] = '1'
+		}
+	}
+	return string(out)
+}
+
+// parseRegs parses what regsString produced.
+func parseRegs(s string) ([shyra.NumRegs]bool, error) {
+	var regs [shyra.NumRegs]bool
+	if len(s) != shyra.NumRegs {
+		return regs, fmt.Errorf("regs string length %d, want %d", len(s), shyra.NumRegs)
+	}
+	for ri := 0; ri < shyra.NumRegs; ri++ {
+		switch s[ri] {
+		case '1':
+			regs[ri] = true
+		case '0':
+		default:
+			return regs, fmt.Errorf("regs string has invalid character %q", s[ri])
+		}
+	}
+	return regs, nil
+}
+
+// ReadTraceJSON parses what WriteTraceJSON produced.
+func ReadTraceJSON(r io.Reader) (*shyra.Trace, error) {
+	var in jsonTrace
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	tr := &shyra.Trace{Program: in.Program}
+	if in.InitRegs != "" {
+		regs, err := parseRegs(in.InitRegs)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: init regs: %w", err)
+		}
+		tr.InitRegs = regs
+	}
+	for si, js := range in.Steps {
+		cfgBits, err := bitset.Parse(js.Config)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: step %d config: %w", si, err)
+		}
+		cfg, err := shyra.DecodeConfig(cfgBits)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: step %d: %w", si, err)
+		}
+		if len(js.Live) != len(shyra.Units()) {
+			return nil, fmt.Errorf("traceio: step %d has %d live sets, want %d", si, len(js.Live), len(shyra.Units()))
+		}
+		var live [4]bitset.Set
+		for ui, u := range shyra.Units() {
+			s, err := bitset.Parse(js.Live[ui])
+			if err != nil {
+				return nil, fmt.Errorf("traceio: step %d live[%v]: %w", si, u, err)
+			}
+			if s.Universe() != u.Bits() {
+				return nil, fmt.Errorf("traceio: step %d live[%v] over %d bits, want %d", si, u, s.Universe(), u.Bits())
+			}
+			live[u] = s
+		}
+		regs, err := parseRegs(js.RegsAfter)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: step %d: %w", si, err)
+		}
+		tr.Steps = append(tr.Steps, shyra.TraceStep{
+			PC:        js.PC,
+			Name:      js.Name,
+			Cfg:       cfg,
+			Use:       shyra.Usage{LUT: [2]bool{js.UseLUT1, js.UseLUT2}, LiveInputs: [2]uint8{js.LiveIn1, js.LiveIn2}},
+			Live:      live,
+			RegsAfter: regs,
+		})
+	}
+	return tr, nil
+}

@@ -1,0 +1,144 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/shyra"
+)
+
+func sampleInstance(t *testing.T) *model.MTSwitchInstance {
+	t.Helper()
+	tasks := []model.Task{
+		{Name: "A", Local: 3, V: 2},
+		{Name: "B", Local: 2, V: 5},
+	}
+	reqs := [][]bitset.Set{
+		{bitset.FromMembers(3, 0), bitset.FromMembers(3, 1, 2), bitset.New(3)},
+		{bitset.FromMembers(2, 1), bitset.New(2), bitset.FromMembers(2, 0, 1)},
+	}
+	ins, err := model.NewMTSwitchInstance(tasks, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestRequirementsCSVRoundTrip(t *testing.T) {
+	ins := sampleInstance(t)
+	var buf bytes.Buffer
+	if err := WriteRequirementsCSV(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRequirementsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != ins.NumTasks() || back.Steps() != ins.Steps() {
+		t.Fatalf("shape mismatch: %d×%d", back.NumTasks(), back.Steps())
+	}
+	for j := range ins.Tasks {
+		if back.Tasks[j] != ins.Tasks[j] {
+			t.Fatalf("task %d mismatch: %+v vs %+v", j, back.Tasks[j], ins.Tasks[j])
+		}
+		for i := 0; i < ins.Steps(); i++ {
+			if !back.Reqs[j][i].Equal(ins.Reqs[j][i]) {
+				t.Fatalf("requirement (%d,%d) mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestReadRequirementsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"A:x:1\n",           // bad local
+		"A:1:x\n",           // bad v
+		"A-1-1\n",           // malformed header
+		"A:1:1\n10\n",       // bit string too long
+		"A:2:1\n1x\n",       // invalid character
+		"A:1:1,B:1:1\n1\n",  // short row
+		"A:1:1\n1\n0\n11\n", // inconsistent later row
+	}
+	for _, c := range cases {
+		if _, err := ReadRequirementsCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted malformed input %q", c)
+		}
+	}
+}
+
+func TestWriteRequirementsCSVNil(t *testing.T) {
+	if err := WriteRequirementsCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("accepted nil instance")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	p, err := apps.Counter(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := shyra.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != tr.Program || back.Len() != tr.Len() {
+		t.Fatalf("trace identity mismatch: %q/%d vs %q/%d", back.Program, back.Len(), tr.Program, tr.Len())
+	}
+	if back.InitRegs != tr.InitRegs {
+		t.Fatalf("init regs mismatch: %v vs %v", back.InitRegs, tr.InitRegs)
+	}
+	for i := range tr.Steps {
+		a, b := tr.Steps[i], back.Steps[i]
+		if a.PC != b.PC || a.Name != b.Name || a.Cfg != b.Cfg || a.Use != b.Use || a.RegsAfter != b.RegsAfter {
+			t.Fatalf("step %d mismatch", i)
+		}
+		for _, u := range shyra.Units() {
+			if !a.Live[u].Equal(b.Live[u]) {
+				t.Fatalf("step %d live[%v] mismatch", i, u)
+			}
+		}
+	}
+	// The requirement extraction must agree too.
+	ra := tr.TaskRequirements(shyra.GranularityBit)
+	rb := back.TaskRequirements(shyra.GranularityBit)
+	for j := range ra {
+		for i := range ra[j] {
+			if !ra[j][i].Equal(rb[j][i]) {
+				t.Fatalf("requirements (%d,%d) mismatch after round trip", j, i)
+			}
+		}
+	}
+}
+
+func TestReadTraceJSONErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"{bad json",
+		`{"program":"x","steps":[{"config":"101"}]}`,                             // short config
+		`{"program":"x","steps":[{"config":"` + strings.Repeat("0", 48) + `"}]}`, // missing live sets
+	}
+	for _, c := range cases {
+		if _, err := ReadTraceJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted malformed input %q", c)
+		}
+	}
+}
+
+func TestWriteTraceJSONNil(t *testing.T) {
+	if err := WriteTraceJSON(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("accepted nil trace")
+	}
+}

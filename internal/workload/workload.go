@@ -1,0 +1,204 @@
+// Package workload generates synthetic multi-task requirement
+// sequences with controllable temporal structure.  The paper's
+// motivation — computations whose phases need only small parts of the
+// reconfiguration potential — is a statement about workload shape, so
+// the benchmark harness needs workloads whose shape is a parameter:
+//
+//   - Phased: tasks move through phases with per-phase working sets;
+//     phase boundaries across tasks are independent (the regime where
+//     partial hyperreconfiguration wins).
+//   - Bursty: alternating heavy/light requirement episodes.
+//   - Markov: two-state (active/idle) requirement process per task.
+//   - Uniform: iid random requirements (the unstructured worst case —
+//     hyperreconfiguration helps least here).
+//
+// All generators are deterministic functions of their Config.Seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Config shapes a generated instance.  Zero fields take the defaults
+// noted per field.
+type Config struct {
+	// Tasks is m (default 4).
+	Tasks int
+	// Steps is n (default 64).
+	Steps int
+	// Switches is l_j for every task (default 16).
+	Switches int
+	// Density is the probability a switch belongs to a phase's working
+	// set (default 0.3).
+	Density float64
+	// MeanPhase is the mean phase length in steps for Phased/Bursty
+	// (default 8).
+	MeanPhase int
+	// Seed drives the deterministic random source (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tasks <= 0 {
+		c.Tasks = 4
+	}
+	if c.Steps <= 0 {
+		c.Steps = 64
+	}
+	if c.Switches <= 0 {
+		c.Switches = 16
+	}
+	if c.Density <= 0 || c.Density > 1 {
+		c.Density = 0.3
+	}
+	if c.MeanPhase <= 0 {
+		c.MeanPhase = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// tasks builds the model tasks with the paper's typical special case
+// v_j = l_j.
+func (c Config) tasks() []model.Task {
+	out := make([]model.Task, c.Tasks)
+	for j := range out {
+		out[j] = model.Task{
+			Name:  fmt.Sprintf("T%d", j+1),
+			Local: c.Switches,
+			V:     model.Cost(c.Switches),
+		}
+	}
+	return out
+}
+
+// randomSubset draws each switch independently with probability p.
+func randomSubset(r *rand.Rand, universe int, p float64) bitset.Set {
+	s := bitset.New(universe)
+	for b := 0; b < universe; b++ {
+		if r.Float64() < p {
+			s.Add(b)
+		}
+	}
+	return s
+}
+
+// phaseLength draws a geometric-ish phase length with the configured
+// mean (at least 1).
+func phaseLength(r *rand.Rand, mean int) int {
+	// Geometric with success probability 1/mean.
+	l := 1
+	for r.Float64() > 1.0/float64(mean) {
+		l++
+		if l >= 8*mean { // avoid pathological tails
+			break
+		}
+	}
+	return l
+}
+
+// Phased generates tasks that move through phases with fixed per-phase
+// working sets; within a phase every requirement is a random subset of
+// the working set, so the canonical hypercontext of a phase is (close
+// to) the working set.  Phase boundaries are drawn independently per
+// task — the misalignment that distinguishes partially
+// hyperreconfigurable machines from aligned ones.
+func Phased(cfg Config) (*model.MTSwitchInstance, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([][]bitset.Set, cfg.Tasks)
+	for j := 0; j < cfg.Tasks; j++ {
+		reqs[j] = make([]bitset.Set, 0, cfg.Steps)
+		for len(reqs[j]) < cfg.Steps {
+			length := phaseLength(r, cfg.MeanPhase)
+			working := randomSubset(r, cfg.Switches, cfg.Density)
+			for k := 0; k < length && len(reqs[j]) < cfg.Steps; k++ {
+				req := working.Clone()
+				req.IntersectWith(randomSubset(r, cfg.Switches, 0.8))
+				reqs[j] = append(reqs[j], req)
+			}
+		}
+	}
+	return model.NewMTSwitchInstance(cfg.tasks(), reqs)
+}
+
+// Bursty generates alternating heavy (density) and light (density/4)
+// episodes, synchronized within a task but independent across tasks.
+func Bursty(cfg Config) (*model.MTSwitchInstance, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([][]bitset.Set, cfg.Tasks)
+	for j := 0; j < cfg.Tasks; j++ {
+		reqs[j] = make([]bitset.Set, 0, cfg.Steps)
+		heavy := r.Intn(2) == 0
+		for len(reqs[j]) < cfg.Steps {
+			length := phaseLength(r, cfg.MeanPhase)
+			p := cfg.Density
+			if !heavy {
+				p /= 4
+			}
+			for k := 0; k < length && len(reqs[j]) < cfg.Steps; k++ {
+				reqs[j] = append(reqs[j], randomSubset(r, cfg.Switches, p))
+			}
+			heavy = !heavy
+		}
+	}
+	return model.NewMTSwitchInstance(cfg.tasks(), reqs)
+}
+
+// Markov generates a per-task two-state process: in the active state a
+// task demands a random subset at full density, in the idle state its
+// requirement is empty.  Transition probability is 1/MeanPhase per
+// step.
+func Markov(cfg Config) (*model.MTSwitchInstance, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	flip := 1.0 / float64(cfg.MeanPhase)
+	reqs := make([][]bitset.Set, cfg.Tasks)
+	for j := 0; j < cfg.Tasks; j++ {
+		reqs[j] = make([]bitset.Set, cfg.Steps)
+		active := r.Intn(2) == 0
+		for i := 0; i < cfg.Steps; i++ {
+			if r.Float64() < flip {
+				active = !active
+			}
+			if active {
+				reqs[j][i] = randomSubset(r, cfg.Switches, cfg.Density)
+			} else {
+				reqs[j][i] = bitset.New(cfg.Switches)
+			}
+		}
+	}
+	return model.NewMTSwitchInstance(cfg.tasks(), reqs)
+}
+
+// Uniform generates iid random requirements — no temporal structure at
+// all, the regime where hyperreconfiguration pays least.
+func Uniform(cfg Config) (*model.MTSwitchInstance, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([][]bitset.Set, cfg.Tasks)
+	for j := 0; j < cfg.Tasks; j++ {
+		reqs[j] = make([]bitset.Set, cfg.Steps)
+		for i := 0; i < cfg.Steps; i++ {
+			reqs[j][i] = randomSubset(r, cfg.Switches, cfg.Density)
+		}
+	}
+	return model.NewMTSwitchInstance(cfg.tasks(), reqs)
+}
+
+// Generators lists the named generators for sweeps.
+func Generators() map[string]func(Config) (*model.MTSwitchInstance, error) {
+	return map[string]func(Config) (*model.MTSwitchInstance, error){
+		"phased":  Phased,
+		"bursty":  Bursty,
+		"markov":  Markov,
+		"uniform": Uniform,
+	}
+}
