@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/rmesh"
 	"repro/internal/shyra"
+	"repro/internal/solve"
 	"repro/internal/workload"
 )
 
@@ -30,7 +32,7 @@ var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: 
 
 // benchGA keeps GA work modest so the suite stays fast; the CLI uses
 // larger populations for final numbers.
-var benchGA = ga.Config{Pop: 40, Generations: 60, Seed: 1}
+var benchGA = solve.Options{Pop: 40, Generations: 60, Seed: 1}
 
 // paperTrace runs the paper's workload once per benchmark.
 func paperTrace(b *testing.B) *shyra.Trace {
@@ -86,7 +88,7 @@ func BenchmarkPaperCostTable(b *testing.B) {
 	var a *core.Analysis
 	for i := 0; i < b.N; i++ {
 		var err error
-		a, err = core.RunPaperExperiment(core.Options{GA: benchGA})
+		a, err = core.RunPaperExperiment(context.Background(), core.Options{Solve: benchGA})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,14 +101,14 @@ func BenchmarkPaperCostTable(b *testing.B) {
 // BenchmarkFigure2 regenerates the Figure 2 rendering (E3): context
 // sequences plus hyperreconfiguration time steps for m=1 and m=4.
 func BenchmarkFigure2(b *testing.B) {
-	a, err := core.RunPaperExperiment(core.Options{GA: benchGA})
+	a, err := core.RunPaperExperiment(context.Background(), core.Options{Solve: benchGA})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = report.SegmentsLine(a.Single.Len(), a.SingleOpt.Seg.Starts)
-		if _, err := report.ContextMap(a.MT, a.Best().Schedule); err != nil {
+		if _, err := report.ContextMap(a.MT, a.Best().MTSched); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +117,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure3 regenerates the Figure 3 rendering (E4): which tasks
 // perform partial hyperreconfigurations at each step.
 func BenchmarkFigure3(b *testing.B) {
-	a, err := core.RunPaperExperiment(core.Options{GA: benchGA})
+	a, err := core.RunPaperExperiment(context.Background(), core.Options{Solve: benchGA})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -123,10 +125,10 @@ func BenchmarkFigure3(b *testing.B) {
 	for j, t := range a.MT.Tasks {
 		names[j] = t.Name
 	}
-	b.ReportMetric(float64(core.HyperCount(a.Best().Schedule)), "partial-hyper-steps")
+	b.ReportMetric(float64(core.HyperCount(a.Best().MTSched)), "partial-hyper-steps")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = report.HyperMap(names, a.Best().Schedule)
+		_ = report.HyperMap(names, a.Best().MTSched)
 	}
 }
 
@@ -150,7 +152,7 @@ func BenchmarkSyncModes(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			var cost model.Cost
 			for i := 0; i < b.N; i++ {
-				res, err := ga.Optimize(ins, bc.opt, benchGA)
+				res, err := ga.Optimize(context.Background(), ins, bc.opt, benchGA)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -175,7 +177,7 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("SingleTaskDP", func(b *testing.B) {
 		var cost model.Cost
 		for i := 0; i < b.N; i++ {
-			sol, err := phc.SolveSwitch(single)
+			sol, err := phc.SolveSwitch(context.Background(), single)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -186,7 +188,7 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("SingleTaskGreedy", func(b *testing.B) {
 		var cost model.Cost
 		for i := 0; i < b.N; i++ {
-			sol, err := phc.Greedy(single)
+			sol, err := phc.Greedy(context.Background(), single)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -197,7 +199,7 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("AlignedDP", func(b *testing.B) {
 		var cost model.Cost
 		for i := 0; i < b.N; i++ {
-			sol, err := mtswitch.SolveAligned(ins, parallel)
+			sol, err := mtswitch.SolveAligned(context.Background(), ins, parallel)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -208,7 +210,7 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("BeamDP", func(b *testing.B) {
 		var cost model.Cost
 		for i := 0; i < b.N; i++ {
-			sol, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{MaxStates: 2000, MaxCandidates: 4})
+			sol, err := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{MaxStates: 2000, MaxCandidates: 4})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -219,7 +221,7 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("GA", func(b *testing.B) {
 		var cost model.Cost
 		for i := 0; i < b.N; i++ {
-			res, err := ga.Optimize(ins, parallel, benchGA)
+			res, err := ga.Optimize(context.Background(), ins, parallel, benchGA)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -249,14 +251,14 @@ func BenchmarkPointerTechnique(b *testing.B) {
 	}
 	b.Run("PlainDP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := phc.SolveSwitch(long); err != nil {
+			if _, err := phc.SolveSwitch(context.Background(), long); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("PointerDP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := phc.SolveSwitchFast(long); err != nil {
+			if _, err := phc.SolveSwitchFast(context.Background(), long); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -272,11 +274,11 @@ func BenchmarkChangeover(b *testing.B) {
 	}
 	var plain, change model.Cost
 	for i := 0; i < b.N; i++ {
-		p, err := phc.SolveSwitch(single)
+		p, err := phc.SolveSwitch(context.Background(), single)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c, err := phc.SolveChangeover(single)
+		c, err := phc.SolveChangeover(context.Background(), single)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -296,7 +298,7 @@ func BenchmarkApps(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				a, err = core.AnalyzeTrace(tr, core.Options{GA: benchGA, SkipBeam: true})
+				a, err = core.AnalyzeTrace(context.Background(), tr, core.Options{Solve: benchGA, SkipBeam: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -316,7 +318,7 @@ func BenchmarkGranularities(b *testing.B) {
 			var a *core.Analysis
 			for i := 0; i < b.N; i++ {
 				var err error
-				a, err = core.AnalyzeTrace(tr, core.Options{Granularity: g, GA: benchGA, SkipBeam: true})
+				a, err = core.AnalyzeTrace(context.Background(), tr, core.Options{Granularity: g, Solve: benchGA, SkipBeam: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -335,7 +337,7 @@ func BenchmarkMachineRuntime(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sol, err := mtswitch.SolveAligned(ins, parallel)
+	sol, err := mtswitch.SolveAligned(context.Background(), ins, parallel)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -371,7 +373,7 @@ func BenchmarkScalingSteps(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d/aligned", n), func(b *testing.B) {
 			var cost model.Cost
 			for i := 0; i < b.N; i++ {
-				sol, err := mtswitch.SolveAligned(ins, parallel)
+				sol, err := mtswitch.SolveAligned(context.Background(), ins, parallel)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -383,7 +385,7 @@ func BenchmarkScalingSteps(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d/ga", n), func(b *testing.B) {
 			var cost model.Cost
 			for i := 0; i < b.N; i++ {
-				res, err := ga.Optimize(ins, parallel, benchGA)
+				res, err := ga.Optimize(context.Background(), ins, parallel, benchGA)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -404,14 +406,14 @@ func BenchmarkScalingTasks(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("m=%d/aligned", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := mtswitch.SolveAligned(ins, parallel); err != nil {
+				if _, err := mtswitch.SolveAligned(context.Background(), ins, parallel); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("m=%d/beam", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{MaxStates: 500, MaxCandidates: 3}); err != nil {
+				if _, err := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{MaxStates: 500, MaxCandidates: 3}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -432,7 +434,7 @@ func BenchmarkWorkloadShapes(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var cost model.Cost
 			for i := 0; i < b.N; i++ {
-				res, err := ga.Optimize(ins, parallel, benchGA)
+				res, err := ga.Optimize(context.Background(), ins, parallel, benchGA)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -457,7 +459,7 @@ func BenchmarkCrossoverOperators(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := benchGA
 				cfg.Crossover = kind
-				res, err := ga.Optimize(ins, parallel, cfg)
+				res, err := ga.Optimize(context.Background(), ins, parallel, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -501,11 +503,11 @@ func BenchmarkMTDAG(b *testing.B) {
 	}
 	var cost model.Cost
 	for i := 0; i < b.N; i++ {
-		_, c, err := mtdag.Solve(ins, parallel)
+		sol, err := mtdag.Solve(context.Background(), ins, parallel)
 		if err != nil {
 			b.Fatal(err)
 		}
-		cost = c
+		cost = sol.Cost
 	}
 	b.ReportMetric(float64(cost), "cost")
 }
@@ -520,7 +522,7 @@ func BenchmarkAnneal(b *testing.B) {
 	}
 	var cost model.Cost
 	for i := 0; i < b.N; i++ {
-		res, err := ga.Anneal(ins, parallel, ga.AnnealConfig{Iterations: 5000, Seed: 1})
+		res, err := ga.Anneal(context.Background(), ins, parallel, solve.Options{Iterations: 5000, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -532,7 +534,7 @@ func BenchmarkAnneal(b *testing.B) {
 // BenchmarkReplay measures the hypercontext-gated replay (end-to-end
 // schedule verification).
 func BenchmarkReplay(b *testing.B) {
-	a, err := core.RunPaperExperiment(core.Options{GA: benchGA, SkipBeam: true})
+	a, err := core.RunPaperExperiment(context.Background(), core.Options{Solve: benchGA, SkipBeam: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -563,7 +565,7 @@ func BenchmarkMesh(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := ga.Optimize(ins, parallel, benchGA)
+		res, err := ga.Optimize(context.Background(), ins, parallel, benchGA)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -45,7 +46,7 @@ func writeSchedule(t *testing.T, app string, g shyra.Granularity) string {
 		t.Fatal(err)
 	}
 	opt := model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
-	sol, err := mtswitch.SolveAligned(ins, opt)
+	sol, err := mtswitch.SolveAligned(context.Background(), ins, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

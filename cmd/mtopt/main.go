@@ -1,26 +1,30 @@
 // Command mtopt solves the multi-task (m=4) partial-hyperreconfiguration
 // scheduling problem for an application trace or a requirements CSV.
+// Solvers resolve by name through the solve registry.
 //
 // Usage:
 //
 //	mtopt -app counter -solver ga            # the paper's approach
 //	mtopt -app counter -solver aligned       # aligned-DP baseline
 //	mtopt -app counter -solver beam          # beam-limited exact DP
-//	mtopt -app counter -solver all -fig      # everything + Figure 2/3 charts
+//	mtopt -app counter -solver anneal        # simulated-annealing ablation
+//	mtopt -app counter -solver exact         # joint-hypercontext DP (small n)
+//	mtopt -app counter -solver all -fig      # aligned+beam+ga + Figure 2/3 charts
 //	mtopt -reqs trace.csv -upload sequential # task-sequential uploads
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/ga"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
 	"repro/internal/report"
 	"repro/internal/shyra"
+	"repro/internal/solve"
 	"repro/internal/traceio"
 )
 
@@ -28,13 +32,13 @@ func main() {
 	var (
 		app      = flag.String("app", "counter", "application to analyze (ignored with -reqs)")
 		reqsPath = flag.String("reqs", "", "requirements CSV to analyze instead of an app trace")
-		solver   = flag.String("solver", "ga", "solver: ga, aligned, beam, all")
+		solver   = flag.String("solver", "ga", "solver: ga, aligned, beam, anneal, exact, bruteforce, all")
 		upload   = flag.String("upload", "parallel", "upload mode for hyper+reconf: parallel or sequential")
 		gran     = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
 		fig      = flag.Bool("fig", false, "print Figure 2/3 style charts for the best schedule")
 		pop      = flag.Int("pop", 80, "GA population size")
 		gens     = flag.Int("gens", 300, "GA generations")
-		seed     = flag.Int64("seed", 1, "GA random seed")
+		seed     = flag.Int64("seed", 1, "random seed for ga/anneal")
 		beamN    = flag.Int("beam", 3000, "beam width for -solver beam")
 		outPath  = flag.String("out", "", "write the best schedule as JSON to this file (verify with hyperverify)")
 	)
@@ -86,11 +90,11 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 	fmt.Printf("disabled baseline: %d\n", ins.DisabledCost())
 	fmt.Printf("lower bound:       %d\n", mtswitch.LowerBound(ins, opt))
 
-	best := (*mtswitch.Solution)(nil)
-	record := func(name string, sol *mtswitch.Solution) {
-		hypers := core.HyperCount(sol.Schedule)
+	best := (*solve.Solution)(nil)
+	record := func(name string, sol *solve.Solution) {
+		hypers := core.HyperCount(sol.MTSched)
 		note := ""
-		if sol.Truncated {
+		if sol.Stats.Truncated {
 			note = " (upper bound)"
 		}
 		fmt.Printf("%-8s cost=%d (%.1f%% of disabled), partial hyper steps=%d%s\n",
@@ -100,32 +104,24 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 		}
 	}
 
-	runGA := solver == "ga" || solver == "all"
-	runAligned := solver == "aligned" || solver == "all"
-	runBeam := solver == "beam" || solver == "all"
-	if !runGA && !runAligned && !runBeam {
-		return fmt.Errorf("unknown solver %q", solver)
+	names := []string{solver}
+	if solver == "all" {
+		names = []string{"aligned", "beam", "ga"}
 	}
-	if runAligned {
-		sol, err := mtswitch.SolveAligned(ins, opt)
+	mtInst := solve.NewMT(ins, opt)
+	for _, name := range names {
+		var o solve.Options
+		switch name {
+		case "beam":
+			o = solve.Options{MaxStates: beamN, MaxCandidates: 4}
+		case "ga", "anneal":
+			o = solve.Options{Pop: pop, Generations: gens, Seed: seed}
+		}
+		sol, err := solve.Run(context.Background(), name, mtInst, o)
 		if err != nil {
 			return err
 		}
-		record("aligned", sol)
-	}
-	if runBeam {
-		sol, err := mtswitch.SolveExact(ins, opt, mtswitch.Config{MaxStates: beamN, MaxCandidates: 4})
-		if err != nil {
-			return err
-		}
-		record("beam", sol)
-	}
-	if runGA {
-		res, err := ga.Optimize(ins, opt, ga.Config{Pop: pop, Generations: gens, Seed: seed})
-		if err != nil {
-			return err
-		}
-		record("ga", res.Solution)
+		record(name, sol)
 	}
 
 	if outPath != "" && best != nil {
@@ -133,7 +129,7 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 		if err != nil {
 			return err
 		}
-		if err := traceio.WriteScheduleJSON(f, ins, best.Schedule); err != nil {
+		if err := traceio.WriteScheduleJSON(f, ins, best.MTSched); err != nil {
 			f.Close()
 			return err
 		}
@@ -149,9 +145,9 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 			names[j] = t.Name
 		}
 		fmt.Println("\nFigure 3 — partial hyperreconfiguration operations (# = hyper, . = no-hyper):")
-		fmt.Print(report.HyperMap(names, best.Schedule))
+		fmt.Print(report.HyperMap(names, best.MTSched))
 		fmt.Println("\nFigure 2 — per-task activity (used = requirement size, avail = hypercontext size, base-36 digits):")
-		cm, err := report.ContextMap(ins, best.Schedule)
+		cm, err := report.ContextMap(ins, best.MTSched)
 		if err != nil {
 			return err
 		}

@@ -1,5 +1,6 @@
 // Command paperbench regenerates every table and figure of the paper's
 // evaluation (Section 6) plus the ablations catalogued in DESIGN.md.
+// All optimizers resolve by name through the solve registry.
 //
 // Usage:
 //
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,14 +30,12 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dag"
-	"repro/internal/ga"
 	"repro/internal/model"
-	"repro/internal/mtdag"
 	"repro/internal/mtswitch"
-	"repro/internal/phc"
 	"repro/internal/report"
 	"repro/internal/rmesh"
 	"repro/internal/shyra"
+	"repro/internal/solve"
 )
 
 var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
@@ -147,8 +147,8 @@ func figure1() error {
 }
 
 func analyze() (*core.Analysis, error) {
-	return core.RunPaperExperiment(core.Options{
-		GA: ga.Config{Pop: 120, Generations: 400, Seed: 1},
+	return core.RunPaperExperiment(context.Background(), core.Options{
+		Solve: solve.Options{Pop: 120, Generations: 400, Seed: 1},
 	})
 }
 
@@ -165,14 +165,14 @@ func costs() error {
 	rows := [][]string{
 		report.CostRow("hyperreconfiguration disabled", a.Disabled, a.Disabled, 0),
 		report.CostRow("single task optimal (m=1, DP)", a.SingleOpt.Cost, a.Disabled, len(a.SingleOpt.Seg.Starts)),
-		report.CostRow("multi task GA (m=4)", a.MultiGA.Solution.Cost, a.Disabled, core.HyperCount(a.MultiGA.Solution.Schedule)),
-		report.CostRow("multi task aligned DP", a.MultiAligned.Cost, a.Disabled, core.HyperCount(a.MultiAligned.Schedule)),
+		report.CostRow("multi task GA (m=4)", a.MultiGA.Cost, a.Disabled, core.HyperCount(a.MultiGA.MTSched)),
+		report.CostRow("multi task aligned DP", a.MultiAligned.Cost, a.Disabled, core.HyperCount(a.MultiAligned.MTSched)),
 	}
 	if a.MultiBeam != nil {
-		rows = append(rows, report.CostRow("multi task beam DP", a.MultiBeam.Cost, a.Disabled, core.HyperCount(a.MultiBeam.Schedule)))
+		rows = append(rows, report.CostRow("multi task beam DP", a.MultiBeam.Cost, a.Disabled, core.HyperCount(a.MultiBeam.MTSched)))
 	}
 	rows = append(rows,
-		report.CostRow("multi task best", best.Cost, a.Disabled, core.HyperCount(best.Schedule)),
+		report.CostRow("multi task best", best.Cost, a.Disabled, core.HyperCount(best.MTSched)),
 		report.CostRow("multi task lower bound", a.Bound, a.Disabled, 0),
 	)
 	fmt.Print(report.Table(headers, rows))
@@ -191,9 +191,9 @@ func analyzeFigures() (*core.Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.AnalyzeTrace(tr, core.Options{
+	return core.AnalyzeTrace(context.Background(), tr, core.Options{
 		Granularity: shyra.GranularityDelta,
-		GA:          ga.Config{Pop: 120, Generations: 400, Seed: 1},
+		Solve:       solve.Options{Pop: 120, Generations: 400, Seed: 1},
 	})
 }
 
@@ -211,12 +211,12 @@ func figure2() error {
 	fmt.Println()
 	fmt.Printf("multiple task case (m=4): cost %d (%.1f%% of disabled)\n", a.Best().Cost, a.Percent(a.Best().Cost))
 	fmt.Println("(used = requirement size, avail = hypercontext size, base-36 digits)")
-	cm, err := report.ContextMap(a.MT, a.Best().Schedule)
+	cm, err := report.ContextMap(a.MT, a.Best().MTSched)
 	if err != nil {
 		return err
 	}
 	fmt.Print(cm)
-	svg, err := report.SVGContextMap(a.MT, a.Best().Schedule)
+	svg, err := report.SVGContextMap(a.MT, a.Best().MTSched)
 	if err != nil {
 		return err
 	}
@@ -236,9 +236,9 @@ func figure3() error {
 		names[j] = t.Name
 	}
 	fmt.Printf("best multi-task schedule, %d partial hyperreconfiguration steps (# = hyper, . = no-hyper):\n",
-		core.HyperCount(a.Best().Schedule))
-	fmt.Print(report.HyperMap(names, a.Best().Schedule))
-	svg, err := report.SVGHyperMap(names, a.Best().Schedule)
+		core.HyperCount(a.Best().MTSched))
+	fmt.Print(report.HyperMap(names, a.Best().MTSched))
+	svg, err := report.SVGHyperMap(names, a.Best().MTSched)
 	if err != nil {
 		return err
 	}
@@ -248,6 +248,7 @@ func figure3() error {
 // modes sweeps the upload modes (E5).
 func modes() error {
 	fmt.Println("=== E5: upload-mode sweep (4-bit counter trace, m=4) ===")
+	ctx := context.Background()
 	tr, err := core.CounterTrace(0, 10)
 	if err != nil {
 		return err
@@ -261,17 +262,18 @@ func modes() error {
 	for _, hu := range []model.UploadMode{model.TaskParallel, model.TaskSequential} {
 		for _, ru := range []model.UploadMode{model.TaskParallel, model.TaskSequential} {
 			opt := model.CostOptions{HyperUpload: hu, ReconfUpload: ru}
-			res, err := ga.Optimize(ins, opt, ga.Config{Pop: 80, Generations: 200, Seed: 1})
+			mtInst := solve.NewMT(ins, opt)
+			res, err := solve.Run(ctx, "ga", mtInst, solve.Options{Pop: 80, Generations: 200, Seed: 1})
 			if err != nil {
 				return err
 			}
-			al, err := mtswitch.SolveAligned(ins, opt)
+			al, err := solve.Run(ctx, "aligned", mtInst, solve.Options{})
 			if err != nil {
 				return err
 			}
 			rows = append(rows, []string{
 				hu.String(), ru.String(),
-				fmt.Sprintf("%d", res.Solution.Cost),
+				fmt.Sprintf("%d", res.Cost),
 				fmt.Sprintf("%d", al.Cost),
 				fmt.Sprintf("%d", mtswitch.LowerBound(ins, opt)),
 			})
@@ -282,9 +284,11 @@ func modes() error {
 	return nil
 }
 
-// solvers compares solver quality across the bundled apps (E6).
+// solvers compares solver quality across the bundled apps (E6), every
+// optimizer resolved by name through the solve registry.
 func solvers() error {
 	fmt.Println("=== E6: solver quality (m=4, task-parallel uploads) ===")
+	ctx := context.Background()
 	headers := []string{"app", "n", "disabled", "aligned", "beam", "GA", "SA", "bound"}
 	var rows [][]string
 	for _, name := range core.AppNames() {
@@ -296,19 +300,20 @@ func solvers() error {
 		if err != nil {
 			return err
 		}
-		al, err := mtswitch.SolveAligned(ins, parallel)
+		mtInst := solve.NewMT(ins, parallel)
+		al, err := solve.Run(ctx, "aligned", mtInst, solve.Options{})
 		if err != nil {
 			return err
 		}
-		beam, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{MaxStates: 2000, MaxCandidates: 4})
+		beam, err := solve.Run(ctx, "beam", mtInst, solve.Options{MaxStates: 2000, MaxCandidates: 4})
 		if err != nil {
 			return err
 		}
-		res, err := ga.Optimize(ins, parallel, ga.Config{Pop: 80, Generations: 200, Seed: 1})
+		res, err := solve.Run(ctx, "ga", mtInst, solve.Options{Pop: 80, Generations: 200, Seed: 1})
 		if err != nil {
 			return err
 		}
-		sa, err := ga.Anneal(ins, parallel, ga.AnnealConfig{Iterations: 20000, Seed: 1})
+		sa, err := solve.Run(ctx, "anneal", mtInst, solve.Options{Iterations: 20000, Seed: 1})
 		if err != nil {
 			return err
 		}
@@ -317,8 +322,8 @@ func solvers() error {
 			fmt.Sprintf("%d", ins.DisabledCost()),
 			fmt.Sprintf("%d", al.Cost),
 			fmt.Sprintf("%d", beam.Cost),
-			fmt.Sprintf("%d", res.Solution.Cost),
-			fmt.Sprintf("%d", sa.Solution.Cost),
+			fmt.Sprintf("%d", res.Cost),
+			fmt.Sprintf("%d", sa.Cost),
 			fmt.Sprintf("%d", mtswitch.LowerBound(ins, parallel)),
 		})
 	}
@@ -329,6 +334,7 @@ func solvers() error {
 // changeover compares the plain and changeover-cost variants (E7).
 func changeover() error {
 	fmt.Println("=== E7: changeover-cost variant (m=1 view) ===")
+	ctx := context.Background()
 	headers := []string{"app", "plain DP", "changeover DP", "hyper steps plain", "hyper steps changeover"}
 	var rows [][]string
 	for _, name := range core.AppNames() {
@@ -340,11 +346,12 @@ func changeover() error {
 		if err != nil {
 			return err
 		}
-		plain, err := phc.SolveSwitch(ins)
+		single := solve.NewSwitch(ins)
+		plain, err := solve.Run(ctx, "exact", single, solve.Options{})
 		if err != nil {
 			return err
 		}
-		ch, err := phc.SolveChangeover(ins)
+		ch, err := solve.Run(ctx, "changeover", single, solve.Options{})
 		if err != nil {
 			return err
 		}
@@ -373,7 +380,10 @@ func granularities() error {
 	headers := []string{"granularity", "disabled", "single opt", "single %", "multi best", "multi %", "single hypers", "multi hyper steps"}
 	var rows [][]string
 	for _, g := range []shyra.Granularity{shyra.GranularityBit, shyra.GranularityUnit, shyra.GranularityDelta} {
-		a, err := core.AnalyzeTrace(tr, core.Options{Granularity: g, GA: ga.Config{Pop: 100, Generations: 300, Seed: 1}})
+		a, err := core.AnalyzeTrace(context.Background(), tr, core.Options{
+			Granularity: g,
+			Solve:       solve.Options{Pop: 100, Generations: 300, Seed: 1},
+		})
 		if err != nil {
 			return err
 		}
@@ -386,7 +396,7 @@ func granularities() error {
 			fmt.Sprintf("%d", best.Cost),
 			fmt.Sprintf("%.1f%%", a.Percent(best.Cost)),
 			fmt.Sprintf("%d", len(a.SingleOpt.Seg.Starts)),
-			fmt.Sprintf("%d", core.HyperCount(best.Schedule)),
+			fmt.Sprintf("%d", core.HyperCount(best.MTSched)),
 		})
 	}
 	fmt.Print(report.Table(headers, rows))
@@ -399,6 +409,7 @@ func granularities() error {
 // the fully synchronized cost on every bundled app (E10).
 func asyncVsSync() error {
 	fmt.Println("=== E10: asynchronous (General MT) vs fully synchronized execution ===")
+	ctx := context.Background()
 	headers := []string{"app", "async window", "bottleneck task", "fully-sync parallel", "fully-sync sequential"}
 	var rows [][]string
 	for _, name := range core.AppNames() {
@@ -410,16 +421,16 @@ func asyncVsSync() error {
 		if err != nil {
 			return err
 		}
-		async, err := core.AnalyzeAsync(ins)
+		async, err := core.AnalyzeAsync(ctx, ins)
 		if err != nil {
 			return err
 		}
-		par, err := ga.Optimize(ins, parallel, ga.Config{Pop: 60, Generations: 150, Seed: 1})
+		par, err := solve.Run(ctx, "ga", solve.NewMT(ins, parallel), solve.Options{Pop: 60, Generations: 150, Seed: 1})
 		if err != nil {
 			return err
 		}
 		seqOpt := model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
-		seq, err := mtswitch.SolveExact(ins, seqOpt, mtswitch.Config{})
+		seq, err := solve.Run(ctx, "exact", solve.NewMT(ins, seqOpt), solve.Options{})
 		if err != nil {
 			return err
 		}
@@ -427,7 +438,7 @@ func asyncVsSync() error {
 			name,
 			fmt.Sprintf("%d", async.Window),
 			ins.Tasks[async.Bottleneck].Name,
-			fmt.Sprintf("%d", par.Solution.Cost),
+			fmt.Sprintf("%d", par.Cost),
 			fmt.Sprintf("%d", seq.Cost),
 		})
 	}
@@ -447,7 +458,7 @@ func privGlobal() error {
 	if err != nil {
 		return err
 	}
-	sol, err := mtswitch.SolvePrivateGlobal(ins, parallel, mtswitch.Config{})
+	sol, err := mtswitch.SolvePrivateGlobal(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		return err
 	}
@@ -501,6 +512,7 @@ func privGlobalWorkload() (*mtswitch.PrivateGlobalInstance, error) {
 // scheduling is an upper bound.
 func mtDAG() error {
 	fmt.Println("=== E13: the Multi Task DAG cost model ===")
+	ctx := context.Background()
 	levels := func() []model.Hypercontext {
 		return []model.Hypercontext{
 			{Name: "local", PerStep: 1, Sat: bitset.FromMembers(3, 0)},
@@ -508,12 +520,12 @@ func mtDAG() error {
 			{Name: "global", PerStep: 7, Sat: bitset.Full(3)},
 		}
 	}
-	mk := func(name string, v model.Cost, seq []int) (mtdag.Task, error) {
+	mk := func(name string, v model.Cost, seq []int) (solve.MTDAGTask, error) {
 		inst, err := dag.Chain(3, levels(), seq, 1)
 		if err != nil {
-			return mtdag.Task{}, err
+			return solve.MTDAGTask{}, err
 		}
-		return mtdag.Task{Name: name, V: v, Inst: inst}, nil
+		return solve.MTDAGTask{Name: name, V: v, Inst: inst}, nil
 	}
 	// Task A needs bursts of row routing; task B one global transpose.
 	a, err := mk("A", 2, []int{0, 1, 1, 0, 0, 1, 1, 0, 0, 0})
@@ -524,10 +536,7 @@ func mtDAG() error {
 	if err != nil {
 		return err
 	}
-	ins, err := mtdag.New([]mtdag.Task{a, b})
-	if err != nil {
-		return err
-	}
+	tasks := []solve.MTDAGTask{a, b}
 	headers := []string{"uploads", "joint DP", "per-task DP (upper bound)"}
 	var rows [][]string
 	for _, c := range []struct {
@@ -537,15 +546,16 @@ func mtDAG() error {
 		{"task-parallel", parallel},
 		{"task-sequential", model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}},
 	} {
-		_, joint, err := mtdag.Solve(ins, c.opt)
+		inst := solve.NewMTDAG(tasks, c.opt)
+		joint, err := solve.Run(ctx, "exact", inst, solve.Options{})
 		if err != nil {
 			return err
 		}
-		_, per, err := mtdag.SolvePerTask(ins, c.opt)
+		per, err := solve.Run(ctx, "pertask", inst, solve.Options{})
 		if err != nil {
 			return err
 		}
-		rows = append(rows, []string{c.name, fmt.Sprintf("%d", joint), fmt.Sprintf("%d", per)})
+		rows = append(rows, []string{c.name, fmt.Sprintf("%d", joint.Cost), fmt.Sprintf("%d", per.Cost)})
 	}
 	fmt.Print(report.Table(headers, rows))
 	fmt.Println("\nunder task-sequential uploads the cost separates and the per-task DP is optimal;")
@@ -558,6 +568,7 @@ func mtDAG() error {
 // machine.  Tasks are the mesh rows.
 func mesh() error {
 	fmt.Println("=== E14: reconfigurable mesh (fully synchronized by construction) ===")
+	ctx := context.Background()
 	workloads := []struct {
 		name  string
 		build func() (*rmesh.Program, error)
@@ -594,11 +605,12 @@ func mesh() error {
 		if err != nil {
 			return err
 		}
-		al, err := mtswitch.SolveAligned(ins, parallel)
+		mtInst := solve.NewMT(ins, parallel)
+		al, err := solve.Run(ctx, "aligned", mtInst, solve.Options{})
 		if err != nil {
 			return err
 		}
-		res, err := ga.Optimize(ins, parallel, ga.Config{Pop: 60, Generations: 150, Seed: 1})
+		res, err := solve.Run(ctx, "ga", mtInst, solve.Options{Pop: 60, Generations: 150, Seed: 1})
 		if err != nil {
 			return err
 		}
@@ -608,8 +620,8 @@ func mesh() error {
 			fmt.Sprintf("%d", ins.Steps()),
 			fmt.Sprintf("%d", ins.DisabledCost()),
 			fmt.Sprintf("%d", al.Cost),
-			fmt.Sprintf("%d", res.Solution.Cost),
-			fmt.Sprintf("%.1f%%", 100*float64(res.Solution.Cost)/float64(ins.DisabledCost())),
+			fmt.Sprintf("%d", res.Cost),
+			fmt.Sprintf("%.1f%%", 100*float64(res.Cost)/float64(ins.DisabledCost())),
 		})
 	}
 	fmt.Print(report.Table(headers, rows))
@@ -630,7 +642,9 @@ func appsSweep() error {
 		if err != nil {
 			return err
 		}
-		a, err := core.AnalyzeTrace(tr, core.Options{GA: ga.Config{Pop: 80, Generations: 200, Seed: 1}})
+		a, err := core.AnalyzeTrace(context.Background(), tr, core.Options{
+			Solve: solve.Options{Pop: 80, Generations: 200, Seed: 1},
+		})
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,12 @@
 // Command phcopt solves single-task hyperreconfiguration scheduling
 // (the partition-into-hypercontexts problem) for an application trace
-// or a requirements CSV, flattened to the m=1 view.
+// or a requirements CSV, flattened to the m=1 view.  Solvers resolve by
+// name through the solve registry ("dp" is an alias for "exact").
 //
 // Usage:
 //
 //	phcopt -app counter                     # exact DP on the counter trace
+//	phcopt -app counter -solver fast        # O(n·(L+K)) exact DP
 //	phcopt -app counter -solver greedy      # greedy heuristic
 //	phcopt -app counter -solver interval -k 8
 //	phcopt -app counter -solver changeover  # changeover-cost variant
@@ -12,15 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
-	"repro/internal/phc"
 	"repro/internal/report"
 	"repro/internal/shyra"
+	"repro/internal/solve"
 	"repro/internal/traceio"
 )
 
@@ -28,7 +32,7 @@ func main() {
 	var (
 		app      = flag.String("app", "counter", "application to analyze (ignored with -reqs)")
 		reqsPath = flag.String("reqs", "", "requirements CSV to analyze instead of an app trace")
-		solver   = flag.String("solver", "dp", "solver: dp, greedy, interval, changeover, every, none")
+		solver   = flag.String("solver", "dp", "solver: dp (alias exact), fast, greedy, interval, changeover, bruteforce, every, none")
 		k        = flag.Int("k", 8, "interval length for -solver interval")
 		w        = flag.Int64("w", 0, "override hyperreconfiguration cost W (default |X|)")
 		gran     = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
@@ -82,30 +86,28 @@ func run(app, reqsPath, solver string, k int, w int64, gran string) error {
 	fmt.Printf("disabled baseline: %d\n", ins.DisabledCost())
 	fmt.Printf("lower bound:       %d\n", ins.LowerBound())
 
-	var sol *phc.Solution
 	switch solver {
-	case "dp":
-		sol, err = phc.SolveSwitch(ins)
-	case "greedy":
-		sol, err = phc.Greedy(ins)
-	case "interval":
-		sol, err = phc.FixedInterval(ins, k)
-	case "changeover":
-		sol, err = phc.SolveChangeover(ins)
 	case "every":
 		fmt.Printf("every-step baseline: %d\n", ins.EveryStepCost())
 		return nil
 	case "none":
 		return nil
-	default:
-		return fmt.Errorf("unknown solver %q", solver)
 	}
+
+	name := solver
+	if name == "dp" {
+		name = "exact"
+	}
+	sol, err := solve.Run(context.Background(), name, solve.NewSwitch(ins), solve.Options{IntervalK: k})
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("solver %s: cost=%d (%.1f%% of disabled), hyperreconfigurations=%d\n",
 		solver, sol.Cost, 100*float64(sol.Cost)/float64(ins.DisabledCost()), len(sol.Seg.Starts))
+	fmt.Printf("stats: states=%d evals=%d pruned=%d dedup=%d exact=%t wall=%s\n",
+		sol.Stats.StatesExpanded, sol.Stats.Evaluations, sol.Stats.CandidatesPruned,
+		sol.Stats.DedupHits, sol.Exact, sol.Stats.WallTime.Round(time.Microsecond))
 	fmt.Println("hyperreconfiguration steps:")
 	fmt.Println("  " + report.SegmentsLine(ins.Len(), sol.Seg.Starts))
 	return nil

@@ -8,19 +8,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/ga"
 	"repro/internal/report"
 	"repro/internal/shyra"
+	"repro/internal/solve"
 )
 
 func main() {
-	a, err := core.RunPaperExperiment(core.Options{
+	a, err := core.RunPaperExperiment(context.Background(), core.Options{
 		Granularity: shyra.GranularityDelta, // only changed bits upload
-		GA:          ga.Config{Pop: 100, Generations: 300, Seed: 1},
+		Solve:       solve.Options{Pop: 100, Generations: 300, Seed: 1},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -32,8 +33,8 @@ func main() {
 	rows := [][]string{
 		report.CostRow("hyperreconfiguration disabled", a.Disabled, a.Disabled, 0),
 		report.CostRow("single task optimal (m=1)", a.SingleOpt.Cost, a.Disabled, len(a.SingleOpt.Seg.Starts)),
-		report.CostRow("multi task GA (m=4)", a.MultiGA.Solution.Cost, a.Disabled, core.HyperCount(a.MultiGA.Solution.Schedule)),
-		report.CostRow("multi task best", best.Cost, a.Disabled, core.HyperCount(best.Schedule)),
+		report.CostRow("multi task GA (m=4)", a.MultiGA.Cost, a.Disabled, core.HyperCount(a.MultiGA.MTSched)),
+		report.CostRow("multi task best", best.Cost, a.Disabled, core.HyperCount(best.MTSched)),
 	}
 	fmt.Print(report.Table([]string{"schedule", "cost", "% of disabled", "hyper steps"}, rows))
 
@@ -48,5 +49,5 @@ func main() {
 		names[j] = t.Name
 	}
 	fmt.Println("\npartial hyperreconfigurations of the best schedule (Figure 3 style):")
-	fmt.Print(report.HyperMap(names, best.Schedule))
+	fmt.Print(report.HyperMap(names, best.MTSched))
 }

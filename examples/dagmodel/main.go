@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,13 +79,13 @@ func main() {
 	}
 	fmt.Printf("\nstay in %q throughout: cost %d\n", hs[3].Name, topCost)
 
-	heur, err := phc.MinimalSatisfierHeuristic(ins)
+	heur, err := phc.MinimalSatisfierHeuristic(context.Background(), ins)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("minimal-satisfier heuristic: cost %d\n", heur.Cost)
 
-	opt, err := phc.SolveDAG(ins)
+	opt, err := phc.SolveDAG(context.Background(), ins)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,14 +130,14 @@ func main() {
 		log.Fatal(err)
 	}
 	opt2 := model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
-	_, joint, err := mtdag.Solve(mt, opt2)
+	joint, err := mtdag.Solve(context.Background(), mt, opt2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, per, err := mtdag.SolvePerTask(mt, opt2)
+	per, err := mtdag.SolvePerTask(context.Background(), mt, opt2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("joint DP over hypercontext vectors: %d\n", joint)
-	fmt.Printf("independent per-task scheduling:    %d (upper bound)\n", per)
+	fmt.Printf("joint DP over hypercontext vectors: %d\n", joint.Cost)
+	fmt.Printf("independent per-task scheduling:    %d (upper bound)\n", per.Cost)
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mtswitch"
 	"repro/internal/report"
+	"repro/internal/solve"
 )
 
 func main() {
@@ -64,15 +66,16 @@ func main() {
 
 	fmt.Printf("m=%d tasks, n=%d synchronized steps, task-parallel uploads\n\n", ins.NumTasks(), ins.Steps())
 
-	aligned, err := mtswitch.SolveAligned(ins, opt)
+	ctx := context.Background()
+	aligned, err := mtswitch.SolveAligned(ctx, ins, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := mtswitch.SolveExact(ins, opt, mtswitch.Config{})
+	exact, err := mtswitch.SolveExact(ctx, ins, opt, solve.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	gaRes, err := ga.Optimize(ins, opt, ga.Config{Seed: 1})
+	gaRes, err := ga.Optimize(ctx, ins, opt, solve.Options{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

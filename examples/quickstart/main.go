@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 
 	// The polynomial dynamic program finds the optimal partition into
 	// hypercontexts.
-	sol, err := phc.SolveSwitch(ins)
+	sol, err := phc.SolveSwitch(context.Background(), ins)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	// Compare with the greedy heuristic.
-	greedy, err := phc.Greedy(ins)
+	greedy, err := phc.Greedy(context.Background(), ins)
 	if err != nil {
 		log.Fatal(err)
 	}

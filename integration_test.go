@@ -2,6 +2,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mtswitch"
 	"repro/internal/shyra"
+	"repro/internal/solve"
 )
 
 // TestPaperHeadlineOrdering is the reproduction's central claim: on the
@@ -21,9 +23,9 @@ func TestPaperHeadlineOrdering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := core.AnalyzeTrace(tr, core.Options{
+		a, err := core.AnalyzeTrace(context.Background(), tr, core.Options{
 			Granularity: g,
-			GA:          ga.Config{Pop: 60, Generations: 120, Seed: 1},
+			Solve:       solve.Options{Pop: 60, Generations: 120, Seed: 1},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -68,9 +70,9 @@ func TestPaperDisabledBaseline(t *testing.T) {
 // machine: the computation must be unchanged while uploading fewer
 // bits than the disabled machine.
 func TestEndToEndScheduleSoundness(t *testing.T) {
-	a, err := core.RunPaperExperiment(core.Options{
+	a, err := core.RunPaperExperiment(context.Background(), core.Options{
 		Granularity: shyra.GranularityDelta,
-		GA:          ga.Config{Pop: 40, Generations: 60, Seed: 1},
+		Solve:       solve.Options{Pop: 40, Generations: 60, Seed: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -96,19 +98,19 @@ func TestSolversAgreeOnPaperWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	al, err := mtswitch.SolveAligned(ins, parallel)
+	al, err := mtswitch.SolveAligned(context.Background(), ins, parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	beam, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{MaxStates: 2000, MaxCandidates: 4})
+	beam, err := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{MaxStates: 2000, MaxCandidates: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gaRes, err := ga.Optimize(ins, parallel, ga.Config{Pop: 60, Generations: 120, Seed: 1})
+	gaRes, err := ga.Optimize(context.Background(), ins, parallel, solve.Options{Pop: 60, Generations: 120, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sa, err := ga.Anneal(ins, parallel, ga.AnnealConfig{Iterations: 10000, Seed: 1})
+	sa, err := ga.Anneal(context.Background(), ins, parallel, solve.Options{Iterations: 10000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -34,7 +35,7 @@ type AsyncAnalysis struct {
 // slowest task.  Comparing the window against the fully synchronized
 // cost of the same instance quantifies what barrier synchronization
 // costs (or saves, via task-parallel uploads) on the workload.
-func AnalyzeAsync(ins *model.MTSwitchInstance) (*AsyncAnalysis, error) {
+func AnalyzeAsync(ctx context.Context, ins *model.MTSwitchInstance) (*AsyncAnalysis, error) {
 	if ins == nil {
 		return nil, fmt.Errorf("core: nil instance")
 	}
@@ -44,7 +45,7 @@ func AnalyzeAsync(ins *model.MTSwitchInstance) (*AsyncAnalysis, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: task %q: %w", task.Name, err)
 		}
-		sol, err := phc.SolveSwitch(single)
+		sol, err := phc.SolveSwitch(ctx, single)
 		if err != nil {
 			return nil, fmt.Errorf("core: task %q: %w", task.Name, err)
 		}

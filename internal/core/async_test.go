@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/machine"
@@ -17,7 +18,7 @@ func TestAnalyzeAsyncCounter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	async, err := AnalyzeAsync(ins)
+	async, err := AnalyzeAsync(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestAsyncAgreesWithRuntime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	async, err := AnalyzeAsync(ins)
+	async, err := AnalyzeAsync(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestAsyncAgreesWithRuntime(t *testing.T) {
 }
 
 func TestAnalyzeAsyncNil(t *testing.T) {
-	if _, err := AnalyzeAsync(nil); err == nil {
+	if _, err := AnalyzeAsync(context.Background(), nil); err == nil {
 		t.Fatal("accepted nil instance")
 	}
 }

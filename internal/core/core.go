@@ -16,16 +16,21 @@
 //     comparison,
 //  5. report absolute costs and percentages of the disabled baseline
 //     (the paper reports 71.2% for m=1 and 53.3% for m=4).
+//
+// All solvers run through the solve registry (importing this package
+// registers them), so callers can also resolve optimizers by name via
+// solve.Run.
 package core
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/ga"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
-	"repro/internal/phc"
 	"repro/internal/shyra"
+	"repro/internal/solve"
+	_ "repro/internal/solve/solvers" // register the named solvers
 )
 
 // Options tune an analysis run.  The zero value reproduces the paper's
@@ -37,23 +42,21 @@ type Options struct {
 	// CostOptions for the multi-task analysis (default task-parallel /
 	// task-parallel, the paper's mode).
 	Cost model.CostOptions
-	// GA configures the genetic algorithm (zero value = package
-	// defaults with seed 1).
-	GA ga.Config
-	// Beam configures the beam-limited exact DP used as a third
-	// multi-task solver (zero value = a modest beam that finishes
-	// quickly on paper-sized traces).
-	Beam mtswitch.Config
+	// Solve carries the uniform solver knobs shared by the GA and the
+	// beam-limited exact DP (zero value = deterministic defaults with
+	// seed 1 and a modest beam that finishes quickly on paper-sized
+	// traces).
+	Solve solve.Options
 	// SkipBeam disables the beam solver (it is the slowest component).
 	SkipBeam bool
 }
 
 func (o Options) withDefaults() Options {
-	if o.Beam.MaxStates == 0 {
-		o.Beam.MaxStates = 3000
+	if o.Solve.MaxStates == 0 {
+		o.Solve.MaxStates = 3000
 	}
-	if o.Beam.MaxCandidates == 0 {
-		o.Beam.MaxCandidates = 4
+	if o.Solve.MaxCandidates == 0 {
+		o.Solve.MaxCandidates = 4
 	}
 	return o
 }
@@ -72,15 +75,15 @@ type Analysis struct {
 	Disabled model.Cost
 	// SingleOpt is the optimal single-task schedule (paper: 3761,
 	// 71.2% of Disabled, using 30 hyperreconfigurations).
-	SingleOpt *phc.Solution
+	SingleOpt *solve.Solution
 	// MultiGA is the genetic-algorithm multi-task schedule (paper:
 	// 2813, 53.3%, using 50 partial hyperreconfigurations).
-	MultiGA *ga.Result
+	MultiGA *solve.Solution
 	// MultiAligned is the optimal schedule with aligned partial
 	// hyperreconfigurations (all tasks together).
-	MultiAligned *mtswitch.Solution
+	MultiAligned *solve.Solution
 	// MultiBeam is the beam-limited exact DP result (nil if skipped).
-	MultiBeam *mtswitch.Solution
+	MultiBeam *solve.Solution
 	// Bound is an admissible lower bound for the multi-task problem.
 	Bound model.Cost
 
@@ -89,8 +92,8 @@ type Analysis struct {
 }
 
 // Best returns the cheapest multi-task solution found.
-func (a *Analysis) Best() *mtswitch.Solution {
-	best := a.MultiGA.Solution
+func (a *Analysis) Best() *solve.Solution {
+	best := a.MultiGA
 	if a.MultiAligned != nil && a.MultiAligned.Cost < best.Cost {
 		best = a.MultiAligned
 	}
@@ -136,11 +139,13 @@ func HyperCount(s *model.MTSchedule) int {
 // identical to the hyperreconfiguration-disabled run while only
 // hypercontext-sized configurations are uploaded.
 func (a *Analysis) VerifyReplay() (*shyra.ReplayReport, error) {
-	return shyra.ReplayMT(a.Trace, a.Best().Schedule)
+	return shyra.ReplayMT(a.Trace, a.Best().MTSched)
 }
 
-// AnalyzeTrace runs the full Section 6 analysis on a trace.
-func AnalyzeTrace(tr *shyra.Trace, opts Options) (*Analysis, error) {
+// AnalyzeTrace runs the full Section 6 analysis on a trace.  Every
+// solver resolves through the solve registry and honors ctx
+// cancellation mid-solve.
+func AnalyzeTrace(ctx context.Context, tr *shyra.Trace, opts Options) (*Analysis, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("core: nil trace")
 	}
@@ -158,21 +163,22 @@ func AnalyzeTrace(tr *shyra.Trace, opts Options) (*Analysis, error) {
 		return nil, fmt.Errorf("core: building m=1 instance: %w", err)
 	}
 
-	singleOpt, err := phc.SolveSwitch(single)
+	singleOpt, err := solve.Run(ctx, "exact", solve.NewSwitch(single), solve.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("core: single-task DP: %w", err)
 	}
-	gaRes, err := ga.Optimize(mt, opts.Cost, opts.GA)
+	mtInst := solve.NewMT(mt, opts.Cost)
+	gaRes, err := solve.Run(ctx, "ga", mtInst, opts.Solve)
 	if err != nil {
 		return nil, fmt.Errorf("core: genetic algorithm: %w", err)
 	}
-	aligned, err := mtswitch.SolveAligned(mt, opts.Cost)
+	aligned, err := solve.Run(ctx, "aligned", mtInst, opts.Solve)
 	if err != nil {
 		return nil, fmt.Errorf("core: aligned DP: %w", err)
 	}
-	var beam *mtswitch.Solution
+	var beam *solve.Solution
 	if !opts.SkipBeam {
-		beam, err = mtswitch.SolveExact(mt, opts.Cost, opts.Beam)
+		beam, err = solve.Run(ctx, "beam", mtInst, opts.Solve)
 		if err != nil {
 			return nil, fmt.Errorf("core: beam DP: %w", err)
 		}
@@ -195,12 +201,12 @@ func AnalyzeTrace(tr *shyra.Trace, opts Options) (*Analysis, error) {
 // RunPaperExperiment executes the paper's exact workload — the 4-bit
 // counter from 0 to bound 10 on SHyRA in fully synchronized mode with
 // task-parallel partial hyperreconfigurations — and analyzes the trace.
-func RunPaperExperiment(opts Options) (*Analysis, error) {
+func RunPaperExperiment(ctx context.Context, opts Options) (*Analysis, error) {
 	tr, err := CounterTrace(0, 10)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeTrace(tr, opts)
+	return AnalyzeTrace(ctx, tr, opts)
 }
 
 // CounterTrace runs the 4-bit counter application and returns its

@@ -1,21 +1,22 @@
 package core
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/ga"
 	"repro/internal/shyra"
+	"repro/internal/solve"
 )
 
 func TestRunPaperExperimentShape(t *testing.T) {
-	a, err := RunPaperExperiment(Options{GA: ga.Config{Pop: 60, Generations: 150, Seed: 1}})
+	a, err := RunPaperExperiment(context.Background(), Options{Solve: solve.Options{Pop: 60, Generations: 150, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("trace steps: %d", a.Trace.Len())
 	t.Logf("disabled:    %d (100%%)", a.Disabled)
 	t.Logf("single opt:  %d (%.1f%%), %d hyperreconfigurations", a.SingleOpt.Cost, a.Percent(a.SingleOpt.Cost), len(a.SingleOpt.Seg.Starts))
-	t.Logf("multi GA:    %d (%.1f%%), %d partial hyper steps", a.MultiGA.Solution.Cost, a.Percent(a.MultiGA.Solution.Cost), HyperCount(a.MultiGA.Solution.Schedule))
+	t.Logf("multi GA:    %d (%.1f%%), %d partial hyper steps", a.MultiGA.Cost, a.Percent(a.MultiGA.Cost), HyperCount(a.MultiGA.MTSched))
 	t.Logf("multi align: %d (%.1f%%)", a.MultiAligned.Cost, a.Percent(a.MultiAligned.Cost))
 	if a.MultiBeam != nil {
 		t.Logf("multi beam:  %d (%.1f%%)", a.MultiBeam.Cost, a.Percent(a.MultiBeam.Cost))
@@ -45,9 +46,9 @@ func TestVerifyReplayAllGranularitiesAllApps(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, g := range []shyra.Granularity{shyra.GranularityBit, shyra.GranularityUnit, shyra.GranularityDelta} {
-			a, err := AnalyzeTrace(tr, Options{
+			a, err := AnalyzeTrace(context.Background(), tr, Options{
 				Granularity: g,
-				GA:          ga.Config{Pop: 20, Generations: 15, Seed: 1},
+				Solve:       solve.Options{Pop: 20, Generations: 15, Seed: 1},
 				SkipBeam:    true,
 			})
 			if err != nil {
@@ -70,10 +71,10 @@ func TestVerifyReplayAllGranularitiesAllApps(t *testing.T) {
 }
 
 func TestAnalyzeTraceValidation(t *testing.T) {
-	if _, err := AnalyzeTrace(nil, Options{}); err == nil {
+	if _, err := AnalyzeTrace(context.Background(), nil, Options{}); err == nil {
 		t.Fatal("accepted nil trace")
 	}
-	if _, err := AnalyzeTrace(&shyra.Trace{}, Options{}); err == nil {
+	if _, err := AnalyzeTrace(context.Background(), &shyra.Trace{}, Options{}); err == nil {
 		t.Fatal("accepted empty trace")
 	}
 }
@@ -101,11 +102,11 @@ func TestHyperCount(t *testing.T) {
 	if HyperCount(nil) != 0 {
 		t.Fatal("nil schedule should count 0")
 	}
-	a, err := RunPaperExperiment(Options{SkipBeam: true, GA: ga.Config{Pop: 20, Generations: 10}})
+	a, err := RunPaperExperiment(context.Background(), Options{SkipBeam: true, Solve: solve.Options{Pop: 20, Generations: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hc := HyperCount(a.MultiGA.Solution.Schedule)
+	hc := HyperCount(a.MultiGA.MTSched)
 	if hc < 1 || hc > a.Trace.Len() {
 		t.Fatalf("hyper count %d out of range", hc)
 	}

@@ -1,23 +1,23 @@
 package core
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/ga"
 	"repro/internal/model"
-	"repro/internal/mtswitch"
 	"repro/internal/shyra"
+	"repro/internal/solve"
 )
 
 func TestOptionsWithDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
-	if o.Beam.MaxStates != 3000 || o.Beam.MaxCandidates != 4 {
-		t.Fatalf("beam defaults = %+v", o.Beam)
+	if o.Solve.MaxStates != 3000 || o.Solve.MaxCandidates != 4 {
+		t.Fatalf("beam defaults = %+v", o.Solve)
 	}
 	// Explicit values survive.
-	o = Options{Beam: mtswitch.Config{MaxStates: 7, MaxCandidates: 2}}.withDefaults()
-	if o.Beam.MaxStates != 7 || o.Beam.MaxCandidates != 2 {
-		t.Fatalf("explicit beam config overridden: %+v", o.Beam)
+	o = Options{Solve: solve.Options{MaxStates: 7, MaxCandidates: 2}}.withDefaults()
+	if o.Solve.MaxStates != 7 || o.Solve.MaxCandidates != 2 {
+		t.Fatalf("explicit beam config overridden: %+v", o.Solve)
 	}
 }
 
@@ -33,12 +33,12 @@ func TestAnalysisPercent(t *testing.T) {
 }
 
 func TestAnalysisBestPicksCheapest(t *testing.T) {
-	a, err := RunPaperExperiment(Options{GA: ga.Config{Pop: 15, Generations: 5, Seed: 1}})
+	a, err := RunPaperExperiment(context.Background(), Options{Solve: solve.Options{Pop: 15, Generations: 5, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	best := a.Best()
-	for _, sol := range []*mtswitch.Solution{a.MultiGA.Solution, a.MultiAligned, a.MultiBeam} {
+	for _, sol := range []*solve.Solution{a.MultiGA, a.MultiAligned, a.MultiBeam} {
 		if sol != nil && sol.Cost < best.Cost {
 			t.Fatalf("Best missed a cheaper solution (%d < %d)", sol.Cost, best.Cost)
 		}
@@ -50,7 +50,7 @@ func TestAnalysisSkipBeam(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := AnalyzeTrace(tr, Options{SkipBeam: true, GA: ga.Config{Pop: 10, Generations: 5}})
+	a, err := AnalyzeTrace(context.Background(), tr, Options{SkipBeam: true, Solve: solve.Options{Pop: 10, Generations: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestAnalyzeTraceSequentialUploads(t *testing.T) {
 		t.Fatal(err)
 	}
 	seq := model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
-	a, err := AnalyzeTrace(tr, Options{Cost: seq, SkipBeam: true, GA: ga.Config{Pop: 10, Generations: 5}})
+	a, err := AnalyzeTrace(context.Background(), tr, Options{Cost: seq, SkipBeam: true, Solve: solve.Options{Pop: 10, Generations: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestAnalyzeUnitGranularity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := AnalyzeTrace(tr, Options{Granularity: shyra.GranularityUnit, SkipBeam: true, GA: ga.Config{Pop: 10, Generations: 5}})
+	a, err := AnalyzeTrace(context.Background(), tr, Options{Granularity: shyra.GranularityUnit, SkipBeam: true, Solve: solve.Options{Pop: 10, Generations: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,51 +1,53 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/model"
 	"repro/internal/mtswitch"
+	"repro/internal/solve"
 )
 
-// AnnealConfig are the simulated-annealing hyperparameters.  The zero
-// value selects the defaults noted per field.  Simulated annealing is
+// annealParams are the fully defaulted simulated-annealing
+// hyperparameters derived from solve.Options.  Simulated annealing is
 // not used by the paper — it serves as an ablation against the genetic
 // algorithm on the same search space (joint hyperreconfiguration
 // masks).
-type AnnealConfig struct {
-	// Iterations of the annealing loop (default 20000).
-	Iterations int
-	// InitialTemp is the starting temperature in cost units (default:
-	// 1/10 of the seed schedule's cost, adaptive).
-	InitialTemp float64
-	// Cooling is the geometric cooling factor applied every iteration
-	// (default chosen so the temperature decays to ~1e-3 of the start
-	// over the run).
-	Cooling float64
-	// Seed drives the deterministic random source (default 1).
-	Seed int64
+type annealParams struct {
+	iterations  int
+	initialTemp float64
+	cooling     float64
+	seed        int64
 }
 
-func (c AnnealConfig) withDefaults(seedCost model.Cost) AnnealConfig {
-	if c.Iterations <= 0 {
-		c.Iterations = 20000
+func annealDefaults(o solve.Options, seedCost model.Cost) annealParams {
+	p := annealParams{
+		iterations:  o.Iterations,
+		initialTemp: o.InitialTemp,
+		cooling:     o.Cooling,
+		seed:        o.Seed,
 	}
-	if c.InitialTemp <= 0 {
-		c.InitialTemp = float64(seedCost) / 10
-		if c.InitialTemp < 1 {
-			c.InitialTemp = 1
+	if p.iterations <= 0 {
+		p.iterations = 20000
+	}
+	if p.initialTemp <= 0 {
+		// Adaptive: 1/10 of the seed schedule's cost.
+		p.initialTemp = float64(seedCost) / 10
+		if p.initialTemp < 1 {
+			p.initialTemp = 1
 		}
 	}
-	if c.Cooling <= 0 || c.Cooling >= 1 {
+	if p.cooling <= 0 || p.cooling >= 1 {
 		// Decay to 1e-3 of the initial temperature over the run.
-		c.Cooling = math.Exp(math.Log(1e-3) / float64(c.Iterations))
+		p.cooling = math.Exp(math.Log(1e-3) / float64(p.iterations))
 	}
-	if c.Seed == 0 {
-		c.Seed = 1
+	if p.seed == 0 {
+		p.seed = 1
 	}
-	return c
+	return p
 }
 
 // Anneal optimizes hyperreconfiguration masks by simulated annealing:
@@ -54,10 +56,17 @@ func (c AnnealConfig) withDefaults(seedCost model.Cost) AnnealConfig {
 // exp(-Δ/T) under a geometric cooling schedule.  The search is seeded
 // with the aligned-DP schedule so the result is never worse than that
 // baseline, and the best state ever visited is returned (repriced and
-// validated through the model).
-func Anneal(ins *model.MTSwitchInstance, opt model.CostOptions, cfg AnnealConfig) (*Result, error) {
+// validated through the model).  The context is checked every 256
+// iterations.
+func Anneal(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options) (*Result, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("ga: nil instance")
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
 	m, n := ins.NumTasks(), ins.Steps()
 	if n == 0 {
@@ -69,29 +78,38 @@ func Anneal(ins *model.MTSwitchInstance, opt model.CostOptions, cfg AnnealConfig
 	}
 
 	ev := newEvaluator(ins, opt)
+	var stats solve.Stats
 
 	// Seed with the aligned-DP schedule.
 	cur := make(genome, m*n)
-	if al, err := mtswitch.SolveAligned(ins, opt); err == nil {
+	if al, err := mtswitch.SolveAligned(ctx, ins, opt); err == nil {
 		for j := 0; j < m; j++ {
 			for i := 0; i < n; i++ {
 				cur[j*n+i] = al.Schedule.Hyper[j][i]
 			}
 		}
+	} else if solve.Checkpoint(ctx) != nil {
+		return nil, err
 	}
 	for j := 0; j < m; j++ {
 		cur[j*n] = true
 	}
 	curCost := ev.cost(cur)
-	cfg = cfg.withDefaults(curCost)
-	r := rand.New(rand.NewSource(cfg.Seed))
+	stats.Evaluations++
+	cfg := annealDefaults(o, curCost)
+	r := rand.New(rand.NewSource(cfg.seed))
 
 	best := cur.clone()
 	bestCost := curCost
-	temp := cfg.InitialTemp
-	history := make([]model.Cost, 0, cfg.Iterations/100+1)
+	temp := cfg.initialTemp
+	history := make([]model.Cost, 0, cfg.iterations/100+1)
 
-	for it := 0; it < cfg.Iterations; it++ {
+	for it := 0; it < cfg.iterations; it++ {
+		if it&255 == 0 {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+		}
 		// Flip one random non-initial bit.  With n == 1 every bit is an
 		// initial bit and no move exists.
 		if n > 1 {
@@ -100,6 +118,7 @@ func Anneal(ins *model.MTSwitchInstance, opt model.CostOptions, cfg AnnealConfig
 			k := j*n + i
 			cur[k] = !cur[k]
 			newCost := ev.cost(cur)
+			stats.Evaluations++
 			delta := float64(newCost - curCost)
 			if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
 				curCost = newCost
@@ -111,7 +130,7 @@ func Anneal(ins *model.MTSwitchInstance, opt model.CostOptions, cfg AnnealConfig
 				cur[k] = !cur[k] // reject: undo
 			}
 		}
-		temp *= cfg.Cooling
+		temp *= cfg.cooling
 		if it%100 == 0 {
 			history = append(history, bestCost)
 		}
@@ -135,8 +154,9 @@ func Anneal(ins *model.MTSwitchInstance, opt model.CostOptions, cfg AnnealConfig
 	if cost != bestCost {
 		return nil, fmt.Errorf("ga: annealing evaluator cost %d disagrees with model cost %d", bestCost, cost)
 	}
+	stats.Truncated = true // stochastic search: cost is an upper bound
 	return &Result{
-		Solution: &mtswitch.Solution{Schedule: sched, Cost: cost, Truncated: true},
+		Solution: &mtswitch.Solution{Schedule: sched, Cost: cost, Stats: stats},
 		History:  history,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -8,17 +9,18 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
+	"repro/internal/solve"
 )
 
 func TestAnnealDeterministic(t *testing.T) {
 	r := rand.New(rand.NewSource(31))
 	ins := randomMT(r, 3, 5, 8)
-	cfg := AnnealConfig{Iterations: 2000, Seed: 7}
-	a, err := Anneal(ins, parallel, cfg)
+	cfg := solve.Options{Iterations: 2000, Seed: 7}
+	a, err := Anneal(context.Background(), ins, parallel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Anneal(ins, parallel, cfg)
+	b, err := Anneal(context.Background(), ins, parallel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,8 +35,8 @@ func TestAnnealNeverWorseThanAligned(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomMT(r, 3, 5, 8)
-		al, err1 := mtswitch.SolveAligned(ins, parallel)
-		res, err2 := Anneal(ins, parallel, AnnealConfig{Iterations: 500, Seed: seed})
+		al, err1 := mtswitch.SolveAligned(context.Background(), ins, parallel)
+		res, err2 := Anneal(context.Background(), ins, parallel, solve.Options{Iterations: 500, Seed: seed})
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -49,8 +51,8 @@ func TestAnnealNeverBelowOptimum(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomMT(r, 2, 4, 5)
-		ex, err1 := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
-		res, err2 := Anneal(ins, parallel, AnnealConfig{Iterations: 2000, Seed: seed})
+		ex, err1 := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{})
+		res, err2 := Anneal(context.Background(), ins, parallel, solve.Options{Iterations: 2000, Seed: seed})
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -66,11 +68,11 @@ func TestAnnealMatchesExactOften(t *testing.T) {
 	r := rand.New(rand.NewSource(77))
 	for k := 0; k < 12; k++ {
 		ins := randomMT(r, 2, 4, 6)
-		ex, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
+		ex, err := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Anneal(ins, parallel, AnnealConfig{Iterations: 5000, Seed: int64(k + 1)})
+		res, err := Anneal(context.Background(), ins, parallel, solve.Options{Iterations: 5000, Seed: int64(k + 1)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +90,7 @@ func TestAnnealMatchesExactOften(t *testing.T) {
 func TestAnnealScheduleValid(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
 	ins := randomMT(r, 3, 6, 12)
-	res, err := Anneal(ins, parallel, AnnealConfig{Iterations: 1500, Seed: 2})
+	res, err := Anneal(context.Background(), ins, parallel, solve.Options{Iterations: 1500, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func TestAnnealSingleStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Anneal(ins, parallel, AnnealConfig{Iterations: 100, Seed: 1})
+	res, err := Anneal(context.Background(), ins, parallel, solve.Options{Iterations: 100, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +125,7 @@ func TestAnnealSingleStep(t *testing.T) {
 }
 
 func TestAnnealNilAndEmpty(t *testing.T) {
-	if _, err := Anneal(nil, parallel, AnnealConfig{}); err == nil {
+	if _, err := Anneal(context.Background(), nil, parallel, solve.Options{}); err == nil {
 		t.Fatal("accepted nil instance")
 	}
 	tasks := []model.Task{{Name: "A", Local: 1, V: 1}}
@@ -131,7 +133,7 @@ func TestAnnealNilAndEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Anneal(ins, parallel, AnnealConfig{})
+	res, err := Anneal(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,14 +10,18 @@
 // canonical segment unions are optimal for any fixed mask, so the
 // search space is exactly the mask space.
 //
-// The GA is deterministic for a fixed Config.Seed: tournament
+// The GA is deterministic for a fixed Options.Seed: tournament
 // selection, uniform crossover, per-bit mutation, elitism, and seeding
 // with informed individuals (the aligned-DP mask, the
 // hyperreconfigure-only-at-step-0 mask, and the every-step mask) so the
-// search starts no worse than the best classical baseline.
+// search starts no worse than the best classical baseline.  Solver
+// knobs come from the shared solve.Options (Pop, Generations, MutRate,
+// CrossRate, TournamentK, Elites, Seed, Workers, Crossover,
+// NoHeuristicSeeds).
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -27,99 +31,74 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
+	"repro/internal/solve"
 )
 
-// Config are the GA hyperparameters.  The zero value selects the
-// defaults noted on each field.
-type Config struct {
-	// Pop is the population size (default 80).
-	Pop int
-	// Generations to evolve (default 300).
-	Generations int
-	// MutRate is the per-bit mutation probability (default 2/(m·n),
-	// encoded as 0 → adaptive).
-	MutRate float64
-	// CrossRate is the probability a child is produced by crossover
-	// rather than cloning (default 0.9).
-	CrossRate float64
-	// TournamentK is the tournament size (default 3).
-	TournamentK int
-	// Elites survive unchanged each generation (default 2).
-	Elites int
-	// Seed drives the deterministic random source (default 1).
-	Seed int64
-	// SeedWithHeuristics injects the aligned-DP, initial-only and
-	// every-step masks into the initial population (default true;
-	// disable with NoHeuristicSeeds).
-	NoHeuristicSeeds bool
-	// Workers is the number of goroutines evaluating fitness in
-	// parallel (default GOMAXPROCS).  Children are generated with the
-	// sequential random source before evaluation fans out, so results
-	// are identical for every worker count.
-	Workers int
-	// Crossover selects the recombination operator (default
-	// CrossUniform).
-	Crossover CrossoverKind
-}
+// CrossoverKind re-exports the shared crossover selector for
+// convenience; see solve.CrossoverKind.
+type CrossoverKind = solve.CrossoverKind
 
-// CrossoverKind selects the GA's recombination operator.
-type CrossoverKind int
-
+// Crossover operator aliases (see the solve package for semantics).
 const (
-	// CrossUniform draws every (task, step) gene independently from one
-	// of the two parents — the classic disruptive operator.
-	CrossUniform CrossoverKind = iota
-	// CrossTwoPoint exchanges one contiguous gene range, preserving
-	// runs of hyperreconfiguration decisions.
-	CrossTwoPoint
-	// CrossTaskRow inherits each task's entire row from one parent —
-	// schedules recombine along the problem's natural task structure.
-	CrossTaskRow
+	CrossUniform  = solve.CrossUniform
+	CrossTwoPoint = solve.CrossTwoPoint
+	CrossTaskRow  = solve.CrossTaskRow
 )
 
-// String implements fmt.Stringer.
-func (c CrossoverKind) String() string {
-	switch c {
-	case CrossUniform:
-		return "uniform"
-	case CrossTwoPoint:
-		return "two-point"
-	case CrossTaskRow:
-		return "task-row"
-	default:
-		return fmt.Sprintf("CrossoverKind(%d)", int(c))
-	}
+// params are the fully defaulted GA hyperparameters derived from
+// solve.Options.
+type params struct {
+	pop, generations   int
+	mutRate, crossRate float64
+	tournamentK        int
+	elites             int
+	seed               int64
+	workers            int
+	noHeuristicSeeds   bool
+	crossover          CrossoverKind
 }
 
-func (c Config) withDefaults(m, n int) Config {
-	if c.Pop <= 0 {
-		c.Pop = 80
+func gaParams(o solve.Options, m, n int) params {
+	p := params{
+		pop:              o.Pop,
+		generations:      o.Generations,
+		mutRate:          o.MutRate,
+		crossRate:        o.CrossRate,
+		tournamentK:      o.TournamentK,
+		elites:           o.Elites,
+		seed:             o.Seed,
+		workers:          o.Workers,
+		noHeuristicSeeds: o.NoHeuristicSeeds,
+		crossover:        o.Crossover,
 	}
-	if c.Generations <= 0 {
-		c.Generations = 300
+	if p.pop <= 0 {
+		p.pop = 80
 	}
-	if c.MutRate <= 0 {
-		c.MutRate = 2.0 / float64(m*n+1)
+	if p.generations <= 0 {
+		p.generations = 300
 	}
-	if c.CrossRate <= 0 {
-		c.CrossRate = 0.9
+	if p.mutRate <= 0 {
+		p.mutRate = 2.0 / float64(m*n+1)
 	}
-	if c.TournamentK <= 0 {
-		c.TournamentK = 3
+	if p.crossRate <= 0 {
+		p.crossRate = 0.9
 	}
-	if c.Elites <= 0 {
-		c.Elites = 2
+	if p.tournamentK <= 0 {
+		p.tournamentK = 3
 	}
-	if c.Elites > c.Pop {
-		c.Elites = c.Pop
+	if p.elites <= 0 {
+		p.elites = 2
 	}
-	if c.Seed == 0 {
-		c.Seed = 1
+	if p.elites > p.pop {
+		p.elites = p.pop
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+	if p.seed == 0 {
+		p.seed = 1
 	}
-	return c
+	if p.workers <= 0 {
+		p.workers = runtime.GOMAXPROCS(0)
+	}
+	return p
 }
 
 // genome is a flat m·n hyperreconfiguration mask.
@@ -284,10 +263,17 @@ type Result struct {
 // synchronized MT-Switch instance and returns the best schedule found.
 // The result is repriced through the model (validating feasibility), so
 // Result.Solution.Cost is trustworthy even if the fast evaluator were
-// wrong — the two are also cross-checked.
-func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*Result, error) {
+// wrong — the two are also cross-checked.  The context is checked once
+// per generation, so cancellation lands within one generation's work.
+func Optimize(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options) (*Result, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("ga: nil instance")
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
 	m, n := ins.NumTasks(), ins.Steps()
 	if n == 0 {
@@ -297,9 +283,10 @@ func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*
 		}
 		return &Result{Solution: &mtswitch.Solution{Schedule: sched, Cost: ins.W}}, nil
 	}
-	cfg = cfg.withDefaults(m, n)
-	r := rand.New(rand.NewSource(cfg.Seed))
-	pool := newEvalPool(ins, opt, cfg.Workers)
+	cfg := gaParams(o, m, n)
+	r := rand.New(rand.NewSource(cfg.seed))
+	pool := newEvalPool(ins, opt, cfg.workers)
+	var stats solve.Stats
 
 	forceStep0 := func(g genome) {
 		for j := 0; j < m; j++ {
@@ -307,8 +294,8 @@ func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*
 		}
 	}
 
-	pop := make([]genome, 0, cfg.Pop)
-	if !cfg.NoHeuristicSeeds {
+	pop := make([]genome, 0, cfg.pop)
+	if !cfg.noHeuristicSeeds {
 		// Initial-only mask.
 		initial := make(genome, m*n)
 		forceStep0(initial)
@@ -320,7 +307,7 @@ func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*
 		}
 		pop = append(pop, every)
 		// Aligned-DP mask.
-		if al, err := mtswitch.SolveAligned(ins, opt); err == nil {
+		if al, err := mtswitch.SolveAligned(ctx, ins, opt); err == nil {
 			g := make(genome, m*n)
 			for j := 0; j < m; j++ {
 				for i := 0; i < n; i++ {
@@ -328,9 +315,11 @@ func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*
 				}
 			}
 			pop = append(pop, g)
+		} else if solve.Checkpoint(ctx) != nil {
+			return nil, err
 		}
 	}
-	for len(pop) < cfg.Pop {
+	for len(pop) < cfg.pop {
 		g := make(genome, m*n)
 		density := r.Float64() * 0.4 // varied sparsity
 		for i := range g {
@@ -340,22 +329,23 @@ func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*
 		pop = append(pop, g)
 	}
 
-	fit := make([]model.Cost, cfg.Pop)
+	fit := make([]model.Cost, cfg.pop)
 	pool.evalRange(pop, fit, 0)
+	stats.Evaluations += int64(cfg.pop)
 
 	bestG := pop[0].clone()
 	bestC := fit[0]
-	for i := 1; i < cfg.Pop; i++ {
+	for i := 1; i < cfg.pop; i++ {
 		if fit[i] < bestC {
 			bestC, bestG = fit[i], pop[i].clone()
 		}
 	}
 
-	history := make([]model.Cost, 0, cfg.Generations)
+	history := make([]model.Cost, 0, cfg.generations)
 	tournament := func() genome {
-		best := r.Intn(cfg.Pop)
-		for k := 1; k < cfg.TournamentK; k++ {
-			c := r.Intn(cfg.Pop)
+		best := r.Intn(cfg.pop)
+		for k := 1; k < cfg.tournamentK; k++ {
+			c := r.Intn(cfg.pop)
 			if fit[c] < fit[best] {
 				best = c
 			}
@@ -363,40 +353,44 @@ func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*
 		return pop[best]
 	}
 
-	next := make([]genome, cfg.Pop)
-	nextFit := make([]model.Cost, cfg.Pop)
-	for gen := 0; gen < cfg.Generations; gen++ {
+	next := make([]genome, cfg.pop)
+	nextFit := make([]model.Cost, cfg.pop)
+	for gen := 0; gen < cfg.generations; gen++ {
+		if err := solve.Checkpoint(ctx); err != nil {
+			return nil, err
+		}
 		// Elitism: copy the current best individuals.
-		order := make([]int, cfg.Pop)
+		order := make([]int, cfg.pop)
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool { return fit[order[a]] < fit[order[b]] })
-		for e := 0; e < cfg.Elites; e++ {
+		for e := 0; e < cfg.elites; e++ {
 			next[e] = pop[order[e]].clone()
 			nextFit[e] = fit[order[e]]
 		}
 		// Generate all children with the sequential random source, then
 		// evaluate them in parallel.
-		for i := cfg.Elites; i < cfg.Pop; i++ {
+		for i := cfg.elites; i < cfg.pop; i++ {
 			var child genome
-			if r.Float64() < cfg.CrossRate {
-				child = crossover(r, cfg.Crossover, m, n, tournament(), tournament())
+			if r.Float64() < cfg.crossRate {
+				child = crossover(r, cfg.crossover, m, n, tournament(), tournament())
 			} else {
 				child = tournament().clone()
 			}
 			for k := range child {
-				if r.Float64() < cfg.MutRate {
+				if r.Float64() < cfg.mutRate {
 					child[k] = !child[k]
 				}
 			}
 			forceStep0(child)
 			next[i] = child
 		}
-		pool.evalRange(next, nextFit, cfg.Elites)
+		pool.evalRange(next, nextFit, cfg.elites)
+		stats.Evaluations += int64(cfg.pop - cfg.elites)
 		pop, next = next, pop
 		fit, nextFit = nextFit, fit
-		for i := 0; i < cfg.Pop; i++ {
+		for i := 0; i < cfg.pop; i++ {
 			if fit[i] < bestC {
 				bestC, bestG = fit[i], pop[i].clone()
 			}
@@ -424,8 +418,9 @@ func Optimize(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*
 	if cost != bestC {
 		return nil, fmt.Errorf("ga: evaluator cost %d disagrees with model cost %d", bestC, cost)
 	}
+	stats.Truncated = true // stochastic search: cost is an upper bound
 	return &Result{
-		Solution: &mtswitch.Solution{Schedule: sched, Cost: cost, Truncated: true},
+		Solution: &mtswitch.Solution{Schedule: sched, Cost: cost, Stats: stats},
 		History:  history,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package ga
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
+	"repro/internal/solve"
 )
 
 var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
@@ -41,12 +43,12 @@ func randomMT(r *rand.Rand, maxM, maxL, maxN int) *model.MTSwitchInstance {
 func TestOptimizeDeterministic(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	ins := randomMT(r, 3, 5, 8)
-	cfg := Config{Pop: 20, Generations: 30, Seed: 7}
-	a, err := Optimize(ins, parallel, cfg)
+	cfg := solve.Options{Pop: 20, Generations: 30, Seed: 7}
+	a, err := Optimize(context.Background(), ins, parallel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Optimize(ins, parallel, cfg)
+	b, err := Optimize(context.Background(), ins, parallel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,8 +66,8 @@ func TestOptimizeFindsOptimumOnSmallInstances(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomMT(r, 2, 4, 5)
-		ex, err1 := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
-		res, err2 := Optimize(ins, parallel, Config{Pop: 40, Generations: 60, Seed: seed})
+		ex, err1 := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{})
+		res, err2 := Optimize(context.Background(), ins, parallel, solve.Options{Pop: 40, Generations: 60, Seed: seed})
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -81,11 +83,11 @@ func TestOptimizeMatchesExactFrequently(t *testing.T) {
 	r := rand.New(rand.NewSource(99))
 	for k := 0; k < 15; k++ {
 		ins := randomMT(r, 2, 4, 6)
-		ex, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
+		ex, err := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Optimize(ins, parallel, Config{Pop: 60, Generations: 80, Seed: int64(k + 1)})
+		res, err := Optimize(context.Background(), ins, parallel, solve.Options{Pop: 60, Generations: 80, Seed: int64(k + 1)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,8 +109,8 @@ func TestOptimizeNeverWorseThanSeeds(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomMT(r, 3, 5, 8)
-		al, err1 := mtswitch.SolveAligned(ins, parallel)
-		res, err2 := Optimize(ins, parallel, Config{Pop: 20, Generations: 10, Seed: seed})
+		al, err1 := mtswitch.SolveAligned(context.Background(), ins, parallel)
+		res, err2 := Optimize(context.Background(), ins, parallel, solve.Options{Pop: 20, Generations: 10, Seed: seed})
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -124,7 +126,7 @@ func TestOptimizeDeterministicAcrossWorkerCounts(t *testing.T) {
 	ins := randomMT(r, 3, 5, 10)
 	var costs []model.Cost
 	for _, workers := range []int{1, 2, 8} {
-		res, err := Optimize(ins, parallel, Config{Pop: 30, Generations: 40, Seed: 5, Workers: workers})
+		res, err := Optimize(context.Background(), ins, parallel, solve.Options{Pop: 30, Generations: 40, Seed: 5, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +140,7 @@ func TestOptimizeDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestOptimizeHistoryMonotone(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	ins := randomMT(r, 3, 5, 10)
-	res, err := Optimize(ins, parallel, Config{Pop: 30, Generations: 50, Seed: 3})
+	res, err := Optimize(context.Background(), ins, parallel, solve.Options{Pop: 30, Generations: 50, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestOptimizeHistoryMonotone(t *testing.T) {
 func TestOptimizeScheduleValid(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	ins := randomMT(r, 3, 6, 12)
-	res, err := Optimize(ins, parallel, Config{Pop: 25, Generations: 25, Seed: 2})
+	res, err := Optimize(context.Background(), ins, parallel, solve.Options{Pop: 25, Generations: 25, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +171,11 @@ func TestOptimizeSequentialUploads(t *testing.T) {
 	seq := model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
 	r := rand.New(rand.NewSource(13))
 	ins := randomMT(r, 2, 4, 6)
-	ex, err := mtswitch.SolveExact(ins, seq, mtswitch.Config{})
+	ex, err := mtswitch.SolveExact(context.Background(), ins, seq, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Optimize(ins, seq, Config{Pop: 40, Generations: 60, Seed: 4})
+	res, err := Optimize(context.Background(), ins, seq, solve.Options{Pop: 40, Generations: 60, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +185,7 @@ func TestOptimizeSequentialUploads(t *testing.T) {
 }
 
 func TestOptimizeNilAndEmpty(t *testing.T) {
-	if _, err := Optimize(nil, parallel, Config{}); err == nil {
+	if _, err := Optimize(context.Background(), nil, parallel, solve.Options{}); err == nil {
 		t.Fatal("accepted nil instance")
 	}
 	tasks := []model.Task{{Name: "A", Local: 1, V: 1}}
@@ -191,7 +193,7 @@ func TestOptimizeNilAndEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Optimize(ins, parallel, Config{})
+	res, err := Optimize(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,12 +251,12 @@ func TestCrossoverOperators(t *testing.T) {
 func TestOptimizeAllCrossovers(t *testing.T) {
 	r := rand.New(rand.NewSource(17))
 	ins := randomMT(r, 3, 5, 8)
-	ex, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{})
+	ex, err := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, kind := range []CrossoverKind{CrossUniform, CrossTwoPoint, CrossTaskRow} {
-		res, err := Optimize(ins, parallel, Config{Pop: 30, Generations: 40, Seed: 2, Crossover: kind})
+		res, err := Optimize(context.Background(), ins, parallel, solve.Options{Pop: 30, Generations: 40, Seed: 2, Crossover: kind})
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -267,17 +269,17 @@ func TestOptimizeAllCrossovers(t *testing.T) {
 	}
 }
 
-func TestConfigDefaults(t *testing.T) {
-	c := Config{}.withDefaults(2, 10)
-	if c.Pop != 80 || c.Generations != 300 || c.TournamentK != 3 || c.Elites != 2 {
-		t.Fatalf("unexpected defaults: %+v", c)
+func TestGAParamDefaults(t *testing.T) {
+	p := gaParams(solve.Options{}, 2, 10)
+	if p.pop != 80 || p.generations != 300 || p.tournamentK != 3 || p.elites != 2 {
+		t.Fatalf("unexpected defaults: %+v", p)
 	}
-	if c.MutRate <= 0 || c.CrossRate != 0.9 || c.Seed != 1 {
-		t.Fatalf("unexpected defaults: %+v", c)
+	if p.mutRate <= 0 || p.crossRate != 0.9 || p.seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", p)
 	}
 	// Elites capped at Pop.
-	c = Config{Pop: 1, Elites: 5}.withDefaults(2, 10)
-	if c.Elites != 1 {
-		t.Fatalf("elites not capped: %+v", c)
+	p = gaParams(solve.Options{Pop: 1, Elites: 5}, 2, 10)
+	if p.elites != 1 {
+		t.Fatalf("elites not capped: %+v", p)
 	}
 }

@@ -20,12 +20,14 @@
 package mtdag
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/dag"
 	"repro/internal/model"
 	"repro/internal/phc"
+	"repro/internal/solve"
 )
 
 // Task is one task of an MT-DAG machine: its DAG-model instance (local
@@ -78,6 +80,13 @@ type Schedule struct {
 	HctxIdx [][]int // [task][step]
 }
 
+// Solution is a solved MT-DAG schedule with its cost and search stats.
+type Solution struct {
+	Schedule *Schedule
+	Cost     model.Cost
+	Stats    solve.Stats
+}
+
 // Cost prices a schedule under the given upload modes, validating
 // feasibility (every step's context requirement must be satisfied).
 func (ins *Instance) Cost(s *Schedule, opt model.CostOptions) (model.Cost, error) {
@@ -119,14 +128,18 @@ const infCost = model.Cost(math.MaxInt64 / 4)
 // MaxStates); per step every state expands to the product of each
 // task's {stay | switch} options.  Exact — the future cost depends only
 // on the current vector, so keeping the cheapest cost per vector is
-// lossless.
-func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) {
+// lossless.  The context is checked once per (step, source-state) pair,
+// so cancellation lands within one vector expansion.
+func Solve(ctx context.Context, ins *Instance, opt model.CostOptions) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
-		return nil, 0, fmt.Errorf("mtdag: nil instance")
+		return nil, fmt.Errorf("mtdag: nil instance")
 	}
 	m := len(ins.Tasks)
 	if ins.n == 0 {
-		return &Schedule{HctxIdx: make([][]int, m)}, 0, nil
+		return &Solution{Schedule: &Schedule{HctxIdx: make([][]int, m)}}, nil
 	}
 	// Joint states are encoded as mixed-radix integers over the catalog
 	// sizes.
@@ -135,7 +148,7 @@ func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) 
 	for j, t := range ins.Tasks {
 		radix[j] = len(t.Inst.General.Hypercontexts)
 		if states > maxStates/radix[j] {
-			return nil, 0, fmt.Errorf("mtdag: joint state space exceeds %d", maxStates)
+			return nil, fmt.Errorf("mtdag: joint state space exceeds %d", maxStates)
 		}
 		states *= radix[j]
 	}
@@ -146,6 +159,7 @@ func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) 
 		}
 	}
 
+	var stats solve.Stats
 	d := make([]model.Cost, states)
 	prev := make([][]int, ins.n) // prev[i][code] = predecessor code
 	cur := make([]model.Cost, states)
@@ -162,6 +176,11 @@ func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) 
 	}
 	// Step 0: every feasible vector, all tasks hyperreconfigure.
 	for code := 0; code < states; code++ {
+		if code&1023 == 0 {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+		}
 		decode(code, vec)
 		ok := true
 		var hyper, reconf model.Cost
@@ -175,6 +194,7 @@ func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) 
 		}
 		if ok {
 			d[code] = hyper + reconf
+			stats.StatesExpanded++
 		}
 	}
 	prev[0] = nil
@@ -192,6 +212,10 @@ func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) 
 			if d[from] >= infCost {
 				continue
 			}
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+			stats.StatesExpanded++
 			decode(from, prevVec)
 			// Expand the per-task option product recursively.
 			var expand func(j int, hyper, reconf model.Cost, code, mult int)
@@ -201,6 +225,8 @@ func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) 
 					if c < cur[code] {
 						cur[code] = c
 						prev[i][code] = from
+					} else {
+						stats.DedupHits++
 					}
 					return
 				}
@@ -228,7 +254,7 @@ func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) 
 		}
 	}
 	if bestCode < 0 {
-		return nil, 0, fmt.Errorf("mtdag: no feasible schedule")
+		return nil, fmt.Errorf("mtdag: no feasible schedule")
 	}
 
 	out := &Schedule{HctxIdx: make([][]int, m)}
@@ -247,12 +273,12 @@ func Solve(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) 
 	}
 	check, err := ins.Cost(out, opt)
 	if err != nil {
-		return nil, 0, fmt.Errorf("mtdag: internal reconstruction error: %w", err)
+		return nil, fmt.Errorf("mtdag: internal reconstruction error: %w", err)
 	}
 	if check != best {
-		return nil, 0, fmt.Errorf("mtdag: DP cost %d disagrees with model cost %d", best, check)
+		return nil, fmt.Errorf("mtdag: DP cost %d disagrees with model cost %d", best, check)
 	}
-	return out, best, nil
+	return &Solution{Schedule: out, Cost: best, Stats: stats}, nil
 }
 
 // maxStates bounds the joint state space (coarse-grained catalogs are
@@ -261,11 +287,17 @@ const maxStates = 2_000_000
 
 // SolvePerTask schedules every task independently with the single-task
 // General DP — optimal for task-sequential uploads (the cost separates)
-// and an upper bound for task-parallel ones.
-func SolvePerTask(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, error) {
-	if ins == nil {
-		return nil, 0, fmt.Errorf("mtdag: nil instance")
+// and an upper bound for task-parallel ones.  Stats aggregate the
+// per-task DP runs; Stats.Truncated is set for task-parallel uploads,
+// where the result is only an upper bound.
+func SolvePerTask(ctx context.Context, ins *Instance, opt model.CostOptions) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
 	}
+	if ins == nil {
+		return nil, fmt.Errorf("mtdag: nil instance")
+	}
+	var stats solve.Stats
 	out := &Schedule{HctxIdx: make([][]int, len(ins.Tasks))}
 	for j, t := range ins.Tasks {
 		// The single-task DP prices init(h) per entry; MT-DAG charges a
@@ -279,17 +311,19 @@ func SolvePerTask(ins *Instance, opt model.CostOptions) (*Schedule, model.Cost, 
 		}
 		sub, err := model.NewGeneralInstance(gen.NumContexts, hs, gen.Seq)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
-		sol, err := phc.SolveGeneral(sub)
+		sol, err := phc.SolveGeneral(ctx, sub)
 		if err != nil {
-			return nil, 0, fmt.Errorf("mtdag: task %q: %w", t.Name, err)
+			return nil, fmt.Errorf("mtdag: task %q: %w", t.Name, err)
 		}
+		stats.Add(sol.Stats)
 		out.HctxIdx[j] = sol.Schedule.HctxIdx
 	}
 	cost, err := ins.Cost(out, opt)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	return out, cost, nil
+	stats.Truncated = opt.HyperUpload == model.TaskParallel || opt.ReconfUpload == model.TaskParallel
+	return &Solution{Schedule: out, Cost: cost, Stats: stats}, nil
 }

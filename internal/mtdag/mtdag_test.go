@@ -1,6 +1,7 @@
 package mtdag
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -56,10 +57,11 @@ func TestSolveKnownOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, cost, err := Solve(ins, parallel)
+	sol, err := Solve(context.Background(), ins, parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
+	sched, cost := sol.Schedule, sol.Cost
 	// Step costs (parallel): B stays in "local" (1/step, never the max
 	// except when A is local too).  A: local,global,local,local with
 	// hypers at 0,1,2.
@@ -162,11 +164,11 @@ func TestQuickSolveMatchesBruteForce(t *testing.T) {
 		f := func(seed int64) bool {
 			r := rand.New(rand.NewSource(seed))
 			ins := randomInstance(t, r)
-			_, cost, err := Solve(ins, opt)
+			sol, err := Solve(context.Background(), ins, opt)
 			if err != nil {
 				return false
 			}
-			return cost == bruteForce(t, ins, opt)
+			return sol.Cost == bruteForce(t, ins, opt)
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 			t.Fatalf("%v/%v: %v", opt.HyperUpload, opt.ReconfUpload, err)
@@ -178,35 +180,35 @@ func TestSolvePerTaskBounds(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	for k := 0; k < 10; k++ {
 		ins := randomInstance(t, r)
-		_, exact, err := Solve(ins, parallel)
+		exact, err := Solve(context.Background(), ins, parallel)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, upper, err := SolvePerTask(ins, parallel)
+		upper, err := SolvePerTask(context.Background(), ins, parallel)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if upper < exact {
-			t.Fatalf("per-task %d below joint optimum %d", upper, exact)
+		if upper.Cost < exact.Cost {
+			t.Fatalf("per-task %d below joint optimum %d", upper.Cost, exact.Cost)
 		}
 		// Under fully sequential uploads the cost separates, so the
 		// per-task solution is optimal.
-		_, exactSeq, err := Solve(ins, sequential)
+		exactSeq, err := Solve(context.Background(), ins, sequential)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, perSeq, err := SolvePerTask(ins, sequential)
+		perSeq, err := SolvePerTask(context.Background(), ins, sequential)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if perSeq != exactSeq {
-			t.Fatalf("sequential per-task %d != joint %d", perSeq, exactSeq)
+		if perSeq.Cost != exactSeq.Cost {
+			t.Fatalf("sequential per-task %d != joint %d", perSeq.Cost, exactSeq.Cost)
 		}
 	}
 }
 
 func TestSolveEmptyAndNil(t *testing.T) {
-	if _, _, err := Solve(nil, parallel); err == nil {
+	if _, err := Solve(context.Background(), nil, parallel); err == nil {
 		t.Fatal("accepted nil")
 	}
 	a := chainTask(t, "A", 1, nil)
@@ -214,14 +216,14 @@ func TestSolveEmptyAndNil(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cost, err := Solve(ins, parallel)
+	sol, err := Solve(context.Background(), ins, parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cost != 0 {
-		t.Fatalf("empty cost = %d", cost)
+	if sol.Cost != 0 {
+		t.Fatalf("empty cost = %d", sol.Cost)
 	}
-	if _, _, err := SolvePerTask(nil, parallel); err == nil {
+	if _, err := SolvePerTask(context.Background(), nil, parallel); err == nil {
 		t.Fatal("accepted nil")
 	}
 }

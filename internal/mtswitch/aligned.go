@@ -1,22 +1,23 @@
 package mtswitch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 // Solution is a solved multi-task schedule with its cost under the cost
-// options it was produced for.
+// options it was produced for.  Stats.Truncated reports that the
+// producing solver had to limit its search (beam cap or candidate cap
+// hit), so Cost is an upper bound rather than a proven optimum.
 type Solution struct {
 	Schedule *model.MTSchedule
 	Cost     model.Cost
-	// Truncated reports that the producing solver had to limit its
-	// search (beam cap or candidate cap hit), so Cost is an upper bound
-	// rather than a proven optimum.
-	Truncated bool
+	Stats    solve.Stats
 }
 
 const infCost = model.Cost(math.MaxInt64 / 4)
@@ -36,7 +37,10 @@ const infCost = model.Cost(math.MaxInt64 / 4)
 // is an upper bound for SolveExact; the gap between the two is exactly
 // the benefit of partial hyperreconfiguration (the paper's multi-task
 // contribution).
-func SolveAligned(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
+func SolveAligned(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("mtswitch: nil instance")
 	}
@@ -61,8 +65,13 @@ func SolveAligned(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution
 		d[e] = infCost
 	}
 
+	var stats solve.Stats
 	unions := make([]bitset.Set, m)
 	for e := 1; e <= n; e++ {
+		if err := solve.Checkpoint(ctx); err != nil {
+			return nil, err
+		}
+		stats.StatesExpanded += int64(e)
 		for j := range unions {
 			unions[j] = bitset.New(ins.Tasks[j].Local)
 		}
@@ -112,7 +121,7 @@ func SolveAligned(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution
 	if cost != d[n]+ins.W {
 		return nil, fmt.Errorf("mtswitch: aligned DP cost %d disagrees with model cost %d", d[n]+ins.W, cost)
 	}
-	return &Solution{Schedule: sched, Cost: cost}, nil
+	return &Solution{Schedule: sched, Cost: cost, Stats: stats}, nil
 }
 
 // LowerBound is an admissible bound on any schedule's cost under the
@@ -150,13 +159,16 @@ func LowerBound(ins *model.MTSwitchInstance, opt model.CostOptions) model.Cost {
 // BruteForce exhausts every joint hyperreconfiguration mask (step 0
 // forced) with canonical hypercontexts — the reference optimum for
 // tests.  The search space (2^(n-1))^m is capped at ~4 million.
-func BruteForce(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
+func BruteForce(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("mtswitch: nil instance")
 	}
 	m, n := ins.NumTasks(), ins.Steps()
 	if n == 0 {
-		return SolveAligned(ins, opt)
+		return SolveAligned(ctx, ins, opt)
 	}
 	bits := (n - 1) * m
 	if bits > 22 {
@@ -169,7 +181,14 @@ func BruteForce(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, 
 		mask[j] = make([]bool, n)
 		mask[j][0] = true
 	}
+	var stats solve.Stats
 	for code := 0; code < 1<<uint(bits); code++ {
+		if code&1023 == 0 {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+		}
+		stats.Evaluations++
 		v := code
 		for j := 0; j < m; j++ {
 			for i := 1; i < n; i++ {
@@ -197,5 +216,5 @@ func BruteForce(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, 
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{Schedule: sched, Cost: best}, nil
+	return &Solution{Schedule: sched, Cost: best, Stats: stats}, nil
 }

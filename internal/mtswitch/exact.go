@@ -1,6 +1,7 @@
 package mtswitch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,29 +9,8 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/model"
 	"repro/internal/phc"
+	"repro/internal/solve"
 )
-
-// Config tunes SolveExact.
-type Config struct {
-	// MaxStates caps the per-step state frontier.  While the frontier
-	// stays within the cap the search is exhaustive over canonical
-	// schedules and the result is optimal; once truncation kicks in the
-	// solver degrades to a beam search and the result is an upper
-	// bound (Solution.Truncated reports which happened).  0 selects
-	// DefaultMaxStates.
-	MaxStates int
-	// MaxCandidates caps, per task and step, how many canonical
-	// hypercontext candidates (interval unions of increasing horizon)
-	// an install may choose from.  0 means unlimited (required for
-	// exactness); small values (3-6) make beam runs on long traces
-	// cheap.  The shortest horizons plus the full-suffix union are
-	// kept, since those bracket the useful range.
-	MaxCandidates int
-	// Workers bounds the goroutines used by solvers with
-	// embarrassingly parallel structure (currently the private-global
-	// window sweep).  0 means GOMAXPROCS.
-	Workers int
-}
 
 // DefaultMaxStates keeps the solver exact on the small instances used
 // for validation while bounding memory on adversarial inputs.
@@ -77,27 +57,38 @@ func (s *state) key() string {
 // Like the paper's own bound O(m·n⁴·l^{2m}), the state space is
 // exponential in the number of tasks; the paper itself fell back to a
 // genetic algorithm for its m=4 experiment.  SolveExact is exact within
-// Config.MaxStates and degrades to a beam search beyond it.
+// Options.MaxStates and degrades to a beam search beyond it
+// (Stats.Truncated reports which happened).  The context is checked
+// once per frontier state, so cancellation lands within one state
+// expansion.
 //
 // When both uploads are task-sequential the cost decomposes per task
 // and the problem is solved exactly in O(m·n²) by independent
 // single-task DPs; SolveExact takes that fast path automatically.
-func SolveExact(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) (*Solution, error) {
+func SolveExact(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("mtswitch: nil instance")
 	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	m, n := ins.NumTasks(), ins.Steps()
 	if n == 0 {
-		return SolveAligned(ins, opt)
+		return SolveAligned(ctx, ins, opt)
 	}
 	if opt.HyperUpload == model.TaskSequential && opt.ReconfUpload == model.TaskSequential {
-		return solveSequentialDecomposed(ins, opt)
+		return solveSequentialDecomposed(ctx, ins, opt)
 	}
 
-	maxStates := cfg.MaxStates
+	maxStates := o.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
+
+	var stats solve.Stats
 
 	// cand[j][i]: distinct values of U_j(i,e), e ≥ i, by growing horizon.
 	cand := make([][][]bitset.Set, m)
@@ -114,9 +105,10 @@ func SolveExact(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) 
 					last = c
 				}
 			}
-			if cfg.MaxCandidates > 0 && len(list) > cfg.MaxCandidates {
+			if o.MaxCandidates > 0 && len(list) > o.MaxCandidates {
 				// Keep the shortest horizons plus the full-suffix union.
-				trimmed := append([]bitset.Set(nil), list[:cfg.MaxCandidates-1]...)
+				stats.CandidatesPruned += int64(len(list) - o.MaxCandidates)
+				trimmed := append([]bitset.Set(nil), list[:o.MaxCandidates-1]...)
 				trimmed = append(trimmed, list[len(list)-1])
 				list = trimmed
 			}
@@ -156,7 +148,18 @@ func SolveExact(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) 
 				}
 				total := st.cost + hyperC + reconf
 				k := cur.key()
-				if old, ok := next[k]; !ok || total < old.cost {
+				stats.StatesExpanded++
+				if old, ok := next[k]; ok {
+					stats.DedupHits++
+					if total < old.cost {
+						next[k] = &state{
+							sets:  append([]bitset.Set(nil), cur.sets...),
+							cost:  total,
+							prev:  st,
+							hyper: append([]bool(nil), cur.hyper...),
+						}
+					}
+				} else {
 					next[k] = &state{
 						sets:  append([]bitset.Set(nil), cur.sets...),
 						cost:  total,
@@ -185,6 +188,9 @@ func SolveExact(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) 
 		}
 
 		for _, st := range frontier {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
 			expand(st, 0)
 		}
 
@@ -227,7 +233,8 @@ func SolveExact(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) 
 	if cost > best.cost {
 		return nil, fmt.Errorf("mtswitch: canonical repricing %d above DP bound %d", cost, best.cost)
 	}
-	return &Solution{Schedule: sched, Cost: cost, Truncated: truncated || cfg.MaxCandidates > 0}, nil
+	stats.Truncated = truncated || o.MaxCandidates > 0
+	return &Solution{Schedule: sched, Cost: cost, Stats: stats}, nil
 }
 
 // solveSequentialDecomposed handles the fully task-sequential cost,
@@ -237,18 +244,20 @@ func SolveExact(ins *model.MTSwitchInstance, opt model.CostOptions, cfg Config) 
 //	  = Σ_j single-task-cost_j(W = v_j) + n·|h^pub| + W.
 //
 // Each per-task subproblem is the polynomial single-task Switch DP.
-func solveSequentialDecomposed(ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
+func solveSequentialDecomposed(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions) (*Solution, error) {
 	m, n := ins.NumTasks(), ins.Steps()
+	var stats solve.Stats
 	mask := make([][]bool, m)
 	for j := 0; j < m; j++ {
 		single, err := model.NewSwitchInstance(ins.Tasks[j].Local, ins.Tasks[j].V, ins.Reqs[j])
 		if err != nil {
 			return nil, fmt.Errorf("mtswitch: task %q: %w", ins.Tasks[j].Name, err)
 		}
-		sol, err := phc.SolveSwitch(single)
+		sol, err := phc.SolveSwitch(ctx, single)
 		if err != nil {
 			return nil, fmt.Errorf("mtswitch: task %q: %w", ins.Tasks[j].Name, err)
 		}
+		stats.Add(sol.Stats)
 		mask[j] = make([]bool, n)
 		for _, s := range sol.Seg.Starts {
 			mask[j][s] = true
@@ -262,5 +271,5 @@ func solveSequentialDecomposed(ins *model.MTSwitchInstance, opt model.CostOption
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{Schedule: sched, Cost: cost}, nil
+	return &Solution{Schedule: sched, Cost: cost, Stats: stats}, nil
 }

@@ -1,12 +1,14 @@
 package mtswitch
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 func reqs(universe int, members ...[]int) []bitset.Set {
@@ -74,7 +76,7 @@ func randomMT(r *rand.Rand, maxM, maxL, maxN int) *model.MTSwitchInstance {
 
 func TestSolveAlignedValidSchedule(t *testing.T) {
 	ins := phased(t)
-	sol, err := SolveAligned(ins, parallel)
+	sol, err := SolveAligned(context.Background(), ins, parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,15 +95,15 @@ func TestSolveAlignedValidSchedule(t *testing.T) {
 
 func TestSolveExactBeatsOrMatchesAligned(t *testing.T) {
 	ins := phased(t)
-	al, err := SolveAligned(ins, parallel)
+	al, err := SolveAligned(context.Background(), ins, parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := SolveExact(ins, parallel, Config{})
+	ex, err := SolveExact(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ex.Truncated {
+	if ex.Stats.Truncated {
 		t.Fatal("exact solver truncated on a tiny instance")
 	}
 	if ex.Cost > al.Cost {
@@ -115,11 +117,11 @@ func TestSolveExactBeatsOrMatchesAligned(t *testing.T) {
 func TestSolveExactMatchesBruteForceFixed(t *testing.T) {
 	ins := phased(t)
 	// (n-1)*m = 10 ≤ 22: brute force feasible.
-	bf, err := BruteForce(ins, parallel)
+	bf, err := BruteForce(context.Background(), ins, parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := SolveExact(ins, parallel, Config{})
+	ex, err := SolveExact(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,12 +134,12 @@ func TestQuickSolveExactMatchesBruteForceParallel(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomMT(r, 3, 4, 5) // (n-1)*m ≤ 12
-		bf, err1 := BruteForce(ins, parallel)
-		ex, err2 := SolveExact(ins, parallel, Config{})
+		bf, err1 := BruteForce(context.Background(), ins, parallel)
+		ex, err2 := SolveExact(context.Background(), ins, parallel, solve.Options{})
 		if err1 != nil || err2 != nil {
 			return false
 		}
-		return ex.Cost == bf.Cost && !ex.Truncated
+		return ex.Cost == bf.Cost && !ex.Stats.Truncated
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -148,8 +150,8 @@ func TestQuickSolveExactMatchesBruteForceSequential(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomMT(r, 3, 4, 5)
-		bf, err1 := BruteForce(ins, sequential)
-		ex, err2 := SolveExact(ins, sequential, Config{})
+		bf, err1 := BruteForce(context.Background(), ins, sequential)
+		ex, err2 := SolveExact(context.Background(), ins, sequential, solve.Options{})
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -165,8 +167,8 @@ func TestQuickMixedUploadModes(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomMT(r, 2, 4, 5)
-		bf, err1 := BruteForce(ins, mixed)
-		ex, err2 := SolveExact(ins, mixed, Config{})
+		bf, err1 := BruteForce(context.Background(), ins, mixed)
+		ex, err2 := SolveExact(context.Background(), ins, mixed, solve.Options{})
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -182,8 +184,8 @@ func TestQuickOrderingInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomMT(r, 3, 5, 6)
-		ex, err1 := SolveExact(ins, parallel, Config{})
-		al, err2 := SolveAligned(ins, parallel)
+		ex, err1 := SolveExact(context.Background(), ins, parallel, solve.Options{})
+		al, err2 := SolveAligned(context.Background(), ins, parallel)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -200,11 +202,11 @@ func TestPartialBeatsAlignedOnMisalignedPhases(t *testing.T) {
 	// misaligned phase changes force aligned schedules to either pay
 	// extra hyperreconfigurations or hold oversized hypercontexts.
 	ins := phased(t)
-	al, err := SolveAligned(ins, parallel)
+	al, err := SolveAligned(context.Background(), ins, parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := SolveExact(ins, parallel, Config{})
+	ex, err := SolveExact(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +220,7 @@ func TestSolveExactEmptyRequirements(t *testing.T) {
 	// hyperreconfiguration but allow empty hypercontexts.
 	tasks := []model.Task{{Name: "A", Local: 2, V: 1}}
 	ins := mustMT(t, tasks, [][]bitset.Set{reqs(2, nil, nil)})
-	sol, err := SolveExact(ins, parallel, Config{})
+	sol, err := SolveExact(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +256,7 @@ func TestBruteForceCap(t *testing.T) {
 		}
 		return ins
 	}()
-	if _, err := BruteForce(big, parallel); err == nil {
+	if _, err := BruteForce(context.Background(), big, parallel); err == nil {
 		t.Fatal("accepted oversized brute force")
 	}
 }
@@ -262,17 +264,17 @@ func TestBruteForceCap(t *testing.T) {
 func TestSolveExactBeamStillValid(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	ins := randomMT(r, 3, 6, 8)
-	sol, err := SolveExact(ins, parallel, Config{MaxStates: 2, MaxCandidates: 2})
+	sol, err := SolveExact(context.Background(), ins, parallel, solve.Options{MaxStates: 2, MaxCandidates: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sol.Truncated {
+	if !sol.Stats.Truncated {
 		t.Fatal("beam run should report truncation")
 	}
 	if err := ins.Validate(sol.Schedule); err != nil {
 		t.Fatalf("beam schedule invalid: %v", err)
 	}
-	ex, err := SolveExact(ins, parallel, Config{})
+	ex, err := SolveExact(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,13 +284,13 @@ func TestSolveExactBeamStillValid(t *testing.T) {
 }
 
 func TestNilInstances(t *testing.T) {
-	if _, err := SolveAligned(nil, parallel); err == nil {
+	if _, err := SolveAligned(context.Background(), nil, parallel); err == nil {
 		t.Fatal("SolveAligned accepted nil")
 	}
-	if _, err := SolveExact(nil, parallel, Config{}); err == nil {
+	if _, err := SolveExact(context.Background(), nil, parallel, solve.Options{}); err == nil {
 		t.Fatal("SolveExact accepted nil")
 	}
-	if _, err := BruteForce(nil, parallel); err == nil {
+	if _, err := BruteForce(context.Background(), nil, parallel); err == nil {
 		t.Fatal("BruteForce accepted nil")
 	}
 }

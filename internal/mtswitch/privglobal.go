@@ -1,12 +1,14 @@
 package mtswitch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 // PrivateGlobalInstance extends a fully synchronized MT-Switch instance
@@ -72,8 +74,9 @@ type PGSolution struct {
 	// union for that window).
 	Windows []*Solution
 	Cost    model.Cost
-	// Truncated mirrors Solution.Truncated across all windows.
-	Truncated bool
+	// Stats aggregates the window solves; Stats.Truncated mirrors
+	// Solution.Stats.Truncated across all selected windows.
+	Stats solve.Stats
 }
 
 // SolvePrivateGlobal chooses global hyperreconfiguration windows by an
@@ -89,9 +92,15 @@ type PGSolution struct {
 // If even single-step windows are infeasible at some step (two tasks
 // demand the same private switch at the same time), no schedule exists
 // and an error is returned.
-func SolvePrivateGlobal(ins *PrivateGlobalInstance, opt model.CostOptions, cfg Config) (*PGSolution, error) {
+func SolvePrivateGlobal(ctx context.Context, ins *PrivateGlobalInstance, opt model.CostOptions, o solve.Options) (*PGSolution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("mtswitch: nil instance")
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
 	m, n := ins.Base.NumTasks(), ins.Base.Steps()
 	if n == 0 {
@@ -108,7 +117,7 @@ func SolvePrivateGlobal(ins *PrivateGlobalInstance, opt model.CostOptions, cfg C
 		sol      *Solution
 	}
 	window := make([][]windowResult, n+1) // window[a][b]
-	workers := cfg.Workers
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -148,12 +157,16 @@ func SolvePrivateGlobal(ins *PrivateGlobalInstance, opt model.CostOptions, cfg C
 					if !feasible {
 						continue
 					}
+					if err := solve.Checkpoint(ctx); err != nil {
+						errOnce.Do(func() { sweepErr = err })
+						return
+					}
 					sub, err := extendedWindowInstance(ins, a, b, unions)
 					if err != nil {
 						errOnce.Do(func() { sweepErr = err })
 						return
 					}
-					sol, err := SolveExact(sub, opt, cfg)
+					sol, err := SolveExact(ctx, sub, opt, o)
 					if err != nil {
 						errOnce.Do(func() { sweepErr = err })
 						return
@@ -203,7 +216,7 @@ func SolvePrivateGlobal(ins *PrivateGlobalInstance, opt model.CostOptions, cfg C
 			b = starts[k+1]
 		}
 		out.Windows = append(out.Windows, window[a][b].sol)
-		out.Truncated = out.Truncated || window[a][b].sol.Truncated
+		out.Stats.Add(window[a][b].sol.Stats)
 	}
 	return out, nil
 }

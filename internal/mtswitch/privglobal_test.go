@@ -1,10 +1,12 @@
 package mtswitch
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 // pgFixture: two tasks with one local switch each; 2 private global
@@ -56,7 +58,7 @@ func TestNewPrivateGlobalInstanceValidation(t *testing.T) {
 
 func TestSolvePrivateGlobalSplitsOnConflict(t *testing.T) {
 	ins := pgFixture(t)
-	sol, err := SolvePrivateGlobal(ins, parallel, Config{})
+	sol, err := SolvePrivateGlobal(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestSolvePrivateGlobalInfeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SolvePrivateGlobal(ins, parallel, Config{}); err == nil {
+	if _, err := SolvePrivateGlobal(context.Background(), ins, parallel, solve.Options{}); err == nil {
 		t.Fatal("accepted instance with a per-step private conflict")
 	}
 }
@@ -119,14 +121,14 @@ func TestSolvePrivateGlobalNoPrivateDemand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolvePrivateGlobal(ins, parallel, Config{})
+	sol, err := SolvePrivateGlobal(context.Background(), ins, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sol.GlobalStarts) != 1 {
 		t.Fatalf("expected one window, got %v", sol.GlobalStarts)
 	}
-	local, err := SolveExact(base, parallel, Config{})
+	local, err := SolveExact(context.Background(), base, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,14 +148,14 @@ func TestSolvePrivateGlobalEmpty(t *testing.T) {
 		PrivReqs: [][]bitset.Set{{}, {}},
 		W:        1,
 	}
-	sol, err := SolvePrivateGlobal(empty, parallel, Config{})
+	sol, err := SolvePrivateGlobal(context.Background(), empty, parallel, solve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sol.Cost != 0 {
 		t.Fatalf("empty cost = %d", sol.Cost)
 	}
-	if _, err := SolvePrivateGlobal(nil, parallel, Config{}); err == nil {
+	if _, err := SolvePrivateGlobal(context.Background(), nil, parallel, solve.Options{}); err == nil {
 		t.Fatal("accepted nil")
 	}
 }

@@ -1,10 +1,12 @@
 package phc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 // CostFunc prices an arbitrary hypercontext (a switch subset).  It must
@@ -28,7 +30,10 @@ type CostFunc func(h bitset.Set) model.Cost
 //
 // The Greedy solution seeds the incumbent.  Worst case exponential;
 // instances are capped at n ≤ 64.
-func SolveArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error) {
+func SolveArbitraryCost(ctx context.Context, ins *model.SwitchInstance, f CostFunc) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -50,9 +55,10 @@ func SolveArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error
 	}
 
 	// Seed the incumbent with the greedy segmentation priced under f.
+	var stats solve.Stats
 	best := infCost
 	var bestStarts []int
-	if g, err := Greedy(ins); err == nil {
+	if g, err := Greedy(ctx, ins); err == nil {
 		if c, err := costUnderF(ins, g.Seg, f); err == nil {
 			best = c
 			bestStarts = append([]int(nil), g.Seg.Starts...)
@@ -60,8 +66,19 @@ func SolveArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error
 	}
 
 	starts := make([]int, 0, n)
+	var dfsErr error
 	var dfs func(pos int, acc model.Cost)
 	dfs = func(pos int, acc model.Cost) {
+		if dfsErr != nil {
+			return
+		}
+		stats.StatesExpanded++
+		if stats.StatesExpanded&1023 == 0 {
+			if err := solve.Checkpoint(ctx); err != nil {
+				dfsErr = err
+				return
+			}
+		}
 		if pos == n {
 			if acc < best {
 				best = acc
@@ -70,6 +87,7 @@ func SolveArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error
 			return
 		}
 		if acc+ins.W+slb[pos] >= best {
+			stats.CandidatesPruned++
 			return
 		}
 		starts = append(starts, pos)
@@ -83,11 +101,16 @@ func SolveArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error
 			// slb[end] shrinks.
 			if acc+segCost+slb[end] < best {
 				dfs(end, acc+segCost)
+			} else {
+				stats.CandidatesPruned++
 			}
 		}
 		starts = starts[:len(starts)-1]
 	}
 	dfs(0, 0)
+	if dfsErr != nil {
+		return nil, dfsErr
+	}
 
 	if bestStarts == nil {
 		return nil, fmt.Errorf("phc: branch-and-bound found no schedule")
@@ -97,7 +120,7 @@ func SolveArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{Seg: seg, Hypercontexts: hs, Cost: best}, nil
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: best, Stats: stats}, nil
 }
 
 // costUnderF prices a segmentation with canonical hypercontexts under
@@ -117,7 +140,10 @@ func costUnderF(ins *model.SwitchInstance, seg model.Segmentation, f CostFunc) (
 
 // BruteForceArbitraryCost exhausts all segmentations under f; reference
 // optimum for tests (n ≤ 16).
-func BruteForceArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, error) {
+func BruteForceArbitraryCost(ctx context.Context, ins *model.SwitchInstance, f CostFunc) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -131,9 +157,15 @@ func BruteForceArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, 
 	if n > 16 {
 		return nil, fmt.Errorf("phc: brute force capped at n=16, got %d", n)
 	}
+	var stats solve.Stats
 	best := infCost
 	var bestSeg model.Segmentation
 	for mask := 0; mask < 1<<(n-1); mask++ {
+		if mask&1023 == 0 {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+		}
 		starts := []int{0}
 		for i := 1; i < n; i++ {
 			if mask&(1<<(i-1)) != 0 {
@@ -145,6 +177,7 @@ func BruteForceArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, 
 		if err != nil {
 			return nil, err
 		}
+		stats.Evaluations++
 		if c < best {
 			best = c
 			bestSeg = model.Segmentation{Starts: append([]int(nil), starts...)}
@@ -154,5 +187,5 @@ func BruteForceArbitraryCost(ins *model.SwitchInstance, f CostFunc) (*Solution, 
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{Seg: bestSeg, Hypercontexts: hs, Cost: best}, nil
+	return &Solution{Seg: bestSeg, Hypercontexts: hs, Cost: best, Stats: stats}, nil
 }

@@ -1,6 +1,7 @@
 package phc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -23,8 +24,8 @@ func TestSolveArbitraryCostReducesToSwitch(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomInstance(r, 5, 10)
-		bb, err1 := SolveArbitraryCost(ins, cardinality)
-		dp, err2 := SolveSwitch(ins)
+		bb, err1 := SolveArbitraryCost(context.Background(), ins, cardinality)
+		dp, err2 := SolveSwitch(context.Background(), ins)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -39,8 +40,8 @@ func TestQuickSolveArbitraryMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomInstance(r, 5, 8)
-		bb, err1 := SolveArbitraryCost(ins, quadratic)
-		bf, err2 := BruteForceArbitraryCost(ins, quadratic)
+		bb, err1 := SolveArbitraryCost(context.Background(), ins, quadratic)
+		bf, err2 := BruteForceArbitraryCost(context.Background(), ins, quadratic)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -58,7 +59,7 @@ func TestSolveArbitraryQuadraticSplitsMore(t *testing.T) {
 	ins := mustSwitch(t, 4, 1, reqs(4,
 		[]int{0}, []int{1}, []int{2}, []int{3},
 	))
-	sol, err := SolveArbitraryCost(ins, quadratic)
+	sol, err := SolveArbitraryCost(context.Background(), ins, quadratic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,23 +75,23 @@ func TestSolveArbitraryQuadraticSplitsMore(t *testing.T) {
 
 func TestSolveArbitraryValidation(t *testing.T) {
 	ins := mustSwitch(t, 2, 1, reqs(2, []int{0}))
-	if _, err := SolveArbitraryCost(nil, cardinality); err == nil {
+	if _, err := SolveArbitraryCost(context.Background(), nil, cardinality); err == nil {
 		t.Fatal("accepted nil instance")
 	}
-	if _, err := SolveArbitraryCost(ins, nil); err == nil {
+	if _, err := SolveArbitraryCost(context.Background(), ins, nil); err == nil {
 		t.Fatal("accepted nil cost function")
 	}
 	long := make([]bitset.Set, 65)
 	for i := range long {
 		long[i] = bitset.New(1)
 	}
-	if _, err := SolveArbitraryCost(mustSwitch(t, 1, 1, long), cardinality); err == nil {
+	if _, err := SolveArbitraryCost(context.Background(), mustSwitch(t, 1, 1, long), cardinality); err == nil {
 		t.Fatal("accepted n > 64")
 	}
 }
 
 func TestSolveArbitraryEmpty(t *testing.T) {
-	sol, err := SolveArbitraryCost(mustSwitch(t, 2, 1, nil), cardinality)
+	sol, err := SolveArbitraryCost(context.Background(), mustSwitch(t, 2, 1, nil), cardinality)
 	if err != nil || sol.Cost != 0 {
 		t.Fatalf("empty: %v %+v", err, sol)
 	}
@@ -101,7 +102,7 @@ func TestBruteForceArbitraryCaps(t *testing.T) {
 	for i := range long {
 		long[i] = bitset.New(1)
 	}
-	if _, err := BruteForceArbitraryCost(mustSwitch(t, 1, 1, long), cardinality); err == nil {
+	if _, err := BruteForceArbitraryCost(context.Background(), mustSwitch(t, 1, 1, long), cardinality); err == nil {
 		t.Fatal("accepted n > 16")
 	}
 }

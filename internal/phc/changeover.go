@@ -1,10 +1,12 @@
 package phc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 // SolveChangeover schedules a Switch-model instance under the
@@ -26,7 +28,10 @@ import (
 // so the global optimum can be (rarely, and never by more than the
 // saved difference bits) below this value — ExactChangeoverSmall
 // verifies the gap on small instances.
-func SolveChangeover(ins *model.SwitchInstance) (*Solution, error) {
+func SolveChangeover(ctx context.Context, ins *model.SwitchInstance) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -58,17 +63,23 @@ func SolveChangeover(ins *model.SwitchInstance) (*Solution, error) {
 		}
 	}
 
+	var stats solve.Stats
 	for b := 0; b < n; b++ {
+		if err := solve.Checkpoint(ctx); err != nil {
+			return nil, err
+		}
 		for a := 0; a <= b; a++ {
 			run := model.Cost(u[a][b].Count()) * model.Cost(b-a+1)
 			if a == 0 {
 				d[a][b] = run + ins.W + model.Cost(empty.SymmetricDifferenceCount(u[a][b]))
+				stats.StatesExpanded++
 				continue
 			}
 			for ap := 0; ap < a; ap++ {
 				if d[ap][a-1] >= infCost {
 					continue
 				}
+				stats.StatesExpanded++
 				c := d[ap][a-1] + ins.W + model.Cost(u[ap][a-1].SymmetricDifferenceCount(u[a][b])) + run
 				if c < d[a][b] {
 					d[a][b] = c
@@ -113,7 +124,7 @@ func SolveChangeover(ins *model.SwitchInstance) (*Solution, error) {
 	if check != best {
 		return nil, fmt.Errorf("phc: changeover DP cost %d disagrees with model cost %d", best, check)
 	}
-	return &Solution{Seg: seg, Hypercontexts: hs, Cost: best}, nil
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: best, Stats: stats}, nil
 }
 
 // ExactChangeoverSmall finds the true optimum of the changeover variant
@@ -121,7 +132,10 @@ func SolveChangeover(ins *model.SwitchInstance) (*Solution, error) {
 // of hypercontexts ⊇ segment union via an inner DP over superset
 // assignments.  Exponential in both n and the universe size; inputs are
 // capped (n ≤ 10, universe ≤ 12).  Used to validate SolveChangeover.
-func ExactChangeoverSmall(ins *model.SwitchInstance) (*Solution, error) {
+func ExactChangeoverSmall(ctx context.Context, ins *model.SwitchInstance) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -147,11 +161,15 @@ func ExactChangeoverSmall(ins *model.SwitchInstance) (*Solution, error) {
 		return c
 	}
 
+	var stats solve.Stats
 	best := infCost
 	var bestSeg model.Segmentation
 	var bestHs []bitset.Set
 
 	for segMask := 0; segMask < 1<<(n-1); segMask++ {
+		if err := solve.Checkpoint(ctx); err != nil {
+			return nil, err
+		}
 		starts := []int{0}
 		for i := 1; i < n; i++ {
 			if segMask&(1<<(i-1)) != 0 {
@@ -182,7 +200,13 @@ func ExactChangeoverSmall(ins *model.SwitchInstance) (*Solution, error) {
 				for sub := rest; ; sub = (sub - 1) & rest {
 					h := unions[k] | sub
 					hc := c + ins.W + model.Cost(popcount(prevMask^h)) + model.Cost(popcount(h))*model.Cost(lens[k])
-					if old, ok := next[h]; !ok || hc < old {
+					stats.StatesExpanded++
+					if old, ok := next[h]; ok {
+						stats.DedupHits++
+						if hc < old {
+							next[h] = hc
+						}
+					} else {
 						next[h] = hc
 					}
 					if sub == 0 {
@@ -211,5 +235,5 @@ func ExactChangeoverSmall(ins *model.SwitchInstance) (*Solution, error) {
 		return nil, err
 	}
 	bestHs = hs
-	return &Solution{Seg: bestSeg, Hypercontexts: bestHs, Cost: best}, nil
+	return &Solution{Seg: bestSeg, Hypercontexts: bestHs, Cost: best, Stats: stats}, nil
 }

@@ -1,6 +1,7 @@
 package phc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestSolveChangeoverEmpty(t *testing.T) {
-	sol, err := SolveChangeover(mustSwitch(t, 3, 1, nil))
+	sol, err := SolveChangeover(context.Background(), mustSwitch(t, 3, 1, nil))
 	if err != nil || sol.Cost != 0 {
 		t.Fatalf("empty changeover: %v %+v", err, sol)
 	}
@@ -20,7 +21,7 @@ func TestSolveChangeoverKnown(t *testing.T) {
 	// Single step {0,1}: one segment, cost = W + |{0,1}| (changeover from
 	// empty) + 2 (one reconfiguration) = 1+2+2 = 5.
 	ins := mustSwitch(t, 2, 1, reqs(2, []int{0, 1}))
-	sol, err := SolveChangeover(ins)
+	sol, err := SolveChangeover(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestSolveChangeoverPrefersOverlap(t *testing.T) {
 	ins := mustSwitch(t, 3, 1, reqs(3,
 		[]int{0, 1}, []int{0, 1}, []int{1, 2}, []int{1, 2},
 	))
-	sol, err := SolveChangeover(ins)
+	sol, err := SolveChangeover(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,8 +75,8 @@ func TestQuickChangeoverVsExact(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		dp, err1 := SolveChangeover(ins)
-		ex, err2 := ExactChangeoverSmall(ins)
+		dp, err1 := SolveChangeover(context.Background(), ins)
+		ex, err2 := ExactChangeoverSmall(context.Background(), ins)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -100,20 +101,20 @@ func TestExactChangeoverSmallCaps(t *testing.T) {
 		big[i] = bitset.New(2)
 	}
 	ins := mustSwitch(t, 2, 1, big)
-	if _, err := ExactChangeoverSmall(ins); err == nil {
+	if _, err := ExactChangeoverSmall(context.Background(), ins); err == nil {
 		t.Fatal("accepted n > 10")
 	}
 	wide := mustSwitch(t, 13, 1, reqs(13, []int{0}))
-	if _, err := ExactChangeoverSmall(wide); err == nil {
+	if _, err := ExactChangeoverSmall(context.Background(), wide); err == nil {
 		t.Fatal("accepted universe > 12")
 	}
 }
 
 func TestChangeoverNil(t *testing.T) {
-	if _, err := SolveChangeover(nil); err == nil {
+	if _, err := SolveChangeover(context.Background(), nil); err == nil {
 		t.Fatal("accepted nil")
 	}
-	if _, err := ExactChangeoverSmall(nil); err == nil {
+	if _, err := ExactChangeoverSmall(context.Background(), nil); err == nil {
 		t.Fatal("accepted nil")
 	}
 }

@@ -1,10 +1,12 @@
 package phc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 // SolveSwitchFast is the pointer-technique variant of SolveSwitch the
@@ -34,7 +36,10 @@ import (
 // quickly (typical for looping computations).  Worst case the scan
 // degenerates to the plain O(n²) DP; the result is always identical
 // (property-tested against SolveSwitch).
-func SolveSwitchFast(ins *model.SwitchInstance) (*Solution, error) {
+func SolveSwitchFast(ctx context.Context, ins *model.SwitchInstance) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -68,8 +73,12 @@ func SolveSwitchFast(ins *model.SwitchInstance) (*Solution, error) {
 	prefMin[0] = d[0] // d[0] − σ*·0
 	prefArg[0] = 0
 
+	var stats solve.Stats
 	u := bitset.New(ins.Universe)
 	for e := 1; e <= n; e++ {
+		if err := solve.Checkpoint(ctx); err != nil {
+			return nil, err
+		}
 		// Advance the last-occurrence pointers with step e-1.
 		ins.Reqs[e-1].ForEach(func(x int) { lastOcc[x] = e - 1 })
 		sat := n // no saturated region by default
@@ -96,6 +105,10 @@ func SolveSwitchFast(ins *model.SwitchInstance) (*Solution, error) {
 		bestS := 0
 		// Saturated region: s ≤ sat, all with per-step size σ*.
 		if sat >= 0 && sat <= e-1 {
+			stats.StatesExpanded++
+			// The pointer technique collapses the saturated starts
+			// into one prefix-minimum lookup.
+			stats.CandidatesPruned += int64(sat)
 			if c := prefMin[sat] + ins.W + sigma*model.Cost(e); c < best {
 				best = c
 				bestS = prefArg[sat]
@@ -110,6 +123,7 @@ func SolveSwitchFast(ins *model.SwitchInstance) (*Solution, error) {
 		for s := e - 1; s >= low; s-- {
 			u.UnionWith(ins.Reqs[s])
 			c := d[s] + ins.W + model.Cost(u.Count())*model.Cost(e-s)
+			stats.StatesExpanded++
 			if c < best {
 				best = c
 				bestS = s
@@ -147,5 +161,5 @@ func SolveSwitchFast(ins *model.SwitchInstance) (*Solution, error) {
 	if check != d[n] {
 		return nil, fmt.Errorf("phc: fast DP cost %d disagrees with model cost %d", d[n], check)
 	}
-	return &Solution{Seg: seg, Hypercontexts: hs, Cost: d[n]}, nil
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: d[n], Stats: stats}, nil
 }

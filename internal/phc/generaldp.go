@@ -1,17 +1,21 @@
 package phc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dag"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 // GeneralSolution is a solved schedule for the explicit-H General (or
-// DAG) model: a hypercontext index per step and the total cost.
+// DAG) model: a hypercontext index per step, the total cost, and the
+// producing solver's run statistics.
 type GeneralSolution struct {
 	Schedule model.GeneralSchedule
 	Cost     model.Cost
+	Stats    solve.Stats
 }
 
 // SolveGeneral computes an optimal schedule for the General cost model
@@ -25,7 +29,10 @@ type GeneralSolution struct {
 // O(n·|H|).  This shows the problem is polynomial whenever H is part of
 // the input; the paper's NP-completeness concerns implicit exponential
 // H (see SolveArbitraryCost).
-func SolveGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
+func SolveGeneral(ctx context.Context, ins *model.GeneralInstance) (*GeneralSolution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -50,7 +57,13 @@ func SolveGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
 		from[0][k] = -2 // start marker
 	}
 
+	var stats solve.Stats
+	stats.StatesExpanded = int64(hN) // step 0
 	for i := 1; i < n; i++ {
+		if err := solve.Checkpoint(ctx); err != nil {
+			return nil, err
+		}
+		stats.StatesExpanded += int64(hN)
 		// Best predecessor over all hypercontexts (for the
 		// hyperreconfigure branch).
 		bestPrev, bestPrevIdx := infCost, -1
@@ -111,12 +124,15 @@ func SolveGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
 	if check != best {
 		return nil, fmt.Errorf("phc: DP cost %d disagrees with model cost %d", best, check)
 	}
-	return &GeneralSolution{Schedule: sched, Cost: best}, nil
+	return &GeneralSolution{Schedule: sched, Cost: best, Stats: stats}, nil
 }
 
 // BruteForceGeneral enumerates all |H|^n schedules; reference optimum
 // for tests.  The state space is capped at ~2 million assignments.
-func BruteForceGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
+func BruteForceGeneral(ctx context.Context, ins *model.GeneralInstance) (*GeneralSolution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -131,10 +147,17 @@ func BruteForceGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
 			return nil, fmt.Errorf("phc: brute force state space too large (|H|=%d, n=%d)", hN, n)
 		}
 	}
+	var stats solve.Stats
 	idx := make([]int, n)
 	best := infCost
 	var bestIdx []int
 	for iter := 0; iter < total; iter++ {
+		if iter&1023 == 0 {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+		}
+		stats.Evaluations++
 		v := iter
 		for i := 0; i < n; i++ {
 			idx[i] = v % hN
@@ -152,7 +175,7 @@ func BruteForceGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
 	if bestIdx == nil {
 		return nil, fmt.Errorf("phc: no feasible schedule")
 	}
-	return &GeneralSolution{Schedule: model.GeneralSchedule{HctxIdx: bestIdx}, Cost: best}, nil
+	return &GeneralSolution{Schedule: model.GeneralSchedule{HctxIdx: bestIdx}, Cost: best, Stats: stats}, nil
 }
 
 // SolveDAG solves the DAG cost model: the instance's side conditions
@@ -161,11 +184,11 @@ func BruteForceGeneral(ins *model.GeneralInstance) (*GeneralSolution, error) {
 // on the underlying catalog.  The DAG structure itself guides heuristic
 // hypercontext selection elsewhere (minimal satisfiers); for exact
 // optimization it only guarantees feasibility.
-func SolveDAG(ins *dag.Instance) (*GeneralSolution, error) {
+func SolveDAG(ctx context.Context, ins *dag.Instance) (*GeneralSolution, error) {
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
-	return SolveGeneral(ins.General)
+	return SolveGeneral(ctx, ins.General)
 }
 
 // MinimalSatisfierHeuristic schedules each step greedily into one of
@@ -173,7 +196,10 @@ func SolveDAG(ins *dag.Instance) (*GeneralSolution, error) {
 // hypercontext while possible and otherwise jumps to the cheapest
 // minimal satisfier of the incoming context.  Linear time after the
 // minimal-satisfier precomputation; an ablation baseline for SolveDAG.
-func MinimalSatisfierHeuristic(ins *dag.Instance) (*GeneralSolution, error) {
+func MinimalSatisfierHeuristic(ctx context.Context, ins *dag.Instance) (*GeneralSolution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -211,5 +237,5 @@ func MinimalSatisfierHeuristic(ins *dag.Instance) (*GeneralSolution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &GeneralSolution{Schedule: sched, Cost: cost}, nil
+	return &GeneralSolution{Schedule: sched, Cost: cost, Stats: solve.Stats{StatesExpanded: int64(n)}}, nil
 }

@@ -1,6 +1,7 @@
 package phc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -23,7 +24,7 @@ func TestSolveGeneralKnownOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveGeneral(ins)
+	sol, err := SolveGeneral(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestSolveGeneralSingleHypercontext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveGeneral(ins)
+	sol, err := SolveGeneral(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestSolveGeneralEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := SolveGeneral(ins)
+	sol, err := SolveGeneral(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,8 +102,8 @@ func TestQuickSolveGeneralMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomGeneral(r)
-		dp, err1 := SolveGeneral(ins)
-		bf, err2 := BruteForceGeneral(ins)
+		dp, err1 := SolveGeneral(context.Background(), ins)
+		bf, err2 := BruteForceGeneral(context.Background(), ins)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -139,7 +140,7 @@ func diamondInstance(t *testing.T, seq []int) *dag.Instance {
 
 func TestSolveDAG(t *testing.T) {
 	ins := diamondInstance(t, []int{0, 1, 0, 2, 0})
-	sol, err := SolveDAG(ins)
+	sol, err := SolveDAG(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestSolveDAG(t *testing.T) {
 	// Staying in top: 5 + 4*5 = 25.
 	// left,left,left,right,right: 5+5 inits + 2*5 = 20.
 	// Optimum ≤ 20; check against brute force.
-	bf, err := BruteForceGeneral(ins.General)
+	bf, err := BruteForceGeneral(context.Background(), ins.General)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +159,11 @@ func TestSolveDAG(t *testing.T) {
 
 func TestMinimalSatisfierHeuristic(t *testing.T) {
 	ins := diamondInstance(t, []int{0, 1, 0, 2, 0})
-	h, err := MinimalSatisfierHeuristic(ins)
+	h, err := MinimalSatisfierHeuristic(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := SolveDAG(ins)
+	opt, err := SolveDAG(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestMinimalSatisfierHeuristic(t *testing.T) {
 
 func TestMinimalSatisfierHeuristicEmpty(t *testing.T) {
 	ins := diamondInstance(t, nil)
-	h, err := MinimalSatisfierHeuristic(ins)
+	h, err := MinimalSatisfierHeuristic(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,20 +1,24 @@
 package phc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/solve"
 )
 
 // Solution is a solved single-task schedule: the segmentation (steps
 // preceded by a hyperreconfiguration), the hypercontext installed for
-// each segment, and the total cost under the model that produced it.
+// each segment, the total cost under the model that produced it, and
+// the run statistics of the producing solver.
 type Solution struct {
 	Seg           model.Segmentation
 	Hypercontexts []bitset.Set
 	Cost          model.Cost
+	Stats         solve.Stats
 }
 
 // infCost is a sentinel larger than any real schedule cost.
@@ -28,8 +32,13 @@ const infCost = model.Cost(math.MaxInt64 / 4)
 // where U(s,e) is the union of requirements c_{s+1}..c_e (0-based:
 // reqs[s..e)).  Union sizes are maintained incrementally while s scans
 // downward, so the total time is O(n² · |X|/64) with O(n) extra memory.
-// The returned hypercontexts are canonical (segment unions).
-func SolveSwitch(ins *model.SwitchInstance) (*Solution, error) {
+// The returned hypercontexts are canonical (segment unions).  The
+// context is checked once per segment end, so cancellation lands
+// within O(n) work.
+func SolveSwitch(ctx context.Context, ins *model.SwitchInstance) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -38,6 +47,7 @@ func SolveSwitch(ins *model.SwitchInstance) (*Solution, error) {
 		return &Solution{Seg: model.Segmentation{}, Cost: 0}, nil
 	}
 
+	var stats solve.Stats
 	d := make([]model.Cost, n+1)
 	parent := make([]int, n+1)
 	for e := 1; e <= n; e++ {
@@ -45,6 +55,9 @@ func SolveSwitch(ins *model.SwitchInstance) (*Solution, error) {
 	}
 	u := bitset.New(ins.Universe)
 	for e := 1; e <= n; e++ {
+		if err := solve.Checkpoint(ctx); err != nil {
+			return nil, err
+		}
 		u.Clear()
 		// s descends from e-1 to 0; U(s,e) grows monotonically.
 		for s := e - 1; s >= 0; s-- {
@@ -55,6 +68,7 @@ func SolveSwitch(ins *model.SwitchInstance) (*Solution, error) {
 				parent[e] = s
 			}
 		}
+		stats.StatesExpanded += int64(e)
 	}
 
 	// Reconstruct segment starts from parent pointers.
@@ -80,13 +94,17 @@ func SolveSwitch(ins *model.SwitchInstance) (*Solution, error) {
 	if check != d[n] {
 		return nil, fmt.Errorf("phc: DP cost %d disagrees with model cost %d", d[n], check)
 	}
-	return &Solution{Seg: seg, Hypercontexts: hs, Cost: d[n]}, nil
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: d[n], Stats: stats}, nil
 }
 
 // BruteForceSwitch enumerates every segmentation (2^(n-1) of them) and
 // returns the optimum with canonical hypercontexts.  Reference
-// implementation for tests; n is capped at 20.
-func BruteForceSwitch(ins *model.SwitchInstance) (*Solution, error) {
+// implementation for tests; n is capped at 20.  The context is checked
+// every 1024 enumerated masks.
+func BruteForceSwitch(ctx context.Context, ins *model.SwitchInstance) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -97,9 +115,15 @@ func BruteForceSwitch(ins *model.SwitchInstance) (*Solution, error) {
 	if n > 20 {
 		return nil, fmt.Errorf("phc: brute force capped at n=20, got %d", n)
 	}
+	var stats solve.Stats
 	best := infCost
 	var bestSeg model.Segmentation
 	for mask := 0; mask < 1<<(n-1); mask++ {
+		if mask&1023 == 0 {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+		}
 		starts := []int{0}
 		for i := 1; i < n; i++ {
 			if mask&(1<<(i-1)) != 0 {
@@ -111,6 +135,7 @@ func BruteForceSwitch(ins *model.SwitchInstance) (*Solution, error) {
 		if err != nil {
 			return nil, err
 		}
+		stats.Evaluations++
 		if c < best {
 			best = c
 			bestSeg = model.Segmentation{Starts: append([]int(nil), starts...)}
@@ -120,7 +145,7 @@ func BruteForceSwitch(ins *model.SwitchInstance) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{Seg: bestSeg, Hypercontexts: hs, Cost: best}, nil
+	return &Solution{Seg: bestSeg, Hypercontexts: hs, Cost: best, Stats: stats}, nil
 }
 
 // Greedy is a fast online heuristic for the Switch model: it extends
@@ -132,7 +157,10 @@ func BruteForceSwitch(ins *model.SwitchInstance) (*Solution, error) {
 //
 // O(n · |X|/64), no lookahead; used as an ablation baseline against the
 // exact DP.
-func Greedy(ins *model.SwitchInstance) (*Solution, error) {
+func Greedy(ctx context.Context, ins *model.SwitchInstance) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -163,12 +191,15 @@ func Greedy(ins *model.SwitchInstance) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{Seg: seg, Hypercontexts: hs, Cost: c}, nil
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: c, Stats: solve.Stats{StatesExpanded: int64(n)}}, nil
 }
 
 // FixedInterval hyperreconfigures every k steps regardless of the
 // requirements — the naive periodic baseline.  k must be positive.
-func FixedInterval(ins *model.SwitchInstance, k int) (*Solution, error) {
+func FixedInterval(ctx context.Context, ins *model.SwitchInstance, k int) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if ins == nil {
 		return nil, fmt.Errorf("phc: nil instance")
 	}
@@ -192,5 +223,5 @@ func FixedInterval(ins *model.SwitchInstance, k int) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{Seg: seg, Hypercontexts: hs, Cost: c}, nil
+	return &Solution{Seg: seg, Hypercontexts: hs, Cost: c, Stats: solve.Stats{Evaluations: 1}}, nil
 }

@@ -1,6 +1,7 @@
 package phc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -47,7 +48,7 @@ func randomInstance(r *rand.Rand, maxUniverse, maxLen int) *model.SwitchInstance
 }
 
 func TestSolveSwitchEmpty(t *testing.T) {
-	sol, err := SolveSwitch(mustSwitch(t, 4, 1, nil))
+	sol, err := SolveSwitch(context.Background(), mustSwitch(t, 4, 1, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestSolveSwitchEmpty(t *testing.T) {
 }
 
 func TestSolveSwitchNil(t *testing.T) {
-	if _, err := SolveSwitch(nil); err == nil {
+	if _, err := SolveSwitch(context.Background(), nil); err == nil {
 		t.Fatal("accepted nil instance")
 	}
 }
@@ -69,7 +70,7 @@ func TestSolveSwitchKnownOptimum(t *testing.T) {
 		[]int{0}, []int{0}, []int{0},
 		[]int{1}, []int{1}, []int{1},
 	))
-	sol, err := SolveSwitch(ins)
+	sol, err := SolveSwitch(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSolveSwitchKnownOptimum(t *testing.T) {
 func TestSolveSwitchHighWMerges(t *testing.T) {
 	// With a huge W the optimum is a single segment.
 	ins := mustSwitch(t, 2, 1000, reqs(2, []int{0}, []int{1}, []int{0}))
-	sol, err := SolveSwitch(ins)
+	sol, err := SolveSwitch(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestSolveSwitchHighWMerges(t *testing.T) {
 func TestSolveSwitchTinyWSplitsEverything(t *testing.T) {
 	// W=1 and alternating disjoint singletons: split every step.
 	ins := mustSwitch(t, 2, 1, reqs(2, []int{0}, []int{1}, []int{0}, []int{1}))
-	sol, err := SolveSwitch(ins)
+	sol, err := SolveSwitch(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,8 +116,8 @@ func TestQuickSolveSwitchMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomInstance(r, 6, 9)
-		dp, err1 := SolveSwitch(ins)
-		bf, err2 := BruteForceSwitch(ins)
+		dp, err1 := SolveSwitch(context.Background(), ins)
+		bf, err2 := BruteForceSwitch(context.Background(), ins)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -133,7 +134,7 @@ func TestQuickSolveSwitchBounds(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomInstance(r, 8, 20)
-		sol, err := SolveSwitch(ins)
+		sol, err := SolveSwitch(context.Background(), ins)
 		if err != nil {
 			return false
 		}
@@ -154,8 +155,8 @@ func TestQuickGreedyValidAndAboveOptimal(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomInstance(r, 8, 20)
-		g, err1 := Greedy(ins)
-		dp, err2 := SolveSwitch(ins)
+		g, err1 := Greedy(context.Background(), ins)
+		dp, err2 := SolveSwitch(context.Background(), ins)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -172,8 +173,8 @@ func TestQuickFastDPMatchesPlainDP(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ins := randomInstance(r, 8, 30)
-		plain, err1 := SolveSwitch(ins)
-		fast, err2 := SolveSwitchFast(ins)
+		plain, err1 := SolveSwitch(context.Background(), ins)
+		fast, err2 := SolveSwitchFast(context.Background(), ins)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -186,20 +187,20 @@ func TestQuickFastDPMatchesPlainDP(t *testing.T) {
 
 func TestFastDPEdgeCases(t *testing.T) {
 	// Empty instance.
-	sol, err := SolveSwitchFast(mustSwitch(t, 3, 1, nil))
+	sol, err := SolveSwitchFast(context.Background(), mustSwitch(t, 3, 1, nil))
 	if err != nil || sol.Cost != 0 {
 		t.Fatalf("empty: %v %+v", err, sol)
 	}
-	if _, err := SolveSwitchFast(nil); err == nil {
+	if _, err := SolveSwitchFast(context.Background(), nil); err == nil {
 		t.Fatal("accepted nil")
 	}
 	// All-empty requirements: support is empty, every start saturated.
 	ins := mustSwitch(t, 3, 2, reqs(3, nil, nil, nil))
-	fast, err := SolveSwitchFast(ins)
+	fast, err := SolveSwitchFast(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := SolveSwitch(ins)
+	plain, err := SolveSwitch(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +209,11 @@ func TestFastDPEdgeCases(t *testing.T) {
 	}
 	// A support switch that appears only late: no saturation early on.
 	ins = mustSwitch(t, 2, 1, reqs(2, []int{0}, []int{0}, []int{0, 1}))
-	fast, err = SolveSwitchFast(ins)
+	fast, err = SolveSwitchFast(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err = SolveSwitch(ins)
+	plain, err = SolveSwitch(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,11 +232,11 @@ func TestFastDPLongLoopingTrace(t *testing.T) {
 		rs = append(rs, period...)
 	}
 	ins := mustSwitch(t, 6, 7, rs[:400])
-	plain, err := SolveSwitch(ins)
+	plain, err := SolveSwitch(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := SolveSwitchFast(ins)
+	fast, err := SolveSwitchFast(context.Background(), ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestFastDPLongLoopingTrace(t *testing.T) {
 
 func TestFixedInterval(t *testing.T) {
 	ins := mustSwitch(t, 2, 2, reqs(2, []int{0}, []int{0}, []int{1}, []int{1}))
-	sol, err := FixedInterval(ins, 2)
+	sol, err := FixedInterval(context.Background(), ins, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestFixedInterval(t *testing.T) {
 	if sol.Cost != 8 {
 		t.Fatalf("cost = %d, want 8", sol.Cost)
 	}
-	if _, err := FixedInterval(ins, 0); err == nil {
+	if _, err := FixedInterval(context.Background(), ins, 0); err == nil {
 		t.Fatal("accepted k=0")
 	}
 }
@@ -268,17 +269,17 @@ func TestBruteForceSwitchCap(t *testing.T) {
 		rs[i] = bitset.New(1)
 	}
 	ins := mustSwitch(t, 1, 1, rs)
-	if _, err := BruteForceSwitch(ins); err == nil {
+	if _, err := BruteForceSwitch(context.Background(), ins); err == nil {
 		t.Fatal("accepted n>20")
 	}
 }
 
 func TestGreedyEmptyAndNil(t *testing.T) {
-	sol, err := Greedy(mustSwitch(t, 3, 1, nil))
+	sol, err := Greedy(context.Background(), mustSwitch(t, 3, 1, nil))
 	if err != nil || sol.Cost != 0 {
 		t.Fatalf("empty greedy: %v %+v", err, sol)
 	}
-	if _, err := Greedy(nil); err == nil {
+	if _, err := Greedy(context.Background(), nil); err == nil {
 		t.Fatal("accepted nil instance")
 	}
 }

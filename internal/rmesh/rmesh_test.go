@@ -1,6 +1,7 @@
 package rmesh
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
+	"repro/internal/solve"
 )
 
 var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
@@ -294,11 +296,11 @@ func TestMeshAnalysisPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	al, err := mtswitch.SolveAligned(ins, parallel)
+	al, err := mtswitch.SolveAligned(context.Background(), ins, parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ga.Optimize(ins, parallel, ga.Config{Pop: 40, Generations: 80, Seed: 1})
+	res, err := ga.Optimize(context.Background(), ins, parallel, solve.Options{Pop: 40, Generations: 80, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

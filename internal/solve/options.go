@@ -1,0 +1,150 @@
+package solve
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options are the uniform solver knobs, replacing the former
+// mtswitch.Config, ga.Config and ga.AnnealConfig.  The zero value
+// selects validated per-solver defaults; Validate rejects values that
+// the old configs silently misbehaved on (negative beam caps,
+// negative populations, out-of-range rates).  Fields a given solver
+// has no use for are ignored.
+type Options struct {
+	// Timeout, when positive, bounds the solve's wall time; solve.Run
+	// derives a context deadline from it.  0 means no deadline.
+	Timeout time.Duration
+
+	// MaxStates caps the per-step state frontier of the exact
+	// multi-task DP.  While the frontier stays within the cap the
+	// search is exhaustive; beyond it the solver degrades to a beam
+	// search and Stats.Truncated reports the degradation.  0 selects
+	// the solver's default.
+	MaxStates int
+	// MaxCandidates caps, per task and step, how many canonical
+	// hypercontext candidates an install may choose from.  0 means
+	// unlimited (required for exactness).
+	MaxCandidates int
+	// Workers bounds the goroutines of parallel solver stages (GA
+	// fitness evaluation, private-global window sweep).  0 means
+	// GOMAXPROCS.
+	Workers int
+	// Seed drives deterministic random sources (default 1).
+	Seed int64
+
+	// Pop is the GA population size (default 80).
+	Pop int
+	// Generations to evolve (default 300).
+	Generations int
+	// MutRate is the per-bit mutation probability (0 → adaptive
+	// 2/(m·n+1)).
+	MutRate float64
+	// CrossRate is the probability a child is produced by crossover
+	// rather than cloning (default 0.9).
+	CrossRate float64
+	// TournamentK is the tournament size (default 3).
+	TournamentK int
+	// Elites survive unchanged each generation (default 2, capped at
+	// Pop).
+	Elites int
+	// NoHeuristicSeeds disables injecting the aligned-DP, initial-only
+	// and every-step masks into the initial GA population.
+	NoHeuristicSeeds bool
+	// Crossover selects the GA recombination operator.
+	Crossover CrossoverKind
+
+	// Iterations of the annealing loop (default 20000).
+	Iterations int
+	// InitialTemp is the annealing start temperature in cost units
+	// (0 → adaptive: 1/10 of the seed schedule's cost).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per iteration (0 →
+	// decay to 1e-3 of the initial temperature over the run).
+	Cooling float64
+
+	// IntervalK is the period of the fixed-interval baseline solver.
+	IntervalK int
+}
+
+// Validate rejects option values no solver can meaningfully honor.
+// Zero values are always valid (they select defaults).
+func (o Options) Validate() error {
+	if o.Timeout < 0 {
+		return fmt.Errorf("solve: negative timeout %v", o.Timeout)
+	}
+	if o.MaxStates < 0 {
+		return fmt.Errorf("solve: negative beam cap MaxStates=%d", o.MaxStates)
+	}
+	if o.MaxCandidates < 0 {
+		return fmt.Errorf("solve: negative candidate cap MaxCandidates=%d", o.MaxCandidates)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("solve: negative worker count %d", o.Workers)
+	}
+	if o.Pop < 0 {
+		return fmt.Errorf("solve: negative population %d", o.Pop)
+	}
+	if o.Generations < 0 {
+		return fmt.Errorf("solve: negative generation count %d", o.Generations)
+	}
+	if o.MutRate < 0 || o.MutRate > 1 {
+		return fmt.Errorf("solve: mutation rate %v outside [0,1]", o.MutRate)
+	}
+	if o.CrossRate < 0 || o.CrossRate > 1 {
+		return fmt.Errorf("solve: crossover rate %v outside [0,1]", o.CrossRate)
+	}
+	if o.TournamentK < 0 {
+		return fmt.Errorf("solve: negative tournament size %d", o.TournamentK)
+	}
+	if o.Elites < 0 {
+		return fmt.Errorf("solve: negative elite count %d", o.Elites)
+	}
+	if o.Crossover < CrossUniform || o.Crossover > CrossTaskRow {
+		return fmt.Errorf("solve: unknown crossover kind %d", int(o.Crossover))
+	}
+	if o.Iterations < 0 {
+		return fmt.Errorf("solve: negative iteration count %d", o.Iterations)
+	}
+	if o.InitialTemp < 0 {
+		return fmt.Errorf("solve: negative initial temperature %v", o.InitialTemp)
+	}
+	if o.Cooling < 0 || o.Cooling >= 1 {
+		if o.Cooling != 0 {
+			return fmt.Errorf("solve: cooling factor %v outside (0,1)", o.Cooling)
+		}
+	}
+	if o.IntervalK < 0 {
+		return fmt.Errorf("solve: negative interval %d", o.IntervalK)
+	}
+	return nil
+}
+
+// CrossoverKind selects the GA's recombination operator.
+type CrossoverKind int
+
+const (
+	// CrossUniform draws every (task, step) gene independently from one
+	// of the two parents — the classic disruptive operator.
+	CrossUniform CrossoverKind = iota
+	// CrossTwoPoint exchanges one contiguous gene range, preserving
+	// runs of hyperreconfiguration decisions.
+	CrossTwoPoint
+	// CrossTaskRow inherits each task's entire row from one parent —
+	// schedules recombine along the problem's natural task structure.
+	CrossTaskRow
+)
+
+// String implements fmt.Stringer.
+func (c CrossoverKind) String() string {
+	switch c {
+	case CrossUniform:
+		return "uniform"
+	case CrossTwoPoint:
+		return "two-point"
+	case CrossTaskRow:
+		return "task-row"
+	default:
+		return fmt.Sprintf("CrossoverKind(%d)", int(c))
+	}
+}

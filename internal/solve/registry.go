@@ -1,0 +1,114 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Solver{}
+)
+
+// Register makes a solver resolvable by name.  It panics on an empty
+// name or a duplicate registration (both are programmer errors), like
+// database/sql.Register.
+func Register(s Solver) {
+	if s == nil || s.Name() == "" {
+		panic("solve: Register with nil solver or empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("solve: duplicate solver registration %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Get resolves a registered solver by name.
+func Get(name string) (Solver, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("solve: unknown solver %q (have %v)", name, namesLocked())
+	}
+	return s, nil
+}
+
+// Names lists the registered solvers in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// funcSolver adapts a plain function into a Solver.
+type funcSolver struct {
+	name string
+	caps Capabilities
+	fn   func(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
+}
+
+func (s *funcSolver) Name() string               { return s.name }
+func (s *funcSolver) Capabilities() Capabilities { return s.caps }
+func (s *funcSolver) Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error) {
+	return s.fn(ctx, inst, opts)
+}
+
+// NewSolver builds a Solver from a function; the common case for
+// registry adapters.
+func NewSolver(name string, caps Capabilities, fn func(ctx context.Context, inst *Instance, opts Options) (*Solution, error)) Solver {
+	return &funcSolver{name: name, caps: caps, fn: fn}
+}
+
+// Run resolves a solver by name and executes it with uniform
+// housekeeping: options validation, capability checking, the
+// Options.Timeout deadline, and Stats.WallTime measurement.
+func Run(ctx context.Context, name string, inst *Instance, opts Options) (*Solution, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if inst == nil {
+		return nil, fmt.Errorf("solve: nil instance")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.Capabilities().Supports(inst.Kind()) {
+		return nil, fmt.Errorf("solve: solver %q does not support %v instances (supports %v)",
+			name, inst.Kind(), s.Capabilities().Kinds)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	sol, err := s.Solve(ctx, inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol == nil {
+		return nil, fmt.Errorf("solve: solver %q returned no solution", name)
+	}
+	sol.Kind = inst.Kind()
+	sol.Stats.WallTime = time.Since(start)
+	return sol, nil
+}

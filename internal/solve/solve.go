@@ -1,0 +1,225 @@
+// Package solve is the unified solver engine layer: a normalized
+// Instance wrapper over every problem kind the repo knows how to
+// schedule (single-task Switch/General/DAG, multi-task
+// MTSwitch/MTDAG), a normalized Solution carrying cost, exactness and
+// run statistics, a Solver interface, and a package-level registry so
+// optimizers resolve by name (`-solver exact|aligned|ga|...`).
+//
+// The package is a leaf: it depends only on the data-model packages
+// (model, dag, bitset) and the standard library, so every solver
+// package can import it for the shared Options and Stats types while
+// the adapters in solve/solvers wire the concrete optimizers into the
+// registry.
+package solve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+	"repro/internal/model"
+)
+
+// Kind enumerates the problem families a Solver can accept.
+type Kind int
+
+const (
+	// KindSwitch is the single-task Switch model (cost(h) = |h|).
+	KindSwitch Kind = iota
+	// KindGeneral is the single-task General model with an explicit
+	// hypercontext catalog.
+	KindGeneral
+	// KindDAG is the single-task DAG model (catalog + precedence DAG).
+	KindDAG
+	// KindMTSwitch is the fully synchronized multi-task Switch model.
+	KindMTSwitch
+	// KindMTDAG is the fully synchronized multi-task DAG model.
+	KindMTDAG
+
+	numKinds = int(KindMTDAG) + 1
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSwitch:
+		return "switch"
+	case KindGeneral:
+		return "general"
+	case KindDAG:
+		return "dag"
+	case KindMTSwitch:
+		return "mtswitch"
+	case KindMTDAG:
+		return "mtdag"
+	default:
+		return "unknown"
+	}
+}
+
+// MTDAGTask mirrors mtdag.Task without importing mtdag (which would
+// cycle through phc back into this package): one task of a multi-task
+// DAG machine, its local hyperreconfiguration cost, and its DAG-model
+// instance.
+type MTDAGTask struct {
+	Name string
+	V    model.Cost
+	Inst *dag.Instance
+}
+
+// Instance is the normalized problem wrapper handed to Solvers.
+// Exactly one payload field is set, matching Kind().
+type Instance struct {
+	kind Kind
+
+	// Switch is set for KindSwitch.
+	Switch *model.SwitchInstance
+	// General is set for KindGeneral.
+	General *model.GeneralInstance
+	// DAG is set for KindDAG.
+	DAG *dag.Instance
+	// MT is set for KindMTSwitch.
+	MT *model.MTSwitchInstance
+	// MTDAG is set for KindMTDAG.
+	MTDAG []MTDAGTask
+
+	// Cost carries the upload modes for the multi-task kinds; ignored
+	// by the single-task models.
+	Cost model.CostOptions
+}
+
+// Kind reports which payload the instance carries.
+func (in *Instance) Kind() Kind { return in.kind }
+
+// NewSwitch wraps a single-task Switch instance.
+func NewSwitch(ins *model.SwitchInstance) *Instance {
+	return &Instance{kind: KindSwitch, Switch: ins}
+}
+
+// NewGeneral wraps a single-task General instance.
+func NewGeneral(ins *model.GeneralInstance) *Instance {
+	return &Instance{kind: KindGeneral, General: ins}
+}
+
+// NewDAG wraps a single-task DAG instance.
+func NewDAG(ins *dag.Instance) *Instance {
+	return &Instance{kind: KindDAG, DAG: ins}
+}
+
+// NewMT wraps a fully synchronized multi-task Switch instance under
+// the given upload modes.
+func NewMT(ins *model.MTSwitchInstance, opt model.CostOptions) *Instance {
+	return &Instance{kind: KindMTSwitch, MT: ins, Cost: opt}
+}
+
+// NewMTDAG wraps a fully synchronized multi-task DAG instance under
+// the given upload modes.
+func NewMTDAG(tasks []MTDAGTask, opt model.CostOptions) *Instance {
+	return &Instance{kind: KindMTDAG, MTDAG: tasks, Cost: opt}
+}
+
+// Stats are the run statistics every solver reports.  Counters a
+// particular algorithm has no notion of stay zero.
+type Stats struct {
+	// StatesExpanded counts DP/search states (or transitions) the
+	// solver examined.
+	StatesExpanded int64
+	// DedupHits counts states merged into an already-known state
+	// (frontier deduplication).
+	DedupHits int64
+	// CandidatesPruned counts branches, candidates or moves discarded
+	// by caps or bounds before expansion.
+	CandidatesPruned int64
+	// Evaluations counts full-schedule cost evaluations (brute force
+	// enumerations, GA fitness calls, annealing moves).
+	Evaluations int64
+	// Truncated reports that a beam/candidate cap limited the search,
+	// so the result is an upper bound rather than a proven optimum.
+	Truncated bool
+	// WallTime is the end-to-end solve duration.  Filled in by
+	// solve.Run; direct calls into solver packages leave it zero.
+	WallTime time.Duration
+}
+
+// Add accumulates another solver run's counters (used by solvers that
+// decompose into sub-solves).
+func (s *Stats) Add(o Stats) {
+	s.StatesExpanded += o.StatesExpanded
+	s.DedupHits += o.DedupHits
+	s.CandidatesPruned += o.CandidatesPruned
+	s.Evaluations += o.Evaluations
+	s.Truncated = s.Truncated || o.Truncated
+}
+
+// Solution is the normalized result of a solver run.  Cost, Exact and
+// Stats are always set; exactly the payload fields matching the
+// instance kind are populated.
+type Solution struct {
+	Kind Kind
+	Cost model.Cost
+	// Exact reports the cost is a proven optimum for the solver's
+	// search space as configured (false for heuristics and for
+	// beam-truncated runs).
+	Exact bool
+	Stats Stats
+
+	// Seg and Hypercontexts carry KindSwitch schedules.
+	Seg           model.Segmentation
+	Hypercontexts []bitset.Set
+	// General carries KindGeneral and KindDAG schedules.
+	General model.GeneralSchedule
+	// MTSched carries KindMTSwitch schedules.
+	MTSched *model.MTSchedule
+	// HctxIdx carries KindMTDAG schedules ([task][step] hypercontext
+	// index).
+	HctxIdx [][]int
+	// History is the best-so-far cost trajectory for iterative
+	// solvers (GA, annealing); nil otherwise.
+	History []model.Cost
+}
+
+// Capabilities describe what a registered solver accepts.
+type Capabilities struct {
+	// Kinds lists the problem kinds the solver handles.
+	Kinds []Kind
+	// Exact reports the solver proves optimality when its caps are not
+	// exceeded.
+	Exact bool
+}
+
+// Supports reports whether the solver accepts the kind.
+func (c Capabilities) Supports(k Kind) bool {
+	for _, have := range c.Kinds {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Solver is the uniform optimizer interface behind the registry.
+type Solver interface {
+	// Name is the registry key (e.g. "exact", "ga").
+	Name() string
+	// Capabilities reports supported kinds and exactness.
+	Capabilities() Capabilities
+	// Solve runs the optimizer.  Implementations honor ctx
+	// cancellation mid-solve and populate Solution.Stats.
+	Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
+}
+
+// Checkpoint returns the context's error if it has been cancelled or
+// its deadline has passed, nil otherwise.  Solver hot loops call this
+// periodically; a nil context never cancels.
+func Checkpoint(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

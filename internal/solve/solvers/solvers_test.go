@@ -1,0 +1,353 @@
+package solvers
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
+var sequential = model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
+
+func mustSwitch(t *testing.T, universe int, w model.Cost, members ...[]int) *model.SwitchInstance {
+	t.Helper()
+	rs := make([]bitset.Set, len(members))
+	for i, m := range members {
+		rs[i] = bitset.FromMembers(universe, m...)
+	}
+	ins, err := model.NewSwitchInstance(universe, w, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func catalog3() []model.Hypercontext {
+	return []model.Hypercontext{
+		{Name: "small", Init: 2, PerStep: 1, Sat: bitset.FromMembers(3, 0)},
+		{Name: "medium", Init: 4, PerStep: 2, Sat: bitset.FromMembers(3, 0, 1)},
+		{Name: "full", Init: 8, PerStep: 5, Sat: bitset.Full(3)},
+	}
+}
+
+func mustGeneral(t *testing.T, seq []int) *model.GeneralInstance {
+	t.Helper()
+	ins, err := model.NewGeneralInstance(3, catalog3(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func mustChain(t *testing.T, seq []int) *dag.Instance {
+	t.Helper()
+	ins, err := dag.Chain(3, catalog3(), seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func mustMT(t *testing.T) *model.MTSwitchInstance {
+	t.Helper()
+	tasks := []model.Task{
+		{Name: "A", Local: 3, V: 3},
+		{Name: "B", Local: 3, V: 3},
+	}
+	rows := [][]bitset.Set{
+		{bitset.FromMembers(3, 0), bitset.FromMembers(3, 0), bitset.FromMembers(3, 1, 2), bitset.FromMembers(3, 1)},
+		{bitset.FromMembers(3, 2), bitset.FromMembers(3, 0, 1), bitset.FromMembers(3, 0), bitset.FromMembers(3, 2)},
+	}
+	ins, err := model.NewMTSwitchInstance(tasks, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func mtdagTasks(t *testing.T) []solve.MTDAGTask {
+	t.Helper()
+	return []solve.MTDAGTask{
+		{Name: "A", V: 2, Inst: mustChain(t, []int{0, 2, 0, 1})},
+		{Name: "B", V: 2, Inst: mustChain(t, []int{0, 0, 1, 0})},
+	}
+}
+
+// kindInstances returns one small valid instance per problem kind.
+func kindInstances(t *testing.T) map[solve.Kind]*solve.Instance {
+	t.Helper()
+	return map[solve.Kind]*solve.Instance{
+		solve.KindSwitch:   solve.NewSwitch(mustSwitch(t, 3, 2, []int{0}, []int{0, 1}, []int{2}, []int{1})),
+		solve.KindGeneral:  solve.NewGeneral(mustGeneral(t, []int{0, 1, 0, 2})),
+		solve.KindDAG:      solve.NewDAG(mustChain(t, []int{0, 2, 0, 1})),
+		solve.KindMTSwitch: solve.NewMT(mustMT(t), parallel),
+		solve.KindMTDAG:    solve.NewMTDAG(mtdagTasks(t), parallel),
+	}
+}
+
+// TestRegisteredNames pins the registry contents: every optimizer entry
+// point in the repo must be reachable by name.
+func TestRegisteredNames(t *testing.T) {
+	want := []string{
+		"aligned", "anneal", "beam", "bruteforce", "changeover", "exact",
+		"fast", "ga", "greedy", "interval", "minsat", "pertask",
+	}
+	got := solve.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestAllSolversHonorCancelledContext runs every registered solver on
+// every kind it supports with an already-cancelled context: each must
+// return ctx.Err() promptly instead of solving.
+func TestAllSolversHonorCancelledContext(t *testing.T) {
+	instances := kindInstances(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range solve.Names() {
+		s, err := solve.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range s.Capabilities().Kinds {
+			inst, ok := instances[kind]
+			if !ok {
+				t.Fatalf("no test instance for kind %v (solver %q)", kind, name)
+			}
+			sol, err := solve.Run(ctx, name, inst, solve.Options{IntervalK: 2})
+			if err == nil {
+				t.Errorf("%s/%v: solved (cost %d) despite cancelled context", name, kind, sol.Cost)
+				continue
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s/%v: error %v, want context.Canceled", name, kind, err)
+			}
+		}
+	}
+}
+
+// TestMidSolveCancellation cuts off the unbounded iterative solvers via
+// Options.Timeout: the deadline must interrupt the solve mid-loop.
+func TestMidSolveCancellation(t *testing.T) {
+	inst := solve.NewMT(mustMT(t), parallel)
+	for _, tc := range []struct {
+		name string
+		opts solve.Options
+	}{
+		{"ga", solve.Options{Pop: 40, Generations: 1 << 30, Seed: 1, Timeout: 30e6}},
+		{"anneal", solve.Options{Iterations: 1 << 30, Seed: 1, Timeout: 30e6}},
+	} {
+		_, err := solve.Run(context.Background(), tc.name, inst, tc.opts)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: error %v, want context.DeadlineExceeded", tc.name, err)
+		}
+	}
+}
+
+func randomSwitch(t *testing.T, r *rand.Rand) *model.SwitchInstance {
+	t.Helper()
+	universe := 1 + r.Intn(4)
+	n := 1 + r.Intn(6)
+	rs := make([]bitset.Set, n)
+	for i := range rs {
+		s := bitset.New(universe)
+		for b := 0; b < universe; b++ {
+			if r.Intn(3) == 0 {
+				s.Add(b)
+			}
+		}
+		rs[i] = s
+	}
+	ins, err := model.NewSwitchInstance(universe, model.Cost(1+r.Intn(5)), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func randomGeneral(t *testing.T, r *rand.Rand) *model.GeneralInstance {
+	t.Helper()
+	n := 1 + r.Intn(6)
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = r.Intn(3)
+	}
+	return mustGeneral(t, seq)
+}
+
+func randomMT(t *testing.T, r *rand.Rand) *model.MTSwitchInstance {
+	t.Helper()
+	m := 1 + r.Intn(2)
+	n := 1 + r.Intn(4)
+	tasks := make([]model.Task, m)
+	rows := make([][]bitset.Set, m)
+	for j := 0; j < m; j++ {
+		l := 1 + r.Intn(3)
+		tasks[j] = model.Task{Name: string(rune('A' + j)), Local: l, V: model.Cost(1 + r.Intn(4))}
+		rows[j] = make([]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			s := bitset.New(l)
+			for b := 0; b < l; b++ {
+				if r.Intn(3) == 0 {
+					s.Add(b)
+				}
+			}
+			rows[j][i] = s
+		}
+	}
+	ins, err := model.NewMTSwitchInstance(tasks, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+// TestExactSolversAgreeWithBruteForce is the cross-solver agreement
+// check: on shared small random instances, every registered solver that
+// claims exactness for a kind must match the brute-force reference
+// optimum for that kind.
+func TestExactSolversAgreeWithBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	ctx := context.Background()
+	// Generous caps so the MT-Switch DP stays exhaustive on these sizes.
+	exactOpts := solve.Options{MaxStates: 1 << 20}
+	for trial := 0; trial < 20; trial++ {
+		instances := map[solve.Kind]*solve.Instance{
+			solve.KindSwitch:   solve.NewSwitch(randomSwitch(t, r)),
+			solve.KindGeneral:  solve.NewGeneral(randomGeneral(t, r)),
+			solve.KindMTSwitch: solve.NewMT(randomMT(t, r), parallel),
+		}
+		for kind, inst := range instances {
+			ref, err := solve.Run(ctx, "bruteforce", inst, solve.Options{})
+			if err != nil {
+				t.Fatalf("trial %d: bruteforce/%v: %v", trial, kind, err)
+			}
+			for _, name := range solve.Names() {
+				s, err := solve.Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if name == "bruteforce" || !s.Capabilities().Exact || !s.Capabilities().Supports(kind) {
+					continue
+				}
+				got, err := solve.Run(ctx, name, inst, exactOpts)
+				if err != nil {
+					t.Fatalf("trial %d: %s/%v: %v", trial, name, kind, err)
+				}
+				if !got.Exact {
+					t.Errorf("trial %d: %s/%v did not report an exact result", trial, name, kind)
+				}
+				if got.Cost != ref.Cost {
+					t.Errorf("trial %d: %s/%v cost %d, brute force %d", trial, name, kind, got.Cost, ref.Cost)
+				}
+			}
+		}
+	}
+}
+
+// TestMTDAGExactAgreesWithPerTask: under task-sequential uploads the
+// joint cost separates per task, so the joint-vector DP and the
+// independent per-task DPs must find the same optimum.
+func TestMTDAGExactAgreesWithPerTask(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ctx := context.Background()
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(4)
+		tasks := make([]solve.MTDAGTask, 2)
+		for j := range tasks {
+			seq := make([]int, n)
+			for i := range seq {
+				seq[i] = r.Intn(3)
+			}
+			tasks[j] = solve.MTDAGTask{Name: string(rune('A' + j)), V: model.Cost(1 + r.Intn(3)), Inst: mustChain(t, seq)}
+		}
+		inst := solve.NewMTDAG(tasks, sequential)
+		joint, err := solve.Run(ctx, "exact", inst, solve.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: exact: %v", trial, err)
+		}
+		per, err := solve.Run(ctx, "pertask", inst, solve.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: pertask: %v", trial, err)
+		}
+		if !per.Exact {
+			t.Errorf("trial %d: pertask not exact under sequential uploads", trial)
+		}
+		if joint.Cost != per.Cost {
+			t.Errorf("trial %d: joint %d vs per-task %d", trial, joint.Cost, per.Cost)
+		}
+	}
+}
+
+// TestStatsPopulated asserts every adapter fills the normalized run
+// statistics: WallTime via solve.Run, work counters via the solver.
+func TestStatsPopulated(t *testing.T) {
+	ctx := context.Background()
+	instances := kindInstances(t)
+
+	for kind, inst := range instances {
+		sol, err := solve.Run(ctx, "exact", inst, solve.Options{})
+		if err != nil {
+			t.Fatalf("exact/%v: %v", kind, err)
+		}
+		if sol.Stats.WallTime <= 0 {
+			t.Errorf("exact/%v: WallTime not measured", kind)
+		}
+		if sol.Stats.StatesExpanded <= 0 {
+			t.Errorf("exact/%v: StatesExpanded = %d, want > 0", kind, sol.Stats.StatesExpanded)
+		}
+		if sol.Kind != kind {
+			t.Errorf("exact/%v: solution kind stamped %v", kind, sol.Kind)
+		}
+	}
+
+	gaSol, err := solve.Run(ctx, "ga", instances[solve.KindMTSwitch],
+		solve.Options{Pop: 10, Generations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gaSol.Stats.Evaluations <= 0 {
+		t.Errorf("ga: Evaluations = %d, want > 0", gaSol.Stats.Evaluations)
+	}
+	if len(gaSol.History) == 0 {
+		t.Error("ga: best-so-far history not recorded")
+	}
+
+	bf, err := solve.Run(ctx, "bruteforce", instances[solve.KindSwitch], solve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Stats.Evaluations <= 0 {
+		t.Errorf("bruteforce: Evaluations = %d, want > 0", bf.Stats.Evaluations)
+	}
+}
+
+// TestRunRejections: registry-level housekeeping visible through the
+// real solver set.
+func TestRunRejections(t *testing.T) {
+	ctx := context.Background()
+	mt := solve.NewMT(mustMT(t), parallel)
+	sw := solve.NewSwitch(mustSwitch(t, 2, 1, []int{0}, []int{1}))
+
+	if _, err := solve.Run(ctx, "no-such-solver", mt, solve.Options{}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+	if _, err := solve.Run(ctx, "ga", sw, solve.Options{}); err == nil {
+		t.Fatal("ga accepted a single-task Switch instance")
+	}
+	if _, err := solve.Run(ctx, "exact", mt, solve.Options{MutRate: 2}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}

@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ga"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
+	"repro/internal/solve"
 )
 
 var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
@@ -75,12 +77,12 @@ func TestPhasedHasTemporalStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gaCfg := ga.Config{Pop: 40, Generations: 80, Seed: 1}
-	resP, err := ga.Optimize(phased, parallel, gaCfg)
+	gaCfg := solve.Options{Pop: 40, Generations: 80, Seed: 1}
+	resP, err := ga.Optimize(context.Background(), phased, parallel, gaCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resU, err := ga.Optimize(uniform, parallel, gaCfg)
+	resU, err := ga.Optimize(context.Background(), uniform, parallel, gaCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +118,11 @@ func TestGeneratedInstancesSolvable(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		al, err := mtswitch.SolveAligned(ins, parallel)
+		al, err := mtswitch.SolveAligned(context.Background(), ins, parallel)
 		if err != nil {
 			t.Fatalf("%s aligned: %v", name, err)
 		}
-		ex, err := mtswitch.SolveExact(ins, parallel, mtswitch.Config{MaxStates: 20000})
+		ex, err := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{MaxStates: 20000})
 		if err != nil {
 			t.Fatalf("%s exact: %v", name, err)
 		}
