@@ -1,0 +1,259 @@
+// Command hyperd is the concurrent solve daemon: it serves the solver
+// registry over HTTP/JSON with a bounded worker pool, a bounded job
+// queue and a content-addressed result cache (see internal/service for
+// the wire format).
+//
+// Usage:
+//
+//	hyperd [-addr :8077] [-workers N] [-queue N] [-cache N] [-max-timeout 60s]
+//	hyperd bench [-solver aligned] [-gen phased] [-tasks 4] [-steps 64]
+//	             [-switches 16] [-conc 32] [-duration 2s]
+//
+// The default mode serves until SIGINT/SIGTERM, then shuts down
+// gracefully: new submits are rejected, queued jobs drain as canceled,
+// and in-flight solves stop at their next cancellation checkpoint.
+//
+// bench starts an in-process daemon on a loopback port and drives it
+// over real HTTP with synthetic internal/workload instances: first an
+// uncached phase (every request a distinct instance, measuring solver
+// throughput), then a cached phase (one hot instance, measuring
+// serving throughput).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "bench" {
+		if err := runBench(args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperd bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runServe(args); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperd:", err)
+		os.Exit(1)
+	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("hyperd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8077", "listen address")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 256, "job queue depth")
+		cache      = fs.Int("cache", 1024, "result cache entries (negative disables)")
+		maxTimeout = fs.Duration("max-timeout", time.Minute, "per-job solve deadline cap (0 = none)")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		MaxSolveTimeout: *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hyperd: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "hyperd: shutting down (draining queue, cancelling in-flight solves)")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "hyperd: bye")
+	return nil
+}
+
+// benchResult is one load phase's outcome.
+type benchResult struct {
+	requests int64
+	failures int64
+	elapsed  time.Duration
+}
+
+func (r benchResult) rate() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.requests) / r.elapsed.Seconds()
+}
+
+func runBench(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("hyperd bench", flag.ContinueOnError)
+	var (
+		solver   = fs.String("solver", "aligned", "registry solver to drive")
+		gen      = fs.String("gen", "phased", "workload generator: phased, bursty, markov, uniform")
+		tasks    = fs.Int("tasks", 4, "tasks per generated instance")
+		steps    = fs.Int("steps", 64, "steps per generated instance")
+		switches = fs.Int("switches", 16, "switches per task")
+		conc     = fs.Int("conc", 32, "concurrent client connections")
+		duration = fs.Duration("duration", 2*time.Second, "duration of each load phase")
+		workers  = fs.Int("workers", 0, "server worker pool size (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	generate, ok := workload.Generators()[*gen]
+	if !ok {
+		return fmt.Errorf("unknown generator %q", *gen)
+	}
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: 4096,
+		// Uncached phases insert every distinct instance; keep them all
+		// so the phases do not interfere.
+		CacheEntries: 1 << 20,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		httpSrv.Shutdown(ctx)
+	}()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc}}
+	makeBody := func(seed int64) ([]byte, error) {
+		mt, err := generate(workload.Config{
+			Tasks: *tasks, Steps: *steps, Switches: *switches, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(service.SolveRequest{
+			Solver:   *solver,
+			Instance: service.WireInstanceFrom(mt),
+		})
+	}
+	post := func(body []byte) error {
+		resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	fmt.Fprintf(w, "hyperd bench: solver=%s gen=%s m=%d n=%d l=%d conc=%d phase=%v\n",
+		*solver, *gen, *tasks, *steps, *switches, *conc, *duration)
+
+	// Phase 1 — uncached baseline: every request is a fresh instance,
+	// so the pool solves every one of them.
+	var seed atomic.Int64
+	uncached, err := phase(*conc, *duration, func() ([]byte, error) {
+		return makeBody(seed.Add(1))
+	}, post)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "uncached: %d solved (%d failed) in %v = %.1f req/s\n",
+		uncached.requests, uncached.failures, uncached.elapsed.Round(time.Millisecond), uncached.rate())
+
+	// Phase 2 — cached: one hot instance, warmed once, answered from
+	// the content-addressed cache thereafter.
+	hot, err := makeBody(-1)
+	if err != nil {
+		return err
+	}
+	if err := post(hot); err != nil {
+		return fmt.Errorf("warm-up solve: %w", err)
+	}
+	cached, err := phase(*conc, *duration, func() ([]byte, error) { return hot, nil }, post)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cached:   %d solved (%d failed) in %v = %.1f req/s\n",
+		cached.requests, cached.failures, cached.elapsed.Round(time.Millisecond), cached.rate())
+
+	if uncached.failures > 0 || cached.failures > 0 {
+		return fmt.Errorf("%d requests failed", uncached.failures+cached.failures)
+	}
+	return nil
+}
+
+// phase drives concurrent POSTs for the given duration and tallies
+// successes; body-construction errors abort the phase.
+func phase(conc int, d time.Duration, makeBody func() ([]byte, error), post func([]byte) error) (benchResult, error) {
+	var res benchResult
+	var firstErr error
+	var errOnce sync.Once
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				body, err := makeBody()
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				if err := post(body); err != nil {
+					atomic.AddInt64(&res.failures, 1)
+					continue
+				}
+				atomic.AddInt64(&res.requests, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res, firstErr
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchSmoke(t *testing.T) {
+	var out strings.Builder
+	err := runBench([]string{
+		"-solver", "aligned", "-gen", "phased",
+		"-tasks", "2", "-steps", "16", "-switches", "8",
+		"-conc", "4", "-duration", "200ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("bench failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"uncached:", "cached:", "req/s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("bench output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBenchRejectsUnknownGenerator(t *testing.T) {
+	var out strings.Builder
+	if err := runBench([]string{"-gen", "nope", "-duration", "10ms"}, &out); err == nil {
+		t.Fatal("accepted unknown generator")
+	}
+}
+
+func TestServeRejectsBadAddr(t *testing.T) {
+	if err := runServe([]string{"-addr", "256.256.256.256:0"}); err == nil {
+		t.Fatal("accepted unusable listen address")
+	}
+}

@@ -15,9 +15,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -41,11 +44,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for ga/anneal")
 		beamN    = flag.Int("beam", 3000, "beam width for -solver beam")
 		outPath  = flag.String("out", "", "write the best schedule as JSON to this file (verify with hyperverify)")
+		stats    = flag.Bool("stats", false, "print per-solver run statistics (states/evals/pruned/dedup/wall time)")
 	)
 	flag.Parse()
 
-	if err := run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *outPath); err != nil {
+	if err := run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *outPath, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "mtopt:", err)
+		var unknown *solve.UnknownSolverError
+		if errors.As(err, &unknown) {
+			fmt.Fprintf(os.Stderr, "usage: mtopt -solver {%s|all}\n",
+				strings.Join(unknown.Registered, "|"))
+		}
 		os.Exit(1)
 	}
 }
@@ -70,7 +79,7 @@ func load(app, reqsPath, gran string) (*model.MTSwitchInstance, error) {
 	return tr.MTInstance(g)
 }
 
-func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN int, outPath string) error {
+func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN int, outPath string, stats bool) error {
 	ins, err := load(app, reqsPath, gran)
 	if err != nil {
 		return err
@@ -99,6 +108,11 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 		}
 		fmt.Printf("%-8s cost=%d (%.1f%% of disabled), partial hyper steps=%d%s\n",
 			name, sol.Cost, 100*float64(sol.Cost)/float64(ins.DisabledCost()), hypers, note)
+		if stats {
+			fmt.Printf("  stats: states=%d evals=%d pruned=%d dedup=%d exact=%t wall=%s\n",
+				sol.Stats.StatesExpanded, sol.Stats.Evaluations, sol.Stats.CandidatesPruned,
+				sol.Stats.DedupHits, sol.Exact, sol.Stats.WallTime.Round(time.Microsecond))
+		}
 		if best == nil || sol.Cost < best.Cost {
 			best = sol
 		}

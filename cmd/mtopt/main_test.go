@@ -1,11 +1,14 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/solve"
 )
 
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -28,7 +31,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunAllSolversWithFigures(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("counterdd", "", "all", "parallel", "delta", true, 30, 40, 1, 500, "")
+		return run("counterdd", "", "all", "parallel", "delta", true, 30, 40, 1, 500, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +45,7 @@ func TestRunAllSolversWithFigures(t *testing.T) {
 
 func TestRunSequentialUpload(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("toggle", "", "aligned", "sequential", "bit", false, 10, 10, 1, 100, "")
+		return run("toggle", "", "aligned", "sequential", "bit", false, 10, 10, 1, 100, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +63,7 @@ func TestRunFromCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run("", csvPath, "ga", "parallel", "bit", false, 10, 10, 1, 100, "")
+		return run("", csvPath, "ga", "parallel", "bit", false, 10, 10, 1, 100, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,28 +75,53 @@ func TestRunFromCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, "")
+		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, "", false)
 	}); err == nil {
 		t.Fatal("accepted unknown solver")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "ga", "nope", "bit", false, 10, 10, 1, 100, "")
+		return run("counter", "", "ga", "nope", "bit", false, 10, 10, 1, 100, "", false)
 	}); err == nil {
 		t.Fatal("accepted unknown upload mode")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "ga", "parallel", "nope", false, 10, 10, 1, 100, "")
+		return run("counter", "", "ga", "parallel", "nope", false, 10, 10, 1, 100, "", false)
 	}); err == nil {
 		t.Fatal("accepted unknown granularity")
 	}
 	if _, err := capture(t, func() error {
-		return run("nope", "", "ga", "parallel", "bit", false, 10, 10, 1, 100, "")
+		return run("nope", "", "ga", "parallel", "bit", false, 10, 10, 1, 100, "", false)
 	}); err == nil {
 		t.Fatal("accepted unknown app")
 	}
 	if _, err := capture(t, func() error {
-		return run("", "/nonexistent.csv", "ga", "parallel", "bit", false, 10, 10, 1, 100, "")
+		return run("", "/nonexistent.csv", "ga", "parallel", "bit", false, 10, 10, 1, 100, "", false)
 	}); err == nil {
 		t.Fatal("accepted missing CSV")
+	}
+}
+
+func TestRunStatsFlag(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("toggle", "", "aligned", "parallel", "bit", false, 10, 10, 1, 100, "", true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stats: states=") || !strings.Contains(out, "wall=") {
+		t.Fatalf("-stats did not print run statistics:\n%s", out)
+	}
+}
+
+func TestUnknownSolverErrorListsRegistered(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, "", false)
+	})
+	var unknown *solve.UnknownSolverError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error %v (%T) is not an UnknownSolverError", err, err)
+	}
+	if len(unknown.Registered) == 0 {
+		t.Fatalf("typed error carries no registered solvers: %v", err)
 	}
 }

@@ -15,9 +15,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -36,11 +38,17 @@ func main() {
 		k        = flag.Int("k", 8, "interval length for -solver interval")
 		w        = flag.Int64("w", 0, "override hyperreconfiguration cost W (default |X|)")
 		gran     = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
+		stats    = flag.Bool("stats", false, "print solver run statistics (states/evals/pruned/dedup/wall time)")
 	)
 	flag.Parse()
 
-	if err := run(*app, *reqsPath, *solver, *k, *w, *gran); err != nil {
+	if err := run(*app, *reqsPath, *solver, *k, *w, *gran, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "phcopt:", err)
+		var unknown *solve.UnknownSolverError
+		if errors.As(err, &unknown) {
+			fmt.Fprintf(os.Stderr, "usage: phcopt -solver {%s|every|none}\n",
+				strings.Join(unknown.Registered, "|"))
+		}
 		os.Exit(1)
 	}
 }
@@ -74,7 +82,7 @@ func loadSingle(app, reqsPath, gran string) (*model.SwitchInstance, error) {
 	return mt.SingleTaskView()
 }
 
-func run(app, reqsPath, solver string, k int, w int64, gran string) error {
+func run(app, reqsPath, solver string, k int, w int64, gran string, stats bool) error {
 	ins, err := loadSingle(app, reqsPath, gran)
 	if err != nil {
 		return err
@@ -105,9 +113,11 @@ func run(app, reqsPath, solver string, k int, w int64, gran string) error {
 
 	fmt.Printf("solver %s: cost=%d (%.1f%% of disabled), hyperreconfigurations=%d\n",
 		solver, sol.Cost, 100*float64(sol.Cost)/float64(ins.DisabledCost()), len(sol.Seg.Starts))
-	fmt.Printf("stats: states=%d evals=%d pruned=%d dedup=%d exact=%t wall=%s\n",
-		sol.Stats.StatesExpanded, sol.Stats.Evaluations, sol.Stats.CandidatesPruned,
-		sol.Stats.DedupHits, sol.Exact, sol.Stats.WallTime.Round(time.Microsecond))
+	if stats {
+		fmt.Printf("stats: states=%d evals=%d pruned=%d dedup=%d exact=%t wall=%s\n",
+			sol.Stats.StatesExpanded, sol.Stats.Evaluations, sol.Stats.CandidatesPruned,
+			sol.Stats.DedupHits, sol.Exact, sol.Stats.WallTime.Round(time.Microsecond))
+	}
 	fmt.Println("hyperreconfiguration steps:")
 	fmt.Println("  " + report.SegmentsLine(ins.Len(), sol.Seg.Starts))
 	return nil

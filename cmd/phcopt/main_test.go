@@ -1,11 +1,14 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/solve"
 )
 
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -28,7 +31,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunSolvers(t *testing.T) {
 	for _, solver := range []string{"dp", "greedy", "interval", "changeover"} {
-		out, err := capture(t, func() error { return run("counter", "", solver, 8, 0, "bit") })
+		out, err := capture(t, func() error { return run("counter", "", solver, 8, 0, "bit", false) })
 		if err != nil {
 			t.Fatalf("%s: %v", solver, err)
 		}
@@ -42,14 +45,14 @@ func TestRunSolvers(t *testing.T) {
 }
 
 func TestRunBaselineModes(t *testing.T) {
-	out, err := capture(t, func() error { return run("counter", "", "every", 0, 0, "bit") })
+	out, err := capture(t, func() error { return run("counter", "", "every", 0, 0, "bit", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "every-step baseline") {
 		t.Fatalf("missing baseline:\n%s", out)
 	}
-	out, err = capture(t, func() error { return run("counter", "", "none", 0, 0, "bit") })
+	out, err = capture(t, func() error { return run("counter", "", "none", 0, 0, "bit", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +62,11 @@ func TestRunBaselineModes(t *testing.T) {
 }
 
 func TestRunWOverride(t *testing.T) {
-	a, err := capture(t, func() error { return run("counter", "", "dp", 0, 0, "bit") })
+	a, err := capture(t, func() error { return run("counter", "", "dp", 0, 0, "bit", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := capture(t, func() error { return run("counter", "", "dp", 0, 5, "bit") })
+	b, err := capture(t, func() error { return run("counter", "", "dp", 0, 5, "bit", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +87,7 @@ func TestRunFromCSV(t *testing.T) {
 	if err := os.WriteFile(csvPath, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := capture(t, func() error { return run("", csvPath, "dp", 0, 0, "bit") })
+	out, err := capture(t, func() error { return run("", csvPath, "dp", 0, 0, "bit", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,19 +97,47 @@ func TestRunFromCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := capture(t, func() error { return run("counter", "", "nope", 0, 0, "bit") }); err == nil {
+	if _, err := capture(t, func() error { return run("counter", "", "nope", 0, 0, "bit", false) }); err == nil {
 		t.Fatal("accepted unknown solver")
 	}
-	if _, err := capture(t, func() error { return run("nope", "", "dp", 0, 0, "bit") }); err == nil {
+	if _, err := capture(t, func() error { return run("nope", "", "dp", 0, 0, "bit", false) }); err == nil {
 		t.Fatal("accepted unknown app")
 	}
-	if _, err := capture(t, func() error { return run("counter", "", "dp", 0, 0, "nope") }); err == nil {
+	if _, err := capture(t, func() error { return run("counter", "", "dp", 0, 0, "nope", false) }); err == nil {
 		t.Fatal("accepted unknown granularity")
 	}
-	if _, err := capture(t, func() error { return run("", "/nonexistent.csv", "dp", 0, 0, "bit") }); err == nil {
+	if _, err := capture(t, func() error { return run("", "/nonexistent.csv", "dp", 0, 0, "bit", false) }); err == nil {
 		t.Fatal("accepted missing CSV")
 	}
-	if _, err := capture(t, func() error { return run("counter", "", "interval", 0, 0, "bit") }); err == nil {
+	if _, err := capture(t, func() error { return run("counter", "", "interval", 0, 0, "bit", false) }); err == nil {
 		t.Fatal("accepted interval k=0")
+	}
+}
+
+func TestRunStatsFlag(t *testing.T) {
+	withStats, err := capture(t, func() error { return run("counter", "", "dp", 0, 0, "bit", true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(withStats, "stats: states=") || !strings.Contains(withStats, "wall=") {
+		t.Fatalf("-stats did not print run statistics:\n%s", withStats)
+	}
+	without, err := capture(t, func() error { return run("counter", "", "dp", 0, 0, "bit", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without, "stats: states=") {
+		t.Fatalf("statistics printed without -stats:\n%s", without)
+	}
+}
+
+func TestUnknownSolverErrorListsRegistered(t *testing.T) {
+	_, err := capture(t, func() error { return run("counter", "", "nope", 0, 0, "bit", false) })
+	var unknown *solve.UnknownSolverError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error %v (%T) is not an UnknownSolverError", err, err)
+	}
+	if len(unknown.Registered) == 0 || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("typed error does not list registered solvers: %v", err)
 	}
 }

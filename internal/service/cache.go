@@ -1,0 +1,77 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/solve"
+)
+
+// cachedResult is what the cache stores: the solution plus its
+// lazily-rendered, shared wire form, so serving a hot entry never
+// re-serializes the schedule document.
+type cachedResult struct {
+	sol  *solve.Solution
+	wire *wireMemo
+}
+
+// resultCache is a fixed-capacity LRU from content hash to completed
+// solution.  Cached solutions are shared by reference and treated as
+// immutable by everyone downstream (handlers only serialize them).
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *cachedResult
+}
+
+// newResultCache builds a cache holding up to capacity entries; a
+// non-positive capacity disables caching (every Get misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached result and refreshes its recency.
+func (c *resultCache) Get(key string) (*cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put inserts or refreshes an entry, evicting the least recently used
+// one beyond capacity.
+func (c *resultCache) Put(key string, res *cachedResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

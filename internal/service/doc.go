@@ -1,0 +1,20 @@
+// Package service is the concurrent solve service behind cmd/hyperd:
+// an embeddable server that accepts solve requests (an instance in the
+// traceio wire conventions plus a registry solver name and options),
+// runs them on a bounded worker pool fed by a bounded job queue, and
+// exposes an asynchronous job lifecycle — submit, poll or wait, fetch
+// the result, cancel — over HTTP/JSON.
+//
+// In front of the pool sits a content-addressed result cache: every
+// request is canonically serialized and hashed, so identical instances
+// resolve to identical keys no matter how they were phrased (a bundled
+// app name and its inline requirement matrix hash the same).  Completed
+// solutions are served from an LRU keyed by (instance hash, solver,
+// options); identical in-flight requests are deduplicated
+// singleflight-style onto one job.
+//
+// Per-job context deadlines thread into the PR-1 cancellation
+// checkpoints of every solver hot loop, so cancels and timeouts take
+// effect mid-solve.  Graceful shutdown drains the queue (queued jobs
+// finish as canceled) and cancels in-flight solves via their contexts.
+package service

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies (a 4-task, 10k-step instance is
+// well under 2 MiB).
+const maxBodyBytes = 16 << 20
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs           submit; 202 queued, 200 if answered from cache
+//	GET    /v1/jobs/{id}      poll status (result inline once done)
+//	GET    /v1/jobs/{id}/wait long-poll until terminal or ?timeout_ms elapses
+//	DELETE /v1/jobs/{id}      cancel (queued or running)
+//	POST   /v1/solve          submit and wait for the terminal state
+//	GET    /healthz           liveness
+//	GET    /metrics           Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// submit parses the body and submits, mapping the error classes to
+// status codes: resolution failures 400, full queue 429, shutdown 503.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) (*Job, bool, bool) {
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false, false
+	}
+	job, deduped, err := s.Submit(&req)
+	switch {
+	case err == nil:
+		return job, deduped, true
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+	return nil, false, false
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	job, deduped, ok := s.submit(w, r)
+	if !ok {
+		return
+	}
+	st := job.Snapshot()
+	st.Deduped = deduped
+	code := http.StatusAccepted
+	if JobState(st.State).Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNoSuchJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNoSuchJob)
+		return
+	}
+	timeout := 30 * time.Second
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("invalid timeout_ms"))
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-job.Done():
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// handleSolve is the synchronous convenience endpoint: submit, wait
+// for the terminal state, answer 200 done / 409 canceled / 500 failed.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	job, deduped, ok := s.submit(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client went away; the job keeps running for other
+		// (deduplicated or polling) consumers.
+		return
+	}
+	st := job.Snapshot()
+	st.Deduped = deduped
+	code := http.StatusOK
+	switch JobState(st.State) {
+	case JobFailed:
+		code = http.StatusInternalServerError
+	case JobCanceled:
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.metrics.render(&buf, s.gauges())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write(buf.Bytes())
+}

@@ -1,0 +1,309 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/solve"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		shutdown(t, s)
+		ts.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestHTTPSolveCounterEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := &SolveRequest{Solver: "aligned", App: "counter"}
+
+	resp, raw := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != string(JobDone) || st.Result == nil {
+		t.Fatalf("unexpected status: %s", raw)
+	}
+
+	// Acceptance: the served cost is identical to the direct solve.Run
+	// path.
+	res := mustResolve(t, req)
+	direct, err := solve.Run(context.Background(), "aligned", res.inst, res.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.Cost != int64(direct.Cost) {
+		t.Fatalf("served cost %d != direct cost %d", st.Result.Cost, direct.Cost)
+	}
+	if st.Result.Schedule == nil {
+		t.Fatal("mtswitch result is missing its schedule document")
+	}
+
+	// Re-submission is a cache hit, observable in the body and in
+	// /metrics.
+	resp2, raw2 := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit status %d", resp2.StatusCode)
+	}
+	var st2 JobStatus
+	if err := json.Unmarshal(raw2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit {
+		t.Fatalf("resubmit was not a cache hit: %s", raw2)
+	}
+	if st2.Hash != st.Hash {
+		t.Fatal("identical requests got different content hashes")
+	}
+	if st2.Result.Cost != st.Result.Cost {
+		t.Fatal("cache served a different cost")
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"hyperd_cache_hits_total 1",
+		"hyperd_jobs_submitted_total 1",
+		"hyperd_jobs_completed_total 1",
+		`hyperd_solve_seconds_count{solver="aligned"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestHTTPAsyncLifecycle(t *testing.T) {
+	gate := make(chan struct{})
+	setTestSolver(func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+		select {
+		case <-gate:
+			return &solve.Solution{Cost: 7}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", tinyRequest("svc-test"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll: still queued or running.
+	resp, raw = getBody(t, ts.URL+"/v1/jobs/"+st.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll status %d", resp.StatusCode)
+	}
+	var polled JobStatus
+	if err := json.Unmarshal(raw, &polled); err != nil {
+		t.Fatal(err)
+	}
+	if JobState(polled.State).Terminal() {
+		t.Fatalf("job terminal before the gate opened: %s", raw)
+	}
+
+	// A bounded wait returns the still-running status.
+	_, raw = getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/wait?timeout_ms=50")
+	if err := json.Unmarshal(raw, &polled); err != nil {
+		t.Fatal(err)
+	}
+	if JobState(polled.State).Terminal() {
+		t.Fatal("bounded wait should have timed out with the job live")
+	}
+
+	close(gate)
+	_, raw = getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/wait?timeout_ms=10000")
+	if err := json.Unmarshal(raw, &polled); err != nil {
+		t.Fatal(err)
+	}
+	if polled.State != string(JobDone) || polled.Result == nil || polled.Result.Cost != 7 {
+		t.Fatalf("wait did not deliver the result: %s", raw)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	setTestSolver(func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	_, raw := postJSON(t, ts.URL+"/v1/jobs", tinyRequest("svc-test"))
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	httpReq, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+
+	_, raw = getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/wait?timeout_ms=10000")
+	var final JobStatus
+	if err := json.Unmarshal(raw, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != string(JobCanceled) {
+		t.Fatalf("state after cancel = %s, want canceled", final.State)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// Unknown solver: 400, and the typed registry error lists what
+	// would have worked.
+	resp, raw := postJSON(t, ts.URL+"/v1/solve", &SolveRequest{Solver: "nope", App: "counter"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown solver status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "registered:") || !strings.Contains(string(raw), "aligned") {
+		t.Fatalf("unknown-solver error does not list registered solvers: %s", raw)
+	}
+
+	cases := []*SolveRequest{
+		{App: "counter"},                                                           // missing solver
+		{Solver: "aligned"},                                                        // no instance source
+		{Solver: "aligned", App: "nope"},                                           // unknown app
+		{Solver: "aligned", App: "counter", Gran: "nope"},                          // bad granularity
+		{Solver: "aligned", App: "counter", Kind: "nope"},                          // bad kind
+		{Solver: "aligned", App: "counter", Upload: "nope"},                        // bad upload
+		{Solver: "aligned", App: "counter", TimeoutMS: -1},                         // bad timeout
+		{Solver: "aligned", App: "counter", Options: WireOptions{Pop: -1}},         // invalid options
+		{Solver: "aligned", App: "counter", Options: WireOptions{Crossover: "xx"}}, // bad crossover
+		{Solver: "aligned", App: "counter", Kind: "switch", Upload: "sequential"},  // upload on switch
+		{Solver: "aligned", App: "counter", W: 5},                                  // w on mtswitch
+		{Solver: "aligned", Instance: &WireInstance{}},                             // empty instance
+		{Solver: "aligned", Instance: counterWire(t), Gran: "bit"},                 // gran on inline
+	}
+	for i, req := range cases {
+		resp, _ := postJSON(t, ts.URL+"/v1/solve", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+
+	// Malformed JSON.
+	resp2, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status %d", resp2.StatusCode)
+	}
+
+	// Unknown job id.
+	resp3, _ := getBody(t, ts.URL+"/v1/jobs/job-999999")
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", resp3.StatusCode)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, raw := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, raw)
+	}
+}
+
+func TestHTTPShutdownRejectsSubmits(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	shutdown(t, s)
+
+	resp, raw := postJSON(t, ts.URL+"/v1/solve", &SolveRequest{Solver: "aligned", App: "counter"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during shutdown: status %d body %s", resp.StatusCode, raw)
+	}
+}
+
+func TestHTTPSwitchKind(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	req := &SolveRequest{Solver: "exact", App: "counter", Kind: "switch"}
+	resp, raw := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Result == nil || st.Result.Kind != "switch" || len(st.Result.SegStarts) == 0 {
+		t.Fatalf("switch solve missing segmentation: %s", raw)
+	}
+	res := mustResolve(t, req)
+	direct, err := solve.Run(context.Background(), "exact", res.inst, res.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.Cost != int64(direct.Cost) {
+		t.Fatalf("served switch cost %d != direct %d", st.Result.Cost, direct.Cost)
+	}
+	if fmt.Sprint(st.Result.SegStarts) != fmt.Sprint(direct.Seg.Starts) {
+		t.Fatalf("served segmentation %v != direct %v", st.Result.SegStarts, direct.Seg.Starts)
+	}
+}

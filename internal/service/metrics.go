@@ -1,0 +1,132 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds
+// (log-spaced from 100µs to ~100s, plus +Inf implicitly).
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// latencyHist is one solver's latency histogram (guarded by
+// metrics.mu).
+type latencyHist struct {
+	buckets []int64 // buckets[i] counts observations ≤ latencyBounds[i]
+	count   int64
+	sum     float64 // seconds
+}
+
+func (h *latencyHist) observe(seconds float64) {
+	for i, ub := range latencyBounds {
+		if seconds <= ub {
+			h.buckets[i]++
+		}
+	}
+	h.count++
+	h.sum += seconds
+}
+
+// metrics aggregates the service counters exported on /metrics.
+type metrics struct {
+	submitted atomic.Int64 // jobs enqueued (not cache hits, not dedups)
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64 // submits bounced on a full queue
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	dedupHits   atomic.Int64
+
+	workersBusy atomic.Int64
+
+	mu        sync.Mutex
+	perSolver map[string]*latencyHist
+}
+
+func newMetrics() *metrics {
+	return &metrics{perSolver: map[string]*latencyHist{}}
+}
+
+// observe records one completed solve's wall time under its solver.
+func (m *metrics) observe(solver string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.perSolver[solver]
+	if !ok {
+		h = &latencyHist{buckets: make([]int64, len(latencyBounds))}
+		m.perSolver[solver] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// gauges are point-in-time values the server snapshots at render time.
+type gauges struct {
+	queueDepth    int
+	queueCapacity int
+	workers       int
+	cacheEntries  int
+	jobsByState   map[JobState]int
+}
+
+// render writes the Prometheus text exposition format.
+func (m *metrics) render(w io.Writer, g gauges) {
+	counter := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	gauge := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	counter("hyperd_jobs_submitted_total", m.submitted.Load())
+	counter("hyperd_jobs_completed_total", m.completed.Load())
+	counter("hyperd_jobs_failed_total", m.failed.Load())
+	counter("hyperd_jobs_canceled_total", m.canceled.Load())
+	counter("hyperd_jobs_rejected_total", m.rejected.Load())
+	counter("hyperd_cache_hits_total", m.cacheHits.Load())
+	counter("hyperd_cache_misses_total", m.cacheMisses.Load())
+	counter("hyperd_dedup_hits_total", m.dedupHits.Load())
+	gauge("hyperd_queue_depth", int64(g.queueDepth))
+	gauge("hyperd_queue_capacity", int64(g.queueCapacity))
+	gauge("hyperd_workers", int64(g.workers))
+	gauge("hyperd_workers_busy", m.workersBusy.Load())
+	gauge("hyperd_cache_entries", int64(g.cacheEntries))
+
+	fmt.Fprintf(w, "# TYPE hyperd_jobs gauge\n")
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
+		fmt.Fprintf(w, "hyperd_jobs{state=%q} %d\n", st, g.jobsByState[st])
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	solvers := make([]string, 0, len(m.perSolver))
+	for name := range m.perSolver {
+		solvers = append(solvers, name)
+	}
+	sort.Strings(solvers)
+	if len(solvers) > 0 {
+		fmt.Fprintf(w, "# TYPE hyperd_solve_seconds histogram\n")
+	}
+	for _, name := range solvers {
+		h := m.perSolver[name]
+		for i, ub := range latencyBounds {
+			fmt.Fprintf(w, "hyperd_solve_seconds_bucket{solver=%q,le=%q} %d\n", name, trimFloat(ub), h.buckets[i])
+		}
+		fmt.Fprintf(w, "hyperd_solve_seconds_bucket{solver=%q,le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(w, "hyperd_solve_seconds_sum{solver=%q} %g\n", name, h.sum)
+		fmt.Fprintf(w, "hyperd_solve_seconds_count{solver=%q} %d\n", name, h.count)
+	}
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do
+// (shortest representation, no trailing zeros).
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

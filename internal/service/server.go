@@ -1,0 +1,440 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// Config tunes a Server.  The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the solve pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; submits beyond it are rejected
+	// with ErrQueueFull (default 256).
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// JobRetention bounds how many finished jobs stay pollable; the
+	// oldest finished jobs are forgotten beyond it (default 4096).
+	JobRetention int
+	// MaxSolveTimeout clamps every job's solve deadline; jobs that
+	// request no timeout get exactly this one.  0 means no server-side
+	// deadline.
+	MaxSolveTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 4096
+	}
+	return c
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is one submitted solve.  Identical in-flight submissions share
+// one Job (singleflight), so a cancel from any submitter cancels it
+// for all of them.
+type Job struct {
+	// ID is the server-assigned job identifier.
+	ID string
+	// Hash is the request's content address.
+	Hash string
+	// Solver is the registry name the job runs.
+	Solver string
+	// CacheHit reports the job was born terminal from the result
+	// cache.
+	CacheHit bool
+
+	inst *solve.Instance
+	mt   *model.MTSwitchInstance
+	opts solve.Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	canceled  bool // cancel requested (may still be queued)
+	sol       *solve.Solution
+	memo      *wireMemo // shared wire rendering of sol
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's current wire status.  Result
+// serialization failures surface in the Error field.
+func (j *Job) Snapshot() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:          j.ID,
+		State:       string(j.state),
+		Solver:      j.Solver,
+		Hash:        j.Hash,
+		CacheHit:    j.CacheHit,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.sol != nil {
+		ws, err := j.memo.get(j.sol, j.mt)
+		if err != nil {
+			st.Error = err.Error()
+		} else {
+			st.Result = ws
+		}
+	}
+	return st
+}
+
+// Solution returns the solved result once the job is done.
+func (j *Job) Solution() (*solve.Solution, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, fmt.Errorf("service: job %s still %s", j.ID, j.state)
+	}
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.sol, nil
+}
+
+var (
+	// ErrQueueFull rejects a submit when the bounded queue is at
+	// capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown rejects submits during graceful shutdown.
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrNoSuchJob reports an unknown (or already forgotten) job id.
+	ErrNoSuchJob = errors.New("service: no such job")
+)
+
+// Server is the embeddable solve service: a bounded job queue, a
+// worker pool, the content-addressed result cache and the metrics
+// registry.  Create with New, serve with Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	cache   *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu            sync.Mutex
+	closed        bool
+	seq           int64
+	jobs          map[string]*Job
+	inflight      map[string]*Job // hash → queued/running job
+	finishedOrder []string        // finished job ids, oldest first
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// New starts a server and its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		cache:      newResultCache(cfg.CacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		inflight:   map[string]*Job{},
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit resolves, deduplicates and enqueues a request.  The returned
+// job may already be terminal (cache hit) or shared with earlier
+// identical submissions (deduped=true).  Resolution failures are
+// client errors; ErrQueueFull and ErrShuttingDown are server-state
+// errors.
+func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
+	res, err := req.resolve()
+	if err != nil {
+		return nil, false, err
+	}
+	opts := res.opts
+	if s.cfg.MaxSolveTimeout > 0 && (opts.Timeout == 0 || opts.Timeout > s.cfg.MaxSolveTimeout) {
+		opts.Timeout = s.cfg.MaxSolveTimeout
+	}
+	key, err := requestKey(res.inst, res.solver, opts)
+	if err != nil {
+		return nil, false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrShuttingDown
+	}
+
+	if hit, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		job := s.newJobLocked(key, res, opts)
+		now := time.Now()
+		job.CacheHit = true
+		job.state = JobDone
+		job.sol = hit.sol
+		job.memo = hit.wire
+		job.started, job.finished = now, now
+		close(job.done)
+		job.cancel() // never runs; release the context immediately
+		s.rememberFinishedLocked(job)
+		return job, false, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	if cur, ok := s.inflight[key]; ok {
+		s.metrics.dedupHits.Add(1)
+		return cur, true, nil
+	}
+
+	job = s.newJobLocked(key, res, opts)
+	select {
+	case s.queue <- job:
+	default:
+		delete(s.jobs, job.ID)
+		job.cancel()
+		s.metrics.rejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	s.inflight[key] = job
+	s.metrics.submitted.Add(1)
+	return job, false, nil
+}
+
+// newJobLocked allocates and registers a queued job (caller holds
+// s.mu).
+func (s *Server) newJobLocked(key string, res *resolved, opts solve.Options) *Job {
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.seq),
+		Hash:      key,
+		Solver:    res.solver,
+		inst:      res.inst,
+		mt:        res.mt,
+		opts:      opts,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	return job
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job: queued jobs finish canceled
+// without running, running jobs are cancelled through their context at
+// the solver's next checkpoint.  Terminal jobs are left untouched.
+func (s *Server) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchJob
+	}
+	job.mu.Lock()
+	if !job.state.Terminal() {
+		job.canceled = true
+	}
+	job.mu.Unlock()
+	job.cancel()
+	return job, nil
+}
+
+// worker pulls jobs until the queue closes at shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one dequeued job.
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	if job.canceled || job.ctx.Err() != nil {
+		job.mu.Unlock()
+		s.finalize(job, nil, context.Canceled)
+		return
+	}
+	job.state = JobRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	s.metrics.workersBusy.Add(1)
+	sol, err := solve.Run(job.ctx, job.Solver, job.inst, job.opts)
+	s.metrics.workersBusy.Add(-1)
+	s.finalize(job, sol, err)
+}
+
+// finalize moves a job to its terminal state, publishes the result to
+// the cache, releases the singleflight slot and wakes waiters.
+func (s *Server) finalize(job *Job, sol *solve.Solution, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	job.mu.Lock()
+	job.finished = now
+	if job.started.IsZero() {
+		job.started = now
+	}
+	switch {
+	case err == nil:
+		job.state = JobDone
+		job.sol = sol
+		job.memo = &wireMemo{}
+		s.cache.Put(job.Hash, &cachedResult{sol: sol, wire: job.memo})
+		s.metrics.completed.Add(1)
+		s.metrics.observe(job.Solver, now.Sub(job.started))
+	case errors.Is(err, context.Canceled):
+		job.state = JobCanceled
+		job.err = err
+		s.metrics.canceled.Add(1)
+	default:
+		job.state = JobFailed
+		job.err = err
+		s.metrics.failed.Add(1)
+	}
+	if s.inflight[job.Hash] == job {
+		delete(s.inflight, job.Hash)
+	}
+	close(job.done)
+	job.mu.Unlock()
+	s.rememberFinishedLocked(job)
+	s.mu.Unlock()
+	job.cancel() // release the context's resources
+}
+
+// rememberFinishedLocked enforces the finished-job retention bound
+// (caller holds s.mu).
+func (s *Server) rememberFinishedLocked(job *Job) {
+	s.finishedOrder = append(s.finishedOrder, job.ID)
+	for len(s.finishedOrder) > s.cfg.JobRetention {
+		delete(s.jobs, s.finishedOrder[0])
+		s.finishedOrder = s.finishedOrder[1:]
+	}
+}
+
+// gauges snapshots the point-in-time metrics.
+func (s *Server) gauges() gauges {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := gauges{
+		queueDepth:    len(s.queue),
+		queueCapacity: s.cfg.QueueDepth,
+		workers:       s.cfg.Workers,
+		cacheEntries:  s.cache.Len(),
+		jobsByState:   map[JobState]int{},
+	}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		g.jobsByState[j.state]++
+		j.mu.Unlock()
+	}
+	return g
+}
+
+// Shutdown gracefully stops the server: new submits are rejected with
+// ErrShuttingDown, every queued or running job is cancelled through
+// its context (solvers stop at their next cancellation checkpoint),
+// the queue drains, and the workers exit.  It returns ctx's error if
+// the drain does not finish in time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.canceled = true
+		}
+		j.mu.Unlock()
+	}
+	close(s.queue)
+	s.mu.Unlock()
+	s.baseCancel() // cancels every job context, queued and running
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,23 @@
+package solve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnknownSolverError reports a registry lookup for a name nobody
+// registered.  It carries the registered names so callers (CLIs, the
+// solve service) can show the user what would have worked; match it
+// with errors.As.
+type UnknownSolverError struct {
+	// Name is the solver name that failed to resolve.
+	Name string
+	// Registered lists the registered solver names in sorted order.
+	Registered []string
+}
+
+// Error implements error.
+func (e *UnknownSolverError) Error() string {
+	return fmt.Sprintf("solve: unknown solver %q (registered: %s)",
+		e.Name, strings.Join(e.Registered, ", "))
+}

@@ -34,7 +34,7 @@ func Get(name string) (Solver, error) {
 	defer registryMu.RUnlock()
 	s, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("solve: unknown solver %q (have %v)", name, namesLocked())
+		return nil, &UnknownSolverError{Name: name, Registered: namesLocked()}
 	}
 	return s, nil
 }

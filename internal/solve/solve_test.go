@@ -199,6 +199,24 @@ func TestRunHousekeeping(t *testing.T) {
 
 	if _, err := Run(context.Background(), "solve-test-no-such-solver", inst, Options{}); err == nil {
 		t.Fatal("Run accepted an unknown solver")
+	} else {
+		var unknown *UnknownSolverError
+		if !errors.As(err, &unknown) {
+			t.Fatalf("unknown-solver error has type %T, want *UnknownSolverError", err)
+		}
+		if unknown.Name != "solve-test-no-such-solver" {
+			t.Fatalf("UnknownSolverError.Name = %q", unknown.Name)
+		}
+		found := false
+		for _, n := range unknown.Registered {
+			found = found || n == "solve-test-run"
+		}
+		if !found {
+			t.Fatalf("UnknownSolverError.Registered %v misses a registered solver", unknown.Registered)
+		}
+		if !strings.Contains(err.Error(), "solve-test-run") {
+			t.Fatalf("error message does not list registered solvers: %v", err)
+		}
 	}
 	if _, err := Run(context.Background(), "solve-test-run", nil, Options{}); err == nil {
 		t.Fatal("Run accepted a nil instance")
