@@ -421,6 +421,63 @@ func BenchmarkScalingTasks(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontierEngines compares the MT-Switch frontier engines
+// (E14) on the m=4 phased workload of BenchmarkScalingTasks:
+// Reference is the seed map-keyed frontier DP, PackedW1 the
+// packed-state engine restricted to one expansion worker (isolates
+// the representation change), Packed the engine at GOMAXPROCS
+// workers.  All three produce identical schedules (asserted in
+// internal/mtswitch and internal/solve/solvers tests); scripts/bench.sh
+// records the same comparison into BENCH_PR3.json.
+func BenchmarkFrontierEngines(b *testing.B) {
+	ins, err := workload.Phased(workload.Config{Tasks: 4, Steps: 64, Switches: 12, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := solve.Options{MaxStates: 500, MaxCandidates: 3}
+	run := func(b *testing.B, solveOne func() (model.Cost, error)) {
+		b.ReportAllocs()
+		var cost model.Cost
+		for i := 0; i < b.N; i++ {
+			c, err := solveOne()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = c
+		}
+		b.ReportMetric(float64(cost), "cost")
+	}
+	b.Run("Reference", func(b *testing.B) {
+		run(b, func() (model.Cost, error) {
+			sol, err := mtswitch.SolveExactReference(context.Background(), ins, parallel, opts)
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		})
+	})
+	b.Run("PackedW1", func(b *testing.B) {
+		w1 := opts
+		w1.Workers = 1
+		run(b, func() (model.Cost, error) {
+			sol, err := mtswitch.SolveExact(context.Background(), ins, parallel, w1)
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		})
+	})
+	b.Run("Packed", func(b *testing.B) {
+		run(b, func() (model.Cost, error) {
+			sol, err := mtswitch.SolveExact(context.Background(), ins, parallel, opts)
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		})
+	})
+}
+
 // BenchmarkWorkloadShapes compares schedule quality across the four
 // synthetic workload shapes (E12): structure is what
 // hyperreconfiguration exploits.
@@ -546,7 +603,7 @@ func BenchmarkReplay(b *testing.B) {
 	}
 }
 
-// BenchmarkMesh runs the reconfigurable-mesh workload analysis (E14):
+// BenchmarkMesh runs the reconfigurable-mesh workload analysis (E15):
 // execute the rotate-and-or program, extract delta requirements and
 // optimize.
 func BenchmarkMesh(b *testing.B) {

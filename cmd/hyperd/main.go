@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/profutil"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -133,6 +134,8 @@ func runBench(args []string, w io.Writer) error {
 		conc     = fs.Int("conc", 32, "concurrent client connections")
 		duration = fs.Duration("duration", 2*time.Second, "duration of each load phase")
 		workers  = fs.Int("workers", 0, "server worker pool size (0 = GOMAXPROCS)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile after the bench run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +144,16 @@ func runBench(args []string, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown generator %q", *gen)
 	}
+	stopProf, err := profutil.StartCPU(*cpuProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	defer func() {
+		if err := profutil.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperd bench:", err)
+		}
+	}()
 
 	srv := service.New(service.Config{
 		Workers:    *workers,

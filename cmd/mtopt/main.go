@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
+	"repro/internal/profutil"
 	"repro/internal/report"
 	"repro/internal/shyra"
 	"repro/internal/solve"
@@ -44,11 +45,24 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for ga/anneal")
 		beamN    = flag.Int("beam", 3000, "beam width for -solver beam")
 		outPath  = flag.String("out", "", "write the best schedule as JSON to this file (verify with hyperverify)")
-		stats    = flag.Bool("stats", false, "print per-solver run statistics (states/evals/pruned/dedup/wall time)")
+		stats    = flag.Bool("stats", false, "print per-solver run statistics (states/evals/pruned/dedup/peak/wall time)")
+		workers  = flag.Int("workers", 0, "worker count for parallel solvers (0 = GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the solver runs to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile after the solver runs to this file")
 	)
 	flag.Parse()
 
-	if err := run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *outPath, *stats); err != nil {
+	stop, err := profutil.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtopt:", err)
+		os.Exit(1)
+	}
+	err = run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *workers, *outPath, *stats)
+	stop()
+	if err == nil {
+		err = profutil.WriteHeap(*memProf)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mtopt:", err)
 		var unknown *solve.UnknownSolverError
 		if errors.As(err, &unknown) {
@@ -79,7 +93,7 @@ func load(app, reqsPath, gran string) (*model.MTSwitchInstance, error) {
 	return tr.MTInstance(g)
 }
 
-func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN int, outPath string, stats bool) error {
+func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN, workers int, outPath string, stats bool) error {
 	ins, err := load(app, reqsPath, gran)
 	if err != nil {
 		return err
@@ -109,9 +123,10 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 		fmt.Printf("%-8s cost=%d (%.1f%% of disabled), partial hyper steps=%d%s\n",
 			name, sol.Cost, 100*float64(sol.Cost)/float64(ins.DisabledCost()), hypers, note)
 		if stats {
-			fmt.Printf("  stats: states=%d evals=%d pruned=%d dedup=%d exact=%t wall=%s\n",
+			fmt.Printf("  stats: states=%d evals=%d pruned=%d dedup=%d peak=%d exact=%t wall=%s\n",
 				sol.Stats.StatesExpanded, sol.Stats.Evaluations, sol.Stats.CandidatesPruned,
-				sol.Stats.DedupHits, sol.Exact, sol.Stats.WallTime.Round(time.Microsecond))
+				sol.Stats.DedupHits, sol.Stats.PeakFrontier, sol.Exact,
+				sol.Stats.WallTime.Round(time.Microsecond))
 		}
 		if best == nil || sol.Cost < best.Cost {
 			best = sol
@@ -131,6 +146,7 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 		case "ga", "anneal":
 			o = solve.Options{Pop: pop, Generations: gens, Seed: seed}
 		}
+		o.Workers = workers
 		sol, err := solve.Run(context.Background(), name, mtInst, o)
 		if err != nil {
 			return err

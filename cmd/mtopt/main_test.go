@@ -31,7 +31,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunAllSolversWithFigures(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("counterdd", "", "all", "parallel", "delta", true, 30, 40, 1, 500, "", false)
+		return run("counterdd", "", "all", "parallel", "delta", true, 30, 40, 1, 500, 2, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +45,7 @@ func TestRunAllSolversWithFigures(t *testing.T) {
 
 func TestRunSequentialUpload(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("toggle", "", "aligned", "sequential", "bit", false, 10, 10, 1, 100, "", false)
+		return run("toggle", "", "aligned", "sequential", "bit", false, 10, 10, 1, 100, 0, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +63,7 @@ func TestRunFromCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run("", csvPath, "ga", "parallel", "bit", false, 10, 10, 1, 100, "", false)
+		return run("", csvPath, "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -75,27 +75,27 @@ func TestRunFromCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, "", false)
+		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false)
 	}); err == nil {
 		t.Fatal("accepted unknown solver")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "ga", "nope", "bit", false, 10, 10, 1, 100, "", false)
+		return run("counter", "", "ga", "nope", "bit", false, 10, 10, 1, 100, 0, "", false)
 	}); err == nil {
 		t.Fatal("accepted unknown upload mode")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "ga", "parallel", "nope", false, 10, 10, 1, 100, "", false)
+		return run("counter", "", "ga", "parallel", "nope", false, 10, 10, 1, 100, 0, "", false)
 	}); err == nil {
 		t.Fatal("accepted unknown granularity")
 	}
 	if _, err := capture(t, func() error {
-		return run("nope", "", "ga", "parallel", "bit", false, 10, 10, 1, 100, "", false)
+		return run("nope", "", "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false)
 	}); err == nil {
 		t.Fatal("accepted unknown app")
 	}
 	if _, err := capture(t, func() error {
-		return run("", "/nonexistent.csv", "ga", "parallel", "bit", false, 10, 10, 1, 100, "", false)
+		return run("", "/nonexistent.csv", "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false)
 	}); err == nil {
 		t.Fatal("accepted missing CSV")
 	}
@@ -103,7 +103,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunStatsFlag(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("toggle", "", "aligned", "parallel", "bit", false, 10, 10, 1, 100, "", true)
+		return run("toggle", "", "aligned", "parallel", "bit", false, 10, 10, 1, 100, 0, "", true)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestRunStatsFlag(t *testing.T) {
 
 func TestUnknownSolverErrorListsRegistered(t *testing.T) {
 	_, err := capture(t, func() error {
-		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, "", false)
+		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false)
 	})
 	var unknown *solve.UnknownSolverError
 	if !errors.As(err, &unknown) {

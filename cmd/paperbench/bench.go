@@ -1,0 +1,162 @@
+// The -bench mode records the frontier-engine baseline: it measures
+// the seed map-based frontier DP (SolveExactReference) against the
+// packed-state engine at Workers=1 and Workers=GOMAXPROCS on the
+// BenchmarkScalingTasks m=4 workload and writes the numbers as JSON
+// (BENCH_PR3.json in the repo root is the committed baseline; see
+// scripts/bench.sh and EXPERIMENTS.md E14).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/mtswitch"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+// benchWorkload pins the measured instance to the m=4 row of
+// BenchmarkScalingTasks (bench_test.go) so the JSON baseline and the
+// `go test -bench` numbers describe the same computation.
+var benchWorkload = workload.Config{Tasks: 4, Steps: 64, Switches: 12, Seed: 1}
+
+// benchOpts are the beam budgets of the m=4/beam sub-benchmark.
+var benchOpts = solve.Options{MaxStates: 500, MaxCandidates: 3}
+
+// engineResult is one engine's measurement in the JSON baseline.
+type engineResult struct {
+	Engine      string  `json:"engine"`  // "reference" or "packed"
+	Workers     int     `json:"workers"` // expansion workers (reference is single-threaded)
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Cost        int64   `json:"cost"` // schedule cost, asserted identical across engines
+	// SpeedupVsSequential and AllocRatioVsSequential compare against
+	// the reference engine (reference / this, so >1 is an improvement).
+	SpeedupVsSequential    float64 `json:"speedup_vs_sequential"`
+	AllocRatioVsSequential float64 `json:"alloc_ratio_vs_sequential"`
+}
+
+// benchBaseline is the schema of BENCH_PR3.json.
+type benchBaseline struct {
+	Benchmark  string          `json:"benchmark"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Workload   workload.Config `json:"workload"`
+	MaxStates  int             `json:"max_states"`
+	MaxCands   int             `json:"max_candidates"`
+	Engines    []engineResult  `json:"engines"`
+}
+
+// measureEngine benchmarks one solve closure with testing.Benchmark.
+func measureEngine(run func() (model.Cost, error)) (testing.BenchmarkResult, model.Cost, error) {
+	var cost model.Cost
+	var err error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cost, err = run()
+			if err != nil {
+				return
+			}
+		}
+	})
+	return res, cost, err
+}
+
+// engineBench runs the engine comparison and writes the JSON baseline.
+func engineBench(outPath string) error {
+	ctx := context.Background()
+	ins, err := workload.Phased(benchWorkload)
+	if err != nil {
+		return err
+	}
+
+	type entry struct {
+		engine  string
+		workers int
+		run     func() (model.Cost, error)
+	}
+	solvePacked := func(workers int) func() (model.Cost, error) {
+		opts := benchOpts
+		opts.Workers = workers
+		return func() (model.Cost, error) {
+			sol, err := mtswitch.SolveExact(ctx, ins, parallel, opts)
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		}
+	}
+	entries := []entry{
+		{"reference", 1, func() (model.Cost, error) {
+			sol, err := mtswitch.SolveExactReference(ctx, ins, parallel, benchOpts)
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		}},
+		{"packed", 1, solvePacked(1)},
+		{"packed", runtime.GOMAXPROCS(0), solvePacked(runtime.GOMAXPROCS(0))},
+	}
+
+	out := benchBaseline{
+		Benchmark:  "BenchmarkScalingTasks/m=4/beam (phased workload)",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   benchWorkload,
+		MaxStates:  benchOpts.MaxStates,
+		MaxCands:   benchOpts.MaxCandidates,
+	}
+	var refResult *engineResult
+	for _, e := range entries {
+		res, cost, err := measureEngine(e.run)
+		if err != nil {
+			return fmt.Errorf("%s (workers=%d): %w", e.engine, e.workers, err)
+		}
+		er := engineResult{
+			Engine:      e.engine,
+			Workers:     e.workers,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Cost:        int64(cost),
+		}
+		if refResult == nil {
+			er.SpeedupVsSequential = 1
+			er.AllocRatioVsSequential = 1
+		} else {
+			if er.Cost != refResult.Cost {
+				return fmt.Errorf("%s (workers=%d) cost %d != reference cost %d",
+					e.engine, e.workers, er.Cost, refResult.Cost)
+			}
+			if er.NsPerOp > 0 {
+				er.SpeedupVsSequential = refResult.NsPerOp / er.NsPerOp
+			}
+			if er.AllocsPerOp > 0 {
+				er.AllocRatioVsSequential = float64(refResult.AllocsPerOp) / float64(er.AllocsPerOp)
+			}
+		}
+		out.Engines = append(out.Engines, er)
+		if refResult == nil {
+			refResult = &out.Engines[0]
+		}
+		fmt.Printf("%-10s workers=%-2d %12.0f ns/op %8d B/op %6d allocs/op  cost=%d  speedup=%.2fx  alloc-ratio=%.2fx\n",
+			e.engine, e.workers, er.NsPerOp, er.BytesPerOp, er.AllocsPerOp, er.Cost,
+			er.SpeedupVsSequential, er.AllocRatioVsSequential)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench baseline written to %s (GOMAXPROCS=%d)\n", outPath, out.GOMAXPROCS)
+	return nil
+}

@@ -17,7 +17,8 @@
 //	paperbench -exp async      # asynchronous vs synchronized (E10)
 //	paperbench -exp privglobal # private global resources (E11)
 //	paperbench -exp mtdag      # the Multi Task DAG cost model (E13)
-//	paperbench -exp mesh       # the reconfigurable-mesh machine (E14)
+//	paperbench -exp mesh       # the reconfigurable-mesh machine (E15)
+//	paperbench -bench          # frontier-engine bench baseline (E14)
 package main
 
 import (
@@ -59,12 +60,21 @@ func writeSVG(name, svg string) error {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment: costs, modes, solvers, changeover, apps, gran, async, privglobal, mtdag, mesh, all")
-		fig    = flag.Int("fig", 0, "figure to regenerate: 1, 2 or 3")
-		svgDir = flag.String("svgdir", "", "also write Figure 2/3 as SVG files into this directory")
+		exp      = flag.String("exp", "", "experiment: costs, modes, solvers, changeover, apps, gran, async, privglobal, mtdag, mesh, all")
+		fig      = flag.Int("fig", 0, "figure to regenerate: 1, 2 or 3")
+		svgDir   = flag.String("svgdir", "", "also write Figure 2/3 as SVG files into this directory")
+		bench    = flag.Bool("bench", false, "measure the MT-Switch frontier engines and write a JSON baseline (E14)")
+		benchOut = flag.String("benchout", "BENCH_PR3.json", "output path for the -bench baseline")
 	)
 	flag.Parse()
 
+	if *bench {
+		if err := engineBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" && *fig == 0 {
 		*exp = "all"
 	}
@@ -563,11 +573,11 @@ func mtDAG() error {
 	return nil
 }
 
-// mesh runs the multi-task analysis on the reconfigurable mesh (E14) —
+// mesh runs the multi-task analysis on the reconfigurable mesh (E15) —
 // the architecture the paper names as the canonical fully synchronized
 // machine.  Tasks are the mesh rows.
 func mesh() error {
-	fmt.Println("=== E14: reconfigurable mesh (fully synchronized by construction) ===")
+	fmt.Println("=== E15: reconfigurable mesh (fully synchronized by construction) ===")
 	ctx := context.Background()
 	workloads := []struct {
 		name  string

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/profutil"
 	"repro/internal/report"
 	"repro/internal/shyra"
 	"repro/internal/solve"
@@ -38,11 +39,23 @@ func main() {
 		k        = flag.Int("k", 8, "interval length for -solver interval")
 		w        = flag.Int64("w", 0, "override hyperreconfiguration cost W (default |X|)")
 		gran     = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
-		stats    = flag.Bool("stats", false, "print solver run statistics (states/evals/pruned/dedup/wall time)")
+		stats    = flag.Bool("stats", false, "print solver run statistics (states/evals/pruned/dedup/peak/wall time)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the solver run to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile after the solver run to this file")
 	)
 	flag.Parse()
 
-	if err := run(*app, *reqsPath, *solver, *k, *w, *gran, *stats); err != nil {
+	stop, err := profutil.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phcopt:", err)
+		os.Exit(1)
+	}
+	err = run(*app, *reqsPath, *solver, *k, *w, *gran, *stats)
+	stop()
+	if err == nil {
+		err = profutil.WriteHeap(*memProf)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "phcopt:", err)
 		var unknown *solve.UnknownSolverError
 		if errors.As(err, &unknown) {
@@ -114,9 +127,10 @@ func run(app, reqsPath, solver string, k int, w int64, gran string, stats bool) 
 	fmt.Printf("solver %s: cost=%d (%.1f%% of disabled), hyperreconfigurations=%d\n",
 		solver, sol.Cost, 100*float64(sol.Cost)/float64(ins.DisabledCost()), len(sol.Seg.Starts))
 	if stats {
-		fmt.Printf("stats: states=%d evals=%d pruned=%d dedup=%d exact=%t wall=%s\n",
+		fmt.Printf("stats: states=%d evals=%d pruned=%d dedup=%d peak=%d exact=%t wall=%s\n",
 			sol.Stats.StatesExpanded, sol.Stats.Evaluations, sol.Stats.CandidatesPruned,
-			sol.Stats.DedupHits, sol.Exact, sol.Stats.WallTime.Round(time.Microsecond))
+			sol.Stats.DedupHits, sol.Stats.PeakFrontier, sol.Exact,
+			sol.Stats.WallTime.Round(time.Microsecond))
 	}
 	fmt.Println("hyperreconfiguration steps:")
 	fmt.Println("  " + report.SegmentsLine(ins.Len(), sol.Seg.Starts))

@@ -261,6 +261,70 @@ func (s Set) ForEach(fn func(i int)) {
 	}
 }
 
+// Words exposes the set's backing words without copying.  Bit i of the
+// set lives at words[i/64] bit i%64; bits at and beyond the universe
+// size are always zero.  The packed-state frontier engine builds flat
+// per-generation slabs out of these words, so mutating the returned
+// slice mutates the set.
+func (s Set) Words() []uint64 { return s.words }
+
+// WordsFor returns how many 64-bit words back a set over a universe of
+// size n — the per-task stride of packed state slabs.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// FromWords wraps existing words as a Set over {0..n-1} without
+// copying: a zero-copy view used to reconstruct sets out of packed
+// state slabs.  The caller guarantees len(words) == WordsFor(n) and
+// that no bit at or beyond n is set; both are programming errors, so
+// FromWords panics on a length mismatch.
+func FromWords(n int, words []uint64) Set {
+	if len(words) != WordsFor(n) {
+		panic(fmt.Sprintf("bitset: %d words for universe %d, want %d", len(words), n, WordsFor(n)))
+	}
+	return Set{n: n, words: words}
+}
+
+// CompareWords orders two word vectors lexicographically (word 0 most
+// significant for the ordering, numeric comparison within a word).  It
+// is the deterministic tie-breaker shared by the packed frontier engine
+// and the reference solver; both must agree or beam truncation would
+// diverge between them.  Panics on length mismatch.
+func CompareWords(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bitset: comparing word vectors of length %d and %d", len(a), len(b)))
+	}
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// HashWords hashes a word vector to 64 bits by chaining the splitmix64
+// mixing function across the words.  Each round is a bijection of the
+// running state, so sparse vectors (the common case: few switches set)
+// avalanche across the whole output range — a plain multiplicative fold
+// leaves single-bit vectors linearly related and measurably collides.
+// Equal vectors hash equal; distinct vectors may collide, so users must
+// compare the full vector on hash equality.
+func HashWords(words []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		x := h + w + 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		h = x
+	}
+	return h
+}
+
 // Key returns a compact string usable as a map key identifying the set's
 // contents.  Two sets over the same universe have equal keys iff they
 // are Equal.  The dominance-pruned multi-task DP uses keys to

@@ -1,0 +1,91 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := WordsFor(n); got != want {
+			t.Errorf("WordsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFromWordsRoundTrip(t *testing.T) {
+	s := FromMembers(130, 0, 63, 64, 129)
+	view := FromWords(130, s.Words())
+	if !view.Equal(s) {
+		t.Fatal("FromWords(Words()) differs from original")
+	}
+	// Zero-copy: mutating the view mutates the original.
+	view.Add(5)
+	if !s.Contains(5) {
+		t.Fatal("FromWords copied instead of aliasing")
+	}
+}
+
+func TestFromWordsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	FromWords(65, make([]uint64, 1))
+}
+
+func TestCompareWords(t *testing.T) {
+	if CompareWords([]uint64{1, 2}, []uint64{1, 2}) != 0 {
+		t.Fatal("equal vectors compare nonzero")
+	}
+	if CompareWords([]uint64{1, 2}, []uint64{1, 3}) >= 0 {
+		t.Fatal("smaller vector does not compare < 0")
+	}
+	if CompareWords([]uint64{2, 0}, []uint64{1, ^uint64(0)}) <= 0 {
+		t.Fatal("word 0 must dominate the ordering")
+	}
+}
+
+func TestCompareWordsIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a := []uint64{uint64(r.Intn(4)), uint64(r.Intn(4))}
+		b := []uint64{uint64(r.Intn(4)), uint64(r.Intn(4))}
+		ab, ba := CompareWords(a, b), CompareWords(b, a)
+		if ab != -ba {
+			return false
+		}
+		return (ab == 0) == (a[0] == b[0] && a[1] == b[1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashWordsEqualVectorsHashEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for k := 0; k < 200; k++ {
+		n := 1 + r.Intn(200)
+		s := randomSet(r, n)
+		if HashWords(s.Words()) != HashWords(s.Clone().Words()) {
+			t.Fatal("equal vectors hash differently")
+		}
+	}
+}
+
+func TestHashWordsSpreads(t *testing.T) {
+	// Not a collision-resistance proof — just a regression guard that
+	// single-bit vectors (the common sparse case) don't collapse onto a
+	// few hash values.
+	seen := make(map[uint64]bool)
+	for b := 0; b < 192; b++ {
+		s := FromMembers(192, b)
+		seen[HashWords(s.Words())] = true
+	}
+	if len(seen) != 192 {
+		t.Fatalf("%d distinct hashes for 192 single-bit vectors", len(seen))
+	}
+}

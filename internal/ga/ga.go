@@ -26,7 +26,6 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
@@ -199,20 +198,27 @@ func crossover(r *rand.Rand, kind CrossoverKind, m, n int, a, b genome) genome {
 	return child
 }
 
-// evalPool evaluates genomes concurrently.  Each worker owns an
-// evaluator (the evaluator carries scratch buffers, so sharing one
-// across goroutines would race).
+// evalPool evaluates genomes concurrently on the shared solve.Pool —
+// the same persistent-worker pool the packed frontier engine and the
+// private-global window sweep dispatch onto, instead of spawning fresh
+// goroutines per generation.  Each pool task owns an evaluator (the
+// evaluator carries scratch buffers, so sharing one across goroutines
+// would race).
 type evalPool struct {
-	evs []*evaluator
+	pool *solve.Pool
+	evs  []*evaluator
 }
 
 func newEvalPool(ins *model.MTSwitchInstance, opt model.CostOptions, workers int) *evalPool {
-	p := &evalPool{evs: make([]*evaluator, workers)}
+	p := &evalPool{pool: solve.NewPool(workers)}
+	p.evs = make([]*evaluator, p.pool.Workers())
 	for i := range p.evs {
 		p.evs[i] = newEvaluator(ins, opt)
 	}
 	return p
 }
+
+func (p *evalPool) close() { p.pool.Close() }
 
 // evalRange computes out[i] = cost(genomes[i]) for i in [from, len).
 func (p *evalPool) evalRange(genomes []genome, out []model.Cost, from int) {
@@ -224,32 +230,18 @@ func (p *evalPool) evalRange(genomes []genome, out []model.Cost, from int) {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		for i := from; i < len(genomes); i++ {
-			out[i] = p.evs[0].cost(genomes[i])
-		}
-		return
-	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	p.pool.Do(workers, func(w int) {
+		ev := p.evs[w]
 		lo := from + w*chunk
 		hi := lo + chunk
 		if hi > len(genomes) {
 			hi = len(genomes)
 		}
-		if lo >= hi {
-			break
+		for i := lo; i < hi; i++ {
+			out[i] = ev.cost(genomes[i])
 		}
-		wg.Add(1)
-		go func(ev *evaluator, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = ev.cost(genomes[i])
-			}
-		}(p.evs[w], lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // Result is the GA outcome: the best schedule found, its cost, and the
@@ -286,6 +278,7 @@ func Optimize(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOp
 	cfg := gaParams(o, m, n)
 	r := rand.New(rand.NewSource(cfg.seed))
 	pool := newEvalPool(ins, opt, cfg.workers)
+	defer pool.close()
 	var stats solve.Stats
 
 	forceStep0 := func(g genome) {

@@ -3,10 +3,7 @@ package mtswitch
 import (
 	"context"
 	"fmt"
-	"sort"
-	"strings"
 
-	"repro/internal/bitset"
 	"repro/internal/model"
 	"repro/internal/phc"
 	"repro/internal/solve"
@@ -16,30 +13,11 @@ import (
 // for validation while bounding memory on adversarial inputs.
 const DefaultMaxStates = 100000
 
-// state is one node of the frontier: each task's currently installed
-// hypercontext, the accumulated cost, and back-pointers for schedule
-// reconstruction.
-type state struct {
-	sets  []bitset.Set
-	cost  model.Cost
-	prev  *state
-	hyper []bool // which tasks hyperreconfigured entering this step
-}
-
-// key canonicalizes the joint hypercontext vector.
-func (s *state) key() string {
-	var b strings.Builder
-	for _, set := range s.sets {
-		b.WriteString(set.Key())
-		b.WriteByte(0xff)
-	}
-	return b.String()
-}
-
 // SolveExact solves the fully synchronized MT-Switch problem (the
 // setting of the paper's Theorem 1, which states solvability by dynamic
 // programming but omits the algorithm) by a forward DP over joint
-// hypercontext states.
+// hypercontext states, executed by the packed frontier engine in
+// packed.go.
 //
 // Correctness of the search space: some optimal schedule uses canonical
 // hypercontexts — for fixed hyperreconfiguration steps, replacing each
@@ -62,6 +40,12 @@ func (s *state) key() string {
 // once per frontier state, so cancellation lands within one state
 // expansion.
 //
+// Options.Workers shards frontier expansion across that many workers
+// (0 selects GOMAXPROCS); the result is identical for every worker
+// count — see packed.go for the determinism argument — so Workers is
+// purely a throughput knob.  SolveExactReference retains the original
+// pointer-and-map implementation as the agreement/benchmark baseline.
+//
 // When both uploads are task-sequential the cost decomposes per task
 // and the problem is solved exactly in O(m·n²) by independent
 // single-task DPs; SolveExact takes that fast path automatically.
@@ -75,153 +59,23 @@ func SolveExact(ctx context.Context, ins *model.MTSwitchInstance, opt model.Cost
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	m, n := ins.NumTasks(), ins.Steps()
-	if n == 0 {
+	if ins.Steps() == 0 {
 		return SolveAligned(ctx, ins, opt)
 	}
 	if opt.HyperUpload == model.TaskSequential && opt.ReconfUpload == model.TaskSequential {
 		return solveSequentialDecomposed(ctx, ins, opt)
 	}
 
-	maxStates := o.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
+	eng := getEngine()
+	defer putEngine(eng)
+	mask, dpCost, stats, err := eng.solvePacked(ctx, ins, opt, o)
+	if err != nil {
+		return nil, err
 	}
 
-	var stats solve.Stats
-
-	// cand[j][i]: distinct values of U_j(i,e), e ≥ i, by growing horizon.
-	cand := make([][][]bitset.Set, m)
-	for j := 0; j < m; j++ {
-		cand[j] = make([][]bitset.Set, n)
-		for i := 0; i < n; i++ {
-			acc := bitset.New(ins.Tasks[j].Local)
-			var list []bitset.Set
-			last := -1
-			for e := i; e < n; e++ {
-				acc.UnionWith(ins.Reqs[j][e])
-				if c := acc.Count(); c != last {
-					list = append(list, acc.Clone())
-					last = c
-				}
-			}
-			if o.MaxCandidates > 0 && len(list) > o.MaxCandidates {
-				// Keep the shortest horizons plus the full-suffix union.
-				stats.CandidatesPruned += int64(len(list) - o.MaxCandidates)
-				trimmed := append([]bitset.Set(nil), list[:o.MaxCandidates-1]...)
-				trimmed = append(trimmed, list[len(list)-1])
-				list = trimmed
-			}
-			cand[j][i] = list
-		}
-	}
-
-	root := &state{sets: make([]bitset.Set, m), cost: ins.W}
-	for j := 0; j < m; j++ {
-		root.sets[j] = bitset.New(ins.Tasks[j].Local)
-	}
-	frontier := []*state{root}
-	truncated := false
-
-	for i := 0; i < n; i++ {
-		next := make(map[string]*state, len(frontier)*4)
-		cur := &state{sets: make([]bitset.Set, m), hyper: make([]bool, m)}
-
-		var expand func(st *state, j int)
-		expand = func(st *state, j int) {
-			if j == m {
-				var hyperC model.Cost
-				for t := 0; t < m; t++ {
-					if cur.hyper[t] {
-						hyperC = opt.HyperUpload.Combine(hyperC, ins.Tasks[t].V)
-					}
-				}
-				var reconf model.Cost
-				if opt.ReconfUpload == model.TaskParallel {
-					reconf = model.Cost(ins.PublicGlobal)
-				}
-				for t := 0; t < m; t++ {
-					reconf = opt.ReconfUpload.Combine(reconf, model.Cost(cur.sets[t].Count()))
-				}
-				if opt.ReconfUpload == model.TaskSequential {
-					reconf += model.Cost(ins.PublicGlobal)
-				}
-				total := st.cost + hyperC + reconf
-				k := cur.key()
-				stats.StatesExpanded++
-				if old, ok := next[k]; ok {
-					stats.DedupHits++
-					if total < old.cost {
-						next[k] = &state{
-							sets:  append([]bitset.Set(nil), cur.sets...),
-							cost:  total,
-							prev:  st,
-							hyper: append([]bool(nil), cur.hyper...),
-						}
-					}
-				} else {
-					next[k] = &state{
-						sets:  append([]bitset.Set(nil), cur.sets...),
-						cost:  total,
-						prev:  st,
-						hyper: append([]bool(nil), cur.hyper...),
-					}
-				}
-				return
-			}
-			keepOK := i > 0 && ins.Reqs[j][i].IsSubsetOf(st.sets[j])
-			if keepOK {
-				cur.sets[j] = st.sets[j]
-				cur.hyper[j] = false
-				expand(st, j+1)
-			}
-			for _, c := range cand[j][i] {
-				// Installing a set identical to the kept one costs a
-				// hyperreconfiguration for nothing.
-				if keepOK && c.Equal(st.sets[j]) {
-					continue
-				}
-				cur.sets[j] = c
-				cur.hyper[j] = true
-				expand(st, j+1)
-			}
-		}
-
-		for _, st := range frontier {
-			if err := solve.Checkpoint(ctx); err != nil {
-				return nil, err
-			}
-			expand(st, 0)
-		}
-
-		frontier = frontier[:0]
-		for _, st := range next {
-			frontier = append(frontier, st)
-		}
-		sort.Slice(frontier, func(a, b int) bool { return frontier[a].cost < frontier[b].cost })
-		if len(frontier) > maxStates {
-			frontier = frontier[:maxStates]
-			truncated = true
-		}
-		if len(frontier) == 0 {
-			return nil, fmt.Errorf("mtswitch: state frontier emptied at step %d", i)
-		}
-	}
-
-	best := frontier[0] // frontier is cost-sorted
-
-	// Reconstruct hyperreconfiguration masks, canonicalize, reprice.
-	// Canonical repricing can only improve on the DP value (the DP may
-	// hold over-long-horizon candidates for the final segments).
-	mask := make([][]bool, m)
-	for j := range mask {
-		mask[j] = make([]bool, n)
-	}
-	for st, i := best, n-1; i >= 0; st, i = st.prev, i-1 {
-		for j := 0; j < m; j++ {
-			mask[j][i] = st.hyper[j]
-		}
-	}
+	// Canonicalize and reprice.  Canonical repricing can only improve on
+	// the DP value (the DP may hold over-long-horizon candidates for the
+	// final segments).
 	sched, err := ins.CanonicalSchedule(mask)
 	if err != nil {
 		return nil, err
@@ -230,10 +84,9 @@ func SolveExact(ctx context.Context, ins *model.MTSwitchInstance, opt model.Cost
 	if err != nil {
 		return nil, err
 	}
-	if cost > best.cost {
-		return nil, fmt.Errorf("mtswitch: canonical repricing %d above DP bound %d", cost, best.cost)
+	if cost > dpCost {
+		return nil, fmt.Errorf("mtswitch: canonical repricing %d above DP bound %d", cost, dpCost)
 	}
-	stats.Truncated = truncated || o.MaxCandidates > 0
 	return &Solution{Schedule: sched, Cost: cost, Stats: stats}, nil
 }
 

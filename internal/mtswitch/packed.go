@@ -1,0 +1,678 @@
+package mtswitch
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// This file is the packed-state frontier engine behind SolveExact: the
+// joint-hypercontext DP of the paper's Theorem 1 with the per-state
+// allocations of the original implementation (a []bitset.Set per state,
+// a string map key per successor, a *state chain per schedule) replaced
+// by flat word slabs, 64-bit hash dedup and int32 back-pointers, and
+// with frontier expansion sharded across a solve.Pool.
+//
+// Layout.  A frontier state is one joint hypercontext vector: task j's
+// current hypercontext occupies taskWords[j] consecutive uint64 words
+// at taskOff[j] of a setWords-word vector.  A whole generation lives in
+// one contiguous slab (state s = slab[s*setWords:(s+1)*setWords]), so
+// building a successor is a handful of word copies into a scratch
+// vector and promoting it into the frontier is one copy into the slab —
+// no per-state heap objects.  Because schedule reconstruction only
+// needs each state's hyperreconfiguration bits and its predecessor
+// index, past generations retain just hyperWords words and an int32 per
+// state; their set slabs are recycled.
+//
+// Dedup.  Successors are deduplicated by a 64-bit hash of the packed
+// vector (bitset.HashWords) probed through an open-addressed table with
+// a full-vector compare on hash equality, so two distinct vectors that
+// collide in 64 bits still occupy distinct entries.  The cheapest state
+// per vector wins; on cost ties the successor generated first in the
+// sequential expansion order wins (ordered by (prev, seq), the source
+// index and the branch index within the source).  That rule makes the
+// surviving entry independent of both insertion order and shard count.
+//
+// Parallelism.  Each step's expansion fans the frontier out across the
+// pool: worker w expands a contiguous chunk of source states into a
+// worker-local table (no locks), recording each new entry's destination
+// shard hash%nshards.  A second pass merges, per destination shard in
+// parallel, the worker-local entries whose hash the shard owns,
+// applying the same cheapest-wins rule.  The merged winners are sorted
+// by (cost, vector) — a total order with no ties — so the next
+// generation's frontier, the beam truncation beyond Options.MaxStates
+// and the final best state are all byte-identical for every worker
+// count, including the sequential Workers=1 path.
+
+// layout fixes the word geometry of packed states for one instance.
+type layout struct {
+	m          int
+	taskOff    []int
+	taskWords  []int
+	setWords   int
+	hyperWords int
+}
+
+func newLayout(ins *model.MTSwitchInstance) layout {
+	m := ins.NumTasks()
+	lay := layout{m: m, taskOff: make([]int, m), taskWords: make([]int, m), hyperWords: (m + 63) / 64}
+	for j := 0; j < m; j++ {
+		lay.taskOff[j] = lay.setWords
+		lay.taskWords[j] = bitset.WordsFor(ins.Tasks[j].Local)
+		lay.setWords += lay.taskWords[j]
+	}
+	return lay
+}
+
+// stride is the words one table entry occupies: the set vector followed
+// by the hyperreconfiguration bits.
+func (l layout) stride() int { return l.setWords + l.hyperWords }
+
+func wordsEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// wordsSubset reports a ⊆ b.
+func wordsSubset(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func popcountWords(a []uint64) int {
+	c := 0
+	for _, w := range a {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// stateTable is an open-addressed hash table over packed states.  Keys
+// are the setWords-long vectors at the head of each stride-long entry;
+// the hash is recomputed never — it travels with the entry.  hashFn is
+// a field so tests can force collisions and exercise the full-vector
+// probe path.
+type stateTable struct {
+	setWords int
+	stride   int
+	hashFn   func([]uint64) uint64
+
+	buckets []int32 // entry index + 1; 0 = empty
+	mask    uint64
+
+	slab   []uint64
+	hashes []uint64
+	costs  []model.Cost
+	prevs  []int32
+	seqs   []int32
+}
+
+const initialBuckets = 64
+
+// configure (re)shapes the table for a layout, keeping backing arrays.
+func (t *stateTable) configure(lay layout) {
+	t.setWords = lay.setWords
+	t.stride = lay.stride()
+	if t.hashFn == nil {
+		t.hashFn = bitset.HashWords
+	}
+	t.reset()
+}
+
+// reset empties the table, retaining capacity.
+func (t *stateTable) reset() {
+	if len(t.buckets) == 0 {
+		t.buckets = make([]int32, initialBuckets)
+		t.mask = initialBuckets - 1
+	} else {
+		for i := range t.buckets {
+			t.buckets[i] = 0
+		}
+	}
+	t.slab = t.slab[:0]
+	t.hashes = t.hashes[:0]
+	t.costs = t.costs[:0]
+	t.prevs = t.prevs[:0]
+	t.seqs = t.seqs[:0]
+}
+
+func (t *stateTable) len() int { return len(t.hashes) }
+
+// entry returns entry e's stride-long words (set vector + hyper bits).
+func (t *stateTable) entry(e int32) []uint64 {
+	return t.slab[int(e)*t.stride : (int(e)+1)*t.stride]
+}
+
+// grow doubles the bucket array and reseats every entry.
+func (t *stateTable) grow() {
+	nb := make([]int32, 2*len(t.buckets))
+	mask := uint64(len(nb) - 1)
+	for e := range t.hashes {
+		i := t.hashes[e] & mask
+		for nb[i] != 0 {
+			i = (i + 1) & mask
+		}
+		nb[i] = int32(e) + 1
+	}
+	t.buckets = nb
+	t.mask = mask
+}
+
+// wins reports whether (cost, prev, seq) beats entry e under the
+// deterministic cheapest-wins rule.
+func (t *stateTable) wins(e int32, cost model.Cost, prev, seq int32) bool {
+	switch {
+	case cost != t.costs[e]:
+		return cost < t.costs[e]
+	case prev != t.prevs[e]:
+		return prev < t.prevs[e]
+	default:
+		return seq < t.seqs[e]
+	}
+}
+
+// insert merges one packed state (stride-long: set vector then hyper
+// bits) into the table.  It reports whether the vector was new; when an
+// existing entry loses the cheapest-wins comparison its cost, origin
+// and hyper bits are overwritten in place (the set vector is identical
+// by definition).
+func (t *stateTable) insert(state []uint64, h uint64, cost model.Cost, prev, seq int32) bool {
+	i := h & t.mask
+	for {
+		b := t.buckets[i]
+		if b == 0 {
+			e := int32(len(t.hashes))
+			t.buckets[i] = e + 1
+			t.slab = append(t.slab, state...)
+			t.hashes = append(t.hashes, h)
+			t.costs = append(t.costs, cost)
+			t.prevs = append(t.prevs, prev)
+			t.seqs = append(t.seqs, seq)
+			if uint64(4*len(t.hashes)) >= 3*(t.mask+1) {
+				t.grow()
+			}
+			return true
+		}
+		e := b - 1
+		if t.hashes[e] == h && wordsEqual(t.entry(e)[:t.setWords], state[:t.setWords]) {
+			if t.wins(e, cost, prev, seq) {
+				t.costs[e] = cost
+				t.prevs[e] = prev
+				t.seqs[e] = seq
+				copy(t.entry(e)[t.setWords:], state[t.setWords:])
+			}
+			return false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// packedCands are the canonical install candidates of one (task, step):
+// k vectors of taskWords[j] words each, with their precomputed sizes.
+type packedCands struct {
+	words  []uint64
+	counts []model.Cost
+	k      int
+}
+
+// expandWorker is one expansion shard's private state.
+type expandWorker struct {
+	table  stateTable
+	byDest [][]int32 // entries per destination shard (nshards > 1 only)
+
+	cur     []uint64 // scratch successor: set words + hyper words
+	keepOK  []bool
+	keepCnt []model.Cost
+
+	srcWords []uint64
+	srcCost  model.Cost
+	src      int32
+	seq      int32
+
+	statesExpanded int64
+}
+
+// generation is what a finished step retains for reconstruction.
+type generation struct {
+	prev  []int32
+	hyper []uint64
+}
+
+// engine runs the packed DP.  Engines are recycled through a sync.Pool
+// (the private-global window DP prices O(n²) windows, each a full
+// SolveExact) so the big slabs and tables survive across solves.
+type engine struct {
+	ins *model.MTSwitchInstance
+	opt model.CostOptions
+	lay layout
+
+	pool    *solve.Pool
+	workers []*expandWorker
+	shards  []*stateTable
+	nshards int
+
+	cands [][]packedCands // [task][step]
+	reqs  [][]uint64      // [task] flat n*taskWords[j] requirement words
+
+	// Current frontier.
+	slab  []uint64
+	costs []model.Cost
+	count int
+	step  int
+
+	gens []generation
+
+	// Gather buffers (multi-shard merges flatten into these).
+	tmpSlab  []uint64
+	tmpCosts []model.Cost
+	tmpPrevs []int32
+	perm     []int32
+
+	stats solve.Stats
+}
+
+var enginePool sync.Pool
+
+func getEngine() *engine {
+	if v := enginePool.Get(); v != nil {
+		e := v.(*engine)
+		e.stats = solve.Stats{ArenaReused: 1}
+		return e
+	}
+	return &engine{}
+}
+
+func putEngine(e *engine) {
+	e.ins = nil
+	e.gens = nil // back-pointer chains go to the caller's Solution path
+	e.cands = nil
+	e.reqs = nil
+	enginePool.Put(e)
+}
+
+// prepare shapes the engine for one solve.
+func (e *engine) prepare(ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options) {
+	e.ins = ins
+	e.opt = opt
+	e.lay = newLayout(ins)
+	m, n := ins.NumTasks(), ins.Steps()
+
+	e.pool = solve.NewPool(o.Workers)
+	workers := e.pool.Workers()
+	e.nshards = workers
+	for len(e.workers) < workers {
+		e.workers = append(e.workers, &expandWorker{})
+	}
+	for len(e.shards) < workers {
+		e.shards = append(e.shards, &stateTable{})
+	}
+	for _, w := range e.workers[:workers] {
+		w.table.hashFn = nil // instance hash; tests inject theirs directly
+		w.table.configure(e.lay)
+		w.cur = growWords(w.cur, e.lay.stride())
+		if cap(w.keepOK) < m {
+			w.keepOK = make([]bool, m)
+			w.keepCnt = make([]model.Cost, m)
+		}
+		w.keepOK = w.keepOK[:m]
+		w.keepCnt = w.keepCnt[:m]
+		for len(w.byDest) < workers {
+			w.byDest = append(w.byDest, nil)
+		}
+	}
+	for _, t := range e.shards[:workers] {
+		t.hashFn = nil
+		t.configure(e.lay)
+	}
+
+	// Pack the per-task requirement rows for the word-level keep check.
+	e.reqs = e.reqs[:0]
+	for j := 0; j < m; j++ {
+		tw := e.lay.taskWords[j]
+		flat := make([]uint64, n*tw)
+		for i := 0; i < n; i++ {
+			copy(flat[i*tw:(i+1)*tw], ins.Reqs[j][i].Words())
+		}
+		e.reqs = append(e.reqs, flat)
+	}
+
+	e.gens = e.gens[:0]
+	e.stats.StatesExpanded = 0
+	e.stats.DedupHits = 0
+	e.stats.PeakFrontier = 0
+	e.stats.CandidatesPruned = 0
+	e.stats.Truncated = false
+}
+
+func growWords(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// buildCandidates computes cand[j][i], the distinct values of U_j(i,e)
+// for e ≥ i by growing horizon, directly in packed form, applying the
+// MaxCandidates trim (shortest horizons plus the full-suffix union).
+func (e *engine) buildCandidates(o solve.Options) {
+	m, n := e.lay.m, e.ins.Steps()
+	e.cands = make([][]packedCands, m)
+	for j := 0; j < m; j++ {
+		tw := e.lay.taskWords[j]
+		e.cands[j] = make([]packedCands, n)
+		acc := bitset.New(e.ins.Tasks[j].Local)
+		for i := 0; i < n; i++ {
+			acc.Clear()
+			c := packedCands{}
+			last := -1
+			for end := i; end < n; end++ {
+				acc.UnionWith(e.ins.Reqs[j][end])
+				if cnt := acc.Count(); cnt != last {
+					c.words = append(c.words, acc.Words()...)
+					c.counts = append(c.counts, model.Cost(cnt))
+					c.k++
+					last = cnt
+				}
+			}
+			if o.MaxCandidates > 0 && c.k > o.MaxCandidates {
+				e.stats.CandidatesPruned += int64(c.k - o.MaxCandidates)
+				keep := o.MaxCandidates - 1
+				copy(c.words[keep*tw:(keep+1)*tw], c.words[(c.k-1)*tw:c.k*tw])
+				c.counts[keep] = c.counts[c.k-1]
+				c.words = c.words[:(keep+1)*tw]
+				c.counts = c.counts[:keep+1]
+				c.k = keep + 1
+			}
+			e.cands[j][i] = c
+		}
+	}
+}
+
+// reqAt returns task j's packed requirement at step i.
+func (e *engine) reqAt(j, i int) []uint64 {
+	tw := e.lay.taskWords[j]
+	return e.reqs[j][i*tw : (i+1)*tw]
+}
+
+func setHyperBit(words []uint64, j int)   { words[j/64] |= 1 << uint(j%64) }
+func clearHyperBit(words []uint64, j int) { words[j/64] &^= 1 << uint(j%64) }
+func hyperBit(words []uint64, j int) bool { return words[j/64]&(1<<uint(j%64)) != 0 }
+
+// expandRange expands sources [lo, hi) of the current frontier into
+// worker w's table.  The context is checked once per source state, like
+// the original sequential loop.
+func (e *engine) expandRange(ctx context.Context, w *expandWorker, lo, hi int) error {
+	sw := e.lay.setWords
+	for s := lo; s < hi; s++ {
+		if err := solve.Checkpoint(ctx); err != nil {
+			return err
+		}
+		w.src = int32(s)
+		w.srcCost = e.costs[s]
+		w.srcWords = e.slab[s*sw : (s+1)*sw]
+		for j := 0; j < e.lay.m; j++ {
+			seg := w.srcWords[e.lay.taskOff[j] : e.lay.taskOff[j]+e.lay.taskWords[j]]
+			if e.step > 0 && wordsSubset(e.reqAt(j, e.step), seg) {
+				w.keepOK[j] = true
+				w.keepCnt[j] = model.Cost(popcountWords(seg))
+			} else {
+				w.keepOK[j] = false
+			}
+		}
+		w.seq = 0
+		var reconf model.Cost
+		if e.opt.ReconfUpload == model.TaskParallel {
+			reconf = model.Cost(e.ins.PublicGlobal)
+		}
+		e.expandTask(w, 0, 0, reconf)
+	}
+	return nil
+}
+
+// expandTask branches task j (keep current hypercontext if the incoming
+// requirement fits, or install a candidate) and recurses; at j == m the
+// assembled successor is hashed into the worker's table.  The hyper and
+// reconf accumulators fold the per-task cost terms in task order,
+// matching the upload modes' left-fold semantics exactly.
+func (e *engine) expandTask(w *expandWorker, j int, hyper, reconf model.Cost) {
+	if j == e.lay.m {
+		total := w.srcCost + hyper + reconf
+		if e.opt.ReconfUpload == model.TaskSequential {
+			total += model.Cost(e.ins.PublicGlobal)
+		}
+		w.statesExpanded++
+		h := w.table.hashFn(w.cur[:e.lay.setWords])
+		if w.table.insert(w.cur, h, total, w.src, w.seq) && e.nshards > 1 {
+			d := int(h % uint64(e.nshards))
+			w.byDest[d] = append(w.byDest[d], int32(w.table.len()-1))
+		}
+		w.seq++
+		return
+	}
+	off, tw := e.lay.taskOff[j], e.lay.taskWords[j]
+	dst := w.cur[off : off+tw]
+	seg := w.srcWords[off : off+tw]
+	hyperWords := w.cur[e.lay.setWords:]
+	if w.keepOK[j] {
+		copy(dst, seg)
+		clearHyperBit(hyperWords, j)
+		e.expandTask(w, j+1, hyper, e.opt.ReconfUpload.Combine(reconf, w.keepCnt[j]))
+	}
+	cnd := &e.cands[j][e.step]
+	for k := 0; k < cnd.k; k++ {
+		cw := cnd.words[k*tw : (k+1)*tw]
+		// Installing a set identical to the kept one costs a
+		// hyperreconfiguration for nothing.
+		if w.keepOK[j] && wordsEqual(cw, seg) {
+			continue
+		}
+		copy(dst, cw)
+		setHyperBit(hyperWords, j)
+		e.expandTask(w, j+1,
+			e.opt.HyperUpload.Combine(hyper, e.ins.Tasks[j].V),
+			e.opt.ReconfUpload.Combine(reconf, cnd.counts[k]))
+	}
+}
+
+// mergeShard folds every worker's entries owned by destination shard d
+// into e.shards[d].  The cheapest-wins rule is order-independent, so
+// concurrent shards need no coordination and the outcome matches the
+// sequential insertion order exactly.
+func (e *engine) mergeShard(d, activeWorkers int) {
+	t := e.shards[d]
+	t.reset()
+	for _, w := range e.workers[:activeWorkers] {
+		wt := &w.table
+		for _, idx := range w.byDest[d] {
+			t.insert(wt.entry(idx), wt.hashes[idx], wt.costs[idx], wt.prevs[idx], wt.seqs[idx])
+		}
+	}
+}
+
+// flat is a view of one step's deduplicated successors used by the sort
+// + truncate stage.
+type flat struct {
+	slab   []uint64
+	costs  []model.Cost
+	prevs  []int32
+	stride int
+	sw     int
+}
+
+func (f flat) state(i int32) []uint64 { return f.slab[int(i)*f.stride : (int(i)+1)*f.stride] }
+
+// runSteps executes the forward DP over all n steps.
+func (e *engine) runSteps(ctx context.Context, maxStates int) error {
+	n := e.ins.Steps()
+	sw, stride := e.lay.setWords, e.lay.stride()
+
+	// Root frontier: every task holds the empty hypercontext.
+	e.slab = growWords(e.slab, sw)
+	for i := range e.slab {
+		e.slab[i] = 0
+	}
+	if cap(e.costs) < 1 {
+		e.costs = make([]model.Cost, 1, 64)
+	}
+	e.costs = e.costs[:1]
+	e.costs[0] = e.ins.W
+	e.count = 1
+
+	for e.step = 0; e.step < n; e.step++ {
+		// Phase 1 — sharded expansion over contiguous source chunks.
+		active := e.nshards
+		if active > e.count {
+			active = e.count
+		}
+		chunk := (e.count + active - 1) / active
+		var mu sync.Mutex
+		var expandErr error
+		e.pool.Do(active, func(wk int) {
+			w := e.workers[wk]
+			w.table.reset()
+			for d := range w.byDest[:e.nshards] {
+				w.byDest[d] = w.byDest[d][:0]
+			}
+			lo := wk * chunk
+			hi := lo + chunk
+			if hi > e.count {
+				hi = e.count
+			}
+			if err := e.expandRange(ctx, w, lo, hi); err != nil {
+				mu.Lock()
+				if expandErr == nil {
+					expandErr = err
+				}
+				mu.Unlock()
+			}
+		})
+		if expandErr != nil {
+			return expandErr
+		}
+		var produced int64
+		for _, w := range e.workers[:active] {
+			produced += w.statesExpanded
+			w.statesExpanded = 0
+		}
+		e.stats.StatesExpanded += produced
+
+		// Phase 2 — merge by hash ownership, then flatten.
+		var fl flat
+		if active == 1 {
+			t := &e.workers[0].table
+			fl = flat{slab: t.slab, costs: t.costs, prevs: t.prevs, stride: stride, sw: sw}
+		} else {
+			e.pool.Do(e.nshards, func(d int) { e.mergeShard(d, active) })
+			e.tmpSlab = e.tmpSlab[:0]
+			e.tmpCosts = e.tmpCosts[:0]
+			e.tmpPrevs = e.tmpPrevs[:0]
+			for _, t := range e.shards[:e.nshards] {
+				e.tmpSlab = append(e.tmpSlab, t.slab...)
+				e.tmpCosts = append(e.tmpCosts, t.costs...)
+				e.tmpPrevs = append(e.tmpPrevs, t.prevs...)
+			}
+			fl = flat{slab: e.tmpSlab, costs: e.tmpCosts, prevs: e.tmpPrevs, stride: stride, sw: sw}
+		}
+		unique := len(fl.costs)
+		if unique == 0 {
+			return fmt.Errorf("mtswitch: state frontier emptied at step %d", e.step)
+		}
+		e.stats.DedupHits += produced - int64(unique)
+		if int64(unique) > e.stats.PeakFrontier {
+			e.stats.PeakFrontier = int64(unique)
+		}
+
+		// Phase 3 — deterministic order: (cost, vector) is a total
+		// order over distinct vectors, so sorting needs no stability
+		// and every worker count yields the same frontier.
+		e.perm = e.perm[:0]
+		for i := 0; i < unique; i++ {
+			e.perm = append(e.perm, int32(i))
+		}
+		sort.Slice(e.perm, func(a, b int) bool {
+			pa, pb := e.perm[a], e.perm[b]
+			if fl.costs[pa] != fl.costs[pb] {
+				return fl.costs[pa] < fl.costs[pb]
+			}
+			return bitset.CompareWords(fl.state(pa)[:sw], fl.state(pb)[:sw]) < 0
+		})
+		kept := unique
+		if kept > maxStates {
+			kept = maxStates
+			e.stats.Truncated = true
+		}
+
+		// Phase 4 — promote the winners into the next frontier and
+		// retain this generation's reconstruction data.
+		e.slab = growWords(e.slab, kept*sw)
+		if cap(e.costs) < kept {
+			e.costs = make([]model.Cost, kept)
+		}
+		e.costs = e.costs[:kept]
+		gen := generation{prev: make([]int32, kept), hyper: make([]uint64, kept*e.lay.hyperWords)}
+		hw := e.lay.hyperWords
+		for r := 0; r < kept; r++ {
+			p := e.perm[r]
+			st := fl.state(p)
+			copy(e.slab[r*sw:(r+1)*sw], st[:sw])
+			copy(gen.hyper[r*hw:(r+1)*hw], st[sw:])
+			e.costs[r] = fl.costs[p]
+			gen.prev[r] = fl.prevs[p]
+		}
+		e.count = kept
+		e.gens = append(e.gens, gen)
+	}
+	return nil
+}
+
+// solvePacked runs the packed engine and reconstructs the best
+// schedule's hyperreconfiguration mask.
+func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options) (mask [][]bool, dpCost model.Cost, stats solve.Stats, err error) {
+	maxStates := o.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	if maxStates > math.MaxInt32 {
+		maxStates = math.MaxInt32
+	}
+	e.prepare(ins, opt, o)
+	defer e.pool.Close()
+	e.buildCandidates(o)
+	if err := e.runSteps(ctx, maxStates); err != nil {
+		return nil, 0, e.stats, err
+	}
+
+	m, n := ins.NumTasks(), ins.Steps()
+	mask = make([][]bool, m)
+	for j := range mask {
+		mask[j] = make([]bool, n)
+	}
+	hw := e.lay.hyperWords
+	at := int32(0) // frontier is (cost, vector)-sorted; 0 is the optimum
+	dpCost = e.costs[0]
+	for i := n - 1; i >= 0; i-- {
+		gen := e.gens[i]
+		hyper := gen.hyper[int(at)*hw : (int(at)+1)*hw]
+		for j := 0; j < m; j++ {
+			mask[j][i] = hyperBit(hyper, j)
+		}
+		at = gen.prev[at]
+	}
+	e.stats.Truncated = e.stats.Truncated || o.MaxCandidates > 0
+	return mask, dpCost, e.stats, nil
+}

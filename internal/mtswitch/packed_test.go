@@ -1,0 +1,251 @@
+package mtswitch
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// agreementWorkers are the worker counts the parallel engine must be
+// byte-identical across (the issue's Workers ∈ {1, 2, 8} matrix).
+var agreementWorkers = []int{1, 2, 8}
+
+// frontierOpts are the upload-mode combinations that exercise the
+// frontier engine (fully task-sequential costs take the decomposed
+// fast path instead and never reach it).
+var frontierOpts = []model.CostOptions{
+	{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel},
+	{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskSequential},
+	{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskParallel},
+}
+
+func sameSchedule(t *testing.T, a, b *model.MTSchedule) bool {
+	t.Helper()
+	if len(a.Hyper) != len(b.Hyper) {
+		return false
+	}
+	for j := range a.Hyper {
+		for i := range a.Hyper[j] {
+			if a.Hyper[j][i] != b.Hyper[j][i] {
+				return false
+			}
+			if !a.Hctx[j][i].Equal(b.Hctx[j][i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPackedMatchesReference drives the packed engine against the
+// retained pointer-and-map reference implementation: identical cost and
+// identical schedule for every worker count, on the fixed demonstration
+// instance and a batch of random ones, both exact and beam-truncated.
+func TestPackedMatchesReference(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(7))
+	instances := []*model.MTSwitchInstance{phased(t)}
+	for k := 0; k < 12; k++ {
+		instances = append(instances, randomMT(r, 3, 5, 6))
+	}
+	budgets := []solve.Options{
+		{},             // exact within DefaultMaxStates
+		{MaxStates: 3}, // aggressive beam truncation
+		{MaxStates: 50, MaxCandidates: 2},
+	}
+	for ii, ins := range instances {
+		for _, opt := range frontierOpts {
+			for _, base := range budgets {
+				ref, err := SolveExactReference(ctx, ins, opt, base)
+				if err != nil {
+					t.Fatalf("instance %d: reference: %v", ii, err)
+				}
+				for _, workers := range agreementWorkers {
+					o := base
+					o.Workers = workers
+					got, err := SolveExact(ctx, ins, opt, o)
+					if err != nil {
+						t.Fatalf("instance %d workers %d: packed: %v", ii, workers, err)
+					}
+					if got.Cost != ref.Cost {
+						t.Fatalf("instance %d opt %+v budget %+v workers %d: packed cost %d, reference %d",
+							ii, opt, base, workers, got.Cost, ref.Cost)
+					}
+					if !sameSchedule(t, got.Schedule, ref.Schedule) {
+						t.Fatalf("instance %d opt %+v budget %+v workers %d: packed schedule differs from reference",
+							ii, opt, base, workers)
+					}
+					if got.Stats.Truncated != ref.Stats.Truncated {
+						t.Fatalf("instance %d workers %d: truncated %t vs reference %t",
+							ii, workers, got.Stats.Truncated, ref.Stats.Truncated)
+					}
+					if got.Stats.StatesExpanded != ref.Stats.StatesExpanded {
+						t.Fatalf("instance %d workers %d: expanded %d states, reference %d",
+							ii, workers, got.Stats.StatesExpanded, ref.Stats.StatesExpanded)
+					}
+					if err := ins.Validate(got.Schedule); err != nil {
+						t.Fatalf("instance %d workers %d: invalid schedule: %v", ii, workers, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedWorkerCountsAgree pins the determinism claim directly:
+// every worker count yields the same schedule under heavy truncation,
+// where any order-dependence in dedup or the beam cut would show.
+func TestPackedWorkerCountsAgree(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(99))
+	for k := 0; k < 8; k++ {
+		ins := randomMT(r, 4, 6, 8)
+		for _, opt := range frontierOpts {
+			base, err := SolveExact(ctx, ins, opt, solve.Options{Workers: 1, MaxStates: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range agreementWorkers[1:] {
+				got, err := SolveExact(ctx, ins, opt, solve.Options{Workers: workers, MaxStates: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cost != base.Cost || !sameSchedule(t, got.Schedule, base.Schedule) {
+					t.Fatalf("instance %d workers %d diverges from workers 1", k, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedZeroUniverseTask covers the degenerate stride: a task with
+// no local switches contributes zero words to the packed vector.
+func TestPackedZeroUniverseTask(t *testing.T) {
+	tasks := []model.Task{
+		{Name: "empty", Local: 0, V: 1},
+		{Name: "real", Local: 3, V: 3},
+	}
+	rows := [][]bitset.Set{
+		reqs(0, nil, nil, nil),
+		reqs(3, []int{0}, []int{1}, []int{0, 2}),
+	}
+	ins := mustMT(t, tasks, rows)
+	for _, workers := range agreementWorkers {
+		got, err := SolveExact(context.Background(), ins, parallel, solve.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		ref, err := SolveExactReference(context.Background(), ins, parallel, solve.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != ref.Cost {
+			t.Fatalf("workers %d: cost %d, reference %d", workers, got.Cost, ref.Cost)
+		}
+	}
+}
+
+// TestPackedStats checks the new counters are populated and consistent:
+// expanded = unique + dedup hits summed over steps, and the peak
+// frontier is at least the final frontier of some step.
+func TestPackedStats(t *testing.T) {
+	ins := phased(t)
+	sol, err := SolveExact(context.Background(), ins, parallel, solve.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sol.Stats
+	if st.StatesExpanded <= 0 {
+		t.Fatalf("StatesExpanded = %d, want > 0", st.StatesExpanded)
+	}
+	if st.PeakFrontier <= 0 {
+		t.Fatalf("PeakFrontier = %d, want > 0", st.PeakFrontier)
+	}
+	if st.DedupHits < 0 || st.DedupHits >= st.StatesExpanded {
+		t.Fatalf("DedupHits = %d out of range [0, %d)", st.DedupHits, st.StatesExpanded)
+	}
+	ref, err := SolveExactReference(context.Background(), ins, parallel, solve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DedupHits != ref.Stats.DedupHits {
+		t.Fatalf("DedupHits = %d, reference %d", st.DedupHits, ref.Stats.DedupHits)
+	}
+	if st.PeakFrontier != ref.Stats.PeakFrontier {
+		t.Fatalf("PeakFrontier = %d, reference %d", st.PeakFrontier, ref.Stats.PeakFrontier)
+	}
+}
+
+// TestStateTableCollision forces two distinct vectors onto one 64-bit
+// hash and checks the table keeps them as separate entries via the
+// full-vector compare, while true duplicates still merge cheapest-wins.
+func TestStateTableCollision(t *testing.T) {
+	lay := layout{m: 1, taskOff: []int{0}, taskWords: []int{1}, setWords: 1, hyperWords: 1}
+	tbl := &stateTable{hashFn: func([]uint64) uint64 { return 0xdeadbeef }}
+	tbl.configure(lay)
+
+	a := []uint64{0b1010, 1} // set word + hyper word
+	b := []uint64{0b0101, 1}
+	if !tbl.insert(a, tbl.hashFn(a[:1]), 10, 0, 0) {
+		t.Fatal("first vector not new")
+	}
+	if !tbl.insert(b, tbl.hashFn(b[:1]), 20, 0, 1) {
+		t.Fatal("colliding distinct vector merged into the first entry")
+	}
+	if tbl.len() != 2 {
+		t.Fatalf("table has %d entries, want 2", tbl.len())
+	}
+
+	// A true duplicate of a, cheaper: merges, updates cost and origin.
+	a2 := []uint64{0b1010, 0}
+	if tbl.insert(a2, tbl.hashFn(a2[:1]), 5, 1, 3) {
+		t.Fatal("duplicate vector treated as new")
+	}
+	if tbl.len() != 2 {
+		t.Fatalf("table has %d entries after dup, want 2", tbl.len())
+	}
+	if tbl.costs[0] != 5 || tbl.prevs[0] != 1 || tbl.seqs[0] != 3 {
+		t.Fatalf("winner not recorded: cost=%d prev=%d seq=%d", tbl.costs[0], tbl.prevs[0], tbl.seqs[0])
+	}
+	if tbl.entry(0)[1] != 0 {
+		t.Fatal("winner's hyper words not overwritten")
+	}
+
+	// An equally-cheap duplicate arriving from a later origin loses.
+	if tbl.insert(a, tbl.hashFn(a[:1]), 5, 2, 0) {
+		t.Fatal("duplicate vector treated as new")
+	}
+	if tbl.prevs[0] != 1 {
+		t.Fatalf("tie broken toward later origin: prev=%d", tbl.prevs[0])
+	}
+}
+
+// TestStateTableGrowKeepsEntries fills the table past its growth
+// threshold under a constant hash — the worst case: one long probe
+// chain that must survive the bucket rebuild.
+func TestStateTableGrowKeepsEntries(t *testing.T) {
+	lay := layout{m: 1, taskOff: []int{0}, taskWords: []int{2}, setWords: 2, hyperWords: 1}
+	tbl := &stateTable{hashFn: func([]uint64) uint64 { return 7 }}
+	tbl.configure(lay)
+	const total = 200
+	for i := 0; i < total; i++ {
+		v := []uint64{uint64(i), uint64(i) << 32, 0}
+		if !tbl.insert(v, tbl.hashFn(v[:2]), model.Cost(i), 0, int32(i)) {
+			t.Fatalf("vector %d not new", i)
+		}
+	}
+	if tbl.len() != total {
+		t.Fatalf("table has %d entries, want %d", tbl.len(), total)
+	}
+	// Every vector must still be findable (insert reports a duplicate).
+	for i := 0; i < total; i++ {
+		v := []uint64{uint64(i), uint64(i) << 32, 0}
+		if tbl.insert(v, tbl.hashFn(v[:2]), model.Cost(i), 0, int32(i)) {
+			t.Fatalf("vector %d lost across growth", i)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package mtswitch
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/bitset"
@@ -108,76 +107,75 @@ func SolvePrivateGlobal(ctx context.Context, ins *PrivateGlobalInstance, opt mod
 	}
 
 	// All O(n²) windows are independent, so the sweep fans out across
-	// worker goroutines: worker w handles window rows a ≡ w (mod
+	// the shared solve.Pool: pool task w handles window rows a ≡ w (mod
 	// workers); within a row, private unions extend incrementally as
-	// the window end grows.
+	// the window end grows.  The outer sweep owns the parallelism, so
+	// each inner SolveExact runs its packed frontier single-worker —
+	// stacking both levels would oversubscribe the pool's cores.
 	type windowResult struct {
 		cost     model.Cost
 		feasible bool
 		sol      *Solution
 	}
 	window := make([][]windowResult, n+1) // window[a][b]
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	pool := solve.NewPool(o.Workers)
+	defer pool.Close()
+	workers := pool.Workers()
 	if workers > n {
 		workers = n
 	}
+	innerOpts := o
+	if workers > 1 {
+		innerOpts.Workers = 1
+	}
 	var (
-		wg       sync.WaitGroup
 		errOnce  sync.Once
 		sweepErr error
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for a := w; a < n; a += workers {
-				row := make([]windowResult, n+1)
-				unions := make([]bitset.Set, m)
-				for j := range unions {
-					unions[j] = bitset.New(ins.G)
+	pool.Do(workers, func(w int) {
+		for a := w; a < n; a += workers {
+			row := make([]windowResult, n+1)
+			unions := make([]bitset.Set, m)
+			for j := range unions {
+				unions[j] = bitset.New(ins.G)
+			}
+			for b := a + 1; b <= n; b++ {
+				// Extend private unions with step b-1 and check
+				// pairwise disjointness of the assignments.
+				for j := 0; j < m; j++ {
+					unions[j].UnionWith(ins.PrivReqs[j][b-1])
 				}
-				for b := a + 1; b <= n; b++ {
-					// Extend private unions with step b-1 and check
-					// pairwise disjointness of the assignments.
-					for j := 0; j < m; j++ {
-						unions[j].UnionWith(ins.PrivReqs[j][b-1])
-					}
-					feasible := true
-					for j1 := 0; j1 < m && feasible; j1++ {
-						for j2 := j1 + 1; j2 < m; j2++ {
-							if !unions[j1].Intersect(unions[j2]).IsEmpty() {
-								feasible = false
-								break
-							}
+				feasible := true
+				for j1 := 0; j1 < m && feasible; j1++ {
+					for j2 := j1 + 1; j2 < m; j2++ {
+						if !unions[j1].Intersect(unions[j2]).IsEmpty() {
+							feasible = false
+							break
 						}
 					}
-					if !feasible {
-						continue
-					}
-					if err := solve.Checkpoint(ctx); err != nil {
-						errOnce.Do(func() { sweepErr = err })
-						return
-					}
-					sub, err := extendedWindowInstance(ins, a, b, unions)
-					if err != nil {
-						errOnce.Do(func() { sweepErr = err })
-						return
-					}
-					sol, err := SolveExact(ctx, sub, opt, o)
-					if err != nil {
-						errOnce.Do(func() { sweepErr = err })
-						return
-					}
-					row[b] = windowResult{cost: ins.W + sol.Cost, feasible: true, sol: sol}
 				}
-				window[a] = row
+				if !feasible {
+					continue
+				}
+				if err := solve.Checkpoint(ctx); err != nil {
+					errOnce.Do(func() { sweepErr = err })
+					return
+				}
+				sub, err := extendedWindowInstance(ins, a, b, unions)
+				if err != nil {
+					errOnce.Do(func() { sweepErr = err })
+					return
+				}
+				sol, err := SolveExact(ctx, sub, opt, innerOpts)
+				if err != nil {
+					errOnce.Do(func() { sweepErr = err })
+					return
+				}
+				row[b] = windowResult{cost: ins.W + sol.Cost, feasible: true, sol: sol}
 			}
-		}(w)
-	}
-	wg.Wait()
+			window[a] = row
+		}
+	})
 	if sweepErr != nil {
 		return nil, sweepErr
 	}

@@ -1,0 +1,242 @@
+package mtswitch
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// refState is one node of the reference solver's frontier: each task's
+// currently installed hypercontext as a heap-allocated []bitset.Set,
+// the accumulated cost, and pointer back-links for reconstruction.
+// This is the representation the packed engine exists to avoid.
+type refState struct {
+	sets  []bitset.Set
+	cost  model.Cost
+	prev  *refState
+	hyper []bool
+}
+
+// key canonicalizes the joint hypercontext vector as a string.
+func (s *refState) key() string {
+	var b strings.Builder
+	for _, set := range s.sets {
+		b.WriteString(set.Key())
+		b.WriteByte(0xff)
+	}
+	return b.String()
+}
+
+// compareRef orders frontier states by (cost, joint vector) — the same
+// total order the packed engine sorts by, so both solvers truncate the
+// same beam and pick the same optimum among equal-cost states.
+func compareRef(a, b *refState) int {
+	switch {
+	case a.cost < b.cost:
+		return -1
+	case a.cost > b.cost:
+		return 1
+	}
+	for j := range a.sets {
+		if c := bitset.CompareWords(a.sets[j].Words(), b.sets[j].Words()); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// SolveExactReference is the original map-and-pointer frontier DP, kept
+// as the semantic baseline for the packed engine in SolveExact: the
+// cross-engine agreement tests assert both return identical costs and
+// schedules, and the recorded benchmarks measure the packed engine's
+// speedup against it.
+//
+// It differs from the historical solver in exactly one way: the
+// frontier is sorted by (cost, vector) instead of cost alone, and
+// states are expanded in that order.  The historical sort left
+// equal-cost states in Go's randomized map-iteration order, so
+// beam-truncated runs were not reproducible; with the deterministic
+// order, dedup's first-wins rule over insertion order coincides with
+// the packed engine's (cost, source, branch) cheapest-wins rule, making
+// the two engines agree state-for-state at every step for any worker
+// count.
+//
+// See SolveExact for the correctness argument of the search space
+// itself (canonical hypercontexts, interval-union candidates,
+// cheapest-per-vector dedup).
+func SolveExactReference(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options) (*Solution, error) {
+	if err := solve.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
+	if ins == nil {
+		return nil, fmt.Errorf("mtswitch: nil instance")
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := ins.NumTasks(), ins.Steps()
+	if n == 0 {
+		return SolveAligned(ctx, ins, opt)
+	}
+
+	maxStates := o.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	var stats solve.Stats
+
+	// cand[j][i]: distinct values of U_j(i,e), e ≥ i, by growing horizon.
+	cand := make([][][]bitset.Set, m)
+	for j := 0; j < m; j++ {
+		cand[j] = make([][]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			acc := bitset.New(ins.Tasks[j].Local)
+			var list []bitset.Set
+			last := -1
+			for e := i; e < n; e++ {
+				acc.UnionWith(ins.Reqs[j][e])
+				if c := acc.Count(); c != last {
+					list = append(list, acc.Clone())
+					last = c
+				}
+			}
+			if o.MaxCandidates > 0 && len(list) > o.MaxCandidates {
+				// Keep the shortest horizons plus the full-suffix union.
+				stats.CandidatesPruned += int64(len(list) - o.MaxCandidates)
+				trimmed := append([]bitset.Set(nil), list[:o.MaxCandidates-1]...)
+				trimmed = append(trimmed, list[len(list)-1])
+				list = trimmed
+			}
+			cand[j][i] = list
+		}
+	}
+
+	root := &refState{sets: make([]bitset.Set, m), cost: ins.W}
+	for j := 0; j < m; j++ {
+		root.sets[j] = bitset.New(ins.Tasks[j].Local)
+	}
+	frontier := []*refState{root}
+	truncated := false
+
+	for i := 0; i < n; i++ {
+		next := make(map[string]*refState, len(frontier)*4)
+		cur := &refState{sets: make([]bitset.Set, m), hyper: make([]bool, m)}
+
+		var expand func(st *refState, j int)
+		expand = func(st *refState, j int) {
+			if j == m {
+				var hyperC model.Cost
+				for t := 0; t < m; t++ {
+					if cur.hyper[t] {
+						hyperC = opt.HyperUpload.Combine(hyperC, ins.Tasks[t].V)
+					}
+				}
+				var reconf model.Cost
+				if opt.ReconfUpload == model.TaskParallel {
+					reconf = model.Cost(ins.PublicGlobal)
+				}
+				for t := 0; t < m; t++ {
+					reconf = opt.ReconfUpload.Combine(reconf, model.Cost(cur.sets[t].Count()))
+				}
+				if opt.ReconfUpload == model.TaskSequential {
+					reconf += model.Cost(ins.PublicGlobal)
+				}
+				total := st.cost + hyperC + reconf
+				k := cur.key()
+				stats.StatesExpanded++
+				if old, ok := next[k]; ok {
+					stats.DedupHits++
+					if total < old.cost {
+						next[k] = &refState{
+							sets:  append([]bitset.Set(nil), cur.sets...),
+							cost:  total,
+							prev:  st,
+							hyper: append([]bool(nil), cur.hyper...),
+						}
+					}
+				} else {
+					next[k] = &refState{
+						sets:  append([]bitset.Set(nil), cur.sets...),
+						cost:  total,
+						prev:  st,
+						hyper: append([]bool(nil), cur.hyper...),
+					}
+				}
+				return
+			}
+			keepOK := i > 0 && ins.Reqs[j][i].IsSubsetOf(st.sets[j])
+			if keepOK {
+				cur.sets[j] = st.sets[j]
+				cur.hyper[j] = false
+				expand(st, j+1)
+			}
+			for _, c := range cand[j][i] {
+				// Installing a set identical to the kept one costs a
+				// hyperreconfiguration for nothing.
+				if keepOK && c.Equal(st.sets[j]) {
+					continue
+				}
+				cur.sets[j] = c
+				cur.hyper[j] = true
+				expand(st, j+1)
+			}
+		}
+
+		for _, st := range frontier {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+			expand(st, 0)
+		}
+
+		frontier = frontier[:0]
+		for _, st := range next {
+			frontier = append(frontier, st)
+		}
+		sort.Slice(frontier, func(a, b int) bool { return compareRef(frontier[a], frontier[b]) < 0 })
+		if len(frontier) > maxStates {
+			frontier = frontier[:maxStates]
+			truncated = true
+		}
+		if int64(len(next)) > stats.PeakFrontier {
+			stats.PeakFrontier = int64(len(next))
+		}
+		if len(frontier) == 0 {
+			return nil, fmt.Errorf("mtswitch: state frontier emptied at step %d", i)
+		}
+	}
+
+	best := frontier[0] // frontier is (cost, vector)-sorted
+
+	// Reconstruct hyperreconfiguration masks, canonicalize, reprice.
+	// Canonical repricing can only improve on the DP value (the DP may
+	// hold over-long-horizon candidates for the final segments).
+	mask := make([][]bool, m)
+	for j := range mask {
+		mask[j] = make([]bool, n)
+	}
+	for st, i := best, n-1; i >= 0; st, i = st.prev, i-1 {
+		for j := 0; j < m; j++ {
+			mask[j][i] = st.hyper[j]
+		}
+	}
+	sched, err := ins.CanonicalSchedule(mask)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := ins.Cost(sched, opt)
+	if err != nil {
+		return nil, err
+	}
+	if cost > best.cost {
+		return nil, fmt.Errorf("mtswitch: canonical repricing %d above DP bound %d", cost, best.cost)
+	}
+	stats.Truncated = truncated || o.MaxCandidates > 0
+	return &Solution{Schedule: sched, Cost: cost, Stats: stats}, nil
+}

@@ -113,6 +113,9 @@ func TestHTTPSolveCounterEndToEnd(t *testing.T) {
 		"hyperd_jobs_submitted_total 1",
 		"hyperd_jobs_completed_total 1",
 		`hyperd_solve_seconds_count{solver="aligned"} 1`,
+		`hyperd_solver_states_expanded_total{solver="aligned"}`,
+		`hyperd_solver_dedup_hits_total{solver="aligned"}`,
+		`hyperd_solver_peak_frontier{solver="aligned"}`,
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, metrics)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/solve"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds
@@ -48,12 +50,23 @@ type metrics struct {
 
 	workersBusy atomic.Int64
 
-	mu        sync.Mutex
-	perSolver map[string]*latencyHist
+	mu          sync.Mutex
+	perSolver   map[string]*latencyHist
+	solverStats map[string]*solverStats
+}
+
+// solverStats accumulates the solve.Stats counters of completed jobs
+// per solver (guarded by metrics.mu).  peakFrontier is a high-water
+// mark, not a sum: it reports the largest DP frontier any job of that
+// solver ever held, the quantity that bounds the engine's memory.
+type solverStats struct {
+	statesExpanded int64
+	dedupHits      int64
+	peakFrontier   int64
 }
 
 func newMetrics() *metrics {
-	return &metrics{perSolver: map[string]*latencyHist{}}
+	return &metrics{perSolver: map[string]*latencyHist{}, solverStats: map[string]*solverStats{}}
 }
 
 // observe records one completed solve's wall time under its solver.
@@ -66,6 +79,23 @@ func (m *metrics) observe(solver string, d time.Duration) {
 		m.perSolver[solver] = h
 	}
 	h.observe(d.Seconds())
+}
+
+// observeStats folds one completed solve's run statistics into the
+// per-solver aggregates.
+func (m *metrics) observeStats(solver string, st solve.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, ok := m.solverStats[solver]
+	if !ok {
+		agg = &solverStats{}
+		m.solverStats[solver] = agg
+	}
+	agg.statesExpanded += st.StatesExpanded
+	agg.dedupHits += st.DedupHits
+	if st.PeakFrontier > agg.peakFrontier {
+		agg.peakFrontier = st.PeakFrontier
+	}
 }
 
 // gauges are point-in-time values the server snapshots at render time.
@@ -122,6 +152,26 @@ func (m *metrics) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "hyperd_solve_seconds_bucket{solver=%q,le=\"+Inf\"} %d\n", name, h.count)
 		fmt.Fprintf(w, "hyperd_solve_seconds_sum{solver=%q} %g\n", name, h.sum)
 		fmt.Fprintf(w, "hyperd_solve_seconds_count{solver=%q} %d\n", name, h.count)
+	}
+
+	statNames := make([]string, 0, len(m.solverStats))
+	for name := range m.solverStats {
+		statNames = append(statNames, name)
+	}
+	sort.Strings(statNames)
+	if len(statNames) > 0 {
+		fmt.Fprintf(w, "# TYPE hyperd_solver_states_expanded_total counter\n")
+		for _, name := range statNames {
+			fmt.Fprintf(w, "hyperd_solver_states_expanded_total{solver=%q} %d\n", name, m.solverStats[name].statesExpanded)
+		}
+		fmt.Fprintf(w, "# TYPE hyperd_solver_dedup_hits_total counter\n")
+		for _, name := range statNames {
+			fmt.Fprintf(w, "hyperd_solver_dedup_hits_total{solver=%q} %d\n", name, m.solverStats[name].dedupHits)
+		}
+		fmt.Fprintf(w, "# TYPE hyperd_solver_peak_frontier gauge\n")
+		for _, name := range statNames {
+			fmt.Fprintf(w, "hyperd_solver_peak_frontier{solver=%q} %d\n", name, m.solverStats[name].peakFrontier)
+		}
 	}
 }
 

@@ -355,6 +355,7 @@ func (s *Server) finalize(job *Job, sol *solve.Solution, err error) {
 		s.cache.Put(job.Hash, &cachedResult{sol: sol, wire: job.memo})
 		s.metrics.completed.Add(1)
 		s.metrics.observe(job.Solver, now.Sub(job.started))
+		s.metrics.observeStats(job.Solver, sol.Stats)
 	case errors.Is(err, context.Canceled):
 		job.state = JobCanceled
 		job.err = err

@@ -1,0 +1,97 @@
+package solve
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is the shared worker pool behind every parallel solver stage:
+// the packed frontier engine's sharded expansion and merge, the
+// private-global window sweep, and the GA's fitness evaluation all
+// dispatch onto one of these instead of spawning ad-hoc goroutines per
+// call.  Workers are persistent goroutines started lazily on the first
+// parallel dispatch, so a solver that creates a Pool but stays on its
+// single-worker fast path never pays for goroutine startup.
+//
+// A Pool is safe for use by a single dispatching goroutine at a time
+// (Do is a barrier; solvers call it from their main loop).  Close
+// releases the workers; using a closed pool panics.
+type Pool struct {
+	workers int
+
+	once   sync.Once
+	jobs   chan poolJob
+	closed bool
+}
+
+type poolJob struct {
+	task int
+	fn   func(task int)
+	wg   *sync.WaitGroup
+}
+
+// NewPool sizes a pool; workers <= 0 selects GOMAXPROCS, matching the
+// Options.Workers convention.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// start spawns the persistent workers on first use.
+func (p *Pool) start() {
+	jobs := make(chan poolJob)
+	p.jobs = jobs
+	for w := 0; w < p.workers; w++ {
+		go func() {
+			for j := range jobs {
+				j.fn(j.task)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// Do runs fn(0) … fn(n-1) across the pool's workers and returns when
+// all calls have finished (a barrier).  Tasks are indivisible: callers
+// partition their work into at most Workers() chunks for full
+// utilization.  With one worker or one task the call runs inline on
+// the caller's goroutine, so single-threaded configurations stay free
+// of synchronization.
+func (p *Pool) Do(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	if p.closed {
+		panic("solve: Do on a closed Pool")
+	}
+	if p.workers == 1 || n == 1 {
+		for t := 0; t < n; t++ {
+			fn(t)
+		}
+		return
+	}
+	p.once.Do(p.start)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for t := 0; t < n; t++ {
+		p.jobs <- poolJob{task: t, fn: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close releases the pool's worker goroutines.  Safe to call on a pool
+// whose workers never started, and required before dropping a pool
+// that did.
+func (p *Pool) Close() {
+	p.closed = true
+	p.once.Do(func() {}) // mark started so a late Do cannot respawn
+	if p.jobs != nil {
+		close(p.jobs)
+		p.jobs = nil
+	}
+}

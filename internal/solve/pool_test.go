@@ -1,0 +1,66 @@
+package solve
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		var hit [100]int32
+		p.Do(len(hit), func(task int) {
+			atomic.AddInt32(&hit[task], 1)
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, h)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+	p.Close()
+}
+
+func TestPoolReusableAcrossDispatches(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total int64
+	for round := 0; round < 10; round++ {
+		p.Do(17, func(int) { atomic.AddInt64(&total, 1) })
+	}
+	if total != 170 {
+		t.Fatalf("ran %d tasks, want 170", total)
+	}
+}
+
+func TestPoolZeroTasksIsNoop(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Do(0, func(int) { t.Fatal("task ran") })
+	p.Do(-1, func(int) { t.Fatal("task ran") })
+}
+
+func TestPoolDoAfterClosePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Do(4, func(int) {})
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Do on closed pool did not panic")
+		}
+	}()
+	p.Do(1, func(int) {})
+}
+
+func TestPoolCloseWithoutStart(t *testing.T) {
+	p := NewPool(8)
+	p.Close() // workers never started; must not hang or panic
+}

@@ -128,6 +128,15 @@ type Stats struct {
 	// DedupHits counts states merged into an already-known state
 	// (frontier deduplication).
 	DedupHits int64
+	// PeakFrontier is the largest per-step state frontier the solver
+	// held (after deduplication, before beam truncation).  Sub-solves
+	// aggregate by max: the peak of the run is the peak of its largest
+	// sub-solve.
+	PeakFrontier int64
+	// ArenaReused counts word slabs the packed frontier engine obtained
+	// from its reuse arena instead of allocating fresh — a measure of
+	// how allocation-free the hot path ran.
+	ArenaReused int64
 	// CandidatesPruned counts branches, candidates or moves discarded
 	// by caps or bounds before expansion.
 	CandidatesPruned int64
@@ -147,6 +156,10 @@ type Stats struct {
 func (s *Stats) Add(o Stats) {
 	s.StatesExpanded += o.StatesExpanded
 	s.DedupHits += o.DedupHits
+	if o.PeakFrontier > s.PeakFrontier {
+		s.PeakFrontier = o.PeakFrontier
+	}
+	s.ArenaReused += o.ArenaReused
 	s.CandidatesPruned += o.CandidatesPruned
 	s.Evaluations += o.Evaluations
 	s.Truncated = s.Truncated || o.Truncated

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/dag"
 	"repro/internal/model"
+	"repro/internal/mtswitch"
 	"repro/internal/solve"
 )
 
@@ -255,6 +256,82 @@ func TestExactSolversAgreeWithBruteForce(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestWorkerCountAgreement is the registry-wide determinism check for
+// the parallel frontier engine: for every solver whose result could
+// legally depend on scheduling (the packed DP behind "exact" and
+// "beam", and the pooled fitness evaluation behind "ga"), Workers ∈
+// {1, 2, 8} must return identical costs and identical schedules.  The
+// exact runs are additionally pinned to the retained sequential
+// reference implementation, schedule for schedule.
+func TestWorkerCountAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	workerCounts := []int{1, 2, 8}
+	for trial := 0; trial < 10; trial++ {
+		ins := randomMT(t, r)
+		inst := solve.NewMT(ins, parallel)
+
+		ref, err := mtswitch.SolveExactReference(ctx, ins, parallel, solve.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		for _, name := range []string{"exact", "beam", "ga"} {
+			var base *solve.Solution
+			for _, workers := range workerCounts {
+				opts := solve.Options{Workers: workers}
+				if name == "ga" {
+					opts.Pop = 16
+					opts.Generations = 10
+					opts.Seed = 1
+				}
+				got, err := solve.Run(ctx, name, inst, opts)
+				if err != nil {
+					t.Fatalf("trial %d: %s workers %d: %v", trial, name, workers, err)
+				}
+				if base == nil {
+					base = got
+					continue
+				}
+				if got.Cost != base.Cost {
+					t.Fatalf("trial %d: %s workers %d cost %d, workers 1 cost %d",
+						trial, name, workers, got.Cost, base.Cost)
+				}
+				if !sameMTSchedule(got.MTSched, base.MTSched) {
+					t.Fatalf("trial %d: %s workers %d schedule differs from workers 1", trial, name, workers)
+				}
+			}
+			if name == "exact" {
+				if base.Cost != ref.Cost {
+					t.Fatalf("trial %d: exact cost %d, sequential reference %d", trial, base.Cost, ref.Cost)
+				}
+				if !sameMTSchedule(base.MTSched, ref.Schedule) {
+					t.Fatalf("trial %d: exact schedule differs from sequential reference", trial)
+				}
+			}
+		}
+	}
+}
+
+func sameMTSchedule(a, b *model.MTSchedule) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Hyper) != len(b.Hyper) {
+		return false
+	}
+	for j := range a.Hyper {
+		if len(a.Hyper[j]) != len(b.Hyper[j]) {
+			return false
+		}
+		for i := range a.Hyper[j] {
+			if a.Hyper[j][i] != b.Hyper[j][i] || !a.Hctx[j][i].Equal(b.Hctx[j][i]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // TestMTDAGExactAgreesWithPerTask: under task-sequential uploads the

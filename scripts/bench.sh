@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Regenerates the recorded bench baseline.
+#
+#   scripts/bench.sh
+#
+# Writes two artifacts into the repo root, both committed:
+#
+#   BENCH_PR3.json            frontier-engine comparison (reference DP
+#                             vs packed engine at Workers=1 and
+#                             Workers=GOMAXPROCS) with ns/op, allocs/op
+#                             and the speedup/alloc ratios; produced by
+#                             `paperbench -bench` on the fixed-seed
+#                             BenchmarkScalingTasks m=4 workload.
+#   scripts/bench_baseline.txt raw `go test -bench` output of the
+#                             frontier/scaling benchmarks, the input
+#                             CI's informational benchstat step
+#                             compares new runs against.
+set -eu
+cd "$(dirname "$0")/.."
+
+go run ./cmd/paperbench -bench -benchout BENCH_PR3.json
+
+go test -run '^$' -bench 'BenchmarkFrontierEngines|BenchmarkScalingTasks' \
+	-benchmem -count 1 . | tee scripts/bench_baseline.txt
