@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hyperd [-addr :8077] [-workers N] [-queue N] [-cache N] [-max-timeout 60s]
+//	       [-max-frontier-bytes N] [-breaker-threshold N] [-breaker-cooldown 10s]
 //	hyperd bench [-solver aligned] [-gen phased] [-tasks 4] [-steps 64]
 //	             [-switches 16] [-conc 32] [-duration 2s]
 //
@@ -64,6 +65,9 @@ func runServe(args []string) error {
 		queue      = fs.Int("queue", 256, "job queue depth")
 		cache      = fs.Int("cache", 1024, "result cache entries (negative disables)")
 		maxTimeout = fs.Duration("max-timeout", time.Minute, "per-job solve deadline cap (0 = none)")
+		maxBytes   = fs.Int64("max-frontier-bytes", 1<<30, "per-job solver memory budget in bytes; exhaustion degrades exact solves to beam search (0 = none)")
+		brkThresh  = fs.Int("breaker-threshold", 5, "consecutive solver panics/timeouts that trip its circuit breaker (negative disables)")
+		brkCool    = fs.Duration("breaker-cooldown", 10*time.Second, "how long a tripped breaker fails fast before probing")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,10 +75,13 @@ func runServe(args []string) error {
 	}
 
 	srv := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cache,
-		MaxSolveTimeout: *maxTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		MaxSolveTimeout:  *maxTimeout,
+		MaxFrontierBytes: *maxBytes,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCool,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

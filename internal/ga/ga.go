@@ -55,6 +55,7 @@ type params struct {
 	workers            int
 	noHeuristicSeeds   bool
 	crossover          CrossoverKind
+	degraded           bool // population clamped by MaxFrontierBytes
 }
 
 func gaParams(o solve.Options, m, n int) params {
@@ -84,6 +85,22 @@ func gaParams(o solve.Options, m, n int) params {
 	}
 	if p.tournamentK <= 0 {
 		p.tournamentK = 3
+	}
+	if o.MaxFrontierBytes > 0 {
+		// The GA inherits the solve memory budget: its resident state
+		// is two generations of m·n-bool genomes plus their fitness
+		// slots, so clamp the population to what the budget affords
+		// (never below 2 — a GA needs parents) and record the
+		// degradation.
+		perGenome := 2 * (int64(m)*int64(n) + 16)
+		maxPop := o.MaxFrontierBytes / perGenome
+		if maxPop < 2 {
+			maxPop = 2
+		}
+		if int64(p.pop) > maxPop {
+			p.pop = int(maxPop)
+			p.degraded = true
+		}
 	}
 	if p.elites <= 0 {
 		p.elites = 2
@@ -221,17 +238,19 @@ func newEvalPool(ins *model.MTSwitchInstance, opt model.CostOptions, workers int
 func (p *evalPool) close() { p.pool.Close() }
 
 // evalRange computes out[i] = cost(genomes[i]) for i in [from, len).
-func (p *evalPool) evalRange(genomes []genome, out []model.Cost, from int) {
+// A panic inside an evaluator (isolated by the pool) is returned as a
+// *solve.PanicError.
+func (p *evalPool) evalRange(genomes []genome, out []model.Cost, from int) error {
 	n := len(genomes) - from
 	if n <= 0 {
-		return
+		return nil
 	}
 	workers := len(p.evs)
 	if workers > n {
 		workers = n
 	}
 	chunk := (n + workers - 1) / workers
-	p.pool.Do(workers, func(w int) {
+	return p.pool.Do(workers, func(w int) {
 		ev := p.evs[w]
 		lo := from + w*chunk
 		hi := lo + chunk
@@ -323,7 +342,9 @@ func Optimize(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOp
 	}
 
 	fit := make([]model.Cost, cfg.pop)
-	pool.evalRange(pop, fit, 0)
+	if err := pool.evalRange(pop, fit, 0); err != nil {
+		return nil, err
+	}
 	stats.Evaluations += int64(cfg.pop)
 
 	bestG := pop[0].clone()
@@ -379,7 +400,9 @@ func Optimize(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOp
 			forceStep0(child)
 			next[i] = child
 		}
-		pool.evalRange(next, nextFit, cfg.elites)
+		if err := pool.evalRange(next, nextFit, cfg.elites); err != nil {
+			return nil, err
+		}
 		stats.Evaluations += int64(cfg.pop - cfg.elites)
 		pop, next = next, pop
 		fit, nextFit = nextFit, fit
@@ -412,6 +435,7 @@ func Optimize(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOp
 		return nil, fmt.Errorf("ga: evaluator cost %d disagrees with model cost %d", bestC, cost)
 	}
 	stats.Truncated = true // stochastic search: cost is an upper bound
+	stats.Degraded = cfg.degraded
 	return &Result{
 		Solution: &mtswitch.Solution{Schedule: sched, Cost: cost, Stats: stats},
 		History:  history,

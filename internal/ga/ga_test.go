@@ -283,3 +283,41 @@ func TestGAParamDefaults(t *testing.T) {
 		t.Fatalf("elites not capped: %+v", p)
 	}
 }
+
+func TestOptimizeBudgetClampsPopulation(t *testing.T) {
+	// The GA inherits MaxFrontierBytes: a budget too small for the
+	// requested population clamps it (never below 2) and marks the run
+	// Degraded, while a generous budget changes nothing.
+	p := gaParams(solve.Options{Pop: 500, MaxFrontierBytes: 400}, 3, 10)
+	if p.pop >= 500 {
+		t.Fatalf("budget did not clamp population: %d", p.pop)
+	}
+	if p.pop < 2 {
+		t.Fatalf("population clamped below 2: %d", p.pop)
+	}
+	if !p.degraded {
+		t.Fatal("clamped params not marked degraded")
+	}
+	p = gaParams(solve.Options{Pop: 40, MaxFrontierBytes: 64 << 20}, 3, 10)
+	if p.pop != 40 || p.degraded {
+		t.Fatalf("generous budget altered params: %+v", p)
+	}
+
+	r := rand.New(rand.NewSource(11))
+	ins := randomMT(r, 3, 5, 8)
+	res, err := Optimize(context.Background(), ins, parallel, solve.Options{
+		Pop: 300, Generations: 10, Seed: 3, MaxFrontierBytes: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Stats.Degraded {
+		t.Fatal("budget-clamped run not flagged Degraded")
+	}
+	if !res.Solution.Stats.Truncated {
+		t.Fatal("Degraded without Truncated")
+	}
+	if err := ins.Validate(res.Solution.Schedule); err != nil {
+		t.Fatalf("clamped run produced invalid schedule: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/model"
+	"repro/internal/resilience/faultinject"
 	"repro/internal/solve"
 )
 
@@ -112,6 +113,14 @@ type stateTable struct {
 	stride   int
 	hashFn   func([]uint64) uint64
 
+	// limit, when positive, hard-caps the entry count: inserts of NEW
+	// vectors beyond it are dropped (counted in dropped) while merges
+	// into existing entries still apply.  This is the memory-budget
+	// backstop for a single step's expansion — see the budget notes on
+	// the engine.
+	limit   int
+	dropped int64
+
 	buckets []int32 // entry index + 1; 0 = empty
 	mask    uint64
 
@@ -149,6 +158,7 @@ func (t *stateTable) reset() {
 	t.costs = t.costs[:0]
 	t.prevs = t.prevs[:0]
 	t.seqs = t.seqs[:0]
+	t.dropped = 0
 }
 
 func (t *stateTable) len() int { return len(t.hashes) }
@@ -196,6 +206,10 @@ func (t *stateTable) insert(state []uint64, h uint64, cost model.Cost, prev, seq
 	for {
 		b := t.buckets[i]
 		if b == 0 {
+			if t.limit > 0 && len(t.hashes) >= t.limit {
+				t.dropped++
+				return false
+			}
 			e := int32(len(t.hashes))
 			t.buckets[i] = e + 1
 			t.slab = append(t.slab, state...)
@@ -269,6 +283,20 @@ type engine struct {
 	cands [][]packedCands // [task][step]
 	reqs  [][]uint64      // [task] flat n*taskWords[j] requirement words
 
+	// Memory budget (Options.MaxFrontierBytes).  budgetStates is the
+	// number of packed states the budget affords (0 = unbudgeted): it
+	// caps the beam deterministically at the per-step truncation and
+	// hard-caps each worker's successor table during expansion, and
+	// budgetWords bounds the candidate catalog.  When any of the three
+	// actually bites, the run records Stats.Degraded (and Truncated):
+	// the result is a valid upper-bound schedule, but — uniquely among
+	// the engine's paths — the worker-table cap may drop states in
+	// insertion order, so a Degraded result is not guaranteed
+	// bit-identical across worker counts.
+	budgetStates int
+	budgetWords  int64
+	budgetCapped bool
+
 	// Current frontier.
 	slab  []uint64
 	costs []model.Cost
@@ -312,6 +340,27 @@ func (e *engine) prepare(ins *model.MTSwitchInstance, opt model.CostOptions, o s
 	e.lay = newLayout(ins)
 	m, n := ins.NumTasks(), ins.Steps()
 
+	e.budgetStates = 0
+	e.budgetWords = 0
+	e.budgetCapped = false
+	if o.MaxFrontierBytes > 0 {
+		// One packed state costs its stride in words plus the table
+		// bookkeeping (hash, cost, back-pointer, sequence).
+		perState := int64(e.lay.stride()*8 + 24)
+		bs := o.MaxFrontierBytes / perState
+		if bs < 1 {
+			bs = 1
+		}
+		if bs > math.MaxInt32 {
+			bs = math.MaxInt32
+		}
+		e.budgetStates = int(bs)
+		e.budgetWords = o.MaxFrontierBytes / 8
+		if e.budgetWords < 1 {
+			e.budgetWords = 1
+		}
+	}
+
 	e.pool = solve.NewPool(o.Workers)
 	workers := e.pool.Workers()
 	e.nshards = workers
@@ -323,6 +372,7 @@ func (e *engine) prepare(ins *model.MTSwitchInstance, opt model.CostOptions, o s
 	}
 	for _, w := range e.workers[:workers] {
 		w.table.hashFn = nil // instance hash; tests inject theirs directly
+		w.table.limit = e.budgetStates
 		w.table.configure(e.lay)
 		w.cur = growWords(w.cur, e.lay.stride())
 		if cap(w.keepOK) < m {
@@ -337,6 +387,11 @@ func (e *engine) prepare(ins *model.MTSwitchInstance, opt model.CostOptions, o s
 	}
 	for _, t := range e.shards[:workers] {
 		t.hashFn = nil
+		// Destination shards hold at most the sum of the (already
+		// capped) worker tables, so they carry no limit of their own;
+		// clear any limit left by a previous budgeted run of this
+		// recycled engine.
+		t.limit = 0
 		t.configure(e.lay)
 	}
 
@@ -357,6 +412,7 @@ func (e *engine) prepare(ins *model.MTSwitchInstance, opt model.CostOptions, o s
 	e.stats.PeakFrontier = 0
 	e.stats.CandidatesPruned = 0
 	e.stats.Truncated = false
+	e.stats.Degraded = false
 }
 
 func growWords(s []uint64, n int) []uint64 {
@@ -369,25 +425,54 @@ func growWords(s []uint64, n int) []uint64 {
 // buildCandidates computes cand[j][i], the distinct values of U_j(i,e)
 // for e ≥ i by growing horizon, directly in packed form, applying the
 // MaxCandidates trim (shortest horizons plus the full-suffix union).
-func (e *engine) buildCandidates(o solve.Options) {
+//
+// The candidate catalog is the engine's other unbounded allocation
+// (O(m·n·l) packed vectors worst case), so the frontier byte budget
+// covers it too: once the catalog has consumed the budget, every
+// further (task, step) keeps only its full-suffix union — the one
+// candidate that is always feasible for any horizon — and the run is
+// recorded as budget-degraded.  The trim is applied in the sequential
+// build order, so candidate-budget degradation is deterministic.  The
+// context is checked once per (task, step), bounding cancellation
+// latency on catalogs whose construction alone is expensive.
+func (e *engine) buildCandidates(ctx context.Context, o solve.Options) error {
 	m, n := e.lay.m, e.ins.Steps()
+	var candWords int64
 	e.cands = make([][]packedCands, m)
 	for j := 0; j < m; j++ {
 		tw := e.lay.taskWords[j]
 		e.cands[j] = make([]packedCands, n)
 		acc := bitset.New(e.ins.Tasks[j].Local)
 		for i := 0; i < n; i++ {
+			if err := solve.Checkpoint(ctx); err != nil {
+				return err
+			}
 			acc.Clear()
 			c := packedCands{}
+			overBudget := e.budgetWords > 0 && candWords >= e.budgetWords
+			var pruned int64
 			last := -1
 			for end := i; end < n; end++ {
 				acc.UnionWith(e.ins.Reqs[j][end])
 				if cnt := acc.Count(); cnt != last {
-					c.words = append(c.words, acc.Words()...)
-					c.counts = append(c.counts, model.Cost(cnt))
-					c.k++
+					if overBudget && c.k == 1 {
+						// Overwrite the single slot in place; the loop's
+						// final value is the full-suffix union.
+						copy(c.words, acc.Words())
+						c.counts[0] = model.Cost(cnt)
+						pruned++
+					} else {
+						c.words = append(c.words, acc.Words()...)
+						c.counts = append(c.counts, model.Cost(cnt))
+						c.k++
+					}
 					last = cnt
 				}
+			}
+			if pruned > 0 {
+				e.stats.CandidatesPruned += pruned
+				e.stats.Truncated = true
+				e.stats.Degraded = true
 			}
 			if o.MaxCandidates > 0 && c.k > o.MaxCandidates {
 				e.stats.CandidatesPruned += int64(c.k - o.MaxCandidates)
@@ -398,9 +483,11 @@ func (e *engine) buildCandidates(o solve.Options) {
 				c.counts = c.counts[:keep+1]
 				c.k = keep + 1
 			}
+			candWords += int64(len(c.words))
 			e.cands[j][i] = c
 		}
 	}
+	return nil
 }
 
 // reqAt returns task j's packed requirement at step i.
@@ -534,6 +621,11 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 	e.count = 1
 
 	for e.step = 0; e.step < n; e.step++ {
+		// Chaos-harness site: injects slowness, errors or panics into
+		// the DP's step loop (one atomic load when disarmed).
+		if err := faultinject.Fire("mtswitch.step"); err != nil {
+			return err
+		}
 		// Phase 1 — sharded expansion over contiguous source chunks.
 		active := e.nshards
 		if active > e.count {
@@ -542,7 +634,7 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 		chunk := (e.count + active - 1) / active
 		var mu sync.Mutex
 		var expandErr error
-		e.pool.Do(active, func(wk int) {
+		if err := e.pool.Do(active, func(wk int) {
 			w := e.workers[wk]
 			w.table.reset()
 			for d := range w.byDest[:e.nshards] {
@@ -560,16 +652,26 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 				}
 				mu.Unlock()
 			}
-		})
+		}); err != nil {
+			return err
+		}
 		if expandErr != nil {
 			return expandErr
 		}
-		var produced int64
+		var produced, dropped int64
 		for _, w := range e.workers[:active] {
 			produced += w.statesExpanded
 			w.statesExpanded = 0
+			dropped += w.table.dropped
 		}
 		e.stats.StatesExpanded += produced
+		if dropped > 0 {
+			// The worker-table budget cap bit: states were dropped
+			// before dedup, so the step is a (budget-forced) beam.
+			e.stats.CandidatesPruned += dropped
+			e.stats.Truncated = true
+			e.stats.Degraded = true
+		}
 
 		// Phase 2 — merge by hash ownership, then flatten.
 		var fl flat
@@ -577,7 +679,9 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 			t := &e.workers[0].table
 			fl = flat{slab: t.slab, costs: t.costs, prevs: t.prevs, stride: stride, sw: sw}
 		} else {
-			e.pool.Do(e.nshards, func(d int) { e.mergeShard(d, active) })
+			if err := e.pool.Do(e.nshards, func(d int) { e.mergeShard(d, active) }); err != nil {
+				return err
+			}
 			e.tmpSlab = e.tmpSlab[:0]
 			e.tmpCosts = e.tmpCosts[:0]
 			e.tmpPrevs = e.tmpPrevs[:0]
@@ -592,7 +696,7 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 		if unique == 0 {
 			return fmt.Errorf("mtswitch: state frontier emptied at step %d", e.step)
 		}
-		e.stats.DedupHits += produced - int64(unique)
+		e.stats.DedupHits += produced - dropped - int64(unique)
 		if int64(unique) > e.stats.PeakFrontier {
 			e.stats.PeakFrontier = int64(unique)
 		}
@@ -615,6 +719,9 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 		if kept > maxStates {
 			kept = maxStates
 			e.stats.Truncated = true
+			if e.budgetCapped {
+				e.stats.Degraded = true
+			}
 		}
 
 		// Phase 4 — promote the winners into the next frontier and
@@ -652,7 +759,16 @@ func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, o
 	}
 	e.prepare(ins, opt, o)
 	defer e.pool.Close()
-	e.buildCandidates(o)
+	if e.budgetStates > 0 && e.budgetStates < maxStates {
+		// The byte budget affords a smaller beam than the state cap:
+		// the budget-derived cap becomes the binding one, and any
+		// truncation it causes is a budget degradation.
+		maxStates = e.budgetStates
+		e.budgetCapped = true
+	}
+	if err := e.buildCandidates(ctx, o); err != nil {
+		return nil, 0, e.stats, err
+	}
 	if err := e.runSteps(ctx, maxStates); err != nil {
 		return nil, 0, e.stats, err
 	}

@@ -132,7 +132,7 @@ func SolvePrivateGlobal(ctx context.Context, ins *PrivateGlobalInstance, opt mod
 		errOnce  sync.Once
 		sweepErr error
 	)
-	pool.Do(workers, func(w int) {
+	poolErr := pool.Do(workers, func(w int) {
 		for a := w; a < n; a += workers {
 			row := make([]windowResult, n+1)
 			unions := make([]bitset.Set, m)
@@ -176,6 +176,11 @@ func SolvePrivateGlobal(ctx context.Context, ins *PrivateGlobalInstance, opt mod
 			window[a] = row
 		}
 	})
+	if poolErr != nil {
+		// A panic inside a window solve: the pool isolated it to this
+		// sweep, surfaced as a typed *solve.PanicError.
+		return nil, poolErr
+	}
 	if sweepErr != nil {
 		return nil, sweepErr
 	}

@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's current disposition.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every request (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits a single probe after the cooldown; its
+	// outcome decides between closing and re-opening.
+	BreakerHalfOpen
+	// BreakerOpen fails every request fast until the cooldown elapses.
+	BreakerOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker.  The zero value selects the defaults.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures trip the breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 10s).
+	Cooldown time.Duration
+	// Now overrides the clock (tests); nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker.  Closed it admits
+// everything; Threshold consecutive failures open it; after Cooldown it
+// admits exactly one half-open probe whose success closes it again and
+// whose failure re-opens it for another cooldown.  Successes reset the
+// consecutive-failure count.  All methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed.  When it may not,
+// retryAfter is how long until the breaker would next admit a probe
+// (at least one clock tick, so a Retry-After header is never zero).
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, b.cfg.Cooldown
+		}
+		b.probing = true
+		return true, 0
+	default: // BreakerOpen
+		remaining := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		// Cooldown elapsed: this request is the half-open probe.
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, 0
+	}
+}
+
+// Success records a successful request, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// Failure records a breaker-relevant failure (a panic or a timeout,
+// not a user cancel).  A failed half-open probe re-opens immediately;
+// in the closed state Threshold consecutive failures open the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch {
+	case b.state == BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+		b.probing = false
+	case b.state == BreakerClosed && b.consecutive >= b.cfg.Threshold:
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+	}
+}
+
+// Abandon records that an admitted request resolved without a health
+// signal (a user cancel, say): in the half-open state the probe slot is
+// released so the next request becomes the new probe.  In every other
+// state it is a no-op — an abandoned request neither heals nor harms.
+func (b *Breaker) Abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// State reports the current state (open flips to half-open lazily at
+// the next Allow, so a cooled-down open breaker still reports open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

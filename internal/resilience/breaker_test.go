@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after 3 failures, want open", b.State())
+	}
+	ok, retry := b.Allow()
+	if ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if retry <= 0 || retry > time.Minute {
+		t.Fatalf("retryAfter = %v, want (0, 1m]", retry)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed (success reset the run of failures)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	clk.advance(time.Minute + time.Second)
+	ok, _ := b.Allow()
+	if !ok {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// A second request while the probe is in flight is refused.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(2 * time.Minute)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after probe failure, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("re-opened breaker admitted a request before the new cooldown")
+	}
+	clk.advance(2 * time.Minute)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("breaker refused the second probe after the new cooldown")
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b, _ := newTestBreaker(4, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				if ok, _ := b.Allow(); ok {
+					if k%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No assertion beyond absence of races and a consistent final state.
+	_ = b.State()
+}
+
+func TestBreakerAbandonReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure() // open
+	clk.advance(2 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	// While the probe is in flight everything else is refused.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second request admitted while probe in flight")
+	}
+	// The probe resolves without a health signal (canceled): the slot
+	// frees and the very next request becomes the new probe.
+	b.Abandon()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after abandon = %v, want half-open", b.State())
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("abandoned probe slot not released")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}

@@ -1,0 +1,14 @@
+// Package resilience holds the fault-tolerance primitives the solve
+// pipeline leans on under pathological load: a per-solver circuit
+// breaker (consecutive panics or timeouts trip the breaker so a broken
+// or hopeless solver fails fast instead of occupying workers) and the
+// shared failure-classification helpers the service layer uses to
+// decide what counts as a breaker failure.
+//
+// The package is a leaf — standard library only — so any layer
+// (solve, service, commands) can import it without cycles.  The
+// companion package resilience/faultinject is the chaos-testing side:
+// named injection sites threaded through the pipeline that tests (or
+// the HYPERD_FAULTS environment knob) arm with panics, slowness,
+// errors or allocation-budget exhaustion.
+package resilience

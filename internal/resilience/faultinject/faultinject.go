@@ -1,0 +1,238 @@
+// Package faultinject is the chaos-testing side of the resilience
+// subsystem: named injection sites threaded through the solve pipeline
+// (solve.Run, the service worker, the packed frontier engine's step
+// loop) that tests arm with panics, artificial slowness, injected
+// errors, cancellation or allocation-budget exhaustion.
+//
+// A disarmed harness costs one atomic load per site visit, so the
+// hooks stay compiled into production binaries; arming happens either
+// programmatically (Set / Clear / Reset, used by the chaos test suite)
+// or through the HYPERD_FAULTS environment knob parsed at process
+// start:
+//
+//	HYPERD_FAULTS='service.worker=panic:1;mtswitch.step=sleep:50ms'
+//
+// The knob is a semicolon-separated list of site=spec pairs, where
+// spec is one of
+//
+//	panic[:times]        panic at the site
+//	error[:times]        return an injected error
+//	cancel[:times]       return context.Canceled
+//	sleep:dur[:times]    sleep dur (a time.ParseDuration string)
+//	budget:bytes         clamp solve.Options.MaxFrontierBytes
+//
+// and the optional trailing times bounds how often the fault fires
+// (omitted = every visit).  Sites are plain strings; the canonical
+// list lives with the call sites (grep for faultinject.Fire).
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Action is what an armed site does when visited.
+type Action struct {
+	// Delay is slept before any other effect.
+	Delay time.Duration
+	// Panic panics with a descriptive value after the delay.
+	Panic bool
+	// Err is returned (after the delay) when non-nil.
+	Err error
+	// MaxFrontierBytes, when positive, clamps the solve budget at
+	// sites that consult FrontierBudget (solve.Run).
+	MaxFrontierBytes int64
+	// Times bounds how many visits fire the fault; 0 fires on every
+	// visit.
+	Times int64
+}
+
+// ErrInjected is the error injected by the "error" action.
+var ErrInjected = errors.New("faultinject: injected error")
+
+type site struct {
+	action Action
+	fired  atomic.Int64 // visits that applied the fault
+}
+
+var (
+	armed atomic.Bool // fast-path gate: any site armed at all
+	mu    sync.RWMutex
+	sites = map[string]*site{}
+)
+
+// Enabled reports whether any site is armed.
+func Enabled() bool { return armed.Load() }
+
+// Set arms a site with an action, replacing any previous arming (and
+// resetting its fire count).
+func Set(name string, a Action) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[name] = &site{action: a}
+	armed.Store(true)
+}
+
+// Clear disarms one site.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, name)
+	armed.Store(len(sites) > 0)
+}
+
+// Reset disarms every site (test cleanup).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = map[string]*site{}
+	armed.Store(false)
+}
+
+// Fired reports how many visits to the site applied its fault.
+func Fired(name string) int64 {
+	mu.RLock()
+	defer mu.RUnlock()
+	if s, ok := sites[name]; ok {
+		return s.fired.Load()
+	}
+	return 0
+}
+
+// lookup claims one firing of the site if it is armed and has firings
+// left, returning the action to apply.
+func lookup(name string) (Action, bool) {
+	mu.RLock()
+	s, ok := sites[name]
+	mu.RUnlock()
+	if !ok {
+		return Action{}, false
+	}
+	if s.action.Times > 0 {
+		if n := s.fired.Add(1); n > s.action.Times {
+			s.fired.Add(-1)
+			return Action{}, false
+		}
+	} else {
+		s.fired.Add(1)
+	}
+	return s.action, true
+}
+
+// Fire visits a site: disarmed (the common case) it returns nil after
+// one atomic load; armed it sleeps the action's delay, panics if the
+// action says so, and returns the action's error.
+func Fire(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	a, ok := lookup(name)
+	if !ok {
+		return nil
+	}
+	if a.Delay > 0 {
+		time.Sleep(a.Delay)
+	}
+	if a.Panic {
+		panic(fmt.Sprintf("faultinject: injected panic at site %q", name))
+	}
+	return a.Err
+}
+
+// FrontierBudget reports the byte budget armed at a site, if any.
+// Unlike Fire it does not sleep or panic; budget arming composes with
+// the site's other effects only through separate Set calls.
+func FrontierBudget(name string) (int64, bool) {
+	if !armed.Load() {
+		return 0, false
+	}
+	a, ok := lookup(name)
+	if !ok || a.MaxFrontierBytes <= 0 {
+		return 0, false
+	}
+	return a.MaxFrontierBytes, true
+}
+
+// Load parses and arms a HYPERD_FAULTS-format spec.
+func Load(spec string) error {
+	for _, pair := range strings.Split(spec, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(pair, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("faultinject: malformed fault %q (want site=spec)", pair)
+		}
+		a, err := parseAction(rest)
+		if err != nil {
+			return fmt.Errorf("faultinject: site %q: %w", name, err)
+		}
+		Set(name, a)
+	}
+	return nil
+}
+
+func parseAction(spec string) (Action, error) {
+	parts := strings.Split(spec, ":")
+	times := func(idx int) (int64, error) {
+		if len(parts) <= idx {
+			return 0, nil
+		}
+		return strconv.ParseInt(parts[idx], 10, 64)
+	}
+	var a Action
+	var err error
+	switch parts[0] {
+	case "panic":
+		a.Panic = true
+		a.Times, err = times(1)
+	case "error":
+		a.Err = ErrInjected
+		a.Times, err = times(1)
+	case "cancel":
+		a.Err = context.Canceled
+		a.Times, err = times(1)
+	case "sleep":
+		if len(parts) < 2 {
+			return a, fmt.Errorf("sleep needs a duration (sleep:50ms)")
+		}
+		a.Delay, err = time.ParseDuration(parts[1])
+		if err == nil {
+			a.Times, err = times(2)
+		}
+	case "budget":
+		if len(parts) < 2 {
+			return a, fmt.Errorf("budget needs a byte count (budget:4096)")
+		}
+		a.MaxFrontierBytes, err = strconv.ParseInt(parts[1], 10, 64)
+	default:
+		return a, fmt.Errorf("unknown action %q (want panic, error, cancel, sleep or budget)", parts[0])
+	}
+	if err != nil {
+		return a, err
+	}
+	if a.Times < 0 {
+		return a, fmt.Errorf("negative fire count %d", a.Times)
+	}
+	return a, nil
+}
+
+// EnvKnob is the environment variable the harness arms itself from at
+// process start.
+const EnvKnob = "HYPERD_FAULTS"
+
+func init() {
+	if spec := os.Getenv(EnvKnob); spec != "" {
+		if err := Load(spec); err != nil {
+			panic(err)
+		}
+	}
+}

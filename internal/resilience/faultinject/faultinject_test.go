@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("harness armed after Reset")
+	}
+	if err := Fire("nowhere"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("a", Action{Err: ErrInjected})
+	if err := Fire("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire = %v, want ErrInjected", err)
+	}
+	if err := Fire("b"); err != nil {
+		t.Fatalf("unarmed sibling site fired: %v", err)
+	}
+	if got := Fired("a"); got != 1 {
+		t.Fatalf("Fired(a) = %d, want 1", got)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Action{Panic: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed panic site did not panic")
+		}
+	}()
+	Fire("p")
+}
+
+func TestTimesBoundsFirings(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("once", Action{Err: ErrInjected, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := Fire("once"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := Fire("once"); err != nil {
+			t.Fatalf("exhausted site still fired: %v", err)
+		}
+	}
+	if got := Fired("once"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestTimesIsConcurrencySafe(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("race", Action{Err: ErrInjected, Times: 10})
+	var hits int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Fire("race") != nil {
+					mu.Lock()
+					hits++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits != 10 {
+		t.Fatalf("fault fired %d times, want exactly 10", hits)
+	}
+}
+
+func TestFrontierBudget(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("solve.options", Action{MaxFrontierBytes: 4096})
+	b, ok := FrontierBudget("solve.options")
+	if !ok || b != 4096 {
+		t.Fatalf("FrontierBudget = %d, %v; want 4096, true", b, ok)
+	}
+	if _, ok := FrontierBudget("other"); ok {
+		t.Fatal("unarmed site reported a budget")
+	}
+}
+
+func TestLoadEnvFormat(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	err := Load("service.worker=panic:1; mtswitch.step=sleep:5ms ;x=cancel;y=budget:1024;z=error:3")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := Fire("x"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel site returned %v", err)
+	}
+	if b, ok := FrontierBudget("y"); !ok || b != 1024 {
+		t.Fatalf("budget site = %d, %v", b, ok)
+	}
+	start := time.Now()
+	if err := Fire("mtswitch.step"); err != nil {
+		t.Fatalf("sleep site returned %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("sleep site did not sleep")
+	}
+}
+
+func TestLoadRejectsMalformedSpecs(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, bad := range []string{
+		"nosite", "a=warp", "a=sleep", "a=budget", "a=panic:-1", "a=sleep:xyz", "=panic",
+	} {
+		if err := Load(bad); err == nil {
+			t.Errorf("Load(%q) accepted a malformed spec", bad)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSolveRequest drives the /v1/solve JSON decode-and-resolve path
+// with arbitrary bytes: whatever arrives, the server must answer with
+// a value or an error — never a panic, and never an instance that
+// slips past the dimension bounds.
+func FuzzSolveRequest(f *testing.F) {
+	// Seeds from the service test fixtures: the canonical request
+	// shapes plus near-miss corruptions of each.
+	seed := func(v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seed(&SolveRequest{Solver: "aligned", App: "counter"})
+	seed(&SolveRequest{Solver: "exact", App: "toggle", Gran: "unit", TimeoutMS: 50})
+	seed(&SolveRequest{
+		Solver: "aligned",
+		Instance: &WireInstance{
+			Tasks: []WireTask{{Name: "A", Local: 2, V: 2}, {Name: "B", Local: 1, V: 1}},
+			Reqs:  [][]string{{"10", "1"}, {"01", "0"}, {"11", "1"}},
+		},
+	})
+	seed(&SolveRequest{Solver: "ga", App: "counter", Options: WireOptions{Pop: 10, Generations: 5, Seed: 1}})
+	seed(&SolveRequest{Solver: "exact", App: "counter", Kind: "switch", W: 3})
+	seed(&SolveRequest{Solver: "exact", App: "counter", Options: WireOptions{MaxFrontierBytes: 256}})
+	f.Add([]byte(`{"solver":"exact","instance":{"tasks":[{"name":"A","local":-1}],"reqs":[["1"]]}}`))
+	f.Add([]byte(`{"solver":"exact","instance":{"tasks":[],"reqs":[[]]}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeSolveRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		res, err := req.resolve()
+		if err != nil {
+			return
+		}
+		// Anything that resolves must be hashable (the submit path
+		// depends on it) and inside the dimension bounds.
+		if _, err := requestKey(res.inst, res.solver, res.opts); err != nil {
+			t.Fatalf("resolved request not hashable: %v", err)
+		}
+		if res.mt != nil {
+			if res.mt.NumTasks() > maxWireTasks || res.mt.Steps() > maxWireSteps {
+				t.Fatalf("resolved instance exceeds dimension bounds: m=%d n=%d",
+					res.mt.NumTasks(), res.mt.Steps())
+			}
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -48,21 +50,58 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
-// submit parses the body and submits, mapping the error classes to
-// status codes: resolution failures 400, full queue 429, shutdown 503.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request) (*Job, bool, bool) {
+// decodeSolveRequest parses one request body.  It is the exact decode
+// path the fuzzer drives: any input must come back as a value or an
+// error, never a panic.
+func decodeSolveRequest(body io.Reader) (*SolveRequest, error) {
 	var req SolveRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		return nil, err
+	}
+	return &req, nil
+}
+
+// retryAfterHeader renders a Retry-After duration in whole seconds,
+// rounded up so the client never retries early (and never gets 0).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// submit parses the body and submits, mapping the error classes to
+// status codes: resolution failures 400, oversized bodies or instance
+// dimensions 413, full queue 429 (with Retry-After), open circuit
+// breaker or shutdown 503.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) (*Job, bool, bool) {
+	req, err := decodeSolveRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return nil, false, false
 	}
-	job, deduped, err := s.Submit(&req)
+	job, deduped, err := s.Submit(req)
+	var (
+		tooLarge    *TooLargeError
+		unavailable *SolverUnavailableError
+	)
 	switch {
 	case err == nil:
 		return job, deduped, true
+	case errors.As(err, &tooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
 	case errors.Is(err, ErrQueueFull):
+		retryAfterHeader(w, time.Second)
 		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &unavailable):
+		retryAfterHeader(w, unavailable.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/solve"
 )
@@ -309,4 +310,130 @@ func TestHTTPSwitchKind(t *testing.T) {
 	if fmt.Sprint(st.Result.SegStarts) != fmt.Sprint(direct.Seg.Starts) {
 		t.Fatalf("served segmentation %v != direct %v", st.Result.SegStarts, direct.Seg.Starts)
 	}
+}
+
+func TestHTTPBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// A body one byte over the 16 MiB limit: 413 with a descriptive
+	// error, not a hung or crashed server.
+	body := append([]byte(`{"solver":"aligned","app":"`), bytes.Repeat([]byte("x"), maxBodyBytes)...)
+	body = append(body, []byte(`"}`)...)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHTTPInstanceDimensionsTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []*WireInstance{
+		func() *WireInstance { // too many tasks
+			wi := &WireInstance{}
+			for j := 0; j <= maxWireTasks; j++ {
+				wi.Tasks = append(wi.Tasks, WireTask{Name: fmt.Sprintf("t%d", j), Local: 1, V: 1})
+			}
+			return wi
+		}(),
+		{ // oversized local universe
+			Tasks: []WireTask{{Name: "A", Local: maxWireLocal + 1, V: 1}},
+		},
+	}
+	for i, wi := range cases {
+		resp, raw := postJSON(t, ts.URL+"/v1/jobs", &SolveRequest{Solver: "aligned", Instance: wi})
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("case %d: status = %d, want 413 (%s)", i, resp.StatusCode, raw)
+		}
+		if !strings.Contains(string(raw), "exceeds limit") {
+			t.Fatalf("case %d: undescriptive 413 body: %s", i, raw)
+		}
+	}
+	// Step count overflows too; synthesize cheaply with empty rows that
+	// fail the cap before row-shape validation.
+	steps := make([][]string, maxWireSteps+1)
+	for i := range steps {
+		steps[i] = []string{"1"}
+	}
+	wi := &WireInstance{Tasks: []WireTask{{Name: "A", Local: 1, V: 1}}, Reqs: steps}
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", &SolveRequest{Solver: "aligned", Instance: wi})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("step overflow: status = %d, want 413 (%.120s)", resp.StatusCode, raw)
+	}
+}
+
+func TestHTTPQueueFullRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	setTestSolver(func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	defer close(gate)
+
+	got429 := false
+	for seed := int64(1); seed <= 4 && !got429; seed++ {
+		req := tinyRequest("svc-test")
+		req.Options.Seed = seed
+		resp, _ := postJSON(t, ts.URL+"/v1/jobs", req)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		}
+	}
+	if !got429 {
+		t.Fatal("queue never rejected with 429")
+	}
+}
+
+func TestHTTPBreakerOpen503AndHealthzLive(t *testing.T) {
+	setTestSolver(func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+		panic("wired to explode")
+	})
+	s, ts := newTestServer(t, Config{Workers: 1, BreakerThreshold: 1, BreakerCooldown: time.Hour})
+
+	// First job fails (panic + retried panic) and trips the breaker.
+	req := tinyRequest("svc-test")
+	resp, raw := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked solve status = %d (%s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "panicked") {
+		t.Fatalf("failure body does not carry the typed panic error: %s", raw)
+	}
+
+	req = tinyRequest("svc-test")
+	req.Options.Seed = 2
+	resp, raw = postJSON(t, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker submit status = %d (%s)", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// The server keeps serving under solver faults: liveness and
+	// metrics stay up, and the panic counter is exported.
+	if resp, _ := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d under faults", resp.StatusCode)
+	}
+	_, metricsRaw := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`hyperd_solver_panics_total{solver="svc-test"} 2`,
+		`hyperd_breaker_state{solver="svc-test"} 2`,
+		"hyperd_retries_total 1",
+		"hyperd_breaker_rejected_total 1",
+	} {
+		if !strings.Contains(string(metricsRaw), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metricsRaw)
+		}
+	}
+	_ = s
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/solve"
 )
 
@@ -48,11 +49,16 @@ type metrics struct {
 	cacheMisses atomic.Int64
 	dedupHits   atomic.Int64
 
+	retries         atomic.Int64 // panicked jobs requeued for their one retry
+	breakerRejected atomic.Int64 // submits refused by an open circuit breaker
+	degraded        atomic.Int64 // completed jobs that gave up exactness for the memory budget
+
 	workersBusy atomic.Int64
 
 	mu          sync.Mutex
 	perSolver   map[string]*latencyHist
 	solverStats map[string]*solverStats
+	panics      map[string]int64 // per-solver panic counts
 }
 
 // solverStats accumulates the solve.Stats counters of completed jobs
@@ -66,7 +72,19 @@ type solverStats struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{perSolver: map[string]*latencyHist{}, solverStats: map[string]*solverStats{}}
+	return &metrics{
+		perSolver:   map[string]*latencyHist{},
+		solverStats: map[string]*solverStats{},
+		panics:      map[string]int64{},
+	}
+}
+
+// recordPanic counts one solver panic (isolated, never fatal to the
+// server) under its solver label.
+func (m *metrics) recordPanic(solver string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics[solver]++
 }
 
 // observe records one completed solve's wall time under its solver.
@@ -105,6 +123,7 @@ type gauges struct {
 	workers       int
 	cacheEntries  int
 	jobsByState   map[JobState]int
+	breakerStates map[string]resilience.BreakerState
 }
 
 // render writes the Prometheus text exposition format.
@@ -123,6 +142,9 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	counter("hyperd_cache_hits_total", m.cacheHits.Load())
 	counter("hyperd_cache_misses_total", m.cacheMisses.Load())
 	counter("hyperd_dedup_hits_total", m.dedupHits.Load())
+	counter("hyperd_retries_total", m.retries.Load())
+	counter("hyperd_breaker_rejected_total", m.breakerRejected.Load())
+	counter("hyperd_jobs_degraded_total", m.degraded.Load())
 	gauge("hyperd_queue_depth", int64(g.queueDepth))
 	gauge("hyperd_queue_capacity", int64(g.queueCapacity))
 	gauge("hyperd_workers", int64(g.workers))
@@ -132,6 +154,20 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# TYPE hyperd_jobs gauge\n")
 	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
 		fmt.Fprintf(w, "hyperd_jobs{state=%q} %d\n", st, g.jobsByState[st])
+	}
+
+	if len(g.breakerStates) > 0 {
+		names := make([]string, 0, len(g.breakerStates))
+		for name := range g.breakerStates {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		// 0 closed, 1 half-open, 2 open — the resilience.BreakerState
+		// enumeration order.
+		fmt.Fprintf(w, "# TYPE hyperd_breaker_state gauge\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "hyperd_breaker_state{solver=%q} %d\n", name, g.breakerStates[name])
+		}
 	}
 
 	m.mu.Lock()
@@ -152,6 +188,18 @@ func (m *metrics) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "hyperd_solve_seconds_bucket{solver=%q,le=\"+Inf\"} %d\n", name, h.count)
 		fmt.Fprintf(w, "hyperd_solve_seconds_sum{solver=%q} %g\n", name, h.sum)
 		fmt.Fprintf(w, "hyperd_solve_seconds_count{solver=%q} %d\n", name, h.count)
+	}
+
+	if len(m.panics) > 0 {
+		names := make([]string, 0, len(m.panics))
+		for name := range m.panics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# TYPE hyperd_solver_panics_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "hyperd_solver_panics_total{solver=%q} %d\n", name, m.panics[name])
+		}
 	}
 
 	statNames := make([]string, 0, len(m.solverStats))

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/resilience"
+	"repro/internal/resilience/faultinject"
 	"repro/internal/solve"
 )
 
@@ -29,6 +32,22 @@ type Config struct {
 	// request no timeout get exactly this one.  0 means no server-side
 	// deadline.
 	MaxSolveTimeout time.Duration
+	// MaxFrontierBytes clamps every job's solve memory budget
+	// (Options.MaxFrontierBytes); jobs that request no budget, or a
+	// larger one, get exactly this one.  Budget exhaustion degrades the
+	// exact solver to a beam search instead of exhausting server
+	// memory.  0 means no server-side budget.
+	MaxFrontierBytes int64
+	// BreakerThreshold is how many consecutive panics or timeouts of
+	// one solver trip its circuit breaker (default 5; negative disables
+	// the breakers entirely).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker fails fast before
+	// admitting a half-open probe (default 10s).
+	BreakerCooldown time.Duration
+
+	// breakerNow injects the breaker clock (tests only).
+	breakerNow func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +62,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = 4096
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
 	}
 	return c
 }
@@ -87,6 +112,7 @@ type Job struct {
 	mu        sync.Mutex
 	state     JobState
 	canceled  bool // cancel requested (may still be queued)
+	retried   bool // the one-shot panic retry has been spent
 	sol       *solve.Solution
 	memo      *wireMemo // shared wire rendering of sol
 	err       error
@@ -112,6 +138,7 @@ func (j *Job) Snapshot() *JobStatus {
 		Solver:      j.Solver,
 		Hash:        j.Hash,
 		CacheHit:    j.CacheHit,
+		Retried:     j.retried,
 		SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {
@@ -159,9 +186,23 @@ var (
 	ErrNoSuchJob = errors.New("service: no such job")
 )
 
+// SolverUnavailableError rejects a submit whose solver's circuit
+// breaker is open: recent runs panicked or timed out consecutively, so
+// the server fails fast instead of queueing more work for it.
+type SolverUnavailableError struct {
+	Solver string
+	// RetryAfter is how long until the breaker next admits a probe.
+	RetryAfter time.Duration
+}
+
+func (e *SolverUnavailableError) Error() string {
+	return fmt.Sprintf("service: solver %q unavailable (circuit open, retry in %s)", e.Solver, e.RetryAfter)
+}
+
 // Server is the embeddable solve service: a bounded job queue, a
-// worker pool, the content-addressed result cache and the metrics
-// registry.  Create with New, serve with Handler, stop with Shutdown.
+// worker pool, the content-addressed result cache, per-solver circuit
+// breakers and the metrics registry.  Create with New, serve with
+// Handler, stop with Shutdown.
 type Server struct {
 	cfg     Config
 	metrics *metrics
@@ -171,13 +212,18 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	mu            sync.Mutex
+	cond          *sync.Cond // signals queue pushes and shutdown
 	closed        bool
 	seq           int64
 	jobs          map[string]*Job
 	inflight      map[string]*Job // hash → queued/running job
 	finishedOrder []string        // finished job ids, oldest first
+	breakers      map[string]*resilience.Breaker
 
-	queue chan *Job
+	// queue is an explicit slice (not a channel) so Cancel can remove a
+	// queued job and free its slot immediately instead of letting a
+	// worker drain the tombstone later.
+	queue []*Job
 	wg    sync.WaitGroup
 }
 
@@ -193,8 +239,9 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
 		inflight:   map[string]*Job{},
-		queue:      make(chan *Job, cfg.QueueDepth),
+		breakers:   map[string]*resilience.Breaker{},
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -205,8 +252,8 @@ func New(cfg Config) *Server {
 // Submit resolves, deduplicates and enqueues a request.  The returned
 // job may already be terminal (cache hit) or shared with earlier
 // identical submissions (deduped=true).  Resolution failures are
-// client errors; ErrQueueFull and ErrShuttingDown are server-state
-// errors.
+// client errors; ErrQueueFull, ErrShuttingDown and
+// *SolverUnavailableError are server-state errors.
 func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 	res, err := req.resolve()
 	if err != nil {
@@ -215,6 +262,9 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 	opts := res.opts
 	if s.cfg.MaxSolveTimeout > 0 && (opts.Timeout == 0 || opts.Timeout > s.cfg.MaxSolveTimeout) {
 		opts.Timeout = s.cfg.MaxSolveTimeout
+	}
+	if s.cfg.MaxFrontierBytes > 0 && (opts.MaxFrontierBytes == 0 || opts.MaxFrontierBytes > s.cfg.MaxFrontierBytes) {
+		opts.MaxFrontierBytes = s.cfg.MaxFrontierBytes
 	}
 	key, err := requestKey(res.inst, res.solver, opts)
 	if err != nil {
@@ -227,6 +277,8 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 		return nil, false, ErrShuttingDown
 	}
 
+	// Cache hits and dedup joins are served even when the solver's
+	// breaker is open: they cost no solver run.
 	if hit, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		job := s.newJobLocked(key, res, opts)
@@ -248,17 +300,28 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 		return cur, true, nil
 	}
 
-	job = s.newJobLocked(key, res, opts)
-	select {
-	case s.queue <- job:
-	default:
-		delete(s.jobs, job.ID)
-		job.cancel()
+	if br := s.breakerLocked(res.solver); br != nil {
+		if ok, retryAfter := br.Allow(); !ok {
+			s.metrics.breakerRejected.Add(1)
+			return nil, false, &SolverUnavailableError{Solver: res.solver, RetryAfter: retryAfter}
+		}
+	}
+
+	if len(s.queue) >= s.cfg.QueueDepth {
 		s.metrics.rejected.Add(1)
+		// The admitted request never ran; release a half-open probe slot
+		// so the breaker does not wait on a job that was never queued.
+		if br := s.breakerLocked(res.solver); br != nil {
+			br.Abandon()
+		}
 		return nil, false, ErrQueueFull
 	}
+
+	job = s.newJobLocked(key, res, opts)
+	s.queue = append(s.queue, job)
 	s.inflight[key] = job
 	s.metrics.submitted.Add(1)
+	s.cond.Signal()
 	return job, false, nil
 }
 
@@ -284,6 +347,47 @@ func (s *Server) newJobLocked(key string, res *resolved, opts solve.Options) *Jo
 	return job
 }
 
+// breakerLocked returns the solver's circuit breaker, creating it on
+// first use (caller holds s.mu; nil when breakers are disabled).
+func (s *Server) breakerLocked(solver string) *resilience.Breaker {
+	if s.cfg.BreakerThreshold < 0 {
+		return nil
+	}
+	br, ok := s.breakers[solver]
+	if !ok {
+		br = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: s.cfg.BreakerThreshold,
+			Cooldown:  s.cfg.BreakerCooldown,
+			Now:       s.cfg.breakerNow,
+		})
+		s.breakers[solver] = br
+	}
+	return br
+}
+
+// noteBreaker feeds one job outcome into its solver's breaker: success
+// closes, panics and timeouts count as failures, cancels release any
+// probe slot without a health signal.
+func (s *Server) noteBreaker(solver string, err error) {
+	s.mu.Lock()
+	br := s.breakerLocked(solver)
+	s.mu.Unlock()
+	if br == nil {
+		return
+	}
+	var pe *solve.PanicError
+	switch {
+	case err == nil:
+		br.Success()
+	case errors.As(err, &pe), errors.Is(err, context.DeadlineExceeded):
+		br.Failure()
+	default:
+		// Cancellation and client errors say nothing about solver
+		// health.
+		br.Abandon()
+	}
+}
+
 // Job looks a job up by id.
 func (s *Server) Job(id string) (*Job, bool) {
 	s.mu.Lock()
@@ -292,34 +396,64 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Cancel requests cancellation of a job: queued jobs finish canceled
-// without running, running jobs are cancelled through their context at
-// the solver's next checkpoint.  Terminal jobs are left untouched.
+// Cancel requests cancellation of a job: queued jobs are removed from
+// the queue and finish canceled immediately (freeing their queue slot),
+// running jobs are cancelled through their context at the solver's next
+// checkpoint.  Terminal jobs are left untouched.
 func (s *Server) Cancel(id string) (*Job, error) {
 	s.mu.Lock()
 	job, ok := s.jobs[id]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return nil, ErrNoSuchJob
 	}
+	dequeued := false
+	for i, q := range s.queue {
+		if q == job {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			dequeued = true
+			break
+		}
+	}
+	s.mu.Unlock()
+
 	job.mu.Lock()
 	if !job.state.Terminal() {
 		job.canceled = true
 	}
 	job.mu.Unlock()
 	job.cancel()
+	if dequeued {
+		// No worker will ever pop this job; it finishes canceled here
+		// and its queue slot is already free.
+		s.finalize(job, nil, context.Canceled)
+	}
 	return job, nil
 }
 
-// worker pulls jobs until the queue closes at shutdown.
+// worker pops jobs until shutdown drains the queue.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			// Closed and drained.
+			s.mu.Unlock()
+			return
+		}
+		job := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
 		s.runJob(job)
 	}
 }
 
-// runJob executes one dequeued job.
+// runJob executes one dequeued job.  A panicking solver fails only
+// this job (surfaced as a typed *solve.PanicError) and is retried once
+// transparently — a second panic fails the job for good.
 func (s *Server) runJob(job *Job) {
 	job.mu.Lock()
 	if job.canceled || job.ctx.Err() != nil {
@@ -332,14 +466,78 @@ func (s *Server) runJob(job *Job) {
 	job.mu.Unlock()
 
 	s.metrics.workersBusy.Add(1)
-	sol, err := solve.Run(job.ctx, job.Solver, job.inst, job.opts)
+	sol, err := s.executeJob(job)
 	s.metrics.workersBusy.Add(-1)
+
+	var pe *solve.PanicError
+	if errors.As(err, &pe) {
+		s.metrics.recordPanic(job.Solver)
+		s.noteBreaker(job.Solver, err)
+		if s.requeueAfterPanic(job) {
+			return
+		}
+		s.finalizeNoted(job, nil, err)
+		return
+	}
 	s.finalize(job, sol, err)
 }
 
+// executeJob runs the solver under recover: a panic escaping anywhere
+// below — the registry's own isolation should have caught it first —
+// must not kill the worker goroutine.  The "service.worker" site lets
+// the chaos harness fail or stall the worker path itself.
+func (s *Server) executeJob(job *Job) (sol *solve.Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol = nil
+			err = &solve.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Enabled() {
+		if err := faultinject.Fire("service.worker"); err != nil {
+			return nil, err
+		}
+	}
+	return solve.Run(job.ctx, job.Solver, job.inst, job.opts)
+}
+
+// requeueAfterPanic gives a panicked job its one transparent retry.
+// It reports false when the retry budget is spent, the job was
+// canceled meanwhile, or the server is no longer accepting work.
+func (s *Server) requeueAfterPanic(job *Job) bool {
+	job.mu.Lock()
+	if job.retried || job.canceled || job.ctx.Err() != nil {
+		job.mu.Unlock()
+		return false
+	}
+	job.retried = true
+	job.mu.Unlock()
+
+	s.mu.Lock()
+	if s.closed || len(s.queue) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return false
+	}
+	job.mu.Lock()
+	job.state = JobQueued
+	job.mu.Unlock()
+	s.queue = append(s.queue, job)
+	s.metrics.retries.Add(1)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return true
+}
+
 // finalize moves a job to its terminal state, publishes the result to
-// the cache, releases the singleflight slot and wakes waiters.
+// the cache, feeds the solver's breaker, releases the singleflight
+// slot and wakes waiters.
 func (s *Server) finalize(job *Job, sol *solve.Solution, err error) {
+	s.noteBreaker(job.Solver, err)
+	s.finalizeNoted(job, sol, err)
+}
+
+// finalizeNoted is finalize for callers that already fed the breaker.
+func (s *Server) finalizeNoted(job *Job, sol *solve.Solution, err error) {
 	now := time.Now()
 	s.mu.Lock()
 	job.mu.Lock()
@@ -352,7 +550,15 @@ func (s *Server) finalize(job *Job, sol *solve.Solution, err error) {
 		job.state = JobDone
 		job.sol = sol
 		job.memo = &wireMemo{}
-		s.cache.Put(job.Hash, &cachedResult{sol: sol, wire: job.memo})
+		// A run degraded without a client- or server-requested budget
+		// (the chaos harness injects budgets below the hash layer) must
+		// not poison the cache line that means "unbudgeted".
+		if !sol.Stats.Degraded || job.opts.MaxFrontierBytes > 0 {
+			s.cache.Put(job.Hash, &cachedResult{sol: sol, wire: job.memo})
+		}
+		if sol.Stats.Degraded {
+			s.metrics.degraded.Add(1)
+		}
 		s.metrics.completed.Add(1)
 		s.metrics.observe(job.Solver, now.Sub(job.started))
 		s.metrics.observeStats(job.Solver, sol.Stats)
@@ -395,11 +601,15 @@ func (s *Server) gauges() gauges {
 		workers:       s.cfg.Workers,
 		cacheEntries:  s.cache.Len(),
 		jobsByState:   map[JobState]int{},
+		breakerStates: map[string]resilience.BreakerState{},
 	}
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		g.jobsByState[j.state]++
 		j.mu.Unlock()
+	}
+	for name, br := range s.breakers {
+		g.breakerStates[name] = br.State()
 	}
 	return g
 }
@@ -423,7 +633,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		j.mu.Unlock()
 	}
-	close(s.queue)
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.baseCancel() // cancels every job context, queued and running
 

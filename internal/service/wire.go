@@ -62,6 +62,28 @@ type WireInstance struct {
 	Reqs  [][]string `json:"reqs"`
 }
 
+// Inline-instance dimension bounds.  A request inside the body-size
+// limit can still describe a combinatorially huge problem (the
+// candidate catalog alone is O(m·n·l) packed vectors), so the service
+// refuses oversized dimensions up front with a typed 413 instead of
+// admitting a job that exhausts the solver.
+const (
+	maxWireTasks = 64
+	maxWireSteps = 1 << 16
+	maxWireLocal = 1 << 14
+)
+
+// TooLargeError rejects an inline instance whose declared dimensions
+// exceed the service bounds; the HTTP layer maps it to 413.
+type TooLargeError struct {
+	What       string
+	Got, Limit int
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("instance too large: %s %d exceeds limit %d", e.What, e.Got, e.Limit)
+}
+
 // WireTask mirrors model.Task (the traceio CSV header cell
 // "name:local:v").
 type WireTask struct {
@@ -89,6 +111,10 @@ type WireOptions struct {
 	InitialTemp   float64 `json:"initial_temp,omitempty"`
 	Cooling       float64 `json:"cooling,omitempty"`
 	IntervalK     int     `json:"interval_k,omitempty"`
+	// MaxFrontierBytes budgets the solver's frontier memory; exceeding
+	// it degrades the exact solver to a beam search (flagged in the
+	// result stats) instead of exhausting server memory.
+	MaxFrontierBytes int64 `json:"max_frontier_bytes,omitempty"`
 }
 
 // toSolve maps the wire options onto solve.Options.
@@ -96,6 +122,7 @@ func (o WireOptions) toSolve() (solve.Options, error) {
 	out := solve.Options{
 		MaxStates:        o.MaxStates,
 		MaxCandidates:    o.MaxCandidates,
+		MaxFrontierBytes: o.MaxFrontierBytes,
 		Workers:          o.Workers,
 		Seed:             o.Seed,
 		Pop:              o.Pop,
@@ -147,8 +174,17 @@ func (wi *WireInstance) toModel() (*model.MTSwitchInstance, error) {
 	if len(wi.Tasks) == 0 {
 		return nil, fmt.Errorf("instance has no tasks")
 	}
+	if len(wi.Tasks) > maxWireTasks {
+		return nil, &TooLargeError{What: "task count", Got: len(wi.Tasks), Limit: maxWireTasks}
+	}
+	if len(wi.Reqs) > maxWireSteps {
+		return nil, &TooLargeError{What: "step count", Got: len(wi.Reqs), Limit: maxWireSteps}
+	}
 	tasks := make([]model.Task, len(wi.Tasks))
 	for j, t := range wi.Tasks {
+		if t.Local > maxWireLocal {
+			return nil, &TooLargeError{What: fmt.Sprintf("task %q local universe", t.Name), Got: t.Local, Limit: maxWireLocal}
+		}
 		tasks[j] = model.Task{Name: t.Name, Local: t.Local, V: model.Cost(t.V)}
 	}
 	reqs := make([][]bitset.Set, len(tasks))
@@ -281,7 +317,10 @@ type WireStats struct {
 	CandidatesPruned int64   `json:"candidates_pruned"`
 	Evaluations      int64   `json:"evaluations"`
 	Truncated        bool    `json:"truncated,omitempty"`
-	WallMS           float64 `json:"wall_ms"`
+	// Degraded reports the solver gave up exactness to stay inside its
+	// memory budget; such results are never exact.
+	Degraded bool    `json:"degraded,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
 }
 
 // WireSolution is the JSON view of a solve.Solution.  Switch schedules
@@ -325,6 +364,7 @@ func wireSolution(sol *solve.Solution, mt *model.MTSwitchInstance) (*WireSolutio
 			CandidatesPruned: sol.Stats.CandidatesPruned,
 			Evaluations:      sol.Stats.Evaluations,
 			Truncated:        sol.Stats.Truncated,
+			Degraded:         sol.Stats.Degraded,
 			WallMS:           float64(sol.Stats.WallTime) / float64(time.Millisecond),
 		},
 	}
@@ -362,6 +402,9 @@ type JobStatus struct {
 	// Deduped reports this submit attached to an identical in-flight
 	// job instead of enqueueing a new one.
 	Deduped bool `json:"deduped,omitempty"`
+	// Retried reports the job's worker panicked once and the job was
+	// transparently requeued.
+	Retried bool `json:"retried,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`

@@ -21,3 +21,23 @@ func (e *UnknownSolverError) Error() string {
 	return fmt.Sprintf("solve: unknown solver %q (registered: %s)",
 		e.Name, strings.Join(e.Registered, ", "))
 }
+
+// PanicError is a panic recovered inside the solve pipeline (a Pool
+// task or a registered solver's Solve call) converted into an error:
+// the panic fails only the job that raised it, never the worker
+// goroutine that happened to run it.  Match it with errors.As; the
+// service layer counts these per solver and feeds its circuit breaker
+// with them.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack (runtime/debug.Stack),
+	// captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.  The stack is not included — it is for logs
+// and debugging, not for wire-format error strings.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("solve: solver panicked: %v", e.Value)
+}

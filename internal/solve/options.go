@@ -26,6 +26,15 @@ type Options struct {
 	// hypercontext candidates an install may choose from.  0 means
 	// unlimited (required for exactness).
 	MaxCandidates int
+	// MaxFrontierBytes, when positive, budgets the memory of the exact
+	// multi-task DP's packed frontier arena.  The frontier engine
+	// derives a beam cap from the budget and additionally hard-caps its
+	// per-step successor tables, so an adversarial instance degrades to
+	// a beam search (Stats.Degraded, and therefore Stats.Truncated,
+	// report it) instead of exhausting memory.  SolvePrivateGlobal
+	// passes the budget into every window solve, and the GA clamps its
+	// population memory to it.  0 means unbudgeted.
+	MaxFrontierBytes int64
 	// Workers bounds the goroutines of parallel solver stages (GA
 	// fitness evaluation, private-global window sweep).  0 means
 	// GOMAXPROCS.
@@ -78,6 +87,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxCandidates < 0 {
 		return fmt.Errorf("solve: negative candidate cap MaxCandidates=%d", o.MaxCandidates)
+	}
+	if o.MaxFrontierBytes < 0 {
+		return fmt.Errorf("solve: negative frontier byte budget %d", o.MaxFrontierBytes)
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("solve: negative worker count %d", o.Workers)

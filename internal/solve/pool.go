@@ -2,6 +2,7 @@ package solve
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -12,6 +13,14 @@ import (
 // call.  Workers are persistent goroutines started lazily on the first
 // parallel dispatch, so a solver that creates a Pool but stays on its
 // single-worker fast path never pays for goroutine startup.
+//
+// Panics inside a task are isolated: every task runs under recover, a
+// panicking task can neither kill its worker goroutine nor deadlock
+// the dispatching barrier, and Do reports the first panic of the batch
+// as a *PanicError.  The remaining tasks of the batch still run (the
+// parallel path cannot un-send them; the inline path matches that
+// semantics), so side effects on shared solver state stay consistent
+// across worker counts.
 //
 // A Pool is safe for use by a single dispatching goroutine at a time
 // (Do is a barrier; solvers call it from their main loop).  Close
@@ -24,10 +33,34 @@ type Pool struct {
 	closed bool
 }
 
+// dispatch is one Do call's barrier state: the completion group plus
+// the first panic any of its tasks raised.
+type dispatch struct {
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+// run executes one task under recover, always releasing the barrier.
+func (d *dispatch) run(task int, fn func(task int)) {
+	defer d.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Value: r, Stack: debug.Stack()}
+			d.mu.Lock()
+			if d.err == nil {
+				d.err = pe
+			}
+			d.mu.Unlock()
+		}
+	}()
+	fn(task)
+}
+
 type poolJob struct {
 	task int
 	fn   func(task int)
-	wg   *sync.WaitGroup
+	d    *dispatch
 }
 
 // NewPool sizes a pool; workers <= 0 selects GOMAXPROCS, matching the
@@ -49,8 +82,7 @@ func (p *Pool) start() {
 	for w := 0; w < p.workers; w++ {
 		go func() {
 			for j := range jobs {
-				j.fn(j.task)
-				j.wg.Done()
+				j.d.run(j.task, j.fn)
 			}
 		}()
 	}
@@ -61,27 +93,29 @@ func (p *Pool) start() {
 // partition their work into at most Workers() chunks for full
 // utilization.  With one worker or one task the call runs inline on
 // the caller's goroutine, so single-threaded configurations stay free
-// of synchronization.
-func (p *Pool) Do(n int, fn func(task int)) {
+// of synchronization.  If any task panicked, Do returns the first
+// panic as a *PanicError after the whole batch has finished.
+func (p *Pool) Do(n int, fn func(task int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if p.closed {
 		panic("solve: Do on a closed Pool")
 	}
+	var d dispatch
+	d.wg.Add(n)
 	if p.workers == 1 || n == 1 {
 		for t := 0; t < n; t++ {
-			fn(t)
+			d.run(t, fn)
 		}
-		return
+		return d.err
 	}
 	p.once.Do(p.start)
-	var wg sync.WaitGroup
-	wg.Add(n)
 	for t := 0; t < n; t++ {
-		p.jobs <- poolJob{task: t, fn: fn, wg: &wg}
+		p.jobs <- poolJob{task: t, fn: fn, d: &d}
 	}
-	wg.Wait()
+	d.wg.Wait()
+	return d.err
 }
 
 // Close releases the pool's worker goroutines.  Safe to call on a pool

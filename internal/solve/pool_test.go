@@ -1,6 +1,8 @@
 package solve
 
 import (
+	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -63,4 +65,65 @@ func TestPoolDoAfterClosePanics(t *testing.T) {
 func TestPoolCloseWithoutStart(t *testing.T) {
 	p := NewPool(8)
 	p.Close() // workers never started; must not hang or panic
+}
+
+// TestPoolPanicIsolation is the regression test for the worker-leak /
+// deadlock bug: a panicking task must not kill its worker goroutine or
+// strand the waiters on the dispatch barrier.  Do must return a typed
+// *PanicError, the remaining tasks must still run, and the pool must
+// stay fully usable for subsequent dispatches — at Workers==1 (inline
+// path) and Workers==8 (parallel path) alike.
+func TestPoolPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		p := NewPool(workers)
+		var ran int32
+		err := p.Do(32, func(task int) {
+			atomic.AddInt32(&ran, 1)
+			if task == 7 {
+				panic("boom in task 7")
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: Do returned %v, want *PanicError", workers, err)
+		}
+		if got := pe.Value; got != "boom in task 7" {
+			t.Errorf("workers=%d: PanicError.Value = %v, want boom in task 7", workers, got)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError.Stack is empty", workers)
+		}
+		if !strings.Contains(pe.Error(), "solver panicked") {
+			t.Errorf("workers=%d: Error() = %q", workers, pe.Error())
+		}
+		if ran != 32 {
+			t.Errorf("workers=%d: %d tasks ran, want all 32", workers, ran)
+		}
+		// The pool must remain reusable: every worker survived the panic.
+		for round := 0; round < 3; round++ {
+			var ok int32
+			if err := p.Do(16, func(int) { atomic.AddInt32(&ok, 1) }); err != nil {
+				t.Fatalf("workers=%d: Do after panic returned %v", workers, err)
+			}
+			if ok != 16 {
+				t.Fatalf("workers=%d: post-panic dispatch ran %d/16 tasks", workers, ok)
+			}
+		}
+		p.Close() // must not hang: no worker leaked
+	}
+}
+
+// TestPoolPanicFirstWins pins that concurrent panics surface exactly
+// one *PanicError rather than corrupting the dispatch state.
+func TestPoolPanicFirstWins(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	err := p.Do(64, func(task int) { panic(task) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Do returned %v, want *PanicError", err)
+	}
+	if _, ok := pe.Value.(int); !ok {
+		t.Fatalf("PanicError.Value = %#v, want an int task id", pe.Value)
+	}
 }

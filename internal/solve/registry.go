@@ -3,9 +3,12 @@ package solve
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/resilience/faultinject"
 )
 
 var (
@@ -76,7 +79,9 @@ func NewSolver(name string, caps Capabilities, fn func(ctx context.Context, inst
 
 // Run resolves a solver by name and executes it with uniform
 // housekeeping: options validation, capability checking, the
-// Options.Timeout deadline, and Stats.WallTime measurement.
+// Options.Timeout deadline, Stats.WallTime measurement, and panic
+// isolation — a panicking solver fails only its own run, surfaced as a
+// *PanicError, never the calling goroutine.
 func Run(ctx context.Context, name string, inst *Instance, opts Options) (*Solution, error) {
 	s, err := Get(name)
 	if err != nil {
@@ -100,8 +105,22 @@ func Run(ctx context.Context, name string, inst *Instance, opts Options) (*Solut
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
+	// Chaos-harness sites: "solve.run" injects slowness/errors/panics
+	// into every registry-routed solve; "solve.options" clamps the
+	// frontier byte budget so budget exhaustion is injectable without
+	// client cooperation.
+	if faultinject.Enabled() {
+		if err := faultinject.Fire("solve.run"); err != nil {
+			return nil, err
+		}
+		if b, ok := faultinject.FrontierBudget("solve.options"); ok {
+			if opts.MaxFrontierBytes == 0 || opts.MaxFrontierBytes > b {
+				opts.MaxFrontierBytes = b
+			}
+		}
+	}
 	start := time.Now()
-	sol, err := s.Solve(ctx, inst, opts)
+	sol, err := protectedSolve(ctx, s, inst, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -111,4 +130,16 @@ func Run(ctx context.Context, name string, inst *Instance, opts Options) (*Solut
 	sol.Kind = inst.Kind()
 	sol.Stats.WallTime = time.Since(start)
 	return sol, nil
+}
+
+// protectedSolve invokes the solver under recover, converting a panic
+// anywhere in its call tree into a *PanicError.
+func protectedSolve(ctx context.Context, s Solver, inst *Instance, opts Options) (sol *Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol = nil
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return s.Solve(ctx, inst, opts)
 }

@@ -6,7 +6,8 @@
 // optimizers resolve by name (`-solver exact|aligned|ga|...`).
 //
 // The package is a leaf: it depends only on the data-model packages
-// (model, dag, bitset) and the standard library, so every solver
+// (model, dag, bitset), the stdlib-only chaos harness
+// (resilience/faultinject) and the standard library, so every solver
 // package can import it for the shared Options and Stats types while
 // the adapters in solve/solvers wire the concrete optimizers into the
 // registry.
@@ -146,6 +147,12 @@ type Stats struct {
 	// Truncated reports that a beam/candidate cap limited the search,
 	// so the result is an upper bound rather than a proven optimum.
 	Truncated bool
+	// Degraded reports the solver gave up exactness specifically to
+	// stay inside Options.MaxFrontierBytes (a budget-forced beam
+	// truncation or a clamped GA population).  Degraded implies
+	// Truncated; the service layer surfaces it in solution metadata so
+	// a budget-degraded result is never mistaken for an exact one.
+	Degraded bool
 	// WallTime is the end-to-end solve duration.  Filled in by
 	// solve.Run; direct calls into solver packages leave it zero.
 	WallTime time.Duration
@@ -163,6 +170,7 @@ func (s *Stats) Add(o Stats) {
 	s.CandidatesPruned += o.CandidatesPruned
 	s.Evaluations += o.Evaluations
 	s.Truncated = s.Truncated || o.Truncated
+	s.Degraded = s.Degraded || o.Degraded
 }
 
 // Solution is the normalized result of a solver run.  Cost, Exact and

@@ -245,6 +245,41 @@ func TestRunHousekeeping(t *testing.T) {
 	}
 }
 
+func TestRunPanicIsolation(t *testing.T) {
+	// A solver panicking anywhere in its call tree must fail only its
+	// own run: Run returns a typed *PanicError carrying the panic value
+	// and a stack capture, and the calling goroutine survives.
+	Register(NewSolver("solve-test-panicky", Capabilities{Kinds: []Kind{KindSwitch}},
+		func(ctx context.Context, inst *Instance, opts Options) (*Solution, error) {
+			panic("solver exploded")
+		}))
+	sol, err := Run(context.Background(), "solve-test-panicky", testInstance(t), Options{})
+	if sol != nil {
+		t.Fatalf("panicking solver returned a solution: %+v", sol)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "solver exploded" {
+		t.Fatalf("PanicError.Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "solve_test") {
+		t.Fatalf("PanicError.Stack does not capture the panic site:\n%s", pe.Stack)
+	}
+	if strings.Contains(pe.Error(), string(pe.Stack)) && len(pe.Stack) > 0 {
+		t.Fatal("Error() leaks the full stack into the message")
+	}
+	// The registry stays healthy: a later run on the same goroutine works.
+	Register(NewSolver("solve-test-after-panic", Capabilities{Kinds: []Kind{KindSwitch}},
+		func(ctx context.Context, inst *Instance, opts Options) (*Solution, error) {
+			return &Solution{Cost: 1, Exact: true}, nil
+		}))
+	if _, err := Run(context.Background(), "solve-test-after-panic", testInstance(t), Options{}); err != nil {
+		t.Fatalf("run after a panicked run failed: %v", err)
+	}
+}
+
 func TestRunTimeout(t *testing.T) {
 	// A solver that blocks until its context dies: Run's Options.Timeout
 	// must cut it off.
