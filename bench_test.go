@@ -422,19 +422,22 @@ func BenchmarkScalingTasks(b *testing.B) {
 }
 
 // BenchmarkFrontierEngines compares the MT-Switch frontier engines
-// (E14) on the m=4 phased workload of BenchmarkScalingTasks:
+// (E14/E17) on the m=4 phased workload of BenchmarkScalingTasks:
 // Reference is the seed map-keyed frontier DP, PackedW1 the
 // packed-state engine restricted to one expansion worker (isolates
 // the representation change), Packed the engine at GOMAXPROCS
-// workers.  All three produce identical schedules (asserted in
-// internal/mtswitch and internal/solve/solvers tests); scripts/bench.sh
-// records the same comparison into BENCH_PR3.json.
+// workers — these three run with pruning disabled, the PR3 baseline —
+// and PrunedW1/Pruned add the pruned-search layer (preprocessing,
+// dominance elimination, bound cutoffs) on top.  All variants produce
+// identical costs (asserted in internal/mtswitch and
+// internal/solve/solvers tests); scripts/bench.sh records the same
+// comparisons into BENCH_PR3.json and BENCH_PR5.json.
 func BenchmarkFrontierEngines(b *testing.B) {
 	ins, err := workload.Phased(workload.Config{Tasks: 4, Steps: 64, Switches: 12, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := solve.Options{MaxStates: 500, MaxCandidates: 3}
+	opts := solve.Options{MaxStates: 500, MaxCandidates: 3, DisablePruning: true}
 	run := func(b *testing.B, solveOne func() (model.Cost, error)) {
 		b.ReportAllocs()
 		var cost model.Cost
@@ -446,6 +449,15 @@ func BenchmarkFrontierEngines(b *testing.B) {
 			cost = c
 		}
 		b.ReportMetric(float64(cost), "cost")
+	}
+	packed := func(o solve.Options) func() (model.Cost, error) {
+		return func() (model.Cost, error) {
+			sol, err := mtswitch.SolveExact(context.Background(), ins, parallel, o)
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		}
 	}
 	b.Run("Reference", func(b *testing.B) {
 		run(b, func() (model.Cost, error) {
@@ -459,22 +471,20 @@ func BenchmarkFrontierEngines(b *testing.B) {
 	b.Run("PackedW1", func(b *testing.B) {
 		w1 := opts
 		w1.Workers = 1
-		run(b, func() (model.Cost, error) {
-			sol, err := mtswitch.SolveExact(context.Background(), ins, parallel, w1)
-			if err != nil {
-				return 0, err
-			}
-			return sol.Cost, nil
-		})
+		run(b, packed(w1))
 	})
 	b.Run("Packed", func(b *testing.B) {
-		run(b, func() (model.Cost, error) {
-			sol, err := mtswitch.SolveExact(context.Background(), ins, parallel, opts)
-			if err != nil {
-				return 0, err
-			}
-			return sol.Cost, nil
-		})
+		run(b, packed(opts))
+	})
+	pruned := opts
+	pruned.DisablePruning = false
+	b.Run("PrunedW1", func(b *testing.B) {
+		w1 := pruned
+		w1.Workers = 1
+		run(b, packed(w1))
+	})
+	b.Run("Pruned", func(b *testing.B) {
+		run(b, packed(pruned))
 	})
 }
 

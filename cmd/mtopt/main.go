@@ -127,6 +127,11 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 				sol.Stats.StatesExpanded, sol.Stats.Evaluations, sol.Stats.CandidatesPruned,
 				sol.Stats.DedupHits, sol.Stats.PeakFrontier, sol.Exact,
 				sol.Stats.WallTime.Round(time.Microsecond))
+			if sol.Stats.StatesPruned > 0 || sol.Stats.PreprocessReduction > 0 || sol.Stats.BudgetDropped > 0 {
+				fmt.Printf("  prune: cut=%d (dominance=%d bound=%d) preprocess-cells=%d budget-dropped=%d\n",
+					sol.Stats.StatesPruned, sol.Stats.DominanceHits, sol.Stats.BoundCutoffs,
+					sol.Stats.PreprocessReduction, sol.Stats.BudgetDropped)
+			}
 		}
 		if best == nil || sol.Cost < best.Cost {
 			best = sol

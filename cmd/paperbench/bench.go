@@ -4,6 +4,12 @@
 // BenchmarkScalingTasks m=4 workload and writes the numbers as JSON
 // (BENCH_PR3.json in the repo root is the committed baseline; see
 // scripts/bench.sh and EXPERIMENTS.md E14).
+//
+// The -bench5 mode records the pruned-search baseline (BENCH_PR5.json,
+// EXPERIMENTS.md E17): the packed engine with pruning disabled — the
+// PR3 configuration — against the pruned engine on the phased m=4
+// workload and the dense workload, plus the memory-budget scenario
+// where pruning turns a degraded beam run back into an exact solve.
 package main
 
 import (
@@ -28,10 +34,25 @@ var benchWorkload = workload.Config{Tasks: 4, Steps: 64, Switches: 12, Seed: 1}
 // benchOpts are the beam budgets of the m=4/beam sub-benchmark.
 var benchOpts = solve.Options{MaxStates: 500, MaxCandidates: 3}
 
+// denseWorkload is the block-structured instance of EXPERIMENTS.md E17:
+// requirements equal the phase working set verbatim, so preprocessing
+// finds long identical-step runs and the unpruned frontier grows into
+// the thousands.  The same configuration backs the dense-stress tests
+// in internal/mtswitch/prune_test.go.
+var denseWorkload = workload.Config{Tasks: 4, Steps: 48, Switches: 24, Density: 0.5, MeanPhase: 12, Seed: 3}
+
+// denseBudget is the MaxFrontierBytes budget of the -bench5 degradation
+// scenario: under it the unpruned engine must fall back to a beam while
+// the pruned engine still solves the dense workload exactly.
+const denseBudget = 128 << 10
+
 // engineResult is one engine's measurement in the JSON baseline.
 type engineResult struct {
-	Engine      string  `json:"engine"`  // "reference" or "packed"
-	Workers     int     `json:"workers"` // expansion workers (reference is single-threaded)
+	Engine  string `json:"engine"`  // "reference" or "packed"
+	Workers int    `json:"workers"` // expansion workers (reference is single-threaded)
+	// GOMAXPROCS is recorded per row: rows measured on different
+	// machines or CPU budgets must not share one global value.
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -44,12 +65,11 @@ type engineResult struct {
 
 // benchBaseline is the schema of BENCH_PR3.json.
 type benchBaseline struct {
-	Benchmark  string          `json:"benchmark"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Workload   workload.Config `json:"workload"`
-	MaxStates  int             `json:"max_states"`
-	MaxCands   int             `json:"max_candidates"`
-	Engines    []engineResult  `json:"engines"`
+	Benchmark string          `json:"benchmark"`
+	Workload  workload.Config `json:"workload"`
+	MaxStates int             `json:"max_states"`
+	MaxCands  int             `json:"max_candidates"`
+	Engines   []engineResult  `json:"engines"`
 }
 
 // measureEngine benchmarks one solve closure with testing.Benchmark.
@@ -84,6 +104,9 @@ func engineBench(outPath string) error {
 	solvePacked := func(workers int) func() (model.Cost, error) {
 		opts := benchOpts
 		opts.Workers = workers
+		// The baseline tracks the PR3 packed engine; pruning (which now
+		// defaults on) is measured separately by -bench5.
+		opts.DisablePruning = true
 		return func() (model.Cost, error) {
 			sol, err := mtswitch.SolveExact(ctx, ins, parallel, opts)
 			if err != nil {
@@ -101,15 +124,18 @@ func engineBench(outPath string) error {
 			return sol.Cost, nil
 		}},
 		{"packed", 1, solvePacked(1)},
-		{"packed", runtime.GOMAXPROCS(0), solvePacked(runtime.GOMAXPROCS(0))},
+	}
+	// On a single-core machine the Workers=GOMAXPROCS row would repeat
+	// the Workers=1 row verbatim; skip the duplicate.
+	if procs := runtime.GOMAXPROCS(0); procs > 1 {
+		entries = append(entries, entry{"packed", procs, solvePacked(procs)})
 	}
 
 	out := benchBaseline{
-		Benchmark:  "BenchmarkScalingTasks/m=4/beam (phased workload)",
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   benchWorkload,
-		MaxStates:  benchOpts.MaxStates,
-		MaxCands:   benchOpts.MaxCandidates,
+		Benchmark: "BenchmarkScalingTasks/m=4/beam (phased workload)",
+		Workload:  benchWorkload,
+		MaxStates: benchOpts.MaxStates,
+		MaxCands:  benchOpts.MaxCandidates,
 	}
 	var refResult *engineResult
 	for _, e := range entries {
@@ -120,6 +146,7 @@ func engineBench(outPath string) error {
 		er := engineResult{
 			Engine:      e.engine,
 			Workers:     e.workers,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NsPerOp:     float64(res.NsPerOp()),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
@@ -157,6 +184,235 @@ func engineBench(outPath string) error {
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench baseline written to %s (GOMAXPROCS=%d)\n", outPath, out.GOMAXPROCS)
+	fmt.Printf("bench baseline written to %s\n", outPath)
+	return nil
+}
+
+// pruneRun is one engine variant's measurement in BENCH_PR5.json.
+type pruneRun struct {
+	NsPerOp             float64 `json:"ns_per_op"`
+	Cost                int64   `json:"cost"`
+	StatesExpanded      int64   `json:"states_expanded"`
+	PeakFrontier        int64   `json:"peak_frontier"`
+	StatesPruned        int64   `json:"states_pruned,omitempty"`
+	DominanceHits       int64   `json:"dominance_hits,omitempty"`
+	BoundCutoffs        int64   `json:"bound_cutoffs,omitempty"`
+	PreprocessReduction int64   `json:"preprocess_reduction,omitempty"`
+}
+
+// pruneComparison compares the PR3 packed engine (pruning disabled)
+// against the pruned engine on one workload.
+type pruneComparison struct {
+	Workload string          `json:"workload"`
+	Config   workload.Config `json:"config"`
+	Unpruned pruneRun        `json:"unpruned"`
+	Pruned   pruneRun        `json:"pruned"`
+	// Speedup is unpruned ns/op ÷ pruned ns/op; ExpansionReduction is
+	// unpruned StatesExpanded ÷ pruned StatesExpanded (>1 means the
+	// pruned engine did less work).
+	Speedup            float64 `json:"speedup"`
+	ExpansionReduction float64 `json:"expansion_reduction"`
+	// WorkersAgree records that the pruned engine returned the same
+	// cost at Workers 1, 2 and 8.
+	WorkersAgree bool `json:"workers_agree"`
+}
+
+// budgetRun is one engine variant's outcome under the MaxFrontierBytes
+// budget of the degradation scenario.
+type budgetRun struct {
+	Cost          int64 `json:"cost"`
+	Degraded      bool  `json:"degraded"`
+	Truncated     bool  `json:"truncated"`
+	BudgetDropped int64 `json:"budget_dropped"`
+}
+
+// budgetScenario is the -bench5 degradation scenario: a workload that
+// in PR4 could only be beam-searched under the byte budget, now solved
+// exactly by the pruned engine within the same budget.
+type budgetScenario struct {
+	Workload         string          `json:"workload"`
+	Config           workload.Config `json:"config"`
+	MaxFrontierBytes int64           `json:"max_frontier_bytes"`
+	// OptimalCost is the unbudgeted exact optimum the budgeted runs are
+	// judged against.
+	OptimalCost int64     `json:"optimal_cost"`
+	Unpruned    budgetRun `json:"unpruned"`
+	Pruned      budgetRun `json:"pruned"`
+}
+
+// pruneBaseline is the schema of BENCH_PR5.json.
+type pruneBaseline struct {
+	Benchmark  string            `json:"benchmark"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Workloads  []pruneComparison `json:"workloads"`
+	Budget     budgetScenario    `json:"budget"`
+}
+
+// measurePrune times one full exact solve per iteration and returns the
+// measurement together with the run's statistics.
+func measurePrune(ctx context.Context, ins *model.MTSwitchInstance, opts solve.Options) (pruneRun, error) {
+	sol, err := mtswitch.SolveExact(ctx, ins, parallel, opts)
+	if err != nil {
+		return pruneRun{}, err
+	}
+	res, _, err := measureEngine(func() (model.Cost, error) {
+		s, err := mtswitch.SolveExact(ctx, ins, parallel, opts)
+		if err != nil {
+			return 0, err
+		}
+		return s.Cost, nil
+	})
+	if err != nil {
+		return pruneRun{}, err
+	}
+	return pruneRun{
+		NsPerOp:             float64(res.NsPerOp()),
+		Cost:                int64(sol.Cost),
+		StatesExpanded:      sol.Stats.StatesExpanded,
+		PeakFrontier:        sol.Stats.PeakFrontier,
+		StatesPruned:        sol.Stats.StatesPruned,
+		DominanceHits:       sol.Stats.DominanceHits,
+		BoundCutoffs:        sol.Stats.BoundCutoffs,
+		PreprocessReduction: sol.Stats.PreprocessReduction,
+	}, nil
+}
+
+// pruneBench runs the pruning comparison and writes BENCH_PR5.json.
+func pruneBench(outPath string) error {
+	ctx := context.Background()
+	out := pruneBaseline{
+		Benchmark:  "packed engine, pruning off (PR3 baseline) vs on (E17)",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	workloads := []struct {
+		name string
+		gen  func(workload.Config) (*model.MTSwitchInstance, error)
+		cfg  workload.Config
+		opts solve.Options
+		// exact marks an unbudgeted run whose cost must be identical
+		// with pruning on and off.  Under the beam caps the two engines
+		// keep different frontiers, so the beam row only records both
+		// costs (pruning tends to improve the beam: dominance keeps the
+		// stronger of two comparable states).
+		exact bool
+	}{
+		{"phased m=4 beam", workload.Phased, benchWorkload, benchOpts, false},
+		{"dense m=4 exact", workload.Dense, denseWorkload, solve.Options{}, true},
+	}
+	for _, w := range workloads {
+		ins, err := w.gen(w.cfg)
+		if err != nil {
+			return err
+		}
+		off := w.opts
+		off.DisablePruning = true
+		unpruned, err := measurePrune(ctx, ins, off)
+		if err != nil {
+			return fmt.Errorf("%s unpruned: %w", w.name, err)
+		}
+		pruned, err := measurePrune(ctx, ins, w.opts)
+		if err != nil {
+			return fmt.Errorf("%s pruned: %w", w.name, err)
+		}
+		if w.exact && pruned.Cost != unpruned.Cost {
+			return fmt.Errorf("%s: pruned cost %d != unpruned cost %d", w.name, pruned.Cost, unpruned.Cost)
+		}
+		cmp := pruneComparison{
+			Workload:     w.name,
+			Config:       w.cfg,
+			Unpruned:     unpruned,
+			Pruned:       pruned,
+			WorkersAgree: true,
+		}
+		if pruned.NsPerOp > 0 {
+			cmp.Speedup = unpruned.NsPerOp / pruned.NsPerOp
+		}
+		if pruned.StatesExpanded > 0 {
+			cmp.ExpansionReduction = float64(unpruned.StatesExpanded) / float64(pruned.StatesExpanded)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			wopts := w.opts
+			wopts.Workers = workers
+			sol, err := mtswitch.SolveExact(ctx, ins, parallel, wopts)
+			if err != nil {
+				return fmt.Errorf("%s workers=%d: %w", w.name, workers, err)
+			}
+			if int64(sol.Cost) != pruned.Cost {
+				cmp.WorkersAgree = false
+			}
+		}
+		if !cmp.WorkersAgree {
+			return fmt.Errorf("%s: pruned cost differs across worker counts", w.name)
+		}
+		out.Workloads = append(out.Workloads, cmp)
+		fmt.Printf("%-16s unpruned %12.0f ns/op %9d expanded | pruned %12.0f ns/op %9d expanded | speedup=%.2fx expansion-reduction=%.2fx\n",
+			w.name, unpruned.NsPerOp, unpruned.StatesExpanded,
+			pruned.NsPerOp, pruned.StatesExpanded, cmp.Speedup, cmp.ExpansionReduction)
+	}
+
+	// Budget scenario: the dense workload under a byte budget the
+	// unpruned frontier cannot fit.
+	ins, err := workload.Dense(denseWorkload)
+	if err != nil {
+		return err
+	}
+	budgeted := func(disable bool) (budgetRun, error) {
+		sol, err := mtswitch.SolveExact(ctx, ins, parallel, solve.Options{
+			MaxFrontierBytes: denseBudget,
+			DisablePruning:   disable,
+		})
+		if err != nil {
+			return budgetRun{}, err
+		}
+		return budgetRun{
+			Cost:          int64(sol.Cost),
+			Degraded:      sol.Stats.Degraded,
+			Truncated:     sol.Stats.Truncated,
+			BudgetDropped: sol.Stats.BudgetDropped,
+		}, nil
+	}
+	unpruned, err := budgeted(true)
+	if err != nil {
+		return fmt.Errorf("budget unpruned: %w", err)
+	}
+	pruned, err := budgeted(false)
+	if err != nil {
+		return fmt.Errorf("budget pruned: %w", err)
+	}
+	optSol, err := mtswitch.SolveExact(ctx, ins, parallel, solve.Options{})
+	if err != nil {
+		return fmt.Errorf("budget optimum: %w", err)
+	}
+	optimal := int64(optSol.Cost)
+	if !unpruned.Degraded {
+		return fmt.Errorf("budget scenario: unpruned run did not degrade under %d bytes", int64(denseBudget))
+	}
+	if pruned.Degraded || pruned.Truncated {
+		return fmt.Errorf("budget scenario: pruned run degraded under %d bytes", int64(denseBudget))
+	}
+	if pruned.Cost != optimal {
+		return fmt.Errorf("budget scenario: pruned cost %d != unbudgeted optimum %d", pruned.Cost, optimal)
+	}
+	out.Budget = budgetScenario{
+		Workload:         "dense m=4",
+		Config:           denseWorkload,
+		MaxFrontierBytes: denseBudget,
+		OptimalCost:      optimal,
+		Unpruned:         unpruned,
+		Pruned:           pruned,
+	}
+	fmt.Printf("budget %d KiB: unpruned degraded (cost %d, dropped %d) | pruned exact (cost %d = optimum)\n",
+		int64(denseBudget)>>10, unpruned.Cost, unpruned.BudgetDropped, pruned.Cost)
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pruning baseline written to %s\n", outPath)
 	return nil
 }

@@ -19,6 +19,7 @@
 //	paperbench -exp mtdag      # the Multi Task DAG cost model (E13)
 //	paperbench -exp mesh       # the reconfigurable-mesh machine (E15)
 //	paperbench -bench          # frontier-engine bench baseline (E14)
+//	paperbench -bench5         # pruned-search bench baseline (E17)
 package main
 
 import (
@@ -60,16 +61,27 @@ func writeSVG(name, svg string) error {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: costs, modes, solvers, changeover, apps, gran, async, privglobal, mtdag, mesh, all")
-		fig      = flag.Int("fig", 0, "figure to regenerate: 1, 2 or 3")
-		svgDir   = flag.String("svgdir", "", "also write Figure 2/3 as SVG files into this directory")
-		bench    = flag.Bool("bench", false, "measure the MT-Switch frontier engines and write a JSON baseline (E14)")
-		benchOut = flag.String("benchout", "BENCH_PR3.json", "output path for the -bench baseline")
+		exp       = flag.String("exp", "", "experiment: costs, modes, solvers, changeover, apps, gran, async, privglobal, mtdag, mesh, all")
+		fig       = flag.Int("fig", 0, "figure to regenerate: 1, 2 or 3")
+		svgDir    = flag.String("svgdir", "", "also write Figure 2/3 as SVG files into this directory")
+		bench     = flag.Bool("bench", false, "measure the MT-Switch frontier engines and write a JSON baseline (E14)")
+		benchOut  = flag.String("benchout", "BENCH_PR3.json", "output path for the -bench baseline")
+		bench5    = flag.Bool("bench5", false, "measure pruning vs the unpruned packed engine and write a JSON baseline (E17)")
+		bench5Out = flag.String("bench5out", "BENCH_PR5.json", "output path for the -bench5 baseline")
 	)
 	flag.Parse()
 
 	if *bench {
 		if err := engineBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		if !*bench5 {
+			return
+		}
+	}
+	if *bench5 {
+		if err := pruneBench(*bench5Out); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}

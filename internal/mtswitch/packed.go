@@ -259,6 +259,7 @@ type expandWorker struct {
 	seq      int32
 
 	statesExpanded int64
+	boundCut       int64
 }
 
 // generation is what a finished step retains for reconstruction.
@@ -297,6 +298,24 @@ type engine struct {
 	budgetWords  int64
 	budgetCapped bool
 
+	// Pruned search layer (prune.go); populated from the pruneContext
+	// passed into solvePacked, inert when pruneOn is false.
+	pruneOn    bool
+	incumbent  model.Cost
+	mult       []model.Cost   // per-step multiplicities (nil = all ones)
+	weights    [][]model.Cost // per-task column weights (nil rows = 1s)
+	stepMult   model.Cost     // multAt(step), cached per step
+	sufUnion   [][]uint64     // [task] flat (n+1)*taskWords suffix unions
+	tailReconf [][]model.Cost // [m+1][n] remaining-task reconf bounds
+	sufLB      []model.Cost   // [n+1] remaining-steps cost bounds
+
+	// Dominance scratch (dominanceFilter).
+	domRes    []uint64
+	domCnt    []model.Cost
+	domResBuf []uint64
+	domCntBuf []model.Cost
+	domGroups map[uint64][]int32
+
 	// Current frontier.
 	slab  []uint64
 	costs []model.Cost
@@ -330,11 +349,13 @@ func putEngine(e *engine) {
 	e.gens = nil // back-pointer chains go to the caller's Solution path
 	e.cands = nil
 	e.reqs = nil
+	e.mult = nil    // owned by the caller's reduction
+	e.weights = nil // owned by the caller's reduction
 	enginePool.Put(e)
 }
 
 // prepare shapes the engine for one solve.
-func (e *engine) prepare(ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options) {
+func (e *engine) prepare(ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options, px *pruneContext) {
 	e.ins = ins
 	e.opt = opt
 	e.lay = newLayout(ins)
@@ -406,11 +427,28 @@ func (e *engine) prepare(ins *model.MTSwitchInstance, opt model.CostOptions, o s
 		e.reqs = append(e.reqs, flat)
 	}
 
+	e.pruneOn = px != nil
+	e.incumbent = 0
+	e.mult = nil
+	e.weights = nil
+	e.stepMult = 1
+	if px != nil {
+		e.incumbent = px.incumbent
+		e.mult = px.mult
+		e.weights = px.weights
+		e.computeBounds()
+	}
+
 	e.gens = e.gens[:0]
 	e.stats.StatesExpanded = 0
 	e.stats.DedupHits = 0
 	e.stats.PeakFrontier = 0
 	e.stats.CandidatesPruned = 0
+	e.stats.StatesPruned = 0
+	e.stats.DominanceHits = 0
+	e.stats.BoundCutoffs = 0
+	e.stats.PreprocessReduction = 0
+	e.stats.BudgetDropped = 0
 	e.stats.Truncated = false
 	e.stats.Degraded = false
 }
@@ -452,18 +490,23 @@ func (e *engine) buildCandidates(ctx context.Context, o solve.Options) error {
 			overBudget := e.budgetWords > 0 && candWords >= e.budgetWords
 			var pruned int64
 			last := -1
+			wj := e.taskWeightsOf(j)
 			for end := i; end < n; end++ {
 				acc.UnionWith(e.ins.Reqs[j][end])
+				// Distinctness is detected on the raw popcount (unions
+				// only grow, so raw counts strictly increase across
+				// distinct candidates); the stored install price is the
+				// weighted size.
 				if cnt := acc.Count(); cnt != last {
 					if overBudget && c.k == 1 {
 						// Overwrite the single slot in place; the loop's
 						// final value is the full-suffix union.
 						copy(c.words, acc.Words())
-						c.counts[0] = model.Cost(cnt)
+						c.counts[0] = weightedCountWords(acc.Words(), wj)
 						pruned++
 					} else {
 						c.words = append(c.words, acc.Words()...)
-						c.counts = append(c.counts, model.Cost(cnt))
+						c.counts = append(c.counts, weightedCountWords(acc.Words(), wj))
 						c.k++
 					}
 					last = cnt
@@ -516,7 +559,7 @@ func (e *engine) expandRange(ctx context.Context, w *expandWorker, lo, hi int) e
 			seg := w.srcWords[e.lay.taskOff[j] : e.lay.taskOff[j]+e.lay.taskWords[j]]
 			if e.step > 0 && wordsSubset(e.reqAt(j, e.step), seg) {
 				w.keepOK[j] = true
-				w.keepCnt[j] = model.Cost(popcountWords(seg))
+				w.keepCnt[j] = weightedCountWords(seg, e.taskWeightsOf(j))
 			} else {
 				w.keepOK[j] = false
 			}
@@ -536,11 +579,26 @@ func (e *engine) expandRange(ctx context.Context, w *expandWorker, lo, hi int) e
 // assembled successor is hashed into the worker's table.  The hyper and
 // reconf accumulators fold the per-task cost terms in task order,
 // matching the upload modes' left-fold semantics exactly.
+//
+// With the pruned layer on, two admissible cutoffs bound the recursion
+// against the incumbent: at interior nodes the not-yet-branched tasks
+// contribute at least tailReconf[j] to this step's reconf term, and at
+// j == m the remaining steps cost at least sufLB[step+1].  Both prune
+// strictly-worse branches only (>, never ≥), so every state on an
+// optimal path survives and an untruncated run stays exact.  The step
+// reconf term is weighted by the run multiplicity from preprocessing;
+// the hyper term is paid once per run (installs happen before the
+// run's first step, the rest of the run keeps).
 func (e *engine) expandTask(w *expandWorker, j int, hyper, reconf model.Cost) {
 	if j == e.lay.m {
-		total := w.srcCost + hyper + reconf
+		stepReconf := reconf
 		if e.opt.ReconfUpload == model.TaskSequential {
-			total += model.Cost(e.ins.PublicGlobal)
+			stepReconf += model.Cost(e.ins.PublicGlobal)
+		}
+		total := w.srcCost + hyper + stepReconf*e.stepMult
+		if e.pruneOn && total+e.sufLB[e.step+1] > e.incumbent {
+			w.boundCut++
+			return
 		}
 		w.statesExpanded++
 		h := w.table.hashFn(w.cur[:e.lay.setWords])
@@ -550,6 +608,16 @@ func (e *engine) expandTask(w *expandWorker, j int, hyper, reconf model.Cost) {
 		}
 		w.seq++
 		return
+	}
+	if e.pruneOn && j > 0 {
+		rem := e.opt.ReconfUpload.Combine(reconf, e.tailReconf[j][e.step])
+		if e.opt.ReconfUpload == model.TaskSequential {
+			rem += model.Cost(e.ins.PublicGlobal)
+		}
+		if w.srcCost+hyper+rem*e.stepMult+e.sufLB[e.step+1] > e.incumbent {
+			w.boundCut++
+			return
+		}
 	}
 	off, tw := e.lay.taskOff[j], e.lay.taskWords[j]
 	dst := w.cur[off : off+tw]
@@ -626,6 +694,7 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 		if err := faultinject.Fire("mtswitch.step"); err != nil {
 			return err
 		}
+		e.stepMult = e.multAt(e.step)
 		// Phase 1 — sharded expansion over contiguous source chunks.
 		active := e.nshards
 		if active > e.count {
@@ -662,13 +731,15 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 		for _, w := range e.workers[:active] {
 			produced += w.statesExpanded
 			w.statesExpanded = 0
+			e.stats.BoundCutoffs += w.boundCut
+			w.boundCut = 0
 			dropped += w.table.dropped
 		}
 		e.stats.StatesExpanded += produced
 		if dropped > 0 {
 			// The worker-table budget cap bit: states were dropped
 			// before dedup, so the step is a (budget-forced) beam.
-			e.stats.CandidatesPruned += dropped
+			e.stats.BudgetDropped += dropped
 			e.stats.Truncated = true
 			e.stats.Degraded = true
 		}
@@ -694,6 +765,9 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 		}
 		unique := len(fl.costs)
 		if unique == 0 {
+			if e.pruneOn {
+				return errFrontierEmptied
+			}
 			return fmt.Errorf("mtswitch: state frontier emptied at step %d", e.step)
 		}
 		e.stats.DedupHits += produced - dropped - int64(unique)
@@ -715,12 +789,25 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 			}
 			return bitset.CompareWords(fl.state(pa)[:sw], fl.state(pb)[:sw]) < 0
 		})
-		kept := unique
+		// Dominance filtering runs on the sorted frontier (so the
+		// dominator is always the earlier, no-costlier state) and
+		// before any beam truncation, keeping the beam's slots for
+		// states that are not redundant.  The last step's frontier is
+		// never filtered: with no requirements left, only index 0 (the
+		// optimum) matters.
+		if e.pruneOn && e.step < n-1 && unique > 1 {
+			before := len(e.perm)
+			e.dominanceFilter(fl)
+			e.stats.DominanceHits += int64(before - len(e.perm))
+		}
+		survivors := len(e.perm)
+		kept := survivors
 		if kept > maxStates {
 			kept = maxStates
 			e.stats.Truncated = true
 			if e.budgetCapped {
 				e.stats.Degraded = true
+				e.stats.BudgetDropped += int64(survivors - kept)
 			}
 		}
 
@@ -749,7 +836,7 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 
 // solvePacked runs the packed engine and reconstructs the best
 // schedule's hyperreconfiguration mask.
-func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options) (mask [][]bool, dpCost model.Cost, stats solve.Stats, err error) {
+func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options, px *pruneContext) (mask [][]bool, dpCost model.Cost, stats solve.Stats, err error) {
 	maxStates := o.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
@@ -757,7 +844,7 @@ func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, o
 	if maxStates > math.MaxInt32 {
 		maxStates = math.MaxInt32
 	}
-	e.prepare(ins, opt, o)
+	e.prepare(ins, opt, o, px)
 	defer e.pool.Close()
 	if e.budgetStates > 0 && e.budgetStates < maxStates {
 		// The byte budget affords a smaller beam than the state cap:
@@ -767,9 +854,11 @@ func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, o
 		e.budgetCapped = true
 	}
 	if err := e.buildCandidates(ctx, o); err != nil {
+		e.stats.StatesPruned = e.stats.DominanceHits + e.stats.BoundCutoffs
 		return nil, 0, e.stats, err
 	}
 	if err := e.runSteps(ctx, maxStates); err != nil {
+		e.stats.StatesPruned = e.stats.DominanceHits + e.stats.BoundCutoffs
 		return nil, 0, e.stats, err
 	}
 
@@ -790,5 +879,6 @@ func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, o
 		at = gen.prev[at]
 	}
 	e.stats.Truncated = e.stats.Truncated || o.MaxCandidates > 0
+	e.stats.StatesPruned = e.stats.DominanceHits + e.stats.BoundCutoffs
 	return mask, dpCost, e.stats, nil
 }

@@ -52,10 +52,13 @@ func TestPackedMatchesReference(t *testing.T) {
 	for k := 0; k < 12; k++ {
 		instances = append(instances, randomMT(r, 3, 5, 6))
 	}
+	// DisablePruning keeps the strict frontier-for-frontier comparison
+	// with the reference meaningful (the pruned layer expands fewer
+	// states by design; prune_test.go covers its agreement separately).
 	budgets := []solve.Options{
-		{},             // exact within DefaultMaxStates
-		{MaxStates: 3}, // aggressive beam truncation
-		{MaxStates: 50, MaxCandidates: 2},
+		{DisablePruning: true},               // exact within DefaultMaxStates
+		{DisablePruning: true, MaxStates: 3}, // aggressive beam truncation
+		{DisablePruning: true, MaxStates: 50, MaxCandidates: 2},
 	}
 	for ii, ins := range instances {
 		for _, opt := range frontierOpts {
@@ -105,12 +108,12 @@ func TestPackedWorkerCountsAgree(t *testing.T) {
 	for k := 0; k < 8; k++ {
 		ins := randomMT(r, 4, 6, 8)
 		for _, opt := range frontierOpts {
-			base, err := SolveExact(ctx, ins, opt, solve.Options{Workers: 1, MaxStates: 5})
+			base, err := SolveExact(ctx, ins, opt, solve.Options{Workers: 1, MaxStates: 5, DisablePruning: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range agreementWorkers[1:] {
-				got, err := SolveExact(ctx, ins, opt, solve.Options{Workers: workers, MaxStates: 5})
+				got, err := SolveExact(ctx, ins, opt, solve.Options{Workers: workers, MaxStates: 5, DisablePruning: true})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -154,7 +157,7 @@ func TestPackedZeroUniverseTask(t *testing.T) {
 // frontier is at least the final frontier of some step.
 func TestPackedStats(t *testing.T) {
 	ins := phased(t)
-	sol, err := SolveExact(context.Background(), ins, parallel, solve.Options{Workers: 2})
+	sol, err := SolveExact(context.Background(), ins, parallel, solve.Options{Workers: 2, DisablePruning: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,175 @@
+package mtswitch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// TestPreprocessRunLength checks step run-length compression: runs of
+// identical requirements collapse into one step with the right
+// multiplicity and run-start mapping.
+func TestPreprocessRunLength(t *testing.T) {
+	tasks := []model.Task{{Name: "A", Local: 3, V: 2}}
+	rows := [][]bitset.Set{
+		reqs(3, []int{0}, []int{0}, []int{0}, []int{1, 2}, []int{1, 2}, []int{0}),
+	}
+	ins := mustMT(t, tasks, rows)
+	red := preprocess(ins)
+	if red == nil {
+		t.Fatal("run-structured instance not reduced")
+	}
+	if got := red.ins.Steps(); got != 3 {
+		t.Fatalf("reduced to %d steps, want 3", got)
+	}
+	wantStarts := []int{0, 3, 5}
+	for i, want := range wantStarts {
+		if red.runStart[i] != want {
+			t.Fatalf("runStart[%d] = %d, want %d", i, red.runStart[i], want)
+		}
+	}
+	wantMult := []model.Cost{3, 2, 1}
+	for i, want := range wantMult {
+		if red.mult[i] != want {
+			t.Fatalf("mult[%d] = %d, want %d", i, red.mult[i], want)
+		}
+	}
+	mask := red.expandMask([][]bool{{true, true, false}})
+	want := []bool{true, false, false, true, false, false}
+	for i := range want {
+		if mask[0][i] != want[i] {
+			t.Fatalf("expandMask[0] = %v, want %v", mask[0], want)
+		}
+	}
+}
+
+// TestPreprocessColumnGrouping checks duplicate-column grouping: columns
+// with identical step signatures merge into one weighted column, and
+// never-required columns vanish.
+func TestPreprocessColumnGrouping(t *testing.T) {
+	tasks := []model.Task{{Name: "A", Local: 5, V: 2}}
+	// Columns 0 and 2 share a signature, column 4 is never required.
+	rows := [][]bitset.Set{
+		reqs(5, []int{0, 2}, []int{1, 3}, []int{0, 2, 3}),
+	}
+	ins := mustMT(t, tasks, rows)
+	red := preprocess(ins)
+	if red == nil {
+		t.Fatal("groupable instance not reduced")
+	}
+	if got := red.ins.Tasks[0].Local; got != 3 {
+		t.Fatalf("reduced universe %d, want 3 (two groups + one singleton dropped)", got)
+	}
+	w := red.taskWeights(0)
+	if w == nil {
+		t.Fatal("grouped task reports nil weights")
+	}
+	var total model.Cost
+	for _, x := range w {
+		total += x
+	}
+	if total != 4 {
+		t.Fatalf("group weights sum to %d, want 4 (column 4 dropped)", total)
+	}
+	// cells = l·n − l'·n' = 5·3 − 3·3.
+	if red.cells != 6 {
+		t.Fatalf("cells = %d, want 6", red.cells)
+	}
+}
+
+// TestPreprocessIrreducible checks the nil contract: an instance with
+// no equal adjacent steps and no duplicate columns passes through.
+func TestPreprocessIrreducible(t *testing.T) {
+	tasks := []model.Task{{Name: "A", Local: 2, V: 1}}
+	rows := [][]bitset.Set{
+		reqs(2, []int{0}, []int{1}, []int{0, 1}),
+	}
+	if red := preprocess(mustMT(t, tasks, rows)); red != nil {
+		t.Fatalf("irreducible instance reduced: %+v", red)
+	}
+}
+
+// TestCanonicalFormInvariance checks the cache-sharing contract: the
+// canonical form is unchanged by task reordering, task renaming, column
+// permutation and padding with never-required columns — and changed by
+// anything that affects the optimum.
+func TestCanonicalFormInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for k := 0; k < 10; k++ {
+		ins := randomMT(r, 3, 5, 5)
+		ins.PublicGlobal = r.Intn(3)
+		ins.W = model.Cost(r.Intn(4))
+		base, _ := CanonicalForm(ins)
+
+		// Task reorder + rename: same form, perm maps back.
+		m := ins.NumTasks()
+		order := r.Perm(m)
+		tasks := make([]model.Task, m)
+		rows := make([][]bitset.Set, m)
+		for c, j := range order {
+			tasks[c] = ins.Tasks[j]
+			tasks[c].Name = string(rune('Z' - c))
+			rows[c] = ins.Reqs[j]
+		}
+		permuted := mustMT(t, tasks, rows)
+		permuted.PublicGlobal = ins.PublicGlobal
+		permuted.W = ins.W
+		form, perm := CanonicalForm(permuted)
+		if !bytes.Equal(base, form) {
+			t.Fatalf("instance %d: canonical form changed by task permutation", k)
+		}
+		for c, j := range perm {
+			want := ins.Tasks[order[j]]
+			got := permuted.Tasks[j]
+			if got.Local != want.Local || got.V != want.V {
+				t.Fatalf("instance %d: perm[%d] maps to mismatched task", k, c)
+			}
+		}
+
+		// Column shuffle within one task: same form.
+		shuffled := shuffleColumns(t, ins, r)
+		shuffled.PublicGlobal = ins.PublicGlobal
+		shuffled.W = ins.W
+		form2, _ := CanonicalForm(shuffled)
+		if !bytes.Equal(base, form2) {
+			t.Fatalf("instance %d: canonical form changed by column shuffle", k)
+		}
+
+		// Cost-relevant change: different form.
+		bumped := mustMT(t, append([]model.Task(nil), ins.Tasks...), ins.Reqs)
+		bumped.PublicGlobal = ins.PublicGlobal + 1
+		bumped.W = ins.W
+		form3, _ := CanonicalForm(bumped)
+		if bytes.Equal(base, form3) {
+			t.Fatalf("instance %d: canonical form blind to PublicGlobal", k)
+		}
+	}
+}
+
+// shuffleColumns relabels every task's switch columns by a random
+// permutation (and appends one never-required column), which must not
+// affect the canonical form.
+func shuffleColumns(t *testing.T, ins *model.MTSwitchInstance, r *rand.Rand) *model.MTSwitchInstance {
+	t.Helper()
+	m, n := ins.NumTasks(), ins.Steps()
+	tasks := make([]model.Task, m)
+	rows := make([][]bitset.Set, m)
+	for j := 0; j < m; j++ {
+		l := ins.Tasks[j].Local
+		tasks[j] = ins.Tasks[j]
+		tasks[j].Local = l + 1 // padding column, never required
+		relabel := r.Perm(l)
+		rows[j] = make([]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			s := bitset.New(l + 1)
+			ins.Reqs[j][i].ForEach(func(b int) {
+				s.Add(relabel[b])
+			})
+			rows[j][i] = s
+		}
+	}
+	return mustMT(t, tasks, rows)
+}

@@ -48,6 +48,10 @@ type metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	dedupHits   atomic.Int64
+	// canonicalHits counts exact-cache misses answered from the
+	// canonical store (a structurally identical request, solved before
+	// under a different literal encoding).
+	canonicalHits atomic.Int64
 
 	retries         atomic.Int64 // panicked jobs requeued for their one retry
 	breakerRejected atomic.Int64 // submits refused by an open circuit breaker
@@ -66,9 +70,14 @@ type metrics struct {
 // mark, not a sum: it reports the largest DP frontier any job of that
 // solver ever held, the quantity that bounds the engine's memory.
 type solverStats struct {
-	statesExpanded int64
-	dedupHits      int64
-	peakFrontier   int64
+	statesExpanded      int64
+	dedupHits           int64
+	peakFrontier        int64
+	statesPruned        int64
+	dominanceHits       int64
+	boundCutoffs        int64
+	preprocessReduction int64
+	budgetDropped       int64
 }
 
 func newMetrics() *metrics {
@@ -114,6 +123,11 @@ func (m *metrics) observeStats(solver string, st solve.Stats) {
 	if st.PeakFrontier > agg.peakFrontier {
 		agg.peakFrontier = st.PeakFrontier
 	}
+	agg.statesPruned += st.StatesPruned
+	agg.dominanceHits += st.DominanceHits
+	agg.boundCutoffs += st.BoundCutoffs
+	agg.preprocessReduction += st.PreprocessReduction
+	agg.budgetDropped += st.BudgetDropped
 }
 
 // gauges are point-in-time values the server snapshots at render time.
@@ -142,6 +156,7 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	counter("hyperd_cache_hits_total", m.cacheHits.Load())
 	counter("hyperd_cache_misses_total", m.cacheMisses.Load())
 	counter("hyperd_dedup_hits_total", m.dedupHits.Load())
+	counter("hyperd_cache_canonical_hits_total", m.canonicalHits.Load())
 	counter("hyperd_retries_total", m.retries.Load())
 	counter("hyperd_breaker_rejected_total", m.breakerRejected.Load())
 	counter("hyperd_jobs_degraded_total", m.degraded.Load())
@@ -219,6 +234,26 @@ func (m *metrics) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "# TYPE hyperd_solver_peak_frontier gauge\n")
 		for _, name := range statNames {
 			fmt.Fprintf(w, "hyperd_solver_peak_frontier{solver=%q} %d\n", name, m.solverStats[name].peakFrontier)
+		}
+		fmt.Fprintf(w, "# TYPE hyperd_solver_states_pruned_total counter\n")
+		for _, name := range statNames {
+			fmt.Fprintf(w, "hyperd_solver_states_pruned_total{solver=%q} %d\n", name, m.solverStats[name].statesPruned)
+		}
+		fmt.Fprintf(w, "# TYPE hyperd_solver_dominance_hits_total counter\n")
+		for _, name := range statNames {
+			fmt.Fprintf(w, "hyperd_solver_dominance_hits_total{solver=%q} %d\n", name, m.solverStats[name].dominanceHits)
+		}
+		fmt.Fprintf(w, "# TYPE hyperd_solver_bound_cutoffs_total counter\n")
+		for _, name := range statNames {
+			fmt.Fprintf(w, "hyperd_solver_bound_cutoffs_total{solver=%q} %d\n", name, m.solverStats[name].boundCutoffs)
+		}
+		fmt.Fprintf(w, "# TYPE hyperd_solver_preprocess_reduction_total counter\n")
+		for _, name := range statNames {
+			fmt.Fprintf(w, "hyperd_solver_preprocess_reduction_total{solver=%q} %d\n", name, m.solverStats[name].preprocessReduction)
+		}
+		fmt.Fprintf(w, "# TYPE hyperd_solver_budget_dropped_total counter\n")
+		for _, name := range statNames {
+			fmt.Fprintf(w, "hyperd_solver_budget_dropped_total{solver=%q} %d\n", name, m.solverStats[name].budgetDropped)
 		}
 	}
 }

@@ -106,6 +106,13 @@ type Job struct {
 	mt   *model.MTSwitchInstance
 	opts solve.Options
 
+	// canonKey/canonPerm address the canonical result store for
+	// mtswitch jobs (empty/nil for other kinds): the structural hash of
+	// the instance and the task permutation mapping canonical positions
+	// back to this request's task order.
+	canonKey  string
+	canonPerm []int
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -207,6 +214,7 @@ type Server struct {
 	cfg     Config
 	metrics *metrics
 	cache   *resultCache
+	canon   *canonicalCache
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -235,6 +243,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		metrics:    newMetrics(),
 		cache:      newResultCache(cfg.CacheEntries),
+		canon:      newCanonicalCache(cfg.CacheEntries),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
@@ -271,6 +280,24 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 		return nil, false, err
 	}
 
+	// Canonical store lookup (mtswitch only), prepared outside the lock:
+	// the structural hash and — on a hit — the stored mask replayed onto
+	// this request's own instance.  Served only when the exact cache
+	// misses below.
+	var (
+		canonKey  string
+		canonPerm []int
+		canonSol  *solve.Solution
+	)
+	if res.inst.Kind() == solve.KindMTSwitch && res.mt != nil {
+		canonKey, canonPerm = canonicalMTKey(res.mt, res.inst.Cost, res.solver, opts)
+		if entry, ok := s.canon.Get(canonKey); ok {
+			if sol, ok := entry.reconstruct(res.mt, res.inst.Cost, canonPerm); ok {
+				canonSol = sol
+			}
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -295,6 +322,25 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 	}
 	s.metrics.cacheMisses.Add(1)
 
+	if canonSol != nil {
+		// A structurally identical request was solved before: the job is
+		// born terminal from the canonical store, and the replayed result
+		// seeds the exact cache so the next literal repeat hits level 1.
+		s.metrics.canonicalHits.Add(1)
+		job := s.newJobLocked(key, res, opts)
+		now := time.Now()
+		job.CacheHit = true
+		job.state = JobDone
+		job.sol = canonSol
+		job.memo = &wireMemo{}
+		job.started, job.finished = now, now
+		s.cache.Put(key, &cachedResult{sol: canonSol, wire: job.memo})
+		close(job.done)
+		job.cancel()
+		s.rememberFinishedLocked(job)
+		return job, false, nil
+	}
+
 	if cur, ok := s.inflight[key]; ok {
 		s.metrics.dedupHits.Add(1)
 		return cur, true, nil
@@ -318,6 +364,7 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 	}
 
 	job = s.newJobLocked(key, res, opts)
+	job.canonKey, job.canonPerm = canonKey, canonPerm
 	s.queue = append(s.queue, job)
 	s.inflight[key] = job
 	s.metrics.submitted.Add(1)
@@ -555,6 +602,9 @@ func (s *Server) finalizeNoted(job *Job, sol *solve.Solution, err error) {
 		// not poison the cache line that means "unbudgeted".
 		if !sol.Stats.Degraded || job.opts.MaxFrontierBytes > 0 {
 			s.cache.Put(job.Hash, &cachedResult{sol: sol, wire: job.memo})
+			if job.canonKey != "" {
+				s.canon.Put(job.canonKey, entryFromSolution(sol, job.canonPerm))
+			}
 		}
 		if sol.Stats.Degraded {
 			s.metrics.degraded.Add(1)

@@ -115,6 +115,9 @@ type WireOptions struct {
 	// it degrades the exact solver to a beam search (flagged in the
 	// result stats) instead of exhausting server memory.
 	MaxFrontierBytes int64 `json:"max_frontier_bytes,omitempty"`
+	// DisablePruning turns off the exact solver's pruned-search layer
+	// (baselining knob; never changes an untruncated cost).
+	DisablePruning bool `json:"disable_pruning,omitempty"`
 }
 
 // toSolve maps the wire options onto solve.Options.
@@ -123,6 +126,7 @@ func (o WireOptions) toSolve() (solve.Options, error) {
 		MaxStates:        o.MaxStates,
 		MaxCandidates:    o.MaxCandidates,
 		MaxFrontierBytes: o.MaxFrontierBytes,
+		DisablePruning:   o.DisablePruning,
 		Workers:          o.Workers,
 		Seed:             o.Seed,
 		Pop:              o.Pop,
@@ -312,11 +316,22 @@ func (r *SolveRequest) resolve() (*resolved, error) {
 
 // WireStats is the JSON view of solve.Stats.
 type WireStats struct {
-	StatesExpanded   int64   `json:"states_expanded"`
-	DedupHits        int64   `json:"dedup_hits"`
-	CandidatesPruned int64   `json:"candidates_pruned"`
-	Evaluations      int64   `json:"evaluations"`
-	Truncated        bool    `json:"truncated,omitempty"`
+	StatesExpanded   int64 `json:"states_expanded"`
+	DedupHits        int64 `json:"dedup_hits"`
+	CandidatesPruned int64 `json:"candidates_pruned"`
+	// StatesPruned is the pruned search layer's total eliminations
+	// (dominance hits plus bound cutoffs).
+	StatesPruned  int64 `json:"states_pruned,omitempty"`
+	DominanceHits int64 `json:"dominance_hits,omitempty"`
+	BoundCutoffs  int64 `json:"bound_cutoffs,omitempty"`
+	// PreprocessReduction counts requirement-matrix cells removed by
+	// instance preprocessing before the DP ran.
+	PreprocessReduction int64 `json:"preprocess_reduction,omitempty"`
+	// BudgetDropped counts states the memory budget discarded on a
+	// degraded run — how lossy the degradation was.
+	BudgetDropped int64 `json:"budget_dropped,omitempty"`
+	Evaluations   int64 `json:"evaluations"`
+	Truncated     bool  `json:"truncated,omitempty"`
 	// Degraded reports the solver gave up exactness to stay inside its
 	// memory budget; such results are never exact.
 	Degraded bool    `json:"degraded,omitempty"`
@@ -359,13 +374,18 @@ func wireSolution(sol *solve.Solution, mt *model.MTSwitchInstance) (*WireSolutio
 		Cost:  int64(sol.Cost),
 		Exact: sol.Exact,
 		Stats: WireStats{
-			StatesExpanded:   sol.Stats.StatesExpanded,
-			DedupHits:        sol.Stats.DedupHits,
-			CandidatesPruned: sol.Stats.CandidatesPruned,
-			Evaluations:      sol.Stats.Evaluations,
-			Truncated:        sol.Stats.Truncated,
-			Degraded:         sol.Stats.Degraded,
-			WallMS:           float64(sol.Stats.WallTime) / float64(time.Millisecond),
+			StatesExpanded:      sol.Stats.StatesExpanded,
+			DedupHits:           sol.Stats.DedupHits,
+			CandidatesPruned:    sol.Stats.CandidatesPruned,
+			StatesPruned:        sol.Stats.StatesPruned,
+			DominanceHits:       sol.Stats.DominanceHits,
+			BoundCutoffs:        sol.Stats.BoundCutoffs,
+			PreprocessReduction: sol.Stats.PreprocessReduction,
+			BudgetDropped:       sol.Stats.BudgetDropped,
+			Evaluations:         sol.Stats.Evaluations,
+			Truncated:           sol.Stats.Truncated,
+			Degraded:            sol.Stats.Degraded,
+			WallMS:              float64(sol.Stats.WallTime) / float64(time.Millisecond),
 		},
 	}
 	switch sol.Kind {

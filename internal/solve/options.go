@@ -35,6 +35,15 @@ type Options struct {
 	// passes the budget into every window solve, and the GA clamps its
 	// population memory to it.  0 means unbudgeted.
 	MaxFrontierBytes int64
+	// DisablePruning turns off the exact multi-task DP's pruned-search
+	// layer (instance preprocessing, dominance elimination and
+	// incumbent lower-bound cutoffs) and restores the plain exhaustive
+	// frontier expansion.  Pruning never changes the cost of an
+	// untruncated run — only which of several equal-cost schedules is
+	// returned and how many states are expanded — so the knob exists
+	// for baselining and for tests that pin the unpruned engine's
+	// exact state counts.
+	DisablePruning bool
 	// Workers bounds the goroutines of parallel solver stages (GA
 	// fitness evaluation, private-global window sweep).  0 means
 	// GOMAXPROCS.

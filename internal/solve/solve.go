@@ -141,6 +141,27 @@ type Stats struct {
 	// CandidatesPruned counts branches, candidates or moves discarded
 	// by caps or bounds before expansion.
 	CandidatesPruned int64
+	// StatesPruned counts states or expansion branches the pruned
+	// search layer eliminated before they reached the frontier — the
+	// sum of DominanceHits and BoundCutoffs.
+	StatesPruned int64
+	// DominanceHits counts frontier states discarded because another
+	// state at the same step, with equal requirement residue, no larger
+	// per-task hypercontexts and no worse cost, makes them redundant.
+	DominanceHits int64
+	// BoundCutoffs counts expansion branches abandoned because the
+	// admissible remaining-cost bound proved they cannot beat the
+	// incumbent schedule.
+	BoundCutoffs int64
+	// PreprocessReduction counts requirement-matrix cells removed by
+	// instance preprocessing (duplicate-column grouping and step
+	// run-length compression) before the DP ran.
+	PreprocessReduction int64
+	// BudgetDropped counts states the MaxFrontierBytes budget discarded
+	// (per-worker successor-table caps and budget-forced beam
+	// truncation).  Nonzero only on Degraded runs; it quantifies how
+	// lossy the degradation was.
+	BudgetDropped int64
 	// Evaluations counts full-schedule cost evaluations (brute force
 	// enumerations, GA fitness calls, annealing moves).
 	Evaluations int64
@@ -168,6 +189,11 @@ func (s *Stats) Add(o Stats) {
 	}
 	s.ArenaReused += o.ArenaReused
 	s.CandidatesPruned += o.CandidatesPruned
+	s.StatesPruned += o.StatesPruned
+	s.DominanceHits += o.DominanceHits
+	s.BoundCutoffs += o.BoundCutoffs
+	s.PreprocessReduction += o.PreprocessReduction
+	s.BudgetDropped += o.BudgetDropped
 	s.Evaluations += o.Evaluations
 	s.Truncated = s.Truncated || o.Truncated
 	s.Degraded = s.Degraded || o.Degraded

@@ -128,6 +128,31 @@ func Phased(cfg Config) (*model.MTSwitchInstance, error) {
 	return model.NewMTSwitchInstance(cfg.tasks(), reqs)
 }
 
+// Dense generates block-structured phases where every step of a phase
+// requires exactly the phase's working set — no within-phase
+// subsampling.  The result is the regime the pruned search layer is
+// built for: long runs of identical steps (run-length compressible),
+// few distinct requirements per task (duplicate switch columns), and
+// a high density that blows up the unpruned joint frontier.  PR4's
+// memory budgets degraded this shape to a beam; with pruning it solves
+// exactly inside the same budget (EXPERIMENTS.md E17).
+func Dense(cfg Config) (*model.MTSwitchInstance, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([][]bitset.Set, cfg.Tasks)
+	for j := 0; j < cfg.Tasks; j++ {
+		reqs[j] = make([]bitset.Set, 0, cfg.Steps)
+		for len(reqs[j]) < cfg.Steps {
+			length := phaseLength(r, cfg.MeanPhase)
+			working := randomSubset(r, cfg.Switches, cfg.Density)
+			for k := 0; k < length && len(reqs[j]) < cfg.Steps; k++ {
+				reqs[j] = append(reqs[j], working.Clone())
+			}
+		}
+	}
+	return model.NewMTSwitchInstance(cfg.tasks(), reqs)
+}
+
 // Bursty generates alternating heavy (density) and light (density/4)
 // episodes, synchronized within a task but independent across tasks.
 func Bursty(cfg Config) (*model.MTSwitchInstance, error) {
@@ -197,6 +222,7 @@ func Uniform(cfg Config) (*model.MTSwitchInstance, error) {
 func Generators() map[string]func(Config) (*model.MTSwitchInstance, error) {
 	return map[string]func(Config) (*model.MTSwitchInstance, error){
 		"phased":  Phased,
+		"dense":   Dense,
 		"bursty":  Bursty,
 		"markov":  Markov,
 		"uniform": Uniform,

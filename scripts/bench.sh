@@ -1,24 +1,74 @@
 #!/usr/bin/env sh
-# Regenerates the recorded bench baseline.
+# Regenerates the recorded bench baseline, or checks the current tree
+# against it.
 #
-#   scripts/bench.sh
+#   scripts/bench.sh            regenerate the committed artifacts
+#   scripts/bench.sh --check    rerun the benchmarks and fail (exit 1)
+#                               on a >10% ns/op regression against
+#                               scripts/bench_baseline.txt
 #
-# Writes two artifacts into the repo root, both committed:
+# The regenerate mode writes three artifacts, all committed:
 #
 #   BENCH_PR3.json            frontier-engine comparison (reference DP
 #                             vs packed engine at Workers=1 and
-#                             Workers=GOMAXPROCS) with ns/op, allocs/op
-#                             and the speedup/alloc ratios; produced by
+#                             Workers=GOMAXPROCS, pruning disabled)
+#                             with ns/op, allocs/op and the
+#                             speedup/alloc ratios; produced by
 #                             `paperbench -bench` on the fixed-seed
 #                             BenchmarkScalingTasks m=4 workload.
+#   BENCH_PR5.json            pruned-search comparison (packed engine
+#                             with pruning off vs on) on the phased
+#                             m=4 and dense workloads, plus the
+#                             memory-budget scenario where pruning
+#                             restores exactness; produced by
+#                             `paperbench -bench5` (EXPERIMENTS.md E17).
 #   scripts/bench_baseline.txt raw `go test -bench` output of the
-#                             frontier/scaling benchmarks, the input
-#                             CI's informational benchstat step
-#                             compares new runs against.
+#                             frontier/scaling benchmarks, the input of
+#                             the --check mode and of CI's
+#                             informational benchstat step.
 set -eu
 cd "$(dirname "$0")/.."
 
-go run ./cmd/paperbench -bench -benchout BENCH_PR3.json
+BENCH_PATTERN='BenchmarkFrontierEngines|BenchmarkScalingTasks'
 
-go test -run '^$' -bench 'BenchmarkFrontierEngines|BenchmarkScalingTasks' \
+if [ "${1:-}" = "--check" ]; then
+	if [ ! -f scripts/bench_baseline.txt ]; then
+		echo "bench.sh --check: scripts/bench_baseline.txt missing; run scripts/bench.sh first" >&2
+		exit 1
+	fi
+	new=$(mktemp /tmp/bench_check.XXXXXX)
+	trap 'rm -f "$new"' EXIT
+	go test -run '^$' -bench "$BENCH_PATTERN" -benchmem -count 1 . | tee "$new"
+	# Join the two runs on benchmark name and compare ns/op (column 3
+	# of a `go test -bench` result line). >10% slower fails the check.
+	awk '
+		FNR == NR {
+			if ($2 ~ /^[0-9]+$/ && $4 == "ns/op") base[$1] = $3
+			next
+		}
+		$2 ~ /^[0-9]+$/ && $4 == "ns/op" && ($1 in base) {
+			matched++
+			ratio = $3 / base[$1]
+			printf "%-60s %12.0f -> %12.0f ns/op  (%.2fx)\n", $1, base[$1], $3, ratio
+			if (ratio > 1.10) {
+				printf "REGRESSION: %s is %.0f%% slower than the baseline\n", $1, (ratio - 1) * 100
+				bad++
+			}
+		}
+		END {
+			if (matched == 0) {
+				print "bench.sh --check: warning: no benchmark names matched the baseline (renamed benchmarks?); nothing compared"
+				exit 0
+			}
+			if (bad > 0) exit 1
+		}
+	' scripts/bench_baseline.txt "$new"
+	echo "bench.sh --check: ok (no >10% ns/op regression)"
+	exit 0
+fi
+
+go run ./cmd/paperbench -bench -benchout BENCH_PR3.json
+go run ./cmd/paperbench -bench5 -bench5out BENCH_PR5.json
+
+go test -run '^$' -bench "$BENCH_PATTERN" \
 	-benchmem -count 1 . | tee scripts/bench_baseline.txt
