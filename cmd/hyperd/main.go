@@ -7,8 +7,11 @@
 //
 //	hyperd [-addr :8077] [-workers N] [-queue N] [-cache N] [-max-timeout 60s]
 //	       [-max-frontier-bytes N] [-breaker-threshold N] [-breaker-cooldown 10s]
+//	       [-max-sessions N] [-session-bytes N]
 //	hyperd bench [-solver aligned] [-gen phased] [-tasks 4] [-steps 64]
 //	             [-switches 16] [-conc 32] [-duration 2s]
+//	hyperd bench -sessions [-solver exact] [-gen dense] [-tasks 4] [-steps 64]
+//	             [-switches 16] [-batch 2] [-no-pruning]
 //
 // The default mode serves until SIGINT/SIGTERM, then shuts down
 // gracefully: new submits are rejected, queued jobs drain as canceled,
@@ -19,6 +22,12 @@
 // uncached phase (every request a distinct instance, measuring solver
 // throughput), then a cached phase (one hot instance, measuring
 // serving throughput).
+//
+// bench -sessions streams one workload.Streaming trace through the
+// session API batch by batch, checks the final schedule against the
+// one-shot /v1/solve of the full trace, and reports the incremental
+// re-solve cost (states expanded per batch) against the from-scratch
+// cost.
 package main
 
 import (
@@ -68,6 +77,8 @@ func runServe(args []string) error {
 		maxBytes   = fs.Int64("max-frontier-bytes", 1<<30, "per-job solver memory budget in bytes; exhaustion degrades exact solves to beam search (0 = none)")
 		brkThresh  = fs.Int("breaker-threshold", 5, "consecutive solver panics/timeouts that trip its circuit breaker (negative disables)")
 		brkCool    = fs.Duration("breaker-cooldown", 10*time.Second, "how long a tripped breaker fails fast before probing")
+		maxSess    = fs.Int("max-sessions", 64, "concurrent streaming sessions")
+		sessBytes  = fs.Int64("session-bytes", 64<<20, "total session engine memory before LRU engines are checkpointed out (negative disables)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +93,8 @@ func runServe(args []string) error {
 		MaxFrontierBytes: *maxBytes,
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCool,
+		MaxSessions:      *maxSess,
+		SessionBytes:     *sessBytes,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -143,9 +156,15 @@ func runBench(args []string, w io.Writer) error {
 		workers  = fs.Int("workers", 0, "server worker pool size (0 = GOMAXPROCS)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
 		memProf  = fs.String("memprofile", "", "write an allocation profile after the bench run to this file")
+		sessions = fs.Bool("sessions", false, "bench the streaming session API instead of the job queue")
+		batch    = fs.Int("batch", 2, "mean rows per streamed batch (sessions mode)")
+		noPrune  = fs.Bool("no-pruning", false, "disable the pruned-search layer (sessions mode; pruning forces full re-solves)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sessions {
+		return sessionBench(w, *solver, *gen, *tasks, *steps, *switches, *batch, *workers, *noPrune)
 	}
 	generate, ok := workload.Generators()[*gen]
 	if !ok {
@@ -244,6 +263,118 @@ func runBench(args []string, w io.Writer) error {
 		return fmt.Errorf("%d requests failed", uncached.failures+cached.failures)
 	}
 	return nil
+}
+
+// sessionBench streams one generated trace through the session API and
+// compares the incremental re-solve cost against the one-shot solve of
+// the same full trace.
+func sessionBench(w io.Writer, solver, gen string, tasks, steps, switches, batch, workers int, noPrune bool) error {
+	stream, err := workload.Streaming(workload.StreamConfig{
+		Workload:  workload.Config{Tasks: tasks, Steps: steps, Switches: switches},
+		Generator: gen,
+		MeanBatch: batch,
+	})
+	if err != nil {
+		return err
+	}
+	srv := service.New(service.Config{Workers: workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		httpSrv.Shutdown(ctx)
+	}()
+
+	wire := service.WireInstanceFrom(stream.Instance)
+	opts := service.WireOptions{DisablePruning: noPrune}
+	call := func(url string, body any, out any) error {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, raw)
+		}
+		return json.Unmarshal(raw, out)
+	}
+
+	initial := len(stream.Initial)
+	var st service.SessionStatus
+	if err := call(base+"/v1/sessions", service.SessionRequest{
+		Solver:   solver,
+		Instance: &service.WireInstance{Tasks: wire.Tasks, Reqs: wire.Reqs[:initial]},
+		Options:  opts,
+	}, &st); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var incremental int64
+	step := initial
+	for _, b := range stream.Batches {
+		if err := call(base+"/v1/sessions/"+st.ID+"/steps", service.SessionSteps{
+			Reqs: wire.Reqs[step : step+len(b.Rows)],
+		}, &st); err != nil {
+			return err
+		}
+		step += len(b.Rows)
+		incremental += st.ResolveExpanded
+	}
+	streamElapsed := time.Since(start)
+
+	start = time.Now()
+	var job service.JobStatus
+	if err := call(base+"/v1/solve", service.SolveRequest{Solver: solver, Instance: wire, Options: opts}, &job); err != nil {
+		return err
+	}
+	oneShotElapsed := time.Since(start)
+	if job.Result == nil || st.Result == nil {
+		return fmt.Errorf("missing result: session=%v one-shot=%v", st.Result, job.Result)
+	}
+	if job.Result.Cost != st.Result.Cost {
+		return fmt.Errorf("session cost %d != one-shot cost %d", st.Result.Cost, job.Result.Cost)
+	}
+
+	fromScratch := job.Result.Stats.StatesExpanded
+	fmt.Fprintf(w, "hyperd bench -sessions: solver=%s gen=%s m=%d n=%d l=%d batch=%d pruning=%v\n",
+		solver, gen, tasks, steps, switches, batch, !noPrune)
+	fmt.Fprintf(w, "streamed %d batches over %d steps in %v; final cost %d matches one-shot (%v)\n",
+		len(stream.Batches), steps, streamElapsed.Round(time.Millisecond), st.Result.Cost, oneShotElapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "states expanded: one-shot=%d incremental-total=%d last-batch=%d (one-shot/last = %.1fx)\n",
+		fromScratch, incremental, st.ResolveExpanded, ratio(fromScratch, st.ResolveExpanded))
+	fmt.Fprintf(w, "streaming the whole trace cost %.1fx one state-expansion budget (1.0 = free, %d batches)\n",
+		float64(incremental)/float64(max64(fromScratch, 1)), len(stream.Batches))
+	return nil
+}
+
+func ratio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // phase drives concurrent POSTs for the given duration and tallies

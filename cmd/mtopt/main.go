@@ -11,6 +11,14 @@
 //	mtopt -app counter -solver exact         # joint-hypercontext DP (small n)
 //	mtopt -app counter -solver all -fig      # aligned+beam+ga + Figure 2/3 charts
 //	mtopt -reqs trace.csv -upload sequential # task-sequential uploads
+//
+// The exact and beam solvers are checkpointable: -checkpoint FILE
+// -checkpoint-every N snapshots the DP engine every N steps, and
+// -resume FILE continues a solve from such a snapshot (the instance
+// travels inside the checkpoint, so -app/-reqs are not needed):
+//
+//	mtopt -app counter -solver exact -checkpoint dp.ckpt -checkpoint-every 8
+//	mtopt -solver exact -resume dp.ckpt
 package main
 
 import (
@@ -49,6 +57,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker count for parallel solvers (0 = GOMAXPROCS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the solver runs to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile after the solver runs to this file")
+		ckptPath = flag.String("checkpoint", "", "write engine checkpoints to this file while solving (exact/beam only)")
+		ckptN    = flag.Int("checkpoint-every", 0, "steps between checkpoints (0 with -checkpoint = once at the end)")
+		resume   = flag.String("resume", "", "resume a solve from this checkpoint file instead of -app/-reqs")
 	)
 	flag.Parse()
 
@@ -57,7 +68,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtopt:", err)
 		os.Exit(1)
 	}
-	err = run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *workers, *outPath, *stats)
+	err = run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *workers, *outPath, *stats,
+		*ckptPath, *ckptN, *resume)
 	stop()
 	if err == nil {
 		err = profutil.WriteHeap(*memProf)
@@ -93,7 +105,92 @@ func load(app, reqsPath, gran string) (*model.MTSwitchInstance, error) {
 	return tr.MTInstance(g)
 }
 
-func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN, workers int, outPath string, stats bool) error {
+// steppedSolve drives a checkpointable engine in chunks of every steps,
+// snapshotting to ckptPath after each chunk (atomically: temp file +
+// rename, so a crash never leaves a torn checkpoint).
+func steppedSolve(ctx context.Context, eng solve.StepEngine, ckptPath string, every int) (*solve.Solution, error) {
+	if every <= 0 {
+		every = eng.Steps() // one chunk: checkpoint once, at the end
+	}
+	for {
+		done, err := eng.Advance(ctx, every)
+		if err != nil {
+			return nil, err
+		}
+		if ckptPath != "" {
+			data, err := eng.Checkpoint(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeFileAtomic(ckptPath, data); err != nil {
+				return nil, err
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return eng.Solution(ctx)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// runResumed continues a checkpointed solve.  The instance travels
+// inside the checkpoint, so nothing is loaded from -app/-reqs — which
+// also means instance-dependent outputs (-fig, -out) are unavailable.
+func runResumed(resumePath, solver, ckptPath string, ckptN, workers, beamN int, stats bool) error {
+	data, err := os.ReadFile(resumePath)
+	if err != nil {
+		return err
+	}
+	var o solve.Options
+	if solver == "beam" {
+		o = solve.Options{MaxStates: beamN, MaxCandidates: 4}
+	}
+	o.Workers = workers
+	eng, err := solve.ResumeStepEngine(context.Background(), solver, data, o)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	fmt.Printf("resumed %s from %s (%d steps)\n", solver, resumePath, eng.Steps())
+	sol, err := steppedSolve(context.Background(), eng, ckptPath, ckptN)
+	if err != nil {
+		return err
+	}
+	note := ""
+	if sol.Stats.Truncated {
+		note = " (upper bound)"
+	}
+	fmt.Printf("%-8s cost=%d, exact=%t%s\n", solver, sol.Cost, sol.Exact, note)
+	if stats {
+		fmt.Printf("  stats: states=%d evals=%d pruned=%d dedup=%d peak=%d wall=%s\n",
+			sol.Stats.StatesExpanded, sol.Stats.Evaluations, sol.Stats.CandidatesPruned,
+			sol.Stats.DedupHits, sol.Stats.PeakFrontier, sol.Stats.WallTime.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN, workers int, outPath string, stats bool, ckptPath string, ckptN int, resumePath string) error {
+	if (ckptPath != "" || resumePath != "") && solver == "all" {
+		return fmt.Errorf("-checkpoint/-resume need a single steppable solver (exact or beam), not -solver all")
+	}
+	if resumePath != "" {
+		if fig || outPath != "" {
+			return fmt.Errorf("-fig and -out need the original instance and are not supported with -resume")
+		}
+		return runResumed(resumePath, solver, ckptPath, ckptN, workers, beamN, stats)
+	}
 	ins, err := load(app, reqsPath, gran)
 	if err != nil {
 		return err
@@ -152,9 +249,23 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 			o = solve.Options{Pop: pop, Generations: gens, Seed: seed}
 		}
 		o.Workers = workers
-		sol, err := solve.Run(context.Background(), name, mtInst, o)
-		if err != nil {
-			return err
+		var sol *solve.Solution
+		if ckptPath != "" {
+			eng, err := solve.NewStepEngine(context.Background(), name, mtInst, o)
+			if err != nil {
+				return err
+			}
+			sol, err = steppedSolve(context.Background(), eng, ckptPath, ckptN)
+			eng.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("checkpoint written to %s\n", ckptPath)
+		} else {
+			sol, err = solve.Run(context.Background(), name, mtInst, o)
+			if err != nil {
+				return err
+			}
 		}
 		record(name, sol)
 	}

@@ -10,6 +10,11 @@
 // PR3 configuration — against the pruned engine on the phased m=4
 // workload and the dense workload, plus the memory-budget scenario
 // where pruning turns a degraded beam run back into an exact solve.
+//
+// The -bench6 mode records the incremental-solve baseline
+// (BENCH_PR6.json, EXPERIMENTS.md E18): appending the final 10% of a
+// dense trace to an already-solved stepped engine versus re-solving
+// the full trace from scratch.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
 	"repro/internal/solve"
@@ -41,6 +47,17 @@ var benchOpts = solve.Options{MaxStates: 500, MaxCandidates: 3}
 // in internal/mtswitch/prune_test.go.
 var denseWorkload = workload.Config{Tasks: 4, Steps: 48, Switches: 24, Density: 0.5, MeanPhase: 12, Seed: 3}
 
+// incrWorkload is the dense instance of the -bench6 incremental
+// baseline (EXPERIMENTS.md E18).  It is deliberately longer and
+// narrower than denseWorkload: candidates at step i are suffix unions
+// U_j(i,e), so frontier reuse on Extend requires the prefix's unions to
+// have saturated — enough short dense phases must have passed that
+// appending new phases no longer changes what early steps can install.
+// At 8 switches, density 0.85 and ~80 phases the prefix saturates
+// quickly; the E17 config (24 switches, ~4 phases) does not, and
+// extending it honestly re-solves from step 0.
+var incrWorkload = workload.Config{Tasks: 4, Steps: 160, Switches: 8, Density: 0.85, MeanPhase: 2, Seed: 7}
+
 // denseBudget is the MaxFrontierBytes budget of the -bench5 degradation
 // scenario: under it the unpruned engine must fall back to a beam while
 // the pruned engine still solves the dense workload exactly.
@@ -50,6 +67,10 @@ const denseBudget = 128 << 10
 type engineResult struct {
 	Engine  string `json:"engine"`  // "reference" or "packed"
 	Workers int    `json:"workers"` // expansion workers (reference is single-threaded)
+	// PruningEnabled is recorded explicitly per row: the PR3 baseline
+	// pins pruning off (the reference engine has none), and
+	// scripts/bench.sh --check must compare like with like.
+	PruningEnabled bool `json:"pruning_enabled"`
 	// GOMAXPROCS is recorded per row: rows measured on different
 	// machines or CPU budgets must not share one global value.
 	GOMAXPROCS  int     `json:"gomaxprocs"`
@@ -144,13 +165,16 @@ func engineBench(outPath string) error {
 			return fmt.Errorf("%s (workers=%d): %w", e.engine, e.workers, err)
 		}
 		er := engineResult{
-			Engine:      e.engine,
-			Workers:     e.workers,
-			GOMAXPROCS:  runtime.GOMAXPROCS(0),
-			NsPerOp:     float64(res.NsPerOp()),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			Cost:        int64(cost),
+			Engine:  e.engine,
+			Workers: e.workers,
+			// All PR3 rows run unpruned: the reference engine has no
+			// pruning layer and solvePacked disables it to match.
+			PruningEnabled: false,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			NsPerOp:        float64(res.NsPerOp()),
+			AllocsPerOp:    res.AllocsPerOp(),
+			BytesPerOp:     res.AllocedBytesPerOp(),
+			Cost:           int64(cost),
 		}
 		if refResult == nil {
 			er.SpeedupVsSequential = 1
@@ -190,6 +214,9 @@ func engineBench(outPath string) error {
 
 // pruneRun is one engine variant's measurement in BENCH_PR5.json.
 type pruneRun struct {
+	// PruningEnabled makes the measured configuration explicit in the
+	// schema instead of implicit in the field name above it.
+	PruningEnabled      bool    `json:"pruning_enabled"`
 	NsPerOp             float64 `json:"ns_per_op"`
 	Cost                int64   `json:"cost"`
 	StatesExpanded      int64   `json:"states_expanded"`
@@ -220,10 +247,11 @@ type pruneComparison struct {
 // budgetRun is one engine variant's outcome under the MaxFrontierBytes
 // budget of the degradation scenario.
 type budgetRun struct {
-	Cost          int64 `json:"cost"`
-	Degraded      bool  `json:"degraded"`
-	Truncated     bool  `json:"truncated"`
-	BudgetDropped int64 `json:"budget_dropped"`
+	PruningEnabled bool  `json:"pruning_enabled"`
+	Cost           int64 `json:"cost"`
+	Degraded       bool  `json:"degraded"`
+	Truncated      bool  `json:"truncated"`
+	BudgetDropped  int64 `json:"budget_dropped"`
 }
 
 // budgetScenario is the -bench5 degradation scenario: a workload that
@@ -266,6 +294,7 @@ func measurePrune(ctx context.Context, ins *model.MTSwitchInstance, opts solve.O
 		return pruneRun{}, err
 	}
 	return pruneRun{
+		PruningEnabled:      !opts.DisablePruning,
 		NsPerOp:             float64(res.NsPerOp()),
 		Cost:                int64(sol.Cost),
 		StatesExpanded:      sol.Stats.StatesExpanded,
@@ -366,10 +395,11 @@ func pruneBench(outPath string) error {
 			return budgetRun{}, err
 		}
 		return budgetRun{
-			Cost:          int64(sol.Cost),
-			Degraded:      sol.Stats.Degraded,
-			Truncated:     sol.Stats.Truncated,
-			BudgetDropped: sol.Stats.BudgetDropped,
+			PruningEnabled: !disable,
+			Cost:           int64(sol.Cost),
+			Degraded:       sol.Stats.Degraded,
+			Truncated:      sol.Stats.Truncated,
+			BudgetDropped:  sol.Stats.BudgetDropped,
 		}, nil
 	}
 	unpruned, err := budgeted(true)
@@ -414,5 +444,135 @@ func pruneBench(outPath string) error {
 		return err
 	}
 	fmt.Printf("pruning baseline written to %s\n", outPath)
+	return nil
+}
+
+// incrBaseline is the schema of BENCH_PR6.json: the cost of appending
+// the final 10% of a dense trace to an already-solved stepped engine,
+// against re-solving the whole trace from scratch.
+type incrBaseline struct {
+	Benchmark string          `json:"benchmark"`
+	Config    workload.Config `json:"config"`
+	// PruningEnabled is false by construction: incremental suffix reuse
+	// needs the retained per-step frames, which the engine only keeps
+	// with pruning off (a pruned engine falls back to a full rebuild on
+	// Extend — see DESIGN.md §10).
+	PruningEnabled bool `json:"pruning_enabled"`
+	PrefixSteps    int  `json:"prefix_steps"`
+	SuffixSteps    int  `json:"suffix_steps"`
+	// FromScratchExpanded is Stats.StatesExpanded for one solve of the
+	// full trace; SuffixExpanded is the engine's ResolveExpanded after
+	// Extend-ing the suffix onto the solved prefix.
+	FromScratchExpanded int64 `json:"from_scratch_expanded"`
+	SuffixExpanded      int64 `json:"suffix_expanded"`
+	// ExpansionReduction is from-scratch ÷ suffix (>1 means the
+	// incremental re-solve did less work); the baseline requires >= 5.
+	ExpansionReduction float64 `json:"expansion_reduction"`
+	Cost               int64   `json:"cost"`
+	// WorkersAgree records that the incremental solve returned the
+	// from-scratch cost at Workers 1, 2 and 8.
+	WorkersAgree bool `json:"workers_agree"`
+}
+
+// incrExtend solves the first prefix steps of ins in a stepped engine,
+// appends the rest, and reports the final solution plus the states the
+// suffix re-solve expanded.
+func incrExtend(ctx context.Context, ins *model.MTSwitchInstance, prefix int, opts solve.Options) (*solve.Solution, int64, error) {
+	prefReqs := make([][]bitset.Set, len(ins.Reqs))
+	for j, reqs := range ins.Reqs {
+		prefReqs[j] = make([]bitset.Set, prefix)
+		for i := 0; i < prefix; i++ {
+			prefReqs[j][i] = reqs[i].Clone()
+		}
+	}
+	pref, err := model.NewMTSwitchInstance(ins.Tasks, prefReqs)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng, err := solve.NewStepEngine(ctx, "exact", solve.NewMT(pref, parallel), opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer eng.Close()
+	if _, err := eng.Solution(ctx); err != nil {
+		return nil, 0, err
+	}
+	if err := eng.Extend(ctx, workload.StepRows(ins, prefix, ins.Steps())); err != nil {
+		return nil, 0, err
+	}
+	sol, err := eng.Solution(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sol, eng.ResolveExpanded(), nil
+}
+
+// incrBench measures incremental suffix re-solve against from-scratch
+// and writes BENCH_PR6.json.  The scenario is the acceptance criterion
+// of PR6: append the final 10% of a dense trace to a solved engine.
+func incrBench(outPath string) error {
+	ctx := context.Background()
+	ins, err := workload.Dense(incrWorkload)
+	if err != nil {
+		return err
+	}
+	opts := solve.Options{DisablePruning: true}
+	prefix := ins.Steps() * 9 / 10
+
+	scratch, err := mtswitch.SolveExact(ctx, ins, parallel, opts)
+	if err != nil {
+		return fmt.Errorf("from-scratch: %w", err)
+	}
+	sol, suffixExpanded, err := incrExtend(ctx, ins, prefix, opts)
+	if err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	if sol.Cost != scratch.Cost {
+		return fmt.Errorf("incremental cost %d != from-scratch cost %d", sol.Cost, scratch.Cost)
+	}
+	if suffixExpanded <= 0 {
+		return fmt.Errorf("suffix re-solve expanded no states (suspicious measurement)")
+	}
+	reduction := float64(scratch.Stats.StatesExpanded) / float64(suffixExpanded)
+	if reduction < 5 {
+		return fmt.Errorf("suffix re-solve expanded %d states vs %d from scratch (%.2fx < the required 5x)",
+			suffixExpanded, scratch.Stats.StatesExpanded, reduction)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		wopts := opts
+		wopts.Workers = workers
+		wsol, _, err := incrExtend(ctx, ins, prefix, wopts)
+		if err != nil {
+			return fmt.Errorf("incremental workers=%d: %w", workers, err)
+		}
+		if wsol.Cost != scratch.Cost {
+			return fmt.Errorf("incremental workers=%d cost %d != from-scratch cost %d", workers, wsol.Cost, scratch.Cost)
+		}
+	}
+
+	out := incrBaseline{
+		Benchmark:           "stepped engine: Extend final 10% of dense trace vs from-scratch (E18)",
+		Config:              incrWorkload,
+		PruningEnabled:      false,
+		PrefixSteps:         prefix,
+		SuffixSteps:         ins.Steps() - prefix,
+		FromScratchExpanded: scratch.Stats.StatesExpanded,
+		SuffixExpanded:      suffixExpanded,
+		ExpansionReduction:  reduction,
+		Cost:                int64(scratch.Cost),
+		WorkersAgree:        true,
+	}
+	fmt.Printf("incremental: from-scratch %d states | suffix (%d steps) %d states | reduction=%.1fx cost=%d\n",
+		out.FromScratchExpanded, out.SuffixSteps, out.SuffixExpanded, reduction, out.Cost)
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("incremental baseline written to %s\n", outPath)
 	return nil
 }

@@ -20,6 +20,7 @@
 //	paperbench -exp mesh       # the reconfigurable-mesh machine (E15)
 //	paperbench -bench          # frontier-engine bench baseline (E14)
 //	paperbench -bench5         # pruned-search bench baseline (E17)
+//	paperbench -bench6         # incremental-solve bench baseline (E18)
 package main
 
 import (
@@ -68,23 +69,34 @@ func main() {
 		benchOut  = flag.String("benchout", "BENCH_PR3.json", "output path for the -bench baseline")
 		bench5    = flag.Bool("bench5", false, "measure pruning vs the unpruned packed engine and write a JSON baseline (E17)")
 		bench5Out = flag.String("bench5out", "BENCH_PR5.json", "output path for the -bench5 baseline")
+		bench6    = flag.Bool("bench6", false, "measure incremental suffix re-solve vs from-scratch and write a JSON baseline (E18)")
+		bench6Out = flag.String("bench6out", "BENCH_PR6.json", "output path for the -bench6 baseline")
 	)
 	flag.Parse()
 
+	ranBench := false
 	if *bench {
 		if err := engineBench(*benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
-		if !*bench5 {
-			return
-		}
+		ranBench = true
 	}
 	if *bench5 {
 		if err := pruneBench(*bench5Out); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
+		ranBench = true
+	}
+	if *bench6 {
+		if err := incrBench(*bench6Out); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		ranBench = true
+	}
+	if ranBench {
 		return
 	}
 	if *exp == "" && *fig == 0 {

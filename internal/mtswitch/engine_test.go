@@ -1,0 +1,300 @@
+package mtswitch
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// prefixMT clones the first n steps of ins into a standalone instance
+// (same tasks, PublicGlobal and W), the from-scratch baseline for the
+// incremental property tests.
+func prefixMT(t *testing.T, ins *model.MTSwitchInstance, n int) *model.MTSwitchInstance {
+	t.Helper()
+	rows := make([][]bitset.Set, ins.NumTasks())
+	for j := range rows {
+		rows[j] = make([]bitset.Set, n)
+		for i := 0; i < n; i++ {
+			rows[j][i] = ins.Reqs[j][i].Clone()
+		}
+	}
+	out, err := model.NewMTSwitchInstance(ins.Tasks, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.PublicGlobal = ins.PublicGlobal
+	out.W = ins.W
+	return out
+}
+
+// stepRows extracts steps [from,to) of ins in the step-major shape
+// Extend/Amend take.
+func stepRows(ins *model.MTSwitchInstance, from, to int) [][]bitset.Set {
+	rows := make([][]bitset.Set, 0, to-from)
+	for i := from; i < to; i++ {
+		row := make([]bitset.Set, ins.NumTasks())
+		for j := range row {
+			row[j] = ins.Reqs[j][i].Clone()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// engineConfigs enumerates the full property-test matrix of the issue:
+// Workers {1,2,8} x pruning on and off.
+func engineConfigs() []solve.Options {
+	var out []solve.Options
+	for _, disable := range []bool{false, true} {
+		for _, workers := range agreementWorkers {
+			out = append(out, solve.Options{Workers: workers, DisablePruning: disable})
+		}
+	}
+	return out
+}
+
+// TestEngineExtendMatchesFromScratch is the issue's Extend property
+// test: growing a trace batch by batch through Engine.Extend must give,
+// after every batch, exactly the cost and schedule of a from-scratch
+// solve of the grown prefix — across Workers {1,2,8}, pruning on and
+// off, and every frontier upload mode.
+func TestEngineExtendMatchesFromScratch(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(61))
+	instances := []*model.MTSwitchInstance{phased(t)}
+	for k := 0; k < 8; k++ {
+		instances = append(instances, withPG(r, randomMT(r, 3, 5, 8)))
+	}
+	for ii, full := range instances {
+		n := full.Steps()
+		if n < 2 {
+			continue
+		}
+		// One batch plan per instance, shared by every configuration so
+		// the comparisons line up.
+		cuts := []int{1 + r.Intn(n-1)}
+		for cuts[len(cuts)-1] < n {
+			cuts = append(cuts, cuts[len(cuts)-1]+1+r.Intn(n-cuts[len(cuts)-1]))
+		}
+		for _, opt := range frontierOpts {
+			for _, o := range engineConfigs() {
+				eng, err := NewEngine(ctx, prefixMT(t, full, cuts[0]), opt, o, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for c := 0; c < len(cuts); c++ {
+					if c > 0 {
+						if err := eng.Extend(ctx, stepRows(full, cuts[c-1], cuts[c])); err != nil {
+							t.Fatalf("instance %d extend to %d: %v", ii, cuts[c], err)
+						}
+					}
+					got, err := eng.Solution(ctx)
+					if err != nil {
+						t.Fatalf("instance %d o %+v len %d: %v", ii, o, cuts[c], err)
+					}
+					want, err := SolveExact(ctx, prefixMT(t, full, cuts[c]), opt, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Cost != want.Cost || !sameSchedule(t, got.Schedule, want.Schedule) {
+						t.Fatalf("instance %d opt %+v o %+v: extended solve of %d steps cost %d, from-scratch %d (or schedules differ)",
+							ii, opt, o, cuts[c], got.Cost, want.Cost)
+					}
+					if lrs := eng.LastResolveStart(); lrs < 0 || lrs > cuts[c] {
+						t.Fatalf("instance %d: LastResolveStart %d outside [0,%d]", ii, lrs, cuts[c])
+					}
+				}
+				eng.Close()
+			}
+		}
+	}
+}
+
+// TestEngineAmendMatchesFromScratch: overwriting an interior window of
+// an already-solved trace and re-solving must match a from-scratch
+// solve of the amended trace, for every configuration.
+func TestEngineAmendMatchesFromScratch(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(67))
+	for k := 0; k < 8; k++ {
+		full := withPG(r, randomMT(r, 3, 5, 8))
+		n := full.Steps()
+		at := r.Intn(n)
+		width := 1 + r.Intn(n-at)
+		// Replacement rows, shared across configurations.
+		repl := make([][]bitset.Set, width)
+		for i := range repl {
+			repl[i] = make([]bitset.Set, full.NumTasks())
+			for j := range repl[i] {
+				s := bitset.New(full.Tasks[j].Local)
+				for b := 0; b < full.Tasks[j].Local; b++ {
+					if r.Intn(3) == 0 {
+						s.Add(b)
+					}
+				}
+				repl[i][j] = s
+			}
+		}
+		amended := prefixMT(t, full, n)
+		for i := 0; i < width; i++ {
+			for j := range amended.Reqs {
+				amended.Reqs[j][at+i] = repl[i][j].Clone()
+			}
+		}
+		for _, opt := range frontierOpts {
+			for _, o := range engineConfigs() {
+				eng, err := NewEngine(ctx, full, opt, o, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := eng.Solution(ctx); err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.Amend(ctx, at, repl); err != nil {
+					t.Fatalf("amend [%d,%d): %v", at, at+width, err)
+				}
+				got, err := eng.Solution(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := SolveExact(ctx, amended, opt, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cost != want.Cost || !sameSchedule(t, got.Schedule, want.Schedule) {
+					t.Fatalf("instance %d opt %+v o %+v amend [%d,%d): cost %d, from-scratch %d (or schedules differ)",
+						k, opt, o, at, at+width, got.Cost, want.Cost)
+				}
+				eng.Close()
+			}
+		}
+	}
+}
+
+// TestEngineRewindMatchesFromScratch: rewinding a completed solve to an
+// arbitrary step and running it again must reproduce the original
+// solution bit for bit (the issue's Rewind property test).
+func TestEngineRewindMatchesFromScratch(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(71))
+	for k := 0; k < 6; k++ {
+		full := withPG(r, randomMT(r, 3, 5, 8))
+		step := r.Intn(full.Steps() + 1)
+		for _, opt := range frontierOpts {
+			for _, o := range engineConfigs() {
+				eng, err := NewEngine(ctx, full, opt, o, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				first, err := eng.Solution(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.Rewind(step); err != nil {
+					t.Fatal(err)
+				}
+				again, err := eng.Solution(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if first.Cost != again.Cost || !sameSchedule(t, first.Schedule, again.Schedule) {
+					t.Fatalf("instance %d opt %+v o %+v rewind %d: cost %d then %d (or schedules differ)",
+						k, opt, o, step, first.Cost, again.Cost)
+				}
+				eng.Close()
+			}
+		}
+	}
+}
+
+// TestEngineSuffixReuse pins the point of the refactor: with pruning
+// off, appending a short suffix to a long solved trace must resume from
+// a late frontier (not step 0) and expand far fewer states than the
+// from-scratch solve did.
+func TestEngineSuffixReuse(t *testing.T) {
+	ctx := context.Background()
+	full := phased(t)
+	n := full.Steps()
+	o := solve.Options{Workers: 1, DisablePruning: true}
+	eng, err := NewEngine(ctx, prefixMT(t, full, n-1), frontierOpts[0], o, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Solution(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fromScratch := eng.e.stats.StatesExpanded
+	if err := eng.Extend(ctx, stepRows(full, n-1, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Solution(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if eng.LastResolveStart() == 0 {
+		t.Fatalf("appending one step re-solved from step 0; frontier reuse is broken")
+	}
+	if re := eng.ResolveExpanded(); re <= 0 || re >= fromScratch {
+		t.Fatalf("suffix re-solve expanded %d states, prefix solve expanded %d", re, fromScratch)
+	}
+}
+
+// TestEngineOneShotRejectsIncrementalOps: a one-shot engine (the
+// SolveExact path) must refuse Extend/Amend/Rewind rather than corrupt
+// pooled state.
+func TestEngineOneShotRejectsIncrementalOps(t *testing.T) {
+	ctx := context.Background()
+	ins := phased(t)
+	eng, err := NewEngine(ctx, ins, frontierOpts[0], solve.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Extend(ctx, stepRows(ins, 0, 1)); err == nil {
+		t.Fatal("one-shot Extend succeeded")
+	}
+	if err := eng.Amend(ctx, 0, stepRows(ins, 0, 1)); err == nil {
+		t.Fatal("one-shot Amend succeeded")
+	}
+	if err := eng.Rewind(0); err == nil {
+		t.Fatal("one-shot Rewind succeeded")
+	}
+}
+
+// TestEngineAdvancePartial: stepping in dribs and drabs must land on
+// the same solution as running to completion in one call.
+func TestEngineAdvancePartial(t *testing.T) {
+	ctx := context.Background()
+	full := phased(t)
+	for _, o := range engineConfigs() {
+		eng, err := NewEngine(ctx, full, frontierOpts[0], o, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			done, err := eng.Advance(ctx, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+		got, err := eng.Solution(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveExact(ctx, full, frontierOpts[0], o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || !sameSchedule(t, got.Schedule, want.Schedule) {
+			t.Fatalf("o %+v: stepped solve cost %d, one-shot %d (or schedules differ)", o, got.Cost, want.Cost)
+		}
+		eng.Close()
+	}
+}

@@ -66,75 +66,17 @@ func SolveExact(ctx context.Context, ins *model.MTSwitchInstance, opt model.Cost
 		return solveSequentialDecomposed(ctx, ins, opt)
 	}
 
-	// Pruned search layer (DESIGN.md §9): preprocess the instance,
-	// compute a warm-start incumbent, and hand both to the engine so it
-	// can cut dominated states and hopeless branches.  Pruning never
-	// changes the cost of an untruncated run; Options.DisablePruning
-	// restores the plain exhaustive expansion for baselining.
-	var (
-		px      *pruneContext
-		red     *reduction
-		incCost model.Cost
-		incMask [][]bool
-	)
-	target := ins
-	if !o.DisablePruning {
-		red = preprocess(ins)
-		px = &pruneContext{}
-		if red != nil {
-			target = red.ins
-			px.mult = red.mult
-			px.weights = red.weights
-		}
-		var err error
-		incCost, incMask, err = warmStart(ctx, ins, opt)
-		if err != nil {
-			return nil, err
-		}
-		px.incumbent = incCost
-	}
-
-	eng := getEngine()
-	defer putEngine(eng)
-	mask, dpCost, stats, err := eng.solvePacked(ctx, target, opt, o, px)
-	if red != nil {
-		stats.PreprocessReduction = red.cells
-	}
-	if err == errFrontierEmptied {
-		// A beam/candidate cap dropped every state at least as good as
-		// the incumbent; the incumbent itself is the answer (an upper
-		// bound, like any truncated result).
-		stats.Truncated = true
-		return incumbentSolution(ins, opt, incMask, stats)
-	}
+	// The stepped engine (engine.go) runs the whole pipeline — pruned
+	// layer setup, the packed DP stepped to the end, extraction and the
+	// incumbent fallback.  A one-shot engine reuses the pooled packed
+	// buffers and retains no per-step frames, so this path is
+	// bit-identical to the former monolithic solver.
+	eng, err := NewEngine(ctx, ins, opt, o, false)
 	if err != nil {
 		return nil, err
 	}
-	if red != nil {
-		mask = red.expandMask(mask)
-	}
-
-	// Canonicalize and reprice.  Canonical repricing can only improve on
-	// the DP value (the DP may hold over-long-horizon candidates for the
-	// final segments).
-	sched, err := ins.CanonicalSchedule(mask)
-	if err != nil {
-		return nil, err
-	}
-	cost, err := ins.Cost(sched, opt)
-	if err != nil {
-		return nil, err
-	}
-	if cost > dpCost {
-		return nil, fmt.Errorf("mtswitch: canonical repricing %d above DP bound %d", cost, dpCost)
-	}
-	if px != nil && cost > incCost {
-		// Only possible on a truncated run — an untruncated pruned DP
-		// always retains a path at most as expensive as the incumbent.
-		stats.Truncated = true
-		return incumbentSolution(ins, opt, incMask, stats)
-	}
-	return &Solution{Schedule: sched, Cost: cost, Stats: stats}, nil
+	defer eng.Close()
+	return eng.Solution(ctx)
 }
 
 // incumbentSolution prices the warm-start mask and returns it as the

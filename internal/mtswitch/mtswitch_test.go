@@ -22,7 +22,7 @@ func reqs(universe int, members ...[]int) []bitset.Set {
 var parallel = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
 var sequential = model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
 
-func mustMT(t *testing.T, tasks []model.Task, rows [][]bitset.Set) *model.MTSwitchInstance {
+func mustMT(t testing.TB, tasks []model.Task, rows [][]bitset.Set) *model.MTSwitchInstance {
 	t.Helper()
 	ins, err := model.NewMTSwitchInstance(tasks, rows)
 	if err != nil {
@@ -34,7 +34,7 @@ func mustMT(t *testing.T, tasks []model.Task, rows [][]bitset.Set) *model.MTSwit
 // phased builds the canonical demonstration instance: two tasks whose
 // requirement phases are deliberately misaligned, so partial
 // hyperreconfiguration beats aligned scheduling.
-func phased(t *testing.T) *model.MTSwitchInstance {
+func phased(t testing.TB) *model.MTSwitchInstance {
 	tasks := []model.Task{
 		{Name: "A", Local: 4, V: 4},
 		{Name: "B", Local: 4, V: 4},

@@ -299,7 +299,7 @@ type engine struct {
 	budgetCapped bool
 
 	// Pruned search layer (prune.go); populated from the pruneContext
-	// passed into solvePacked, inert when pruneOn is false.
+	// passed into beginSolve, inert when pruneOn is false.
 	pruneOn    bool
 	incumbent  model.Cost
 	mult       []model.Cost   // per-step multiplicities (nil = all ones)
@@ -321,6 +321,10 @@ type engine struct {
 	costs []model.Cost
 	count int
 	step  int
+
+	// maxStates is the per-step beam cap resolved by beginSolve (the
+	// Options.MaxStates default, possibly lowered by the byte budget).
+	maxStates int
 
 	gens []generation
 
@@ -671,12 +675,10 @@ type flat struct {
 
 func (f flat) state(i int32) []uint64 { return f.slab[int(i)*f.stride : (int(i)+1)*f.stride] }
 
-// runSteps executes the forward DP over all n steps.
-func (e *engine) runSteps(ctx context.Context, maxStates int) error {
-	n := e.ins.Steps()
-	sw, stride := e.lay.setWords, e.lay.stride()
-
-	// Root frontier: every task holds the empty hypercontext.
+// initRoot installs the root frontier (every task holds the empty
+// hypercontext) and rewinds the step counter.
+func (e *engine) initRoot() {
+	sw := e.lay.setWords
 	e.slab = growWords(e.slab, sw)
 	for i := range e.slab {
 		e.slab[i] = 0
@@ -687,156 +689,167 @@ func (e *engine) runSteps(ctx context.Context, maxStates int) error {
 	e.costs = e.costs[:1]
 	e.costs[0] = e.ins.W
 	e.count = 1
+	e.step = 0
+}
 
-	for e.step = 0; e.step < n; e.step++ {
-		// Chaos-harness site: injects slowness, errors or panics into
-		// the DP's step loop (one atomic load when disarmed).
-		if err := faultinject.Fire("mtswitch.step"); err != nil {
-			return err
-		}
-		e.stepMult = e.multAt(e.step)
-		// Phase 1 — sharded expansion over contiguous source chunks.
-		active := e.nshards
-		if active > e.count {
-			active = e.count
-		}
-		chunk := (e.count + active - 1) / active
-		var mu sync.Mutex
-		var expandErr error
-		if err := e.pool.Do(active, func(wk int) {
-			w := e.workers[wk]
-			w.table.reset()
-			for d := range w.byDest[:e.nshards] {
-				w.byDest[d] = w.byDest[d][:0]
-			}
-			lo := wk * chunk
-			hi := lo + chunk
-			if hi > e.count {
-				hi = e.count
-			}
-			if err := e.expandRange(ctx, w, lo, hi); err != nil {
-				mu.Lock()
-				if expandErr == nil {
-					expandErr = err
-				}
-				mu.Unlock()
-			}
-		}); err != nil {
-			return err
-		}
-		if expandErr != nil {
-			return expandErr
-		}
-		var produced, dropped int64
-		for _, w := range e.workers[:active] {
-			produced += w.statesExpanded
-			w.statesExpanded = 0
-			e.stats.BoundCutoffs += w.boundCut
-			w.boundCut = 0
-			dropped += w.table.dropped
-		}
-		e.stats.StatesExpanded += produced
-		if dropped > 0 {
-			// The worker-table budget cap bit: states were dropped
-			// before dedup, so the step is a (budget-forced) beam.
-			e.stats.BudgetDropped += dropped
-			e.stats.Truncated = true
-			e.stats.Degraded = true
-		}
-
-		// Phase 2 — merge by hash ownership, then flatten.
-		var fl flat
-		if active == 1 {
-			t := &e.workers[0].table
-			fl = flat{slab: t.slab, costs: t.costs, prevs: t.prevs, stride: stride, sw: sw}
-		} else {
-			if err := e.pool.Do(e.nshards, func(d int) { e.mergeShard(d, active) }); err != nil {
-				return err
-			}
-			e.tmpSlab = e.tmpSlab[:0]
-			e.tmpCosts = e.tmpCosts[:0]
-			e.tmpPrevs = e.tmpPrevs[:0]
-			for _, t := range e.shards[:e.nshards] {
-				e.tmpSlab = append(e.tmpSlab, t.slab...)
-				e.tmpCosts = append(e.tmpCosts, t.costs...)
-				e.tmpPrevs = append(e.tmpPrevs, t.prevs...)
-			}
-			fl = flat{slab: e.tmpSlab, costs: e.tmpCosts, prevs: e.tmpPrevs, stride: stride, sw: sw}
-		}
-		unique := len(fl.costs)
-		if unique == 0 {
-			if e.pruneOn {
-				return errFrontierEmptied
-			}
-			return fmt.Errorf("mtswitch: state frontier emptied at step %d", e.step)
-		}
-		e.stats.DedupHits += produced - dropped - int64(unique)
-		if int64(unique) > e.stats.PeakFrontier {
-			e.stats.PeakFrontier = int64(unique)
-		}
-
-		// Phase 3 — deterministic order: (cost, vector) is a total
-		// order over distinct vectors, so sorting needs no stability
-		// and every worker count yields the same frontier.
-		e.perm = e.perm[:0]
-		for i := 0; i < unique; i++ {
-			e.perm = append(e.perm, int32(i))
-		}
-		sort.Slice(e.perm, func(a, b int) bool {
-			pa, pb := e.perm[a], e.perm[b]
-			if fl.costs[pa] != fl.costs[pb] {
-				return fl.costs[pa] < fl.costs[pb]
-			}
-			return bitset.CompareWords(fl.state(pa)[:sw], fl.state(pb)[:sw]) < 0
-		})
-		// Dominance filtering runs on the sorted frontier (so the
-		// dominator is always the earlier, no-costlier state) and
-		// before any beam truncation, keeping the beam's slots for
-		// states that are not redundant.  The last step's frontier is
-		// never filtered: with no requirements left, only index 0 (the
-		// optimum) matters.
-		if e.pruneOn && e.step < n-1 && unique > 1 {
-			before := len(e.perm)
-			e.dominanceFilter(fl)
-			e.stats.DominanceHits += int64(before - len(e.perm))
-		}
-		survivors := len(e.perm)
-		kept := survivors
-		if kept > maxStates {
-			kept = maxStates
-			e.stats.Truncated = true
-			if e.budgetCapped {
-				e.stats.Degraded = true
-				e.stats.BudgetDropped += int64(survivors - kept)
-			}
-		}
-
-		// Phase 4 — promote the winners into the next frontier and
-		// retain this generation's reconstruction data.
-		e.slab = growWords(e.slab, kept*sw)
-		if cap(e.costs) < kept {
-			e.costs = make([]model.Cost, kept)
-		}
-		e.costs = e.costs[:kept]
-		gen := generation{prev: make([]int32, kept), hyper: make([]uint64, kept*e.lay.hyperWords)}
-		hw := e.lay.hyperWords
-		for r := 0; r < kept; r++ {
-			p := e.perm[r]
-			st := fl.state(p)
-			copy(e.slab[r*sw:(r+1)*sw], st[:sw])
-			copy(gen.hyper[r*hw:(r+1)*hw], st[sw:])
-			e.costs[r] = fl.costs[p]
-			gen.prev[r] = fl.prevs[p]
-		}
-		e.count = kept
-		e.gens = append(e.gens, gen)
+// stepOnce advances the DP by one step: it expands the frontier
+// entering step e.step into the frontier entering step e.step+1 and
+// increments the step counter.  Callers drive it from e.step == 0
+// (after initRoot) to e.step == Steps().
+func (e *engine) stepOnce(ctx context.Context) error {
+	n := e.ins.Steps()
+	sw, stride := e.lay.setWords, e.lay.stride()
+	// Chaos-harness site: injects slowness, errors or panics into
+	// the DP's step loop (one atomic load when disarmed).
+	if err := faultinject.Fire("mtswitch.step"); err != nil {
+		return err
 	}
+	e.stepMult = e.multAt(e.step)
+	// Phase 1 — sharded expansion over contiguous source chunks.
+	active := e.nshards
+	if active > e.count {
+		active = e.count
+	}
+	chunk := (e.count + active - 1) / active
+	var mu sync.Mutex
+	var expandErr error
+	if err := e.pool.Do(active, func(wk int) {
+		w := e.workers[wk]
+		w.table.reset()
+		for d := range w.byDest[:e.nshards] {
+			w.byDest[d] = w.byDest[d][:0]
+		}
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > e.count {
+			hi = e.count
+		}
+		if err := e.expandRange(ctx, w, lo, hi); err != nil {
+			mu.Lock()
+			if expandErr == nil {
+				expandErr = err
+			}
+			mu.Unlock()
+		}
+	}); err != nil {
+		return err
+	}
+	if expandErr != nil {
+		return expandErr
+	}
+	var produced, dropped int64
+	for _, w := range e.workers[:active] {
+		produced += w.statesExpanded
+		w.statesExpanded = 0
+		e.stats.BoundCutoffs += w.boundCut
+		w.boundCut = 0
+		dropped += w.table.dropped
+	}
+	e.stats.StatesExpanded += produced
+	if dropped > 0 {
+		// The worker-table budget cap bit: states were dropped
+		// before dedup, so the step is a (budget-forced) beam.
+		e.stats.BudgetDropped += dropped
+		e.stats.Truncated = true
+		e.stats.Degraded = true
+	}
+
+	// Phase 2 — merge by hash ownership, then flatten.
+	var fl flat
+	if active == 1 {
+		t := &e.workers[0].table
+		fl = flat{slab: t.slab, costs: t.costs, prevs: t.prevs, stride: stride, sw: sw}
+	} else {
+		if err := e.pool.Do(e.nshards, func(d int) { e.mergeShard(d, active) }); err != nil {
+			return err
+		}
+		e.tmpSlab = e.tmpSlab[:0]
+		e.tmpCosts = e.tmpCosts[:0]
+		e.tmpPrevs = e.tmpPrevs[:0]
+		for _, t := range e.shards[:e.nshards] {
+			e.tmpSlab = append(e.tmpSlab, t.slab...)
+			e.tmpCosts = append(e.tmpCosts, t.costs...)
+			e.tmpPrevs = append(e.tmpPrevs, t.prevs...)
+		}
+		fl = flat{slab: e.tmpSlab, costs: e.tmpCosts, prevs: e.tmpPrevs, stride: stride, sw: sw}
+	}
+	unique := len(fl.costs)
+	if unique == 0 {
+		if e.pruneOn {
+			return errFrontierEmptied
+		}
+		return fmt.Errorf("mtswitch: state frontier emptied at step %d", e.step)
+	}
+	e.stats.DedupHits += produced - dropped - int64(unique)
+	if int64(unique) > e.stats.PeakFrontier {
+		e.stats.PeakFrontier = int64(unique)
+	}
+
+	// Phase 3 — deterministic order: (cost, vector) is a total
+	// order over distinct vectors, so sorting needs no stability
+	// and every worker count yields the same frontier.
+	e.perm = e.perm[:0]
+	for i := 0; i < unique; i++ {
+		e.perm = append(e.perm, int32(i))
+	}
+	sort.Slice(e.perm, func(a, b int) bool {
+		pa, pb := e.perm[a], e.perm[b]
+		if fl.costs[pa] != fl.costs[pb] {
+			return fl.costs[pa] < fl.costs[pb]
+		}
+		return bitset.CompareWords(fl.state(pa)[:sw], fl.state(pb)[:sw]) < 0
+	})
+	// Dominance filtering runs on the sorted frontier (so the
+	// dominator is always the earlier, no-costlier state) and
+	// before any beam truncation, keeping the beam's slots for
+	// states that are not redundant.  The last step's frontier is
+	// never filtered: with no requirements left, only index 0 (the
+	// optimum) matters.
+	if e.pruneOn && e.step < n-1 && unique > 1 {
+		before := len(e.perm)
+		e.dominanceFilter(fl)
+		e.stats.DominanceHits += int64(before - len(e.perm))
+	}
+	survivors := len(e.perm)
+	kept := survivors
+	if kept > e.maxStates {
+		kept = e.maxStates
+		e.stats.Truncated = true
+		if e.budgetCapped {
+			e.stats.Degraded = true
+			e.stats.BudgetDropped += int64(survivors - kept)
+		}
+	}
+
+	// Phase 4 — promote the winners into the next frontier and
+	// retain this generation's reconstruction data.
+	e.slab = growWords(e.slab, kept*sw)
+	if cap(e.costs) < kept {
+		e.costs = make([]model.Cost, kept)
+	}
+	e.costs = e.costs[:kept]
+	gen := generation{prev: make([]int32, kept), hyper: make([]uint64, kept*e.lay.hyperWords)}
+	hw := e.lay.hyperWords
+	for r := 0; r < kept; r++ {
+		p := e.perm[r]
+		st := fl.state(p)
+		copy(e.slab[r*sw:(r+1)*sw], st[:sw])
+		copy(gen.hyper[r*hw:(r+1)*hw], st[sw:])
+		e.costs[r] = fl.costs[p]
+		gen.prev[r] = fl.prevs[p]
+	}
+	e.count = kept
+	e.gens = append(e.gens, gen)
+	e.step++
 	return nil
 }
 
-// solvePacked runs the packed engine and reconstructs the best
-// schedule's hyperreconfiguration mask.
-func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options, px *pruneContext) (mask [][]bool, dpCost model.Cost, stats solve.Stats, err error) {
+// beginSolve shapes the engine for a solve and leaves it positioned on
+// the root frontier: option resolution, buffer preparation, the
+// candidate catalog and the root state.  After a nil return the caller
+// owns e.pool (prepare always creates it, even when buildCandidates
+// later fails) and drives stepOnce until e.step reaches Steps().
+func (e *engine) beginSolve(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptions, o solve.Options, px *pruneContext) error {
 	maxStates := o.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
@@ -845,7 +858,6 @@ func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, o
 		maxStates = math.MaxInt32
 	}
 	e.prepare(ins, opt, o, px)
-	defer e.pool.Close()
 	if e.budgetStates > 0 && e.budgetStates < maxStates {
 		// The byte budget affords a smaller beam than the state cap:
 		// the budget-derived cap becomes the binding one, and any
@@ -853,16 +865,28 @@ func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, o
 		maxStates = e.budgetStates
 		e.budgetCapped = true
 	}
+	e.maxStates = maxStates
 	if err := e.buildCandidates(ctx, o); err != nil {
 		e.stats.StatesPruned = e.stats.DominanceHits + e.stats.BoundCutoffs
-		return nil, 0, e.stats, err
+		return err
 	}
-	if err := e.runSteps(ctx, maxStates); err != nil {
-		e.stats.StatesPruned = e.stats.DominanceHits + e.stats.BoundCutoffs
-		return nil, 0, e.stats, err
-	}
+	e.initRoot()
+	return nil
+}
 
-	m, n := ins.NumTasks(), ins.Steps()
+// releasePool closes and drops the engine's worker pool, if any.
+func (e *engine) releasePool() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+}
+
+// finishMask reconstructs the optimal schedule's hyperreconfiguration
+// mask from the back-pointer chains of a completed run and finalizes
+// the derived stats flags.
+func (e *engine) finishMask(o solve.Options) (mask [][]bool, dpCost model.Cost) {
+	m, n := e.ins.NumTasks(), e.ins.Steps()
 	mask = make([][]bool, m)
 	for j := range mask {
 		mask[j] = make([]bool, n)
@@ -880,5 +904,5 @@ func (e *engine) solvePacked(ctx context.Context, ins *model.MTSwitchInstance, o
 	}
 	e.stats.Truncated = e.stats.Truncated || o.MaxCandidates > 0
 	e.stats.StatesPruned = e.stats.DominanceHits + e.stats.BoundCutoffs
-	return mask, dpCost, e.stats, nil
+	return mask, dpCost
 }

@@ -7,37 +7,28 @@ import (
 	"repro/internal/solve"
 )
 
-// cachedResult is what the cache stores: the solution plus its
-// lazily-rendered, shared wire form, so serving a hot entry never
-// re-serializes the schedule document.
-type cachedResult struct {
-	sol  *solve.Solution
-	wire *wireMemo
-}
-
-// resultCache is a fixed-capacity LRU from content hash to completed
-// solution.  Cached solutions are shared by reference and treated as
-// immutable by everyone downstream (handlers only serialize them).
-type resultCache struct {
+// lruCache is the one fixed-capacity LRU underneath every service-side
+// store: the exact result cache, the canonical result store and the
+// evicted session checkpoints.  Keys are strings, values are opaque; a
+// non-positive capacity disables the cache (every Get misses).
+type lruCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 }
 
-type cacheEntry struct {
+type lruEntry struct {
 	key string
-	res *cachedResult
+	val any
 }
 
-// newResultCache builds a cache holding up to capacity entries; a
-// non-positive capacity disables caching (every Get misses).
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
 }
 
-// Get returns the cached result and refreshes its recency.
-func (c *resultCache) Get(key string) (*cachedResult, bool) {
+// Get returns the cached value and refreshes its recency.
+func (c *lruCache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -45,33 +36,77 @@ func (c *resultCache) Get(key string) (*cachedResult, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*lruEntry).val, true
 }
 
 // Put inserts or refreshes an entry, evicting the least recently used
 // one beyond capacity.
-func (c *resultCache) Put(key string, res *cachedResult) {
+func (c *lruCache) Put(key string, val any) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*lruEntry).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Delete removes an entry if present.
+func (c *lruCache) Delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
 	}
 }
 
 // Len reports the number of cached entries.
-func (c *resultCache) Len() int {
+func (c *lruCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// cachedResult is what the result cache stores: the solution plus its
+// lazily-rendered, shared wire form, so serving a hot entry never
+// re-serializes the schedule document.
+type cachedResult struct {
+	sol  *solve.Solution
+	wire *wireMemo
+}
+
+// resultCache is the typed view of the LRU from content hash to
+// completed solution.  Cached solutions are shared by reference and
+// treated as immutable by everyone downstream (handlers only serialize
+// them).
+type resultCache struct {
+	lru *lruCache
+}
+
+// newResultCache builds a cache holding up to capacity entries; a
+// non-positive capacity disables caching (every Get misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{lru: newLRUCache(capacity)}
+}
+
+func (c *resultCache) Get(key string) (*cachedResult, bool) {
+	v, ok := c.lru.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*cachedResult), true
+}
+
+func (c *resultCache) Put(key string, res *cachedResult) { c.lru.Put(key, res) }
+
+func (c *resultCache) Len() int { return c.lru.Len() }

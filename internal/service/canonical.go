@@ -1,11 +1,9 @@
 package service
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sync"
 
 	"repro/internal/model"
 	"repro/internal/mtswitch"
@@ -92,50 +90,28 @@ func (e *canonicalEntry) reconstruct(mt *model.MTSwitchInstance, cost model.Cost
 	}, true
 }
 
-// canonicalCache is a fixed-capacity LRU from canonical key to entry,
-// structured like resultCache (non-positive capacity disables it).
+// canonicalCache is the typed view of the LRU from canonical key to
+// entry, structured like resultCache (non-positive capacity disables
+// it).
 type canonicalCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List
-	items map[string]*list.Element
-}
-
-type canonicalCacheEntry struct {
-	key string
-	res *canonicalEntry
+	lru *lruCache
 }
 
 func newCanonicalCache(capacity int) *canonicalCache {
-	return &canonicalCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+	return &canonicalCache{lru: newLRUCache(capacity)}
 }
 
 func (c *canonicalCache) Get(key string) (*canonicalEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	v, ok := c.lru.Get(key)
 	if !ok {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*canonicalCacheEntry).res, true
+	return v.(*canonicalEntry), true
 }
 
 func (c *canonicalCache) Put(key string, res *canonicalEntry) {
-	if c.cap <= 0 || res == nil {
+	if res == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*canonicalCacheEntry).res = res
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&canonicalCacheEntry{key: key, res: res})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*canonicalCacheEntry).key)
-	}
+	c.lru.Put(key, res)
 }

@@ -2,13 +2,17 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/solve"
 )
 
 // maxBodyBytes bounds request bodies (a 4-task, 10k-step instance is
@@ -24,6 +28,14 @@ const maxBodyBytes = 16 << 20
 //	POST   /v1/solve          submit and wait for the terminal state
 //	GET    /healthz           liveness
 //	GET    /metrics           Prometheus text format
+//
+// plus the streaming-session API:
+//
+//	POST   /v1/sessions                open a session (solves the initial trace)
+//	GET    /v1/sessions/{id}           session status with the current schedule
+//	POST   /v1/sessions/{id}/steps     append (or amend) a batch of demand rows
+//	GET    /v1/sessions/{id}/schedule  long-poll past ?generation=N for a newer schedule
+//	DELETE /v1/sessions/{id}           close the session
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -31,6 +43,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/steps", s.handleSessionSteps)
+	mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSessionSchedule)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -191,6 +208,143 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusConflict
 	}
 	writeJSON(w, code, st)
+}
+
+// sessionError maps session-layer errors onto status codes, mirroring
+// submit's mapping for the shared error classes.
+func sessionError(w http.ResponseWriter, err error) {
+	var (
+		tooLarge    *TooLargeError
+		unavailable *SolverUnavailableError
+	)
+	switch {
+	case errors.As(err, &tooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, ErrSessionLimit):
+		retryAfterHeader(w, time.Second)
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &unavailable):
+		retryAfterHeader(w, unavailable.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrNoSuchSession):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, errSolveFailed):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// errSolveFailed wraps solve-time (as opposed to request-validation)
+// session errors so sessionError can answer 500 instead of 400.
+var errSolveFailed = errors.New("solve failed")
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	sess, err := s.CreateSession(r.Context(), &req)
+	if err != nil {
+		// A solve crash on the opening trace is a server-side failure,
+		// not a bad request (the session is discarded either way).
+		if isSolveFailure(err) {
+			sessionError(w, fmt.Errorf("%w: %v", errSolveFailed, err))
+		} else {
+			sessionError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Status())
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNoSuchSession)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+func (s *Server) handleSessionSteps(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNoSuchSession)
+		return
+	}
+	var batch SessionSteps
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&batch); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	st, err := sess.Steps(r.Context(), &batch)
+	if err != nil {
+		if isSolveFailure(err) {
+			sessionError(w, fmt.Errorf("%w: %v", errSolveFailed, err))
+			return
+		}
+		sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// isSolveFailure separates engine/solve failures (500) from request
+// validation failures (400): a panic, deadline or cancellation happens
+// after the batch was accepted into the trace, so it is a server-side
+// failure rather than a bad request.
+func isSolveFailure(err error) bool {
+	var pe *solve.PanicError
+	return errors.As(err, &pe) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+func (s *Server) handleSessionSchedule(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNoSuchSession)
+		return
+	}
+	var gen int64 = -1
+	if v := r.URL.Query().Get("generation"); v != "" {
+		g, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || g < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("invalid generation"))
+			return
+		}
+		gen = g
+	}
+	timeout := 30 * time.Second
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("invalid timeout_ms"))
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	writeJSON(w, http.StatusOK, sess.Wait(r.Context(), gen, timeout))
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.DeleteSession(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -57,6 +57,15 @@ type metrics struct {
 	breakerRejected atomic.Int64 // submits refused by an open circuit breaker
 	degraded        atomic.Int64 // completed jobs that gave up exactness for the memory budget
 
+	// Streaming-session counters.
+	sessionSteps    atomic.Int64 // demand rows accepted across all sessions
+	sessionsEvicted atomic.Int64 // engines checkpointed out under memory pressure
+	sessionsRevived atomic.Int64 // engines restored from an evicted checkpoint
+	// Suffix lengths of session re-solves (sum + count → mean): how much
+	// of the trace each batch actually re-solved.
+	suffixSum   atomic.Int64
+	suffixCount atomic.Int64
+
 	workersBusy atomic.Int64
 
 	mu          sync.Mutex
@@ -94,6 +103,13 @@ func (m *metrics) recordPanic(solver string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.panics[solver]++
+}
+
+// observeSuffix records how many trailing trace steps one session batch
+// re-solved.
+func (m *metrics) observeSuffix(n int64) {
+	m.suffixSum.Add(n)
+	m.suffixCount.Add(1)
 }
 
 // observe records one completed solve's wall time under its solver.
@@ -138,6 +154,9 @@ type gauges struct {
 	cacheEntries  int
 	jobsByState   map[JobState]int
 	breakerStates map[string]resilience.BreakerState
+
+	sessionsActive int
+	sessionBytes   int64
 }
 
 // render writes the Prometheus text exposition format.
@@ -165,6 +184,14 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	gauge("hyperd_workers", int64(g.workers))
 	gauge("hyperd_workers_busy", m.workersBusy.Load())
 	gauge("hyperd_cache_entries", int64(g.cacheEntries))
+	gauge("hyperd_sessions_active", int64(g.sessionsActive))
+	gauge("hyperd_session_engine_bytes", g.sessionBytes)
+	counter("hyperd_session_steps_total", m.sessionSteps.Load())
+	counter("hyperd_sessions_evicted_total", m.sessionsEvicted.Load())
+	counter("hyperd_sessions_revived_total", m.sessionsRevived.Load())
+	fmt.Fprintf(w, "# TYPE hyperd_session_resolve_suffix_len summary\n")
+	fmt.Fprintf(w, "hyperd_session_resolve_suffix_len_sum %d\n", m.suffixSum.Load())
+	fmt.Fprintf(w, "hyperd_session_resolve_suffix_len_count %d\n", m.suffixCount.Load())
 
 	fmt.Fprintf(w, "# TYPE hyperd_jobs gauge\n")
 	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {

@@ -45,6 +45,14 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker fails fast before
 	// admitting a half-open probe (default 10s).
 	BreakerCooldown time.Duration
+	// MaxSessions bounds the concurrent streaming sessions; creates
+	// beyond it are rejected with ErrSessionLimit (default 64).
+	MaxSessions int
+	// SessionBytes budgets the total frontier memory of live session
+	// engines; beyond it the least recently used engines are
+	// checkpointed out and closed (default 64 MiB; negative disables
+	// eviction).
+	SessionBytes int64
 
 	// breakerNow injects the breaker clock (tests only).
 	breakerNow func() time.Time
@@ -68,6 +76,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionBytes == 0 {
+		c.SessionBytes = 64 << 20
 	}
 	return c
 }
@@ -211,10 +225,11 @@ func (e *SolverUnavailableError) Error() string {
 // breakers and the metrics registry.  Create with New, serve with
 // Handler, stop with Shutdown.
 type Server struct {
-	cfg     Config
-	metrics *metrics
-	cache   *resultCache
-	canon   *canonicalCache
+	cfg      Config
+	metrics  *metrics
+	cache    *resultCache
+	canon    *canonicalCache
+	sessions *sessionStore
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -244,6 +259,7 @@ func New(cfg Config) *Server {
 		metrics:    newMetrics(),
 		cache:      newResultCache(cfg.CacheEntries),
 		canon:      newCanonicalCache(cfg.CacheEntries),
+		sessions:   newSessionStore(cfg.MaxSessions, cfg.SessionBytes),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
@@ -661,6 +677,7 @@ func (s *Server) gauges() gauges {
 	for name, br := range s.breakers {
 		g.breakerStates[name] = br.State()
 	}
+	g.sessionsActive, g.sessionBytes = s.sessions.gauges()
 	return g
 }
 
@@ -685,6 +702,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.closeSessions()
 	s.baseCancel() // cancels every job context, queued and running
 
 	done := make(chan struct{})

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/ga"
 	"repro/internal/mtdag"
 	"repro/internal/mtswitch"
@@ -64,6 +65,89 @@ func fromMTDAG(s *mtdag.Solution, exact bool) *solve.Solution {
 	}
 }
 
+// beamDefaults applies the beam solver's deliberately tight default
+// caps (MaxStates 3000, MaxCandidates 4) — the fast approximate
+// configuration used by the paper-experiment pipeline.
+func beamDefaults(opts solve.Options) solve.Options {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 3000
+	}
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 4
+	}
+	return opts
+}
+
+// stepperSolver decorates a registered solver with the solve.Stepper
+// capability: incremental MT-Switch sessions backed by the mtswitch
+// stepped engine.  defaults mirrors the solver's one-shot option
+// defaulting (beam's tight caps) so a stepped solve and a Run-routed
+// solve of the same trace agree exactly.
+type stepperSolver struct {
+	solve.Solver
+	defaults func(opts solve.Options) solve.Options
+	exact    bool
+}
+
+func (s *stepperSolver) NewStepEngine(ctx context.Context, inst *solve.Instance, opts solve.Options) (solve.StepEngine, error) {
+	if inst.Kind() != solve.KindMTSwitch {
+		return nil, fmt.Errorf("%w: solver %q steps only mtswitch instances, not %v",
+			solve.ErrNotSteppable, s.Name(), inst.Kind())
+	}
+	if s.defaults != nil {
+		opts = s.defaults(opts)
+	}
+	eng, err := mtswitch.NewEngine(ctx, inst.MT, inst.Cost, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	return &mtStepEngine{eng: eng, exact: s.exact}, nil
+}
+
+func (s *stepperSolver) ResumeStepEngine(ctx context.Context, data []byte, opts solve.Options) (solve.StepEngine, error) {
+	// The checkpoint carries the solve-shaping options itself; only the
+	// resuming process's parallelism is taken from opts.
+	eng, err := mtswitch.ResumeEngine(ctx, data, opts.Workers, true)
+	if err != nil {
+		return nil, err
+	}
+	return &mtStepEngine{eng: eng, exact: s.exact}, nil
+}
+
+// mtStepEngine adapts *mtswitch.Engine to solve.StepEngine.
+type mtStepEngine struct {
+	eng   *mtswitch.Engine
+	exact bool
+}
+
+func (m *mtStepEngine) Steps() int { return m.eng.Steps() }
+func (m *mtStepEngine) Extend(ctx context.Context, steps [][]bitset.Set) error {
+	return m.eng.Extend(ctx, steps)
+}
+func (m *mtStepEngine) Amend(ctx context.Context, at int, steps [][]bitset.Set) error {
+	return m.eng.Amend(ctx, at, steps)
+}
+func (m *mtStepEngine) Rewind(step int) error { return m.eng.Rewind(step) }
+func (m *mtStepEngine) Advance(ctx context.Context, maxSteps int) (bool, error) {
+	return m.eng.Advance(ctx, maxSteps)
+}
+func (m *mtStepEngine) Solution(ctx context.Context) (*solve.Solution, error) {
+	s, err := m.eng.Solution(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sol := fromMT(s, m.exact && !s.Stats.Truncated)
+	sol.Kind = solve.KindMTSwitch
+	return sol, nil
+}
+func (m *mtStepEngine) Checkpoint(ctx context.Context) ([]byte, error) {
+	return m.eng.Checkpoint(ctx)
+}
+func (m *mtStepEngine) LastResolveStart() int  { return m.eng.LastResolveStart() }
+func (m *mtStepEngine) ResolveExpanded() int64 { return m.eng.ResolveExpanded() }
+func (m *mtStepEngine) SizeBytes() int64       { return m.eng.SizeBytes() }
+func (m *mtStepEngine) Close()                 { m.eng.Close() }
+
 // mtdagInstance rebuilds the native mtdag.Instance from the normalized
 // task list (solve cannot import mtdag without an import cycle, so the
 // Instance carries a mirror struct).
@@ -80,7 +164,7 @@ func init() {
 	// the joint-hypercontext DP for MT-Switch (exact while within
 	// MaxStates; Solution.Exact reports whether truncation happened),
 	// and the joint-vector DP for MT-DAG.
-	solve.Register(solve.NewSolver("exact",
+	solve.Register(&stepperSolver{exact: true, Solver: solve.NewSolver("exact",
 		solve.Capabilities{
 			Kinds: []solve.Kind{solve.KindSwitch, solve.KindGeneral, solve.KindDAG, solve.KindMTSwitch, solve.KindMTDAG},
 			Exact: true,
@@ -124,7 +208,7 @@ func init() {
 			default:
 				return nil, fmt.Errorf("solvers: exact: unsupported kind %v", inst.Kind())
 			}
-		}))
+		})})
 
 	// fast: the O(n·(L+K)) single-task Switch DP (same optimum as
 	// exact, different algorithm).
@@ -232,21 +316,15 @@ func init() {
 	// beam: the joint-hypercontext DP with deliberately tight default
 	// caps (MaxStates 3000, MaxCandidates 4) — the fast approximate
 	// configuration used by the paper-experiment pipeline.
-	solve.Register(solve.NewSolver("beam",
+	solve.Register(&stepperSolver{defaults: beamDefaults, Solver: solve.NewSolver("beam",
 		solve.Capabilities{Kinds: []solve.Kind{solve.KindMTSwitch}},
 		func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
-			if opts.MaxStates <= 0 {
-				opts.MaxStates = 3000
-			}
-			if opts.MaxCandidates <= 0 {
-				opts.MaxCandidates = 4
-			}
-			s, err := mtswitch.SolveExact(ctx, inst.MT, inst.Cost, opts)
+			s, err := mtswitch.SolveExact(ctx, inst.MT, inst.Cost, beamDefaults(opts))
 			if err != nil {
 				return nil, err
 			}
 			return fromMT(s, false), nil
-		}))
+		})})
 
 	// ga: the paper's genetic algorithm over joint
 	// hyperreconfiguration masks.

@@ -18,6 +18,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/model"
@@ -216,6 +217,106 @@ func Uniform(cfg Config) (*model.MTSwitchInstance, error) {
 		}
 	}
 	return model.NewMTSwitchInstance(cfg.tasks(), reqs)
+}
+
+// StreamConfig shapes a streaming trace: a generated instance replayed
+// as an opening batch plus timed increments, the arrival pattern the
+// session API consumes.
+type StreamConfig struct {
+	// Workload shapes the underlying instance (including the seed that
+	// makes the whole stream deterministic).
+	Workload Config
+	// Generator names the instance generator (default "phased"; see
+	// Generators).
+	Generator string
+	// Initial is how many steps the opening batch carries (default 2,
+	// clamped to the trace length).
+	Initial int
+	// MeanBatch is the mean rows per subsequent batch (default 2).
+	MeanBatch int
+	// MeanGap is the mean inter-batch arrival gap; 0 leaves the batches
+	// untimed (every At is 0) for tests that drive the trace as fast as
+	// possible.
+	MeanGap time.Duration
+}
+
+// Batch is one timed increment of a streaming trace: step-major demand
+// rows (Rows[i][j] is task j's requirement) arriving At after the
+// stream opened.
+type Batch struct {
+	At   time.Duration
+	Rows [][]bitset.Set
+}
+
+// Stream is a full trace with its arrival schedule: the instance the
+// final schedule is for, the opening batch, and the timed increments
+// that grow the opening batch into the full trace.
+type Stream struct {
+	Instance *model.MTSwitchInstance
+	Initial  [][]bitset.Set
+	Batches  []Batch
+}
+
+// StepRows extracts the step-major rows [from, to) of an instance —
+// the shape streaming batches and the session steps API use.
+func StepRows(mt *model.MTSwitchInstance, from, to int) [][]bitset.Set {
+	rows := make([][]bitset.Set, 0, to-from)
+	for i := from; i < to; i++ {
+		row := make([]bitset.Set, mt.NumTasks())
+		for j := range row {
+			row[j] = mt.Reqs[j][i].Clone()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Streaming generates an instance and partitions it into a
+// deterministic arrival schedule.  Batch sizes and gaps are drawn from
+// a stream-local random source, so the same Config yields the same
+// instance whether consumed whole or streamed.
+func Streaming(cfg StreamConfig) (*Stream, error) {
+	name := cfg.Generator
+	if name == "" {
+		name = "phased"
+	}
+	gen, ok := Generators()[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown generator %q", name)
+	}
+	mt, err := gen(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	initial := cfg.Initial
+	if initial <= 0 {
+		initial = 2
+	}
+	if initial > mt.Steps() {
+		initial = mt.Steps()
+	}
+	meanBatch := cfg.MeanBatch
+	if meanBatch <= 0 {
+		meanBatch = 2
+	}
+
+	// A distinct seed offset keeps the arrival schedule independent of
+	// the requirement draws while staying a pure function of the config.
+	r := rand.New(rand.NewSource(cfg.Workload.withDefaults().Seed ^ 0x53747265616d))
+	out := &Stream{Instance: mt, Initial: StepRows(mt, 0, initial)}
+	at := time.Duration(0)
+	for step := initial; step < mt.Steps(); {
+		size := phaseLength(r, meanBatch)
+		if step+size > mt.Steps() {
+			size = mt.Steps() - step
+		}
+		if cfg.MeanGap > 0 {
+			at += time.Duration(phaseLength(r, int(cfg.MeanGap/time.Millisecond))) * time.Millisecond
+		}
+		out.Batches = append(out.Batches, Batch{At: at, Rows: StepRows(mt, step, step+size)})
+		step += size
+	}
+	return out, nil
 }
 
 // Generators lists the named generators for sweeps.

@@ -3,6 +3,9 @@ package workload
 import (
 	"context"
 	"testing"
+	"time"
+
+	"repro/internal/bitset"
 
 	"repro/internal/ga"
 	"repro/internal/model"
@@ -133,5 +136,86 @@ func TestGeneratedInstancesSolvable(t *testing.T) {
 		if ex.Cost < lb {
 			t.Fatalf("%s: exact %d below bound %d", name, ex.Cost, lb)
 		}
+	}
+}
+
+func TestStreamingCoversTraceDeterministically(t *testing.T) {
+	cfg := StreamConfig{
+		Workload:  Config{Tasks: 3, Steps: 20, Switches: 8, Seed: 42},
+		Generator: "dense",
+		Initial:   3,
+		MeanBatch: 2,
+		MeanGap:   4 * time.Millisecond,
+	}
+	a, err := Streaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Streaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The opening batch plus every increment reassembles exactly the
+	// instance, row for row.
+	check := func(s *Stream) {
+		if len(s.Initial) != 3 {
+			t.Fatalf("initial batch %d rows, want 3", len(s.Initial))
+		}
+		step := 0
+		rows := append([][]bitset.Set{}, s.Initial...)
+		for _, batch := range s.Batches {
+			if len(batch.Rows) == 0 {
+				t.Fatal("empty batch")
+			}
+			rows = append(rows, batch.Rows...)
+		}
+		if len(rows) != s.Instance.Steps() {
+			t.Fatalf("stream carries %d rows, instance has %d", len(rows), s.Instance.Steps())
+		}
+		for i, row := range rows {
+			for j := range row {
+				if !row[j].Equal(s.Instance.Reqs[j][i]) {
+					t.Fatalf("row %d task %d differs from the instance", i, j)
+				}
+			}
+			step++
+		}
+	}
+	check(a)
+	check(b)
+
+	// Same config, same stream: instance, batching and timing all match.
+	if len(a.Batches) != len(b.Batches) {
+		t.Fatalf("batch counts differ: %d vs %d", len(a.Batches), len(b.Batches))
+	}
+	var last time.Duration
+	for k := range a.Batches {
+		if a.Batches[k].At != b.Batches[k].At || len(a.Batches[k].Rows) != len(b.Batches[k].Rows) {
+			t.Fatalf("batch %d differs between identical configs", k)
+		}
+		if a.Batches[k].At < last {
+			t.Fatalf("batch %d arrives before its predecessor", k)
+		}
+		last = a.Batches[k].At
+	}
+	if last == 0 {
+		t.Fatal("MeanGap set but no batch has a positive arrival time")
+	}
+
+	// Untimed streams leave every At at zero.
+	cfg.MeanGap = 0
+	c, err := Streaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range c.Batches {
+		if batch.At != 0 {
+			t.Fatal("untimed stream has a positive arrival time")
+		}
+	}
+
+	if _, err := Streaming(StreamConfig{Generator: "nope"}); err == nil {
+		t.Fatal("unknown generator accepted")
 	}
 }

@@ -7,7 +7,7 @@
 #                               on a >10% ns/op regression against
 #                               scripts/bench_baseline.txt
 #
-# The regenerate mode writes three artifacts, all committed:
+# The regenerate mode writes four artifacts, all committed:
 #
 #   BENCH_PR3.json            frontier-engine comparison (reference DP
 #                             vs packed engine at Workers=1 and
@@ -22,6 +22,14 @@
 #                             memory-budget scenario where pruning
 #                             restores exactness; produced by
 #                             `paperbench -bench5` (EXPERIMENTS.md E17).
+#   BENCH_PR6.json            incremental-solve comparison: states
+#                             expanded appending the final 10% of a
+#                             dense trace to a solved stepped engine vs
+#                             re-solving from scratch; produced by
+#                             `paperbench -bench6` (EXPERIMENTS.md E18).
+#
+# Every JSON row records pruning_enabled explicitly, so --check and any
+# downstream diffing compare like with like.
 #   scripts/bench_baseline.txt raw `go test -bench` output of the
 #                             frontier/scaling benchmarks, the input of
 #                             the --check mode and of CI's
@@ -69,6 +77,7 @@ fi
 
 go run ./cmd/paperbench -bench -benchout BENCH_PR3.json
 go run ./cmd/paperbench -bench5 -bench5out BENCH_PR5.json
+go run ./cmd/paperbench -bench6 -bench6out BENCH_PR6.json
 
 go test -run '^$' -bench "$BENCH_PATTERN" \
 	-benchmem -count 1 . | tee scripts/bench_baseline.txt
