@@ -1,0 +1,469 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// benchLimits are the node clamps the bench mirrors everywhere — the
+// spawned nodes, the router and the shard-key computation — matching
+// the serve defaults so external clusters started with plain
+// `hyperd -peers ...` hash identically.
+var benchLimits = service.RouteLimits{
+	MaxSolveTimeout:  time.Minute,
+	MaxFrontierBytes: 1 << 30,
+}
+
+type clusterBenchOpts struct {
+	solver, gen            string
+	tasks, steps, switches int
+	conc                   int
+	duration               time.Duration
+	workers                int
+	nodes                  int
+	routerURL, peers       string
+	twins                  int
+	jsonPath               string
+}
+
+// clusterBenchReport is the -json document.
+type clusterBenchReport struct {
+	Benchmark    string  `json:"benchmark"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Nodes        int     `json:"nodes"`
+	InProcess    bool    `json:"in_process"`
+	Solver       string  `json:"solver"`
+	Generator    string  `json:"generator"`
+	Conc         int     `json:"conc"`
+	PhaseSeconds float64 `json:"phase_seconds"`
+
+	SingleNodeCachedRPS float64 `json:"single_node_cached_rps"`
+	ClusterCachedRPS    float64 `json:"cluster_cached_rps"`
+	ClusterVsSingle     float64 `json:"cluster_vs_single"`
+
+	Twins struct {
+		Pairs             int   `json:"pairs"`
+		TwinCacheHits     int   `json:"twin_cache_hits"`
+		PeerFillHits      int64 `json:"peer_fill_hits"`
+		ByteIdentical     bool  `json:"byte_identical_schedules"`
+		RouterFailovers   int64 `json:"router_failovers"`
+		RouterNoNodeTotal int64 `json:"router_no_node_total"`
+	} `json:"twins"`
+}
+
+// benchNode is one in-process cluster node.
+type benchNode struct {
+	srv     *service.Server
+	httpSrv *http.Server
+}
+
+// clusterBench is `hyperd bench -cluster`: spawn (or attach to) an
+// N-node cluster plus a router, measure cached serving throughput
+// against a single node, then run the twin-correctness phase — every
+// structural twin submitted to a NON-owner node must be answered
+// through peer cache fill with a schedule byte-identical to the
+// single-node answer.
+func clusterBench(w io.Writer, o clusterBenchOpts) error {
+	generate, ok := workload.Generators()[o.gen]
+	if !ok {
+		return fmt.Errorf("unknown generator %q", o.gen)
+	}
+
+	var (
+		nodeURLs  []string
+		routerURL string
+		cleanup   []func()
+	)
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+	external := o.routerURL != "" || o.peers != ""
+	if external {
+		if o.routerURL == "" || o.peers == "" {
+			return fmt.Errorf("external cluster mode needs both -router and -peers")
+		}
+		routerURL = strings.TrimRight(o.routerURL, "/")
+		for _, p := range strings.Split(o.peers, ",") {
+			id, err := cluster.NormalizeMemberURL(p)
+			if err != nil {
+				return fmt.Errorf("-peers: %w", err)
+			}
+			nodeURLs = append(nodeURLs, id)
+		}
+	} else {
+		if o.nodes < 2 {
+			return fmt.Errorf("cluster bench needs at least 2 nodes, got %d", o.nodes)
+		}
+		var err error
+		nodeURLs, routerURL, cleanup, err = spawnCluster(o.nodes, o.workers)
+		if err != nil {
+			return err
+		}
+	}
+
+	// The reference single node: the correctness oracle and the cached
+	// throughput baseline.
+	refSrv := service.New(service.Config{
+		Workers:          o.workers,
+		QueueDepth:       4096,
+		CacheEntries:     1 << 20,
+		MaxSolveTimeout:  benchLimits.MaxSolveTimeout,
+		MaxFrontierBytes: benchLimits.MaxFrontierBytes,
+		NodeID:           "bench-single",
+	})
+	refLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	refHTTP := &http.Server{Handler: refSrv.Handler()}
+	go refHTTP.Serve(refLn)
+	refURL := "http://" + refLn.Addr().String()
+	cleanup = append(cleanup, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		refSrv.Shutdown(ctx)
+		refHTTP.Shutdown(ctx)
+	})
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.conc}}
+	makeBody := func(seed int64) ([]byte, error) {
+		mt, err := generate(workload.Config{
+			Tasks: o.tasks, Steps: o.steps, Switches: o.switches, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(service.SolveRequest{
+			Solver:   o.solver,
+			Instance: service.WireInstanceFrom(mt),
+		})
+	}
+	post := func(base string, body []byte) (*service.JobStatus, error) {
+		resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %d: %.200s", base, resp.StatusCode, raw)
+		}
+		var st service.JobStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return nil, err
+		}
+		return &st, nil
+	}
+	postOK := func(base string) func([]byte) error {
+		return func(body []byte) error {
+			_, err := post(base, body)
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "hyperd bench -cluster: nodes=%d solver=%s gen=%s m=%d n=%d l=%d conc=%d phase=%v gomaxprocs=%d\n",
+		len(nodeURLs), o.solver, o.gen, o.tasks, o.steps, o.switches, o.conc, o.duration, runtime.GOMAXPROCS(0))
+
+	report := &clusterBenchReport{
+		Benchmark:    "hyperd cluster: consistent-hash routing, peer cache fill, cross-node singleflight",
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Nodes:        len(nodeURLs),
+		InProcess:    !external,
+		Solver:       o.solver,
+		Generator:    o.gen,
+		Conc:         o.conc,
+		PhaseSeconds: o.duration.Seconds(),
+	}
+
+	// Phase 1 — single-node cached baseline.
+	hot, err := makeBody(-1)
+	if err != nil {
+		return err
+	}
+	if _, err := post(refURL, hot); err != nil {
+		return fmt.Errorf("single-node warm-up: %w", err)
+	}
+	single, err := phase(o.conc, o.duration, func() ([]byte, error) { return hot, nil }, postOK(refURL))
+	if err != nil {
+		return err
+	}
+	report.SingleNodeCachedRPS = single.rate()
+	fmt.Fprintf(w, "single cached:  %d served (%d failed) in %v = %.1f req/s\n",
+		single.requests, single.failures, single.elapsed.Round(time.Millisecond), single.rate())
+
+	// Phase 2 — cluster cached, through the router.
+	if _, err := post(routerURL, hot); err != nil {
+		return fmt.Errorf("cluster warm-up: %w", err)
+	}
+	clustered, err := phase(o.conc, o.duration, func() ([]byte, error) { return hot, nil }, postOK(routerURL))
+	if err != nil {
+		return err
+	}
+	report.ClusterCachedRPS = clustered.rate()
+	if single.rate() > 0 {
+		report.ClusterVsSingle = clustered.rate() / single.rate()
+	}
+	fmt.Fprintf(w, "cluster cached: %d served (%d failed) in %v = %.1f req/s (%.2fx single)\n",
+		clustered.requests, clustered.failures, clustered.elapsed.Round(time.Millisecond),
+		clustered.rate(), report.ClusterVsSingle)
+
+	// Phase 3 — twin correctness: original via the router, structural
+	// twin directly to a node that does NOT own the key.  The twin must
+	// be served through peer fill (cache hit, no local solve) and its
+	// schedule must match the single-node oracle byte for byte.
+	ring, err := cluster.NewRing(nodeURLs, cluster.DefaultVNodes)
+	if err != nil {
+		return err
+	}
+	byteIdentical := true
+	twinHits := 0
+	for i := 0; i < o.twins; i++ {
+		mt, err := generate(workload.Config{
+			Tasks: o.tasks, Steps: o.steps, Switches: o.switches, Seed: int64(1000 + i),
+		})
+		if err != nil {
+			return err
+		}
+		wire := service.WireInstanceFrom(mt)
+		orig := &service.SolveRequest{Solver: o.solver, Instance: wire}
+		twin := &service.SolveRequest{Solver: o.solver, Instance: twinWire(wire)}
+
+		origBody, err := json.Marshal(orig)
+		if err != nil {
+			return err
+		}
+		twinBody, err := json.Marshal(twin)
+		if err != nil {
+			return err
+		}
+		if _, err := post(routerURL, origBody); err != nil {
+			return fmt.Errorf("twin pair %d original: %w", i, err)
+		}
+
+		key, err := orig.RoutingKey(benchLimits)
+		if err != nil {
+			return err
+		}
+		owner := ring.Owner(key)
+		nonOwner := ""
+		for _, u := range nodeURLs {
+			if u != owner {
+				nonOwner = u
+				break
+			}
+		}
+		st, err := post(nonOwner, twinBody)
+		if err != nil {
+			return fmt.Errorf("twin pair %d: %w", i, err)
+		}
+		if st.CacheHit {
+			twinHits++
+		}
+
+		// The oracle answers the same pair on one node.
+		if _, err := post(refURL, origBody); err != nil {
+			return err
+		}
+		refSt, err := post(refURL, twinBody)
+		if err != nil {
+			return err
+		}
+		if st.Result == nil || refSt.Result == nil {
+			return fmt.Errorf("twin pair %d: missing result", i)
+		}
+		if st.Result.Cost != refSt.Result.Cost {
+			return fmt.Errorf("twin pair %d: cluster cost %d != single-node cost %d",
+				i, st.Result.Cost, refSt.Result.Cost)
+		}
+		if !bytes.Equal(st.Result.Schedule, refSt.Result.Schedule) {
+			byteIdentical = false
+			fmt.Fprintf(w, "twin pair %d: schedule bytes differ from single-node oracle\n", i)
+		}
+	}
+	report.Twins.Pairs = o.twins
+	report.Twins.TwinCacheHits = twinHits
+	report.Twins.ByteIdentical = byteIdentical
+
+	var fillHits int64
+	for _, u := range nodeURLs {
+		v, err := scrapeCounter(client, u, "hyperd_cluster_peer_fill_hits_total")
+		if err != nil {
+			return err
+		}
+		fillHits += v
+	}
+	report.Twins.PeerFillHits = fillHits
+	report.Twins.RouterFailovers, _ = scrapeCounter(client, routerURL, "hyperd_router_failovers_total")
+	report.Twins.RouterNoNodeTotal, _ = scrapeCounter(client, routerURL, "hyperd_router_no_node_total")
+
+	fmt.Fprintf(w, "twins: %d pairs, %d served as cache hits on non-owner nodes, %d peer fills, byte-identical=%t\n",
+		o.twins, twinHits, fillHits, byteIdentical)
+
+	if o.jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(o.jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.jsonPath)
+	}
+
+	if single.failures > 0 || clustered.failures > 0 {
+		return fmt.Errorf("%d requests failed", single.failures+clustered.failures)
+	}
+	if fillHits == 0 {
+		return fmt.Errorf("no peer cache fills observed — the cluster served twins without the fill protocol")
+	}
+	if twinHits < o.twins {
+		return fmt.Errorf("%d/%d twins missed the peer-filled cache", o.twins-twinHits, o.twins)
+	}
+	if !byteIdentical {
+		return fmt.Errorf("cluster schedules are not byte-identical to single-node")
+	}
+	return nil
+}
+
+// spawnCluster starts n in-process nodes wired with peer-fill clients,
+// plus a router in front.  Listeners come up first so every node knows
+// the full member list before it serves.
+func spawnCluster(n, workers int) (nodeURLs []string, routerURL string, cleanup []func(), err error) {
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, "", cleanup, err
+		}
+		lns[i] = ln
+		nodeURLs = append(nodeURLs, "http://"+ln.Addr().String())
+	}
+	for i, ln := range lns {
+		set, err := cluster.NewMemberSet(nodeURLs, cluster.DefaultVNodes)
+		if err != nil {
+			return nil, "", cleanup, err
+		}
+		self := nodeURLs[i]
+		pc, err := cluster.NewPeerClient(cluster.PeerClientConfig{Self: self, Members: set})
+		if err != nil {
+			return nil, "", cleanup, err
+		}
+		srv := service.New(service.Config{
+			Workers:          workers,
+			QueueDepth:       4096,
+			CacheEntries:     1 << 20,
+			MaxSolveTimeout:  benchLimits.MaxSolveTimeout,
+			MaxFrontierBytes: benchLimits.MaxFrontierBytes,
+			NodeID:           fmt.Sprintf("bench-node-%d", i),
+			PeerFill:         pc,
+			ClusterStatus:    func() *service.RingStatus { return set.Status(self) },
+		})
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		node := benchNode{srv: srv, httpSrv: hs}
+		cleanup = append(cleanup, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			node.srv.Shutdown(ctx)
+			node.httpSrv.Shutdown(ctx)
+		})
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Peers:  nodeURLs,
+		Limits: benchLimits,
+	})
+	if err != nil {
+		return nil, "", cleanup, err
+	}
+	cleanup = append(cleanup, rt.Close)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", cleanup, err
+	}
+	rHTTP := &http.Server{Handler: rt.Handler()}
+	go rHTTP.Serve(rln)
+	routerURL = "http://" + rln.Addr().String()
+	cleanup = append(cleanup, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rHTTP.Shutdown(ctx)
+	})
+	return nodeURLs, routerURL, cleanup, nil
+}
+
+// twinWire builds a structural twin of a wire instance: task order
+// reversed, tasks renamed, every task's switch columns reversed.  The
+// canonical form is unchanged; the literal request is not.
+func twinWire(in *service.WireInstance) *service.WireInstance {
+	m := len(in.Tasks)
+	out := &service.WireInstance{}
+	for i := m - 1; i >= 0; i-- {
+		t := in.Tasks[i]
+		out.Tasks = append(out.Tasks, service.WireTask{
+			Name:  fmt.Sprintf("twin_%d", m-1-i),
+			Local: t.Local,
+			V:     t.V,
+		})
+	}
+	for _, row := range in.Reqs {
+		tr := make([]string, 0, m)
+		for i := m - 1; i >= 0; i-- {
+			tr = append(tr, reverseCell(row[i]))
+		}
+		out.Reqs = append(out.Reqs, tr)
+	}
+	return out
+}
+
+func reverseCell(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// scrapeCounter pulls one Prometheus counter off a /metrics page
+// (labels ignored, values summed).
+func scrapeCounter(client *http.Client, base, name string) (int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(?:\{[^}]*\})? (\d+)$`)
+	var total int64
+	for _, m := range re.FindAllSubmatch(raw, -1) {
+		v, err := strconv.ParseInt(string(m[1]), 10, 64)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}

@@ -12,10 +12,23 @@
 //	             [-switches 16] [-conc 32] [-duration 2s]
 //	hyperd bench -sessions [-solver exact] [-gen dense] [-tasks 4] [-steps 64]
 //	             [-switches 16] [-batch 2] [-no-pruning]
+//	hyperd bench -cluster [-nodes 3] [-twins 24] [-json out.json]
+//	             [-router URL -peers URL,URL,...]
+//	hyperd route -peers URL,URL,... [-addr 127.0.0.1:8078] [-vnodes 64]
+//	             [-sticky N] [-max-timeout 60s] [-max-frontier-bytes N]
 //
 // The default mode serves until SIGINT/SIGTERM, then shuts down
 // gracefully: new submits are rejected, queued jobs drain as canceled,
 // and in-flight solves stop at their next cancellation checkpoint.
+// With -peers and -self it joins a cluster: canonical-cache misses are
+// filled from the ring siblings over GET /v1/cache/{key} before the
+// local pool solves, and a fill may park on a sibling's in-flight twin
+// solve (cross-node singleflight).
+//
+// route is the cluster front door: it hashes solve submissions onto
+// the nodes by canonical form (twins land on one owner), fails over
+// along the ring past unhealthy members, and pins job polls and
+// streaming sessions to the node holding their state.
 //
 // bench starts an in-process daemon on a loopback port and drives it
 // over real HTTP with synthetic internal/workload instances: first an
@@ -41,11 +54,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/profutil"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -56,6 +71,13 @@ func main() {
 	if len(args) > 0 && args[0] == "bench" {
 		if err := runBench(args[1:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "hyperd bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "route" {
+		if err := runRoute(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperd route:", err)
 			os.Exit(1)
 		}
 		return
@@ -80,12 +102,20 @@ func runServe(args []string) error {
 		maxSess    = fs.Int("max-sessions", 64, "concurrent streaming sessions")
 		sessBytes  = fs.Int64("session-bytes", 64<<20, "total session engine memory before LRU engines are checkpointed out (negative disables)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+
+		peers      = fs.String("peers", "", "comma-separated base URLs of every cluster node, this one included (enables peer cache fill)")
+		self       = fs.String("self", "", "this node's own base URL as listed in -peers (required with -peers)")
+		nodeID     = fs.String("node-id", "", "node identity reported in /v1/healthz (default: -self, else \"hyperd\")")
+		vnodes     = fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the hash ring (must match the router's)")
+		peerFanout = fs.Int("peer-fanout", cluster.DefaultFanout, "ring siblings asked per canonical-cache miss")
+		peerWait   = fs.Duration("peer-wait", cluster.DefaultPeerWait, "how long a sibling may park a fill on its in-flight twin solve")
+		healthInt  = fs.Duration("health-interval", time.Second, "peer health sweep period (cluster mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheEntries:     *cache,
@@ -95,7 +125,45 @@ func runServe(args []string) error {
 		BreakerCooldown:  *brkCool,
 		MaxSessions:      *maxSess,
 		SessionBytes:     *sessBytes,
-	})
+		NodeID:           *nodeID,
+	}
+	if *peers != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (this node's own URL in the list)")
+		}
+		selfID, err := cluster.NormalizeMemberURL(*self)
+		if err != nil {
+			return fmt.Errorf("-self: %w", err)
+		}
+		set, err := cluster.NewMemberSet(strings.Split(*peers, ","), *vnodes)
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+		if _, ok := set.Member(selfID); !ok {
+			return fmt.Errorf("-self %q is not in -peers %q", selfID, *peers)
+		}
+		pc, err := cluster.NewPeerClient(cluster.PeerClientConfig{
+			Self:    selfID,
+			Members: set,
+			Fanout:  *peerFanout,
+			Wait:    *peerWait,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.PeerFill = pc
+		cfg.ClusterStatus = func() *service.RingStatus { return set.Status(selfID) }
+		if cfg.NodeID == "" {
+			cfg.NodeID = selfID
+		}
+		checker := cluster.NewHealthChecker(set, *healthInt, nil, selfID)
+		checker.Start()
+		defer checker.Stop()
+		fmt.Fprintf(os.Stderr, "hyperd: cluster mode, self=%s members=%d vnodes=%d\n",
+			selfID, len(set.Members()), *vnodes)
+	}
+
+	srv := service.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -159,12 +227,27 @@ func runBench(args []string, w io.Writer) error {
 		sessions = fs.Bool("sessions", false, "bench the streaming session API instead of the job queue")
 		batch    = fs.Int("batch", 2, "mean rows per streamed batch (sessions mode)")
 		noPrune  = fs.Bool("no-pruning", false, "disable the pruned-search layer (sessions mode; pruning forces full re-solves)")
+
+		clusterM  = fs.Bool("cluster", false, "bench an N-node cluster behind a router instead of a single daemon")
+		nodes     = fs.Int("nodes", 3, "in-process cluster size (cluster mode)")
+		routerURL = fs.String("router", "", "existing router base URL; with -peers, bench that cluster instead of spawning one")
+		peersF    = fs.String("peers", "", "existing cluster node base URLs, comma-separated (with -router)")
+		twins     = fs.Int("twins", 24, "twin pairs driven through the peer-fill correctness phase (cluster mode)")
+		jsonOut   = fs.String("json", "", "write the cluster bench report to this file (cluster mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sessions {
 		return sessionBench(w, *solver, *gen, *tasks, *steps, *switches, *batch, *workers, *noPrune)
+	}
+	if *clusterM || *routerURL != "" {
+		return clusterBench(w, clusterBenchOpts{
+			solver: *solver, gen: *gen, tasks: *tasks, steps: *steps, switches: *switches,
+			conc: *conc, duration: *duration, workers: *workers,
+			nodes: *nodes, routerURL: *routerURL, peers: *peersF,
+			twins: *twins, jsonPath: *jsonOut,
+		})
 	}
 	generate, ok := workload.Generators()[*gen]
 	if !ok {

@@ -1,0 +1,27 @@
+// Package cluster shards the hyperd solve service across nodes.
+//
+// The shard key is the canonical form of the instance
+// (mtswitch.CanonicalForm via service.SolveRequest.RoutingKey), so
+// structural twins — the same problem up to task order, task names and
+// switch-column labels — hash to the same node no matter which client
+// submits them.  Three pieces cooperate:
+//
+//   - Ring: a consistent-hash ring with virtual nodes.  Lookup returns
+//     the full deterministic preference order for a key, so failover
+//     ("next ring position") needs no coordination.
+//   - Router: a stateless-ish HTTP proxy in front of N hyperd nodes.
+//     Solve submissions route by shard key with health-checked failover
+//     and a per-node circuit breaker; job polls and streaming sessions
+//     follow sticky assignments learned from the routed responses
+//     (sessions hold node-local engine state, so stickiness is
+//     mandatory, not an optimization).
+//   - PeerClient: the node-side fill protocol.  On a canonical-cache
+//     miss a node asks its ring-adjacent siblings via
+//     GET /v1/cache/{key} before solving; a sibling that is solving the
+//     same canonical key right now parks the request on that in-flight
+//     job (cross-node singleflight) instead of answering a miss.
+//
+// Everything is deterministic given the member list: the ring hash is
+// SHA-256, members are sorted before placement, and a dead node's keys
+// always fail over to the same successor.
+package cluster

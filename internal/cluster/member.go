@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Member is one hyperd node as seen by a router or a sibling node: its
+// ring identity (the normalized base URL) and its last observed
+// health.  Members start healthy so a cluster serves before the first
+// sweep completes; the checker flips them as evidence arrives.
+type Member struct {
+	// ID is the ring identity.
+	ID string
+	// URL is the node's base URL ("http://host:port", no trailing
+	// slash).
+	URL string
+
+	unhealthy atomic.Bool
+	checks    atomic.Int64 // completed health probes (tests and /v1/healthz)
+}
+
+// Healthy reports the last observed health.
+func (m *Member) Healthy() bool { return !m.unhealthy.Load() }
+
+// SetHealthy records an observation (exported so a load generator or
+// test can pin a member's state without running a checker).
+func (m *Member) SetHealthy(ok bool) {
+	m.unhealthy.Store(!ok)
+	m.checks.Add(1)
+}
+
+// NormalizeMemberURL canonicalizes one peer URL into a ring identity:
+// scheme defaults to http, trailing slashes are dropped.
+func NormalizeMemberURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", errEmptyPeer
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	if u.Host == "" {
+		return "", errEmptyPeer
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+var errEmptyPeer = errInvalid("cluster: empty peer url")
+
+type errInvalid string
+
+func (e errInvalid) Error() string { return string(e) }
+
+// MemberSet is an immutable set of members plus their shared ring.
+type MemberSet struct {
+	ring *Ring
+	byID map[string]*Member
+	list []*Member // sorted by ID, same order as ring.Members()
+}
+
+// NewMemberSet normalizes the peer URLs, builds the ring and the
+// member records.
+func NewMemberSet(peers []string, vnodes int) (*MemberSet, error) {
+	byID := map[string]*Member{}
+	for _, raw := range peers {
+		id, err := NormalizeMemberURL(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := byID[id]; !ok {
+			byID[id] = &Member{ID: id, URL: id}
+		}
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	ring, err := NewRing(ids, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	set := &MemberSet{ring: ring, byID: byID}
+	sort.Strings(ids)
+	for _, id := range ids {
+		set.list = append(set.list, byID[id])
+	}
+	return set, nil
+}
+
+// Ring returns the set's consistent-hash ring.
+func (s *MemberSet) Ring() *Ring { return s.ring }
+
+// Member looks a member up by ring id.
+func (s *MemberSet) Member(id string) (*Member, bool) {
+	m, ok := s.byID[id]
+	return m, ok
+}
+
+// Members returns the members in ring (sorted-id) order.
+func (s *MemberSet) Members() []*Member {
+	out := make([]*Member, len(s.list))
+	copy(out, s.list)
+	return out
+}
+
+// Status renders the set as the /v1/healthz ring document.
+func (s *MemberSet) Status(self string) *service.RingStatus {
+	st := &service.RingStatus{Self: self, VNodes: s.ring.VNodes()}
+	for _, m := range s.list {
+		st.Members = append(st.Members, service.MemberHealth{
+			ID: m.ID, URL: m.URL, Healthy: m.Healthy(),
+		})
+	}
+	return st
+}
+
+// HealthChecker sweeps every member's GET /v1/healthz on an interval
+// and flips their Healthy state.  A single failed probe marks a member
+// down (the router's per-node breaker smooths flapping); a single
+// success brings it back.
+type HealthChecker struct {
+	set      *MemberSet
+	client   *http.Client
+	interval time.Duration
+	skip     string // member id never probed (a node does not probe itself)
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewHealthChecker builds a checker over the set.  skip names a member
+// to leave permanently healthy (the local node); empty skips nobody.
+func NewHealthChecker(set *MemberSet, interval time.Duration, client *http.Client, skip string) *HealthChecker {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if client == nil {
+		client = &http.Client{Timeout: interval}
+	}
+	return &HealthChecker{
+		set:      set,
+		client:   client,
+		interval: interval,
+		skip:     skip,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// CheckNow probes every member once, synchronously (startup and
+// tests).
+func (h *HealthChecker) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range h.set.list {
+		if m.ID == h.skip {
+			continue
+		}
+		wg.Add(1)
+		go func(m *Member) {
+			defer wg.Done()
+			m.SetHealthy(h.probe(ctx, m))
+		}(m)
+	}
+	wg.Wait()
+}
+
+// probe reports one member's liveness: any 200 from /v1/healthz.
+func (h *HealthChecker) probe(ctx context.Context, m *Member) bool {
+	ctx, cancel := context.WithTimeout(ctx, h.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Start launches the periodic sweep.
+func (h *HealthChecker) Start() {
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		ctx := context.Background()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.CheckNow(ctx)
+			}
+		}
+	}()
+}
+
+// Stop halts the sweep and waits for it to exit.
+func (h *HealthChecker) Stop() {
+	h.once.Do(func() { close(h.stop) })
+	<-h.done
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// routerMetrics is the router's Prometheus surface.  Per-node request
+// counters are pre-allocated from the immutable member set, so the hot
+// path is a single atomic add with no lock.
+type routerMetrics struct {
+	requests  map[string]*atomic.Int64 // member id -> routed requests
+	failovers atomic.Int64
+	noNode    atomic.Int64
+	errors    atomic.Int64
+}
+
+func newRouterMetrics(set *MemberSet) *routerMetrics {
+	m := &routerMetrics{requests: map[string]*atomic.Int64{}}
+	for _, mem := range set.Members() {
+		m.requests[mem.ID] = &atomic.Int64{}
+	}
+	return m
+}
+
+// observe counts one request routed to a member.
+func (m *routerMetrics) observe(member string) {
+	if c, ok := m.requests[member]; ok {
+		c.Add(1)
+	}
+}
+
+// render writes the Prometheus text exposition.
+func (m *routerMetrics) render(w io.Writer, rt *Router) {
+	fmt.Fprintln(w, "# HELP hyperd_router_requests_total Requests routed per node.")
+	fmt.Fprintln(w, "# TYPE hyperd_router_requests_total counter")
+	ids := make([]string, 0, len(m.requests))
+	for id := range m.requests {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(w, "hyperd_router_requests_total{node=%q} %d\n", id, m.requests[id].Load())
+	}
+	fmt.Fprintln(w, "# HELP hyperd_router_failovers_total Submissions retried on a lower-preference node.")
+	fmt.Fprintln(w, "# TYPE hyperd_router_failovers_total counter")
+	fmt.Fprintf(w, "hyperd_router_failovers_total %d\n", m.failovers.Load())
+	fmt.Fprintln(w, "# HELP hyperd_router_no_node_total Requests that found no healthy node.")
+	fmt.Fprintln(w, "# TYPE hyperd_router_no_node_total counter")
+	fmt.Fprintf(w, "hyperd_router_no_node_total %d\n", m.noNode.Load())
+	fmt.Fprintln(w, "# HELP hyperd_router_upstream_errors_total Transport failures against nodes.")
+	fmt.Fprintln(w, "# TYPE hyperd_router_upstream_errors_total counter")
+	fmt.Fprintf(w, "hyperd_router_upstream_errors_total %d\n", m.errors.Load())
+	fmt.Fprintln(w, "# HELP hyperd_router_sticky_jobs Learned job placements held.")
+	fmt.Fprintln(w, "# TYPE hyperd_router_sticky_jobs gauge")
+	fmt.Fprintf(w, "hyperd_router_sticky_jobs %d\n", rt.jobs.len())
+	fmt.Fprintln(w, "# HELP hyperd_router_sticky_sessions Learned session placements held.")
+	fmt.Fprintln(w, "# TYPE hyperd_router_sticky_sessions gauge")
+	fmt.Fprintf(w, "hyperd_router_sticky_sessions %d\n", rt.sessions.len())
+	fmt.Fprintln(w, "# HELP hyperd_router_node_healthy Last observed member health (1 healthy, 0 down).")
+	fmt.Fprintln(w, "# TYPE hyperd_router_node_healthy gauge")
+	for _, mem := range rt.members.Members() {
+		v := 0
+		if mem.Healthy() {
+			v = 1
+		}
+		fmt.Fprintf(w, "hyperd_router_node_healthy{node=%q} %d\n", mem.ID, v)
+	}
+}

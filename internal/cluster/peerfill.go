@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/service"
+)
+
+// Peer-fill tuning defaults: how many ring-adjacent siblings a node
+// asks on a canonical-cache miss, and how long a sibling may park the
+// request on an in-flight twin solve before answering a miss.
+const (
+	DefaultFanout   = 2
+	DefaultPeerWait = time.Second
+)
+
+// PeerClientConfig configures a node's peer-fill client.
+type PeerClientConfig struct {
+	// Self is the node's own ring id; it is skipped during fill.
+	Self string
+	// Members supplies the ring and health state.
+	Members *MemberSet
+	// Client performs the HTTP fetches; nil selects a default with a
+	// timeout slightly above Wait.
+	Client *http.Client
+	// Fanout caps how many siblings are asked per miss (default 2).
+	Fanout int
+	// Wait is the wait_ms forwarded to siblings — how long each may
+	// hold the request against an in-flight twin solve (default 1s,
+	// capped server-side at 10s).
+	Wait time.Duration
+	// Breaker tunes the per-peer circuit breaker.
+	Breaker resilience.BreakerConfig
+}
+
+// PeerClient implements service.PeerFiller: on a local canonical-cache
+// miss it walks the key's ring preference order and asks up to Fanout
+// healthy siblings for their cached (or in-flight) entry before the
+// local node solves.  Each sibling has its own circuit breaker so a
+// dead peer costs one connection error per cooldown, not per miss.
+type PeerClient struct {
+	cfg      PeerClientConfig
+	breakers map[string]*resilience.Breaker
+}
+
+// NewPeerClient builds the client.  Members is required.
+func NewPeerClient(cfg PeerClientConfig) (*PeerClient, error) {
+	if cfg.Members == nil {
+		return nil, fmt.Errorf("cluster: peer client needs a member set")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = DefaultFanout
+	}
+	if cfg.Wait <= 0 {
+		cfg.Wait = DefaultPeerWait
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.Wait + 5*time.Second}
+	}
+	pc := &PeerClient{cfg: cfg, breakers: map[string]*resilience.Breaker{}}
+	for _, m := range cfg.Members.Members() {
+		pc.breakers[m.ID] = resilience.NewBreaker(cfg.Breaker)
+	}
+	return pc, nil
+}
+
+// Fill implements service.PeerFiller.  It returns the first valid
+// entry any sibling supplies, or (nil, false) after the fanout budget
+// is spent.
+func (pc *PeerClient) Fill(key string) (*service.PeerEntry, bool) {
+	asked := 0
+	for _, id := range pc.cfg.Members.Ring().Lookup(key) {
+		if asked >= pc.cfg.Fanout {
+			break
+		}
+		if id == pc.cfg.Self {
+			continue
+		}
+		m, ok := pc.cfg.Members.Member(id)
+		if !ok || !m.Healthy() {
+			continue
+		}
+		br := pc.breakers[id]
+		if ok, _ := br.Allow(); !ok {
+			continue
+		}
+		asked++
+		pe, err := pc.fetch(m.URL, key)
+		if err != nil {
+			br.Failure()
+			continue
+		}
+		br.Success()
+		if pe != nil {
+			return pe, true
+		}
+	}
+	return nil, false
+}
+
+// fetch asks one sibling.  A 404 is a successful probe with no entry
+// (nil, nil); transport errors and unexpected statuses count against
+// the peer's breaker.
+func (pc *PeerClient) fetch(base, key string) (*service.PeerEntry, error) {
+	waitMS := pc.cfg.Wait.Milliseconds()
+	u := fmt.Sprintf("%s/v1/cache/%s?wait_ms=%d", base, url.PathEscape(key), waitMS)
+	ctx, cancel := context.WithTimeout(context.Background(), pc.cfg.Wait+5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := pc.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("cluster: peer %s returned %d for cache key", base, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	pe, err := service.DecodePeerEntry(body)
+	if err != nil {
+		return nil, err
+	}
+	if pe.Key != key {
+		return nil, fmt.Errorf("cluster: peer %s answered key %q for %q", base, pe.Key, key)
+	}
+	return pe, nil
+}

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/solve"
+)
+
+// fillerHook late-binds a PeerFiller: the service.Config needs one at
+// New() time, but the PeerClient needs the node URLs, which httptest
+// assigns after the handlers exist.
+type fillerHook struct {
+	mu sync.Mutex
+	f  service.PeerFiller
+}
+
+func (h *fillerHook) set(f service.PeerFiller) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.f = f
+}
+
+func (h *fillerHook) Fill(key string) (*service.PeerEntry, bool) {
+	h.mu.Lock()
+	f := h.f
+	h.mu.Unlock()
+	if f == nil {
+		return nil, false
+	}
+	return f.Fill(key)
+}
+
+// metricValue scrapes one counter out of a /metrics exposition.
+func metricValue(t *testing.T, url, name string) int64 {
+	t.Helper()
+	_, raw := getBody(t, url+"/metrics")
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(?:\{[^}]*\})? (\d+)$`)
+	m := re.FindSubmatch(raw)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, raw)
+	}
+	v, err := strconv.ParseInt(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitJob(t *testing.T, j *service.Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+}
+
+// TestPeerFillTwinAcrossNodes is the cross-node twin replay property:
+// for a family of instances, solving the original on node A and then
+// submitting a structural twin to node B (which has never seen the
+// problem) must serve the twin from A's canonical entry via peer fill
+// — same cost, no second solve, schedule re-labeled in the twin's own
+// task names.
+func TestPeerFillTwinAcrossNodes(t *testing.T) {
+	sA, tsA := newNode(t, service.Config{Workers: 1, NodeID: "node-a"})
+	hook := &fillerHook{}
+	sB, tsB := newNode(t, service.Config{Workers: 1, NodeID: "node-b", PeerFill: hook})
+
+	set, err := NewMemberSet([]string{tsA.URL, tsB.URL}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := NormalizeMemberURL(tsB.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPeerClient(PeerClientConfig{Self: self, Members: set, Wait: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook.set(pc)
+
+	for i := 0; i < 8; i++ {
+		req := solveRequest(i)
+		orig, _, err := sA.Submit(req)
+		if err != nil {
+			t.Fatalf("case %d: submit original: %v", i, err)
+		}
+		waitJob(t, orig)
+		origSol, err := orig.Solution()
+		if err != nil {
+			t.Fatalf("case %d: original solve: %v", i, err)
+		}
+
+		twinJob, _, err := sB.Submit(twinOf(req))
+		if err != nil {
+			t.Fatalf("case %d: submit twin: %v", i, err)
+		}
+		if !twinJob.CacheHit {
+			t.Fatalf("case %d: twin was solved locally instead of peer-filled", i)
+		}
+		waitJob(t, twinJob)
+		twinSol, err := twinJob.Solution()
+		if err != nil {
+			t.Fatalf("case %d: twin result: %v", i, err)
+		}
+		if twinSol.Cost != origSol.Cost {
+			t.Fatalf("case %d: twin cost %d != original %d", i, twinSol.Cost, origSol.Cost)
+		}
+		if twinSol.Exact != origSol.Exact {
+			t.Fatalf("case %d: twin exact=%t, original=%t", i, twinSol.Exact, origSol.Exact)
+		}
+
+		// The replayed schedule must carry the twin's task labels, not the
+		// original's — the entry is re-labeled per requester.
+		st := twinJob.Snapshot()
+		if st.Result == nil || st.Result.Schedule == nil {
+			t.Fatalf("case %d: twin has no schedule document", i)
+		}
+		doc := string(st.Result.Schedule)
+		for _, name := range []string{"south", "north"} {
+			if !strings.Contains(doc, name) {
+				t.Fatalf("case %d: twin schedule missing task %q:\n%s", i, name, doc)
+			}
+		}
+		if strings.Contains(doc, "alpha") || strings.Contains(doc, "beta") {
+			t.Fatalf("case %d: twin schedule leaks the original's labels:\n%s", i, doc)
+		}
+	}
+
+	if hits := metricValue(t, tsB.URL, "hyperd_cluster_peer_fill_hits_total"); hits != 8 {
+		t.Fatalf("node B peer fill hits = %d, want 8", hits)
+	}
+	if served := metricValue(t, tsA.URL, "hyperd_cluster_peer_serve_hits_total"); served != 8 {
+		t.Fatalf("node A peer serve hits = %d, want 8", served)
+	}
+}
+
+// TestCrossNodeSingleflight submits an instance to node A with a slow
+// solver and, while that solve is still running, submits a structural
+// twin to node B.  B's peer fill must park on A's in-flight job and
+// reuse its result: exactly one solver run for both requests.
+func TestCrossNodeSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	solve.Register(solve.NewSolver("cluster-slow",
+		solve.Capabilities{Kinds: []solve.Kind{solve.KindMTSwitch}},
+		func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+			calls.Add(1)
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return solve.Run(ctx, "exact", inst, opts)
+		}))
+
+	sA, tsA := newNode(t, service.Config{Workers: 1, NodeID: "sf-a"})
+	hook := &fillerHook{}
+	sB, _ := newNode(t, service.Config{Workers: 1, NodeID: "sf-b", PeerFill: hook})
+
+	set, err := NewMemberSet([]string{tsA.URL}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPeerClient(PeerClientConfig{Members: set, Wait: 8 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook.set(pc)
+
+	req := solveRequest(42)
+	req.Solver = "cluster-slow"
+	jobA, _, err := sA.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	twin := twinOf(req)
+	type result struct {
+		job *service.Job
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		j, _, err := sB.Submit(twin)
+		ch <- result{j, err}
+	}()
+
+	// Let B's fill reach A and park on the in-flight job, then release
+	// the solver.  (If the fill arrives after the solve finished it hits
+	// the canonical store directly — either way one solver run.)
+	time.Sleep(200 * time.Millisecond)
+	close(gate)
+	waitJob(t, jobA)
+
+	res := <-ch
+	if res.err != nil {
+		t.Fatalf("twin submit: %v", res.err)
+	}
+	if !res.job.CacheHit {
+		t.Fatal("twin was enqueued for a second solve instead of joining A's in-flight one")
+	}
+	waitJob(t, res.job)
+	solA, err := jobA.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solB, err := res.job.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solA.Cost != solB.Cost {
+		t.Fatalf("costs diverge: A=%d B=%d", solA.Cost, solB.Cost)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("solver ran %d times across the cluster, want 1", got)
+	}
+	if waits := metricValue(t, tsA.URL, "hyperd_cluster_peer_serve_waits_total"); waits != 1 {
+		t.Fatalf("node A peer serve waits = %d, want 1 (the singleflight join)", waits)
+	}
+}
+
+// TestPeerClientRejectsMismatchedKey makes sure a sibling answering
+// the wrong key (corrupt proxy, version skew) is discarded rather than
+// replayed.
+func TestPeerClientRejectsMismatchedKey(t *testing.T) {
+	wrong := service.PeerEntry{
+		Key:   strings.Repeat("ab", 32),
+		Cost:  1,
+		Exact: true,
+		Mask:  []string{"01", "10"},
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&wrong)
+	}))
+	defer bad.Close()
+
+	set, err := NewMemberSet([]string{bad.URL}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPeerClient(PeerClientConfig{Members: set, Wait: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe, ok := pc.Fill(strings.Repeat("cd", 32)); ok {
+		t.Fatalf("mismatched key accepted: %+v", pe)
+	}
+}
+
+// TestPeerClientBreakerSkipsDeadPeer checks a dead sibling trips its
+// breaker after enough misses: fills keep answering (false) without
+// hanging, and once open the breaker short-circuits the network call.
+func TestPeerClientBreakerSkipsDeadPeer(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	set, err := NewMemberSet([]string{deadURL}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPeerClient(PeerClientConfig{Members: set, Wait: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ef", 32)
+	for i := 0; i < 10; i++ {
+		if _, ok := pc.Fill(key); ok {
+			t.Fatal("dead peer produced an entry")
+		}
+	}
+	id, err := NormalizeMemberURL(deadURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allowed, _ := pc.breakers[id].Allow(); allowed {
+		t.Fatal("breaker still closed after 10 consecutive transport failures")
+	}
+}
+
+// TestMemberSetStatusAndHealthChecker exercises the health sweep
+// against one live node and one dead one.
+func TestMemberSetStatusAndHealthChecker(t *testing.T) {
+	_, tsA := newNode(t, service.Config{Workers: 1, NodeID: "hc-a"})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	set, err := NewMemberSet([]string{tsA.URL, deadURL}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := NewHealthChecker(set, 100*time.Millisecond, nil, "")
+	hc.CheckNow(context.Background())
+	hc.Start()
+	defer hc.Stop()
+
+	aliveID, _ := NormalizeMemberURL(tsA.URL)
+	deadID, _ := NormalizeMemberURL(deadURL)
+	a, _ := set.Member(aliveID)
+	d, _ := set.Member(deadID)
+	if !a.Healthy() {
+		t.Fatalf("live node %q marked unhealthy", aliveID)
+	}
+	if d.Healthy() {
+		t.Fatalf("dead node %q marked healthy", deadID)
+	}
+
+	st := set.Status(aliveID)
+	if st.Self != aliveID || len(st.Members) != 2 {
+		t.Fatalf("unexpected ring status: %+v", st)
+	}
+	healthyByID := map[string]bool{}
+	for _, m := range st.Members {
+		healthyByID[m.ID] = m.Healthy
+	}
+	if !healthyByID[aliveID] || healthyByID[deadID] {
+		t.Fatalf("ring status health wrong: %+v", st)
+	}
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member: high enough that
+// the load split across a handful of nodes stays within a few percent
+// of even, low enough that ring construction and lookup stay trivial.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over a fixed member list.
+// Each member owns VNodes points placed by SHA-256, keys hash onto the
+// first point at or after their own hash (wrapping), and the
+// preference order of a key is the sequence of distinct members met
+// walking clockwise from there.  Construction is deterministic: the
+// same member list (in any order) yields the same ring in every
+// process, which is what lets a router, a smart client and the nodes
+// themselves agree on ownership without coordination.
+type Ring struct {
+	vnodes  int
+	members []string    // sorted, deduplicated
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// hash64 maps arbitrary bytes onto the ring coordinate space.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing places every member on the ring.  Member ids are
+// deduplicated and sorted first, so construction order never matters.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := map[string]bool{}
+	var ids []string
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member id")
+		}
+		if !seen[m] {
+			seen[m] = true
+			ids = append(ids, m)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sort.Strings(ids)
+	r := &Ring{vnodes: vnodes, members: ids}
+	r.points = make([]ringPoint, 0, len(ids)*vnodes)
+	for mi, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(id + "#" + strconv.Itoa(v)),
+				member: mi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		// Hash ties (vanishingly rare) break by member order so the ring
+		// stays deterministic.
+		return pa.member < pb.member
+	})
+	return r, nil
+}
+
+// Members returns the sorted member ids.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// VNodes reports the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Lookup returns the key's full preference order: the owner first,
+// then each distinct member met walking clockwise — the deterministic
+// failover sequence when the owner is down.
+func (r *Ring) Lookup(key string) []string {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// Owner returns the key's primary member.
+func (r *Ring) Owner(key string) string {
+	return r.Lookup(key)[0]
+}

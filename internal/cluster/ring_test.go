@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministic pins the core cluster invariant: the same
+// member list, in any order, yields identical preference orders in
+// every process — routers and nodes agree on ownership without
+// coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://n3", "http://n1", "http://n2", "http://n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if got, want := a.Lookup(key), b.Lookup(key); !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %q: ring a prefers %v, ring b prefers %v", key, got, want)
+		}
+	}
+}
+
+// TestRingLookupIsFullPreferenceOrder checks Lookup returns every
+// member exactly once, owner first.
+func TestRingLookupIsFullPreferenceOrder(t *testing.T) {
+	members := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r, err := NewRing(members, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := r.Lookup(key)
+		if len(order) != len(members) {
+			t.Fatalf("key %q: preference order %v misses members", key, order)
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("key %q: member %q repeats in %v", key, m, order)
+			}
+			seen[m] = true
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("key %q: Owner %q != Lookup[0] %q", key, r.Owner(key), order[0])
+		}
+	}
+}
+
+// TestRingFailoverMatchesShrunkenRing removes the owner from the
+// member list and checks the shrunken ring's owner is the original
+// ring's second preference: "fail over to the next ring position" and
+// "the node actually owning the key once the owner is gone" are the
+// same thing.
+func TestRingFailoverMatchesShrunkenRing(t *testing.T) {
+	members := []string{"http://n1", "http://n2", "http://n3"}
+	full, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := full.Lookup(key)
+		var rest []string
+		for _, m := range members {
+			if m != order[0] {
+				rest = append(rest, m)
+			}
+		}
+		shrunk, err := NewRing(rest, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shrunk.Owner(key); got != order[1] {
+			t.Fatalf("key %q: shrunken ring owner %q, full ring second preference %q", key, got, order[1])
+		}
+	}
+}
+
+// TestRingDistribution checks virtual nodes keep the split across
+// three members roughly even (each within [15%, 55%] of 10k keys —
+// loose bounds, the point is no member starves or dominates).
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("member %q owns %.1f%% of keys: %v", m, 100*frac, counts)
+		}
+	}
+}
+
+func TestNewRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"http://n1", ""}, 64); err == nil {
+		t.Fatal("empty member id accepted")
+	}
+}
+
+func TestNormalizeMemberURL(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "http://host:8080", want: "http://host:8080"},
+		{in: "http://host:8080/", want: "http://host:8080"},
+		{in: "host:8080", want: "http://host:8080"},
+		{in: " https://host ", want: "https://host"},
+		{in: "", wantErr: true},
+		{in: "http://", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := NormalizeMemberURL(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("NormalizeMemberURL(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("NormalizeMemberURL(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("NormalizeMemberURL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+)
+
+// stickyTable is a bounded id→member map with LRU eviction: the router
+// learns job and session placements from routed responses and must
+// forget the oldest when the table fills (a lost job assignment is
+// recoverable by the ring-ordered search; an unbounded table is not).
+type stickyTable struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent
+	items map[string]*list.Element // id -> element holding stickyItem
+}
+
+type stickyItem struct {
+	id     string
+	member string
+}
+
+func newStickyTable(capacity int) *stickyTable {
+	return &stickyTable{
+		cap:   capacity,
+		order: list.New(),
+		items: map[string]*list.Element{},
+	}
+}
+
+func (t *stickyTable) get(id string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.items[id]
+	if !ok {
+		return "", false
+	}
+	t.order.MoveToFront(el)
+	return el.Value.(*stickyItem).member, true
+}
+
+func (t *stickyTable) put(id, member string) {
+	if id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[id]; ok {
+		el.Value.(*stickyItem).member = member
+		t.order.MoveToFront(el)
+		return
+	}
+	t.items[id] = t.order.PushFront(&stickyItem{id: id, member: member})
+	for t.order.Len() > t.cap {
+		oldest := t.order.Back()
+		t.order.Remove(oldest)
+		delete(t.items, oldest.Value.(*stickyItem).id)
+	}
+}
+
+func (t *stickyTable) drop(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[id]; ok {
+		t.order.Remove(el)
+		delete(t.items, id)
+	}
+}
+
+func (t *stickyTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.order.Len()
+}

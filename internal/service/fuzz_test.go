@@ -60,3 +60,61 @@ func FuzzSolveRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPeerFill drives the peer-fill wire decoder (the body of a
+// GET /v1/cache/{key} hit) with arbitrary bytes: a value or an error,
+// never a panic — and every accepted entry must stay inside the
+// service dimension bounds and survive a re-encode round trip.
+func FuzzPeerFill(f *testing.F) {
+	seed := func(v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	key := "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+	seed(&PeerEntry{Key: key, Cost: 12, Exact: true, Mask: []string{"0101", "1100"}})
+	seed(&PeerEntry{Key: key, Cost: 0, Mask: []string{"1"}})
+	seed(&PeerEntry{Key: key, Cost: 3, Mask: []string{"000", "111", "010"},
+		Stats: WireStats{StatesExpanded: 4, DedupHits: 9, WallMS: 2}})
+	f.Add([]byte(`{"key":"` + key + `","cost":-5,"mask":["1"]}`))
+	f.Add([]byte(`{"key":"UPPER","cost":1,"mask":["1"]}`))
+	f.Add([]byte(`{"key":"` + key + `","cost":1,"mask":["10","1"]}`))
+	f.Add([]byte(`{"key":"` + key + `","cost":1,"mask":["1x"]}`))
+	f.Add([]byte(`{"key":"` + key + `","cost":1,"mask":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pe, err := DecodePeerEntry(data)
+		if err != nil {
+			return
+		}
+		if len(pe.Mask) == 0 || len(pe.Mask) > maxWireTasks {
+			t.Fatalf("accepted mask with %d rows", len(pe.Mask))
+		}
+		width := len(pe.Mask[0])
+		if width > maxWireSteps {
+			t.Fatalf("accepted mask with %d steps", width)
+		}
+		for _, row := range pe.Mask {
+			if len(row) != width {
+				t.Fatalf("accepted ragged mask: %v", pe.Mask)
+			}
+		}
+		// The accepted entry converts to a store entry and re-encodes to
+		// an equivalent wire form without panicking.
+		entry := pe.entry()
+		again := peerEntryOf(pe.Key, entry)
+		if again.Cost != pe.Cost || again.Exact != pe.Exact || len(again.Mask) != len(pe.Mask) {
+			t.Fatalf("round trip drifted: %+v vs %+v", again, pe)
+		}
+		for i := range pe.Mask {
+			if again.Mask[i] != pe.Mask[i] {
+				t.Fatalf("mask row %d drifted: %q vs %q", i, again.Mask[i], pe.Mask[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"net/http"
+	"runtime/debug"
+	"sync"
+)
+
+// Cluster-aware health reporting.  GET /healthz stays the one-word
+// liveness probe; GET /v1/healthz carries what a router's health
+// checker (internal/cluster) needs to admit or evict this node: its
+// identity, build, drain state, ring view and live-session load.
+
+// HealthStatus is the JSON body of GET /v1/healthz.
+type HealthStatus struct {
+	// Status is "ok" while the node accepts work, "draining" once
+	// shutdown has begun (submits are already rejected).
+	Status string `json:"status"`
+	// NodeID is the node's cluster identity (Config.NodeID; the serve
+	// address when unset).
+	NodeID string `json:"node_id"`
+	// Version is the build's module version (or "devel" when built
+	// without version stamping).
+	Version string `json:"version"`
+	// SessionsActive is the number of live streaming sessions pinned to
+	// this node — a router must keep their sticky assignments here.
+	SessionsActive int `json:"sessions_active"`
+	// Ring is this node's view of the cluster membership; omitted when
+	// the node runs standalone.
+	Ring *RingStatus `json:"ring,omitempty"`
+}
+
+// RingStatus describes one node's (or the router's) membership view.
+type RingStatus struct {
+	// Self is the member id this node occupies on the ring ("" for a
+	// router, which owns no ring positions).
+	Self string `json:"self,omitempty"`
+	// VNodes is the virtual-node count per member.
+	VNodes  int            `json:"vnodes,omitempty"`
+	Members []MemberHealth `json:"members,omitempty"`
+}
+
+// MemberHealth is one ring member as last observed by the health
+// checker.
+type MemberHealth struct {
+	ID      string `json:"id"`
+	URL     string `json:"url,omitempty"`
+	Healthy bool   `json:"healthy"`
+}
+
+// BuildVersion reports the module's build version, shared with the
+// cluster router's own health document.
+func BuildVersion() string { return buildVersion() }
+
+// buildVersion resolves the module's build version once.
+var buildVersion = sync.OnceValue(func() string {
+	if info, ok := debug.ReadBuildInfo(); ok && info.Main.Version != "" {
+		return info.Main.Version
+	}
+	return "devel"
+})
+
+// Health snapshots the node's health document (the /v1/healthz body).
+func (s *Server) Health() *HealthStatus {
+	st := &HealthStatus{
+		Status:  "ok",
+		NodeID:  s.cfg.NodeID,
+		Version: buildVersion(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		st.Status = "draining"
+	}
+	s.mu.Unlock()
+	st.SessionsActive, _ = s.sessions.gauges()
+	if s.cfg.ClusterStatus != nil {
+		st.Ring = s.cfg.ClusterStatus()
+	}
+	return st
+}
+
+func (s *Server) handleHealthzV1(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}

@@ -49,12 +49,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSessionSchedule)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthzV1)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handlePeerCache)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
+// errorBody is the one JSON error shape every non-2xx response
+// carries: the message, plus the retry hint in milliseconds whenever a
+// Retry-After header accompanies it (429 queue-full, 503 open breaker).
 type errorBody struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -65,6 +71,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// writeRetryError is writeError plus the retry hint, rendered both as
+// the Retry-After header (whole seconds, rounded up) and as
+// retry_after_ms in the body.
+func writeRetryError(w http.ResponseWriter, code int, err error, d time.Duration) {
+	retryAfterHeader(w, d)
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	writeJSON(w, code, errorBody{Error: err.Error(), RetryAfterMS: ms})
 }
 
 // decodeSolveRequest parses one request body.  It is the exact decode
@@ -114,11 +132,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) (*Job, bool, boo
 	case errors.As(err, &tooLarge):
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 	case errors.Is(err, ErrQueueFull):
-		retryAfterHeader(w, time.Second)
-		writeError(w, http.StatusTooManyRequests, err)
+		writeRetryError(w, http.StatusTooManyRequests, err, time.Second)
 	case errors.As(err, &unavailable):
-		retryAfterHeader(w, unavailable.RetryAfter)
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeRetryError(w, http.StatusServiceUnavailable, err, unavailable.RetryAfter)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
@@ -221,11 +237,9 @@ func sessionError(w http.ResponseWriter, err error) {
 	case errors.As(err, &tooLarge):
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 	case errors.Is(err, ErrSessionLimit):
-		retryAfterHeader(w, time.Second)
-		writeError(w, http.StatusTooManyRequests, err)
+		writeRetryError(w, http.StatusTooManyRequests, err, time.Second)
 	case errors.As(err, &unavailable):
-		retryAfterHeader(w, unavailable.RetryAfter)
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeRetryError(w, http.StatusServiceUnavailable, err, unavailable.RetryAfter)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrNoSuchSession):

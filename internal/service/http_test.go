@@ -326,6 +326,34 @@ func TestHTTPBodyTooLarge(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413", resp.StatusCode)
 	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertErrorBody(t, raw, false)
+}
+
+// assertErrorBody pins the unified error shape every non-2xx response
+// carries: an "error" string, plus retry_after_ms >= 1 exactly when a
+// Retry-After header class (429/503) produced the response.
+func assertErrorBody(t *testing.T, raw []byte, wantRetry bool) {
+	t.Helper()
+	var eb struct {
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatalf("error body is not JSON: %v: %s", err, raw)
+	}
+	if eb.Error == "" {
+		t.Fatalf("error body has no error field: %s", raw)
+	}
+	if wantRetry && eb.RetryAfterMS < 1 {
+		t.Fatalf("retryable error body without retry_after_ms: %s", raw)
+	}
+	if !wantRetry && eb.RetryAfterMS != 0 {
+		t.Fatalf("non-retryable error body carries retry_after_ms: %s", raw)
+	}
 }
 
 func TestHTTPInstanceDimensionsTooLarge(t *testing.T) {
@@ -380,12 +408,13 @@ func TestHTTPQueueFullRetryAfter(t *testing.T) {
 	for seed := int64(1); seed <= 4 && !got429; seed++ {
 		req := tinyRequest("svc-test")
 		req.Options.Seed = seed
-		resp, _ := postJSON(t, ts.URL+"/v1/jobs", req)
+		resp, raw := postJSON(t, ts.URL+"/v1/jobs", req)
 		if resp.StatusCode == http.StatusTooManyRequests {
 			got429 = true
 			if resp.Header.Get("Retry-After") == "" {
 				t.Fatal("429 without Retry-After")
 			}
+			assertErrorBody(t, raw, true)
 		}
 	}
 	if !got429 {
@@ -418,6 +447,7 @@ func TestHTTPBreakerOpen503AndHealthzLive(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
 	}
+	assertErrorBody(t, raw, true)
 
 	// The server keeps serving under solver faults: liveness and
 	// metrics stay up, and the panic counter is exported.

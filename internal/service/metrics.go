@@ -57,6 +57,16 @@ type metrics struct {
 	breakerRejected atomic.Int64 // submits refused by an open circuit breaker
 	degraded        atomic.Int64 // completed jobs that gave up exactness for the memory budget
 
+	// Cluster peer-fill counters.  The fill side is this node asking
+	// siblings on a canonical miss; the serve side is this node
+	// answering GET /v1/cache/{key} for siblings.
+	peerFillHits    atomic.Int64 // canonical misses answered by a sibling's entry
+	peerFillMisses  atomic.Int64 // canonical misses no sibling could answer
+	peerFillBad     atomic.Int64 // sibling entries rejected by the replay cost-check
+	peerServeHits   atomic.Int64 // peer lookups served from the local canonical store
+	peerServeWaits  atomic.Int64 // peer lookups that joined an in-flight solve (cross-node singleflight)
+	peerServeMisses atomic.Int64
+
 	// Streaming-session counters.
 	sessionSteps    atomic.Int64 // demand rows accepted across all sessions
 	sessionsEvicted atomic.Int64 // engines checkpointed out under memory pressure
@@ -179,6 +189,12 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	counter("hyperd_retries_total", m.retries.Load())
 	counter("hyperd_breaker_rejected_total", m.breakerRejected.Load())
 	counter("hyperd_jobs_degraded_total", m.degraded.Load())
+	counter("hyperd_cluster_peer_fill_hits_total", m.peerFillHits.Load())
+	counter("hyperd_cluster_peer_fill_misses_total", m.peerFillMisses.Load())
+	counter("hyperd_cluster_peer_fill_rejected_total", m.peerFillBad.Load())
+	counter("hyperd_cluster_peer_serve_hits_total", m.peerServeHits.Load())
+	counter("hyperd_cluster_peer_serve_waits_total", m.peerServeWaits.Load())
+	counter("hyperd_cluster_peer_serve_misses_total", m.peerServeMisses.Load())
 	gauge("hyperd_queue_depth", int64(g.queueDepth))
 	gauge("hyperd_queue_capacity", int64(g.queueCapacity))
 	gauge("hyperd_workers", int64(g.workers))

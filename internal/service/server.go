@@ -54,6 +54,17 @@ type Config struct {
 	// eviction).
 	SessionBytes int64
 
+	// NodeID names this node in /v1/healthz and cluster membership
+	// (default "hyperd").
+	NodeID string
+	// PeerFill, when set, is consulted on a canonical-cache miss before
+	// a solve is enqueued: a hit replays a sibling node's canonical
+	// entry instead of solving (see internal/cluster).
+	PeerFill PeerFiller
+	// ClusterStatus, when set, supplies the ring membership view
+	// surfaced in /v1/healthz.
+	ClusterStatus func() *RingStatus
+
 	// breakerNow injects the breaker clock (tests only).
 	breakerNow func() time.Time
 }
@@ -82,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionBytes == 0 {
 		c.SessionBytes = 64 << 20
+	}
+	if c.NodeID == "" {
+		c.NodeID = "hyperd"
 	}
 	return c
 }
@@ -240,6 +254,7 @@ type Server struct {
 	seq           int64
 	jobs          map[string]*Job
 	inflight      map[string]*Job // hash → queued/running job
+	canonInflight map[string]*Job // canonical key → queued/running job (peer singleflight joins wait on it)
 	finishedOrder []string        // finished job ids, oldest first
 	breakers      map[string]*resilience.Breaker
 
@@ -255,16 +270,17 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		metrics:    newMetrics(),
-		cache:      newResultCache(cfg.CacheEntries),
-		canon:      newCanonicalCache(cfg.CacheEntries),
-		sessions:   newSessionStore(cfg.MaxSessions, cfg.SessionBytes),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       map[string]*Job{},
-		inflight:   map[string]*Job{},
-		breakers:   map[string]*resilience.Breaker{},
+		cfg:           cfg,
+		metrics:       newMetrics(),
+		cache:         newResultCache(cfg.CacheEntries),
+		canon:         newCanonicalCache(cfg.CacheEntries),
+		sessions:      newSessionStore(cfg.MaxSessions, cfg.SessionBytes),
+		baseCtx:       ctx,
+		baseCancel:    cancel,
+		jobs:          map[string]*Job{},
+		inflight:      map[string]*Job{},
+		canonInflight: map[string]*Job{},
+		breakers:      map[string]*resilience.Breaker{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -284,13 +300,7 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	opts := res.opts
-	if s.cfg.MaxSolveTimeout > 0 && (opts.Timeout == 0 || opts.Timeout > s.cfg.MaxSolveTimeout) {
-		opts.Timeout = s.cfg.MaxSolveTimeout
-	}
-	if s.cfg.MaxFrontierBytes > 0 && (opts.MaxFrontierBytes == 0 || opts.MaxFrontierBytes > s.cfg.MaxFrontierBytes) {
-		opts.MaxFrontierBytes = s.cfg.MaxFrontierBytes
-	}
+	opts := s.limits().clamp(res.opts)
 	key, err := requestKey(res.inst, res.solver, opts)
 	if err != nil {
 		return nil, false, err
@@ -310,6 +320,26 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 		if entry, ok := s.canon.Get(canonKey); ok {
 			if sol, ok := entry.reconstruct(res.mt, res.inst.Cost, canonPerm); ok {
 				canonSol = sol
+			}
+		}
+		// Peer cache fill: before solving a canonical miss, ask the
+		// ring-adjacent sibling nodes (cluster mode only).  The sibling
+		// either holds the entry, is solving it right now (the fill waits
+		// on that in-flight solve — cross-node singleflight), or misses.
+		// Replayed entries are cost-checked against this instance, so a
+		// bad peer answer degrades to a miss.
+		if canonSol == nil && s.cfg.PeerFill != nil {
+			if pe, ok := s.cfg.PeerFill.Fill(canonKey); ok {
+				entry := pe.entry()
+				if sol, ok := entry.reconstruct(res.mt, res.inst.Cost, canonPerm); ok {
+					canonSol = sol
+					s.canon.Put(canonKey, entry)
+					s.metrics.peerFillHits.Add(1)
+				} else {
+					s.metrics.peerFillBad.Add(1)
+				}
+			} else {
+				s.metrics.peerFillMisses.Add(1)
 			}
 		}
 	}
@@ -383,6 +413,13 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 	job.canonKey, job.canonPerm = canonKey, canonPerm
 	s.queue = append(s.queue, job)
 	s.inflight[key] = job
+	// First job per canonical key wins the slot; peer-fill waits from
+	// sibling nodes block on it until the entry publishes.
+	if canonKey != "" {
+		if _, ok := s.canonInflight[canonKey]; !ok {
+			s.canonInflight[canonKey] = job
+		}
+	}
 	s.metrics.submitted.Add(1)
 	s.cond.Signal()
 	return job, false, nil
@@ -639,6 +676,9 @@ func (s *Server) finalizeNoted(job *Job, sol *solve.Solution, err error) {
 	}
 	if s.inflight[job.Hash] == job {
 		delete(s.inflight, job.Hash)
+	}
+	if job.canonKey != "" && s.canonInflight[job.canonKey] == job {
+		delete(s.canonInflight, job.canonKey)
 	}
 	close(job.done)
 	job.mu.Unlock()

@@ -158,41 +158,54 @@ type SessionStatus struct {
 	Error  string        `json:"error,omitempty"`
 }
 
-// CreateSession validates the request, admits it against the solver's
-// circuit breaker and the session cap, and solves the initial trace
-// synchronously.  A failed initial solve tears the session back down —
-// the client holds no id yet, so nothing may linger.
-func (s *Server) CreateSession(ctx context.Context, req *SessionRequest) (*session, error) {
-	if req.Solver == "" {
-		return nil, fmt.Errorf("missing solver (registered: %v)", solve.Names())
+// resolveSession validates the session opener and builds the model
+// instance, cost options and clamped solve options (the shared
+// resolution behind CreateSession and the cluster routing key).
+// Session solves run synchronously, so only the memory budget is
+// clamped — there is no per-job deadline to cap.
+func (r *SessionRequest) resolveSession(lim RouteLimits) (*model.MTSwitchInstance, model.CostOptions, solve.Options, error) {
+	var cost model.CostOptions
+	if r.Solver == "" {
+		return nil, cost, solve.Options{}, fmt.Errorf("missing solver (registered: %v)", solve.Names())
 	}
-	if req.Instance == nil {
-		return nil, fmt.Errorf("sessions require an inline instance")
+	if r.Instance == nil {
+		return nil, cost, solve.Options{}, fmt.Errorf("sessions require an inline instance")
 	}
-	mt, err := req.Instance.toModel()
+	mt, err := r.Instance.toModel()
 	if err != nil {
-		return nil, err
+		return nil, cost, solve.Options{}, err
 	}
 	if mt.Steps() == 0 {
-		return nil, fmt.Errorf("sessions require at least one initial step")
+		return nil, cost, solve.Options{}, fmt.Errorf("sessions require at least one initial step")
 	}
-	var cost model.CostOptions
-	switch req.Upload {
+	switch r.Upload {
 	case "", "parallel":
 		cost = model.CostOptions{HyperUpload: model.TaskParallel, ReconfUpload: model.TaskParallel}
 	case "sequential":
 		cost = model.CostOptions{HyperUpload: model.TaskSequential, ReconfUpload: model.TaskSequential}
 	default:
-		return nil, fmt.Errorf("unknown upload mode %q (want parallel or sequential)", req.Upload)
+		return nil, cost, solve.Options{}, fmt.Errorf("unknown upload mode %q (want parallel or sequential)", r.Upload)
 	}
-	opts, err := req.Options.toSolve()
+	opts, err := r.Options.toSolve()
 	if err != nil {
-		return nil, err
+		return nil, cost, solve.Options{}, err
 	}
-	if s.cfg.MaxFrontierBytes > 0 && (opts.MaxFrontierBytes == 0 || opts.MaxFrontierBytes > s.cfg.MaxFrontierBytes) {
-		opts.MaxFrontierBytes = s.cfg.MaxFrontierBytes
+	if lim.MaxFrontierBytes > 0 && (opts.MaxFrontierBytes == 0 || opts.MaxFrontierBytes > lim.MaxFrontierBytes) {
+		opts.MaxFrontierBytes = lim.MaxFrontierBytes
 	}
 	if err := opts.Validate(); err != nil {
+		return nil, cost, solve.Options{}, err
+	}
+	return mt, cost, opts, nil
+}
+
+// CreateSession validates the request, admits it against the solver's
+// circuit breaker and the session cap, and solves the initial trace
+// synchronously.  A failed initial solve tears the session back down —
+// the client holds no id yet, so nothing may linger.
+func (s *Server) CreateSession(ctx context.Context, req *SessionRequest) (*session, error) {
+	mt, cost, opts, err := req.resolveSession(s.limits())
+	if err != nil {
 		return nil, err
 	}
 

@@ -366,6 +366,43 @@ func (m *wireMemo) get(sol *solve.Solution, mt *model.MTSwitchInstance) (*WireSo
 	return m.ws, m.err
 }
 
+// wireStats maps run statistics onto their wire view.
+func wireStats(st solve.Stats) WireStats {
+	return WireStats{
+		StatesExpanded:      st.StatesExpanded,
+		DedupHits:           st.DedupHits,
+		CandidatesPruned:    st.CandidatesPruned,
+		StatesPruned:        st.StatesPruned,
+		DominanceHits:       st.DominanceHits,
+		BoundCutoffs:        st.BoundCutoffs,
+		PreprocessReduction: st.PreprocessReduction,
+		BudgetDropped:       st.BudgetDropped,
+		Evaluations:         st.Evaluations,
+		Truncated:           st.Truncated,
+		Degraded:            st.Degraded,
+		WallMS:              float64(st.WallTime) / float64(time.Millisecond),
+	}
+}
+
+// statsFromWire inverts wireStats (used by the peer-fill decoder, so a
+// peer-served result reports the original solve's work).
+func statsFromWire(ws WireStats) solve.Stats {
+	return solve.Stats{
+		StatesExpanded:      ws.StatesExpanded,
+		DedupHits:           ws.DedupHits,
+		CandidatesPruned:    ws.CandidatesPruned,
+		StatesPruned:        ws.StatesPruned,
+		DominanceHits:       ws.DominanceHits,
+		BoundCutoffs:        ws.BoundCutoffs,
+		PreprocessReduction: ws.PreprocessReduction,
+		BudgetDropped:       ws.BudgetDropped,
+		Evaluations:         ws.Evaluations,
+		Truncated:           ws.Truncated,
+		Degraded:            ws.Degraded,
+		WallTime:            time.Duration(ws.WallMS * float64(time.Millisecond)),
+	}
+}
+
 // wireSolution renders a solution; mt is the instance the schedule was
 // solved for (nil for single-task kinds).
 func wireSolution(sol *solve.Solution, mt *model.MTSwitchInstance) (*WireSolution, error) {
@@ -373,20 +410,7 @@ func wireSolution(sol *solve.Solution, mt *model.MTSwitchInstance) (*WireSolutio
 		Kind:  sol.Kind.String(),
 		Cost:  int64(sol.Cost),
 		Exact: sol.Exact,
-		Stats: WireStats{
-			StatesExpanded:      sol.Stats.StatesExpanded,
-			DedupHits:           sol.Stats.DedupHits,
-			CandidatesPruned:    sol.Stats.CandidatesPruned,
-			StatesPruned:        sol.Stats.StatesPruned,
-			DominanceHits:       sol.Stats.DominanceHits,
-			BoundCutoffs:        sol.Stats.BoundCutoffs,
-			PreprocessReduction: sol.Stats.PreprocessReduction,
-			BudgetDropped:       sol.Stats.BudgetDropped,
-			Evaluations:         sol.Stats.Evaluations,
-			Truncated:           sol.Stats.Truncated,
-			Degraded:            sol.Stats.Degraded,
-			WallMS:              float64(sol.Stats.WallTime) / float64(time.Millisecond),
-		},
+		Stats: wireStats(sol.Stats),
 	}
 	switch sol.Kind {
 	case solve.KindSwitch:
