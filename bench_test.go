@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mtdag"
 	"repro/internal/mtswitch"
+	"repro/internal/partition"
 	"repro/internal/phc"
 	"repro/internal/report"
 	"repro/internal/rmesh"
@@ -485,6 +486,50 @@ func BenchmarkFrontierEngines(b *testing.B) {
 	})
 	b.Run("Pruned", func(b *testing.B) {
 		run(b, packed(pruned))
+	})
+}
+
+// BenchmarkPartitionedSolve compares the monolithic pruned exact
+// engine with the partition-and-conquer solver (E20) on the cut-free
+// blocked workload of `paperbench -bench8` (BENCH_PR8.json records
+// the same comparison): aligned blocks with block-disjoint working
+// sets, where the step-axis decomposition is exact and each window's
+// frontier is tiny.  Both variants return identical costs, asserted
+// by internal/partition's tests and by -bench8 itself.
+func BenchmarkPartitionedSolve(b *testing.B) {
+	ins, err := workload.Blocked(workload.Config{Tasks: 4, Steps: 64, Switches: 24, MeanPhase: 8, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, solveOne func() (model.Cost, error)) {
+		b.ReportAllocs()
+		var cost model.Cost
+		for i := 0; i < b.N; i++ {
+			c, err := solveOne()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = c
+		}
+		b.ReportMetric(float64(cost), "cost")
+	}
+	b.Run("Monolithic", func(b *testing.B) {
+		run(b, func() (model.Cost, error) {
+			sol, err := mtswitch.SolveExact(context.Background(), ins, parallel, solve.Options{})
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		})
+	})
+	b.Run("Partitioned", func(b *testing.B) {
+		run(b, func() (model.Cost, error) {
+			sol, err := partition.Solve(context.Background(), ins, parallel, solve.Options{})
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		})
 	})
 }
 

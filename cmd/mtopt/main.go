@@ -44,7 +44,7 @@ func main() {
 	var (
 		app      = flag.String("app", "counter", "application to analyze (ignored with -reqs)")
 		reqsPath = flag.String("reqs", "", "requirements CSV to analyze instead of an app trace")
-		solver   = flag.String("solver", "ga", "solver: ga, aligned, beam, anneal, exact, bruteforce, all")
+		solver   = flag.String("solver", "ga", "solver: ga, aligned, beam, anneal, exact, exact-partitioned, bruteforce, all")
 		upload   = flag.String("upload", "parallel", "upload mode for hyper+reconf: parallel or sequential")
 		gran     = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
 		fig      = flag.Bool("fig", false, "print Figure 2/3 style charts for the best schedule")
@@ -55,6 +55,7 @@ func main() {
 		outPath  = flag.String("out", "", "write the best schedule as JSON to this file (verify with hyperverify)")
 		stats    = flag.Bool("stats", false, "print per-solver run statistics (states/evals/pruned/dedup/peak/wall time)")
 		workers  = flag.Int("workers", 0, "worker count for parallel solvers (0 = GOMAXPROCS)")
+		parts    = flag.Int("partitions", 0, "window count for -solver exact-partitioned (0 = auto, 1 = monolithic)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the solver runs to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile after the solver runs to this file")
 		ckptPath = flag.String("checkpoint", "", "write engine checkpoints to this file while solving (exact/beam only)")
@@ -68,7 +69,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtopt:", err)
 		os.Exit(1)
 	}
-	err = run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *workers, *outPath, *stats,
+	err = run(*app, *reqsPath, *solver, *upload, *gran, *fig, *pop, *gens, *seed, *beamN, *workers, *parts, *outPath, *stats,
 		*ckptPath, *ckptN, *resume)
 	stop()
 	if err == nil {
@@ -181,7 +182,7 @@ func runResumed(resumePath, solver, ckptPath string, ckptN, workers, beamN int, 
 	return nil
 }
 
-func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN, workers int, outPath string, stats bool, ckptPath string, ckptN int, resumePath string) error {
+func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, seed int64, beamN, workers, parts int, outPath string, stats bool, ckptPath string, ckptN int, resumePath string) error {
 	if (ckptPath != "" || resumePath != "") && solver == "all" {
 		return fmt.Errorf("-checkpoint/-resume need a single steppable solver (exact or beam), not -solver all")
 	}
@@ -229,6 +230,11 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 					sol.Stats.StatesPruned, sol.Stats.DominanceHits, sol.Stats.BoundCutoffs,
 					sol.Stats.PreprocessReduction, sol.Stats.BudgetDropped)
 			}
+			if sol.Stats.Partitions > 0 {
+				fmt.Printf("  partition: parts=%d cut-columns=%d stitch-bound=%d stitch=%s\n",
+					sol.Stats.Partitions, sol.Stats.CutColumns, sol.Stats.StitchBound,
+					sol.Stats.StitchTime.Round(time.Microsecond))
+			}
 		}
 		if best == nil || sol.Cost < best.Cost {
 			best = sol
@@ -247,6 +253,8 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 			o = solve.Options{MaxStates: beamN, MaxCandidates: 4}
 		case "ga", "anneal":
 			o = solve.Options{Pop: pop, Generations: gens, Seed: seed}
+		case "exact-partitioned":
+			o = solve.Options{Partitions: parts}
 		}
 		o.Workers = workers
 		var sol *solve.Solution

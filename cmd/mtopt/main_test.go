@@ -31,7 +31,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunAllSolversWithFigures(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("counterdd", "", "all", "parallel", "delta", true, 30, 40, 1, 500, 2, "", false, "", 0, "")
+		return run("counterdd", "", "all", "parallel", "delta", true, 30, 40, 1, 500, 2, 0, "", false, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +45,7 @@ func TestRunAllSolversWithFigures(t *testing.T) {
 
 func TestRunSequentialUpload(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("toggle", "", "aligned", "sequential", "bit", false, 10, 10, 1, 100, 0, "", false, "", 0, "")
+		return run("toggle", "", "aligned", "sequential", "bit", false, 10, 10, 1, 100, 0, 0, "", false, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +63,7 @@ func TestRunFromCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run("", csvPath, "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false, "", 0, "")
+		return run("", csvPath, "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, 0, "", false, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -75,27 +75,27 @@ func TestRunFromCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false, "", 0, "")
+		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, 0, 0, "", false, "", 0, "")
 	}); err == nil {
 		t.Fatal("accepted unknown solver")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "ga", "nope", "bit", false, 10, 10, 1, 100, 0, "", false, "", 0, "")
+		return run("counter", "", "ga", "nope", "bit", false, 10, 10, 1, 100, 0, 0, "", false, "", 0, "")
 	}); err == nil {
 		t.Fatal("accepted unknown upload mode")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "ga", "parallel", "nope", false, 10, 10, 1, 100, 0, "", false, "", 0, "")
+		return run("counter", "", "ga", "parallel", "nope", false, 10, 10, 1, 100, 0, 0, "", false, "", 0, "")
 	}); err == nil {
 		t.Fatal("accepted unknown granularity")
 	}
 	if _, err := capture(t, func() error {
-		return run("nope", "", "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false, "", 0, "")
+		return run("nope", "", "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, 0, "", false, "", 0, "")
 	}); err == nil {
 		t.Fatal("accepted unknown app")
 	}
 	if _, err := capture(t, func() error {
-		return run("", "/nonexistent.csv", "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false, "", 0, "")
+		return run("", "/nonexistent.csv", "ga", "parallel", "bit", false, 10, 10, 1, 100, 0, 0, "", false, "", 0, "")
 	}); err == nil {
 		t.Fatal("accepted missing CSV")
 	}
@@ -103,7 +103,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunStatsFlag(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("toggle", "", "aligned", "parallel", "bit", false, 10, 10, 1, 100, 0, "", true, "", 0, "")
+		return run("toggle", "", "aligned", "parallel", "bit", false, 10, 10, 1, 100, 0, 0, "", true, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +118,7 @@ func TestRunCheckpointResumeRoundTrip(t *testing.T) {
 	ckpt := filepath.Join(dir, "dp.ckpt")
 
 	plain, err := capture(t, func() error {
-		return run("counter", "", "exact", "parallel", "bit", false, 10, 10, 1, 100, 1, "", false, "", 0, "")
+		return run("counter", "", "exact", "parallel", "bit", false, 10, 10, 1, 100, 1, 0, "", false, "", 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestRunCheckpointResumeRoundTrip(t *testing.T) {
 	// Write a checkpoint every 2 steps; the file left behind is the
 	// final (fully advanced) snapshot.
 	withCkpt, err := capture(t, func() error {
-		return run("counter", "", "exact", "parallel", "bit", false, 10, 10, 1, 100, 1, "", false, ckpt, 2, "")
+		return run("counter", "", "exact", "parallel", "bit", false, 10, 10, 1, 100, 1, 0, "", false, ckpt, 2, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestRunCheckpointResumeRoundTrip(t *testing.T) {
 	}
 
 	resumed, err := capture(t, func() error {
-		return run("ignored", "", "exact", "parallel", "bit", false, 10, 10, 1, 100, 1, "", true, "", 0, ckpt)
+		return run("ignored", "", "exact", "parallel", "bit", false, 10, 10, 1, 100, 1, 0, "", true, "", 0, ckpt)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -161,22 +161,22 @@ func TestRunCheckpointResumeRoundTrip(t *testing.T) {
 
 	// Checkpoint/resume guardrails.
 	if _, err := capture(t, func() error {
-		return run("counter", "", "all", "parallel", "bit", false, 10, 10, 1, 100, 1, "", false, ckpt, 0, "")
+		return run("counter", "", "all", "parallel", "bit", false, 10, 10, 1, 100, 1, 0, "", false, ckpt, 0, "")
 	}); err == nil {
 		t.Fatal("-checkpoint with -solver all accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "exact", "parallel", "bit", true, 10, 10, 1, 100, 1, "", false, "", 0, ckpt)
+		return run("counter", "", "exact", "parallel", "bit", true, 10, 10, 1, 100, 1, 0, "", false, "", 0, ckpt)
 	}); err == nil {
 		t.Fatal("-fig with -resume accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "exact", "parallel", "bit", false, 10, 10, 1, 100, 1, "", false, "", 0, filepath.Join(dir, "missing.ckpt"))
+		return run("counter", "", "exact", "parallel", "bit", false, 10, 10, 1, 100, 1, 0, "", false, "", 0, filepath.Join(dir, "missing.ckpt"))
 	}); err == nil {
 		t.Fatal("missing resume file accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run("counter", "", "ga", "parallel", "bit", false, 10, 10, 1, 100, 1, "", false, ckpt, 0, "")
+		return run("counter", "", "ga", "parallel", "bit", false, 10, 10, 1, 100, 1, 0, "", false, ckpt, 0, "")
 	}); err == nil {
 		t.Fatal("-checkpoint with non-steppable solver accepted")
 	}
@@ -184,7 +184,7 @@ func TestRunCheckpointResumeRoundTrip(t *testing.T) {
 
 func TestUnknownSolverErrorListsRegistered(t *testing.T) {
 	_, err := capture(t, func() error {
-		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, 0, "", false, "", 0, "")
+		return run("counter", "", "nope", "parallel", "bit", false, 10, 10, 1, 100, 0, 0, "", false, "", 0, "")
 	})
 	var unknown *solve.UnknownSolverError
 	if !errors.As(err, &unknown) {

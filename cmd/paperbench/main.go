@@ -21,6 +21,7 @@
 //	paperbench -bench          # frontier-engine bench baseline (E14)
 //	paperbench -bench5         # pruned-search bench baseline (E17)
 //	paperbench -bench6         # incremental-solve bench baseline (E18)
+//	paperbench -bench8         # partition-and-conquer bench baseline (E20)
 package main
 
 import (
@@ -71,6 +72,9 @@ func main() {
 		bench5Out = flag.String("bench5out", "BENCH_PR5.json", "output path for the -bench5 baseline")
 		bench6    = flag.Bool("bench6", false, "measure incremental suffix re-solve vs from-scratch and write a JSON baseline (E18)")
 		bench6Out = flag.String("bench6out", "BENCH_PR6.json", "output path for the -bench6 baseline")
+		bench8    = flag.Bool("bench8", false, "measure the partitioned solver vs the monolithic exact engine and write a JSON baseline (E20)")
+		bench8Out = flag.String("bench8out", "BENCH_PR8.json", "output path for the -bench8 baseline")
+		bench8Sm  = flag.Bool("bench8small", false, "with -bench8: shrink the workload and skip the speedup floor and budget scenario (CI smoke)")
 	)
 	flag.Parse()
 
@@ -91,6 +95,13 @@ func main() {
 	}
 	if *bench6 {
 		if err := incrBench(*bench6Out); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		ranBench = true
+	}
+	if *bench8 {
+		if err := partitionBench(*bench8Out, *bench8Sm); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}

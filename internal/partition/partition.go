@@ -1,0 +1,308 @@
+// Package partition decomposes large MT-Switch instances along the
+// step axis: a multilevel hypergraph partitioner chooses window
+// boundaries that cut as little shared switch-column activity as
+// possible, the windows are solved independently (and concurrently)
+// by the exact engine, and the window schedules are stitched back
+// together with a coupling-correction pass.
+//
+// The hypergraph is the instance's column-activity structure: each
+// duplicate-group of switch columns (columns of one task with
+// identical requirement patterns) is a weighted hyperedge spanning
+// the step interval on which the group is required.  A window
+// boundary before step s cuts an edge iff the edge's interval spans
+// s — the group's hypercontext then has to be paid for on both sides
+// of the boundary.  Minimizing the weighted cut minimizes the
+// coupling the stitch has to correct for.
+//
+// The stitched schedule is always feasible, so its cost is an upper
+// bound on the optimum; forcing an all-task install at each boundary
+// of an optimal schedule raises its cost by at most the boundary's
+// Δ(s) (the HyperUpload-combine of every task's v_j), so the optimum
+// is certified to lie in [Cost − StitchBound, Cost] with
+// StitchBound = Σ_s Δ(s) − (S0 − Cost), where S0 is the pre-correction
+// stitched cost.  An empty column cut does NOT by itself make the
+// stitch exact (a single task with requirement {A} then {B} has zero
+// crossing columns, yet keeping one install beats splitting); on
+// block-structured workloads with v_j equal to the per-block working
+// set (workload.Blocked), boundary installs are exchange-argument
+// optimal and the stitched cost equals the monolithic optimum —
+// pinned by the property tests, not claimed by Solution.Exact.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+)
+
+// Edge is one hyperedge of the column-activity hypergraph: a
+// duplicate-group of switch columns of one task, required somewhere
+// on the step interval [First, Last].  A window boundary before step
+// s cuts the edge iff First < s ≤ Last.
+type Edge struct {
+	Task   int
+	Weight int64
+	First  int
+	Last   int
+}
+
+// Hypergraph is the column-activity hypergraph of an instance.
+type Hypergraph struct {
+	Steps int
+	Edges []Edge
+}
+
+// BuildHypergraph groups each task's switch columns by identical
+// requirement pattern (the same duplicate-column grouping the exact
+// engine's preprocess layer performs) and emits one weighted
+// interval edge per group.  Columns never required anywhere produce
+// no edge.
+func BuildHypergraph(ins *model.MTSwitchInstance) *Hypergraph {
+	n := ins.Steps()
+	h := &Hypergraph{Steps: n}
+	for j, reqs := range ins.Reqs {
+		groups := make(map[string]*Edge, ins.Tasks[j].Local)
+		for c := 0; c < ins.Tasks[j].Local; c++ {
+			pat := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if reqs[i].Contains(c) {
+					pat.Add(i)
+				}
+			}
+			if pat.IsEmpty() {
+				continue
+			}
+			key := pat.Key()
+			if e, ok := groups[key]; ok {
+				e.Weight++
+				continue
+			}
+			members := pat.Members()
+			groups[key] = &Edge{Task: j, Weight: 1, First: members[0], Last: members[len(members)-1]}
+		}
+		for _, e := range groups {
+			h.Edges = append(h.Edges, *e)
+		}
+	}
+	sort.Slice(h.Edges, func(a, b int) bool {
+		ea, eb := h.Edges[a], h.Edges[b]
+		if ea.Task != eb.Task {
+			return ea.Task < eb.Task
+		}
+		if ea.First != eb.First {
+			return ea.First < eb.First
+		}
+		if ea.Last != eb.Last {
+			return ea.Last < eb.Last
+		}
+		return ea.Weight < eb.Weight
+	})
+	return h
+}
+
+// CutProfile returns w[s] for every candidate boundary s ∈ [1, n−1]:
+// the total weight of edges a window boundary before step s cuts.
+// Index 0 is unused and zero.  Computed with a difference array in
+// O(edges + steps).
+func (h *Hypergraph) CutProfile() []int64 {
+	diff := make([]int64, h.Steps+1)
+	for _, e := range h.Edges {
+		if e.Last > e.First {
+			diff[e.First+1] += e.Weight
+			diff[e.Last+1] -= e.Weight
+		}
+	}
+	w := make([]int64, h.Steps)
+	var acc int64
+	for s := 1; s < h.Steps; s++ {
+		acc += diff[s]
+		w[s] = acc
+	}
+	return w
+}
+
+// Plan is a chosen step-axis decomposition: interior boundaries in
+// increasing order (window w spans [Boundaries[w−1], Boundaries[w]),
+// with 0 and n implied at the ends), the per-boundary cut weights,
+// and their total.  CutColumns counts (edge, boundary) incidences —
+// a duplicate-group spanning two boundaries contributes its weight
+// twice, matching the per-boundary certified bound Σ_s Δ(s).
+type Plan struct {
+	Boundaries []int
+	Weights    []int64
+	CutColumns int64
+}
+
+// Windows expands the plan into [lo, hi) step windows of an n-step
+// instance.
+func (p *Plan) Windows(n int) [][2]int {
+	out := make([][2]int, 0, len(p.Boundaries)+1)
+	lo := 0
+	for _, s := range p.Boundaries {
+		out = append(out, [2]int{lo, s})
+		lo = s
+	}
+	return append(out, [2]int{lo, n})
+}
+
+// autoStepThreshold is the instance size below which partitioning is
+// not worth the stitch slack; autoWindowSteps is the target window
+// length of an automatic plan.
+const (
+	autoStepThreshold = 64
+	autoWindowSteps   = 32
+	maxAutoPartitions = 64
+)
+
+// AutoPartitions picks the automatic window count for an n-step
+// instance: 1 (monolithic) below autoStepThreshold steps, then one
+// window per autoWindowSteps steps, capped at maxAutoPartitions.
+func AutoPartitions(steps int) int {
+	if steps < autoStepThreshold {
+		return 1
+	}
+	k := (steps + autoWindowSteps - 1) / autoWindowSteps
+	if k > maxAutoPartitions {
+		k = maxAutoPartitions
+	}
+	return k
+}
+
+// PlanWindows runs the multilevel partitioner: build the
+// column-activity hypergraph, coarsen by merging the adjacent step
+// ranges joined by the heaviest boundaries (only the cheapest
+// candidate boundaries survive to the coarse level), place k−1
+// boundaries balanced over the coarse candidates, then refine each
+// boundary at full resolution with greedy FM-style moves that lower
+// the cut under a minimum-window-length balance constraint.
+// k = 0 selects AutoPartitions; maxCut > 0 drops the heaviest
+// boundaries (merging their windows) until the total weighted cut
+// fits.  An empty plan (no boundaries) means solve monolithically.
+func PlanWindows(ins *model.MTSwitchInstance, k, maxCut int) *Plan {
+	n := ins.Steps()
+	if k == 0 {
+		k = AutoPartitions(n)
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 1 || n < 2 {
+		return &Plan{}
+	}
+	profile := BuildHypergraph(ins).CutProfile()
+
+	// Coarsening: treat every step as an atom and merge across the
+	// heaviest boundaries until at most coarseTarget candidates remain
+	// — equivalently, keep the coarseTarget cheapest boundaries.
+	coarseTarget := 8 * k
+	if coarseTarget < 32 {
+		coarseTarget = 32
+	}
+	allowed := make([]int, 0, n-1)
+	for s := 1; s < n; s++ {
+		allowed = append(allowed, s)
+	}
+	if len(allowed) > coarseTarget {
+		sort.Slice(allowed, func(a, b int) bool {
+			if profile[allowed[a]] != profile[allowed[b]] {
+				return profile[allowed[a]] < profile[allowed[b]]
+			}
+			return allowed[a] < allowed[b]
+		})
+		allowed = allowed[:coarseTarget]
+		sort.Ints(allowed)
+	}
+
+	// Balanced initial split over the coarse candidates: for each
+	// target position pick the nearest surviving boundary after the
+	// previous choice.
+	chosen := make([]int, 0, k-1)
+	prev := 0
+	for i := 1; i < k; i++ {
+		target := i * n / k
+		best := -1
+		for _, s := range allowed {
+			if s <= prev {
+				continue
+			}
+			if best < 0 || abs(s-target) < abs(best-target) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		prev = best
+	}
+
+	// Refinement (uncoarsened): greedily move each boundary to the
+	// cheapest position between its neighbors that keeps every window
+	// at least minLen steps long, sweeping until a fixpoint.
+	minLen := n / (4 * k)
+	if minLen < 1 {
+		minLen = 1
+	}
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for i, b := range chosen {
+			lo := minLen
+			if i > 0 {
+				lo = chosen[i-1] + minLen
+			}
+			hi := n - minLen
+			if i < len(chosen)-1 {
+				hi = chosen[i+1] - minLen
+			}
+			best, bestW := b, profile[b]
+			for s := lo; s <= hi; s++ {
+				if s < 1 || s > n-1 {
+					continue
+				}
+				if profile[s] < bestW {
+					best, bestW = s, profile[s]
+				}
+			}
+			if best != b {
+				chosen[i] = best
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	// Enforce the cut cap by merging across the heaviest boundaries.
+	if maxCut > 0 {
+		for len(chosen) > 0 {
+			var total int64
+			worst, worstW := -1, int64(-1)
+			for i, s := range chosen {
+				total += profile[s]
+				if profile[s] > worstW {
+					worst, worstW = i, profile[s]
+				}
+			}
+			if total <= int64(maxCut) {
+				break
+			}
+			chosen = append(chosen[:worst], chosen[worst+1:]...)
+		}
+	}
+
+	plan := &Plan{Boundaries: chosen}
+	for _, s := range chosen {
+		plan.Weights = append(plan.Weights, profile[s])
+		plan.CutColumns += profile[s]
+	}
+	return plan
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

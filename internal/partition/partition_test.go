@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// buildInstance makes a tiny hand-written instance: two tasks over
+// four steps, task 0 using column 0 on steps 0–1 and column 1 on
+// steps 2–3, task 1 using both of its columns everywhere.
+func buildInstance(t *testing.T) *model.MTSwitchInstance {
+	t.Helper()
+	tasks := []model.Task{
+		{Name: "A", Local: 2, V: 1},
+		{Name: "B", Local: 2, V: 1},
+	}
+	reqs := [][]bitset.Set{
+		{
+			bitset.FromMembers(2, 0), bitset.FromMembers(2, 0),
+			bitset.FromMembers(2, 1), bitset.FromMembers(2, 1),
+		},
+		{
+			bitset.FromMembers(2, 0, 1), bitset.FromMembers(2, 0, 1),
+			bitset.FromMembers(2, 0, 1), bitset.FromMembers(2, 0, 1),
+		},
+	}
+	ins, err := model.NewMTSwitchInstance(tasks, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestBuildHypergraph(t *testing.T) {
+	h := BuildHypergraph(buildInstance(t))
+	if h.Steps != 4 {
+		t.Fatalf("Steps = %d, want 4", h.Steps)
+	}
+	// Task 0 contributes two single-column edges ([0,1] and [2,3]);
+	// task 1's two identical columns collapse into one weight-2 edge
+	// spanning [0,3].
+	want := []Edge{
+		{Task: 0, Weight: 1, First: 0, Last: 1},
+		{Task: 0, Weight: 1, First: 2, Last: 3},
+		{Task: 1, Weight: 2, First: 0, Last: 3},
+	}
+	if len(h.Edges) != len(want) {
+		t.Fatalf("edges = %+v, want %+v", h.Edges, want)
+	}
+	for i, e := range want {
+		if h.Edges[i] != e {
+			t.Fatalf("edge %d = %+v, want %+v", i, h.Edges[i], e)
+		}
+	}
+}
+
+func TestCutProfile(t *testing.T) {
+	h := BuildHypergraph(buildInstance(t))
+	// Boundary 1 cuts task 0's first edge (+1) and task 1's group
+	// (+2); boundary 2 cuts only the group; boundary 3 cuts the group
+	// and task 0's second edge.
+	want := []int64{0, 3, 2, 3}
+	got := h.CutProfile()
+	if len(got) != len(want) {
+		t.Fatalf("profile = %v, want %v", got, want)
+	}
+	for s := range want {
+		if got[s] != want[s] {
+			t.Fatalf("profile[%d] = %d, want %d (full: %v)", s, got[s], want[s], got)
+		}
+	}
+}
+
+func TestPlanWindowsPrefersCheapBoundary(t *testing.T) {
+	plan := PlanWindows(buildInstance(t), 2, 0)
+	if len(plan.Boundaries) != 1 || plan.Boundaries[0] != 2 {
+		t.Fatalf("boundaries = %v, want [2]", plan.Boundaries)
+	}
+	if plan.CutColumns != 2 {
+		t.Fatalf("CutColumns = %d, want 2", plan.CutColumns)
+	}
+	wins := plan.Windows(4)
+	if len(wins) != 2 || wins[0] != [2]int{0, 2} || wins[1] != [2]int{2, 4} {
+		t.Fatalf("windows = %v", wins)
+	}
+}
+
+func TestPlanWindowsCutCap(t *testing.T) {
+	// Every boundary of this instance cuts at least 2 columns, so a
+	// cap of 1 must merge all windows back into a monolithic plan.
+	plan := PlanWindows(buildInstance(t), 2, 1)
+	if len(plan.Boundaries) != 0 || plan.CutColumns != 0 {
+		t.Fatalf("plan = %+v, want empty", plan)
+	}
+}
+
+func TestPlanWindowsCutFreeBlocked(t *testing.T) {
+	ins, err := workload.Blocked(workload.Config{Tasks: 3, Steps: 24, Switches: 12, MeanPhase: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanWindows(ins, 3, 0)
+	if len(plan.Boundaries) != 2 {
+		t.Fatalf("boundaries = %v, want 2 of them", plan.Boundaries)
+	}
+	if plan.CutColumns != 0 {
+		t.Fatalf("CutColumns = %d, want 0 (block-disjoint working sets)", plan.CutColumns)
+	}
+	for _, s := range plan.Boundaries {
+		if s%4 != 0 {
+			t.Fatalf("boundary %d is not on a block edge (block length 4): %v", s, plan.Boundaries)
+		}
+	}
+}
+
+func TestAutoPartitions(t *testing.T) {
+	cases := []struct{ steps, want int }{
+		{0, 1}, {63, 1}, {64, 2}, {96, 3}, {256, 8}, {100000, 64},
+	}
+	for _, c := range cases {
+		if got := AutoPartitions(c.steps); got != c.want {
+			t.Fatalf("AutoPartitions(%d) = %d, want %d", c.steps, got, c.want)
+		}
+	}
+}

@@ -48,10 +48,11 @@ func requestKey(inst *solve.Instance, solver string, opts solve.Options) (string
 // order.  New fields must be appended here; the format is not
 // persisted anywhere, so changing it only empties the in-memory cache.
 func writeOptions(w io.Writer, o solve.Options) {
-	fmt.Fprintf(w, "opts\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d\x00%g\x00%g\x00%d\x00%d\x00%t\x00%d\x00%d\x00%g\x00%g\x00%d\x00%d\x00%t\x00",
+	fmt.Fprintf(w, "opts\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d\x00%g\x00%g\x00%d\x00%d\x00%t\x00%d\x00%d\x00%g\x00%g\x00%d\x00%d\x00%t\x00%d\x00%d\x00",
 		o.Timeout, o.MaxStates, o.MaxCandidates, o.Workers, o.Seed,
 		o.Pop, o.Generations, o.MutRate, o.CrossRate, o.TournamentK,
 		o.Elites, o.NoHeuristicSeeds, o.Crossover,
 		o.Iterations, o.InitialTemp, o.Cooling, o.IntervalK,
-		o.MaxFrontierBytes, o.DisablePruning)
+		o.MaxFrontierBytes, o.DisablePruning,
+		o.Partitions, o.MaxCutColumns)
 }

@@ -67,6 +67,13 @@ type metrics struct {
 	peerServeWaits  atomic.Int64 // peer lookups that joined an in-flight solve (cross-node singleflight)
 	peerServeMisses atomic.Int64
 
+	// Partitioned-solve counters: windows solved, weighted cut columns
+	// accepted, and nanoseconds spent stitching (exact-partitioned runs
+	// only, whether auto-dispatched or requested).
+	partitionParts    atomic.Int64
+	partitionCut      atomic.Int64
+	partitionStitchNs atomic.Int64
+
 	// Streaming-session counters.
 	sessionSteps    atomic.Int64 // demand rows accepted across all sessions
 	sessionsEvicted atomic.Int64 // engines checkpointed out under memory pressure
@@ -202,6 +209,9 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	gauge("hyperd_cache_entries", int64(g.cacheEntries))
 	gauge("hyperd_sessions_active", int64(g.sessionsActive))
 	gauge("hyperd_session_engine_bytes", g.sessionBytes)
+	counter("hyperd_partition_parts_total", m.partitionParts.Load())
+	counter("hyperd_partition_cut_columns_total", m.partitionCut.Load())
+	counter("hyperd_partition_stitch_ns_total", m.partitionStitchNs.Load())
 	counter("hyperd_session_steps_total", m.sessionSteps.Load())
 	counter("hyperd_sessions_evicted_total", m.sessionsEvicted.Load())
 	counter("hyperd_sessions_revived_total", m.sessionsRevived.Load())

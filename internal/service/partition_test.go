@@ -1,0 +1,113 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+// blockedRequest builds an inline blocked-workload request of the
+// given step count.
+func blockedRequest(t *testing.T, solver string, steps int) *SolveRequest {
+	t.Helper()
+	mt, err := workload.Blocked(workload.Config{Tasks: 2, Steps: steps, Switches: 8, MeanPhase: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &SolveRequest{Solver: solver, Instance: WireInstanceFrom(mt)}
+}
+
+// TestPartitionAutoDispatch pins the dispatch rewrite: exact mtswitch
+// submissions at or above Config.PartitionSteps run as
+// exact-partitioned (sharing cache lines with directly requested
+// partitioned solves), smaller ones and other solvers are untouched,
+// and the partition metric families appear after a partitioned solve.
+func TestPartitionAutoDispatch(t *testing.T) {
+	s := New(Config{Workers: 2, PartitionSteps: 16})
+	defer shutdown(t, s)
+
+	big, _, err := s.Submit(blockedRequest(t, "exact", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, big)
+	if big.Solver != "exact-partitioned" {
+		t.Fatalf("16-step exact job ran as %q, want exact-partitioned", big.Solver)
+	}
+	sol, err := big.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.Partitions < 1 {
+		t.Fatalf("Stats.Partitions = %d, want ≥ 1", sol.Stats.Partitions)
+	}
+
+	// A direct exact-partitioned submit of the same instance must hit
+	// the cache line the dispatched job filled.
+	direct, _, err := s.Submit(blockedRequest(t, "exact-partitioned", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, direct)
+	if !direct.CacheHit {
+		t.Fatal("direct exact-partitioned submit missed the dispatched job's cache line")
+	}
+
+	small, _, err := s.Submit(blockedRequest(t, "exact", 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, small)
+	if small.Solver != "exact" {
+		t.Fatalf("12-step exact job ran as %q, want exact", small.Solver)
+	}
+
+	var buf bytes.Buffer
+	s.metrics.render(&buf, s.gauges())
+	for _, name := range []string{
+		"hyperd_partition_parts_total",
+		"hyperd_partition_cut_columns_total",
+		"hyperd_partition_stitch_ns_total",
+	} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("metrics missing %s:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestPartitionDispatchDisabled pins the default: with PartitionSteps
+// zero, huge exact submissions stay monolithic.
+func TestPartitionDispatchDisabled(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+
+	job, _, err := s.Submit(blockedRequest(t, "exact", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if job.Solver != "exact" {
+		t.Fatalf("job ran as %q, want exact (dispatch disabled)", job.Solver)
+	}
+}
+
+// TestPartitionStatsWireRoundTrip pins the wire inverse pair for the
+// new stats fields — the cluster peer fill depends on it.
+func TestPartitionStatsWireRoundTrip(t *testing.T) {
+	in := solve.Stats{
+		StatesExpanded: 7,
+		Partitions:     3,
+		CutColumns:     5,
+		StitchBound:    11,
+		StitchTime:     2 * time.Millisecond,
+	}
+	out := statsFromWire(wireStats(in))
+	if out.Partitions != in.Partitions || out.CutColumns != in.CutColumns ||
+		out.StitchBound != in.StitchBound || out.StitchTime != in.StitchTime {
+		t.Fatalf("round trip lost partition stats: %+v -> %+v", in, out)
+	}
+}

@@ -54,6 +54,14 @@ type Config struct {
 	// eviction).
 	SessionBytes int64
 
+	// PartitionSteps, when positive, auto-dispatches "exact" mtswitch
+	// submissions at or above this step count to the exact-partitioned
+	// solver (the monolithic DP's frontier is the scaling wall; the
+	// partitioned solver trades a certified stitch bound for it).  The
+	// rewrite happens before hashing, so dispatched and directly
+	// requested partitioned solves share cache lines.  0 disables.
+	PartitionSteps int
+
 	// NodeID names this node in /v1/healthz and cluster membership
 	// (default "hyperd").
 	NodeID string
@@ -299,6 +307,10 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 	res, err := req.resolve()
 	if err != nil {
 		return nil, false, err
+	}
+	if s.cfg.PartitionSteps > 0 && res.solver == "exact" &&
+		res.inst.Kind() == solve.KindMTSwitch && res.inst.MT.Steps() >= s.cfg.PartitionSteps {
+		res.solver = "exact-partitioned"
 	}
 	opts := s.limits().clamp(res.opts)
 	key, err := requestKey(res.inst, res.solver, opts)
@@ -661,6 +673,11 @@ func (s *Server) finalizeNoted(job *Job, sol *solve.Solution, err error) {
 		}
 		if sol.Stats.Degraded {
 			s.metrics.degraded.Add(1)
+		}
+		if sol.Stats.Partitions > 0 {
+			s.metrics.partitionParts.Add(sol.Stats.Partitions)
+			s.metrics.partitionCut.Add(sol.Stats.CutColumns)
+			s.metrics.partitionStitchNs.Add(int64(sol.Stats.StitchTime))
 		}
 		s.metrics.completed.Add(1)
 		s.metrics.observe(job.Solver, now.Sub(job.started))

@@ -118,6 +118,12 @@ type WireOptions struct {
 	// DisablePruning turns off the exact solver's pruned-search layer
 	// (baselining knob; never changes an untruncated cost).
 	DisablePruning bool `json:"disable_pruning,omitempty"`
+	// Partitions is the exact-partitioned solver's window count
+	// (0 = automatic, 1 = monolithic).
+	Partitions int `json:"partitions,omitempty"`
+	// MaxCutColumns caps the weighted column cut the partition planner
+	// may accept (0 = uncapped).
+	MaxCutColumns int `json:"max_cut_columns,omitempty"`
 }
 
 // toSolve maps the wire options onto solve.Options.
@@ -140,6 +146,8 @@ func (o WireOptions) toSolve() (solve.Options, error) {
 		InitialTemp:      o.InitialTemp,
 		Cooling:          o.Cooling,
 		IntervalK:        o.IntervalK,
+		Partitions:       o.Partitions,
+		MaxCutColumns:    o.MaxCutColumns,
 	}
 	switch o.Crossover {
 	case "", "uniform":
@@ -331,7 +339,14 @@ type WireStats struct {
 	// degraded run — how lossy the degradation was.
 	BudgetDropped int64 `json:"budget_dropped,omitempty"`
 	Evaluations   int64 `json:"evaluations"`
-	Truncated     bool  `json:"truncated,omitempty"`
+	// Partitions, CutColumns and StitchBound describe a partitioned
+	// solve: window count, weighted column cut, and the certified
+	// additive slack (the optimum lies in [cost − stitch_bound, cost]).
+	Partitions  int64   `json:"partitions,omitempty"`
+	CutColumns  int64   `json:"cut_columns,omitempty"`
+	StitchBound int64   `json:"stitch_bound,omitempty"`
+	StitchMS    float64 `json:"stitch_ms,omitempty"`
+	Truncated   bool    `json:"truncated,omitempty"`
 	// Degraded reports the solver gave up exactness to stay inside its
 	// memory budget; such results are never exact.
 	Degraded bool    `json:"degraded,omitempty"`
@@ -378,6 +393,10 @@ func wireStats(st solve.Stats) WireStats {
 		PreprocessReduction: st.PreprocessReduction,
 		BudgetDropped:       st.BudgetDropped,
 		Evaluations:         st.Evaluations,
+		Partitions:          st.Partitions,
+		CutColumns:          st.CutColumns,
+		StitchBound:         st.StitchBound,
+		StitchMS:            float64(st.StitchTime) / float64(time.Millisecond),
 		Truncated:           st.Truncated,
 		Degraded:            st.Degraded,
 		WallMS:              float64(st.WallTime) / float64(time.Millisecond),
@@ -397,6 +416,10 @@ func statsFromWire(ws WireStats) solve.Stats {
 		PreprocessReduction: ws.PreprocessReduction,
 		BudgetDropped:       ws.BudgetDropped,
 		Evaluations:         ws.Evaluations,
+		Partitions:          ws.Partitions,
+		CutColumns:          ws.CutColumns,
+		StitchBound:         ws.StitchBound,
+		StitchTime:          time.Duration(ws.StitchMS * float64(time.Millisecond)),
 		Truncated:           ws.Truncated,
 		Degraded:            ws.Degraded,
 		WallTime:            time.Duration(ws.WallMS * float64(time.Millisecond)),

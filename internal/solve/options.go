@@ -83,6 +83,16 @@ type Options struct {
 
 	// IntervalK is the period of the fixed-interval baseline solver.
 	IntervalK int
+
+	// Partitions is the window count of the partitioned MT-Switch solver
+	// ("exact-partitioned"): 0 selects an automatic k from the instance
+	// size, 1 forces a monolithic solve, and k ≥ 2 splits the step axis
+	// into k windows.  Other solvers ignore it.
+	Partitions int
+	// MaxCutColumns caps the weighted column cut the partition planner
+	// may accept: boundaries are dropped (merging adjacent windows)
+	// until the cut fits.  0 means uncapped.
+	MaxCutColumns int
 }
 
 // Validate rejects option values no solver can meaningfully honor.
@@ -137,6 +147,12 @@ func (o Options) Validate() error {
 	}
 	if o.IntervalK < 0 {
 		return fmt.Errorf("solve: negative interval %d", o.IntervalK)
+	}
+	if o.Partitions < 0 {
+		return fmt.Errorf("solve: negative partition count %d", o.Partitions)
+	}
+	if o.MaxCutColumns < 0 {
+		return fmt.Errorf("solve: negative cut-column cap %d", o.MaxCutColumns)
 	}
 	return nil
 }

@@ -165,6 +165,21 @@ type Stats struct {
 	// Evaluations counts full-schedule cost evaluations (brute force
 	// enumerations, GA fitness calls, annealing moves).
 	Evaluations int64
+	// Partitions counts the step-axis windows the partitioned solver
+	// split the instance into (0 when the run was not partitioned, 1
+	// when the planner collapsed to a monolithic solve).
+	Partitions int64
+	// CutColumns is the weighted column cut of the chosen partition:
+	// the total duplicate-group weight of switch columns whose activity
+	// interval spans at least one window boundary.
+	CutColumns int64
+	// StitchBound is the certified additive slack of a partitioned
+	// solve: the optimum is guaranteed to lie in
+	// [Cost − StitchBound, Cost].  0 on runs the solver proved exact.
+	StitchBound int64
+	// StitchTime is the wall time of the stitching and coupling
+	// correction passes of a partitioned solve.
+	StitchTime time.Duration
 	// Truncated reports that a beam/candidate cap limited the search,
 	// so the result is an upper bound rather than a proven optimum.
 	Truncated bool
@@ -195,6 +210,10 @@ func (s *Stats) Add(o Stats) {
 	s.PreprocessReduction += o.PreprocessReduction
 	s.BudgetDropped += o.BudgetDropped
 	s.Evaluations += o.Evaluations
+	s.Partitions += o.Partitions
+	s.CutColumns += o.CutColumns
+	s.StitchBound += o.StitchBound
+	s.StitchTime += o.StitchTime
 	s.Truncated = s.Truncated || o.Truncated
 	s.Degraded = s.Degraded || o.Degraded
 }

@@ -2,8 +2,8 @@
 // registry.  Importing it (usually blank from package main, or
 // transitively through internal/core) makes the solver names
 //
-//	exact, fast, greedy, interval, changeover, bruteforce, minsat,
-//	aligned, beam, ga, anneal, pertask
+//	exact, exact-partitioned, fast, greedy, interval, changeover,
+//	bruteforce, minsat, aligned, beam, ga, anneal, pertask
 //
 // resolvable via solve.Get / solve.Run.  The adapters translate the
 // normalized solve.Instance into each package's native types and wrap
@@ -20,6 +20,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/mtdag"
 	"repro/internal/mtswitch"
+	"repro/internal/partition"
 	"repro/internal/phc"
 	"repro/internal/solve"
 )
@@ -209,6 +210,24 @@ func init() {
 				return nil, fmt.Errorf("solvers: exact: unsupported kind %v", inst.Kind())
 			}
 		})})
+
+	// exact-partitioned: the step-axis hypergraph decomposition of the
+	// exact MT-Switch DP — windows solved concurrently, stitched with
+	// a coupling correction and a certified additive bound
+	// (Stats.{Partitions, CutColumns, StitchBound, StitchTime}).  Not
+	// marked Exact: a genuinely partitioned run returns an upper bound
+	// whose gap is certified by StitchBound; Solution.Exact is still
+	// true when the run delegated to the monolithic engine or the
+	// certificate collapsed to a point (StitchBound 0).
+	solve.Register(solve.NewSolver("exact-partitioned",
+		solve.Capabilities{Kinds: []solve.Kind{solve.KindMTSwitch}},
+		func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+			s, err := partition.Solve(ctx, inst.MT, inst.Cost, opts)
+			if err != nil {
+				return nil, err
+			}
+			return fromMT(s, partition.IsExact(s)), nil
+		}))
 
 	// fast: the O(n·(L+K)) single-task Switch DP (same optimum as
 	// exact, different algorithm).

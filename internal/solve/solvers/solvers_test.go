@@ -97,7 +97,8 @@ func kindInstances(t *testing.T) map[solve.Kind]*solve.Instance {
 func TestRegisteredNames(t *testing.T) {
 	want := []string{
 		"aligned", "anneal", "beam", "bruteforce", "changeover", "exact",
-		"fast", "ga", "greedy", "interval", "minsat", "pertask",
+		"exact-partitioned", "fast", "ga", "greedy", "interval", "minsat",
+		"pertask",
 	}
 	got := solve.Names()
 	if len(got) != len(want) {

@@ -11,6 +11,9 @@
 //   - Markov: two-state (active/idle) requirement process per task.
 //   - Uniform: iid random requirements (the unstructured worst case —
 //     hyperreconfiguration helps least here).
+//   - Blocked: aligned fixed-length blocks with block-disjoint working
+//     sets and a controllable number of boundary-spanning columns (the
+//     reference workload of the partitioned solver).
 //
 // All generators are deterministic functions of their Config.Seed.
 package workload
@@ -39,6 +42,11 @@ type Config struct {
 	// MeanPhase is the mean phase length in steps for Phased/Bursty
 	// (default 8).
 	MeanPhase int
+	// CutWidth is the number of extra switch columns the Blocked
+	// generator makes active at every step, so their activity intervals
+	// span every block boundary (0 = cut-free blocks).  Other
+	// generators ignore it.
+	CutWidth int
 	// Seed drives the deterministic random source (default 1).
 	Seed int64
 }
@@ -219,6 +227,86 @@ func Uniform(cfg Config) (*model.MTSwitchInstance, error) {
 	return model.NewMTSwitchInstance(cfg.tasks(), reqs)
 }
 
+// Blocked generates aligned fixed-length blocks (length MeanPhase,
+// shared across tasks) whose working sets are drawn from
+// block-disjoint column ranges: block b of task j works on its own ws
+// columns, the block's first and last steps require the full working
+// set (so every column's activity interval spans its whole block and
+// only block edges are cut-free), and the steps between require
+// random nonempty subsets of it.  Each
+// task's v_j is the working-set size ws, which makes a fresh install
+// at every block boundary optimal — so the instance decomposes
+// exactly along block boundaries and is the reference workload of the
+// partitioned solver (cut-free when CutWidth is 0).
+//
+// CutWidth > 0 additionally reserves CutWidth columns per task that
+// every step requires, so their activity intervals span every block
+// boundary — a controllable column cut for exercising the certified
+// stitch bound.  Density is ignored: within-block subsets are drawn
+// at a fixed 0.7 so run-length compression cannot trivialize the
+// blocks.
+func Blocked(cfg Config) (*model.MTSwitchInstance, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CutWidth < 0 {
+		return nil, fmt.Errorf("workload: negative cut width %d", cfg.CutWidth)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	blockLen := cfg.MeanPhase
+	nBlocks := (cfg.Steps + blockLen - 1) / blockLen
+	ws := (cfg.Switches - cfg.CutWidth) / nBlocks
+	if ws < 1 {
+		ws = 1
+	}
+	// The per-block ranges and the cut columns are carved out of the
+	// configured universe; only when Switches is too small for one
+	// column per block does the universe grow.
+	local := cfg.Switches
+	if min := nBlocks*ws + cfg.CutWidth; local < min {
+		local = min
+	}
+	tasks := make([]model.Task, cfg.Tasks)
+	for j := range tasks {
+		tasks[j] = model.Task{
+			Name:  fmt.Sprintf("T%d", j+1),
+			Local: local,
+			V:     model.Cost(ws),
+		}
+	}
+	reqs := make([][]bitset.Set, cfg.Tasks)
+	for j := 0; j < cfg.Tasks; j++ {
+		reqs[j] = make([]bitset.Set, cfg.Steps)
+		for i := 0; i < cfg.Steps; i++ {
+			base := (i / blockLen) * ws
+			req := bitset.New(local)
+			blockEnd := (i/blockLen+1)*blockLen - 1
+			if blockEnd > cfg.Steps-1 {
+				blockEnd = cfg.Steps - 1
+			}
+			if i%blockLen == 0 || i == blockEnd {
+				for c := 0; c < ws; c++ {
+					req.Add(base + c)
+				}
+			} else {
+				nonempty := false
+				for c := 0; c < ws; c++ {
+					if r.Float64() < 0.7 {
+						req.Add(base + c)
+						nonempty = true
+					}
+				}
+				if !nonempty {
+					req.Add(base + r.Intn(ws))
+				}
+			}
+			for c := 0; c < cfg.CutWidth; c++ {
+				req.Add(local - 1 - c)
+			}
+			reqs[j][i] = req
+		}
+	}
+	return model.NewMTSwitchInstance(tasks, reqs)
+}
+
 // StreamConfig shapes a streaming trace: a generated instance replayed
 // as an opening batch plus timed increments, the arrival pattern the
 // session API consumes.
@@ -327,5 +415,6 @@ func Generators() map[string]func(Config) (*model.MTSwitchInstance, error) {
 		"bursty":  Bursty,
 		"markov":  Markov,
 		"uniform": Uniform,
+		"blocked": Blocked,
 	}
 }

@@ -7,7 +7,7 @@
 #                               on a >10% ns/op regression against
 #                               scripts/bench_baseline.txt
 #
-# The regenerate mode writes four artifacts, all committed:
+# The regenerate mode writes five artifacts, all committed:
 #
 #   BENCH_PR3.json            frontier-engine comparison (reference DP
 #                             vs packed engine at Workers=1 and
@@ -27,6 +27,16 @@
 #                             dense trace to a solved stepped engine vs
 #                             re-solving from scratch; produced by
 #                             `paperbench -bench6` (EXPERIMENTS.md E18).
+#   BENCH_PR8.json            partition-and-conquer comparison:
+#                             monolithic pruned exact engine vs the
+#                             partitioned solver on cut-free blocked
+#                             workloads, plus the memory-budget and
+#                             certified-bound scenarios; produced by
+#                             `paperbench -bench8` (EXPERIMENTS.md E20).
+#
+# BENCH_PR7.json (cluster-mode routing, EXPERIMENTS.md E19) is
+# regenerated separately by `go run ./cmd/hyperd bench -cluster -json
+# BENCH_PR7.json`; --check still requires it to be present.
 #
 # Every JSON row records pruning_enabled explicitly, so --check and any
 # downstream diffing compare like with like.
@@ -37,9 +47,17 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCH_PATTERN='BenchmarkFrontierEngines|BenchmarkScalingTasks'
+BENCH_PATTERN='BenchmarkFrontierEngines|BenchmarkScalingTasks|BenchmarkPartitionedSolve'
 
 if [ "${1:-}" = "--check" ]; then
+	# Every committed bench artifact must exist: a silently skipped
+	# baseline would let a regression land unnoticed.
+	for f in BENCH_PR3.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json; do
+		if [ ! -f "$f" ]; then
+			echo "bench.sh --check: committed baseline $f missing; regenerate it (scripts/bench.sh, or hyperd bench -cluster for BENCH_PR7.json)" >&2
+			exit 1
+		fi
+	done
 	if [ ! -f scripts/bench_baseline.txt ]; then
 		echo "bench.sh --check: scripts/bench_baseline.txt missing; run scripts/bench.sh first" >&2
 		exit 1
@@ -78,6 +96,7 @@ fi
 go run ./cmd/paperbench -bench -benchout BENCH_PR3.json
 go run ./cmd/paperbench -bench5 -bench5out BENCH_PR5.json
 go run ./cmd/paperbench -bench6 -bench6out BENCH_PR6.json
+go run ./cmd/paperbench -bench8 -bench8out BENCH_PR8.json
 
 go test -run '^$' -bench "$BENCH_PATTERN" \
 	-benchmem -count 1 . | tee scripts/bench_baseline.txt
