@@ -8,18 +8,28 @@
 //	hyperd [-addr :8077] [-workers N] [-queue N] [-cache N] [-max-timeout 60s]
 //	       [-max-frontier-bytes N] [-breaker-threshold N] [-breaker-cooldown 10s]
 //	       [-max-sessions N] [-session-bytes N] [-partition-steps N]
+//	       [-data-dir DIR] [-fsync always|interval|never] [-wal-segment-bytes N]
 //	hyperd bench [-solver aligned] [-gen phased] [-tasks 4] [-steps 64]
 //	             [-switches 16] [-conc 32] [-duration 2s]
 //	hyperd bench -sessions [-solver exact] [-gen dense] [-tasks 4] [-steps 64]
 //	             [-switches 16] [-batch 2] [-no-pruning]
 //	hyperd bench -cluster [-nodes 3] [-twins 24] [-json out.json]
 //	             [-router URL -peers URL,URL,...]
+//	hyperd bench -restart-midway [-restart-jobs 24] [-fsync always]
+//	             [-json out.json]
 //	hyperd route -peers URL,URL,... [-addr 127.0.0.1:8078] [-vnodes 64]
 //	             [-sticky N] [-max-timeout 60s] [-max-frontier-bytes N]
 //
 // The default mode serves until SIGINT/SIGTERM, then shuts down
 // gracefully: new submits are rejected, queued jobs drain as canceled,
 // and in-flight solves stop at their next cancellation checkpoint.
+// With -data-dir the daemon journals job submissions, completions and
+// session step batches to a write-ahead log under that directory and
+// spills the canonical cache and evicted session checkpoints to a
+// content-addressed disk store; after a crash (or kill -9) a restart
+// on the same directory replays the journal, warm-loads the cache,
+// revives streaming sessions and re-enqueues incomplete jobs. The
+// graceful drain compacts and flushes the WAL before exit.
 // With -peers and -self it joins a cluster: canonical-cache misses are
 // filled from the ring siblings over GET /v1/cache/{key} before the
 // local pool solves, and a fill may park on a sibling's in-flight twin
@@ -61,6 +71,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/durable"
 	"repro/internal/profutil"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -104,6 +115,11 @@ func runServe(args []string) error {
 		partSteps  = fs.Int("partition-steps", 256, "auto-dispatch exact mtswitch solves at or above this step count to the exact-partitioned solver (0 disables)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 
+		dataDir  = fs.String("data-dir", "", "durable state directory: journal jobs/sessions to a WAL and spill caches/checkpoints for crash recovery (empty = in-memory only)")
+		fsyncPol = fs.String("fsync", "always", "WAL flush policy: always, interval or never")
+		fsyncInt = fs.Duration("fsync-interval", 100*time.Millisecond, "background WAL flush period under -fsync interval")
+		walSeg   = fs.Int64("wal-segment-bytes", 8<<20, "WAL segment rotation size in bytes")
+
 		peers      = fs.String("peers", "", "comma-separated base URLs of every cluster node, this one included (enables peer cache fill)")
 		self       = fs.String("self", "", "this node's own base URL as listed in -peers (required with -peers)")
 		nodeID     = fs.String("node-id", "", "node identity reported in /v1/healthz (default: -self, else \"hyperd\")")
@@ -116,6 +132,10 @@ func runServe(args []string) error {
 		return err
 	}
 
+	fsync, err := durable.ParseFsyncPolicy(*fsyncPol)
+	if err != nil {
+		return fmt.Errorf("-fsync: %w", err)
+	}
 	cfg := service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -128,6 +148,10 @@ func runServe(args []string) error {
 		SessionBytes:     *sessBytes,
 		PartitionSteps:   *partSteps,
 		NodeID:           *nodeID,
+		DataDir:          *dataDir,
+		Fsync:            fsync,
+		FsyncInterval:    *fsyncInt,
+		WALSegmentBytes:  *walSeg,
 	}
 	if *peers != "" {
 		if *self == "" {
@@ -165,12 +189,18 @@ func runServe(args []string) error {
 			selfID, len(set.Members()), *vnodes)
 	}
 
-	srv := service.New(cfg)
+	srv, err := service.Open(cfg)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "hyperd: durable state in %s (fsync=%s)\n", *dataDir, *fsyncPol)
 	}
 	fmt.Fprintf(os.Stderr, "hyperd: listening on http://%s\n", ln.Addr())
 
@@ -235,10 +265,24 @@ func runBench(args []string, w io.Writer) error {
 		routerURL = fs.String("router", "", "existing router base URL; with -peers, bench that cluster instead of spawning one")
 		peersF    = fs.String("peers", "", "existing cluster node base URLs, comma-separated (with -router)")
 		twins     = fs.Int("twins", 24, "twin pairs driven through the peer-fill correctness phase (cluster mode)")
-		jsonOut   = fs.String("json", "", "write the cluster bench report to this file (cluster mode)")
+		jsonOut   = fs.String("json", "", "write the cluster bench report to this file (cluster or restart-midway mode)")
+
+		restartMid  = fs.Bool("restart-midway", false, "load a durable daemon, crash it in-process (kill -9 shape) and measure recovery on restart")
+		restartJobs = fs.Int("restart-jobs", 24, "distinct solves journaled before the crash (restart-midway mode)")
+		benchFsync  = fs.String("fsync", "always", "WAL flush policy for the durable daemon (restart-midway mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *restartMid {
+		fsync, err := durable.ParseFsyncPolicy(*benchFsync)
+		if err != nil {
+			return fmt.Errorf("-fsync: %w", err)
+		}
+		return restartBench(w, restartBenchOpts{
+			solver: *solver, gen: *gen, tasks: *tasks, steps: *steps, switches: *switches,
+			workers: *workers, jobs: *restartJobs, fsync: fsync, jsonPath: *jsonOut,
+		})
 	}
 	if *sessions {
 		return sessionBench(w, *solver, *gen, *tasks, *steps, *switches, *batch, *workers, *noPrune)

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// restartBenchOpts parameterizes hyperd bench -restart-midway: a
+// durable daemon is loaded with distinct solves and one streaming
+// session, crashed in-process the way kill -9 would, and restarted on
+// the same data directory.  The bench reports how long the restart
+// takes to reach "ready" and how much of the pre-crash work survives.
+type restartBenchOpts struct {
+	solver   string
+	gen      string
+	tasks    int
+	steps    int
+	switches int
+	workers  int
+	jobs     int
+	fsync    durable.FsyncPolicy
+	jsonPath string
+}
+
+// restartBenchReport is the JSON shape written by -json.
+type restartBenchReport struct {
+	Solver       string  `json:"solver"`
+	Gen          string  `json:"gen"`
+	Jobs         int     `json:"jobs"`
+	Fsync        string  `json:"fsync"`
+	LoadSeconds  float64 `json:"load_seconds"`
+	ReadySeconds float64 `json:"ready_seconds"`
+	WarmHits     int     `json:"warm_hits"`
+	WarmHitRatio float64 `json:"warm_hit_ratio"`
+	ByteMatches  int     `json:"byte_identical_schedules"`
+	SessionAlive bool    `json:"session_revived"`
+	SessionSteps int     `json:"session_steps"`
+}
+
+type solveReply struct {
+	CacheHit bool            `json:"cache_hit"`
+	Result   json.RawMessage `json:"result"`
+}
+
+func restartBench(w io.Writer, o restartBenchOpts) error {
+	generate, ok := workload.Generators()[o.gen]
+	if !ok {
+		return fmt.Errorf("unknown generator %q", o.gen)
+	}
+	dir, err := os.MkdirTemp("", "hyperd-restart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := service.Config{
+		Workers:      o.workers,
+		QueueDepth:   4096,
+		CacheEntries: 1 << 20,
+		DataDir:      dir,
+		Fsync:        o.fsync,
+	}
+	start := func() (*service.Server, *http.Server, net.Listener, string, error) {
+		srv, err := service.Open(cfg)
+		if err != nil {
+			return nil, nil, nil, "", err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, "", err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		return srv, httpSrv, ln, "http://" + ln.Addr().String(), nil
+	}
+
+	client := &http.Client{}
+	postJSON := func(base, path string, body any, out any) error {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		if out != nil {
+			return json.Unmarshal(raw, out)
+		}
+		return nil
+	}
+
+	makeReq := func(seed int64) (*service.SolveRequest, error) {
+		mt, err := generate(workload.Config{
+			Tasks: o.tasks, Steps: o.steps, Switches: o.switches, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &service.SolveRequest{Solver: o.solver, Instance: service.WireInstanceFrom(mt)}, nil
+	}
+
+	fmt.Fprintf(w, "hyperd bench -restart-midway: solver=%s gen=%s m=%d n=%d l=%d jobs=%d fsync=%s\n",
+		o.solver, o.gen, o.tasks, o.steps, o.switches, o.jobs, o.fsync)
+
+	// ---- Run A: load, then crash. -------------------------------------
+	srvA, httpA, lnA, baseA, err := start()
+	if err != nil {
+		return err
+	}
+	loadStart := time.Now()
+	oracle := make([]json.RawMessage, o.jobs)
+	for i := 0; i < o.jobs; i++ {
+		req, err := makeReq(int64(i + 1))
+		if err != nil {
+			return err
+		}
+		var rep solveReply
+		if err := postJSON(baseA, "/v1/solve", req, &rep); err != nil {
+			return fmt.Errorf("pre-crash solve %d: %w", i, err)
+		}
+		oracle[i] = rep.Result
+	}
+
+	// One streaming session: open on a trace prefix, stream the rest in
+	// two batches, and leave it live when the crash lands.
+	sessMT, err := generate(workload.Config{Tasks: o.tasks, Steps: 8, Switches: o.switches, Seed: -7})
+	if err != nil {
+		return err
+	}
+	wi := service.WireInstanceFrom(sessMT)
+	open := *wi
+	open.Reqs = wi.Reqs[:4]
+	var sess service.SessionStatus
+	if err := postJSON(baseA, "/v1/sessions", &service.SessionRequest{
+		Solver: "exact", Instance: &open,
+	}, &sess); err != nil {
+		return fmt.Errorf("pre-crash session: %w", err)
+	}
+	for _, cut := range [][2]int{{4, 6}, {6, 8}} {
+		if err := postJSON(baseA, "/v1/sessions/"+sess.ID+"/steps",
+			&service.SessionSteps{Reqs: wi.Reqs[cut[0]:cut[1]]}, &sess); err != nil {
+			return fmt.Errorf("pre-crash steps: %w", err)
+		}
+	}
+	loadElapsed := time.Since(loadStart)
+
+	srvA.Abandon()
+	httpA.Close()
+	lnA.Close()
+
+	// ---- Run B: restart on the same directory, measure recovery. ------
+	readyStart := time.Now()
+	srvB, err := service.Open(cfg)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	for srvB.Health().State != "ready" {
+		time.Sleep(2 * time.Millisecond)
+	}
+	readyElapsed := time.Since(readyStart)
+
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpB := &http.Server{Handler: srvB.Handler()}
+	go httpB.Serve(lnB)
+	baseB := "http://" + lnB.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srvB.Shutdown(ctx)
+		httpB.Shutdown(ctx)
+		lnB.Close()
+	}()
+
+	warmHits, byteMatches := 0, 0
+	for i := 0; i < o.jobs; i++ {
+		req, err := makeReq(int64(i + 1))
+		if err != nil {
+			return err
+		}
+		var rep solveReply
+		if err := postJSON(baseB, "/v1/solve", req, &rep); err != nil {
+			return fmt.Errorf("post-crash solve %d: %w", i, err)
+		}
+		if rep.CacheHit {
+			warmHits++
+		}
+		if bytes.Equal(rep.Result, oracle[i]) {
+			byteMatches++
+		}
+	}
+
+	// The session must still answer, with its full pre-crash trace, and
+	// accept another batch (proving the engine revived, not just the
+	// metadata).
+	revived := false
+	var after service.SessionStatus
+	resp, err := client.Get(baseB + "/v1/sessions/" + sess.ID)
+	if err == nil {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && json.Unmarshal(raw, &after) == nil {
+			revived = after.Steps == sess.Steps
+		}
+	}
+
+	ratio := float64(warmHits) / float64(o.jobs)
+	fmt.Fprintf(w, "load:     %d solves + 1 session in %v\n", o.jobs, loadElapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "recovery: ready in %v\n", readyElapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "warm:     %d/%d cache hits (%.0f%%), %d/%d byte-identical schedules\n",
+		warmHits, o.jobs, 100*ratio, byteMatches, o.jobs)
+	fmt.Fprintf(w, "session:  revived=%v steps=%d/%d\n", revived, after.Steps, sess.Steps)
+
+	if o.jsonPath != "" {
+		rep := restartBenchReport{
+			Solver: o.solver, Gen: o.gen, Jobs: o.jobs, Fsync: o.fsync.String(),
+			LoadSeconds: loadElapsed.Seconds(), ReadySeconds: readyElapsed.Seconds(),
+			WarmHits: warmHits, WarmHitRatio: ratio, ByteMatches: byteMatches,
+			SessionAlive: revived, SessionSteps: after.Steps,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := durable.AtomicWrite(o.jsonPath, append(data, '\n')); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report:   %s\n", o.jsonPath)
+	}
+	if warmHits == 0 {
+		return fmt.Errorf("no warm cache hits after restart: recovery failed")
+	}
+	if !revived {
+		return fmt.Errorf("session %s did not survive the restart", sess.ID)
+	}
+	return nil
+}

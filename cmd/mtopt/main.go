@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/model"
 	"repro/internal/mtswitch"
 	"repro/internal/profutil"
@@ -123,7 +124,7 @@ func steppedSolve(ctx context.Context, eng solve.StepEngine, ckptPath string, ev
 			if err != nil {
 				return nil, err
 			}
-			if err := writeFileAtomic(ckptPath, data); err != nil {
+			if err := durable.AtomicWrite(ckptPath, data); err != nil {
 				return nil, err
 			}
 		}
@@ -132,18 +133,6 @@ func steppedSolve(ctx context.Context, eng solve.StepEngine, ckptPath string, ev
 		}
 	}
 	return eng.Solution(ctx)
-}
-
-func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
 }
 
 // runResumed continues a checkpointed solve.  The instance travels

@@ -1,0 +1,364 @@
+// The -bench9 mode records the durability baseline (BENCH_PR9.json,
+// EXPERIMENTS.md E21): what the write-ahead log costs on the solve
+// path, and what a crash costs on the recovery path.
+//
+// Two scenarios are recorded:
+//
+//   - overhead: the same batch of distinct solves driven through the
+//     service worker pool on an in-memory server and on durable
+//     servers under each fsync policy (always, interval, never); the
+//     run reports solves/s per mode, the slowdown versus in-memory,
+//     and the WAL counters (appends, fsyncs, bytes) behind it;
+//   - recovery: a durable server is loaded with solves plus one
+//     streaming session, abandoned the way kill -9 would, and
+//     reopened on the same directory — the run reports time-to-ready,
+//     the warm-hit ratio on resubmission, byte-identity of the
+//     replayed schedules against the pre-crash oracle, and session
+//     revival.  -bench9 fails unless every resubmitted solve warm-hits
+//     with a byte-identical schedule and the session revives.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/model"
+	"repro/internal/service"
+	"repro/internal/solve"
+	"repro/internal/workload"
+)
+
+// scheduleBytes renders the parts of a solution a replay must preserve
+// exactly — cost and schedule, not the volatile solve stats (wall_ms,
+// states_expanded), which a cache hit legitimately reports differently.
+func scheduleBytes(sol *solve.Solution) ([]byte, error) {
+	return json.Marshal(struct {
+		Cost  model.Cost
+		Sched *model.MTSchedule
+	}{sol.Cost, sol.MTSched})
+}
+
+// durableWorkload parameterizes the instances both scenarios solve.
+var durableWorkload = workload.Config{Tasks: 4, Steps: 48, Switches: 16, Seed: 3}
+
+// durableSmallWorkload replaces durableWorkload under -bench9small.
+var durableSmallWorkload = workload.Config{Tasks: 3, Steps: 24, Switches: 8, Seed: 3}
+
+// durOverheadRun is one fsync mode's measurement on the overhead batch.
+type durOverheadRun struct {
+	Mode       string  `json:"mode"` // "memory", "always", "interval", "never"
+	Jobs       int     `json:"jobs"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Slowdown is this mode's wall time ÷ the in-memory wall time.
+	Slowdown   float64 `json:"slowdown_vs_memory"`
+	WALAppends int64   `json:"wal_appends"`
+	WALFsyncs  int64   `json:"wal_fsyncs"`
+	WALBytes   int64   `json:"wal_bytes"`
+}
+
+// durRecoveryScenario records the crash-and-reopen measurement.
+type durRecoveryScenario struct {
+	Jobs            int     `json:"jobs"`
+	SessionSteps    int     `json:"session_steps"`
+	LoadSeconds     float64 `json:"load_seconds"`
+	ReadySeconds    float64 `json:"ready_seconds"`
+	WarmHits        int     `json:"warm_hits"`
+	WarmHitRatio    float64 `json:"warm_hit_ratio"`
+	ByteIdentical   int     `json:"byte_identical_schedules"`
+	JobsRequeued    int64   `json:"jobs_requeued"`
+	SessionsRevived int64   `json:"sessions_revived"`
+	CacheWarmloaded int64   `json:"cache_warmloaded"`
+}
+
+// durableBaseline is the schema of BENCH_PR9.json.
+type durableBaseline struct {
+	Benchmark  string              `json:"benchmark"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Small      bool                `json:"small,omitempty"`
+	Overhead   []durOverheadRun    `json:"overhead"`
+	Recovery   durRecoveryScenario `json:"recovery"`
+}
+
+// durableReqs builds n distinct solve requests off the workload config.
+func durableReqs(cfg workload.Config, n int, solver string) ([]*service.SolveRequest, error) {
+	generate := workload.Generators()["phased"]
+	reqs := make([]*service.SolveRequest, n)
+	for i := range reqs {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*101
+		mt, err := generate(c)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = &service.SolveRequest{Solver: solver, Instance: service.WireInstanceFrom(mt)}
+	}
+	return reqs, nil
+}
+
+// driveBatch submits every request and waits for all of them.
+func driveBatch(s *service.Server, reqs []*service.SolveRequest) error {
+	jobs := make([]*service.Job, 0, len(reqs))
+	for _, req := range reqs {
+		job, _, err := s.Submit(req)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, job)
+	}
+	for _, job := range jobs {
+		<-job.Done()
+		if _, err := job.Solution(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrapeMetric reads one counter off the server's /metrics endpoint.
+func scrapeMetric(s *service.Server, name string) int64 {
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return int64(v)
+			}
+		}
+	}
+	return 0
+}
+
+// overheadMode times the batch under one durability mode.
+func overheadMode(mode string, reqs []*service.SolveRequest) (durOverheadRun, error) {
+	cfg := service.Config{QueueDepth: 4096, CacheEntries: 1 << 20}
+	if mode != "memory" {
+		dir, err := os.MkdirTemp("", "bench9-*")
+		if err != nil {
+			return durOverheadRun{}, err
+		}
+		defer os.RemoveAll(dir)
+		fsync, err := durable.ParseFsyncPolicy(mode)
+		if err != nil {
+			return durOverheadRun{}, err
+		}
+		cfg.DataDir, cfg.Fsync = dir, fsync
+	}
+	s, err := service.Open(cfg)
+	if err != nil {
+		return durOverheadRun{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	start := time.Now()
+	if err := driveBatch(s, reqs); err != nil {
+		return durOverheadRun{}, err
+	}
+	elapsed := time.Since(start)
+	return durOverheadRun{
+		Mode:       mode,
+		Jobs:       len(reqs),
+		Seconds:    elapsed.Seconds(),
+		JobsPerSec: float64(len(reqs)) / elapsed.Seconds(),
+		WALAppends: scrapeMetric(s, "hyperd_wal_appends_total"),
+		WALFsyncs:  scrapeMetric(s, "hyperd_wal_fsyncs_total"),
+		WALBytes:   scrapeMetric(s, "hyperd_wal_bytes"),
+	}, nil
+}
+
+// recoveryScenario loads a durable server, abandons it mid-life and
+// measures what the reopen recovers.
+func recoveryScenario(cfg workload.Config, jobs int) (durRecoveryScenario, error) {
+	var sc durRecoveryScenario
+	dir, err := os.MkdirTemp("", "bench9-rec-*")
+	if err != nil {
+		return sc, err
+	}
+	defer os.RemoveAll(dir)
+	svcCfg := service.Config{QueueDepth: 4096, CacheEntries: 1 << 20, DataDir: dir}
+
+	reqs, err := durableReqs(cfg, jobs, "aligned")
+	if err != nil {
+		return sc, err
+	}
+
+	a, err := service.Open(svcCfg)
+	if err != nil {
+		return sc, err
+	}
+	loadStart := time.Now()
+	oracle := make([][]byte, jobs)
+	for i, req := range reqs {
+		job, _, err := a.Submit(req)
+		if err != nil {
+			return sc, err
+		}
+		<-job.Done()
+		sol, err := job.Solution()
+		if err != nil {
+			return sc, err
+		}
+		if oracle[i], err = scheduleBytes(sol); err != nil {
+			return sc, err
+		}
+	}
+
+	// One live streaming session: an opener prefix plus two batches.
+	sessCfg := cfg
+	sessCfg.Steps, sessCfg.Seed = 8, -11
+	mt, err := workload.Generators()["phased"](sessCfg)
+	if err != nil {
+		return sc, err
+	}
+	wi := service.WireInstanceFrom(mt)
+	open := *wi
+	open.Reqs = wi.Reqs[:4]
+	ctx := context.Background()
+	sess, err := a.CreateSession(ctx, &service.SessionRequest{Solver: "exact", Instance: &open})
+	if err != nil {
+		return sc, err
+	}
+	var last *service.SessionStatus
+	for _, cut := range [][2]int{{4, 6}, {6, 8}} {
+		if last, err = sess.Steps(ctx, &service.SessionSteps{Reqs: wi.Reqs[cut[0]:cut[1]]}); err != nil {
+			return sc, err
+		}
+	}
+	sc.Jobs, sc.SessionSteps = jobs, last.Steps
+	sc.LoadSeconds = time.Since(loadStart).Seconds()
+
+	a.Abandon()
+
+	readyStart := time.Now()
+	b, err := service.Open(svcCfg)
+	if err != nil {
+		return sc, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		b.Shutdown(ctx)
+	}()
+	for b.Health().State != "ready" {
+		time.Sleep(time.Millisecond)
+	}
+	sc.ReadySeconds = time.Since(readyStart).Seconds()
+
+	for i, req := range reqs {
+		job, _, err := b.Submit(req)
+		if err != nil {
+			return sc, err
+		}
+		<-job.Done()
+		if job.Snapshot().CacheHit {
+			sc.WarmHits++
+		}
+		sol, err := job.Solution()
+		if err != nil {
+			return sc, err
+		}
+		data, err := scheduleBytes(sol)
+		if err != nil {
+			return sc, err
+		}
+		if bytes.Equal(data, oracle[i]) {
+			sc.ByteIdentical++
+		}
+	}
+	sc.WarmHitRatio = float64(sc.WarmHits) / float64(jobs)
+	sc.JobsRequeued = scrapeMetric(b, "hyperd_recovery_jobs_requeued")
+	sc.SessionsRevived = scrapeMetric(b, "hyperd_recovery_sessions_revived")
+	sc.CacheWarmloaded = scrapeMetric(b, "hyperd_recovery_cache_warmloaded")
+
+	// The revived session must hold its pre-crash trace and accept
+	// another batch.
+	rec := httptest.NewRecorder()
+	b.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/"+last.ID, nil))
+	var after service.SessionStatus
+	if rec.Code != 200 || json.Unmarshal(rec.Body.Bytes(), &after) != nil || after.Steps != last.Steps {
+		return sc, fmt.Errorf("session %s did not survive the reopen (code %d)", last.ID, rec.Code)
+	}
+	return sc, nil
+}
+
+// durableBench runs the durability comparison and writes
+// BENCH_PR9.json.  Under small the workload shrinks and only the
+// always policy is timed next to in-memory — the recovery gates
+// (full warm-hit ratio, byte identity, session revival) always run.
+func durableBench(outPath string, small bool) error {
+	cfg := durableWorkload
+	jobs, recJobs := 96, 32
+	modes := []string{"memory", "always", "interval", "never"}
+	if small {
+		cfg = durableSmallWorkload
+		jobs, recJobs = 16, 8
+		modes = []string{"memory", "always"}
+	}
+
+	reqs, err := durableReqs(cfg, jobs, "aligned")
+	if err != nil {
+		return err
+	}
+	baseline := durableBaseline{
+		Benchmark:  "durable-wal",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Small:      small,
+	}
+	var memorySeconds float64
+	for _, mode := range modes {
+		run, err := overheadMode(mode, reqs)
+		if err != nil {
+			return fmt.Errorf("overhead %s: %w", mode, err)
+		}
+		if mode == "memory" {
+			memorySeconds = run.Seconds
+		}
+		if memorySeconds > 0 {
+			run.Slowdown = run.Seconds / memorySeconds
+		}
+		baseline.Overhead = append(baseline.Overhead, run)
+		fmt.Printf("overhead %-8s %3d solves in %7.1fms = %7.1f/s (slowdown %.2fx, %d appends, %d fsyncs)\n",
+			mode, run.Jobs, run.Seconds*1e3, run.JobsPerSec, run.Slowdown, run.WALAppends, run.WALFsyncs)
+	}
+
+	rec, err := recoveryScenario(cfg, recJobs)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	baseline.Recovery = rec
+	fmt.Printf("recovery %d solves + %d-step session: ready in %.1fms, %d/%d warm hits, %d/%d byte-identical, %d sessions revived\n",
+		rec.Jobs, rec.SessionSteps, rec.ReadySeconds*1e3, rec.WarmHits, rec.Jobs, rec.ByteIdentical, rec.Jobs, rec.SessionsRevived)
+
+	if rec.WarmHits != rec.Jobs {
+		return fmt.Errorf("recovery: %d/%d warm hits — journaled completions must all replay", rec.WarmHits, rec.Jobs)
+	}
+	if rec.ByteIdentical != rec.Jobs {
+		return fmt.Errorf("recovery: %d/%d byte-identical schedules", rec.ByteIdentical, rec.Jobs)
+	}
+	if rec.SessionsRevived != 1 {
+		return fmt.Errorf("recovery: %d sessions revived, want 1", rec.SessionsRevived)
+	}
+
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := durable.AtomicWrite(outPath, append(data, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("baseline written to %s\n", outPath)
+	return nil
+}

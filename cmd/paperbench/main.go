@@ -22,6 +22,7 @@
 //	paperbench -bench5         # pruned-search bench baseline (E17)
 //	paperbench -bench6         # incremental-solve bench baseline (E18)
 //	paperbench -bench8         # partition-and-conquer bench baseline (E20)
+//	paperbench -bench9         # durability & crash-recovery baseline (E21)
 package main
 
 import (
@@ -75,6 +76,9 @@ func main() {
 		bench8    = flag.Bool("bench8", false, "measure the partitioned solver vs the monolithic exact engine and write a JSON baseline (E20)")
 		bench8Out = flag.String("bench8out", "BENCH_PR8.json", "output path for the -bench8 baseline")
 		bench8Sm  = flag.Bool("bench8small", false, "with -bench8: shrink the workload and skip the speedup floor and budget scenario (CI smoke)")
+		bench9    = flag.Bool("bench9", false, "measure WAL durability overhead and crash recovery and write a JSON baseline (E21)")
+		bench9Out = flag.String("bench9out", "BENCH_PR9.json", "output path for the -bench9 baseline")
+		bench9Sm  = flag.Bool("bench9small", false, "with -bench9: shrink the workload and time only the always policy next to in-memory (CI smoke)")
 	)
 	flag.Parse()
 
@@ -102,6 +106,13 @@ func main() {
 	}
 	if *bench8 {
 		if err := partitionBench(*bench8Out, *bench8Sm); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		ranBench = true
+	}
+	if *bench9 {
+		if err := durableBench(*bench9Out, *bench9Sm); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/url"
@@ -179,7 +180,10 @@ func (h *HealthChecker) CheckNow(ctx context.Context) {
 	wg.Wait()
 }
 
-// probe reports one member's liveness: any 200 from /v1/healthz.
+// probe reports one member's readiness: a 200 from /v1/healthz whose
+// state is "ready" (or absent, for nodes predating the durable layer).
+// A node replaying its journal reports "recovering" and must not be
+// routed to yet — its sessions and warm cache are still rebuilding.
 func (h *HealthChecker) probe(ctx context.Context, m *Member) bool {
 	ctx, cancel := context.WithTimeout(ctx, h.interval)
 	defer cancel()
@@ -191,9 +195,18 @@ func (h *HealthChecker) probe(ctx context.Context, m *Member) bool {
 	if err != nil {
 		return false
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var st struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return false
+	}
+	return st.State == "ready" || st.State == ""
 }
 
 // Start launches the periodic sweep.

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestHealthCheckerRecoveringNotReady checks the router's probe reads
+// the durable-recovery state out of /v1/healthz: a node replaying its
+// journal ("recovering") is not routable, a "ready" node is, and a
+// node predating the state field (no "state" key) stays routable.
+func TestHealthCheckerRecoveringNotReady(t *testing.T) {
+	state := map[string]string{}
+	node := func(name, body string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/v1/healthz" {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(state[name]))
+		}))
+	}
+	recovering := node("recovering", "")
+	defer recovering.Close()
+	ready := node("ready", "")
+	defer ready.Close()
+	legacy := node("legacy", "")
+	defer legacy.Close()
+	state["recovering"] = `{"status":"ok","state":"recovering"}`
+	state["ready"] = `{"status":"ok","state":"ready"}`
+	state["legacy"] = `{"status":"ok"}`
+
+	set, err := NewMemberSet([]string{recovering.URL, ready.URL, legacy.URL}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHealthChecker(set, 500*time.Millisecond, nil, "")
+	h.CheckNow(context.Background())
+
+	byURL := func(url string) *Member {
+		t.Helper()
+		for _, m := range set.Members() {
+			if m.URL == url {
+				return m
+			}
+		}
+		t.Fatalf("no member for %s", url)
+		return nil
+	}
+	if byURL(recovering.URL).Healthy() {
+		t.Fatal("a recovering node must not be routable")
+	}
+	if !byURL(ready.URL).Healthy() {
+		t.Fatal("a ready node must be routable")
+	}
+	if !byURL(legacy.URL).Healthy() {
+		t.Fatal("a node without a state field must stay routable")
+	}
+
+	// The node finishes replay and flips ready on the next sweep.
+	state["recovering"] = `{"status":"ok","state":"ready"}`
+	h.CheckNow(context.Background())
+	if !byURL(recovering.URL).Healthy() {
+		t.Fatal("a recovered node must become routable again")
+	}
+}

@@ -225,6 +225,7 @@ func (rt *Router) handleCache(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := &service.HealthStatus{
 		Status:  "ok",
+		State:   "ready", // the router holds no journal; it never recovers
 		NodeID:  rt.cfg.NodeID,
 		Version: service.BuildVersion(),
 		Ring:    rt.members.Status(rt.cfg.NodeID),

@@ -1,0 +1,52 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWrite writes data to path through the tmp+rename idiom: the
+// bytes land in a sibling temp file, are fsynced, and the temp file is
+// renamed over path.  A reader (or a process restarted after a crash
+// at any point in between) sees either the previous content or the new
+// content, never a torn mix.  The parent directory is fsynced after
+// the rename so the new directory entry itself survives a power cut.
+func AtomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("durable: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: atomic write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: atomic write %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so entry creations/renames/removals are
+// durable.  Best effort: some filesystems refuse directory fsync, and
+// a failure here narrows durability without breaking correctness.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,42 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := AtomicWrite(path, []byte("v1")); err != nil {
+		t.Fatalf("AtomicWrite: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content = %q, want v1", got)
+	}
+	if err := AtomicWrite(path, []byte("v2")); err != nil {
+		t.Fatalf("AtomicWrite overwrite: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("content = %q, want v2", got)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+}
+
+func TestAtomicWriteMissingDir(t *testing.T) {
+	err := AtomicWrite(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("AtomicWrite into a missing directory should fail")
+	}
+}

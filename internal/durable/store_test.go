@@ -1,0 +1,116 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStorePutGetDelete(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if err := s.Put("deadbeef01", []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get("deadbeef01")
+	if !ok || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if err := s.Put("deadbeef01", []byte("replaced")); err != nil {
+		t.Fatalf("Put replace: %v", err)
+	}
+	if got, _ := s.Get("deadbeef01"); string(got) != "replaced" {
+		t.Fatalf("Get after replace = %q", got)
+	}
+	if err := s.Delete("deadbeef01"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok := s.Get("deadbeef01"); ok {
+		t.Fatal("Get after Delete should miss")
+	}
+	if err := s.Delete("deadbeef01"); err != nil {
+		t.Fatalf("Delete of absent key should be a no-op: %v", err)
+	}
+}
+
+func TestStoreKeyValidation(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sess-7", "a", "AB.cd_ef-01"} {
+		if err := s.Put(key, []byte("x")); err != nil {
+			t.Fatalf("Put(%q): %v", key, err)
+		}
+		if _, ok := s.Get(key); !ok {
+			t.Fatalf("Get(%q) missed", key)
+		}
+	}
+	for _, key := range []string{"", ".", "..", "a/b", "../escape", "a b", "k\x00"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) should be rejected", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("Get(%q) should miss", key)
+		}
+	}
+}
+
+func TestStoreWalk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"aa11": "one", "aa22": "two", "bb33": "three", "sess-1": "four"}
+	for k, v := range want {
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	// A leftover temp file from an interrupted AtomicWrite is skipped.
+	if err := os.WriteFile(filepath.Join(dir, "aa", "aa11.tmp99"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	if err := s.Walk(func(key string, data []byte) error {
+		got[key] = string(data)
+		return nil
+	}); err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Walk saw %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Walk[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	// Walk abort propagates.
+	if err := s.Walk(func(string, []byte) error { return fmt.Errorf("stop") }); err == nil {
+		t.Fatal("Walk should propagate fn error")
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	if err := s.Put("cafebabe", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("cafebabe"); !ok || string(got) != "persisted" {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+}

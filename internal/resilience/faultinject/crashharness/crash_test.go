@@ -1,0 +1,264 @@
+package crashharness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestMain routes harness re-execs into the server child instead of
+// the test suite.
+func TestMain(m *testing.M) {
+	if IsChild() {
+		ChildMain()
+	}
+	os.Exit(m.Run())
+}
+
+// oracleRequest is the reference instance every kill -9 round solves.
+func oracleRequest() *service.SolveRequest {
+	return &service.SolveRequest{
+		Solver: "exact",
+		Instance: &service.WireInstance{
+			Tasks: []service.WireTask{{Name: "alpha", Local: 3, V: 2}, {Name: "beta", Local: 2, V: 1}},
+			Reqs: [][]string{
+				{"100", "10"},
+				{"010", "11"},
+				{"011", "01"},
+				{"001", "00"},
+			},
+		},
+	}
+}
+
+// loadRequest is the i-th distinct background instance (one extra
+// demand row keyed off i, so each submission is a fresh solve).
+func loadRequest(i int) *service.SolveRequest {
+	req := oracleRequest()
+	req.Instance.Reqs = append(req.Instance.Reqs,
+		[]string{fmt.Sprintf("%03b", 1+i%6), fmt.Sprintf("%02b", 1+i%3)})
+	return req
+}
+
+func postJSON(t *testing.T, url string, body, out any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: bad body %q: %v", url, raw, err)
+		}
+	}
+	return resp.StatusCode, raw
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("GET %s: bad body %q: %v", url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// solveWait submits a request and waits out its job.
+func solveWait(t *testing.T, base string, req *service.SolveRequest) *service.JobStatus {
+	t.Helper()
+	var st service.JobStatus
+	code, raw := postJSON(t, base+"/v1/jobs", req, &st)
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	if getJSON(t, base+"/v1/jobs/"+st.ID+"/wait", &st) != http.StatusOK {
+		t.Fatalf("wait on %s failed", st.ID)
+	}
+	if st.State != "done" {
+		t.Fatalf("job %s finished %s (%s)", st.ID, st.State, st.Error)
+	}
+	return &st
+}
+
+func startHarness(t *testing.T, dir, faults string) *Harness {
+	t.Helper()
+	addr, err := FreeAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Harness{Binary: os.Args[0], DataDir: dir, Addr: addr, Faults: faults}
+	if err := h.Start(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Stop)
+	return h
+}
+
+// TestKill9Recovery is the tentpole invariant against a real SIGKILL:
+// a node is killed -9 under load, restarted on the same data dir, and
+// must (a) serve journaled completions from the warm cache with
+// byte-identical schedules, (b) revive the streaming session with its
+// full trace, and (c) report recovery through /metrics.
+func TestKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	h := startHarness(t, dir, "")
+
+	// Oracle pass on the uninterrupted node: the pre-crash answer is
+	// the reference the recovered node must match byte for byte.
+	oracle := solveWait(t, h.URL(), oracleRequest())
+	if oracle.Result == nil || len(oracle.Result.Schedule) == 0 {
+		t.Fatal("oracle solve returned no schedule")
+	}
+
+	// A streaming session with a couple of journaled batches.
+	var sess service.SessionStatus
+	code, raw := postJSON(t, h.URL()+"/v1/sessions", &service.SessionRequest{
+		Solver: "exact",
+		Instance: &service.WireInstance{
+			Tasks: []service.WireTask{{Name: "alpha", Local: 3, V: 2}, {Name: "beta", Local: 2, V: 1}},
+			Reqs:  [][]string{{"100", "10"}, {"010", "11"}},
+		},
+	}, &sess)
+	if code != http.StatusOK && code != http.StatusCreated {
+		t.Fatalf("session create: status %d: %s", code, raw)
+	}
+	if code, raw = postJSON(t, h.URL()+"/v1/sessions/"+sess.ID+"/steps", &service.SessionSteps{
+		Reqs: [][]string{{"011", "01"}, {"001", "00"}},
+	}, &sess); code != http.StatusOK {
+		t.Fatalf("session steps: status %d: %s", code, raw)
+	}
+	if sess.Result == nil {
+		t.Fatal("session has no result before the crash")
+	}
+	wantSteps, wantCost := sess.Steps, sess.Result.Cost
+
+	// Load: distinct background submissions in flight when the kill
+	// lands (some solved, some queued — recovery must sort both out).
+	for i := 0; i < 6; i++ {
+		var st service.JobStatus
+		postJSON(t, h.URL()+"/v1/jobs", loadRequest(i), &st)
+	}
+	if err := h.Kill9(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same data dir.
+	h2 := startHarness(t, dir, "")
+
+	// (a) The journaled completion answers warm and byte-identical.
+	recovered := solveWait(t, h2.URL(), oracleRequest())
+	if !recovered.CacheHit {
+		t.Fatal("journaled completion re-solved after kill -9 (no warm cache hit)")
+	}
+	if !bytes.Equal(recovered.Result.Schedule, oracle.Result.Schedule) {
+		t.Fatalf("recovered schedule differs from pre-crash oracle:\n%s\nvs\n%s",
+			recovered.Result.Schedule, oracle.Result.Schedule)
+	}
+
+	// (b) The session survived with trace and cost intact.
+	var revived service.SessionStatus
+	if code := getJSON(t, h2.URL()+"/v1/sessions/"+sess.ID, &revived); code != http.StatusOK {
+		t.Fatalf("revived session GET: status %d", code)
+	}
+	if revived.Steps != wantSteps {
+		t.Fatalf("revived session has %d steps, want %d", revived.Steps, wantSteps)
+	}
+	if revived.Result == nil || revived.Result.Cost != wantCost {
+		t.Fatalf("revived session result %+v, want cost %d", revived.Result, wantCost)
+	}
+
+	// (c) Recovery is visible on /metrics.
+	resp, err := http.Get(h2.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"hyperd_wal_replayed_records_total",
+		"hyperd_recovery_sessions_revived 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics after recovery missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestCrashActionKillsMidJournal arms the crash fault action inside the
+// child (SIGKILL at the Nth journal append — mid-flight by
+// construction) and checks the next boot still recovers: the crash
+// action is how chaos runs place kills deterministically.
+func TestCrashActionKillsMidJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	// Let three journal appends through (job 1's submit+done, job 2's
+	// submit), then die on the fourth — job 2's completion record.
+	h := startHarness(t, dir, "service.journal=crash:3")
+
+	first := solveWait(t, h.URL(), loadRequest(0))
+	if first.Result == nil {
+		t.Fatal("first solve returned no result")
+	}
+	// The second job's completion append crashes the child; drive until
+	// the connection dies.
+	for i := 1; i < 20; i++ {
+		var st service.JobStatus
+		data, _ := json.Marshal(loadRequest(i))
+		resp, err := http.Post(h.URL()+"/v1/jobs", "application/json", bytes.NewReader(data))
+		if err != nil {
+			break // child died mid-request: the crash landed
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		json.Unmarshal(raw, &st)
+		if st.ID != "" {
+			// The wait may die with the child mid-poll — that's the
+			// crash landing, not a test failure.
+			if resp, err := http.Get(h.URL() + "/v1/jobs/" + st.ID + "/wait"); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			} else {
+				break
+			}
+		}
+	}
+	if err := h.WaitExit(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := startHarness(t, dir, "")
+	// Job 1 completed and journaled before the crash window: warm hit.
+	redo := solveWait(t, h2.URL(), loadRequest(0))
+	if !redo.CacheHit {
+		t.Fatal("pre-crash completion re-solved after the injected crash")
+	}
+	if redo.Result.Cost != first.Result.Cost {
+		t.Fatalf("recovered cost %d, pre-crash %d", redo.Result.Cost, first.Result.Cost)
+	}
+}

@@ -1,0 +1,180 @@
+// Package crashharness kills hyperd-shaped server processes with real
+// SIGKILLs and restarts them on the same data directory, so the
+// crash-recovery invariants are proven against actual process death —
+// no deferred functions, no flushes — rather than an in-process
+// simulation.
+//
+// The harness uses the helper-process pattern: the test binary re-execs
+// itself with CRASHHARNESS_CHILD set, and the child's TestMain calls
+// ChildMain, which serves a durable service.Server over HTTP until it
+// is killed (or crashes itself through a HYPERD_FAULTS crash action it
+// inherited from the parent).
+package crashharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/service"
+)
+
+// decodeJSON decodes a 200 response body.
+func decodeJSON(resp *http.Response, v any) error {
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// childEnv marks a re-exec as the server child.
+const childEnv = "CRASHHARNESS_CHILD"
+
+// IsChild reports whether this process is a harness re-exec; TestMain
+// must call ChildMain instead of running tests when it is.
+func IsChild() bool { return os.Getenv(childEnv) == "1" }
+
+// ChildMain serves a durable node until the process dies.  It never
+// returns.
+func ChildMain() {
+	srv, err := service.Open(service.Config{
+		Workers: 2,
+		DataDir: os.Getenv("CRASHHARNESS_DATA_DIR"),
+		NodeID:  "crash-child",
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashharness child: %v\n", err)
+		os.Exit(1)
+	}
+	if err := http.ListenAndServe(os.Getenv("CRASHHARNESS_ADDR"), srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "crashharness child: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Harness manages one server child process.
+type Harness struct {
+	// Binary is the executable to re-exec (os.Args[0] in tests).
+	Binary string
+	// DataDir is the child's durable data directory.
+	DataDir string
+	// Addr is the child's listen address; FreeAddr picks one.
+	Addr string
+	// Faults, when set, becomes the child's HYPERD_FAULTS (e.g.
+	// "service.journal=crash:10" to die at the tenth journal append).
+	Faults string
+
+	cmd *exec.Cmd
+}
+
+// FreeAddr reserves and releases a loopback port for a child.
+func FreeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// URL is the child's base URL.
+func (h *Harness) URL() string { return "http://" + h.Addr }
+
+// Start launches the child and waits for it to report ready (recovery
+// replay included: /v1/healthz state must leave "recovering").
+func (h *Harness) Start(timeout time.Duration) error {
+	cmd := exec.Command(h.Binary)
+	cmd.Env = append(os.Environ(),
+		childEnv+"=1",
+		"CRASHHARNESS_DATA_DIR="+h.DataDir,
+		"CRASHHARNESS_ADDR="+h.Addr,
+		"HYPERD_FAULTS="+h.Faults,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	h.cmd = cmd
+	return h.WaitReady(timeout)
+}
+
+// WaitReady polls the child's health document until state "ready".
+func (h *Harness) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		st, err := h.health()
+		if err == nil && st.State == "ready" {
+			return nil
+		}
+		if err == nil {
+			last = fmt.Errorf("state %q", st.State)
+		} else {
+			last = err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("crashharness: child %s not ready in %s: %w", h.Addr, timeout, last)
+}
+
+func (h *Harness) health() (*service.HealthStatus, error) {
+	resp, err := http.Get(h.URL() + "/v1/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st service.HealthStatus
+	if err := decodeJSON(resp, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Kill9 SIGKILLs the child and reaps it.
+func (h *Harness) Kill9() error {
+	if h.cmd == nil || h.cmd.Process == nil {
+		return fmt.Errorf("crashharness: no child to kill")
+	}
+	if err := h.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	h.cmd.Wait() // the kill is the expected exit
+	h.cmd = nil
+	return nil
+}
+
+// WaitExit reaps a child expected to die on its own (a crash action).
+func (h *Harness) WaitExit(timeout time.Duration) error {
+	if h.cmd == nil {
+		return fmt.Errorf("crashharness: no child running")
+	}
+	done := make(chan error, 1)
+	go func() { done <- h.cmd.Wait() }()
+	select {
+	case <-done:
+		h.cmd = nil
+		return nil
+	case <-time.After(timeout):
+		h.cmd.Process.Kill()
+		<-done
+		h.cmd = nil
+		return fmt.Errorf("crashharness: child outlived its crash action by %s", timeout)
+	}
+}
+
+// Stop kills a still-running child (test cleanup; ignores a child that
+// already exited).
+func (h *Harness) Stop() {
+	if h.cmd != nil && h.cmd.Process != nil {
+		h.cmd.Process.Kill()
+		h.cmd.Wait()
+		h.cmd = nil
+	}
+}

@@ -20,6 +20,10 @@
 //	cancel[:times]       return context.Canceled
 //	sleep:dur[:times]    sleep dur (a time.ParseDuration string)
 //	budget:bytes         clamp solve.Options.MaxFrontierBytes
+//	crash[:skip]         SIGKILL the process at the site — no deferred
+//	                     functions, no flushes: the real kill -9 shape.
+//	                     The optional skip lets the first skip visits
+//	                     through, so a crash can land mid-workload.
 //
 // and the optional trailing times bounds how often the fault fires
 // (omitted = every visit).  Sites are plain strings; the canonical
@@ -49,6 +53,14 @@ type Action struct {
 	// MaxFrontierBytes, when positive, clamps the solve budget at
 	// sites that consult FrontierBudget (solve.Run).
 	MaxFrontierBytes int64
+	// Crash SIGKILLs the process at the site (after the delay and any
+	// Skip visits): deferred functions do not run, buffers do not
+	// flush — the crash-recovery test suite's kill -9.
+	Crash bool
+	// Skip lets the first Skip visits pass untouched before the fault
+	// starts firing (only meaningful with Crash, where "times" cannot
+	// bound anything — the first firing is the last).
+	Skip int64
 	// Times bounds how many visits fire the fault; 0 fires on every
 	// visit.
 	Times int64
@@ -58,8 +70,9 @@ type Action struct {
 var ErrInjected = errors.New("faultinject: injected error")
 
 type site struct {
-	action Action
-	fired  atomic.Int64 // visits that applied the fault
+	action  Action
+	fired   atomic.Int64 // visits that applied the fault
+	skipped atomic.Int64 // visits let through by Action.Skip
 }
 
 var (
@@ -115,6 +128,9 @@ func lookup(name string) (Action, bool) {
 	if !ok {
 		return Action{}, false
 	}
+	if s.action.Skip > 0 && s.skipped.Add(1) <= s.action.Skip {
+		return Action{}, false
+	}
 	if s.action.Times > 0 {
 		if n := s.fired.Add(1); n > s.action.Times {
 			s.fired.Add(-1)
@@ -140,10 +156,26 @@ func Fire(name string) error {
 	if a.Delay > 0 {
 		time.Sleep(a.Delay)
 	}
+	if a.Crash {
+		crashSelf()
+	}
 	if a.Panic {
 		panic(fmt.Sprintf("faultinject: injected panic at site %q", name))
 	}
 	return a.Err
+}
+
+// crashSelf SIGKILLs the process: unlike panic or os.Exit, nothing
+// downstream — deferred closes, WAL compaction, atexit flushes — gets
+// to run, which is exactly what crash-recovery tests must survive.
+func crashSelf() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+	}
+	// Kill delivery is asynchronous on some platforms; never return
+	// from an injected crash.
+	select {}
 }
 
 // FrontierBudget reports the byte budget armed at a site, if any.
@@ -213,8 +245,16 @@ func parseAction(spec string) (Action, error) {
 			return a, fmt.Errorf("budget needs a byte count (budget:4096)")
 		}
 		a.MaxFrontierBytes, err = strconv.ParseInt(parts[1], 10, 64)
+	case "crash":
+		a.Crash = true
+		if len(parts) > 1 {
+			a.Skip, err = strconv.ParseInt(parts[1], 10, 64)
+			if err == nil && a.Skip < 0 {
+				return a, fmt.Errorf("negative crash skip %d", a.Skip)
+			}
+		}
 	default:
-		return a, fmt.Errorf("unknown action %q (want panic, error, cancel, sleep or budget)", parts[0])
+		return a, fmt.Errorf("unknown action %q (want panic, error, cancel, sleep, budget or crash)", parts[0])
 	}
 	if err != nil {
 		return a, err

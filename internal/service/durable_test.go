@@ -1,0 +1,504 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience/faultinject"
+	"repro/internal/solve"
+)
+
+// Crash/recovery tests for the durable layer.  They crash servers with
+// the in-process Abandon hook (no drain, no compaction, WAL
+// abandoned mid-stream — the kill -9 shape); the out-of-process harness
+// in internal/resilience/faultinject/crashharness sends real SIGKILLs.
+
+// durableConfig is the base config of every durable test server.
+func durableConfig(dir string) Config {
+	return Config{Workers: 2, DataDir: dir}
+}
+
+func openDurable(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// waitReady polls the health document until recovery finishes.
+func waitReady(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Health().State == "ready" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server stuck in state %q", s.Health().State)
+}
+
+// durableOriginal / durableTwin are a structural-twin pair (tasks
+// swapped and renamed, columns relabeled): the twin exercises the
+// canonical replay path, which renders a schedule deterministically
+// from the stored canonical form — the byte-identity oracle below
+// leans on that.
+func durableOriginal() *SolveRequest {
+	return &SolveRequest{
+		Solver: "exact",
+		Instance: &WireInstance{
+			Tasks: []WireTask{{Name: "alpha", Local: 3, V: 2}, {Name: "beta", Local: 2, V: 1}},
+			Reqs: [][]string{
+				{"100", "10"},
+				{"010", "11"},
+				{"011", "01"},
+				{"001", "00"},
+			},
+		},
+	}
+}
+
+func durableTwin() *SolveRequest {
+	return &SolveRequest{
+		Solver: "exact",
+		Instance: &WireInstance{
+			Tasks: []WireTask{{Name: "south", Local: 2, V: 1}, {Name: "north", Local: 3, V: 2}},
+			Reqs: [][]string{
+				{"01", "001"},
+				{"11", "010"},
+				{"10", "110"},
+				{"00", "100"},
+			},
+		},
+	}
+}
+
+// submitWait submits and waits out one request, returning its job.
+func submitWait(t *testing.T, s *Server, req *SolveRequest) *Job {
+	t.Helper()
+	job, _, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	return job
+}
+
+// TestDurableWarmCacheByteIdentical crashes a node after a completed
+// solve and checks the restarted node (a) answers the structural twin
+// from the warm canonical store without running a solver and (b) emits
+// a schedule byte-identical to an uninterrupted oracle node's.
+func TestDurableWarmCacheByteIdentical(t *testing.T) {
+	// Oracle: no data dir, no crash — the reference behaviour.
+	oracle := New(Config{Workers: 2})
+	defer shutdown(t, oracle)
+	submitWait(t, oracle, durableOriginal())
+	oracleTwin := submitWait(t, oracle, durableTwin())
+	oracleStatus := oracleTwin.Snapshot()
+	if oracleStatus.Result == nil || len(oracleStatus.Result.Schedule) == 0 {
+		t.Fatal("oracle twin has no schedule")
+	}
+
+	dir := t.TempDir()
+	a := openDurable(t, dir)
+	submitWait(t, a, durableOriginal())
+	a.Abandon()
+
+	b := openDurable(t, dir)
+	defer shutdown(t, b)
+	waitReady(t, b)
+
+	twin, _, err := b.Submit(durableTwin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, twin)
+	if !twin.CacheHit {
+		t.Fatal("twin on the recovered node was not served from the warm canonical store")
+	}
+	if got := b.metrics.submitted.Load(); got != 0 {
+		t.Fatalf("recovered node ran %d solves, want 0 (journaled completion must not re-solve)", got)
+	}
+	st := twin.Snapshot()
+	if st.Result == nil {
+		t.Fatal("recovered twin has no result")
+	}
+	if !bytes.Equal(st.Result.Schedule, oracleStatus.Result.Schedule) {
+		t.Fatalf("recovered schedule differs from oracle:\n%s\nvs\n%s",
+			st.Result.Schedule, oracleStatus.Result.Schedule)
+	}
+	if st.Result.Cost != oracleStatus.Result.Cost || st.Result.Exact != oracleStatus.Result.Exact {
+		t.Fatalf("recovered cost=%d exact=%t, oracle cost=%d exact=%t",
+			st.Result.Cost, st.Result.Exact, oracleStatus.Result.Cost, oracleStatus.Result.Exact)
+	}
+}
+
+// TestDurableIncompleteJobRequeued crashes a node mid-solve and checks
+// the restart re-enqueues the journaled-but-incomplete job and finishes
+// it.
+func TestDurableIncompleteJobRequeued(t *testing.T) {
+	release := make(chan struct{})
+	setTestSolver(func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return &solve.Solution{Cost: 7}, nil
+		}
+	})
+	dir := t.TempDir()
+	a := openDurable(t, dir)
+	job, _, err := a.Submit(tinyRequest("svc-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the worker pick it up so the crash lands mid-solve.
+	deadline := time.Now().Add(5 * time.Second)
+	for job.Snapshot().State != string(JobRunning) {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Abandon()
+
+	// After the restart the solver answers immediately, exactly once.
+	var calls atomic.Int64
+	setTestSolver(func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+		calls.Add(1)
+		return &solve.Solution{Cost: 7}, nil
+	})
+	b := openDurable(t, dir)
+	defer shutdown(t, b)
+	waitReady(t, b)
+	if got := b.metrics.recoveryJobsRequeued.Load(); got != 1 {
+		t.Fatalf("recoveryJobsRequeued = %d, want 1", got)
+	}
+	// The same request now resolves against the re-enqueued job (dedup)
+	// or its finished result (cache) — never a second solver run.
+	redo := submitWait(t, b, tinyRequest("svc-test"))
+	sol, err := redo.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 7 {
+		t.Fatalf("recovered cost = %d, want 7", sol.Cost)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("solver ran %d times after restart, want 1", got)
+	}
+}
+
+// TestDurableSessionRevival crashes a node holding a live streaming
+// session and checks the restart rebuilds the session from its
+// journaled step batches: same id, same trace length, same cost as the
+// uninterrupted solve — and the session keeps accepting batches.
+func TestDurableSessionRevival(t *testing.T) {
+	ctx := context.Background()
+	mt := sessionInstance(t)
+	wi := WireInstanceFrom(mt)
+
+	dir := t.TempDir()
+	a := openDurable(t, dir)
+	sess, err := a.CreateSession(ctx, sessionRequest(mt, "exact", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.Steps(ctx, &SessionSteps{Reqs: wi.Reqs[4:7]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCost := st.Result.Cost
+	a.Abandon()
+
+	b := openDurable(t, dir)
+	defer shutdown(t, b)
+	waitReady(t, b)
+	if got := b.metrics.recoverySessionsRevived.Load(); got != 1 {
+		t.Fatalf("recoverySessionsRevived = %d, want 1", got)
+	}
+	revived, ok := b.Session(sess.ID)
+	if !ok {
+		t.Fatalf("session %s did not survive the crash", sess.ID)
+	}
+	got := revived.Status()
+	if got.Steps != 7 {
+		t.Fatalf("revived trace has %d steps, want 7", got.Steps)
+	}
+	if got.Result == nil || got.Result.Cost != wantCost {
+		t.Fatalf("revived result %+v, want cost %d", got.Result, wantCost)
+	}
+	// The oracle for the continued session: a from-scratch solve of the
+	// extended prefix.
+	st2, err := revived.Steps(ctx, &SessionSteps{Reqs: wi.Reqs[7:8]})
+	if err != nil {
+		t.Fatalf("revived session rejected a batch: %v", err)
+	}
+	direct := runExact(t, prefixInstance(t, mt, 8))
+	if st2.Result.Cost != int64(direct.Cost) {
+		t.Fatalf("continued cost %d, from-scratch %d", st2.Result.Cost, direct.Cost)
+	}
+}
+
+// TestDurableSessionDeleteSurvives checks an explicitly deleted session
+// stays deleted across a crash (the sessdel record wins over the
+// opener).
+func TestDurableSessionDeleteSurvives(t *testing.T) {
+	ctx := context.Background()
+	mt := sessionInstance(t)
+	dir := t.TempDir()
+
+	a := openDurable(t, dir)
+	sess, err := a.CreateSession(ctx, sessionRequest(mt, "exact", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeleteSession(sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	a.Abandon()
+
+	b := openDurable(t, dir)
+	defer shutdown(t, b)
+	waitReady(t, b)
+	if _, ok := b.Session(sess.ID); ok {
+		t.Fatalf("deleted session %s came back from the dead", sess.ID)
+	}
+}
+
+// TestDurableRecoveringHealthState stalls session revival through the
+// service.recover fault site and checks /v1/healthz reports
+// "recovering" until replay finishes, then "ready".
+func TestDurableRecoveringHealthState(t *testing.T) {
+	ctx := context.Background()
+	mt := sessionInstance(t)
+	dir := t.TempDir()
+
+	a := openDurable(t, dir)
+	if _, err := a.CreateSession(ctx, sessionRequest(mt, "exact", 3)); err != nil {
+		t.Fatal(err)
+	}
+	a.Abandon()
+
+	faultinject.Set("service.recover", faultinject.Action{Delay: 500 * time.Millisecond})
+	defer faultinject.Reset()
+	b := openDurable(t, dir)
+	defer shutdown(t, b)
+	if got := b.Health().State; got != "recovering" {
+		t.Fatalf("state right after Open = %q, want recovering", got)
+	}
+	waitReady(t, b)
+	if got := b.Health().State; got != "ready" {
+		t.Fatalf("state after recovery = %q, want ready", got)
+	}
+}
+
+// TestDurableGracefulShutdownSnapshot drains a node with live state and
+// checks the next boot recovers it from the compacted snapshot: the
+// completed solve answers warm from the spilled canonical store and the
+// session revives from its shutdown checkpoint.
+func TestDurableGracefulShutdownSnapshot(t *testing.T) {
+	ctx := context.Background()
+	mt := sessionInstance(t)
+	dir := t.TempDir()
+
+	a := openDurable(t, dir)
+	submitWait(t, a, durableOriginal())
+	sess, err := a.CreateSession(ctx, sessionRequest(mt, "exact", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, a)
+
+	b := openDurable(t, dir)
+	defer shutdown(t, b)
+	waitReady(t, b)
+	if got := b.metrics.recoveryCacheWarmloaded.Load(); got < 1 {
+		t.Fatalf("recoveryCacheWarmloaded = %d, want >= 1", got)
+	}
+	twin, _, err := b.Submit(durableTwin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, twin)
+	if !twin.CacheHit {
+		t.Fatal("twin after graceful restart missed the warm canonical store")
+	}
+	if got := b.metrics.submitted.Load(); got != 0 {
+		t.Fatalf("graceful restart re-ran %d solves, want 0", got)
+	}
+	revived, ok := b.Session(sess.ID)
+	if !ok {
+		t.Fatalf("session %s lost across graceful restart", sess.ID)
+	}
+	if got := revived.Status(); got.Steps != 4 {
+		t.Fatalf("revived trace has %d steps, want 4", got.Steps)
+	}
+}
+
+// TestDurableDoubleRestart replays the same journal twice (crash, boot,
+// crash again untouched, boot again) and checks replay is idempotent:
+// the second recovery sees the same world and still refuses to
+// re-solve journaled completions.
+func TestDurableDoubleRestart(t *testing.T) {
+	dir := t.TempDir()
+	a := openDurable(t, dir)
+	submitWait(t, a, durableOriginal())
+	a.Abandon()
+
+	b := openDurable(t, dir)
+	waitReady(t, b)
+	b.Abandon()
+
+	c := openDurable(t, dir)
+	defer shutdown(t, c)
+	waitReady(t, c)
+	twin := submitWait(t, c, durableTwin())
+	if !twin.CacheHit {
+		t.Fatal("second recovery lost the journaled completion")
+	}
+	if got := c.metrics.submitted.Load(); got != 0 {
+		t.Fatalf("second recovery ran %d solves, want 0", got)
+	}
+}
+
+// TestDurableJournalFaultDegradesGracefully injects journal-append
+// failures and checks the service itself is unaffected: solves still
+// complete, sessions still step — durability is lost, not liveness.
+func TestDurableJournalFaultDegradesGracefully(t *testing.T) {
+	faultinject.Set("service.journal", faultinject.Action{Err: faultinject.ErrInjected})
+	defer faultinject.Reset()
+
+	dir := t.TempDir()
+	a := openDurable(t, dir)
+	defer shutdown(t, a)
+	job := submitWait(t, a, durableOriginal())
+	if _, err := job.Solution(); err != nil {
+		t.Fatalf("solve under journal faults failed: %v", err)
+	}
+	ctx := context.Background()
+	mt := sessionInstance(t)
+	sess, err := a.CreateSession(ctx, sessionRequest(mt, "exact", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi := WireInstanceFrom(mt)
+	if _, err := sess.Steps(ctx, &SessionSteps{Reqs: wi.Reqs[3:4]}); err != nil {
+		t.Fatalf("session step under journal faults failed: %v", err)
+	}
+}
+
+// fillerFunc adapts a func to the PeerFiller interface.
+type fillerFunc func(string) (*PeerEntry, bool)
+
+func (f fillerFunc) Fill(key string) (*PeerEntry, bool) { return f(key) }
+
+// TestDurableRecoveryPeerGapFill crashes a node with a journaled but
+// unsolved submission whose answer a cluster sibling already holds, and
+// checks the restarted node fills the gap from the peer during replay
+// instead of re-solving.
+func TestDurableRecoveryPeerGapFill(t *testing.T) {
+	// The sibling solved the instance while this node was down.
+	peer := New(Config{Workers: 1})
+	defer shutdown(t, peer)
+	peerJob := submitWait(t, peer, durableOriginal())
+	peerSol, err := peerJob.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// This node journals the same submission queued behind a stuck job,
+	// then dies.
+	stall := make(chan struct{})
+	defer close(stall)
+	setTestSolver(func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-stall:
+			return &solve.Solution{Cost: 3}, nil
+		}
+	})
+	dir := t.TempDir()
+	a, err := Open(Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, _, err := a.Submit(tinyRequest("svc-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for blocker.Snapshot().State != string(JobRunning) {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := a.Submit(durableOriginal()); err != nil {
+		t.Fatal(err)
+	}
+	a.Abandon()
+
+	setTestSolver(func(ctx context.Context, inst *solve.Instance, opts solve.Options) (*solve.Solution, error) {
+		return &solve.Solution{Cost: 3}, nil
+	})
+	b, err := Open(Config{Workers: 1, DataDir: dir, PeerFill: fillerFunc(func(key string) (*PeerEntry, bool) {
+		return peer.PeerLookup(key, 0, nil)
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	waitReady(t, b)
+	if got := b.metrics.recoveryJobsRequeued.Load(); got != 2 {
+		t.Fatalf("recoveryJobsRequeued = %d, want 2", got)
+	}
+	if got := b.metrics.peerFillHits.Load(); got != 1 {
+		t.Fatalf("peerFillHits = %d, want 1 (the exact job must fill from the peer)", got)
+	}
+	redo := submitWait(t, b, durableOriginal())
+	sol, err := redo.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != peerSol.Cost {
+		t.Fatalf("gap-filled cost %d, peer solved %d", sol.Cost, peerSol.Cost)
+	}
+	// Only the stuck svc-test job actually solved here; the exact job
+	// rode the peer's entry.
+	if got := b.metrics.submitted.Load(); got != 1 {
+		t.Fatalf("recovered node enqueued %d solves, want 1", got)
+	}
+}
+
+// TestDurableMetricsRendered checks the WAL and recovery series appear
+// on /metrics for a durable node.
+func TestDurableMetricsRendered(t *testing.T) {
+	dir := t.TempDir()
+	a := openDurable(t, dir)
+	defer shutdown(t, a)
+	submitWait(t, a, durableOriginal())
+
+	var buf bytes.Buffer
+	a.metrics.render(&buf, a.gauges())
+	out := buf.String()
+	for _, name := range []string{
+		"hyperd_wal_appends_total",
+		"hyperd_wal_fsyncs_total",
+		"hyperd_wal_replayed_records_total",
+		"hyperd_wal_flush_seconds_sum",
+		"hyperd_recovery_jobs_requeued",
+		"hyperd_recovery_sessions_revived",
+		"hyperd_recovery_cache_warmloaded",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Fatalf("metrics output missing %s:\n%s", name, out)
+		}
+	}
+}

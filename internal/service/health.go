@@ -16,6 +16,11 @@ type HealthStatus struct {
 	// Status is "ok" while the node accepts work, "draining" once
 	// shutdown has begun (submits are already rejected).
 	Status string `json:"status"`
+	// State is the durable-recovery lifecycle: "recovering" while the
+	// node replays its journal (routers must not admit it yet), "ready"
+	// once replay finished, "draining" during graceful shutdown.  Nodes
+	// without a data dir boot straight to "ready".
+	State string `json:"state"`
 	// NodeID is the node's cluster identity (Config.NodeID; the serve
 	// address when unset).
 	NodeID string `json:"node_id"`
@@ -68,8 +73,10 @@ func (s *Server) Health() *HealthStatus {
 		Version: buildVersion(),
 	}
 	s.mu.Lock()
+	st.State = s.state
 	if s.closed {
 		st.Status = "draining"
+		st.State = "draining"
 	}
 	s.mu.Unlock()
 	st.SessionsActive, _ = s.sessions.gauges()

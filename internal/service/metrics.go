@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/resilience"
 	"repro/internal/solve"
 )
@@ -84,6 +85,11 @@ type metrics struct {
 	suffixCount atomic.Int64
 
 	workersBusy atomic.Int64
+
+	// Crash-recovery counters, bumped once per restart by recoverDurable.
+	recoveryJobsRequeued    atomic.Int64 // journaled-but-incomplete jobs re-enqueued on boot
+	recoverySessionsRevived atomic.Int64 // sessions rebuilt from journaled step batches
+	recoveryCacheWarmloaded atomic.Int64 // canonical entries warm-loaded from the disk store
 
 	mu          sync.Mutex
 	perSolver   map[string]*latencyHist
@@ -174,6 +180,10 @@ type gauges struct {
 
 	sessionsActive int
 	sessionBytes   int64
+
+	// wal is the durable journal's counters; nil when the server runs
+	// without a data dir.
+	wal *durable.WALStats
 }
 
 // render writes the Prometheus text exposition format.
@@ -218,6 +228,21 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# TYPE hyperd_session_resolve_suffix_len summary\n")
 	fmt.Fprintf(w, "hyperd_session_resolve_suffix_len_sum %d\n", m.suffixSum.Load())
 	fmt.Fprintf(w, "hyperd_session_resolve_suffix_len_count %d\n", m.suffixCount.Load())
+
+	if g.wal != nil {
+		counter("hyperd_wal_appends_total", g.wal.Appends)
+		counter("hyperd_wal_fsyncs_total", g.wal.Fsyncs)
+		counter("hyperd_wal_replayed_records_total", g.wal.Replayed)
+		counter("hyperd_wal_dropped_tail_records_total", g.wal.DroppedTail)
+		gauge("hyperd_wal_segments", int64(g.wal.Segments))
+		gauge("hyperd_wal_bytes", g.wal.Bytes)
+		fmt.Fprintf(w, "# TYPE hyperd_wal_flush_seconds summary\n")
+		fmt.Fprintf(w, "hyperd_wal_flush_seconds_sum %g\n", g.wal.FlushSeconds)
+		fmt.Fprintf(w, "hyperd_wal_flush_seconds_count %d\n", g.wal.FlushCount)
+		counter("hyperd_recovery_jobs_requeued", m.recoveryJobsRequeued.Load())
+		counter("hyperd_recovery_sessions_revived", m.recoverySessionsRevived.Load())
+		counter("hyperd_recovery_cache_warmloaded", m.recoveryCacheWarmloaded.Load())
+	}
 
 	fmt.Fprintf(w, "# TYPE hyperd_jobs gauge\n")
 	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {

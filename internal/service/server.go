@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/model"
 	"repro/internal/resilience"
 	"repro/internal/resilience/faultinject"
@@ -61,6 +63,22 @@ type Config struct {
 	// rewrite happens before hashing, so dispatched and directly
 	// requested partitioned solves share cache lines.  0 disables.
 	PartitionSteps int
+
+	// DataDir, when set, enables durable state: job submissions,
+	// completions and session step batches journal to a write-ahead log
+	// under it, the canonical store and evicted engine checkpoints spill
+	// to disk beside it, and Open replays everything on the next boot
+	// (see durable.go).  Empty runs fully in-memory.
+	DataDir string
+	// Fsync is the WAL flush policy (FsyncAlways by default; see
+	// durable.ParseFsyncPolicy for the flag form).
+	Fsync durable.FsyncPolicy
+	// FsyncInterval is the background flush period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// WALSegmentBytes is the journal segment rotation size (default
+	// 8 MiB).
+	WALSegmentBytes int64
 
 	// NodeID names this node in /v1/healthz and cluster membership
 	// (default "hyperd").
@@ -148,6 +166,11 @@ type Job struct {
 	// back to this request's task order.
 	canonKey  string
 	canonPerm []int
+
+	// reqJSON retains the original request of a journaled job so WAL
+	// compaction can rewrite it into the snapshot (nil without a data
+	// dir; doubles as the "this job is journaled" marker).
+	reqJSON []byte
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -252,6 +275,7 @@ type Server struct {
 	cache    *resultCache
 	canon    *canonicalCache
 	sessions *sessionStore
+	dur      *durableState // nil without Config.DataDir
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -259,6 +283,7 @@ type Server struct {
 	mu            sync.Mutex
 	cond          *sync.Cond // signals queue pushes and shutdown
 	closed        bool
+	state         string // lifecycle: recovering | ready | draining
 	seq           int64
 	jobs          map[string]*Job
 	inflight      map[string]*Job // hash → queued/running job
@@ -273,8 +298,22 @@ type Server struct {
 	wg    sync.WaitGroup
 }
 
-// New starts a server and its worker pool.
+// New starts a server and its worker pool.  With Config.DataDir set,
+// use Open instead — New panics if the data directory cannot be
+// opened.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service.New: %v", err))
+	}
+	return s
+}
+
+// Open starts a server and its worker pool; with Config.DataDir set it
+// also opens the durable layer and recovers journaled state — see
+// durable.go for the recovery sequence.  The only error source is the
+// data directory (New without one cannot fail).
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -285,17 +324,28 @@ func New(cfg Config) *Server {
 		sessions:      newSessionStore(cfg.MaxSessions, cfg.SessionBytes),
 		baseCtx:       ctx,
 		baseCancel:    cancel,
+		state:         "ready",
 		jobs:          map[string]*Job{},
 		inflight:      map[string]*Job{},
 		canonInflight: map[string]*Job{},
 		breakers:      map[string]*resilience.Breaker{},
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.DataDir != "" {
+		if err := s.openDurable(); err != nil {
+			cancel()
+			return nil, err
+		}
+		s.state = "recovering"
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	if s.dur != nil {
+		s.recoverDurable()
+	}
+	return s, nil
 }
 
 // Submit resolves, deduplicates and enqueues a request.  The returned
@@ -316,6 +366,13 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 	key, err := requestKey(res.inst, res.solver, opts)
 	if err != nil {
 		return nil, false, err
+	}
+
+	// The original request body, retained for journaling (enqueued jobs
+	// only; prepared outside the lock).
+	var reqJSON []byte
+	if s.dur != nil {
+		reqJSON, _ = json.Marshal(req)
 	}
 
 	// Canonical store lookup (mtswitch only), prepared outside the lock:
@@ -423,6 +480,7 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 
 	job = s.newJobLocked(key, res, opts)
 	job.canonKey, job.canonPerm = canonKey, canonPerm
+	job.reqJSON = reqJSON
 	s.queue = append(s.queue, job)
 	s.inflight[key] = job
 	// First job per canonical key wins the slot; peer-fill waits from
@@ -433,6 +491,12 @@ func (s *Server) Submit(req *SolveRequest) (job *Job, deduped bool, err error) {
 		}
 	}
 	s.metrics.submitted.Add(1)
+	// Journal the enqueue while still holding s.mu: no worker can
+	// finalize the job (finalize needs s.mu), so the WAL sees the job
+	// record strictly before its jobdone.
+	if reqJSON != nil {
+		s.journal(walRecord{T: "job", Hash: key, Req: reqJSON})
+	}
 	s.cond.Signal()
 	return job, false, nil
 }
@@ -657,6 +721,7 @@ func (s *Server) finalizeNoted(job *Job, sol *solve.Solution, err error) {
 	if job.started.IsZero() {
 		job.started = now
 	}
+	var canonEntry *canonicalEntry
 	switch {
 	case err == nil:
 		job.state = JobDone
@@ -668,7 +733,8 @@ func (s *Server) finalizeNoted(job *Job, sol *solve.Solution, err error) {
 		if !sol.Stats.Degraded || job.opts.MaxFrontierBytes > 0 {
 			s.cache.Put(job.Hash, &cachedResult{sol: sol, wire: job.memo})
 			if job.canonKey != "" {
-				s.canon.Put(job.canonKey, entryFromSolution(sol, job.canonPerm))
+				canonEntry = entryFromSolution(sol, job.canonPerm)
+				s.canon.Put(job.canonKey, canonEntry)
 			}
 		}
 		if sol.Stats.Degraded {
@@ -696,6 +762,19 @@ func (s *Server) finalizeNoted(job *Job, sol *solve.Solution, err error) {
 	}
 	if job.canonKey != "" && s.canonInflight[job.canonKey] == job {
 		delete(s.canonInflight, job.canonKey)
+	}
+	// Journal the terminal outcome — with the canonical entry riding
+	// inside a successful jobdone, so completion and result are one
+	// atomic append and a journaled completion never re-solves after a
+	// crash.  Drain cancels are NOT journaled: a job cancelled only by
+	// shutdown must re-enqueue on the next boot.
+	if job.reqJSON != nil && !s.closed {
+		rec := walRecord{T: "jobdone", Hash: job.Hash}
+		if canonEntry != nil {
+			rec.Entry = peerEntryOf(job.canonKey, canonEntry)
+		}
+		s.journal(rec)
+		s.spillCanon(job.canonKey, canonEntry)
 	}
 	close(job.done)
 	job.mu.Unlock()
@@ -735,6 +814,10 @@ func (s *Server) gauges() gauges {
 		g.breakerStates[name] = br.State()
 	}
 	g.sessionsActive, g.sessionBytes = s.sessions.gauges()
+	if s.dur != nil {
+		st := s.dur.wal.Stats()
+		g.wal = &st
+	}
 	return g
 }
 
@@ -743,6 +826,12 @@ func (s *Server) gauges() gauges {
 // its context (solvers stop at their next cancellation checkpoint),
 // the queue drains, and the workers exit.  It returns ctx's error if
 // the drain does not finish in time.
+//
+// With a data dir, shutdown first compacts the journal into a snapshot
+// of live state — in-flight jobs as fresh submissions (they re-enqueue
+// on the next boot) and live sessions with their full traces — then
+// checkpoints every live engine to disk for fast revival, and finally
+// flushes and closes the WAL.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -750,6 +839,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
+	s.state = "draining"
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		if !j.state.Terminal() {
@@ -758,7 +848,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		j.mu.Unlock()
 	}
 	s.cond.Broadcast()
+	// Snapshot while the canceled-but-unfinalized jobs are still
+	// non-terminal: they compact as live submissions.  A busy session
+	// aborts the compaction (the un-compacted journal is a correct
+	// superset).
+	if s.dur != nil {
+		s.compactWALLocked()
+	}
 	s.mu.Unlock()
+	s.checkpointSessions()
+	// Everything after this is teardown: no more journaling (drain
+	// cancels must re-enqueue on the next boot), no checkpoint deletes.
+	if s.dur != nil {
+		s.dur.disabled.Store(true)
+	}
 	s.closeSessions()
 	s.baseCancel() // cancels every job context, queued and running
 
@@ -767,10 +870,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.closeDurable() // drain spills, final WAL fsync + close
+	return err
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -271,6 +272,13 @@ func (s *Server) CreateSession(ctx context.Context, req *SessionRequest) (*sessi
 		s.DeleteSession(sess.ID)
 		return nil, err
 	}
+	// Journal the opener before the client learns the id: every batch
+	// it sends afterwards lands on a session the journal knows.
+	if s.dur != nil {
+		if data, err := json.Marshal(req); err == nil {
+			s.journal(walRecord{T: "sess", ID: sess.ID, Req: data})
+		}
+	}
 	return sess, nil
 }
 
@@ -296,6 +304,9 @@ func (s *Server) DeleteSession(id string) error {
 	st.dropAccountingLocked(id)
 	st.ckpts.Delete(id)
 	st.mu.Unlock()
+	// Journal the deletion and drop the spilled checkpoint (no-op at
+	// shutdown: draining keeps sessions for the next boot).
+	s.dropDurableSession(id)
 
 	sess.mu.Lock()
 	sess.closed = true
@@ -361,6 +372,11 @@ func (sess *session) Steps(ctx context.Context, batch *SessionSteps) (*SessionSt
 	} else {
 		sess.trace = append(sess.trace, rows...)
 	}
+	// Journal the batch the moment the trace accepts it: the trace is
+	// the authoritative state, so the journal must carry it whether or
+	// not the solve below succeeds (a failed solve leaves the engine to
+	// rebuild from this same trace).
+	s.journal(walRecord{T: "steps", ID: sess.ID, At: batch.At, Rows: batch.Reqs})
 
 	err = sess.applyLocked(ctx, rows, at)
 	s.noteBreaker(sess.Solver, err)
@@ -451,9 +467,17 @@ func (sess *session) applyLocked(ctx context.Context, rows [][]bitset.Set, at *i
 // otherwise.
 func (sess *session) restoreEngineLocked(ctx context.Context) error {
 	st := sess.srv.sessions
+	var ckpt []byte
 	if data, ok := st.ckpts.Get(sess.ID); ok {
 		st.ckpts.Delete(sess.ID)
-		eng, err := solve.ResumeStepEngine(ctx, sess.Solver, data.([]byte), sess.opts)
+		ckpt = data.([]byte)
+	} else {
+		// The in-memory LRU misses after a restart; the spilled copy on
+		// disk may still hold this session's frontier.
+		ckpt = sess.srv.diskCkpt(sess.ID)
+	}
+	if ckpt != nil {
+		eng, err := solve.ResumeStepEngine(ctx, sess.Solver, ckpt, sess.opts)
 		if err == nil {
 			if eng.Steps() == len(sess.trace) {
 				sess.eng = eng
@@ -705,6 +729,9 @@ func (sess *session) evict() {
 	st := sess.srv.sessions
 	if data, err := sess.eng.Checkpoint(context.Background()); err == nil {
 		st.ckpts.Put(sess.ID, data)
+		// Spill the checkpoint too: a crash between eviction and the
+		// next batch revives from disk instead of re-solving the trace.
+		sess.srv.spillCkpt(sess.ID, data)
 	}
 	closeEngine(sess.eng)
 	sess.eng = nil
