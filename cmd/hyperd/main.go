@@ -64,6 +64,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/durable"
+	"repro/internal/portfolio"
 	"repro/internal/profutil"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -193,6 +195,17 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The learned-dispatch win table persists alongside the WAL: races
+	// observed before a restart keep steering dispatch after it.
+	dispatchPath := ""
+	if *dataDir != "" {
+		dispatchPath = filepath.Join(*dataDir, "dispatch.json")
+		if err := portfolio.DefaultTable.Load(dispatchPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperd: dispatch table: %v (starting empty)\n", err)
+		} else if n := portfolio.DefaultTable.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "hyperd: dispatch table: %d learned buckets\n", n)
+		}
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -224,6 +237,11 @@ func runServe(args []string) error {
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if dispatchPath != "" {
+		if err := portfolio.DefaultTable.Save(dispatchPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperd: dispatch table save: %v\n", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "hyperd: bye")
 	return nil
@@ -332,6 +350,9 @@ func runBench(args []string, w io.Writer) error {
 	}()
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc}}
+	if err := preflightSolver(client, base, *solver); err != nil {
+		return err
+	}
 	makeBody := func(seed int64) ([]byte, error) {
 		mt, err := generate(workload.Config{
 			Tasks: *tasks, Steps: *steps, Switches: *switches, Seed: seed,
@@ -421,6 +442,9 @@ func sessionBench(w io.Writer, solver, gen string, tasks, steps, switches, batch
 		httpSrv.Shutdown(ctx)
 	}()
 
+	if err := preflightSolver(http.DefaultClient, base, solver); err != nil {
+		return err
+	}
 	wire := service.WireInstanceFrom(stream.Instance)
 	opts := service.WireOptions{DisablePruning: noPrune}
 	call := func(url string, body any, out any) error {
@@ -504,6 +528,34 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// preflightSolver asks the daemon which solvers it registers (GET
+// /v1/solvers) before driving load at it, failing fast with the
+// server's own list instead of hammering it with unknown-solver
+// errors.
+func preflightSolver(client *http.Client, base, solver string) error {
+	resp, err := client.Get(base + "/v1/solvers")
+	if err != nil {
+		return fmt.Errorf("preflight /v1/solvers: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("preflight /v1/solvers: status %d", resp.StatusCode)
+	}
+	var sr service.SolversResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return fmt.Errorf("preflight /v1/solvers: %w", err)
+	}
+	names := make([]string, 0, len(sr.Solvers))
+	for _, s := range sr.Solvers {
+		if s.Name == solver {
+			return nil
+		}
+		names = append(names, s.Name)
+	}
+	return fmt.Errorf("preflight: solver %q not registered on the daemon (registered: %s)",
+		solver, strings.Join(names, ", "))
 }
 
 // phase drives concurrent POSTs for the given duration and tallies

@@ -9,6 +9,7 @@
 //	mtopt -app counter -solver beam          # beam-limited exact DP
 //	mtopt -app counter -solver anneal        # simulated-annealing ablation
 //	mtopt -app counter -solver exact         # joint-hypercontext DP (small n)
+//	mtopt -app counter -solver portfolio     # race exact+beam+ga, incumbent exchange
 //	mtopt -app counter -solver all -fig      # aligned+beam+ga + Figure 2/3 charts
 //	mtopt -reqs trace.csv -upload sequential # task-sequential uploads
 //
@@ -45,7 +46,7 @@ func main() {
 	var (
 		app      = flag.String("app", "counter", "application to analyze (ignored with -reqs)")
 		reqsPath = flag.String("reqs", "", "requirements CSV to analyze instead of an app trace")
-		solver   = flag.String("solver", "ga", "solver: ga, aligned, beam, anneal, exact, exact-partitioned, bruteforce, all")
+		solver   = flag.String("solver", "ga", "solver: one of "+strings.Join(solve.Names(), ", ")+", or all")
 		upload   = flag.String("upload", "parallel", "upload mode for hyper+reconf: parallel or sequential")
 		gran     = flag.String("gran", "bit", "requirement granularity: bit, unit or delta")
 		fig      = flag.Bool("fig", false, "print Figure 2/3 style charts for the best schedule")
@@ -224,6 +225,27 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 					sol.Stats.Partitions, sol.Stats.CutColumns, sol.Stats.StitchBound,
 					sol.Stats.StitchTime.Round(time.Microsecond))
 			}
+			for _, c := range sol.Contenders {
+				mark := "-"
+				if c.Won {
+					mark = "*"
+				}
+				outcome := "cancelled (lost the race)"
+				switch {
+				case c.Finished && c.Direct:
+					outcome = fmt.Sprintf("direct dispatch, cost=%d exact=%t", c.Cost, c.Exact)
+				case c.Finished:
+					outcome = fmt.Sprintf("cost=%d exact=%t", c.Cost, c.Exact)
+				case c.Err != "":
+					outcome = "failed: " + c.Err
+				}
+				fmt.Printf("  %s %-18s %-32s states=%d wall=%s\n",
+					mark, c.Solver, outcome, c.Stats.StatesExpanded, c.WallTime.Round(time.Microsecond))
+			}
+			if len(sol.Contenders) > 0 && sol.Stats.IncumbentTightenings > 0 {
+				fmt.Printf("  exchange: exact DP adopted %d incumbent tightenings\n",
+					sol.Stats.IncumbentTightenings)
+			}
 		}
 		if best == nil || sol.Cost < best.Cost {
 			best = sol
@@ -244,6 +266,11 @@ func run(app, reqsPath, solver, upload, gran string, fig bool, pop, gens int, se
 			o = solve.Options{Pop: pop, Generations: gens, Seed: seed}
 		case "exact-partitioned":
 			o = solve.Options{Partitions: parts}
+		case "portfolio":
+			// GA knobs feed the heuristic scouts; MaxStates is left zero
+			// so the exact lane stays uncapped (the beam lane defaults
+			// its own width).
+			o = solve.Options{Pop: pop, Generations: gens, Seed: seed, Partitions: parts}
 		}
 		o.Workers = workers
 		var sol *solve.Solution

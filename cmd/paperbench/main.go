@@ -23,6 +23,7 @@
 //	paperbench -bench6         # incremental-solve bench baseline (E18)
 //	paperbench -bench8         # partition-and-conquer bench baseline (E20)
 //	paperbench -bench9         # durability & crash-recovery baseline (E21)
+//	paperbench -bench10        # portfolio racing baseline (E22)
 package main
 
 import (
@@ -64,21 +65,24 @@ func writeSVG(name, svg string) error {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment: costs, modes, solvers, changeover, apps, gran, async, privglobal, mtdag, mesh, all")
-		fig       = flag.Int("fig", 0, "figure to regenerate: 1, 2 or 3")
-		svgDir    = flag.String("svgdir", "", "also write Figure 2/3 as SVG files into this directory")
-		bench     = flag.Bool("bench", false, "measure the MT-Switch frontier engines and write a JSON baseline (E14)")
-		benchOut  = flag.String("benchout", "BENCH_PR3.json", "output path for the -bench baseline")
-		bench5    = flag.Bool("bench5", false, "measure pruning vs the unpruned packed engine and write a JSON baseline (E17)")
-		bench5Out = flag.String("bench5out", "BENCH_PR5.json", "output path for the -bench5 baseline")
-		bench6    = flag.Bool("bench6", false, "measure incremental suffix re-solve vs from-scratch and write a JSON baseline (E18)")
-		bench6Out = flag.String("bench6out", "BENCH_PR6.json", "output path for the -bench6 baseline")
-		bench8    = flag.Bool("bench8", false, "measure the partitioned solver vs the monolithic exact engine and write a JSON baseline (E20)")
-		bench8Out = flag.String("bench8out", "BENCH_PR8.json", "output path for the -bench8 baseline")
-		bench8Sm  = flag.Bool("bench8small", false, "with -bench8: shrink the workload and skip the speedup floor and budget scenario (CI smoke)")
-		bench9    = flag.Bool("bench9", false, "measure WAL durability overhead and crash recovery and write a JSON baseline (E21)")
-		bench9Out = flag.String("bench9out", "BENCH_PR9.json", "output path for the -bench9 baseline")
-		bench9Sm  = flag.Bool("bench9small", false, "with -bench9: shrink the workload and time only the always policy next to in-memory (CI smoke)")
+		exp        = flag.String("exp", "", "experiment: costs, modes, solvers, changeover, apps, gran, async, privglobal, mtdag, mesh, all")
+		fig        = flag.Int("fig", 0, "figure to regenerate: 1, 2 or 3")
+		svgDir     = flag.String("svgdir", "", "also write Figure 2/3 as SVG files into this directory")
+		bench      = flag.Bool("bench", false, "measure the MT-Switch frontier engines and write a JSON baseline (E14)")
+		benchOut   = flag.String("benchout", "BENCH_PR3.json", "output path for the -bench baseline")
+		bench5     = flag.Bool("bench5", false, "measure pruning vs the unpruned packed engine and write a JSON baseline (E17)")
+		bench5Out  = flag.String("bench5out", "BENCH_PR5.json", "output path for the -bench5 baseline")
+		bench6     = flag.Bool("bench6", false, "measure incremental suffix re-solve vs from-scratch and write a JSON baseline (E18)")
+		bench6Out  = flag.String("bench6out", "BENCH_PR6.json", "output path for the -bench6 baseline")
+		bench8     = flag.Bool("bench8", false, "measure the partitioned solver vs the monolithic exact engine and write a JSON baseline (E20)")
+		bench8Out  = flag.String("bench8out", "BENCH_PR8.json", "output path for the -bench8 baseline")
+		bench8Sm   = flag.Bool("bench8small", false, "with -bench8: shrink the workload and skip the speedup floor and budget scenario (CI smoke)")
+		bench9     = flag.Bool("bench9", false, "measure WAL durability overhead and crash recovery and write a JSON baseline (E21)")
+		bench9Out  = flag.String("bench9out", "BENCH_PR9.json", "output path for the -bench9 baseline")
+		bench9Sm   = flag.Bool("bench9small", false, "with -bench9: shrink the workload and time only the always policy next to in-memory (CI smoke)")
+		bench10    = flag.Bool("bench10", false, "measure the portfolio racing meta-solver vs its solo contenders and write a JSON baseline (E22)")
+		bench10Out = flag.String("bench10out", "BENCH_PR10.json", "output path for the -bench10 baseline")
+		bench10Sm  = flag.Bool("bench10small", false, "with -bench10: shrink the workload and skip the wall-clock floors (CI smoke)")
 	)
 	flag.Parse()
 
@@ -113,6 +117,13 @@ func main() {
 	}
 	if *bench9 {
 		if err := durableBench(*bench9Out, *bench9Sm); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		ranBench = true
+	}
+	if *bench10 {
+		if err := portfolioBench(*bench10Out, *bench10Sm); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}

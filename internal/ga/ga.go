@@ -354,6 +354,12 @@ func Optimize(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOp
 			bestC, bestG = fit[i], pop[i].clone()
 		}
 	}
+	// Incumbent exchange: every GA fitness value is a full valid
+	// schedule's cost (the evaluator is cross-checked against the
+	// model below), so best-so-far improvements are publishable upper
+	// bounds for a racing exact DP.
+	board := solve.IncumbentFrom(ctx)
+	board.Publish(bestC)
 
 	history := make([]model.Cost, 0, cfg.generations)
 	tournament := func() genome {
@@ -411,6 +417,7 @@ func Optimize(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOp
 				bestC, bestG = fit[i], pop[i].clone()
 			}
 		}
+		board.Publish(bestC)
 		history = append(history, bestC)
 	}
 

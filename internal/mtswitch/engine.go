@@ -189,6 +189,9 @@ func (en *Engine) ensurePrepared(ctx context.Context) error {
 		}
 		px.incumbent = incCost
 		en.red, en.px, en.incCost, en.incMask = red, px, incCost, incMask
+		// The warm start is a valid full-schedule cost: seed the shared
+		// portfolio board (no-op outside a race).
+		solve.IncumbentFrom(ctx).Publish(incCost)
 	}
 	en.target = target
 	if en.e == nil {
@@ -390,6 +393,21 @@ func (en *Engine) extract() (*Solution, error) {
 		return incumbentSolution(en.ins, en.opt, en.incMask, stats)
 	}
 	return &Solution{Schedule: sched, Cost: cost, Stats: stats}, nil
+}
+
+// Stats returns the statistics the stepped DP has accumulated so far
+// — partial until the solve completes.  Portfolio races use it to
+// harvest the work a cancelled contender did before losing.
+func (en *Engine) Stats() solve.Stats {
+	if en.e == nil {
+		return solve.Stats{}
+	}
+	s := en.e.stats
+	s.StatesPruned = s.DominanceHits + s.BoundCutoffs
+	if en.red != nil {
+		s.PreprocessReduction = en.red.cells
+	}
+	return s
 }
 
 // validateRows checks a step-major batch of demand rows against the

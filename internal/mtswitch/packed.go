@@ -704,6 +704,18 @@ func (e *engine) stepOnce(ctx context.Context) error {
 	if err := faultinject.Fire("mtswitch.step"); err != nil {
 		return err
 	}
+	// Incumbent exchange: adopt an externally published bound (a
+	// portfolio contender's best-known full-schedule cost) when it is
+	// tighter than our own.  External bounds are valid upper bounds on
+	// the optimum, and the cutoffs below are strict (`>`), so adoption
+	// never cuts an optimal path — it only changes which cost-optimal
+	// schedule survives, never the cost.
+	if e.pruneOn {
+		if ext, ok := solve.IncumbentFrom(ctx).Best(); ok && ext < e.incumbent {
+			e.incumbent = ext
+			e.stats.IncumbentTightenings++
+		}
+	}
 	e.stepMult = e.multAt(e.step)
 	// Phase 1 — sharded expansion over contiguous source chunks.
 	active := e.nshards

@@ -51,6 +51,14 @@ func Solve(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptio
 	windows := plan.Windows(n)
 	m := ins.NumTasks()
 
+	// Window solves must not touch a shared portfolio incumbent board:
+	// a window's warm-start cost is a bound for the *window*, not the
+	// full trace, and publishing it would poison a racing monolithic
+	// solver into cutting optimal paths.  Consuming the (full-trace)
+	// board inside a window is equally wrong in the other direction, so
+	// the windows run fully detached.
+	winCtx := solve.DetachIncumbent(ctx)
+
 	// Each window becomes a standalone instance: sliced requirement
 	// rows, the same tasks and public-global term, W = 0 (the one-time
 	// global hyperreconfiguration belongs to the whole trace).  The
@@ -94,7 +102,7 @@ func Solve(ctx context.Context, ins *model.MTSwitchInstance, opt model.CostOptio
 				errOnce.Do(func() { sweepErr = err })
 				return
 			}
-			sol, err := mtswitch.SolveExact(ctx, subs[t], opt, innerOpts)
+			sol, err := mtswitch.SolveExact(winCtx, subs[t], opt, innerOpts)
 			if err != nil {
 				errOnce.Do(func() { sweepErr = err })
 				return

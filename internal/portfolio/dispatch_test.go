@@ -1,0 +1,127 @@
+package portfolio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPredictEmptyAndTies(t *testing.T) {
+	table := NewTable()
+	if w, s, n := table.Predict("unseen"); w != "" || s != 0 || n != 0 {
+		t.Fatalf("unseen bucket predicted %q %.2f %d", w, s, n)
+	}
+	// Ties break lexicographically so prediction is deterministic.
+	table.Record("b", "zeta")
+	table.Record("b", "alpha")
+	if w, s, n := table.Predict("b"); w != "alpha" || s != 0.5 || n != 2 {
+		t.Fatalf("tie broke to %q %.2f %d, want alpha 0.50 2", w, s, n)
+	}
+	// A nil table never predicts and never panics.
+	var nilTable *Table
+	if w, _, _ := nilTable.Predict("b"); w != "" {
+		t.Fatalf("nil table predicted %q", w)
+	}
+	nilTable.Record("b", "x")
+}
+
+func TestRecordStaleness(t *testing.T) {
+	table := NewTable()
+	for i := 0; i < staleCap; i++ {
+		table.Record("b", "old")
+	}
+	if _, share, samples := table.Predict("b"); share != 1 || samples != staleCap {
+		t.Fatalf("warm bucket: share %.2f samples %d", share, samples)
+	}
+	// The push past staleCap halves every count, so a regime shift
+	// rewrites the majority in ~staleCap races no matter how long the
+	// old winner reigned.
+	table.Record("b", "new")
+	if _, _, samples := table.Predict("b"); samples >= staleCap {
+		t.Fatalf("staleness halving did not fire: %d samples", samples)
+	}
+	for i := 0; i < staleCap; i++ {
+		table.Record("b", "new")
+	}
+	if w, _, _ := table.Predict("b"); w != "new" {
+		t.Fatalf("majority did not flip after a regime shift: %q", w)
+	}
+}
+
+func TestTableSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dispatch.json")
+	table := NewTable()
+	table.Record("b1", "exact")
+	table.Record("b1", "exact")
+	table.Record("b2", "ga")
+	if err := table.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewTable()
+	if err := loaded.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d buckets, want 2", loaded.Len())
+	}
+	if w, s, n := loaded.Predict("b1"); w != "exact" || s != 1 || n != 2 {
+		t.Fatalf("b1 round-trip: %q %.2f %d", w, s, n)
+	}
+
+	// A missing file is a cold start, not an error.
+	fresh := NewTable()
+	if err := fresh.Load(filepath.Join(t.TempDir(), "missing.json")); err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("missing file populated %d buckets", fresh.Len())
+	}
+
+	// A corrupt file is an error, so callers can tell "new node" from
+	// "damaged state".
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Load(path); err == nil {
+		t.Fatal("corrupt snapshot loaded without error")
+	}
+}
+
+func TestExtractFeatures(t *testing.T) {
+	dense, err := workload.Dense(workload.Config{Tasks: 3, Steps: 16, Switches: 8, MeanPhase: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Extract(dense)
+	if f.Tasks != 3 || f.Steps != 16 {
+		t.Fatalf("dimensions: %+v", f)
+	}
+	if f.DensityPct <= 0 || f.DensityPct > 100 {
+		t.Fatalf("density out of range: %d", f.DensityPct)
+	}
+
+	blocked, err := workload.Blocked(workload.Config{Tasks: 3, Steps: 48, Switches: 12, MeanPhase: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := Extract(blocked)
+	// Blocked traces decompose at zero-cut boundaries; dense ones do
+	// not — the feature must separate the two families.
+	if bf.BlockPct <= f.BlockPct {
+		t.Fatalf("blocked trace BlockPct %d not above dense %d", bf.BlockPct, f.BlockPct)
+	}
+
+	// Same config, different seed: same bucket (that is what makes a
+	// handful of races enough to learn a family).
+	blocked2, err := workload.Blocked(workload.Config{Tasks: 3, Steps: 48, Switches: 12, MeanPhase: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Extract(blocked).Bucket() != Extract(blocked2).Bucket() {
+		t.Fatalf("sibling seeds bucketed apart: %s vs %s",
+			Extract(blocked).Bucket(), Extract(blocked2).Bucket())
+	}
+}

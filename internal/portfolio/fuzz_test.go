@@ -1,0 +1,46 @@
+package portfolio_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mtswitch"
+	"repro/internal/portfolio"
+	"repro/internal/solve"
+)
+
+// FuzzPortfolioAgreement races the portfolio against the reference
+// exact solver on fuzzer-chosen instances: whatever the race dynamics
+// — which lane wins, when the losers are cancelled, which incumbent
+// bounds land mid-solve — the returned cost must be the reference
+// optimum and the exactness flag must hold.
+func FuzzPortfolioAgreement(f *testing.F) {
+	f.Add(int64(1), false)
+	f.Add(int64(7), true)
+	f.Add(int64(42), false)
+	f.Fuzz(func(t *testing.T, seed int64, noPrune bool) {
+		r := rand.New(rand.NewSource(seed))
+		ins := randomMT(r, 3, 4, 5)
+		mode := raceModes[int(uint64(seed)%uint64(len(raceModes)))]
+
+		ref, err := mtswitch.SolveExactReference(context.Background(), ins, mode, solve.Options{})
+		if err != nil {
+			t.Skipf("reference refused the instance: %v", err)
+		}
+		sol, err := portfolio.Race(context.Background(), solve.NewMT(ins, mode),
+			solve.Options{DisablePruning: noPrune, Seed: seed}, portfolio.Config{Exchange: true})
+		if err != nil {
+			t.Fatalf("race: %v", err)
+		}
+		if !sol.Exact {
+			t.Fatalf("seed %d: race result not exact", seed)
+		}
+		if sol.Cost != ref.Cost {
+			t.Fatalf("seed %d noPrune %t: race cost %d, reference %d", seed, noPrune, sol.Cost, ref.Cost)
+		}
+		if err := ins.Validate(sol.MTSched); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+	})
+}

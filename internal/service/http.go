@@ -26,6 +26,7 @@ const maxBodyBytes = 16 << 20
 //	GET    /v1/jobs/{id}/wait long-poll until terminal or ?timeout_ms elapses
 //	DELETE /v1/jobs/{id}      cancel (queued or running)
 //	POST   /v1/solve          submit and wait for the terminal state
+//	GET    /v1/solvers        registered solver names, kinds and option ranges
 //	GET    /healthz           liveness
 //	GET    /metrics           Prometheus text format
 //
@@ -48,6 +49,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/steps", s.handleSessionSteps)
 	mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSessionSchedule)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthzV1)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handlePeerCache)

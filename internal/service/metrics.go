@@ -84,6 +84,16 @@ type metrics struct {
 	suffixSum   atomic.Int64
 	suffixCount atomic.Int64
 
+	// Portfolio meta-solver counters: full races run, learned-dispatch
+	// confidence shortcuts taken instead of racing, exact-DP incumbent
+	// adoptions across all races, and the batch-mode grouping summary
+	// (groups opened / jobs that rode a group, leaders included).
+	portfolioRaces       atomic.Int64
+	portfolioDirect      atomic.Int64
+	portfolioTightenings atomic.Int64
+	batchGroups          atomic.Int64
+	batchJobs            atomic.Int64
+
 	workersBusy atomic.Int64
 
 	// Crash-recovery counters, bumped once per restart by recoverDurable.
@@ -91,10 +101,11 @@ type metrics struct {
 	recoverySessionsRevived atomic.Int64 // sessions rebuilt from journaled step batches
 	recoveryCacheWarmloaded atomic.Int64 // canonical entries warm-loaded from the disk store
 
-	mu          sync.Mutex
-	perSolver   map[string]*latencyHist
-	solverStats map[string]*solverStats
-	panics      map[string]int64 // per-solver panic counts
+	mu            sync.Mutex
+	perSolver     map[string]*latencyHist
+	solverStats   map[string]*solverStats
+	panics        map[string]int64 // per-solver panic counts
+	portfolioWins map[string]int64 // per-contender portfolio race wins
 }
 
 // solverStats accumulates the solve.Stats counters of completed jobs
@@ -114,9 +125,37 @@ type solverStats struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		perSolver:   map[string]*latencyHist{},
-		solverStats: map[string]*solverStats{},
-		panics:      map[string]int64{},
+		perSolver:     map[string]*latencyHist{},
+		solverStats:   map[string]*solverStats{},
+		panics:        map[string]int64{},
+		portfolioWins: map[string]int64{},
+	}
+}
+
+// recordPortfolio folds one completed portfolio solve into the race
+// counters: race-vs-direct, the winner tally, and the incumbent
+// exchanges its exact lane adopted.
+func (m *metrics) recordPortfolio(sol *solve.Solution) {
+	if len(sol.Contenders) == 0 {
+		return
+	}
+	m.portfolioTightenings.Add(sol.Stats.IncumbentTightenings)
+	var winner string
+	direct := false
+	for _, c := range sol.Contenders {
+		if c.Won {
+			winner, direct = c.Solver, c.Direct
+		}
+	}
+	if direct {
+		m.portfolioDirect.Add(1)
+	} else {
+		m.portfolioRaces.Add(1)
+	}
+	if winner != "" {
+		m.mu.Lock()
+		m.portfolioWins[winner]++
+		m.mu.Unlock()
 	}
 }
 
@@ -228,6 +267,12 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# TYPE hyperd_session_resolve_suffix_len summary\n")
 	fmt.Fprintf(w, "hyperd_session_resolve_suffix_len_sum %d\n", m.suffixSum.Load())
 	fmt.Fprintf(w, "hyperd_session_resolve_suffix_len_count %d\n", m.suffixCount.Load())
+	counter("hyperd_portfolio_races_total", m.portfolioRaces.Load())
+	counter("hyperd_portfolio_dispatch_direct_total", m.portfolioDirect.Load())
+	counter("hyperd_portfolio_incumbent_tightenings_total", m.portfolioTightenings.Load())
+	fmt.Fprintf(w, "# TYPE hyperd_portfolio_batch_group_size summary\n")
+	fmt.Fprintf(w, "hyperd_portfolio_batch_group_size_sum %d\n", m.batchJobs.Load())
+	fmt.Fprintf(w, "hyperd_portfolio_batch_group_size_count %d\n", m.batchGroups.Load())
 
 	if g.wal != nil {
 		counter("hyperd_wal_appends_total", g.wal.Appends)
@@ -281,6 +326,18 @@ func (m *metrics) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "hyperd_solve_seconds_bucket{solver=%q,le=\"+Inf\"} %d\n", name, h.count)
 		fmt.Fprintf(w, "hyperd_solve_seconds_sum{solver=%q} %g\n", name, h.sum)
 		fmt.Fprintf(w, "hyperd_solve_seconds_count{solver=%q} %d\n", name, h.count)
+	}
+
+	if len(m.portfolioWins) > 0 {
+		names := make([]string, 0, len(m.portfolioWins))
+		for name := range m.portfolioWins {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# TYPE hyperd_portfolio_wins_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "hyperd_portfolio_wins_total{solver=%q} %d\n", name, m.portfolioWins[name])
+		}
 	}
 
 	if len(m.panics) > 0 {

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSolverOptionRanges pins optionRanges against the wire surface:
+// every documented option must be a real WireOptions field (or the
+// request-level timeout_ms), and every WireOptions field must be
+// documented — so the endpoint and the wire schema cannot drift apart
+// silently.
+func TestSolverOptionRanges(t *testing.T) {
+	wire := map[string]bool{"timeout_ms": true} // lives on SolveRequest
+	rt := reflect.TypeOf(WireOptions{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		if name, _, _ := strings.Cut(tag, ","); name != "" && name != "-" {
+			wire[name] = true
+		}
+	}
+
+	documented := map[string]bool{}
+	for _, o := range optionRanges() {
+		if documented[o.Name] {
+			t.Fatalf("option %q documented twice", o.Name)
+		}
+		documented[o.Name] = true
+		if !wire[o.Name] {
+			t.Errorf("option %q documented but not on the wire", o.Name)
+		}
+		if o.Type == "" || o.Range == "" || o.Doc == "" {
+			t.Errorf("option %q has empty fields: %+v", o.Name, o)
+		}
+	}
+	for name := range wire {
+		if !documented[name] {
+			t.Errorf("wire option %q missing from optionRanges", name)
+		}
+	}
+}
+
+// TestSolversEndpoint checks GET /v1/solvers lists the full registry —
+// including the portfolio meta-solver — with capabilities attached.
+func TestSolversEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/solvers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body SolversResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SolverInfo{}
+	for _, s := range body.Solvers {
+		byName[s.Name] = s
+	}
+	for _, want := range []string{"exact", "exact-partitioned", "beam", "ga", "portfolio"} {
+		info, ok := byName[want]
+		if !ok {
+			t.Fatalf("solver %q missing from /v1/solvers (got %v)", want, body.Solvers)
+		}
+		if len(info.Kinds) == 0 {
+			t.Fatalf("solver %q lists no kinds", want)
+		}
+	}
+	if !byName["exact"].Exact {
+		t.Fatal("exact solver not flagged exact")
+	}
+	if byName["ga"].Exact {
+		t.Fatal("ga flagged exact")
+	}
+	if len(body.Options) == 0 {
+		t.Fatal("no option ranges returned")
+	}
+}

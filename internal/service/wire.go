@@ -332,6 +332,9 @@ type WireStats struct {
 	StatesPruned  int64 `json:"states_pruned,omitempty"`
 	DominanceHits int64 `json:"dominance_hits,omitempty"`
 	BoundCutoffs  int64 `json:"bound_cutoffs,omitempty"`
+	// IncumbentTightenings counts mid-flight adoptions of an externally
+	// published incumbent bound (portfolio races only).
+	IncumbentTightenings int64 `json:"incumbent_tightenings,omitempty"`
 	// PreprocessReduction counts requirement-matrix cells removed by
 	// instance preprocessing before the DP ran.
 	PreprocessReduction int64 `json:"preprocess_reduction,omitempty"`
@@ -384,22 +387,23 @@ func (m *wireMemo) get(sol *solve.Solution, mt *model.MTSwitchInstance) (*WireSo
 // wireStats maps run statistics onto their wire view.
 func wireStats(st solve.Stats) WireStats {
 	return WireStats{
-		StatesExpanded:      st.StatesExpanded,
-		DedupHits:           st.DedupHits,
-		CandidatesPruned:    st.CandidatesPruned,
-		StatesPruned:        st.StatesPruned,
-		DominanceHits:       st.DominanceHits,
-		BoundCutoffs:        st.BoundCutoffs,
-		PreprocessReduction: st.PreprocessReduction,
-		BudgetDropped:       st.BudgetDropped,
-		Evaluations:         st.Evaluations,
-		Partitions:          st.Partitions,
-		CutColumns:          st.CutColumns,
-		StitchBound:         st.StitchBound,
-		StitchMS:            float64(st.StitchTime) / float64(time.Millisecond),
-		Truncated:           st.Truncated,
-		Degraded:            st.Degraded,
-		WallMS:              float64(st.WallTime) / float64(time.Millisecond),
+		StatesExpanded:       st.StatesExpanded,
+		DedupHits:            st.DedupHits,
+		CandidatesPruned:     st.CandidatesPruned,
+		StatesPruned:         st.StatesPruned,
+		DominanceHits:        st.DominanceHits,
+		BoundCutoffs:         st.BoundCutoffs,
+		IncumbentTightenings: st.IncumbentTightenings,
+		PreprocessReduction:  st.PreprocessReduction,
+		BudgetDropped:        st.BudgetDropped,
+		Evaluations:          st.Evaluations,
+		Partitions:           st.Partitions,
+		CutColumns:           st.CutColumns,
+		StitchBound:          st.StitchBound,
+		StitchMS:             float64(st.StitchTime) / float64(time.Millisecond),
+		Truncated:            st.Truncated,
+		Degraded:             st.Degraded,
+		WallMS:               float64(st.WallTime) / float64(time.Millisecond),
 	}
 }
 
@@ -407,22 +411,23 @@ func wireStats(st solve.Stats) WireStats {
 // peer-served result reports the original solve's work).
 func statsFromWire(ws WireStats) solve.Stats {
 	return solve.Stats{
-		StatesExpanded:      ws.StatesExpanded,
-		DedupHits:           ws.DedupHits,
-		CandidatesPruned:    ws.CandidatesPruned,
-		StatesPruned:        ws.StatesPruned,
-		DominanceHits:       ws.DominanceHits,
-		BoundCutoffs:        ws.BoundCutoffs,
-		PreprocessReduction: ws.PreprocessReduction,
-		BudgetDropped:       ws.BudgetDropped,
-		Evaluations:         ws.Evaluations,
-		Partitions:          ws.Partitions,
-		CutColumns:          ws.CutColumns,
-		StitchBound:         ws.StitchBound,
-		StitchTime:          time.Duration(ws.StitchMS * float64(time.Millisecond)),
-		Truncated:           ws.Truncated,
-		Degraded:            ws.Degraded,
-		WallTime:            time.Duration(ws.WallMS * float64(time.Millisecond)),
+		StatesExpanded:       ws.StatesExpanded,
+		DedupHits:            ws.DedupHits,
+		CandidatesPruned:     ws.CandidatesPruned,
+		StatesPruned:         ws.StatesPruned,
+		DominanceHits:        ws.DominanceHits,
+		BoundCutoffs:         ws.BoundCutoffs,
+		IncumbentTightenings: ws.IncumbentTightenings,
+		PreprocessReduction:  ws.PreprocessReduction,
+		BudgetDropped:        ws.BudgetDropped,
+		Evaluations:          ws.Evaluations,
+		Partitions:           ws.Partitions,
+		CutColumns:           ws.CutColumns,
+		StitchBound:          ws.StitchBound,
+		StitchTime:           time.Duration(ws.StitchMS * float64(time.Millisecond)),
+		Truncated:            ws.Truncated,
+		Degraded:             ws.Degraded,
+		WallTime:             time.Duration(ws.WallMS * float64(time.Millisecond)),
 	}
 }
 

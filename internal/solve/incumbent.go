@@ -1,0 +1,110 @@
+package solve
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// Incumbent is a lock-free shared upper bound on the optimal cost of
+// one instance, raced over by a portfolio of solvers.  Heuristic
+// contenders (GA, beam, warm starts) publish every valid full-schedule
+// cost they find; the exact DP reads the board between steps and
+// adopts any bound tighter than its own, so its `> incumbent` cutoffs
+// and dominance passes prune harder mid-flight.
+//
+// Memory ordering: the board holds a single int64 written with
+// CompareAndSwap and read with Load (both sequentially consistent in
+// Go's sync/atomic).  Publishers only ever lower the value, so a
+// reader observing a stale board sees a looser-but-valid bound — the
+// race is benign.  Correctness does not depend on timely delivery:
+// every published cost is the cost of a complete feasible schedule,
+// hence >= the optimum, and the DP cutoffs are strict (`>`), so no
+// optimal path is ever cut regardless of when a bound lands.
+//
+// Tightening is deliberately not part of the deterministic replay
+// surface: adopting an external bound mid-solve can change *which*
+// cost-optimal schedule the DP returns (never the cost), so runs that
+// must be bit-identical across worker counts detach the board via
+// DetachIncumbent.
+type Incumbent struct {
+	// best is the lowest published cost; noIncumbent when empty.
+	best atomic.Int64
+}
+
+// noIncumbent marks an empty board.
+const noIncumbent = int64(math.MaxInt64)
+
+// NewIncumbent returns an empty board.
+func NewIncumbent() *Incumbent {
+	b := &Incumbent{}
+	b.best.Store(noIncumbent)
+	return b
+}
+
+// Publish offers a valid full-schedule cost to the board.  It lowers
+// the board monotonically and reports whether this call tightened it.
+// Negative costs are ignored (no valid schedule costs less than 0).
+func (b *Incumbent) Publish(c model.Cost) bool {
+	if b == nil || c < 0 {
+		return false
+	}
+	v := int64(c)
+	for {
+		cur := b.best.Load()
+		if v >= cur {
+			return false
+		}
+		if b.best.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// Best returns the tightest published cost, or ok=false if nothing has
+// been published yet.
+func (b *Incumbent) Best() (model.Cost, bool) {
+	if b == nil {
+		return 0, false
+	}
+	v := b.best.Load()
+	if v == noIncumbent {
+		return 0, false
+	}
+	return model.Cost(v), true
+}
+
+// incumbentKey is the context key the board travels under.
+type incumbentKey struct{}
+
+// WithIncumbent attaches a shared incumbent board to the context.  All
+// solver runs under the returned context publish to and consume from
+// the same board.
+func WithIncumbent(ctx context.Context, b *Incumbent) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, incumbentKey{}, b)
+}
+
+// IncumbentFrom returns the board attached to the context, or nil.
+func IncumbentFrom(ctx context.Context) *Incumbent {
+	if ctx == nil {
+		return nil
+	}
+	b, _ := ctx.Value(incumbentKey{}).(*Incumbent)
+	return b
+}
+
+// DetachIncumbent shadows any attached board with nil.  Sub-solves
+// whose costs are not valid bounds for the enclosing instance (for
+// example partition windows, whose window-local costs would poison the
+// full-trace board) run under a detached context.
+func DetachIncumbent(ctx context.Context) context.Context {
+	if ctx == nil || IncumbentFrom(ctx) == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, incumbentKey{}, (*Incumbent)(nil))
+}

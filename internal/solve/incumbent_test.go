@@ -1,0 +1,80 @@
+package solve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestIncumbentMonotone(t *testing.T) {
+	b := NewIncumbent()
+	if _, ok := b.Best(); ok {
+		t.Fatal("empty board reported a bound")
+	}
+	if !b.Publish(10) {
+		t.Fatal("first publish did not tighten")
+	}
+	if b.Publish(10) || b.Publish(12) {
+		t.Fatal("equal/looser publish reported a tightening")
+	}
+	if !b.Publish(7) {
+		t.Fatal("tighter publish did not tighten")
+	}
+	if c, ok := b.Best(); !ok || c != 7 {
+		t.Fatalf("board holds %d, want 7", c)
+	}
+	if b.Publish(-1) {
+		t.Fatal("negative cost accepted")
+	}
+	// A nil board swallows everything (solvers run detached).
+	var nb *Incumbent
+	if nb.Publish(1) {
+		t.Fatal("nil board accepted a publish")
+	}
+	if _, ok := nb.Best(); ok {
+		t.Fatal("nil board reported a bound")
+	}
+}
+
+// TestIncumbentConcurrent hammers the CAS loop: the board must
+// converge to the global minimum no matter the interleaving.
+func TestIncumbentConcurrent(t *testing.T) {
+	b := NewIncumbent()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Publish(model.Cost(100 + (i*7+g*13)%900))
+			}
+		}()
+	}
+	wg.Wait()
+	if c, ok := b.Best(); !ok || c != 100 {
+		t.Fatalf("board converged to %d, want 100", c)
+	}
+}
+
+func TestIncumbentContext(t *testing.T) {
+	if IncumbentFrom(context.Background()) != nil {
+		t.Fatal("bare context carries a board")
+	}
+	b := NewIncumbent()
+	ctx := WithIncumbent(context.Background(), b)
+	if IncumbentFrom(ctx) != b {
+		t.Fatal("attached board not returned")
+	}
+	// Detaching shadows the board for sub-solves whose costs are not
+	// valid bounds for the enclosing instance (partition windows).
+	if got := IncumbentFrom(DetachIncumbent(ctx)); got != nil {
+		t.Fatalf("detached context still carries %v", got)
+	}
+	// Detach on a board-free context is a no-op.
+	if DetachIncumbent(context.Background()) != context.Background() {
+		t.Fatal("detach allocated on a board-free context")
+	}
+}

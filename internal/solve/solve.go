@@ -153,6 +153,11 @@ type Stats struct {
 	// admissible remaining-cost bound proved they cannot beat the
 	// incumbent schedule.
 	BoundCutoffs int64
+	// IncumbentTightenings counts the times an externally published
+	// incumbent (a portfolio contender's best-known cost on the shared
+	// board) was tighter than the solver's own and was adopted
+	// mid-flight.  Zero outside portfolio races.
+	IncumbentTightenings int64
 	// PreprocessReduction counts requirement-matrix cells removed by
 	// instance preprocessing (duplicate-column grouping and step
 	// run-length compression) before the DP ran.
@@ -207,6 +212,7 @@ func (s *Stats) Add(o Stats) {
 	s.StatesPruned += o.StatesPruned
 	s.DominanceHits += o.DominanceHits
 	s.BoundCutoffs += o.BoundCutoffs
+	s.IncumbentTightenings += o.IncumbentTightenings
 	s.PreprocessReduction += o.PreprocessReduction
 	s.BudgetDropped += o.BudgetDropped
 	s.Evaluations += o.Evaluations
@@ -243,6 +249,35 @@ type Solution struct {
 	// History is the best-so-far cost trajectory for iterative
 	// solvers (GA, annealing); nil otherwise.
 	History []model.Cost
+	// Contenders is the per-contender breakdown of a portfolio race
+	// (who ran, who won, what each cost and expanded); nil outside the
+	// portfolio meta-solver.
+	Contenders []ContenderReport
+}
+
+// ContenderReport is one contender's slice of a portfolio race.
+type ContenderReport struct {
+	// Solver is the contender's registry name.
+	Solver string
+	// Won marks the contender whose solution the race returned.
+	Won bool
+	// Direct marks a learned-dispatch shortcut: the table predicted
+	// this solver with high confidence, so no race was run.
+	Direct bool
+	// Finished reports the contender ran to completion (losers
+	// cancelled mid-flight report false).
+	Finished bool
+	// Cost and Exact mirror the contender's solution when it finished.
+	Cost  model.Cost
+	Exact bool
+	// Err holds the contender's failure, if any ("" on success and on
+	// cancellation by the race).
+	Err string
+	// Stats are the contender's own run statistics (partial for
+	// cancelled losers when harvestable).
+	Stats Stats
+	// WallTime is the contender's own run duration.
+	WallTime time.Duration
 }
 
 // Capabilities describe what a registered solver accepts.

@@ -3,13 +3,15 @@
 // transitively through internal/core) makes the solver names
 //
 //	exact, exact-partitioned, fast, greedy, interval, changeover,
-//	bruteforce, minsat, aligned, beam, ga, anneal, pertask
+//	bruteforce, minsat, aligned, beam, ga, anneal, pertask, portfolio
 //
 // resolvable via solve.Get / solve.Run.  The adapters translate the
 // normalized solve.Instance into each package's native types and wrap
-// native results into solve.Solution, so all ten solver entry points
+// native results into solve.Solution, so all the solver entry points
 // are reachable through one interface with uniform options,
-// cancellation and run statistics.
+// cancellation and run statistics.  The portfolio meta-solver
+// registers itself from internal/portfolio (imported blank below); it
+// races the registered contenders through the same registry.
 package solvers
 
 import (
@@ -23,6 +25,8 @@ import (
 	"repro/internal/partition"
 	"repro/internal/phc"
 	"repro/internal/solve"
+
+	_ "repro/internal/portfolio"
 )
 
 func fromSwitch(s *phc.Solution, exact bool) *solve.Solution {

@@ -98,7 +98,7 @@ func TestRegisteredNames(t *testing.T) {
 	want := []string{
 		"aligned", "anneal", "beam", "bruteforce", "changeover", "exact",
 		"exact-partitioned", "fast", "ga", "greedy", "interval", "minsat",
-		"pertask",
+		"pertask", "portfolio",
 	}
 	got := solve.Names()
 	if len(got) != len(want) {

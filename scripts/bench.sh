@@ -33,6 +33,16 @@
 #                             workloads, plus the memory-budget and
 #                             certified-bound scenarios; produced by
 #                             `paperbench -bench8` (EXPERIMENTS.md E20).
+#   BENCH_PR9.json            durability overhead (fsync modes vs
+#                             in-memory) and crash-recovery gates;
+#                             produced by `paperbench -bench9`
+#                             (EXPERIMENTS.md E21).
+#   BENCH_PR10.json           portfolio racing: mixed-workload
+#                             head-to-head with learned dispatch,
+#                             the incumbent-exchange state-reduction
+#                             probe and the direct-dispatch rate;
+#                             produced by `paperbench -bench10`
+#                             (EXPERIMENTS.md E22).
 #
 # BENCH_PR7.json (cluster-mode routing, EXPERIMENTS.md E19) is
 # regenerated separately by `go run ./cmd/hyperd bench -cluster -json
@@ -52,7 +62,7 @@ BENCH_PATTERN='BenchmarkFrontierEngines|BenchmarkScalingTasks|BenchmarkPartition
 if [ "${1:-}" = "--check" ]; then
 	# Every committed bench artifact must exist: a silently skipped
 	# baseline would let a regression land unnoticed.
-	for f in BENCH_PR3.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json; do
+	for f in BENCH_PR3.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json BENCH_PR10.json; do
 		if [ ! -f "$f" ]; then
 			echo "bench.sh --check: committed baseline $f missing; regenerate it (scripts/bench.sh, or hyperd bench -cluster for BENCH_PR7.json)" >&2
 			exit 1
@@ -97,6 +107,8 @@ go run ./cmd/paperbench -bench -benchout BENCH_PR3.json
 go run ./cmd/paperbench -bench5 -bench5out BENCH_PR5.json
 go run ./cmd/paperbench -bench6 -bench6out BENCH_PR6.json
 go run ./cmd/paperbench -bench8 -bench8out BENCH_PR8.json
+go run ./cmd/paperbench -bench9 -bench9out BENCH_PR9.json
+go run ./cmd/paperbench -bench10 -bench10out BENCH_PR10.json
 
 go test -run '^$' -bench "$BENCH_PATTERN" \
 	-benchmem -count 1 . | tee scripts/bench_baseline.txt
